@@ -1,0 +1,459 @@
+//! A deterministic replicated key-value store.
+//!
+//! Operations and results are encoded with a tiny self-describing binary
+//! format (1-byte tag + length-prefixed fields) so that requests and replies
+//! travel through the protocol as opaque byte strings, exactly like the
+//! YCSB-style workloads the paper evaluates against.
+
+use crate::state_machine::StateMachine;
+use seemore_crypto::{Digest, Sha256};
+use std::collections::BTreeMap;
+
+/// An operation against the key-value store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Store `value` under `key`, overwriting any previous value.
+    Put {
+        /// Key to write.
+        key: Vec<u8>,
+        /// Value to store.
+        value: Vec<u8>,
+    },
+    /// Read the value stored under `key`.
+    Get {
+        /// Key to read.
+        key: Vec<u8>,
+    },
+    /// Remove `key` and its value.
+    Delete {
+        /// Key to remove.
+        key: Vec<u8>,
+    },
+    /// Read-modify-write: append `suffix` to the value stored under `key`
+    /// (treating a missing value as empty).
+    Append {
+        /// Key to modify.
+        key: Vec<u8>,
+        /// Bytes appended to the current value.
+        suffix: Vec<u8>,
+    },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_GET: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_APPEND: u8 = 4;
+
+const RESULT_OK: u8 = 1;
+const RESULT_VALUE: u8 = 2;
+const RESULT_NOT_FOUND: u8 = 3;
+const RESULT_ERROR: u8 = 4;
+
+fn put_field(out: &mut Vec<u8>, field: &[u8]) {
+    out.extend_from_slice(&(field.len() as u32).to_le_bytes());
+    out.extend_from_slice(field);
+}
+
+fn take_field(input: &mut &[u8]) -> Option<Vec<u8>> {
+    if input.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(input[..4].try_into().ok()?) as usize;
+    *input = &input[4..];
+    if input.len() < len {
+        return None;
+    }
+    let field = input[..len].to_vec();
+    *input = &input[len..];
+    Some(field)
+}
+
+impl KvOp {
+    /// Encodes the operation into the byte string carried by a `REQUEST`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            KvOp::Put { key, value } => {
+                out.push(TAG_PUT);
+                put_field(&mut out, key);
+                put_field(&mut out, value);
+            }
+            KvOp::Get { key } => {
+                out.push(TAG_GET);
+                put_field(&mut out, key);
+            }
+            KvOp::Delete { key } => {
+                out.push(TAG_DELETE);
+                put_field(&mut out, key);
+            }
+            KvOp::Append { key, suffix } => {
+                out.push(TAG_APPEND);
+                put_field(&mut out, key);
+                put_field(&mut out, suffix);
+            }
+        }
+        out
+    }
+
+    /// Decodes an operation previously produced by [`encode`](Self::encode).
+    ///
+    /// Returns `None` for malformed input (a Byzantine client could send
+    /// arbitrary bytes; the store replies with an error result rather than
+    /// diverging).
+    pub fn decode(mut bytes: &[u8]) -> Option<KvOp> {
+        let tag = *bytes.first()?;
+        bytes = &bytes[1..];
+        let op = match tag {
+            TAG_PUT => KvOp::Put { key: take_field(&mut bytes)?, value: take_field(&mut bytes)? },
+            TAG_GET => KvOp::Get { key: take_field(&mut bytes)? },
+            TAG_DELETE => KvOp::Delete { key: take_field(&mut bytes)? },
+            TAG_APPEND => {
+                KvOp::Append { key: take_field(&mut bytes)?, suffix: take_field(&mut bytes)? }
+            }
+            _ => return None,
+        };
+        if bytes.is_empty() {
+            Some(op)
+        } else {
+            None
+        }
+    }
+}
+
+/// The result of executing a [`KvOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResult {
+    /// The write / delete succeeded.
+    Ok,
+    /// A read returned this value.
+    Value(
+        /// The bytes stored under the requested key.
+        Vec<u8>,
+    ),
+    /// The requested key does not exist.
+    NotFound,
+    /// The operation could not be decoded.
+    MalformedOperation,
+}
+
+impl KvResult {
+    /// Encodes the result into the byte string carried by a `REPLY`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            KvResult::Ok => out.push(RESULT_OK),
+            KvResult::Value(value) => {
+                out.push(RESULT_VALUE);
+                put_field(&mut out, value);
+            }
+            KvResult::NotFound => out.push(RESULT_NOT_FOUND),
+            KvResult::MalformedOperation => out.push(RESULT_ERROR),
+        }
+        out
+    }
+
+    /// Decodes a result previously produced by [`encode`](Self::encode).
+    pub fn decode(mut bytes: &[u8]) -> Option<KvResult> {
+        let tag = *bytes.first()?;
+        bytes = &bytes[1..];
+        let result = match tag {
+            RESULT_OK => KvResult::Ok,
+            RESULT_VALUE => KvResult::Value(take_field(&mut bytes)?),
+            RESULT_NOT_FOUND => KvResult::NotFound,
+            RESULT_ERROR => KvResult::MalformedOperation,
+            _ => return None,
+        };
+        if bytes.is_empty() {
+            Some(result)
+        } else {
+            None
+        }
+    }
+}
+
+/// A deterministic, in-memory key-value store.
+///
+/// Uses a `BTreeMap` so that iteration order — and therefore the state
+/// digest — is identical on every replica.
+#[derive(Debug, Default, Clone)]
+pub struct KvStore {
+    data: BTreeMap<Vec<u8>, Vec<u8>>,
+    executed: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Direct read access (not part of the replicated interface; used by
+    /// tests and examples to inspect state).
+    pub fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.data.get(key)
+    }
+
+    /// Applies a decoded operation.
+    pub fn apply(&mut self, op: KvOp) -> KvResult {
+        match op {
+            KvOp::Put { key, value } => {
+                self.data.insert(key, value);
+                KvResult::Ok
+            }
+            KvOp::Get { key } => match self.data.get(&key) {
+                Some(value) => KvResult::Value(value.clone()),
+                None => KvResult::NotFound,
+            },
+            KvOp::Delete { key } => {
+                if self.data.remove(&key).is_some() {
+                    KvResult::Ok
+                } else {
+                    KvResult::NotFound
+                }
+            }
+            KvOp::Append { key, suffix } => {
+                self.data.entry(key).or_default().extend_from_slice(&suffix);
+                KvResult::Ok
+            }
+        }
+    }
+}
+
+impl StateMachine for KvStore {
+    fn execute(&mut self, op: &[u8]) -> Vec<u8> {
+        self.executed += 1;
+        match KvOp::decode(op) {
+            Some(op) => self.apply(op).encode(),
+            None => KvResult::MalformedOperation.encode(),
+        }
+    }
+
+    fn state_digest(&self) -> Digest {
+        let mut hasher = Sha256::new();
+        hasher.update(&(self.data.len() as u64).to_le_bytes());
+        for (key, value) in &self.data {
+            hasher.update(&(key.len() as u64).to_le_bytes());
+            hasher.update(key);
+            hasher.update(&(value.len() as u64).to_le_bytes());
+            hasher.update(value);
+        }
+        Digest::from_bytes(hasher.finalize())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.executed.to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        for (key, value) in &self.data {
+            put_field(&mut out, key);
+            put_field(&mut out, value);
+        }
+        out
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let mut input = snapshot;
+        if input.len() < 16 {
+            return;
+        }
+        self.executed = u64::from_le_bytes(input[..8].try_into().unwrap());
+        let count = u64::from_le_bytes(input[8..16].try_into().unwrap());
+        input = &input[16..];
+        self.data.clear();
+        for _ in 0..count {
+            let (Some(key), Some(value)) = (take_field(&mut input), take_field(&mut input)) else {
+                break;
+            };
+            self.data.insert(key, value);
+        }
+    }
+
+    fn executed_count(&self) -> u64 {
+        self.executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_encode_decode_round_trip() {
+        let ops = vec![
+            KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            KvOp::Get { key: b"key".to_vec() },
+            KvOp::Delete { key: vec![] },
+            KvOp::Append { key: b"log".to_vec(), suffix: b"entry".to_vec() },
+        ];
+        for op in ops {
+            assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn result_encode_decode_round_trip() {
+        let results = vec![
+            KvResult::Ok,
+            KvResult::Value(b"payload".to_vec()),
+            KvResult::NotFound,
+            KvResult::MalformedOperation,
+        ];
+        for result in results {
+            assert_eq!(KvResult::decode(&result.encode()), Some(result));
+        }
+    }
+
+    #[test]
+    fn malformed_encodings_are_rejected() {
+        assert_eq!(KvOp::decode(&[]), None);
+        assert_eq!(KvOp::decode(&[99]), None);
+        assert_eq!(KvOp::decode(&[TAG_PUT, 4, 0, 0, 0, b'a']), None);
+        // Trailing bytes are rejected.
+        let mut encoded = KvOp::Get { key: b"k".to_vec() }.encode();
+        encoded.push(0);
+        assert_eq!(KvOp::decode(&encoded), None);
+        assert_eq!(KvResult::decode(&[]), None);
+        assert_eq!(KvResult::decode(&[99]), None);
+    }
+
+    #[test]
+    fn store_put_get_delete_semantics() {
+        let mut store = KvStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.apply(KvOp::Get { key: b"a".to_vec() }), KvResult::NotFound);
+        assert_eq!(
+            store.apply(KvOp::Put { key: b"a".to_vec(), value: b"1".to_vec() }),
+            KvResult::Ok
+        );
+        assert_eq!(
+            store.apply(KvOp::Get { key: b"a".to_vec() }),
+            KvResult::Value(b"1".to_vec())
+        );
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.apply(KvOp::Delete { key: b"a".to_vec() }), KvResult::Ok);
+        assert_eq!(store.apply(KvOp::Delete { key: b"a".to_vec() }), KvResult::NotFound);
+        assert!(store.get(b"a").is_none());
+    }
+
+    #[test]
+    fn append_treats_missing_value_as_empty() {
+        let mut store = KvStore::new();
+        store.apply(KvOp::Append { key: b"log".to_vec(), suffix: b"a".to_vec() });
+        store.apply(KvOp::Append { key: b"log".to_vec(), suffix: b"b".to_vec() });
+        assert_eq!(store.get(b"log"), Some(&b"ab".to_vec()));
+    }
+
+    #[test]
+    fn execute_counts_and_handles_garbage() {
+        let mut store = KvStore::new();
+        let result = store.execute(&KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() }.encode());
+        assert_eq!(KvResult::decode(&result), Some(KvResult::Ok));
+        let result = store.execute(b"\xffgarbage");
+        assert_eq!(KvResult::decode(&result), Some(KvResult::MalformedOperation));
+        assert_eq!(store.executed_count(), 2);
+    }
+
+    #[test]
+    fn state_digest_reflects_content_not_history() {
+        let mut a = KvStore::new();
+        a.execute(&KvOp::Put { key: b"x".to_vec(), value: b"1".to_vec() }.encode());
+        a.execute(&KvOp::Put { key: b"y".to_vec(), value: b"2".to_vec() }.encode());
+
+        let mut b = KvStore::new();
+        b.execute(&KvOp::Put { key: b"y".to_vec(), value: b"2".to_vec() }.encode());
+        b.execute(&KvOp::Put { key: b"x".to_vec(), value: b"1".to_vec() }.encode());
+
+        // Same content, different insertion order -> same digest.
+        assert_eq!(a.state_digest(), b.state_digest());
+
+        b.execute(&KvOp::Delete { key: b"x".to_vec() }.encode());
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut original = KvStore::new();
+        for i in 0..100u32 {
+            original.execute(
+                &KvOp::Put {
+                    key: format!("key-{i}").into_bytes(),
+                    value: vec![i as u8; (i % 17) as usize],
+                }
+                .encode(),
+            );
+        }
+        let snapshot = original.snapshot();
+
+        let mut restored = KvStore::new();
+        restored.restore(&snapshot);
+        assert_eq!(restored.state_digest(), original.state_digest());
+        assert_eq!(restored.executed_count(), original.executed_count());
+        assert_eq!(restored.len(), original.len());
+
+        // Restoring garbage leaves the store untouched (best effort).
+        let mut untouched = KvStore::new();
+        untouched.restore(&[1, 2, 3]);
+        assert!(untouched.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = KvOp> {
+        let key = proptest::collection::vec(any::<u8>(), 0..16);
+        let value = proptest::collection::vec(any::<u8>(), 0..64);
+        prop_oneof![
+            (key.clone(), value.clone()).prop_map(|(key, value)| KvOp::Put { key, value }),
+            key.clone().prop_map(|key| KvOp::Get { key }),
+            key.clone().prop_map(|key| KvOp::Delete { key }),
+            (key, value).prop_map(|(key, suffix)| KvOp::Append { key, suffix }),
+        ]
+    }
+
+    proptest! {
+        /// Encoding round-trips for arbitrary operations.
+        #[test]
+        fn op_round_trip(op in arb_op()) {
+            prop_assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+
+        /// Two replicas applying the same operation sequence reach the same
+        /// state digest and produce the same results (determinism).
+        #[test]
+        fn replicas_converge(ops in proptest::collection::vec(arb_op(), 0..64)) {
+            let mut a = KvStore::new();
+            let mut b = KvStore::new();
+            for op in &ops {
+                let ra = a.execute(&op.encode());
+                let rb = b.execute(&op.encode());
+                prop_assert_eq!(ra, rb);
+            }
+            prop_assert_eq!(a.state_digest(), b.state_digest());
+        }
+
+        /// Snapshot/restore preserves the digest for arbitrary histories.
+        #[test]
+        fn snapshot_preserves_state(ops in proptest::collection::vec(arb_op(), 0..64)) {
+            let mut store = KvStore::new();
+            for op in &ops {
+                store.execute(&op.encode());
+            }
+            let mut restored = KvStore::new();
+            restored.restore(&store.snapshot());
+            prop_assert_eq!(restored.state_digest(), store.state_digest());
+        }
+    }
+}

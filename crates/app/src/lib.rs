@@ -1,0 +1,27 @@
+//! Replicated application layer.
+//!
+//! SeeMoRe (like every State Machine Replication protocol) is agnostic to
+//! the service being replicated: replicas agree on an order for opaque
+//! operations and each replica applies them to a local copy of the service
+//! state. This crate supplies:
+//!
+//! * [`StateMachine`] — the deterministic-execution contract replicas drive,
+//! * [`KvStore`] — a deterministic key-value store used by the examples and
+//!   integration tests,
+//! * [`NoopApp`] — the micro-benchmark application of the paper's
+//!   evaluation (0/0, 0/4 and 4/0 payload configurations), which executes
+//!   nothing but returns replies of a configurable size,
+//! * [`kv::KvOp`] / [`kv::KvResult`] — a tiny self-describing binary
+//!   encoding for operations and results, so that requests are plain byte
+//!   strings on the wire exactly as the protocol expects.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod kv;
+pub mod noop;
+pub mod state_machine;
+
+pub use kv::{KvOp, KvResult, KvStore};
+pub use noop::NoopApp;
+pub use state_machine::StateMachine;

@@ -1,0 +1,115 @@
+//! The micro-benchmark application used by the paper's evaluation.
+//!
+//! The 0/0, 0/4 and 4/0 benchmarks send requests whose payload and reply are
+//! respectively (0 KB, 0 KB), (0 KB, 4 KB) and (4 KB, 0 KB). [`NoopApp`]
+//! performs no computation; it merely returns a reply of the configured size
+//! so that the protocols' sensitivity to request and reply sizes can be
+//! measured in isolation (Figure 3).
+
+use crate::state_machine::StateMachine;
+use seemore_crypto::Digest;
+
+/// A state machine that ignores operations and returns fixed-size replies.
+#[derive(Debug, Clone)]
+pub struct NoopApp {
+    reply_size: usize,
+    executed: u64,
+}
+
+impl NoopApp {
+    /// Creates a no-op application whose every reply is `reply_size` bytes.
+    pub fn new(reply_size: usize) -> Self {
+        NoopApp { reply_size, executed: 0 }
+    }
+
+    /// The configured reply size in bytes.
+    pub fn reply_size(&self) -> usize {
+        self.reply_size
+    }
+
+    /// Builds the request payload for a given request size, as the workload
+    /// generator does for the 0/0, 0/4 and 4/0 benchmarks.
+    pub fn request_payload(request_size: usize) -> Vec<u8> {
+        vec![0xABu8; request_size]
+    }
+}
+
+impl Default for NoopApp {
+    fn default() -> Self {
+        NoopApp::new(0)
+    }
+}
+
+impl StateMachine for NoopApp {
+    fn execute(&mut self, _op: &[u8]) -> Vec<u8> {
+        self.executed += 1;
+        vec![0xCDu8; self.reply_size]
+    }
+
+    fn state_digest(&self) -> Digest {
+        Digest::of_fields(&[b"noop-app", &self.executed.to_le_bytes()])
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.executed.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        if snapshot.len() >= 8 {
+            self.executed = u64::from_le_bytes(snapshot[..8].try_into().unwrap());
+        }
+    }
+
+    fn executed_count(&self) -> u64 {
+        self.executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_size_is_respected() {
+        let mut zero = NoopApp::new(0);
+        let mut four_kb = NoopApp::new(4096);
+        assert_eq!(zero.execute(b"x").len(), 0);
+        assert_eq!(four_kb.execute(b"x").len(), 4096);
+        assert_eq!(zero.reply_size(), 0);
+        assert_eq!(four_kb.reply_size(), 4096);
+    }
+
+    #[test]
+    fn request_payload_sizes() {
+        assert_eq!(NoopApp::request_payload(0).len(), 0);
+        assert_eq!(NoopApp::request_payload(4096).len(), 4096);
+    }
+
+    #[test]
+    fn digest_tracks_execution_count() {
+        let mut app = NoopApp::default();
+        let d0 = app.state_digest();
+        app.execute(b"ignored");
+        let d1 = app.state_digest();
+        assert_ne!(d0, d1);
+        assert_eq!(app.executed_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut app = NoopApp::new(16);
+        app.execute(b"a");
+        app.execute(b"b");
+        let snapshot = app.snapshot();
+
+        let mut other = NoopApp::new(16);
+        other.restore(&snapshot);
+        assert_eq!(other.executed_count(), 2);
+        assert_eq!(other.state_digest(), app.state_digest());
+
+        // Garbage snapshots are ignored.
+        let mut untouched = NoopApp::new(16);
+        untouched.restore(&[1, 2]);
+        assert_eq!(untouched.executed_count(), 0);
+    }
+}

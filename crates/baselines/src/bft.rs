@@ -1,0 +1,889 @@
+//! The Byzantine fault-tolerant baseline: a PBFT-style replica.
+//!
+//! Used for two lines of the paper's evaluation:
+//!
+//! * **BFT** — [`BaselineConfig::bft`]: `3f + 1` replicas, `2f + 1` quorums,
+//!   the classic PBFT configuration where every failure is treated as
+//!   Byzantine.
+//! * **S-UpRight** — [`crate::config::s_upright`]: the same agreement run
+//!   over the hybrid network of `3m + 2c + 1` replicas with `2m + c + 1`
+//!   quorums and `m + 1` reply quorums, i.e. the UpRight sizing with a
+//!   PBFT-like (pessimistic) protocol, exactly as Section 6 describes.
+//!
+//! Normal case: `PRE-PREPARE` from the primary to everyone, all-to-all
+//! `PREPARE` votes, all-to-all `COMMIT` votes, execution and a reply from
+//! every replica. View change: replicas send `VIEW-CHANGE` evidence to
+//! everyone and the new primary emits a `NEW-VIEW` re-proposing undecided
+//! requests.
+
+use crate::config::BaselineConfig;
+use seemore_app::StateMachine;
+use seemore_core::actions::{Action, Timer};
+use seemore_core::checkpoint::{CheckpointManager, StabilityRule};
+use seemore_core::config::ProtocolConfig;
+use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
+use seemore_core::log::{MessageLog, Proposal};
+use seemore_core::metrics::ReplicaMetrics;
+use seemore_core::protocol::ReplicaProtocol;
+use seemore_crypto::{Digest, KeyStore, Signature, Signer};
+use seemore_types::{
+    ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
+};
+use seemore_wire::{
+    Checkpoint, ClientReply, ClientRequest, Commit, Message, NewView, PbftPrepare,
+    PrePrepare, PrepareCert, SignedPayload, ViewChange, WireSize,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// The pseudo-client used for no-op gap fillers during view changes.
+const NOOP_CLIENT: ClientId = ClientId(u64::MAX);
+
+/// A PBFT-style replica, parameterized by a [`BaselineConfig`].
+pub struct BftReplica {
+    id: ReplicaId,
+    config: BaselineConfig,
+    pconfig: ProtocolConfig,
+    keystore: KeyStore,
+    signer: Signer,
+    view: View,
+    log: MessageLog,
+    exec: ExecutionEngine,
+    checkpoints: CheckpointManager,
+    next_seq: SeqNum,
+    assigned: HashMap<RequestId, SeqNum>,
+    in_view_change: bool,
+    target_view: View,
+    view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
+    new_view_sent: Vec<View>,
+    /// View in which each progress timer was armed (stale timers re-arm
+    /// instead of deposing a freshly installed primary).
+    progress_armed: HashMap<SeqNum, View>,
+    /// View in which each forwarded-request timer was armed.
+    forwarded_armed: HashMap<RequestId, View>,
+    metrics: ReplicaMetrics,
+    crashed: bool,
+}
+
+impl BftReplica {
+    /// Creates a PBFT-style replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the group or the key store has no signer
+    /// for it.
+    pub fn new(
+        id: ReplicaId,
+        config: BaselineConfig,
+        pconfig: ProtocolConfig,
+        keystore: KeyStore,
+        app: Box<dyn StateMachine>,
+    ) -> Self {
+        assert!(config.contains(id), "replica {id} outside the BFT group");
+        let signer = keystore
+            .signer_for(NodeId::Replica(id))
+            .expect("key store must contain a signer for this replica");
+        BftReplica {
+            id,
+            config,
+            pconfig,
+            keystore,
+            signer,
+            view: View::ZERO,
+            log: MessageLog::new(),
+            exec: ExecutionEngine::new(app),
+            checkpoints: CheckpointManager::new(
+                pconfig.checkpoint_period,
+                StabilityRule::Quorum(config.reply_quorum as usize),
+            ),
+            next_seq: SeqNum(0),
+            assigned: HashMap::new(),
+            in_view_change: false,
+            target_view: View::ZERO,
+            view_changes: BTreeMap::new(),
+            new_view_sent: Vec::new(),
+            progress_armed: HashMap::new(),
+            forwarded_armed: HashMap::new(),
+            metrics: ReplicaMetrics::default(),
+            crashed: false,
+        }
+    }
+
+    fn primary(&self) -> ReplicaId {
+        self.config.primary(self.view)
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
+        self.metrics.record_sent(message.kind(), message.wire_size());
+        actions.push(Action::Send { to, message });
+    }
+
+    fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
+        let recipients: Vec<ReplicaId> =
+            self.config.replicas().filter(|r| *r != self.id).collect();
+        for to in recipients {
+            self.metrics.record_sent(message.kind(), message.wire_size());
+            actions.push(Action::Send { to: NodeId::Replica(to), message: message.clone() });
+        }
+    }
+
+    fn verify(&self, replica: ReplicaId, payload: &impl SignedPayload, signature: &Signature) -> bool {
+        self.keystore
+            .verify(NodeId::Replica(replica), &payload.signing_bytes(), signature)
+    }
+
+    fn execute_ready(&mut self, actions: &mut Vec<Action>) {
+        for execution in self.exec.execute_ready() {
+            self.metrics.executed += 1;
+            actions.push(Action::Executed { seq: execution.seq, request: execution.request.id() });
+            actions.push(Action::CancelTimer {
+                timer: Timer::RequestProgress { seq: execution.seq },
+            });
+            actions.push(Action::CancelTimer {
+                timer: Timer::ForwardedRequest { request: execution.request.id() },
+            });
+            self.forwarded_armed.remove(&execution.request.id());
+            if execution.request.client != NOOP_CLIENT {
+                // In PBFT every replica replies; the client waits for f+1
+                // matching replies.
+                let reply = ClientReply::new(
+                    Mode::Peacock,
+                    self.view,
+                    execution.request.id(),
+                    self.id,
+                    execution.result,
+                    &self.signer,
+                );
+                self.send(actions, NodeId::Client(execution.request.client), Message::Reply(reply));
+            }
+        }
+        self.maybe_checkpoint(actions);
+    }
+
+    fn maybe_checkpoint(&mut self, actions: &mut Vec<Action>) {
+        let executed = self.exec.last_executed();
+        if !self.checkpoints.should_checkpoint(executed) {
+            return;
+        }
+        let mut checkpoint = Checkpoint {
+            seq: executed,
+            state_digest: self.exec.state_digest(),
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        checkpoint.signature = self.signer.sign(&checkpoint.signing_bytes());
+        if self.checkpoints.record(checkpoint.clone(), false) {
+            self.metrics.stable_checkpoints += 1;
+            self.log.garbage_collect(self.checkpoints.stable_seq());
+        }
+        self.broadcast(actions, Message::Checkpoint(checkpoint));
+    }
+
+    // --------------------------------------------------------------
+    // Normal case
+    // --------------------------------------------------------------
+
+    fn on_request(&mut self, request: ClientRequest) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.keystore.verify(
+            NodeId::Client(request.client),
+            &request.signing_bytes(),
+            &request.signature,
+        ) {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        if let Some(result) = self.exec.cached_reply(request.client, request.timestamp).cloned() {
+            let reply = ClientReply::new(
+                Mode::Peacock,
+                self.view,
+                request.id(),
+                self.id,
+                result,
+                &self.signer,
+            );
+            self.send(&mut actions, NodeId::Client(request.client), Message::Reply(reply));
+            return actions;
+        }
+        if self.in_view_change {
+            return actions;
+        }
+        if self.is_primary() {
+            let id = request.id();
+            if self.assigned.contains_key(&id) {
+                return actions;
+            }
+            let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
+            if !self.log.in_window(seq, self.pconfig.high_water_mark) {
+                return actions;
+            }
+            self.next_seq = seq;
+            self.assigned.insert(id, seq);
+            let digest = request.digest();
+            let mut preprepare = PrePrepare {
+                view: self.view,
+                seq,
+                digest,
+                request: request.clone(),
+                signature: Signature::INVALID,
+            };
+            preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
+            let instance = self.log.instance_mut(seq);
+            instance.proposal = Some(Proposal {
+                view: self.view,
+                digest,
+                request,
+                primary_signature: preprepare.signature,
+            });
+            // The primary's pre-prepare counts as its prepare vote.
+            instance.record_pbft_prepare(self.id, digest);
+            self.broadcast(&mut actions, Message::PrePrepare(preprepare));
+        } else {
+            let primary = self.primary();
+            let id = request.id();
+            self.send(&mut actions, NodeId::Replica(primary), Message::Request(request));
+            // Only the first forwarding of a request arms the suspicion
+            // timer; client retransmissions must not keep resetting it.
+            if !self.forwarded_armed.contains_key(&id) {
+                self.forwarded_armed.insert(id, self.view);
+                actions.push(Action::SetTimer {
+                    timer: Timer::ForwardedRequest { request: id },
+                    after: self.pconfig.request_timeout,
+                });
+            }
+        }
+        actions
+    }
+
+    fn on_pre_prepare(&mut self, from: NodeId, preprepare: PrePrepare) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.in_view_change
+            || preprepare.view != self.view
+            || from.as_replica() != Some(self.primary())
+            || preprepare.digest != preprepare.request.digest()
+            || !self.verify(self.primary(), &preprepare, &preprepare.signature)
+            || !self.log.in_window(preprepare.seq, self.pconfig.high_water_mark)
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        let seq = preprepare.seq;
+        let digest = preprepare.digest;
+        let primary = self.primary();
+        let my_id = self.id;
+        {
+            let instance = self.log.instance_mut(seq);
+            if let Some(existing) = &instance.proposal {
+                if existing.view == preprepare.view && existing.digest != digest {
+                    // Equivocating primary; ignore (the view change timer
+                    // handles liveness).
+                    self.metrics.rejected_messages += 1;
+                    return actions;
+                }
+            }
+            instance.proposal = Some(Proposal {
+                view: preprepare.view,
+                digest,
+                request: preprepare.request,
+                primary_signature: preprepare.signature,
+            });
+            // Count the primary's implicit prepare vote and our own.
+            instance.record_pbft_prepare(primary, digest);
+            instance.record_pbft_prepare(my_id, digest);
+        }
+        let mut vote = PbftPrepare {
+            view: self.view,
+            seq,
+            digest,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        vote.signature = self.signer.sign(&vote.signing_bytes());
+        self.broadcast(&mut actions, Message::PbftPrepare(vote));
+        self.progress_armed.insert(seq, self.view);
+        actions.push(Action::SetTimer {
+            timer: Timer::RequestProgress { seq },
+            after: self.pconfig.request_timeout,
+        });
+        self.try_prepare(&mut actions, seq, digest);
+        actions
+    }
+
+    fn on_pbft_prepare(&mut self, from: NodeId, vote: PbftPrepare) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if vote.view != self.view
+            || self.in_view_change
+            || sender != vote.replica
+            || !self.verify(sender, &vote, &vote.signature)
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        self.log.instance_mut(vote.seq).record_pbft_prepare(sender, vote.digest);
+        self.try_prepare(&mut actions, vote.seq, vote.digest);
+        actions
+    }
+
+    fn try_prepare(&mut self, actions: &mut Vec<Action>, seq: SeqNum, digest: Digest) {
+        let quorum = self.config.quorum as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.prepared
+            || !instance.proposal_matches(self.view, &digest)
+            || instance.pbft_prepares.values().filter(|d| **d == digest).count() < quorum
+        {
+            return;
+        }
+        instance.prepared = true;
+        instance.record_commit(self.id, digest);
+        let mut commit = Commit {
+            view: self.view,
+            seq,
+            digest,
+            replica: self.id,
+            request: None,
+            signature: Signature::INVALID,
+        };
+        commit.signature = self.signer.sign(&commit.signing_bytes());
+        self.broadcast(actions, Message::Commit(commit));
+        self.try_commit(actions, seq, digest);
+    }
+
+    fn on_commit(&mut self, from: NodeId, commit: Commit) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if commit.view != self.view
+            || self.in_view_change
+            || sender != commit.replica
+            || !self.verify(sender, &commit, &commit.signature)
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        self.log.instance_mut(commit.seq).record_commit(sender, commit.digest);
+        self.try_commit(&mut actions, commit.seq, commit.digest);
+        actions
+    }
+
+    fn try_commit(&mut self, actions: &mut Vec<Action>, seq: SeqNum, digest: Digest) {
+        let quorum = self.config.quorum as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.committed
+            || !instance.prepared
+            || !instance.proposal_matches(self.view, &digest)
+            || instance.matching_commits(&digest) < quorum
+        {
+            return;
+        }
+        instance.committed = true;
+        let request = instance.proposal.as_ref().map(|p| p.request.clone());
+        if let Some(request) = request {
+            self.metrics.committed += 1;
+            self.exec.add_committed(seq, request);
+            self.execute_ready(actions);
+        }
+        actions.push(Action::CancelTimer { timer: Timer::RequestProgress { seq } });
+    }
+
+    fn on_checkpoint(&mut self, from: NodeId, checkpoint: Checkpoint) -> Vec<Action> {
+        let Some(sender) = from.as_replica() else { return Vec::new() };
+        if sender != checkpoint.replica || !self.verify(sender, &checkpoint, &checkpoint.signature)
+        {
+            self.metrics.rejected_messages += 1;
+            return Vec::new();
+        }
+        if self.checkpoints.record(checkpoint, false) {
+            self.metrics.stable_checkpoints += 1;
+            self.log.garbage_collect(self.checkpoints.stable_seq());
+        }
+        Vec::new()
+    }
+
+    // --------------------------------------------------------------
+    // View change
+    // --------------------------------------------------------------
+
+    fn start_view_change(&mut self, target: View) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.in_view_change && self.target_view >= target {
+            return actions;
+        }
+        self.in_view_change = true;
+        self.target_view = target;
+        self.metrics.view_changes_started += 1;
+
+        let stable = self.checkpoints.stable_seq();
+        let mut prepares = Vec::new();
+        for (seq, instance) in self.log.instances_after(stable) {
+            // PBFT carries certificates for *prepared* requests; committed
+            // ones are re-proposed too so lagging replicas catch up.
+            if !(instance.prepared || instance.committed) {
+                continue;
+            }
+            let Some(proposal) = &instance.proposal else { continue };
+            prepares.push(PrepareCert {
+                view: proposal.view,
+                seq: *seq,
+                digest: proposal.digest,
+                primary_signature: proposal.primary_signature,
+                request: Some(proposal.request.clone()),
+            });
+        }
+        let mut view_change = ViewChange {
+            new_view: target,
+            mode: Mode::Peacock,
+            stable_seq: stable,
+            checkpoint_proof: self.checkpoints.stable_proof().to_vec(),
+            prepares,
+            commits: Vec::new(),
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        view_change.signature = self.signer.sign(&view_change.signing_bytes());
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(self.id, view_change.clone());
+        self.broadcast(&mut actions, Message::ViewChange(view_change));
+        actions.push(Action::SetTimer {
+            timer: Timer::ViewChange { view: target },
+            after: self.pconfig.view_change_timeout,
+        });
+        self.try_assemble(&mut actions, target);
+        actions
+    }
+
+    fn on_view_change(&mut self, from: NodeId, view_change: ViewChange) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if view_change.new_view <= self.view
+            || sender != view_change.replica
+            || !self.verify(sender, &view_change, &view_change.signature)
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        let target = view_change.new_view;
+        self.view_changes.entry(target).or_default().insert(sender, view_change);
+        // PBFT liveness rule: join once more than `f` replicas voted for a
+        // newer view.
+        let votes = self.view_changes.get(&target).map(|v| v.len()).unwrap_or(0);
+        if !self.in_view_change && votes > self.config.fault_bound as usize {
+            actions.extend(self.start_view_change(target));
+        }
+        self.try_assemble(&mut actions, target);
+        actions
+    }
+
+    fn try_assemble(&mut self, actions: &mut Vec<Action>, target: View) {
+        if self.config.primary(target) != self.id
+            || self.new_view_sent.contains(&target)
+            || target <= self.view
+        {
+            return;
+        }
+        let threshold = self.config.view_change_threshold() as usize;
+        let Some(votes) = self.view_changes.get(&target) else { return };
+        let others = votes.keys().filter(|r| **r != self.id).count();
+        if others < threshold {
+            return;
+        }
+        self.new_view_sent.push(target);
+        let votes: Vec<ViewChange> = votes.values().cloned().collect();
+
+        let mut low = self.checkpoints.stable_seq();
+        let mut best_checkpoint = self.checkpoints.stable_proof().first().cloned();
+        for vote in &votes {
+            if vote.stable_seq > low {
+                low = vote.stable_seq;
+                best_checkpoint = vote.checkpoint_proof.first().cloned();
+            }
+        }
+        let mut high = low;
+        for vote in &votes {
+            for cert in &vote.prepares {
+                high = high.max(cert.seq);
+            }
+        }
+
+        let mut prepares_out = Vec::new();
+        let mut seq = low.next();
+        while seq <= high {
+            let prepared = votes.iter().flat_map(|v| v.prepares.iter()).find(|p| {
+                p.seq == seq
+                    && p.request
+                        .as_ref()
+                        .map(|r| {
+                            r.digest() == p.digest
+                                && (r.client == NOOP_CLIENT
+                                    || self.keystore.verify(
+                                        NodeId::Client(r.client),
+                                        &r.signing_bytes(),
+                                        &r.signature,
+                                    ))
+                        })
+                        .unwrap_or(false)
+            });
+            if let Some(cert) = prepared {
+                prepares_out.push(cert.clone());
+            } else {
+                let request = ClientRequest {
+                    client: NOOP_CLIENT,
+                    timestamp: Timestamp(seq.0),
+                    operation: Vec::new(),
+                    signature: Signature::INVALID,
+                };
+                prepares_out.push(PrepareCert {
+                    view: self.view,
+                    seq,
+                    digest: request.digest(),
+                    primary_signature: Signature::INVALID,
+                    request: Some(request),
+                });
+            }
+            seq = seq.next();
+        }
+
+        let mut new_view = NewView {
+            view: target,
+            mode: Mode::Peacock,
+            prepares: prepares_out,
+            commits: Vec::new(),
+            checkpoint: best_checkpoint,
+            view_change_proof: votes,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        new_view.signature = self.signer.sign(&new_view.signing_bytes());
+        self.broadcast(actions, Message::NewView(new_view.clone()));
+        self.install_new_view(actions, new_view);
+    }
+
+    fn on_new_view(&mut self, from: NodeId, new_view: NewView) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if new_view.view <= self.view
+            || sender != self.config.primary(new_view.view)
+            || sender != new_view.replica
+            || !self.verify(sender, &new_view, &new_view.signature)
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        self.install_new_view(&mut actions, new_view);
+        actions
+    }
+
+    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
+        actions.push(Action::CancelTimer { timer: Timer::ViewChange { view: new_view.view } });
+        self.view = new_view.view;
+        self.in_view_change = false;
+        self.metrics.view_changes_completed += 1;
+        self.assigned.clear();
+        self.view_changes.retain(|view, _| *view > new_view.view);
+        self.log.reset_votes_for_new_view();
+
+        if let Some(cp) = &new_view.checkpoint {
+            if cp.seq > self.checkpoints.stable_seq() {
+                self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                self.log.garbage_collect(cp.seq);
+            }
+        }
+        let mut highest = self.checkpoints.stable_seq().max(self.exec.last_executed());
+        let i_am_primary = self.config.primary(new_view.view) == self.id;
+        for cert in &new_view.prepares {
+            highest = highest.max(cert.seq);
+            let Some(request) = cert.request.clone() else { continue };
+            let digest = cert.digest;
+            let seq = cert.seq;
+            {
+                let instance = self.log.instance_mut(seq);
+                if instance.committed {
+                    continue;
+                }
+                instance.proposal = Some(Proposal {
+                    view: new_view.view,
+                    digest,
+                    request,
+                    primary_signature: cert.primary_signature,
+                });
+                instance.record_pbft_prepare(self.config.primary(new_view.view), digest);
+                instance.record_pbft_prepare(self.id, digest);
+            }
+            if !i_am_primary {
+                let mut vote = PbftPrepare {
+                    view: new_view.view,
+                    seq,
+                    digest,
+                    replica: self.id,
+                    signature: Signature::INVALID,
+                };
+                vote.signature = self.signer.sign(&vote.signing_bytes());
+                self.broadcast(actions, Message::PbftPrepare(vote));
+            }
+        }
+        self.next_seq = highest;
+        self.execute_ready(actions);
+    }
+}
+
+impl ReplicaProtocol for BftReplica {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_message(&mut self, from: NodeId, message: Message, _now: Instant) -> Vec<Action> {
+        if self.crashed {
+            return Vec::new();
+        }
+        self.metrics.record_received(message.kind());
+        match message {
+            Message::Request(request) => self.on_request(request),
+            Message::PrePrepare(preprepare) => self.on_pre_prepare(from, preprepare),
+            Message::PbftPrepare(vote) => self.on_pbft_prepare(from, vote),
+            Message::Commit(commit) => self.on_commit(from, commit),
+            Message::Checkpoint(checkpoint) => self.on_checkpoint(from, checkpoint),
+            Message::ViewChange(view_change) => self.on_view_change(from, view_change),
+            Message::NewView(new_view) => self.on_new_view(from, new_view),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, _now: Instant) -> Vec<Action> {
+        if self.crashed {
+            return Vec::new();
+        }
+        match timer {
+            Timer::RequestProgress { seq } => {
+                let committed = self
+                    .log
+                    .instance(seq)
+                    .map(|i| i.committed)
+                    .unwrap_or(seq <= self.exec.last_executed());
+                if committed || self.in_view_change {
+                    return Vec::new();
+                }
+                let armed = self.progress_armed.get(&seq).copied().unwrap_or(View::ZERO);
+                if armed < self.view {
+                    // A newer view was installed since this timer was armed;
+                    // give the new primary a full timeout first.
+                    self.progress_armed.insert(seq, self.view);
+                    return vec![Action::SetTimer {
+                        timer: Timer::RequestProgress { seq },
+                        after: self.pconfig.request_timeout,
+                    }];
+                }
+                self.start_view_change(self.view.next())
+            }
+            Timer::ForwardedRequest { request } => {
+                if self.exec.cached_reply(request.client, request.timestamp).is_some()
+                    || self.in_view_change
+                {
+                    return Vec::new();
+                }
+                let armed = self.forwarded_armed.get(&request).copied().unwrap_or(View::ZERO);
+                if armed < self.view {
+                    self.forwarded_armed.insert(request, self.view);
+                    return vec![Action::SetTimer {
+                        timer: Timer::ForwardedRequest { request },
+                        after: self.pconfig.request_timeout,
+                    }];
+                }
+                self.start_view_change(self.view.next())
+            }
+            Timer::ViewChange { view } => {
+                if self.in_view_change && self.view < view {
+                    self.start_view_change(view.next())
+                } else {
+                    Vec::new()
+                }
+            }
+            Timer::ClientRetransmit { .. } => Vec::new(),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.view
+    }
+
+    fn mode(&self) -> Mode {
+        Mode::Peacock
+    }
+
+    fn executed(&self) -> &[ExecutedEntry] {
+        self.exec.history()
+    }
+
+    fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn crash(&mut self) {
+        self.crashed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::BaselineClient;
+    use crate::config::s_upright;
+    use seemore_app::KvStore;
+    use seemore_core::byzantine::{ByzantineBehavior, ByzantineReplica};
+    use seemore_core::testkit::SyncCluster;
+    use seemore_types::Duration;
+
+    const LIMIT: u64 = 200_000;
+
+    fn build(config: BaselineConfig, byzantine: Option<(ReplicaId, ByzantineBehavior)>) -> SyncCluster {
+        let keystore = KeyStore::generate(21, config.network_size, 2);
+        let mut cluster = SyncCluster::new();
+        for replica in config.replicas() {
+            let core = BftReplica::new(
+                replica,
+                config,
+                ProtocolConfig::default(),
+                keystore.clone(),
+                Box::new(KvStore::new()),
+            );
+            match byzantine {
+                Some((id, behavior)) if id == replica => {
+                    cluster.add_replica(Box::new(ByzantineReplica::new(core, behavior)));
+                }
+                _ => cluster.add_replica(Box::new(core)),
+            }
+        }
+        for client in 0..2u64 {
+            cluster.add_client(BaselineClient::new(
+                ClientId(client),
+                config,
+                keystore.clone(),
+                Duration::from_millis(100),
+            ));
+        }
+        cluster
+    }
+
+    #[test]
+    fn bft_commits_requests_on_all_replicas() {
+        let config = BaselineConfig::bft(1);
+        let mut cluster = build(config, None);
+        cluster.submit(ClientId(0), b"op".to_vec());
+        cluster.run_to_quiescence(LIMIT);
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 1);
+        for replica in config.replicas() {
+            assert_eq!(cluster.replica(replica).executed().len(), 1, "{replica}");
+        }
+    }
+
+    #[test]
+    fn s_upright_commits_with_hybrid_sizing() {
+        let config = s_upright(1, 1);
+        let mut cluster = build(config, None);
+        for i in 0..4 {
+            cluster.submit(ClientId(0), format!("op{i}").into_bytes());
+            cluster.run_to_quiescence(LIMIT);
+        }
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 4);
+        for replica in config.replicas() {
+            assert_eq!(cluster.replica(replica).executed().len(), 4, "{replica}");
+        }
+    }
+
+    #[test]
+    fn bft_tolerates_a_silent_byzantine_backup() {
+        let config = BaselineConfig::bft(1);
+        let mut cluster = build(config, Some((ReplicaId(3), ByzantineBehavior::Silent)));
+        for i in 0..3 {
+            cluster.submit(ClientId(0), format!("op{i}").into_bytes());
+            cluster.run_to_quiescence(LIMIT);
+        }
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 3);
+    }
+
+    #[test]
+    fn bft_tolerates_conflicting_votes() {
+        let config = s_upright(1, 1);
+        let byz = ReplicaId(config.network_size - 1);
+        let mut cluster = build(config, Some((byz, ByzantineBehavior::ConflictingVotes)));
+        for i in 0..3 {
+            cluster.submit(ClientId(0), format!("op{i}").into_bytes());
+            cluster.run_to_quiescence(LIMIT);
+            if cluster.client(ClientId(0)).has_pending() {
+                cluster.fire_client_timers(LIMIT);
+                cluster.run_to_quiescence(LIMIT);
+            }
+        }
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 3);
+        // Histories of honest replicas agree.
+        let honest: Vec<ReplicaId> = config.replicas().filter(|r| *r != byz).collect();
+        for window in honest.windows(2) {
+            let a = cluster.replica(window[0]).executed();
+            let b = cluster.replica(window[1]).executed();
+            for i in 0..a.len().min(b.len()) {
+                assert_eq!(a[i].digest, b[i].digest);
+            }
+        }
+    }
+
+    #[test]
+    fn bft_primary_crash_triggers_view_change() {
+        let config = BaselineConfig::bft(1);
+        let mut cluster = build(config, None);
+        cluster.submit(ClientId(0), b"first".to_vec());
+        cluster.run_to_quiescence(LIMIT);
+        cluster.replica_mut(ReplicaId(0)).crash();
+
+        cluster.submit(ClientId(0), b"second".to_vec());
+        cluster.run_to_quiescence(LIMIT);
+        cluster.fire_client_timers(LIMIT);
+        cluster.fire_all_timers(LIMIT);
+        cluster.run_to_quiescence(LIMIT);
+        cluster.fire_client_timers(LIMIT);
+        cluster.run_to_quiescence(LIMIT);
+        cluster.fire_client_timers(LIMIT);
+        cluster.run_to_quiescence(LIMIT);
+
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 2);
+        assert!(cluster.replica(ReplicaId(1)).view() > View(0));
+    }
+
+    #[test]
+    fn bft_checkpoints_reach_stability_via_quorum() {
+        let config = BaselineConfig::bft(1);
+        let keystore = KeyStore::generate(22, config.network_size, 1);
+        let mut cluster = SyncCluster::new();
+        for replica in config.replicas() {
+            cluster.add_replica(Box::new(BftReplica::new(
+                replica,
+                config,
+                ProtocolConfig::with_checkpoint_period(2),
+                keystore.clone(),
+                Box::new(KvStore::new()),
+            )));
+        }
+        cluster.add_client(BaselineClient::new(
+            ClientId(0),
+            config,
+            keystore,
+            Duration::from_millis(100),
+        ));
+        for i in 0..6 {
+            cluster.submit(ClientId(0), format!("op{i}").into_bytes());
+            cluster.run_to_quiescence(LIMIT);
+        }
+        for replica in config.replicas() {
+            assert!(
+                cluster.replica(replica).metrics().stable_checkpoints >= 1,
+                "{replica} never stabilized a checkpoint"
+            );
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! The crash fault-tolerant baseline: a Multi-Paxos-style, leader-driven
+//! protocol over `2f + 1` replicas (the paper's "CFT" line, i.e. the Paxos
+//! configuration of BFT-SMaRt).
+//!
+//! Normal case (two phases, linear messages, no signatures):
+//!
+//! 1. the client sends its request to the leader,
+//! 2. the leader assigns a sequence number and broadcasts a `PREPARE`,
+//! 3. backups answer with an `ACCEPT` to the leader,
+//! 4. after `f` accepts (plus its own) the leader broadcasts a `COMMIT`,
+//!    executes and replies to the client.
+//!
+//! View changes follow the same pattern as SeeMoRe's Lion mode but without
+//! any cryptographic evidence (crash faults cannot forge messages).
+
+use crate::config::BaselineConfig;
+use seemore_app::StateMachine;
+use seemore_core::actions::{Action, Timer};
+use seemore_core::checkpoint::{CheckpointManager, StabilityRule};
+use seemore_core::config::ProtocolConfig;
+use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
+use seemore_core::log::{MessageLog, Proposal};
+use seemore_core::metrics::ReplicaMetrics;
+use seemore_core::protocol::ReplicaProtocol;
+use seemore_crypto::Signature;
+use seemore_types::{
+    Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
+};
+use seemore_wire::{
+    Accept, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message, NewView,
+    Prepare, PrepareCert, ViewChange, WireSize,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// The pseudo-client used for no-op gap fillers during view changes.
+const NOOP_CLIENT: seemore_types::ClientId = seemore_types::ClientId(u64::MAX);
+
+/// A crash fault-tolerant (Paxos-style) replica.
+pub struct CftReplica {
+    id: ReplicaId,
+    config: BaselineConfig,
+    pconfig: ProtocolConfig,
+    view: View,
+    log: MessageLog,
+    exec: ExecutionEngine,
+    checkpoints: CheckpointManager,
+    next_seq: SeqNum,
+    assigned: HashMap<RequestId, SeqNum>,
+    in_view_change: bool,
+    target_view: View,
+    view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
+    new_view_sent: Vec<View>,
+    /// Requests whose suspicion timer is already armed (re-forwarded client
+    /// retransmissions must not reset it).
+    forwarded_watch: std::collections::HashSet<RequestId>,
+    metrics: ReplicaMetrics,
+    crashed: bool,
+}
+
+impl CftReplica {
+    /// Creates a CFT replica.
+    pub fn new(
+        id: ReplicaId,
+        config: BaselineConfig,
+        pconfig: ProtocolConfig,
+        app: Box<dyn StateMachine>,
+    ) -> Self {
+        assert!(config.contains(id), "replica {id} outside the CFT group");
+        CftReplica {
+            id,
+            config,
+            pconfig,
+            view: View::ZERO,
+            log: MessageLog::new(),
+            exec: ExecutionEngine::new(app),
+            checkpoints: CheckpointManager::new(
+                pconfig.checkpoint_period,
+                StabilityRule::TrustedSigner,
+            ),
+            next_seq: SeqNum(0),
+            assigned: HashMap::new(),
+            in_view_change: false,
+            target_view: View::ZERO,
+            view_changes: BTreeMap::new(),
+            new_view_sent: Vec::new(),
+            forwarded_watch: std::collections::HashSet::new(),
+            metrics: ReplicaMetrics::default(),
+            crashed: false,
+        }
+    }
+
+    fn primary(&self) -> ReplicaId {
+        self.config.primary(self.view)
+    }
+
+    fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
+        self.metrics.record_sent(message.kind(), message.wire_size());
+        actions.push(Action::Send { to, message });
+    }
+
+    fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
+        let recipients: Vec<ReplicaId> =
+            self.config.replicas().filter(|r| *r != self.id).collect();
+        for to in recipients {
+            self.metrics.record_sent(message.kind(), message.wire_size());
+            actions.push(Action::Send { to: NodeId::Replica(to), message: message.clone() });
+        }
+    }
+
+    fn make_reply(&self, request: &ClientRequest, result: Vec<u8>) -> ClientReply {
+        // Crash-only deployments do not sign replies (the paper's CFT line
+        // pays no cryptography cost).
+        ClientReply {
+            mode: Mode::Lion,
+            view: self.view,
+            request: request.id(),
+            replica: self.id,
+            result,
+            signature: Signature::INVALID,
+        }
+    }
+
+    fn execute_ready(&mut self, actions: &mut Vec<Action>) {
+        let should_reply = self.is_primary();
+        for execution in self.exec.execute_ready() {
+            self.metrics.executed += 1;
+            actions.push(Action::Executed { seq: execution.seq, request: execution.request.id() });
+            actions.push(Action::CancelTimer {
+                timer: Timer::RequestProgress { seq: execution.seq },
+            });
+            actions.push(Action::CancelTimer {
+                timer: Timer::ForwardedRequest { request: execution.request.id() },
+            });
+            self.forwarded_watch.remove(&execution.request.id());
+            if should_reply && execution.request.client != NOOP_CLIENT {
+                let reply = self.make_reply(&execution.request, execution.result);
+                self.send(actions, NodeId::Client(execution.request.client), Message::Reply(reply));
+            }
+        }
+        self.maybe_checkpoint(actions);
+    }
+
+    fn maybe_checkpoint(&mut self, actions: &mut Vec<Action>) {
+        let executed = self.exec.last_executed();
+        if !self.checkpoints.should_checkpoint(executed) || !self.is_primary() {
+            return;
+        }
+        let checkpoint = Checkpoint {
+            seq: executed,
+            state_digest: self.exec.state_digest(),
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        if self.checkpoints.record(checkpoint.clone(), true) {
+            self.metrics.stable_checkpoints += 1;
+            self.log.garbage_collect(self.checkpoints.stable_seq());
+        }
+        self.broadcast(actions, Message::Checkpoint(checkpoint));
+    }
+
+    // --------------------------------------------------------------
+    // Normal case
+    // --------------------------------------------------------------
+
+    fn on_request(&mut self, request: ClientRequest) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if let Some(result) = self.exec.cached_reply(request.client, request.timestamp).cloned() {
+            let reply = self.make_reply(&request, result);
+            self.send(&mut actions, NodeId::Client(request.client), Message::Reply(reply));
+            return actions;
+        }
+        if self.in_view_change {
+            return actions;
+        }
+        if self.is_primary() {
+            let id = request.id();
+            if self.assigned.contains_key(&id) {
+                return actions;
+            }
+            let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
+            if !self.log.in_window(seq, self.pconfig.high_water_mark) {
+                return actions;
+            }
+            self.next_seq = seq;
+            self.assigned.insert(id, seq);
+            let digest = request.digest();
+            let prepare = Prepare {
+                view: self.view,
+                seq,
+                digest,
+                request: request.clone(),
+                signature: Signature::INVALID,
+            };
+            self.log.instance_mut(seq).proposal = Some(Proposal {
+                view: self.view,
+                digest,
+                request,
+                primary_signature: Signature::INVALID,
+            });
+            self.broadcast(&mut actions, Message::Prepare(prepare));
+        } else {
+            let primary = self.primary();
+            let id = request.id();
+            self.send(&mut actions, NodeId::Replica(primary), Message::Request(request));
+            if self.forwarded_watch.insert(id) {
+                actions.push(Action::SetTimer {
+                    timer: Timer::ForwardedRequest { request: id },
+                    after: self.pconfig.request_timeout,
+                });
+            }
+        }
+        actions
+    }
+
+    fn on_prepare(&mut self, from: NodeId, prepare: Prepare) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.in_view_change
+            || prepare.view != self.view
+            || from.as_replica() != Some(self.primary())
+            || prepare.digest != prepare.request.digest()
+            || !self.log.in_window(prepare.seq, self.pconfig.high_water_mark)
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        let seq = prepare.seq;
+        let digest = prepare.digest;
+        self.log.instance_mut(seq).proposal = Some(Proposal {
+            view: prepare.view,
+            digest,
+            request: prepare.request,
+            primary_signature: Signature::INVALID,
+        });
+        let accept = Accept { view: self.view, seq, digest, replica: self.id, signature: None };
+        let primary = self.primary();
+        self.send(&mut actions, NodeId::Replica(primary), Message::Accept(accept));
+        actions.push(Action::SetTimer {
+            timer: Timer::RequestProgress { seq },
+            after: self.pconfig.request_timeout,
+        });
+        actions
+    }
+
+    fn on_accept(&mut self, from: NodeId, accept: Accept) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if !self.is_primary() || accept.view != self.view || self.in_view_change {
+            return actions;
+        }
+        let threshold = self.config.quorum.saturating_sub(1) as usize;
+        let instance = self.log.instance_mut(accept.seq);
+        if !instance.proposal_matches(accept.view, &accept.digest) {
+            return actions;
+        }
+        instance.record_accept(sender, accept.digest);
+        if instance.commit_sent || instance.matching_accepts(&accept.digest) < threshold {
+            return actions;
+        }
+        instance.commit_sent = true;
+        instance.committed = true;
+        let request = instance.proposal.as_ref().map(|p| p.request.clone());
+        let commit = Commit {
+            view: self.view,
+            seq: accept.seq,
+            digest: accept.digest,
+            replica: self.id,
+            request: request.clone(),
+            signature: Signature::INVALID,
+        };
+        self.broadcast(&mut actions, Message::Commit(commit));
+        if let Some(request) = request {
+            self.metrics.committed += 1;
+            self.exec.add_committed(accept.seq, request);
+            self.execute_ready(&mut actions);
+        }
+        actions
+    }
+
+    fn on_commit(&mut self, from: NodeId, commit: Commit) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if from.as_replica() != Some(self.primary())
+            || commit.view != self.view
+            || self.in_view_change
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        let instance = self.log.instance_mut(commit.seq);
+        if instance.committed {
+            return actions;
+        }
+        instance.committed = true;
+        let request =
+            commit.request.or_else(|| instance.proposal.as_ref().map(|p| p.request.clone()));
+        if let Some(request) = request {
+            self.metrics.committed += 1;
+            self.exec.add_committed(commit.seq, request);
+            self.execute_ready(&mut actions);
+        }
+        actions
+    }
+
+    fn on_checkpoint(&mut self, checkpoint: Checkpoint) -> Vec<Action> {
+        if self.checkpoints.record(checkpoint, true) {
+            self.metrics.stable_checkpoints += 1;
+            self.log.garbage_collect(self.checkpoints.stable_seq());
+        }
+        Vec::new()
+    }
+
+    // --------------------------------------------------------------
+    // View change
+    // --------------------------------------------------------------
+
+    fn start_view_change(&mut self, target: View) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.in_view_change && self.target_view >= target {
+            return actions;
+        }
+        self.in_view_change = true;
+        self.target_view = target;
+        self.metrics.view_changes_started += 1;
+
+        let stable = self.checkpoints.stable_seq();
+        let mut prepares = Vec::new();
+        let mut commits = Vec::new();
+        for (seq, instance) in self.log.instances_after(stable) {
+            let Some(proposal) = &instance.proposal else { continue };
+            let cert = PrepareCert {
+                view: proposal.view,
+                seq: *seq,
+                digest: proposal.digest,
+                primary_signature: Signature::INVALID,
+                request: Some(proposal.request.clone()),
+            };
+            if instance.committed {
+                commits.push(CommitCert {
+                    view: proposal.view,
+                    seq: *seq,
+                    digest: proposal.digest,
+                    primary_signature: Signature::INVALID,
+                    request: Some(proposal.request.clone()),
+                });
+            } else {
+                prepares.push(cert);
+            }
+        }
+        let view_change = ViewChange {
+            new_view: target,
+            mode: Mode::Lion,
+            stable_seq: stable,
+            checkpoint_proof: self.checkpoints.stable_proof().to_vec(),
+            prepares,
+            commits,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(self.id, view_change.clone());
+        self.broadcast(&mut actions, Message::ViewChange(view_change));
+        actions.push(Action::SetTimer {
+            timer: Timer::ViewChange { view: target },
+            after: self.pconfig.view_change_timeout,
+        });
+        self.try_assemble(&mut actions, target);
+        actions
+    }
+
+    fn on_view_change(&mut self, from: NodeId, view_change: ViewChange) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if view_change.new_view <= self.view {
+            return actions;
+        }
+        let target = view_change.new_view;
+        self.view_changes.entry(target).or_default().insert(sender, view_change);
+        // Join once anyone else asked for a newer view (crash faults cannot
+        // lie, so a single vote is trustworthy).
+        if !self.in_view_change {
+            actions.extend(self.start_view_change(target));
+        }
+        self.try_assemble(&mut actions, target);
+        actions
+    }
+
+    fn try_assemble(&mut self, actions: &mut Vec<Action>, target: View) {
+        if self.config.primary(target) != self.id
+            || self.new_view_sent.contains(&target)
+            || target <= self.view
+        {
+            return;
+        }
+        let threshold = self.config.view_change_threshold() as usize;
+        let Some(votes) = self.view_changes.get(&target) else { return };
+        let others = votes.keys().filter(|r| **r != self.id).count();
+        if others < threshold {
+            return;
+        }
+        self.new_view_sent.push(target);
+        let votes: Vec<ViewChange> = votes.values().cloned().collect();
+
+        let mut low = self.checkpoints.stable_seq();
+        let mut best_checkpoint = self.checkpoints.stable_proof().first().cloned();
+        for vote in &votes {
+            if vote.stable_seq > low {
+                low = vote.stable_seq;
+                best_checkpoint = vote.checkpoint_proof.first().cloned();
+            }
+        }
+        let mut high = low;
+        for vote in &votes {
+            for cert in &vote.prepares {
+                high = high.max(cert.seq);
+            }
+            for cert in &vote.commits {
+                high = high.max(cert.seq);
+            }
+        }
+
+        let mut prepares_out = Vec::new();
+        let mut commits_out = Vec::new();
+        let mut seq = low.next();
+        while seq <= high {
+            let committed = votes.iter().flat_map(|v| v.commits.iter()).find(|c| c.seq == seq);
+            let prepared = votes.iter().flat_map(|v| v.prepares.iter()).find(|p| p.seq == seq);
+            if let Some(cert) = committed {
+                commits_out.push(cert.clone());
+            } else if let Some(cert) = prepared {
+                prepares_out.push(cert.clone());
+            } else {
+                let request = ClientRequest {
+                    client: NOOP_CLIENT,
+                    timestamp: Timestamp(seq.0),
+                    operation: Vec::new(),
+                    signature: Signature::INVALID,
+                };
+                prepares_out.push(PrepareCert {
+                    view: self.view,
+                    seq,
+                    digest: request.digest(),
+                    primary_signature: Signature::INVALID,
+                    request: Some(request),
+                });
+            }
+            seq = seq.next();
+        }
+
+        let new_view = NewView {
+            view: target,
+            mode: Mode::Lion,
+            prepares: prepares_out,
+            commits: commits_out,
+            checkpoint: best_checkpoint,
+            view_change_proof: Vec::new(),
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        self.broadcast(actions, Message::NewView(new_view.clone()));
+        self.install_new_view(actions, new_view);
+    }
+
+    fn on_new_view(&mut self, from: NodeId, new_view: NewView) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if new_view.view <= self.view
+            || from.as_replica() != Some(self.config.primary(new_view.view))
+        {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        self.install_new_view(&mut actions, new_view);
+        actions
+    }
+
+    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
+        actions.push(Action::CancelTimer { timer: Timer::ViewChange { view: new_view.view } });
+        self.view = new_view.view;
+        self.in_view_change = false;
+        self.metrics.view_changes_completed += 1;
+        self.assigned.clear();
+        self.view_changes.retain(|view, _| *view > new_view.view);
+        self.log.reset_votes_for_new_view();
+
+        if let Some(cp) = &new_view.checkpoint {
+            if cp.seq > self.checkpoints.stable_seq() {
+                self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                self.log.garbage_collect(cp.seq);
+            }
+        }
+        let mut highest = self.checkpoints.stable_seq().max(self.exec.last_executed());
+        for cert in &new_view.commits {
+            highest = highest.max(cert.seq);
+            self.log.instance_mut(cert.seq).committed = true;
+            if let Some(request) = cert.request.clone() {
+                self.exec.add_committed(cert.seq, request);
+            }
+        }
+        let i_am_primary = self.config.primary(new_view.view) == self.id;
+        for cert in &new_view.prepares {
+            highest = highest.max(cert.seq);
+            let Some(request) = cert.request.clone() else { continue };
+            let instance = self.log.instance_mut(cert.seq);
+            if instance.committed {
+                continue;
+            }
+            instance.proposal = Some(Proposal {
+                view: new_view.view,
+                digest: cert.digest,
+                request,
+                primary_signature: Signature::INVALID,
+            });
+            if !i_am_primary {
+                let accept = Accept {
+                    view: new_view.view,
+                    seq: cert.seq,
+                    digest: cert.digest,
+                    replica: self.id,
+                    signature: None,
+                };
+                let primary = self.config.primary(new_view.view);
+                self.send(actions, NodeId::Replica(primary), Message::Accept(accept));
+            }
+        }
+        self.next_seq = highest;
+        self.execute_ready(actions);
+    }
+}
+
+impl ReplicaProtocol for CftReplica {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_message(&mut self, from: NodeId, message: Message, _now: Instant) -> Vec<Action> {
+        if self.crashed {
+            return Vec::new();
+        }
+        self.metrics.record_received(message.kind());
+        match message {
+            Message::Request(request) => self.on_request(request),
+            Message::Prepare(prepare) => self.on_prepare(from, prepare),
+            Message::Accept(accept) => self.on_accept(from, accept),
+            Message::Commit(commit) => self.on_commit(from, commit),
+            Message::Checkpoint(checkpoint) => self.on_checkpoint(checkpoint),
+            Message::ViewChange(view_change) => self.on_view_change(from, view_change),
+            Message::NewView(new_view) => self.on_new_view(from, new_view),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, _now: Instant) -> Vec<Action> {
+        if self.crashed {
+            return Vec::new();
+        }
+        match timer {
+            Timer::RequestProgress { seq } => {
+                let committed = self
+                    .log
+                    .instance(seq)
+                    .map(|i| i.committed)
+                    .unwrap_or(seq <= self.exec.last_executed());
+                if committed || self.in_view_change {
+                    Vec::new()
+                } else {
+                    self.start_view_change(self.view.next())
+                }
+            }
+            Timer::ForwardedRequest { request } => {
+                if self.exec.cached_reply(request.client, request.timestamp).is_some()
+                    || self.in_view_change
+                {
+                    Vec::new()
+                } else {
+                    self.start_view_change(self.view.next())
+                }
+            }
+            Timer::ViewChange { view } => {
+                if self.in_view_change && self.view < view {
+                    self.start_view_change(view.next())
+                } else {
+                    Vec::new()
+                }
+            }
+            Timer::ClientRetransmit { .. } => Vec::new(),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.view
+    }
+
+    fn mode(&self) -> Mode {
+        Mode::Lion
+    }
+
+    fn executed(&self) -> &[ExecutedEntry] {
+        self.exec.history()
+    }
+
+    fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn crash(&mut self) {
+        self.crashed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::BaselineClient;
+    use seemore_app::KvStore;
+    use seemore_core::testkit::SyncCluster;
+    use seemore_crypto::KeyStore;
+    use seemore_types::{ClientId, Duration};
+
+    fn build(f: u32) -> (SyncCluster, BaselineConfig) {
+        let config = BaselineConfig::cft(f);
+        let keystore = KeyStore::generate(9, config.network_size, 2);
+        let mut cluster = SyncCluster::new();
+        for replica in config.replicas() {
+            cluster.add_replica(Box::new(CftReplica::new(
+                replica,
+                config,
+                ProtocolConfig::default(),
+                Box::new(KvStore::new()),
+            )));
+        }
+        for client in 0..2u64 {
+            cluster.add_client(BaselineClient::new(
+                ClientId(client),
+                config,
+                keystore.clone(),
+                Duration::from_millis(100),
+            ));
+        }
+        (cluster, config)
+    }
+
+    #[test]
+    fn cft_commits_requests() {
+        let (mut cluster, config) = build(2);
+        cluster.submit(ClientId(0), b"op-1".to_vec());
+        cluster.run_to_quiescence(100_000);
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 1);
+        for replica in config.replicas() {
+            assert_eq!(cluster.replica(replica).executed().len(), 1);
+        }
+    }
+
+    #[test]
+    fn cft_tolerates_f_backup_crashes() {
+        let (mut cluster, config) = build(2);
+        cluster.replica_mut(ReplicaId(3)).crash();
+        cluster.replica_mut(ReplicaId(4)).crash();
+        for i in 0..4 {
+            cluster.submit(ClientId(0), format!("op-{i}").into_bytes());
+            cluster.run_to_quiescence(100_000);
+        }
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 4);
+        let _ = config;
+    }
+
+    #[test]
+    fn cft_leader_crash_triggers_view_change() {
+        let (mut cluster, _) = build(1);
+        cluster.submit(ClientId(0), b"first".to_vec());
+        cluster.run_to_quiescence(100_000);
+        cluster.replica_mut(ReplicaId(0)).crash();
+
+        cluster.submit(ClientId(0), b"second".to_vec());
+        cluster.run_to_quiescence(100_000);
+        cluster.fire_client_timers(100_000);
+        cluster.fire_all_timers(100_000);
+        cluster.run_to_quiescence(100_000);
+        cluster.fire_client_timers(100_000);
+        cluster.run_to_quiescence(100_000);
+        cluster.fire_client_timers(100_000);
+        cluster.run_to_quiescence(100_000);
+
+        assert_eq!(cluster.client(ClientId(0)).completed().len(), 2);
+        assert!(cluster.replica(ReplicaId(1)).view() > View(0));
+    }
+
+    #[test]
+    fn cft_checkpoints_and_garbage_collects() {
+        let config = BaselineConfig::cft(1);
+        let keystore = KeyStore::generate(10, config.network_size, 1);
+        let mut cluster = SyncCluster::new();
+        for replica in config.replicas() {
+            cluster.add_replica(Box::new(CftReplica::new(
+                replica,
+                config,
+                ProtocolConfig::with_checkpoint_period(2),
+                Box::new(KvStore::new()),
+            )));
+        }
+        cluster.add_client(BaselineClient::new(
+            ClientId(0),
+            config,
+            keystore,
+            Duration::from_millis(100),
+        ));
+        for i in 0..6 {
+            cluster.submit(ClientId(0), format!("op-{i}").into_bytes());
+            cluster.run_to_quiescence(100_000);
+        }
+        for replica in config.replicas() {
+            assert!(cluster.replica(replica).metrics().stable_checkpoints >= 1);
+        }
+    }
+}

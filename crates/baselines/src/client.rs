@@ -1,0 +1,312 @@
+//! The client used with the baseline protocols.
+//!
+//! Identical in spirit to SeeMoRe's client, but without the notion of
+//! trusted/untrusted replicas: it sends requests to the current primary,
+//! collects `reply_quorum` matching replies, and broadcasts to everyone
+//! after a timeout.
+
+use crate::config::BaselineConfig;
+use seemore_core::actions::{Action, Timer};
+use seemore_core::client::{ClientOutcome, ClientProtocol};
+use seemore_crypto::{Digest, KeyStore, Signer};
+use seemore_types::{ClientId, Duration, Instant, NodeId, ReplicaId, Timestamp, View};
+use seemore_wire::{ClientReply, ClientRequest, Message, SignedPayload};
+use std::collections::{BTreeSet, HashMap};
+
+struct Pending {
+    request: ClientRequest,
+    sent_at: Instant,
+    votes: HashMap<Digest, BTreeSet<ReplicaId>>,
+    results: HashMap<Digest, Vec<u8>>,
+}
+
+/// A closed-loop client for the CFT / BFT / S-UpRight baselines.
+pub struct BaselineClient {
+    id: ClientId,
+    config: BaselineConfig,
+    keystore: KeyStore,
+    signer: Signer,
+    view: View,
+    timeout: Duration,
+    next_timestamp: Timestamp,
+    pending: Option<Pending>,
+    completed: Vec<ClientOutcome>,
+    retransmissions: u64,
+}
+
+impl BaselineClient {
+    /// Creates a baseline client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key store has no signer for this client.
+    pub fn new(
+        id: ClientId,
+        config: BaselineConfig,
+        keystore: KeyStore,
+        timeout: Duration,
+    ) -> Self {
+        let signer = keystore
+            .signer_for(NodeId::Client(id))
+            .expect("key store must contain a signer for this client");
+        BaselineClient {
+            id,
+            config,
+            keystore,
+            signer,
+            view: View::ZERO,
+            timeout,
+            next_timestamp: Timestamp(0),
+            pending: None,
+            completed: Vec::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// The view the client currently believes the group is in.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    fn on_reply(&mut self, reply: ClientReply, now: Instant) -> Vec<Action> {
+        // Byzantine baselines sign replies; the crash-only baseline does not.
+        if self.config.signed
+            && !self.keystore.verify(
+                NodeId::Replica(reply.replica),
+                &reply.signing_bytes(),
+                &reply.signature,
+            )
+        {
+            return Vec::new();
+        }
+        let Some(pending) = &mut self.pending else { return Vec::new() };
+        if reply.request != pending.request.id() {
+            return Vec::new();
+        }
+        let digest = Digest::of_fields(&[b"reply-result", &reply.result]);
+        pending.votes.entry(digest).or_default().insert(reply.replica);
+        pending.results.entry(digest).or_insert_with(|| reply.result.clone());
+        let votes = pending.votes.get(&digest).map(|v| v.len()).unwrap_or(0);
+        if votes < self.config.reply_quorum as usize {
+            return Vec::new();
+        }
+        let pending = self.pending.take().expect("checked above");
+        let result = pending.results.get(&digest).cloned().unwrap_or_default();
+        self.view = self.view.max(reply.view);
+        self.completed.push(ClientOutcome {
+            request: pending.request.id(),
+            result,
+            latency: now - pending.sent_at,
+            completed_at: now,
+        });
+        vec![Action::CancelTimer {
+            timer: Timer::ClientRetransmit { timestamp: pending.request.timestamp },
+        }]
+    }
+}
+
+impl std::fmt::Debug for BaselineClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineClient")
+            .field("id", &self.id)
+            .field("view", &self.view)
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientProtocol for BaselineClient {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        assert!(self.pending.is_none(), "client {} already has a pending request", self.id);
+        self.next_timestamp = self.next_timestamp.next();
+        let request = ClientRequest::new(self.id, self.next_timestamp, operation, &self.signer);
+        let primary = self.config.primary(self.view);
+        let actions = vec![
+            Action::Send {
+                to: NodeId::Replica(primary),
+                message: Message::Request(request.clone()),
+            },
+            Action::SetTimer {
+                timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+                after: self.timeout,
+            },
+        ];
+        self.pending = Some(Pending {
+            request,
+            sent_at: now,
+            votes: HashMap::new(),
+            results: HashMap::new(),
+        });
+        actions
+    }
+
+    fn on_message(&mut self, _from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        match message {
+            Message::Reply(reply) => self.on_reply(reply, now),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_retransmit_timer(&mut self, _now: Instant) -> Vec<Action> {
+        let Some(pending) = &self.pending else { return Vec::new() };
+        self.retransmissions += 1;
+        let request = pending.request.clone();
+        let mut actions: Vec<Action> = self
+            .config
+            .replicas()
+            .map(|to| Action::Send {
+                to: NodeId::Replica(to),
+                message: Message::Request(request.clone()),
+            })
+            .collect();
+        actions.push(Action::SetTimer {
+            timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+            after: self.timeout,
+        });
+        actions
+    }
+
+    fn completed(&self) -> &[ClientOutcome] {
+        &self.completed
+    }
+
+    fn take_completed(&mut self) -> Vec<ClientOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::s_upright;
+    use seemore_crypto::Signature;
+    use seemore_types::{Mode, RequestId};
+
+    fn keystore() -> KeyStore {
+        KeyStore::generate(3, 10, 2)
+    }
+
+    fn reply(ks: &KeyStore, replica: u32, request: RequestId, result: &[u8], signed: bool) -> ClientReply {
+        if signed {
+            let signer = ks.signer_for(NodeId::Replica(ReplicaId(replica))).unwrap();
+            ClientReply::new(Mode::Peacock, View(0), request, ReplicaId(replica), result.to_vec(), &signer)
+        } else {
+            ClientReply {
+                mode: Mode::Lion,
+                view: View(0),
+                request,
+                replica: ReplicaId(replica),
+                result: result.to_vec(),
+                signature: Signature::INVALID,
+            }
+        }
+    }
+
+    #[test]
+    fn cft_client_accepts_a_single_unsigned_reply() {
+        let ks = keystore();
+        let mut client =
+            BaselineClient::new(ClientId(0), BaselineConfig::cft(1), ks.clone(), Duration::from_millis(50));
+        let actions = client.submit(b"op".to_vec(), Instant::ZERO);
+        assert_eq!(actions.len(), 2);
+        assert!(client.has_pending());
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        client.on_message(
+            NodeId::Replica(ReplicaId(0)),
+            Message::Reply(reply(&ks, 0, id, b"ok", false)),
+            Instant::ZERO,
+        );
+        assert!(!client.has_pending());
+        assert_eq!(client.completed().len(), 1);
+    }
+
+    #[test]
+    fn bft_client_needs_matching_quorum_and_valid_signatures() {
+        let ks = keystore();
+        let mut client = BaselineClient::new(
+            ClientId(0),
+            BaselineConfig::bft(1),
+            ks.clone(),
+            Duration::from_millis(50),
+        );
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        // Unsigned reply is rejected in a signed configuration.
+        client.on_message(
+            NodeId::Replica(ReplicaId(0)),
+            Message::Reply(reply(&ks, 0, id, b"ok", false)),
+            Instant::ZERO,
+        );
+        assert!(client.has_pending());
+        // Two valid matching replies (f + 1 = 2) complete the request.
+        client.on_message(
+            NodeId::Replica(ReplicaId(1)),
+            Message::Reply(reply(&ks, 1, id, b"ok", true)),
+            Instant::ZERO,
+        );
+        assert!(client.has_pending());
+        client.on_message(
+            NodeId::Replica(ReplicaId(2)),
+            Message::Reply(reply(&ks, 2, id, b"ok", true)),
+            Instant::ZERO,
+        );
+        assert!(!client.has_pending());
+    }
+
+    #[test]
+    fn s_upright_client_reply_quorum_is_m_plus_one() {
+        let ks = keystore();
+        let cfg = s_upright(1, 2);
+        assert_eq!(cfg.reply_quorum, 3);
+        let mut client =
+            BaselineClient::new(ClientId(1), cfg, ks.clone(), Duration::from_millis(50));
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(1), Timestamp(1));
+        for r in 0..2u32 {
+            client.on_message(
+                NodeId::Replica(ReplicaId(r)),
+                Message::Reply(reply(&ks, r, id, b"v", true)),
+                Instant::ZERO,
+            );
+            assert!(client.has_pending());
+        }
+        client.on_message(
+            NodeId::Replica(ReplicaId(2)),
+            Message::Reply(reply(&ks, 2, id, b"v", true)),
+            Instant::ZERO,
+        );
+        assert!(!client.has_pending());
+    }
+
+    #[test]
+    fn retransmission_broadcasts_to_the_whole_group() {
+        let ks = keystore();
+        let mut client =
+            BaselineClient::new(ClientId(0), BaselineConfig::bft(1), ks, Duration::from_millis(50));
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let actions = client.on_retransmit_timer(Instant::ZERO);
+        let sends = actions.iter().filter(|a| a.is_send()).count();
+        assert_eq!(sends, 4);
+        assert_eq!(client.retransmissions(), 1);
+        // Nothing pending -> nothing to retransmit.
+        let mut idle = BaselineClient::new(
+            ClientId(1),
+            BaselineConfig::bft(1),
+            keystore(),
+            Duration::from_millis(50),
+        );
+        assert!(idle.on_retransmit_timer(Instant::ZERO).is_empty());
+    }
+}

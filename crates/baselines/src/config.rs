@@ -1,0 +1,141 @@
+//! Quorum configuration shared by the baseline protocols.
+
+use seemore_types::{ReplicaId, View};
+
+/// Static configuration of a baseline replication group.
+///
+/// Baselines do not distinguish private from public replicas: every replica
+/// is identified by an index in `[0, network_size)` and the primary of view
+/// `v` is `v mod network_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineConfig {
+    /// Total number of replicas.
+    pub network_size: u32,
+    /// Matching votes needed to prepare / commit a request.
+    pub quorum: u32,
+    /// Matching replies a client needs before accepting a result.
+    pub reply_quorum: u32,
+    /// Failures of any kind the configuration is meant to tolerate (used to
+    /// size view-change thresholds).
+    pub fault_bound: u32,
+    /// Whether message signatures are generated and verified (false for the
+    /// crash-only baseline, true for the Byzantine ones).
+    pub signed: bool,
+}
+
+impl BaselineConfig {
+    /// Crash fault-tolerant (Paxos) configuration for `f` crash failures:
+    /// `2f + 1` replicas, quorums of `f + 1`, a single reply suffices.
+    pub fn cft(f: u32) -> Self {
+        BaselineConfig {
+            network_size: 2 * f + 1,
+            quorum: f + 1,
+            reply_quorum: 1,
+            fault_bound: f,
+            signed: false,
+        }
+    }
+
+    /// Byzantine fault-tolerant (PBFT) configuration for `f` Byzantine
+    /// failures: `3f + 1` replicas, quorums of `2f + 1`, `f + 1` matching
+    /// replies.
+    pub fn bft(f: u32) -> Self {
+        BaselineConfig {
+            network_size: 3 * f + 1,
+            quorum: 2 * f + 1,
+            reply_quorum: f + 1,
+            fault_bound: f,
+            signed: true,
+        }
+    }
+
+    /// The number of replicas in this configuration.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.network_size).map(ReplicaId)
+    }
+
+    /// The primary of `view`.
+    pub fn primary(&self, view: View) -> ReplicaId {
+        ReplicaId((view.0 % u64::from(self.network_size)) as u32)
+    }
+
+    /// Matching `VIEW-CHANGE` messages (from replicas other than the new
+    /// primary) required before a `NEW-VIEW` is emitted.
+    pub fn view_change_threshold(&self) -> u32 {
+        self.quorum.saturating_sub(1).max(1)
+    }
+
+    /// Whether `replica` is a valid member.
+    pub fn contains(&self, replica: ReplicaId) -> bool {
+        replica.0 < self.network_size
+    }
+}
+
+/// The paper's "S-UpRight" baseline: PBFT-style agreement over the hybrid
+/// network of `3m + 2c + 1` replicas with quorums of `2m + c + 1` and
+/// `m + 1` matching replies (Section 6, evaluation setup).
+pub fn s_upright(c: u32, m: u32) -> BaselineConfig {
+    BaselineConfig {
+        network_size: 3 * m + 2 * c + 1,
+        quorum: 2 * m + c + 1,
+        reply_quorum: m + 1,
+        fault_bound: m + c,
+        signed: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cft_matches_paxos_sizing() {
+        let cfg = BaselineConfig::cft(2);
+        assert_eq!(cfg.network_size, 5);
+        assert_eq!(cfg.quorum, 3);
+        assert_eq!(cfg.reply_quorum, 1);
+        assert!(!cfg.signed);
+        assert_eq!(cfg.replicas().count(), 5);
+    }
+
+    #[test]
+    fn bft_matches_pbft_sizing() {
+        let cfg = BaselineConfig::bft(2);
+        assert_eq!(cfg.network_size, 7);
+        assert_eq!(cfg.quorum, 5);
+        assert_eq!(cfg.reply_quorum, 3);
+        assert!(cfg.signed);
+    }
+
+    #[test]
+    fn s_upright_matches_evaluation_captions() {
+        // Fig. 2 captions: S-UpRight network sizes 6, 11, 12 and 10.
+        assert_eq!(s_upright(1, 1).network_size, 6);
+        assert_eq!(s_upright(2, 2).network_size, 11);
+        assert_eq!(s_upright(1, 3).network_size, 12);
+        assert_eq!(s_upright(3, 1).network_size, 10);
+        assert_eq!(s_upright(1, 1).quorum, 4);
+        assert_eq!(s_upright(1, 1).reply_quorum, 2);
+    }
+
+    #[test]
+    fn primary_rotates_through_all_replicas() {
+        let cfg = BaselineConfig::bft(1);
+        let primaries: Vec<ReplicaId> =
+            (0..8).map(|v| cfg.primary(View(v))).collect();
+        assert_eq!(primaries[0], ReplicaId(0));
+        assert_eq!(primaries[3], ReplicaId(3));
+        assert_eq!(primaries[4], ReplicaId(0));
+        assert!(cfg.contains(ReplicaId(3)));
+        assert!(!cfg.contains(ReplicaId(4)));
+    }
+
+    #[test]
+    fn view_change_threshold_is_quorum_minus_one() {
+        assert_eq!(BaselineConfig::bft(1).view_change_threshold(), 2);
+        assert_eq!(BaselineConfig::cft(1).view_change_threshold(), 1);
+        assert_eq!(s_upright(1, 1).view_change_threshold(), 3);
+        // Degenerate single-replica configuration still needs one vote.
+        assert_eq!(BaselineConfig::cft(0).view_change_threshold(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline protocols used by the paper's evaluation, implemented on the
+//! same sans-IO substrate as SeeMoRe so that comparisons isolate protocol
+//! differences only:
+//!
+//! * [`CftReplica`] — a crash fault-tolerant, Multi-Paxos-style protocol
+//!   (the paper's "CFT" line, BFT-SMaRt's Paxos configuration): `2f + 1`
+//!   replicas, two phases, linear messages, no signatures.
+//! * [`BftReplica`] — a PBFT-style protocol (the paper's "BFT" line):
+//!   `3f + 1` replicas, three phases, quadratic messages, signed votes.
+//! * [`s_upright`] — the simplified UpRight configuration ("S-UpRight"):
+//!   the same PBFT-style agreement run over the hybrid network of
+//!   `3m + 2c + 1` replicas with `2m + c + 1` quorums, exactly as the
+//!   evaluation section describes.
+//!
+//! All three implement [`ReplicaProtocol`](seemore_core::ReplicaProtocol)
+//! and are driven by the same runtimes, workloads and benchmarks as SeeMoRe.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bft;
+pub mod cft;
+pub mod client;
+pub mod config;
+
+pub use bft::BftReplica;
+pub use cft::CftReplica;
+pub use client::BaselineClient;
+pub use config::{s_upright, BaselineConfig};

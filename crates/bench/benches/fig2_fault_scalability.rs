@@ -1,0 +1,64 @@
+//! Figure 2 — throughput/latency while varying the number and mix of
+//! failures tolerated.
+//!
+//! Reproduces the four scenarios of Figure 2 with the 0/0 micro-benchmark:
+//!
+//! * (a) f = 2 (c = 1, m = 1) — N: SeeMoRe/S-UpRight 6, CFT 5, BFT 7
+//! * (b) f = 4 (c = 2, m = 2) — N: 11 / 9 / 13
+//! * (c) f = 4 (c = 1, m = 3) — N: 12 / 9 / 13
+//! * (d) f = 4 (c = 3, m = 1) — N: 10 / 9 / 13
+//!
+//! For each protocol the closed-loop client count is swept and the resulting
+//! (throughput, latency) pairs are printed — the same series the paper
+//! plots. Absolute numbers depend on the simulator's calibration; the
+//! orderings and crossovers are the reproduction target.
+
+use seemore_bench::{header, peak_throughput, print_curve, sweep_protocol};
+use seemore_runtime::ProtocolKind;
+
+fn main() {
+    let scenarios = [
+        ("Fig 2(a): f=2 (c=1, m=1)", 1u32, 1u32),
+        ("Fig 2(b): f=4 (c=2, m=2)", 2, 2),
+        ("Fig 2(c): f=4 (c=1, m=3)", 1, 3),
+        ("Fig 2(d): f=4 (c=3, m=1)", 3, 1),
+    ];
+
+    for (title, c, m) in scenarios {
+        header(&format!("{title} — 0/0 micro-benchmark"));
+        let mut peaks = Vec::new();
+        for protocol in ProtocolKind::ALL {
+            let points = sweep_protocol(protocol, c, m, 0, 0);
+            print_curve(
+                &format!("{} (N = {})", protocol.name(), protocol.network_size(c, m)),
+                &points,
+            );
+            peaks.push((protocol.name(), peak_throughput(&points)));
+        }
+        println!("# Peak throughput summary [kreq/s]");
+        for (name, peak) in &peaks {
+            println!("{name:<10} {peak:>10.3}");
+        }
+        let get = |name: &str| {
+            peaks
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0)
+        };
+        println!();
+        println!(
+            "# Shape checks (paper expectations): Lion within {:.1}% of CFT; all SeeMoRe \
+             modes above BFT; S-UpRight below the SeeMoRe modes",
+            (1.0 - get("Lion") / get("CFT").max(1e-9)) * 100.0
+        );
+        println!(
+            "# Lion/CFT = {:.2}  Lion/BFT = {:.2}  Dog/BFT = {:.2}  Peacock/S-UpRight = {:.2}",
+            get("Lion") / get("CFT").max(1e-9),
+            get("Lion") / get("BFT").max(1e-9),
+            get("Dog") / get("BFT").max(1e-9),
+            get("Peacock") / get("S-UpRight").max(1e-9),
+        );
+        println!();
+    }
+}

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the building blocks whose costs feed the
+//! simulator's CPU model: hashing, signing, verification, request digests,
+//! key-value execution and quorum bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use seemore_app::{KvOp, KvStore, StateMachine};
+use seemore_core::log::Instance;
+use seemore_crypto::{hmac_sha256, sha256, Digest, KeyStore};
+use seemore_types::{ClientId, NodeId, ReplicaId, Timestamp};
+use seemore_wire::{ClientRequest, SignedPayload, WireSize};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(&data)));
+    }
+    group.finish();
+
+    c.bench_function("hmac_sha256/1KiB", |b| {
+        let key = [7u8; 32];
+        let data = vec![0xcdu8; 1024];
+        b.iter(|| hmac_sha256(&key, &data))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let keystore = KeyStore::generate(5, 4, 1);
+    let signer = keystore.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
+    let message = vec![0x42u8; 256];
+    c.bench_function("sign/256B", |b| b.iter(|| signer.sign(&message)));
+    let signature = signer.sign(&message);
+    c.bench_function("verify/256B", |b| {
+        b.iter(|| keystore.verify(NodeId::Replica(ReplicaId(0)), &message, &signature))
+    });
+}
+
+fn bench_requests(c: &mut Criterion) {
+    let keystore = KeyStore::generate(6, 1, 1);
+    let signer = keystore.signer_for(NodeId::Client(ClientId(0))).unwrap();
+    for size in [0usize, 4096] {
+        let request = ClientRequest::new(ClientId(0), Timestamp(1), vec![0u8; size], &signer);
+        c.bench_function(&format!("request_digest/{size}B"), |b| b.iter(|| request.digest()));
+        c.bench_function(&format!("request_sign_verify/{size}B"), |b| {
+            b.iter(|| {
+                let fresh =
+                    ClientRequest::new(ClientId(0), Timestamp(2), vec![0u8; size], &signer);
+                keystore.verify(NodeId::Client(ClientId(0)), &fresh.signing_bytes(), &fresh.signature)
+            })
+        });
+        c.bench_function(&format!("request_wire_size/{size}B"), |b| {
+            b.iter(|| request.wire_size())
+        });
+    }
+}
+
+fn bench_kv_store(c: &mut Criterion) {
+    c.bench_function("kvstore/put_get_1k_keys", |b| {
+        b.iter_batched(
+            KvStore::new,
+            |mut store| {
+                for i in 0..1_000u32 {
+                    store.execute(
+                        &KvOp::Put {
+                            key: format!("key-{i}").into_bytes(),
+                            value: vec![0u8; 64],
+                        }
+                        .encode(),
+                    );
+                }
+                for i in 0..1_000u32 {
+                    store.execute(&KvOp::Get { key: format!("key-{i}").into_bytes() }.encode());
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("kvstore/state_digest_1k_keys", |b| {
+        let mut store = KvStore::new();
+        for i in 0..1_000u32 {
+            store.execute(
+                &KvOp::Put { key: format!("key-{i}").into_bytes(), value: vec![0u8; 64] }.encode(),
+            );
+        }
+        b.iter(|| store.state_digest())
+    });
+}
+
+fn bench_quorum_tracking(c: &mut Criterion) {
+    c.bench_function("instance/record_100_votes", |b| {
+        let digest = Digest::of_bytes(b"proposal");
+        b.iter_batched(
+            Instance::default,
+            |mut instance| {
+                for voter in 0..100u32 {
+                    instance.record_commit(ReplicaId(voter), digest);
+                }
+                instance.matching_commits(&digest)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hashing, bench_signatures, bench_requests, bench_kv_store, bench_quorum_tracking
+);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! Outputs of a sans-IO protocol core.
+
+use seemore_types::{NodeId, ProtocolViolation, RequestId, SeqNum, Timestamp, View};
+use seemore_wire::Message;
+use std::fmt;
+
+/// A timer a protocol core may ask its substrate to arm.
+///
+/// Timers are identified by value; arming an already-armed timer re-arms it,
+/// and cancelling an unarmed timer is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Timer {
+    /// Progress timer for a sequence number: armed when a replica learns of a
+    /// proposal, cancelled when the request commits. Expiry means the primary
+    /// is suspected faulty and a view change begins (the paper's `τ`).
+    RequestProgress {
+        /// Sequence number being watched.
+        seq: SeqNum,
+    },
+    /// Progress timer for a client request forwarded to the primary, keyed by
+    /// the request identity (used before a sequence number is known).
+    ForwardedRequest {
+        /// The forwarded request.
+        request: RequestId,
+    },
+    /// Armed after sending a `VIEW-CHANGE`; expiry escalates to the next
+    /// view so that consecutive faulty primaries cannot block progress.
+    ViewChange {
+        /// The view the replica is trying to install.
+        view: View,
+    },
+    /// Client-side retransmission timer (the paper's "preset time" after
+    /// which the client broadcasts its request).
+    ClientRetransmit {
+        /// Timestamp of the outstanding request.
+        timestamp: Timestamp,
+    },
+}
+
+impl fmt::Display for Timer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timer::RequestProgress { seq } => write!(f, "progress({seq})"),
+            Timer::ForwardedRequest { request } => write!(f, "forwarded({request})"),
+            Timer::ViewChange { view } => write!(f, "view-change({view})"),
+            Timer::ClientRetransmit { timestamp } => write!(f, "retransmit({timestamp})"),
+        }
+    }
+}
+
+/// An instruction emitted by a protocol core for its substrate to carry out.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Send `message` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message to deliver.
+        message: Message,
+    },
+    /// Arm `timer` to fire `after` the current instant.
+    SetTimer {
+        /// Timer identity.
+        timer: Timer,
+        /// Delay before the timer fires.
+        after: seemore_types::Duration,
+    },
+    /// Disarm `timer` if it is armed.
+    CancelTimer {
+        /// Timer identity.
+        timer: Timer,
+    },
+    /// Diagnostic: the core committed and executed `request` at `seq`.
+    ///
+    /// Substrates use this for metrics and the tests use it to check the
+    /// safety invariant; it requires no work from the substrate.
+    Executed {
+        /// Sequence number the request was executed at.
+        seq: SeqNum,
+        /// Identity of the executed request.
+        request: RequestId,
+    },
+    /// Diagnostic: the core discarded a message because it violated the
+    /// protocol (bad signature, equivocation, wrong view, ...).
+    Violation(
+        /// The violation that was detected.
+        ProtocolViolation,
+    ),
+}
+
+impl Action {
+    /// Convenience constructor for [`Action::Send`].
+    pub fn send(to: impl Into<NodeId>, message: impl Into<Message>) -> Action {
+        Action::Send { to: to.into(), message: message.into() }
+    }
+
+    /// Returns the destination and message if this is a send action.
+    pub fn as_send(&self) -> Option<(&NodeId, &Message)> {
+        match self {
+            Action::Send { to, message } => Some((to, message)),
+            _ => None,
+        }
+    }
+
+    /// True if this action is a network send.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Action::Send { .. })
+    }
+}
+
+/// Helper extending `Vec<Action>` with a broadcast constructor.
+pub fn broadcast(
+    actions: &mut Vec<Action>,
+    recipients: impl IntoIterator<Item = NodeId>,
+    message: Message,
+    exclude: Option<NodeId>,
+) {
+    for to in recipients {
+        if Some(to) == exclude {
+            continue;
+        }
+        actions.push(Action::Send { to, message: message.clone() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::{ClientId, Duration, ReplicaId};
+    use seemore_wire::StateRequest;
+
+    fn sample_message() -> Message {
+        Message::StateRequest(StateRequest { from_seq: SeqNum(1), replica: ReplicaId(0) })
+    }
+
+    #[test]
+    fn send_constructor_and_projection() {
+        let action = Action::send(ReplicaId(2), sample_message());
+        assert!(action.is_send());
+        let (to, message) = action.as_send().unwrap();
+        assert_eq!(*to, NodeId::Replica(ReplicaId(2)));
+        assert_eq!(message.kind(), seemore_wire::MessageKind::StateRequest);
+
+        let timer_action = Action::SetTimer {
+            timer: Timer::ViewChange { view: View(1) },
+            after: Duration::from_millis(10),
+        };
+        assert!(!timer_action.is_send());
+        assert!(timer_action.as_send().is_none());
+    }
+
+    #[test]
+    fn broadcast_excludes_self() {
+        let mut actions = Vec::new();
+        let recipients: Vec<NodeId> =
+            (0..4).map(|r| NodeId::Replica(ReplicaId(r))).collect();
+        broadcast(
+            &mut actions,
+            recipients,
+            sample_message(),
+            Some(NodeId::Replica(ReplicaId(1))),
+        );
+        assert_eq!(actions.len(), 3);
+        assert!(actions
+            .iter()
+            .all(|a| a.as_send().unwrap().0 != &NodeId::Replica(ReplicaId(1))));
+    }
+
+    #[test]
+    fn broadcast_without_exclusion_hits_everyone() {
+        let mut actions = Vec::new();
+        let recipients: Vec<NodeId> = vec![
+            NodeId::Replica(ReplicaId(0)),
+            NodeId::Client(ClientId(1)),
+        ];
+        broadcast(&mut actions, recipients, sample_message(), None);
+        assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn timer_identity_is_value_based() {
+        assert_eq!(
+            Timer::RequestProgress { seq: SeqNum(4) },
+            Timer::RequestProgress { seq: SeqNum(4) }
+        );
+        assert_ne!(
+            Timer::RequestProgress { seq: SeqNum(4) },
+            Timer::RequestProgress { seq: SeqNum(5) }
+        );
+        assert_eq!(Timer::ViewChange { view: View(2) }.to_string(), "view-change(v2)");
+        assert!(Timer::ClientRetransmit { timestamp: Timestamp(7) }
+            .to_string()
+            .contains("ts7"));
+        assert!(Timer::ForwardedRequest {
+            request: RequestId::new(ClientId(1), Timestamp(2))
+        }
+        .to_string()
+        .contains("c1"));
+    }
+}

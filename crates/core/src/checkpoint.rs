@@ -1,0 +1,238 @@
+//! Checkpointing, checkpoint certificates and garbage-collection triggers.
+//!
+//! Checkpoints serve two purposes in the paper (Section 5.1): they bring slow
+//! replicas up to date (state transfer) and they bound the message log
+//! (garbage collection). Stability rules differ by mode:
+//!
+//! * **Lion / Dog** — the trusted primary signs a `CHECKPOINT` and a single
+//!   such message *is* the certificate.
+//! * **Peacock / baselines** — the primary is untrusted, so a checkpoint
+//!   becomes stable only once a quorum of matching `CHECKPOINT` messages from
+//!   distinct replicas has been collected (PBFT-style).
+
+use seemore_crypto::Digest;
+use seemore_types::{ReplicaId, SeqNum};
+use seemore_wire::Checkpoint;
+use std::collections::BTreeMap;
+
+/// How a checkpoint becomes stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabilityRule {
+    /// A single checkpoint message signed by a trusted replica suffices
+    /// (Lion and Dog modes).
+    TrustedSigner,
+    /// `quorum` matching checkpoint messages from distinct replicas are
+    /// required (Peacock mode and the Byzantine baselines).
+    Quorum(
+        /// Number of matching messages required.
+        usize,
+    ),
+}
+
+/// Tracks pending and stable checkpoints for one replica.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    period: u64,
+    rule: StabilityRule,
+    stable_seq: SeqNum,
+    stable_digest: Digest,
+    stable_proof: Vec<Checkpoint>,
+    /// Votes per (seq, digest) awaiting stability.
+    pending: BTreeMap<SeqNum, BTreeMap<ReplicaId, Checkpoint>>,
+}
+
+impl CheckpointManager {
+    /// Creates a manager that checkpoints every `period` executed requests.
+    pub fn new(period: u64, rule: StabilityRule) -> Self {
+        CheckpointManager {
+            period: period.max(1),
+            rule,
+            stable_seq: SeqNum(0),
+            stable_digest: Digest::ZERO,
+            stable_proof: Vec::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The configured checkpoint period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The stability rule in force.
+    pub fn rule(&self) -> StabilityRule {
+        self.rule
+    }
+
+    /// Changes the stability rule (used when the protocol switches modes).
+    pub fn set_rule(&mut self, rule: StabilityRule) {
+        self.rule = rule;
+    }
+
+    /// Whether executing `seq` should trigger a checkpoint.
+    pub fn should_checkpoint(&self, seq: SeqNum) -> bool {
+        seq.0 > 0 && seq.0 % self.period == 0 && seq > self.stable_seq
+    }
+
+    /// Sequence number of the last stable checkpoint.
+    pub fn stable_seq(&self) -> SeqNum {
+        self.stable_seq
+    }
+
+    /// State digest of the last stable checkpoint.
+    pub fn stable_digest(&self) -> Digest {
+        self.stable_digest
+    }
+
+    /// The certificate (set of signed checkpoint messages) proving the last
+    /// stable checkpoint.
+    pub fn stable_proof(&self) -> &[Checkpoint] {
+        &self.stable_proof
+    }
+
+    /// Number of stable checkpoints recorded so far (excluding genesis).
+    pub fn is_genesis(&self) -> bool {
+        self.stable_seq == SeqNum(0)
+    }
+
+    /// Records a checkpoint message (our own or a peer's). `trusted_sender`
+    /// reports whether the sender is in the private cloud; under
+    /// [`StabilityRule::TrustedSigner`] only trusted senders can stabilize a
+    /// checkpoint.
+    ///
+    /// Returns `true` if this message made a new checkpoint stable.
+    pub fn record(&mut self, checkpoint: Checkpoint, trusted_sender: bool) -> bool {
+        if checkpoint.seq <= self.stable_seq {
+            return false;
+        }
+        let votes = self.pending.entry(checkpoint.seq).or_default();
+        votes.insert(checkpoint.replica, checkpoint.clone());
+
+        let stable = match self.rule {
+            StabilityRule::TrustedSigner => trusted_sender,
+            StabilityRule::Quorum(quorum) => {
+                let matching = votes
+                    .values()
+                    .filter(|c| c.state_digest == checkpoint.state_digest)
+                    .count();
+                matching >= quorum
+            }
+        };
+        if stable {
+            let proof: Vec<Checkpoint> = votes
+                .values()
+                .filter(|c| c.state_digest == checkpoint.state_digest)
+                .cloned()
+                .collect();
+            self.make_stable(checkpoint.seq, checkpoint.state_digest, proof);
+        }
+        stable
+    }
+
+    /// Installs a stable checkpoint directly (used when adopting a
+    /// checkpoint certificate carried by a `VIEW-CHANGE` / `NEW-VIEW` or by
+    /// state transfer).
+    pub fn make_stable(&mut self, seq: SeqNum, digest: Digest, proof: Vec<Checkpoint>) -> bool {
+        if seq <= self.stable_seq {
+            return false;
+        }
+        self.stable_seq = seq;
+        self.stable_digest = digest;
+        self.stable_proof = proof;
+        // Drop pending votes at or below the new stable point.
+        self.pending = self.pending.split_off(&SeqNum(seq.0 + 1));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_crypto::Signature;
+
+    fn cp(seq: u64, replica: u32, digest: &str) -> Checkpoint {
+        Checkpoint {
+            seq: SeqNum(seq),
+            state_digest: Digest::of_bytes(digest.as_bytes()),
+            replica: ReplicaId(replica),
+            signature: Signature::INVALID,
+        }
+    }
+
+    #[test]
+    fn should_checkpoint_respects_period() {
+        let mgr = CheckpointManager::new(10, StabilityRule::TrustedSigner);
+        assert!(!mgr.should_checkpoint(SeqNum(0)));
+        assert!(!mgr.should_checkpoint(SeqNum(5)));
+        assert!(mgr.should_checkpoint(SeqNum(10)));
+        assert!(mgr.should_checkpoint(SeqNum(20)));
+        assert!(!mgr.should_checkpoint(SeqNum(21)));
+        assert_eq!(mgr.period(), 10);
+        // Period zero is clamped to one.
+        let every = CheckpointManager::new(0, StabilityRule::TrustedSigner);
+        assert!(every.should_checkpoint(SeqNum(1)));
+    }
+
+    #[test]
+    fn trusted_signer_rule_stabilizes_immediately() {
+        let mut mgr = CheckpointManager::new(10, StabilityRule::TrustedSigner);
+        assert!(mgr.is_genesis());
+        // An untrusted sender cannot stabilize.
+        assert!(!mgr.record(cp(10, 3, "state"), false));
+        assert_eq!(mgr.stable_seq(), SeqNum(0));
+        // The trusted primary can.
+        assert!(mgr.record(cp(10, 0, "state"), true));
+        assert_eq!(mgr.stable_seq(), SeqNum(10));
+        assert_eq!(mgr.stable_digest(), Digest::of_bytes(b"state"));
+        assert!(!mgr.is_genesis());
+        assert!(!mgr.stable_proof().is_empty());
+    }
+
+    #[test]
+    fn quorum_rule_requires_matching_votes() {
+        let mut mgr = CheckpointManager::new(10, StabilityRule::Quorum(3));
+        assert!(!mgr.record(cp(10, 2, "state"), false));
+        assert!(!mgr.record(cp(10, 3, "state"), false));
+        // A vote for a different digest does not help.
+        assert!(!mgr.record(cp(10, 4, "other"), false));
+        // Third matching vote stabilizes.
+        assert!(mgr.record(cp(10, 5, "state"), true));
+        assert_eq!(mgr.stable_seq(), SeqNum(10));
+        assert_eq!(mgr.stable_proof().len(), 3);
+        assert!(mgr
+            .stable_proof()
+            .iter()
+            .all(|c| c.state_digest == Digest::of_bytes(b"state")));
+    }
+
+    #[test]
+    fn stale_checkpoints_are_ignored() {
+        let mut mgr = CheckpointManager::new(10, StabilityRule::TrustedSigner);
+        assert!(mgr.record(cp(20, 0, "s20"), true));
+        assert!(!mgr.record(cp(10, 0, "s10"), true));
+        assert_eq!(mgr.stable_seq(), SeqNum(20));
+        assert!(!mgr.make_stable(SeqNum(15), Digest::ZERO, vec![]));
+    }
+
+    #[test]
+    fn make_stable_clears_pending_votes() {
+        let mut mgr = CheckpointManager::new(10, StabilityRule::Quorum(2));
+        mgr.record(cp(10, 1, "a"), false);
+        mgr.record(cp(20, 1, "b"), false);
+        assert!(mgr.make_stable(SeqNum(10), Digest::of_bytes(b"a"), vec![cp(10, 1, "a")]));
+        // Votes for seq 20 survive; votes for 10 are gone. Completing the
+        // quorum for 20 still works.
+        assert!(mgr.record(cp(20, 2, "b"), false));
+        assert_eq!(mgr.stable_seq(), SeqNum(20));
+    }
+
+    #[test]
+    fn rule_can_change_at_mode_switch() {
+        let mut mgr = CheckpointManager::new(10, StabilityRule::TrustedSigner);
+        assert_eq!(mgr.rule(), StabilityRule::TrustedSigner);
+        mgr.set_rule(StabilityRule::Quorum(2));
+        assert_eq!(mgr.rule(), StabilityRule::Quorum(2));
+        assert!(!mgr.record(cp(10, 0, "s"), true));
+        assert!(mgr.record(cp(10, 1, "s"), false));
+    }
+}

@@ -1,0 +1,549 @@
+//! The client side of SeeMoRe: request submission, per-mode reply quorums
+//! and retransmission (Section 5).
+
+use crate::actions::{Action, Timer};
+use seemore_crypto::{Digest, KeyStore, Signer};
+use seemore_types::{
+    ClientId, ClusterConfig, Duration, Instant, Mode, NodeId, ReplicaId, RequestId, Timestamp,
+    View,
+};
+use seemore_wire::{ClientReply, ClientRequest, Message, SignedPayload};
+use std::collections::{BTreeSet, HashMap};
+
+/// The sans-IO contract for protocol clients (SeeMoRe's [`ClientCore`] and
+/// the baseline clients), so that runtimes and the test kit can drive any of
+/// them interchangeably.
+pub trait ClientProtocol: Send {
+    /// The client's identity.
+    fn id(&self) -> ClientId;
+    /// Submits a new operation, returning send/timer actions.
+    fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action>;
+    /// Handles a message addressed to the client.
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action>;
+    /// Handles the retransmission timer.
+    fn on_retransmit_timer(&mut self, now: Instant) -> Vec<Action>;
+    /// Completed requests, in completion order.
+    fn completed(&self) -> &[ClientOutcome];
+    /// Drains and returns the completed requests.
+    fn take_completed(&mut self) -> Vec<ClientOutcome>;
+    /// Whether a request is currently outstanding.
+    fn has_pending(&self) -> bool;
+    /// Number of retransmissions performed so far.
+    fn retransmissions(&self) -> u64;
+}
+
+/// A completed request, as observed by the client.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Identity of the completed request.
+    pub request: RequestId,
+    /// The accepted result payload.
+    pub result: Vec<u8>,
+    /// Time from first transmission to acceptance.
+    pub latency: Duration,
+    /// When the result was accepted.
+    pub completed_at: Instant,
+}
+
+/// Reply votes collected for the outstanding request.
+#[derive(Debug, Default)]
+struct ReplyTally {
+    /// Voting replicas per result digest.
+    votes: HashMap<Digest, BTreeSet<ReplicaId>>,
+    /// The actual result bytes per digest.
+    results: HashMap<Digest, Vec<u8>>,
+}
+
+/// The outstanding request, if any.
+#[derive(Debug)]
+struct Pending {
+    request: ClientRequest,
+    sent_at: Instant,
+    tally: ReplyTally,
+    retransmitted: bool,
+}
+
+/// A sans-IO SeeMoRe client.
+///
+/// Clients know the cluster layout (which replicas are trusted), track the
+/// current mode and view from validated replies, send each request to the
+/// current primary, and fall back to broadcasting after a timeout exactly as
+/// the paper prescribes.
+pub struct ClientCore {
+    id: ClientId,
+    cluster: ClusterConfig,
+    keystore: KeyStore,
+    signer: Signer,
+    mode: Mode,
+    view: View,
+    timeout: Duration,
+    next_timestamp: Timestamp,
+    pending: Option<Pending>,
+    completed: Vec<ClientOutcome>,
+    retransmissions: u64,
+}
+
+impl std::fmt::Debug for ClientCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientCore")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("view", &self.view)
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientCore {
+    /// Creates a client that believes the protocol is in `mode`, view 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key store has no signer for this client.
+    pub fn new(
+        id: ClientId,
+        cluster: ClusterConfig,
+        keystore: KeyStore,
+        mode: Mode,
+        timeout: Duration,
+    ) -> Self {
+        let signer = keystore
+            .signer_for(NodeId::Client(id))
+            .expect("key store must contain a signer for this client");
+        ClientCore {
+            id,
+            cluster,
+            keystore,
+            signer,
+            mode,
+            view: View::ZERO,
+            timeout,
+            next_timestamp: Timestamp(0),
+            pending: None,
+            completed: Vec::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// The client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The mode the client currently believes the protocol is in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The view the client currently believes the protocol is in.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Whether a request is currently outstanding.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Completed requests, in completion order.
+    pub fn completed(&self) -> &[ClientOutcome] {
+        &self.completed
+    }
+
+    /// Drains and returns the completed requests.
+    pub fn take_completed(&mut self) -> Vec<ClientOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Number of times this client had to retransmit a request.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// The primary this client would currently address.
+    pub fn current_primary(&self) -> ReplicaId {
+        self.cluster
+            .primary(self.mode, self.view)
+            .expect("client cluster config validated at construction")
+    }
+
+    /// Submits a new operation. Returns the send and timer actions; panics
+    /// if a request is already outstanding (SeeMoRe clients are closed-loop:
+    /// one outstanding request each, as in the paper's evaluation).
+    pub fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        assert!(self.pending.is_none(), "client {} already has a pending request", self.id);
+        self.next_timestamp = self.next_timestamp.next();
+        let request =
+            ClientRequest::new(self.id, self.next_timestamp, operation, &self.signer);
+        let mut actions = Vec::new();
+        let primary = self.current_primary();
+        actions.push(Action::Send {
+            to: NodeId::Replica(primary),
+            message: Message::Request(request.clone()),
+        });
+        actions.push(Action::SetTimer {
+            timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+            after: self.timeout,
+        });
+        self.pending = Some(Pending {
+            request,
+            sent_at: now,
+            tally: ReplyTally::default(),
+            retransmitted: false,
+        });
+        actions
+    }
+
+    /// Handles any message addressed to the client (only `REPLY` matters).
+    pub fn on_message(&mut self, _from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        match message {
+            Message::Reply(reply) => self.on_reply(reply, now),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a `REPLY` from a replica.
+    pub fn on_reply(&mut self, reply: ClientReply, now: Instant) -> Vec<Action> {
+        // Validate the signature before anything else.
+        if !self.keystore.verify(
+            NodeId::Replica(reply.replica),
+            &reply.signing_bytes(),
+            &reply.signature,
+        ) {
+            return Vec::new();
+        }
+        let Some(pending_ref) = &self.pending else { return Vec::new() };
+        if reply.request != pending_ref.request.id() {
+            return Vec::new();
+        }
+        let retransmitted = pending_ref.retransmitted;
+
+        let replier_trusted = self.cluster.is_trusted(reply.replica);
+        // Trusted replicas never lie: adopt their mode/view immediately so the
+        // next request goes to the right primary even across view changes.
+        if replier_trusted {
+            self.mode = reply.mode;
+            self.view = self.view.max(reply.view);
+        }
+        let threshold = self.acceptance_threshold(retransmitted);
+
+        let result_digest = Digest::of_fields(&[b"reply-result", &reply.result]);
+        let pending = self.pending.as_mut().expect("checked above");
+        pending
+            .tally
+            .votes
+            .entry(result_digest)
+            .or_default()
+            .insert(reply.replica);
+        pending
+            .tally
+            .results
+            .entry(result_digest)
+            .or_insert_with(|| reply.result.clone());
+
+        let votes = pending.tally.votes.get(&result_digest).map(|s| s.len()).unwrap_or(0);
+        let accepted = if replier_trusted {
+            // A single reply from the trusted private cloud is always
+            // sufficient (Lion primary reply, or a private replica answering
+            // a retransmission).
+            true
+        } else {
+            votes >= threshold as usize
+        };
+        if !accepted {
+            return Vec::new();
+        }
+
+        // Accept the result.
+        let pending = self.pending.take().expect("checked above");
+        let result = pending
+            .tally
+            .results
+            .get(&result_digest)
+            .cloned()
+            .unwrap_or_default();
+        // Untrusted quorums can also teach us the current mode/view.
+        if !replier_trusted {
+            self.mode = reply.mode;
+            self.view = self.view.max(reply.view);
+        }
+        self.completed.push(ClientOutcome {
+            request: pending.request.id(),
+            result,
+            latency: now - pending.sent_at,
+            completed_at: now,
+        });
+        vec![Action::CancelTimer {
+            timer: Timer::ClientRetransmit { timestamp: pending.request.timestamp },
+        }]
+    }
+
+    /// Matching-reply threshold for untrusted repliers, per mode and
+    /// transmission attempt (Table 1 plus the retransmission rules of
+    /// Sections 5.1–5.3).
+    fn acceptance_threshold(&self, retransmitted: bool) -> u32 {
+        if retransmitted {
+            self.cluster.retransmit_reply_threshold(self.mode)
+        } else {
+            match self.mode {
+                // On the first transmission in Lion mode only the primary
+                // replies, and the primary is trusted; untrusted replies
+                // require m+1 agreement.
+                Mode::Lion => self.cluster.byzantine_bound() + 1,
+                Mode::Dog | Mode::Peacock => self.cluster.reply_threshold(self.mode),
+            }
+        }
+    }
+
+    /// The client's retransmission timer fired: broadcast the request.
+    pub fn on_retransmit_timer(&mut self, _now: Instant) -> Vec<Action> {
+        let Some(pending) = &mut self.pending else { return Vec::new() };
+        pending.retransmitted = true;
+        self.retransmissions += 1;
+        let request = pending.request.clone();
+        let mut actions = Vec::new();
+        // Lion: broadcast to every replica (any replica that executed will
+        // answer). Dog / Peacock: broadcast to the proxies of the current
+        // view (they executed the request and hold the reply).
+        let recipients: Vec<ReplicaId> = match self.mode {
+            Mode::Lion => self.cluster.replicas().collect(),
+            Mode::Dog | Mode::Peacock => {
+                let mut proxies = self.cluster.proxies(self.view);
+                // Also nudge the trusted primary (Dog) so an undelivered
+                // request gets ordered.
+                if let Ok(primary) = self.cluster.primary(self.mode, self.view) {
+                    if !proxies.contains(&primary) {
+                        proxies.push(primary);
+                    }
+                }
+                proxies
+            }
+        };
+        for to in recipients {
+            actions.push(Action::Send {
+                to: NodeId::Replica(to),
+                message: Message::Request(request.clone()),
+            });
+        }
+        actions.push(Action::SetTimer {
+            timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+            after: self.timeout,
+        });
+        actions
+    }
+}
+
+impl ClientProtocol for ClientCore {
+    fn id(&self) -> ClientId {
+        ClientCore::id(self)
+    }
+    fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        ClientCore::submit(self, operation, now)
+    }
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        ClientCore::on_message(self, from, message, now)
+    }
+    fn on_retransmit_timer(&mut self, now: Instant) -> Vec<Action> {
+        ClientCore::on_retransmit_timer(self, now)
+    }
+    fn completed(&self) -> &[ClientOutcome] {
+        ClientCore::completed(self)
+    }
+    fn take_completed(&mut self) -> Vec<ClientOutcome> {
+        ClientCore::take_completed(self)
+    }
+    fn has_pending(&self) -> bool {
+        ClientCore::has_pending(self)
+    }
+    fn retransmissions(&self) -> u64 {
+        ClientCore::retransmissions(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::FailureBounds;
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::new(2, 4, FailureBounds::new(1, 1)).unwrap()
+    }
+
+    fn keystore() -> KeyStore {
+        KeyStore::generate(11, 6, 4)
+    }
+
+    fn reply_from(
+        ks: &KeyStore,
+        replica: u32,
+        request: RequestId,
+        result: &[u8],
+        mode: Mode,
+        view: View,
+    ) -> ClientReply {
+        let signer = ks.signer_for(NodeId::Replica(ReplicaId(replica))).unwrap();
+        ClientReply::new(mode, view, request, ReplicaId(replica), result.to_vec(), &signer)
+    }
+
+    fn new_client(mode: Mode) -> ClientCore {
+        ClientCore::new(ClientId(0), cluster(), keystore(), mode, Duration::from_millis(100))
+    }
+
+    #[test]
+    fn submit_targets_the_primary_and_arms_a_timer() {
+        let mut client = new_client(Mode::Lion);
+        let actions = client.submit(b"op".to_vec(), Instant::ZERO);
+        assert!(client.has_pending());
+        let (to, message) = actions[0].as_send().unwrap();
+        assert_eq!(*to, NodeId::Replica(ReplicaId(0))); // Lion primary of view 0
+        assert_eq!(message.kind(), seemore_wire::MessageKind::Request);
+        assert!(matches!(actions[1], Action::SetTimer { .. }));
+
+        let mut peacock = new_client(Mode::Peacock);
+        let actions = peacock.submit(b"op".to_vec(), Instant::ZERO);
+        let (to, _) = actions[0].as_send().unwrap();
+        assert_eq!(*to, NodeId::Replica(ReplicaId(2))); // Peacock primary is public
+    }
+
+    #[test]
+    #[should_panic(expected = "pending request")]
+    fn second_submit_while_pending_panics() {
+        let mut client = new_client(Mode::Lion);
+        client.submit(b"a".to_vec(), Instant::ZERO);
+        client.submit(b"b".to_vec(), Instant::ZERO);
+    }
+
+    #[test]
+    fn lion_completes_on_single_trusted_reply() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Lion);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        let reply = reply_from(&ks, 0, id, b"done", Mode::Lion, View(0));
+        let actions = client.on_reply(reply, Instant::from_nanos(5_000_000));
+        assert!(!client.has_pending());
+        assert_eq!(client.completed().len(), 1);
+        assert_eq!(client.completed()[0].result, b"done");
+        assert_eq!(client.completed()[0].latency, Duration::from_millis(5));
+        assert!(matches!(actions[0], Action::CancelTimer { .. }));
+    }
+
+    #[test]
+    fn peacock_requires_m_plus_one_matching_replies() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Peacock);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        // First (untrusted) reply is not enough for m = 1.
+        assert!(client
+            .on_reply(reply_from(&ks, 2, id, b"r", Mode::Peacock, View(0)), Instant::ZERO)
+            .is_empty());
+        assert!(client.has_pending());
+        // A conflicting reply from another replica does not help.
+        assert!(client
+            .on_reply(reply_from(&ks, 3, id, b"bogus", Mode::Peacock, View(0)), Instant::ZERO)
+            .is_empty());
+        assert!(client.has_pending());
+        // A second matching reply completes (m + 1 = 2).
+        client.on_reply(reply_from(&ks, 4, id, b"r", Mode::Peacock, View(0)), Instant::ZERO);
+        assert!(!client.has_pending());
+        assert_eq!(client.completed()[0].result, b"r");
+    }
+
+    #[test]
+    fn dog_requires_two_m_plus_one_on_first_attempt() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Dog);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        for replica in [2u32, 3] {
+            assert!(client
+                .on_reply(reply_from(&ks, replica, id, b"r", Mode::Dog, View(0)), Instant::ZERO)
+                .is_empty());
+        }
+        assert!(client.has_pending());
+        // Third matching proxy reply reaches 2m+1 = 3.
+        client.on_reply(reply_from(&ks, 4, id, b"r", Mode::Dog, View(0)), Instant::ZERO);
+        assert!(!client.has_pending());
+    }
+
+    #[test]
+    fn retransmission_lowers_the_threshold_and_broadcasts() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Dog);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let actions = client.on_retransmit_timer(Instant::ZERO);
+        assert_eq!(client.retransmissions(), 1);
+        // Broadcast went to the 4 proxies + the trusted primary, plus a timer.
+        let sends = actions.iter().filter(|a| a.is_send()).count();
+        assert_eq!(sends, 5);
+
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        // After retransmission m+1 = 2 matching replies suffice.
+        client.on_reply(reply_from(&ks, 2, id, b"r", Mode::Dog, View(0)), Instant::ZERO);
+        assert!(client.has_pending());
+        client.on_reply(reply_from(&ks, 5, id, b"r", Mode::Dog, View(0)), Instant::ZERO);
+        assert!(!client.has_pending());
+    }
+
+    #[test]
+    fn invalid_or_stale_replies_are_ignored() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Lion);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+
+        // Reply for a different request id.
+        let wrong_id = RequestId::new(ClientId(0), Timestamp(9));
+        client.on_reply(reply_from(&ks, 0, wrong_id, b"x", Mode::Lion, View(0)), Instant::ZERO);
+        assert!(client.has_pending());
+
+        // Forged signature (claims to be replica 0 but signed by replica 5).
+        let forged = {
+            let mut reply = reply_from(&ks, 5, id, b"x", Mode::Lion, View(0));
+            reply.replica = ReplicaId(0);
+            reply
+        };
+        client.on_reply(forged, Instant::ZERO);
+        assert!(client.has_pending());
+
+        // Replies when nothing is pending are ignored too.
+        let mut idle = new_client(Mode::Lion);
+        assert!(idle.on_reply(reply_from(&ks, 0, id, b"x", Mode::Lion, View(0)), Instant::ZERO).is_empty());
+    }
+
+    #[test]
+    fn client_learns_mode_and_view_from_trusted_replies() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Lion);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        // Trusted replica 1 answers from view 3 in Dog mode.
+        client.on_reply(reply_from(&ks, 1, id, b"r", Mode::Dog, View(3)), Instant::ZERO);
+        assert_eq!(client.mode(), Mode::Dog);
+        assert_eq!(client.view(), View(3));
+        // Next submission goes to the Dog primary of view 3 (= 3 mod S = r1).
+        let actions = client.submit(b"next".to_vec(), Instant::ZERO);
+        let (to, _) = actions[0].as_send().unwrap();
+        assert_eq!(*to, NodeId::Replica(ReplicaId(1)));
+    }
+
+    #[test]
+    fn take_completed_drains() {
+        let ks = keystore();
+        let mut client = new_client(Mode::Lion);
+        client.submit(b"op".to_vec(), Instant::ZERO);
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        client.on_reply(reply_from(&ks, 0, id, b"r", Mode::Lion, View(0)), Instant::ZERO);
+        assert_eq!(client.take_completed().len(), 1);
+        assert!(client.completed().is_empty());
+        let _ = client.on_message(
+            NodeId::Replica(ReplicaId(0)),
+            Message::StateRequest(seemore_wire::StateRequest {
+                from_seq: seemore_types::SeqNum(0),
+                replica: ReplicaId(0),
+            }),
+            Instant::ZERO,
+        );
+    }
+}

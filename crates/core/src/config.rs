@@ -1,0 +1,81 @@
+//! Tunable protocol parameters (timeouts, checkpoint period, window sizes).
+
+use seemore_types::Duration;
+
+/// Parameters governing a replica's behaviour that are not part of the
+/// cluster topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// A checkpoint is produced whenever the executed sequence number is
+    /// divisible by this period (the paper's evaluation uses 10 000).
+    pub checkpoint_period: u64,
+    /// Size of the sequence-number window above the last stable checkpoint
+    /// within which proposals are accepted (PBFT's high-water mark).
+    pub high_water_mark: u64,
+    /// The progress timeout `τ`: how long a backup waits between learning of
+    /// a proposal and seeing it commit before suspecting the primary.
+    pub request_timeout: Duration,
+    /// How long a replica waits for a `NEW-VIEW` after sending a
+    /// `VIEW-CHANGE` before escalating to the next view.
+    pub view_change_timeout: Duration,
+    /// Client-side retransmission timeout (the paper's "preset time").
+    pub client_timeout: Duration,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            checkpoint_period: 128,
+            high_water_mark: 512,
+            request_timeout: Duration::from_millis(200),
+            view_change_timeout: Duration::from_millis(400),
+            client_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The configuration used by the view-change experiment of the paper's
+    /// evaluation (Section 6.3): a checkpoint every 10 000 requests.
+    pub fn paper_evaluation() -> Self {
+        ProtocolConfig { checkpoint_period: 10_000, high_water_mark: 40_000, ..Self::default() }
+    }
+
+    /// A configuration with a small checkpoint period, convenient for tests
+    /// that want to exercise garbage collection quickly.
+    pub fn with_checkpoint_period(period: u64) -> Self {
+        ProtocolConfig {
+            checkpoint_period: period,
+            high_water_mark: period.saturating_mul(4).max(16),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_consistent() {
+        let cfg = ProtocolConfig::default();
+        assert!(cfg.high_water_mark >= cfg.checkpoint_period);
+        assert!(cfg.view_change_timeout >= cfg.request_timeout);
+    }
+
+    #[test]
+    fn paper_evaluation_matches_section_6_3() {
+        let cfg = ProtocolConfig::paper_evaluation();
+        assert_eq!(cfg.checkpoint_period, 10_000);
+        assert!(cfg.high_water_mark >= cfg.checkpoint_period);
+    }
+
+    #[test]
+    fn with_checkpoint_period_scales_window() {
+        let cfg = ProtocolConfig::with_checkpoint_period(4);
+        assert_eq!(cfg.checkpoint_period, 4);
+        assert!(cfg.high_water_mark >= 16);
+        let tiny = ProtocolConfig::with_checkpoint_period(1);
+        assert!(tiny.high_water_mark >= 16);
+    }
+}

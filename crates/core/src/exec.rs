@@ -1,0 +1,340 @@
+//! In-order execution of committed requests with exactly-once semantics and
+//! a reply cache.
+
+use seemore_app::StateMachine;
+use seemore_crypto::Digest;
+use seemore_types::{ClientId, RequestId, SeqNum, Timestamp};
+use seemore_wire::ClientRequest;
+use std::collections::{BTreeMap, HashMap};
+
+/// One executed request, recorded in execution order.
+///
+/// The integration tests compare these histories across replicas to check the
+/// SMR safety property: non-faulty replicas execute the same requests in the
+/// same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutedEntry {
+    /// Sequence number the request was executed at.
+    pub seq: SeqNum,
+    /// Identity of the executed request.
+    pub request: RequestId,
+    /// Digest of the executed request.
+    pub digest: Digest,
+    /// Digest of the result returned by the state machine.
+    pub result_digest: Digest,
+}
+
+/// The outcome of draining the execution queue.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Sequence number that was executed.
+    pub seq: SeqNum,
+    /// The request that was executed (or skipped, see `result`).
+    pub request: ClientRequest,
+    /// The reply payload for the client.
+    pub result: Vec<u8>,
+}
+
+/// Applies committed requests to the local state machine strictly in
+/// sequence-number order.
+///
+/// A request whose client timestamp is not newer than the last executed
+/// timestamp for that client is *not* re-applied to the state machine (the
+/// paper's exactly-once semantics); the cached reply is returned instead so
+/// the client still receives an answer.
+pub struct ExecutionEngine {
+    app: Box<dyn StateMachine>,
+    committed: BTreeMap<SeqNum, ClientRequest>,
+    last_executed: SeqNum,
+    reply_cache: HashMap<ClientId, (Timestamp, Vec<u8>)>,
+    history: Vec<ExecutedEntry>,
+}
+
+impl std::fmt::Debug for ExecutionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionEngine")
+            .field("last_executed", &self.last_executed)
+            .field("pending", &self.committed.len())
+            .field("executed", &self.history.len())
+            .finish()
+    }
+}
+
+impl ExecutionEngine {
+    /// Wraps a state machine.
+    pub fn new(app: Box<dyn StateMachine>) -> Self {
+        ExecutionEngine {
+            app,
+            committed: BTreeMap::new(),
+            last_executed: SeqNum(0),
+            reply_cache: HashMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Registers a committed request for execution at `seq`.
+    ///
+    /// Returns `false` if a *different* request was already committed at that
+    /// sequence number (which would indicate a protocol violation upstream).
+    pub fn add_committed(&mut self, seq: SeqNum, request: ClientRequest) -> bool {
+        if seq <= self.last_executed {
+            return true; // already executed; nothing to do
+        }
+        match self.committed.get(&seq) {
+            Some(existing) => existing.digest() == request.digest(),
+            None => {
+                self.committed.insert(seq, request);
+                true
+            }
+        }
+    }
+
+    /// Whether `seq` has been committed (and possibly executed).
+    pub fn is_committed(&self, seq: SeqNum) -> bool {
+        seq <= self.last_executed || self.committed.contains_key(&seq)
+    }
+
+    /// Executes every committed request that is next in sequence order.
+    pub fn execute_ready(&mut self) -> Vec<Execution> {
+        let mut out = Vec::new();
+        loop {
+            let next = self.last_executed.next();
+            let Some(request) = self.committed.remove(&next) else { break };
+            let result = self.execute_one(next, &request);
+            out.push(Execution { seq: next, request, result });
+            self.last_executed = next;
+        }
+        out
+    }
+
+    fn execute_one(&mut self, seq: SeqNum, request: &ClientRequest) -> Vec<u8> {
+        let cached = self.reply_cache.get(&request.client);
+        let result = match cached {
+            // Exactly-once: a stale or duplicate timestamp is answered from
+            // the cache without touching the state machine.
+            Some((last_ts, reply)) if request.timestamp <= *last_ts => reply.clone(),
+            _ => {
+                let reply = self.app.execute(&request.operation);
+                self.reply_cache
+                    .insert(request.client, (request.timestamp, reply.clone()));
+                reply
+            }
+        };
+        self.history.push(ExecutedEntry {
+            seq,
+            request: request.id(),
+            digest: request.digest(),
+            result_digest: Digest::of_fields(&[b"result", &result]),
+        });
+        result
+    }
+
+    /// Highest sequence number executed so far (zero if none).
+    pub fn last_executed(&self) -> SeqNum {
+        self.last_executed
+    }
+
+    /// Last executed timestamp for `client`, if any.
+    pub fn last_timestamp(&self, client: ClientId) -> Option<Timestamp> {
+        self.reply_cache.get(&client).map(|(ts, _)| *ts)
+    }
+
+    /// Cached reply for `client` if `timestamp` is not newer than the last
+    /// executed timestamp.
+    pub fn cached_reply(&self, client: ClientId, timestamp: Timestamp) -> Option<&Vec<u8>> {
+        match self.reply_cache.get(&client) {
+            Some((last_ts, reply)) if timestamp <= *last_ts => Some(reply),
+            _ => None,
+        }
+    }
+
+    /// Digest of the application state (used by checkpoints).
+    pub fn state_digest(&self) -> Digest {
+        self.app.state_digest()
+    }
+
+    /// Serialized application state plus execution metadata, for state
+    /// transfer.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let app_snapshot = self.app.snapshot();
+        let mut out = Vec::with_capacity(app_snapshot.len() + 16);
+        out.extend_from_slice(&self.last_executed.0.to_le_bytes());
+        out.extend_from_slice(&(app_snapshot.len() as u64).to_le_bytes());
+        out.extend_from_slice(&app_snapshot);
+        out
+    }
+
+    /// Installs a snapshot produced by [`snapshot`](Self::snapshot) and
+    /// fast-forwards the executed sequence number.
+    pub fn restore(&mut self, snapshot: &[u8]) {
+        if snapshot.len() < 16 {
+            return;
+        }
+        let seq = SeqNum(u64::from_le_bytes(snapshot[..8].try_into().unwrap()));
+        let len = u64::from_le_bytes(snapshot[8..16].try_into().unwrap()) as usize;
+        if snapshot.len() < 16 + len {
+            return;
+        }
+        self.app.restore(&snapshot[16..16 + len]);
+        if seq > self.last_executed {
+            self.last_executed = seq;
+            // Committed-but-unexecuted entries at or below the snapshot are
+            // now redundant.
+            self.committed = self.committed.split_off(&seq.next());
+        }
+    }
+
+    /// Execution history in execution order.
+    pub fn history(&self) -> &[ExecutedEntry] {
+        &self.history
+    }
+
+    /// Number of requests executed (including cache-served duplicates).
+    pub fn executed_count(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// Committed requests above `from` (used to answer state transfer).
+    pub fn committed_after(&self, from: SeqNum) -> Vec<(SeqNum, ClientRequest)> {
+        self.committed
+            .range(from.next()..)
+            .map(|(seq, req)| (*seq, req.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_app::{KvOp, KvResult, KvStore, NoopApp};
+    use seemore_crypto::KeyStore;
+    use seemore_types::NodeId;
+
+    fn request(ks: &KeyStore, client: u64, ts: u64, op: Vec<u8>) -> ClientRequest {
+        let signer = ks.signer_for(NodeId::Client(ClientId(client))).unwrap();
+        ClientRequest::new(ClientId(client), Timestamp(ts), op, &signer)
+    }
+
+    fn engine() -> (ExecutionEngine, KeyStore) {
+        (ExecutionEngine::new(Box::new(KvStore::new())), KeyStore::generate(5, 1, 4))
+    }
+
+    #[test]
+    fn executes_in_sequence_order_only() {
+        let (mut exec, ks) = engine();
+        let r1 = request(&ks, 0, 1, KvOp::Put { key: b"a".to_vec(), value: b"1".to_vec() }.encode());
+        let r2 = request(&ks, 0, 2, KvOp::Get { key: b"a".to_vec() }.encode());
+
+        // Commit seq 2 first: nothing executes until seq 1 arrives.
+        assert!(exec.add_committed(SeqNum(2), r2));
+        assert!(exec.execute_ready().is_empty());
+        assert_eq!(exec.last_executed(), SeqNum(0));
+
+        assert!(exec.add_committed(SeqNum(1), r1));
+        let executed = exec.execute_ready();
+        assert_eq!(executed.len(), 2);
+        assert_eq!(executed[0].seq, SeqNum(1));
+        assert_eq!(executed[1].seq, SeqNum(2));
+        assert_eq!(
+            KvResult::decode(&executed[1].result),
+            Some(KvResult::Value(b"1".to_vec()))
+        );
+        assert_eq!(exec.last_executed(), SeqNum(2));
+        assert_eq!(exec.executed_count(), 2);
+    }
+
+    #[test]
+    fn conflicting_commit_is_rejected() {
+        let (mut exec, ks) = engine();
+        let a = request(&ks, 0, 1, b"op-a".to_vec());
+        let b = request(&ks, 1, 1, b"op-b".to_vec());
+        assert!(exec.add_committed(SeqNum(1), a.clone()));
+        assert!(!exec.add_committed(SeqNum(1), b));
+        assert!(exec.add_committed(SeqNum(1), a)); // same request is fine
+    }
+
+    #[test]
+    fn exactly_once_execution_with_reply_cache() {
+        let (mut exec, ks) = engine();
+        let put = request(&ks, 0, 5, KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() }.encode());
+        exec.add_committed(SeqNum(1), put.clone());
+        exec.execute_ready();
+        assert_eq!(exec.last_timestamp(ClientId(0)), Some(Timestamp(5)));
+
+        // The same request committed again at a later sequence number (e.g.
+        // re-proposed across a view change) must not be applied twice.
+        let duplicate = put.clone();
+        let delete = request(&ks, 1, 1, KvOp::Delete { key: b"k".to_vec() }.encode());
+        exec.add_committed(SeqNum(2), duplicate);
+        exec.add_committed(SeqNum(3), delete);
+        let executed = exec.execute_ready();
+        assert_eq!(executed.len(), 2);
+        // The duplicate was served from the cache: the key still existed when
+        // the delete at seq 3 ran, so the delete found it.
+        assert_eq!(KvResult::decode(&executed[1].result), Some(KvResult::Ok));
+        // Cached reply is available.
+        assert!(exec.cached_reply(ClientId(0), Timestamp(5)).is_some());
+        assert!(exec.cached_reply(ClientId(0), Timestamp(6)).is_none());
+    }
+
+    #[test]
+    fn history_records_order_and_digests() {
+        let (mut exec, ks) = engine();
+        let r1 = request(&ks, 0, 1, b"x".to_vec());
+        let r2 = request(&ks, 1, 1, b"y".to_vec());
+        exec.add_committed(SeqNum(1), r1.clone());
+        exec.add_committed(SeqNum(2), r2.clone());
+        exec.execute_ready();
+        let history = exec.history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].request, r1.id());
+        assert_eq!(history[0].digest, r1.digest());
+        assert_eq!(history[1].request, r2.id());
+        assert!(exec.is_committed(SeqNum(1)));
+        assert!(!exec.is_committed(SeqNum(3)));
+    }
+
+    #[test]
+    fn snapshot_restore_fast_forwards() {
+        let (mut a, ks) = engine();
+        for i in 1..=10u64 {
+            let r = request(&ks, 0, i, KvOp::Put {
+                key: format!("k{i}").into_bytes(),
+                value: b"v".to_vec(),
+            }.encode());
+            a.add_committed(SeqNum(i), r);
+        }
+        a.execute_ready();
+        let snapshot = a.snapshot();
+
+        let mut b = ExecutionEngine::new(Box::new(KvStore::new()));
+        b.restore(&snapshot);
+        assert_eq!(b.last_executed(), SeqNum(10));
+        assert_eq!(b.state_digest(), a.state_digest());
+
+        // Garbage snapshots are ignored.
+        let mut c = ExecutionEngine::new(Box::new(KvStore::new()));
+        c.restore(&[0, 1, 2]);
+        assert_eq!(c.last_executed(), SeqNum(0));
+    }
+
+    #[test]
+    fn committed_after_returns_pending_entries() {
+        let (mut exec, ks) = engine();
+        exec.add_committed(SeqNum(3), request(&ks, 0, 1, b"a".to_vec()));
+        exec.add_committed(SeqNum(5), request(&ks, 0, 2, b"b".to_vec()));
+        let after = exec.committed_after(SeqNum(3));
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].0, SeqNum(5));
+        assert_eq!(exec.committed_after(SeqNum(0)).len(), 2);
+    }
+
+    #[test]
+    fn works_with_noop_app() {
+        let mut exec = ExecutionEngine::new(Box::new(NoopApp::new(64)));
+        let ks = KeyStore::generate(5, 1, 1);
+        exec.add_committed(SeqNum(1), request(&ks, 0, 1, vec![]));
+        let executed = exec.execute_ready();
+        assert_eq!(executed[0].result.len(), 64);
+    }
+}

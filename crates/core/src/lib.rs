@@ -1,0 +1,48 @@
+//! The SeeMoRe protocol: hybrid crash/Byzantine State Machine Replication
+//! for public/private cloud environments.
+//!
+//! This crate contains the paper's primary contribution:
+//!
+//! * [`replica::SeeMoReReplica`] — a replica implementing the **Lion**,
+//!   **Dog** and **Peacock** modes (Sections 5.1–5.3), including
+//!   checkpointing, garbage collection, state transfer, per-mode view
+//!   changes and dynamic mode switching (Section 5.4).
+//! * [`client::ClientCore`] — the client side of the protocol: request
+//!   submission, per-mode reply quorums and retransmission.
+//! * [`byzantine`] — Byzantine behaviour wrappers used by the tests and the
+//!   evaluation harness to inject equivocation, silence and signature
+//!   corruption into public-cloud replicas.
+//! * [`profile`] — the analytical cost model behind Table 1.
+//!
+//! Every protocol core is *sans-IO*: it consumes [`Message`]s and timer
+//! expirations and produces [`Action`]s, never touching sockets, clocks or
+//! threads. The `seemore-runtime` crate drives cores over either a threaded
+//! in-memory network or a deterministic discrete-event simulator.
+//!
+//! [`Message`]: seemore_wire::Message
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod actions;
+pub mod byzantine;
+pub mod checkpoint;
+pub mod client;
+pub mod config;
+pub mod exec;
+pub mod log;
+pub mod metrics;
+pub mod profile;
+pub mod protocol;
+pub mod replica;
+pub mod testkit;
+
+pub use actions::{Action, Timer};
+pub use byzantine::{ByzantineBehavior, ByzantineReplica};
+pub use client::{ClientCore, ClientOutcome, ClientProtocol};
+pub use config::ProtocolConfig;
+pub use exec::ExecutedEntry;
+pub use metrics::ReplicaMetrics;
+pub use profile::ProtocolProfile;
+pub use protocol::ReplicaProtocol;
+pub use replica::SeeMoReReplica;

@@ -1,0 +1,326 @@
+//! The per-sequence-number message log and quorum tracking.
+//!
+//! Every agreement protocol in this workspace (the three SeeMoRe modes and
+//! the baselines) keeps, for each sequence number, the proposal it accepted
+//! and the votes it has collected so far. [`MessageLog`] owns those
+//! [`Instance`]s, enforces the sequence-number window dictated by the last
+//! stable checkpoint, and garbage-collects instances once a checkpoint makes
+//! them obsolete (Section 5.1, "State Transfer").
+
+use seemore_crypto::{Digest, Signature};
+use seemore_types::{ReplicaId, SeqNum, View};
+use seemore_wire::ClientRequest;
+use std::collections::BTreeMap;
+
+/// The proposal a replica has accepted for one sequence number.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// View the proposal was made in.
+    pub view: View,
+    /// Digest of the proposed request.
+    pub digest: Digest,
+    /// The proposed request.
+    pub request: ClientRequest,
+    /// The proposing primary's signature (kept as view-change evidence).
+    pub primary_signature: Signature,
+}
+
+/// Agreement state for a single sequence number.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    /// The accepted proposal, if any.
+    pub proposal: Option<Proposal>,
+    /// `ACCEPT` votes received, by voter.
+    pub accepts: BTreeMap<ReplicaId, Digest>,
+    /// PBFT-style `PREPARE` votes received, by voter.
+    pub pbft_prepares: BTreeMap<ReplicaId, Digest>,
+    /// `COMMIT` votes received, by voter.
+    pub commits: BTreeMap<ReplicaId, Digest>,
+    /// `INFORM` notifications received, by proxy.
+    pub informs: BTreeMap<ReplicaId, Digest>,
+    /// Whether this replica reached the "prepared" predicate (PBFT phases).
+    pub prepared: bool,
+    /// Whether this replica considers the request committed.
+    pub committed: bool,
+    /// Whether this replica already sent its commit-phase message.
+    pub commit_sent: bool,
+    /// Whether this replica already sent its `INFORM` messages.
+    pub inform_sent: bool,
+    /// Whether a reply was already sent to the client.
+    pub reply_sent: bool,
+}
+
+impl Instance {
+    /// Records a vote in `votes`, returning how many recorded votes match
+    /// `digest` afterwards. A voter's first vote wins; replays and
+    /// equivocating re-votes do not change the count.
+    fn record_vote(
+        votes: &mut BTreeMap<ReplicaId, Digest>,
+        voter: ReplicaId,
+        digest: Digest,
+    ) -> usize {
+        votes.entry(voter).or_insert(digest);
+        votes.values().filter(|d| **d == digest).count()
+    }
+
+    /// Records an `ACCEPT` vote and returns the matching-vote count.
+    pub fn record_accept(&mut self, voter: ReplicaId, digest: Digest) -> usize {
+        Self::record_vote(&mut self.accepts, voter, digest)
+    }
+
+    /// Records a PBFT `PREPARE` vote and returns the matching-vote count.
+    pub fn record_pbft_prepare(&mut self, voter: ReplicaId, digest: Digest) -> usize {
+        Self::record_vote(&mut self.pbft_prepares, voter, digest)
+    }
+
+    /// Records a `COMMIT` vote and returns the matching-vote count.
+    pub fn record_commit(&mut self, voter: ReplicaId, digest: Digest) -> usize {
+        Self::record_vote(&mut self.commits, voter, digest)
+    }
+
+    /// Records an `INFORM` and returns the matching count.
+    pub fn record_inform(&mut self, voter: ReplicaId, digest: Digest) -> usize {
+        Self::record_vote(&mut self.informs, voter, digest)
+    }
+
+    /// Number of `ACCEPT` votes matching `digest`.
+    pub fn matching_accepts(&self, digest: &Digest) -> usize {
+        self.accepts.values().filter(|d| *d == digest).count()
+    }
+
+    /// Number of commit votes matching `digest`.
+    pub fn matching_commits(&self, digest: &Digest) -> usize {
+        self.commits.values().filter(|d| *d == digest).count()
+    }
+
+    /// Whether the stored proposal matches `(view, digest)`.
+    pub fn proposal_matches(&self, view: View, digest: &Digest) -> bool {
+        self.proposal
+            .as_ref()
+            .is_some_and(|p| p.view == view && &p.digest == digest)
+    }
+}
+
+/// The log of agreement instances, bounded by a sliding window above the
+/// last stable checkpoint.
+#[derive(Debug, Default)]
+pub struct MessageLog {
+    instances: BTreeMap<SeqNum, Instance>,
+    low_mark: SeqNum,
+}
+
+impl MessageLog {
+    /// Creates an empty log with the window starting at sequence number 0.
+    pub fn new() -> Self {
+        MessageLog::default()
+    }
+
+    /// The low-water mark: the sequence number of the last stable checkpoint.
+    pub fn low_mark(&self) -> SeqNum {
+        self.low_mark
+    }
+
+    /// Whether `seq` falls inside the acceptance window
+    /// `(low_mark, low_mark + high_water]`.
+    pub fn in_window(&self, seq: SeqNum, high_water: u64) -> bool {
+        seq > self.low_mark && seq.0 <= self.low_mark.0 + high_water
+    }
+
+    /// Mutable access to the instance for `seq`, creating it if absent.
+    pub fn instance_mut(&mut self, seq: SeqNum) -> &mut Instance {
+        self.instances.entry(seq).or_default()
+    }
+
+    /// Read access to the instance for `seq`.
+    pub fn instance(&self, seq: SeqNum) -> Option<&Instance> {
+        self.instances.get(&seq)
+    }
+
+    /// Iterates over instances above `from` in ascending order.
+    pub fn instances_after(&self, from: SeqNum) -> impl Iterator<Item = (&SeqNum, &Instance)> {
+        self.instances.range(from.next()..)
+    }
+
+    /// Number of live (non-garbage-collected) instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the log holds no live instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Highest sequence number with a stored proposal, if any.
+    pub fn highest_proposed(&self) -> Option<SeqNum> {
+        self.instances
+            .iter()
+            .rev()
+            .find(|(_, inst)| inst.proposal.is_some())
+            .map(|(seq, _)| *seq)
+    }
+
+    /// Garbage-collects every instance at or below `stable_seq` and advances
+    /// the low-water mark (the paper's checkpoint-based garbage collection).
+    pub fn garbage_collect(&mut self, stable_seq: SeqNum) {
+        if stable_seq <= self.low_mark {
+            return;
+        }
+        self.low_mark = stable_seq;
+        self.instances = self.instances.split_off(&stable_seq.next());
+    }
+
+    /// Discards per-view vote state for every instance that has not yet
+    /// committed (called when entering a new view, where votes from the old
+    /// view are no longer meaningful).
+    pub fn reset_votes_for_new_view(&mut self) {
+        for instance in self.instances.values_mut() {
+            if !instance.committed {
+                instance.accepts.clear();
+                instance.pbft_prepares.clear();
+                instance.commits.clear();
+                instance.prepared = false;
+                instance.commit_sent = false;
+                instance.proposal = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: &str) -> Digest {
+        Digest::of_bytes(tag.as_bytes())
+    }
+
+    #[test]
+    fn vote_counting_matches_digests() {
+        let mut inst = Instance::default();
+        let d1 = digest("a");
+        let d2 = digest("b");
+        assert_eq!(inst.record_accept(ReplicaId(1), d1), 1);
+        assert_eq!(inst.record_accept(ReplicaId(2), d1), 2);
+        assert_eq!(inst.record_accept(ReplicaId(3), d2), 1);
+        assert_eq!(inst.matching_accepts(&d1), 2);
+        assert_eq!(inst.matching_accepts(&d2), 1);
+    }
+
+    #[test]
+    fn duplicate_and_equivocating_votes_do_not_inflate_counts() {
+        let mut inst = Instance::default();
+        let d1 = digest("a");
+        let d2 = digest("b");
+        assert_eq!(inst.record_commit(ReplicaId(1), d1), 1);
+        // Replay of the same vote.
+        assert_eq!(inst.record_commit(ReplicaId(1), d1), 1);
+        // Equivocation: the same replica voting for a different digest does
+        // not count for either digest a second time.
+        assert_eq!(inst.record_commit(ReplicaId(1), d2), 0);
+        assert_eq!(inst.matching_commits(&d1), 1);
+        assert_eq!(inst.matching_commits(&d2), 0);
+    }
+
+    #[test]
+    fn window_semantics() {
+        let mut log = MessageLog::new();
+        assert!(log.in_window(SeqNum(1), 10));
+        assert!(log.in_window(SeqNum(10), 10));
+        assert!(!log.in_window(SeqNum(11), 10));
+        assert!(!log.in_window(SeqNum(0), 10));
+
+        log.garbage_collect(SeqNum(10));
+        assert_eq!(log.low_mark(), SeqNum(10));
+        assert!(!log.in_window(SeqNum(10), 10));
+        assert!(log.in_window(SeqNum(11), 10));
+        assert!(log.in_window(SeqNum(20), 10));
+        assert!(!log.in_window(SeqNum(21), 10));
+    }
+
+    #[test]
+    fn garbage_collection_drops_old_instances() {
+        let mut log = MessageLog::new();
+        for i in 1..=20u64 {
+            log.instance_mut(SeqNum(i)).committed = true;
+        }
+        assert_eq!(log.len(), 20);
+        log.garbage_collect(SeqNum(10));
+        assert_eq!(log.len(), 10);
+        assert!(log.instance(SeqNum(10)).is_none());
+        assert!(log.instance(SeqNum(11)).is_some());
+        // Collecting backwards is a no-op.
+        log.garbage_collect(SeqNum(5));
+        assert_eq!(log.low_mark(), SeqNum(10));
+        assert_eq!(log.len(), 10);
+    }
+
+    #[test]
+    fn highest_proposed_and_iteration() {
+        let mut log = MessageLog::new();
+        assert!(log.highest_proposed().is_none());
+        assert!(log.is_empty());
+        log.instance_mut(SeqNum(3));
+        log.instance_mut(SeqNum(5)).proposal = Some(Proposal {
+            view: View(0),
+            digest: digest("x"),
+            request: sample_request(),
+            primary_signature: Signature::INVALID,
+        });
+        assert_eq!(log.highest_proposed(), Some(SeqNum(5)));
+        let after: Vec<_> = log.instances_after(SeqNum(3)).map(|(s, _)| *s).collect();
+        assert_eq!(after, vec![SeqNum(5)]);
+    }
+
+    #[test]
+    fn new_view_reset_preserves_committed_instances() {
+        let mut log = MessageLog::new();
+        let d = digest("req");
+        {
+            let inst = log.instance_mut(SeqNum(1));
+            inst.committed = true;
+            inst.record_commit(ReplicaId(1), d);
+        }
+        {
+            let inst = log.instance_mut(SeqNum(2));
+            inst.record_accept(ReplicaId(1), d);
+            inst.prepared = true;
+            inst.proposal = Some(Proposal {
+                view: View(0),
+                digest: d,
+                request: sample_request(),
+                primary_signature: Signature::INVALID,
+            });
+        }
+        log.reset_votes_for_new_view();
+        assert_eq!(log.instance(SeqNum(1)).unwrap().matching_commits(&d), 1);
+        let reset = log.instance(SeqNum(2)).unwrap();
+        assert!(reset.accepts.is_empty());
+        assert!(!reset.prepared);
+        assert!(reset.proposal.is_none());
+    }
+
+    #[test]
+    fn proposal_matching() {
+        let mut inst = Instance::default();
+        let d = digest("p");
+        assert!(!inst.proposal_matches(View(0), &d));
+        inst.proposal = Some(Proposal {
+            view: View(0),
+            digest: d,
+            request: sample_request(),
+            primary_signature: Signature::INVALID,
+        });
+        assert!(inst.proposal_matches(View(0), &d));
+        assert!(!inst.proposal_matches(View(1), &d));
+        assert!(!inst.proposal_matches(View(0), &digest("other")));
+    }
+
+    fn sample_request() -> ClientRequest {
+        use seemore_crypto::KeyStore;
+        use seemore_types::{ClientId, NodeId, Timestamp};
+        let ks = KeyStore::generate(0, 1, 1);
+        let signer = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
+        ClientRequest::new(ClientId(0), Timestamp(1), b"op".to_vec(), &signer)
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-replica protocol counters.
+//!
+//! The evaluation cares about the number of messages each protocol exchanges
+//! per committed request (Table 1) and about control-plane events such as
+//! view changes (Figure 4). Every core maintains a [`ReplicaMetrics`] that
+//! the runtime aggregates.
+
+use seemore_wire::MessageKind;
+use std::collections::BTreeMap;
+
+/// Counters maintained by every replica core.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaMetrics {
+    sent: BTreeMap<MessageKind, u64>,
+    received: BTreeMap<MessageKind, u64>,
+    sent_bytes: u64,
+    /// Requests committed by this replica.
+    pub committed: u64,
+    /// Requests executed by this replica.
+    pub executed: u64,
+    /// View changes this replica participated in (sent a `VIEW-CHANGE`).
+    pub view_changes_started: u64,
+    /// `NEW-VIEW`s this replica installed.
+    pub view_changes_completed: u64,
+    /// Mode switches this replica completed.
+    pub mode_switches: u64,
+    /// Checkpoints that became stable at this replica.
+    pub stable_checkpoints: u64,
+    /// Messages discarded as invalid (bad signature, wrong view, ...).
+    pub rejected_messages: u64,
+}
+
+impl ReplicaMetrics {
+    /// Records an outgoing message of `kind` with the given wire size.
+    pub fn record_sent(&mut self, kind: MessageKind, wire_size: usize) {
+        *self.sent.entry(kind).or_default() += 1;
+        self.sent_bytes += wire_size as u64;
+    }
+
+    /// Records an incoming message of `kind`.
+    pub fn record_received(&mut self, kind: MessageKind) {
+        *self.received.entry(kind).or_default() += 1;
+    }
+
+    /// Number of messages of `kind` sent so far.
+    pub fn sent(&self, kind: MessageKind) -> u64 {
+        self.sent.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of messages of `kind` received so far.
+    pub fn received(&self, kind: MessageKind) -> u64 {
+        self.received.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total messages received across all kinds.
+    pub fn total_received(&self) -> u64 {
+        self.received.values().sum()
+    }
+
+    /// Total bytes sent (according to the wire-size model).
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Messages sent on the agreement data path only (excluding client
+    /// traffic and control-plane messages), matching the "number of message
+    /// exchanges" column of Table 1.
+    pub fn agreement_messages_sent(&self) -> u64 {
+        self.sent
+            .iter()
+            .filter(|(kind, _)| kind.is_agreement())
+            .map(|(_, count)| *count)
+            .sum()
+    }
+
+    /// Folds another replica's counters into this one (used by the runtime
+    /// to aggregate cluster-wide totals).
+    pub fn merge(&mut self, other: &ReplicaMetrics) {
+        for (kind, count) in &other.sent {
+            *self.sent.entry(*kind).or_default() += count;
+        }
+        for (kind, count) in &other.received {
+            *self.received.entry(*kind).or_default() += count;
+        }
+        self.sent_bytes += other.sent_bytes;
+        self.committed += other.committed;
+        self.executed += other.executed;
+        self.view_changes_started += other.view_changes_started;
+        self.view_changes_completed += other.view_changes_completed;
+        self.mode_switches += other.mode_switches;
+        self.stable_checkpoints += other.stable_checkpoints;
+        self.rejected_messages += other.rejected_messages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = ReplicaMetrics::default();
+        m.record_sent(MessageKind::Prepare, 100);
+        m.record_sent(MessageKind::Prepare, 100);
+        m.record_sent(MessageKind::Reply, 32);
+        m.record_received(MessageKind::Accept);
+        assert_eq!(m.sent(MessageKind::Prepare), 2);
+        assert_eq!(m.sent(MessageKind::Reply), 1);
+        assert_eq!(m.sent(MessageKind::Commit), 0);
+        assert_eq!(m.received(MessageKind::Accept), 1);
+        assert_eq!(m.total_sent(), 3);
+        assert_eq!(m.total_received(), 1);
+        assert_eq!(m.total_sent_bytes(), 232);
+    }
+
+    #[test]
+    fn agreement_messages_exclude_client_and_control_traffic() {
+        let mut m = ReplicaMetrics::default();
+        m.record_sent(MessageKind::Prepare, 10);
+        m.record_sent(MessageKind::Accept, 10);
+        m.record_sent(MessageKind::Reply, 10);
+        m.record_sent(MessageKind::ViewChange, 10);
+        m.record_sent(MessageKind::Checkpoint, 10);
+        assert_eq!(m.agreement_messages_sent(), 2);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ReplicaMetrics::default();
+        a.record_sent(MessageKind::Commit, 50);
+        a.committed = 3;
+        a.view_changes_completed = 1;
+
+        let mut b = ReplicaMetrics::default();
+        b.record_sent(MessageKind::Commit, 50);
+        b.record_received(MessageKind::Prepare);
+        b.committed = 2;
+        b.rejected_messages = 4;
+
+        a.merge(&b);
+        assert_eq!(a.sent(MessageKind::Commit), 2);
+        assert_eq!(a.received(MessageKind::Prepare), 1);
+        assert_eq!(a.committed, 5);
+        assert_eq!(a.rejected_messages, 4);
+        assert_eq!(a.view_changes_completed, 1);
+        assert_eq!(a.total_sent_bytes(), 100);
+    }
+}

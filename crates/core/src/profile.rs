@@ -1,0 +1,245 @@
+//! Analytical cost model behind Table 1 of the paper.
+//!
+//! Table 1 compares the three SeeMoRe modes with Paxos, PBFT and UpRight
+//! along four axes: communication phases, message complexity, receiving
+//! network size and quorum size. [`ProtocolProfile`] captures one row and
+//! [`table1`] generates the whole table for a given `(c, m)` so the
+//! benchmark harness can print it (and the tests can check it) for any
+//! failure configuration.
+
+use seemore_types::Mode;
+
+/// Asymptotic message complexity of the agreement path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageComplexity {
+    /// `O(n)` messages per request.
+    Linear,
+    /// `O(n²)` messages per request.
+    Quadratic,
+}
+
+impl std::fmt::Display for MessageComplexity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageComplexity::Linear => write!(f, "O(n)"),
+            MessageComplexity::Quadratic => write!(f, "O(n^2)"),
+        }
+    }
+}
+
+/// One row of Table 1, instantiated for concrete failure bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolProfile {
+    /// Protocol (or SeeMoRe mode) name as printed in the paper.
+    pub name: &'static str,
+    /// Number of communication phases between request reception at the
+    /// primary and commit.
+    pub phases: u32,
+    /// Message complexity class.
+    pub messages: MessageComplexity,
+    /// Symbolic receiving-network size, e.g. `3m+2c+1`.
+    pub receiving_network_formula: &'static str,
+    /// Concrete receiving-network size for the given `(c, m)`.
+    pub receiving_network: u32,
+    /// Symbolic quorum size, e.g. `2m+c+1`.
+    pub quorum_formula: &'static str,
+    /// Concrete quorum size for the given `(c, m)`.
+    pub quorum: u32,
+    /// Estimated number of protocol messages exchanged per committed request
+    /// in the failure-free case (the closed forms given in Section 5).
+    pub normal_case_messages: u32,
+}
+
+/// The profile of one SeeMoRe mode for `c` crash and `m` Byzantine faults.
+///
+/// Normal-case message counts follow the closed forms in Sections 5.1–5.3:
+/// `3N` for Lion, `N + (3m+1)² + (3m+1)·N` for Dog and
+/// `N + 2(3m+1)² + (1+S)(3m+1)` for Peacock, with `N = 3m+2c+1` and `S = 2c`.
+pub fn seemore_profile(mode: Mode, c: u32, m: u32) -> ProtocolProfile {
+    let n = 3 * m + 2 * c + 1;
+    let s = 2 * c;
+    let proxies = 3 * m + 1;
+    match mode {
+        Mode::Lion => ProtocolProfile {
+            name: "Lion",
+            phases: 2,
+            messages: MessageComplexity::Linear,
+            receiving_network_formula: "3m+2c+1",
+            receiving_network: n,
+            quorum_formula: "2m+c+1",
+            quorum: 2 * m + c + 1,
+            normal_case_messages: 3 * n,
+        },
+        Mode::Dog => ProtocolProfile {
+            name: "Dog",
+            phases: 2,
+            messages: MessageComplexity::Quadratic,
+            receiving_network_formula: "3m+1",
+            receiving_network: proxies,
+            quorum_formula: "2m+1",
+            quorum: 2 * m + 1,
+            normal_case_messages: n + proxies * proxies + proxies * n,
+        },
+        Mode::Peacock => ProtocolProfile {
+            name: "Peacock",
+            phases: 3,
+            messages: MessageComplexity::Quadratic,
+            receiving_network_formula: "3m+1",
+            receiving_network: proxies,
+            quorum_formula: "2m+1",
+            quorum: 2 * m + 1,
+            normal_case_messages: n + 2 * proxies * proxies + (1 + s) * proxies,
+        },
+    }
+}
+
+/// Profile of the crash fault-tolerant baseline (Paxos) tolerating
+/// `f = c + m` crash failures, as configured in the paper's evaluation.
+pub fn paxos_profile(c: u32, m: u32) -> ProtocolProfile {
+    let f = c + m;
+    let n = 2 * f + 1;
+    ProtocolProfile {
+        name: "Paxos",
+        phases: 2,
+        messages: MessageComplexity::Linear,
+        receiving_network_formula: "2f+1",
+        receiving_network: n,
+        quorum_formula: "f+1",
+        quorum: f + 1,
+        normal_case_messages: 3 * n,
+    }
+}
+
+/// Profile of the Byzantine fault-tolerant baseline (PBFT) tolerating
+/// `f = c + m` Byzantine failures.
+pub fn pbft_profile(c: u32, m: u32) -> ProtocolProfile {
+    let f = c + m;
+    let n = 3 * f + 1;
+    ProtocolProfile {
+        name: "PBFT",
+        phases: 3,
+        messages: MessageComplexity::Quadratic,
+        receiving_network_formula: "3f+1",
+        receiving_network: n,
+        quorum_formula: "2f+1",
+        quorum: 2 * f + 1,
+        normal_case_messages: n + 2 * n * n,
+    }
+}
+
+/// Profile of the hybrid baseline (UpRight / S-UpRight): PBFT-style
+/// agreement over `3m + 2c + 1` replicas with `2m + c + 1` quorums.
+pub fn upright_profile(c: u32, m: u32) -> ProtocolProfile {
+    let n = 3 * m + 2 * c + 1;
+    ProtocolProfile {
+        name: "UpRight",
+        phases: 2,
+        messages: MessageComplexity::Quadratic,
+        receiving_network_formula: "3m+2c+1",
+        receiving_network: n,
+        quorum_formula: "2m+c+1",
+        quorum: 2 * m + c + 1,
+        normal_case_messages: n + 2 * n * n,
+    }
+}
+
+/// All rows of Table 1 for the given failure bounds, in the paper's order.
+pub fn table1(c: u32, m: u32) -> Vec<ProtocolProfile> {
+    vec![
+        seemore_profile(Mode::Lion, c, m),
+        seemore_profile(Mode::Dog, c, m),
+        seemore_profile(Mode::Peacock, c, m),
+        paxos_profile(c, m),
+        pbft_profile(c, m),
+        upright_profile(c, m),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_symbolic_columns_match_paper() {
+        let rows = table1(1, 1);
+        let by_name = |name: &str| rows.iter().find(|r| r.name == name).unwrap().clone();
+
+        let lion = by_name("Lion");
+        assert_eq!(lion.phases, 2);
+        assert_eq!(lion.messages, MessageComplexity::Linear);
+        assert_eq!(lion.receiving_network_formula, "3m+2c+1");
+        assert_eq!(lion.quorum_formula, "2m+c+1");
+
+        let dog = by_name("Dog");
+        assert_eq!(dog.phases, 2);
+        assert_eq!(dog.messages, MessageComplexity::Quadratic);
+        assert_eq!(dog.receiving_network_formula, "3m+1");
+        assert_eq!(dog.quorum_formula, "2m+1");
+
+        let peacock = by_name("Peacock");
+        assert_eq!(peacock.phases, 3);
+        assert_eq!(peacock.quorum_formula, "2m+1");
+
+        let paxos = by_name("Paxos");
+        assert_eq!(paxos.phases, 2);
+        assert_eq!(paxos.messages, MessageComplexity::Linear);
+        assert_eq!(paxos.quorum_formula, "f+1");
+
+        let pbft = by_name("PBFT");
+        assert_eq!(pbft.phases, 3);
+        assert_eq!(pbft.quorum_formula, "2f+1");
+
+        let upright = by_name("UpRight");
+        assert_eq!(upright.phases, 2);
+        assert_eq!(upright.messages, MessageComplexity::Quadratic);
+        assert_eq!(upright.quorum_formula, "2m+c+1");
+    }
+
+    #[test]
+    fn concrete_sizes_for_the_evaluation_scenarios() {
+        // f = 2 (c = m = 1): SeeMoRe/UpRight = 6, CFT = 5, BFT = 7.
+        let rows = table1(1, 1);
+        assert_eq!(rows.iter().find(|r| r.name == "Lion").unwrap().receiving_network, 6);
+        assert_eq!(rows.iter().find(|r| r.name == "UpRight").unwrap().receiving_network, 6);
+        assert_eq!(rows.iter().find(|r| r.name == "Paxos").unwrap().receiving_network, 5);
+        assert_eq!(rows.iter().find(|r| r.name == "PBFT").unwrap().receiving_network, 7);
+        // The Dog/Peacock modes only talk to the 3m+1 = 4 public replicas.
+        assert_eq!(rows.iter().find(|r| r.name == "Dog").unwrap().receiving_network, 4);
+
+        // f = 4 scenarios from Fig. 2(b)-(d).
+        assert_eq!(seemore_profile(Mode::Lion, 2, 2).receiving_network, 11);
+        assert_eq!(seemore_profile(Mode::Lion, 1, 3).receiving_network, 12);
+        assert_eq!(seemore_profile(Mode::Lion, 3, 1).receiving_network, 10);
+        assert_eq!(paxos_profile(2, 2).receiving_network, 9);
+        assert_eq!(pbft_profile(2, 2).receiving_network, 13);
+    }
+
+    #[test]
+    fn normal_case_message_counts_match_closed_forms() {
+        // c = m = 1: N = 6, S = 2, proxies = 4.
+        let lion = seemore_profile(Mode::Lion, 1, 1);
+        assert_eq!(lion.normal_case_messages, 18); // 3N
+        let dog = seemore_profile(Mode::Dog, 1, 1);
+        assert_eq!(dog.normal_case_messages, 6 + 16 + 24); // N + 16 + 4N
+        let peacock = seemore_profile(Mode::Peacock, 1, 1);
+        assert_eq!(peacock.normal_case_messages, 6 + 32 + 12); // N + 2*16 + 3*4
+    }
+
+    #[test]
+    fn lion_always_cheaper_than_pbft_in_messages() {
+        for c in 1..5u32 {
+            for m in 1..5u32 {
+                let lion = seemore_profile(Mode::Lion, c, m);
+                let pbft = pbft_profile(c, m);
+                assert!(lion.normal_case_messages < pbft.normal_case_messages);
+                assert!(lion.receiving_network < pbft.receiving_network);
+            }
+        }
+    }
+
+    #[test]
+    fn display_of_complexity() {
+        assert_eq!(MessageComplexity::Linear.to_string(), "O(n)");
+        assert_eq!(MessageComplexity::Quadratic.to_string(), "O(n^2)");
+    }
+}

@@ -1,0 +1,752 @@
+//! Normal-case agreement handlers for the three SeeMoRe modes
+//! (Sections 5.1–5.3 of the paper).
+
+use super::SeeMoReReplica;
+use crate::actions::{Action, Timer};
+use crate::log::Proposal;
+use seemore_crypto::Signature;
+use seemore_types::{Instant, Mode, NodeId, ProtocolViolation, ReplicaId, SeqNum};
+use seemore_wire::{
+    Accept, ClientRequest, Commit, Inform, Message, PbftPrepare, PrePrepare, Prepare,
+    SignedPayload,
+};
+
+impl SeeMoReReplica {
+    // ------------------------------------------------------------------
+    // Primary: proposing
+    // ------------------------------------------------------------------
+
+    /// Assigns a sequence number to `request` and broadcasts the proposal
+    /// (a `PREPARE` in Lion/Dog, a `PRE-PREPARE` in Peacock).
+    pub(crate) fn primary_propose(
+        &mut self,
+        actions: &mut Vec<Action>,
+        request: ClientRequest,
+        _now: Instant,
+    ) {
+        let id = request.id();
+        if self.assigned.contains_key(&id) {
+            // Already ordered (duplicate transmission); the commit path will
+            // answer the client.
+            return;
+        }
+        let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
+        if !self.log.in_window(seq, self.pconfig.high_water_mark) {
+            // The window is full; the request is dropped and the client will
+            // retransmit once the backlog drains.
+            return;
+        }
+        self.next_seq = seq;
+        self.assigned.insert(id, seq);
+        let digest = request.digest();
+
+        match self.mode {
+            Mode::Lion | Mode::Dog => {
+                let mut prepare = Prepare {
+                    view: self.view,
+                    seq,
+                    digest,
+                    request: request.clone(),
+                    signature: Signature::INVALID,
+                };
+                prepare.signature = self.signer.sign(&prepare.signing_bytes());
+                let instance = self.log.instance_mut(seq);
+                instance.proposal = Some(Proposal {
+                    view: self.view,
+                    digest,
+                    request,
+                    primary_signature: prepare.signature,
+                });
+                let recipients = self.all_replicas();
+                self.broadcast_to(actions, recipients, Message::Prepare(prepare));
+            }
+            Mode::Peacock => {
+                let mut preprepare = PrePrepare {
+                    view: self.view,
+                    seq,
+                    digest,
+                    request: request.clone(),
+                    signature: Signature::INVALID,
+                };
+                preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
+                let instance = self.log.instance_mut(seq);
+                instance.proposal = Some(Proposal {
+                    view: self.view,
+                    digest,
+                    request,
+                    primary_signature: preprepare.signature,
+                });
+                // The paper: the Peacock primary multicasts the pre-prepare
+                // (with the request) to *all* nodes, not only the proxies.
+                let recipients = self.all_replicas();
+                self.broadcast_to(actions, recipients, Message::PrePrepare(preprepare));
+                // Arm a progress timer on the primary too, so a stalled
+                // quorum is detected even if backups are slow.
+                self.progress_armed.insert(seq, self.view);
+                actions.push(Action::SetTimer {
+                    timer: Timer::RequestProgress { seq },
+                    after: self.pconfig.request_timeout,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proposal validation shared by PREPARE and PRE-PREPARE
+    // ------------------------------------------------------------------
+
+    /// Validates a proposal received from the network. On success the
+    /// proposal is stored in the log and `true` is returned.
+    #[allow(clippy::too_many_arguments)]
+    fn accept_proposal(
+        &mut self,
+        actions: &mut Vec<Action>,
+        from: NodeId,
+        view: seemore_types::View,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+        request: ClientRequest,
+        signature: Signature,
+        signing_bytes: &[u8],
+    ) -> bool {
+        let Some(sender) = from.as_replica() else {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender: ReplicaId(u32::MAX),
+                expected_role: "primary replica",
+            }));
+            return false;
+        };
+        if self.vc.in_view_change {
+            return false;
+        }
+        if view != self.view {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: view,
+                expected: self.view,
+            }));
+            return false;
+        }
+        if sender != self.current_primary() {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender,
+                expected_role: "current primary",
+            }));
+            return false;
+        }
+        if !self.keystore.verify(NodeId::Replica(sender), signing_bytes, &signature) {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(sender),
+            }));
+            return false;
+        }
+        if digest != request.digest() {
+            actions.push(self.violation(ProtocolViolation::DigestMismatch { seq: Some(seq) }));
+            return false;
+        }
+        if !self.log.in_window(seq, self.pconfig.high_water_mark) {
+            actions.push(self.violation(ProtocolViolation::OutsideWindow {
+                seq,
+                low: self.log.low_mark(),
+                high: SeqNum(self.log.low_mark().0 + self.pconfig.high_water_mark),
+            }));
+            return false;
+        }
+        let instance = self.log.instance_mut(seq);
+        if let Some(existing) = &instance.proposal {
+            if existing.view == view && existing.digest != digest {
+                // The primary proposed two different requests for the same
+                // sequence number. A trusted primary never does this; an
+                // untrusted (Peacock) primary doing it is Byzantine.
+                actions.push(self.violation(ProtocolViolation::Equivocation { seq, view }));
+                return false;
+            }
+            if existing.view == view && existing.digest == digest {
+                // Duplicate delivery; already stored.
+                return true;
+            }
+        }
+        instance.proposal = Some(Proposal {
+            view,
+            digest,
+            request,
+            primary_signature: signature,
+        });
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // PREPARE (Lion and Dog modes)
+    // ------------------------------------------------------------------
+
+    /// Handles the trusted primary's `PREPARE`.
+    pub(crate) fn on_prepare(
+        &mut self,
+        from: NodeId,
+        prepare: Prepare,
+        _now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.mode == Mode::Peacock {
+            actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
+            return actions;
+        }
+        let signing = prepare.signing_bytes();
+        if !self.accept_proposal(
+            &mut actions,
+            from,
+            prepare.view,
+            prepare.seq,
+            prepare.digest,
+            prepare.request.clone(),
+            prepare.signature,
+            &signing,
+        ) {
+            return actions;
+        }
+        let seq = prepare.seq;
+        let digest = prepare.digest;
+
+        match self.mode {
+            Mode::Lion => {
+                // Every backup votes directly to the trusted primary; the
+                // vote needs no signature because only the primary uses it.
+                let accept = Accept {
+                    view: self.view,
+                    seq,
+                    digest,
+                    replica: self.id,
+                    signature: None,
+                };
+                let primary = self.current_primary();
+                self.send(&mut actions, NodeId::Replica(primary), Message::Accept(accept));
+                self.progress_armed.insert(seq, self.view);
+                actions.push(Action::SetTimer {
+                    timer: Timer::RequestProgress { seq },
+                    after: self.pconfig.request_timeout,
+                });
+            }
+            Mode::Dog => {
+                if self.is_proxy() {
+                    // Proxies exchange *signed* accepts with each other; the
+                    // signatures double as view-change evidence.
+                    let mut accept = Accept {
+                        view: self.view,
+                        seq,
+                        digest,
+                        replica: self.id,
+                        signature: None,
+                    };
+                    accept.signature = Some(self.signer.sign(&accept.signing_bytes()));
+                    // Record our own vote before broadcasting.
+                    self.log.instance_mut(seq).record_accept(self.id, digest);
+                    let proxies = self.current_proxies();
+                    self.broadcast_to(&mut actions, proxies, Message::Accept(accept));
+                    self.progress_armed.insert(seq, self.view);
+                    actions.push(Action::SetTimer {
+                        timer: Timer::RequestProgress { seq },
+                        after: self.pconfig.request_timeout,
+                    });
+                    self.try_commit_dog(&mut actions, seq, digest);
+                }
+                // Passive replicas just hold the proposal and wait for
+                // INFORM messages; they might already have enough.
+                self.try_execute_informed(&mut actions, seq);
+            }
+            Mode::Peacock => unreachable!("handled above"),
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // PRE-PREPARE (Peacock mode)
+    // ------------------------------------------------------------------
+
+    /// Handles the untrusted primary's `PRE-PREPARE`.
+    pub(crate) fn on_pre_prepare(
+        &mut self,
+        from: NodeId,
+        preprepare: PrePrepare,
+        _now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.mode != Mode::Peacock {
+            actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
+            return actions;
+        }
+        let signing = preprepare.signing_bytes();
+        if !self.accept_proposal(
+            &mut actions,
+            from,
+            preprepare.view,
+            preprepare.seq,
+            preprepare.digest,
+            preprepare.request.clone(),
+            preprepare.signature,
+            &signing,
+        ) {
+            return actions;
+        }
+        let seq = preprepare.seq;
+        let digest = preprepare.digest;
+
+        if self.is_proxy() && !self.is_primary() {
+            let mut vote = PbftPrepare {
+                view: self.view,
+                seq,
+                digest,
+                replica: self.id,
+                signature: Signature::INVALID,
+            };
+            vote.signature = self.signer.sign(&vote.signing_bytes());
+            self.log.instance_mut(seq).record_pbft_prepare(self.id, digest);
+            let proxies = self.current_proxies();
+            self.broadcast_to(&mut actions, proxies, Message::PbftPrepare(vote));
+            self.progress_armed.insert(seq, self.view);
+            actions.push(Action::SetTimer {
+                timer: Timer::RequestProgress { seq },
+                after: self.pconfig.request_timeout,
+            });
+            self.try_prepare_peacock(&mut actions, seq, digest);
+        }
+        // Passive replicas hold the proposal for later INFORM matching.
+        self.try_execute_informed(&mut actions, seq);
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // ACCEPT (Lion: primary collects; Dog: proxies collect)
+    // ------------------------------------------------------------------
+
+    /// Handles an `ACCEPT` vote.
+    pub(crate) fn on_accept(&mut self, from: NodeId, accept: Accept, _now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if sender != accept.replica {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender,
+                expected_role: "the replica named in the vote",
+            }));
+            return actions;
+        }
+        if accept.view != self.view || self.vc.in_view_change {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: accept.view,
+                expected: self.view,
+            }));
+            return actions;
+        }
+
+        match self.mode {
+            Mode::Lion => {
+                if !self.is_primary() {
+                    return actions; // only the primary consumes Lion accepts
+                }
+                let instance = self.log.instance_mut(accept.seq);
+                if !instance.proposal_matches(accept.view, &accept.digest) {
+                    return actions;
+                }
+                instance.record_accept(sender, accept.digest);
+                self.try_commit_lion(&mut actions, accept.seq, accept.digest);
+            }
+            Mode::Dog => {
+                if !self.is_proxy() {
+                    return actions;
+                }
+                // Dog accepts must be signed by the voting proxy.
+                let Some(signature) = accept.signature else {
+                    actions.push(self.violation(ProtocolViolation::BadSignature {
+                        claimed_signer: NodeId::Replica(sender),
+                    }));
+                    return actions;
+                };
+                if !self.cluster.is_proxy(sender, self.view)
+                    || !self.keystore.verify(
+                        NodeId::Replica(sender),
+                        &accept.signing_bytes(),
+                        &signature,
+                    )
+                {
+                    actions.push(self.violation(ProtocolViolation::BadSignature {
+                        claimed_signer: NodeId::Replica(sender),
+                    }));
+                    return actions;
+                }
+                self.log.instance_mut(accept.seq).record_accept(sender, accept.digest);
+                self.try_commit_dog(&mut actions, accept.seq, accept.digest);
+            }
+            Mode::Peacock => {
+                actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
+            }
+        }
+        actions
+    }
+
+    /// Lion primary: commit once `2m + c` accepts (plus its own proposal)
+    /// are in.
+    fn try_commit_lion(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+    ) {
+        let threshold = self.cluster.lion_accept_threshold() as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.commit_sent || instance.matching_accepts(&digest) < threshold {
+            return;
+        }
+        let Some(proposal) = instance.proposal.clone() else { return };
+        instance.commit_sent = true;
+        instance.committed = true;
+
+        let mut commit = Commit {
+            view: self.view,
+            seq,
+            digest,
+            replica: self.id,
+            // The Lion primary attaches the request so a replica that missed
+            // the PREPARE can still execute.
+            request: Some(proposal.request.clone()),
+            signature: Signature::INVALID,
+        };
+        commit.signature = self.signer.sign(&commit.signing_bytes());
+        let recipients = self.all_replicas();
+        self.broadcast_to(actions, recipients, Message::Commit(commit));
+
+        self.metrics.committed += 1;
+        self.exec.add_committed(seq, proposal.request);
+        self.execute_ready(actions);
+    }
+
+    /// Dog proxy: commit once `2m + 1` matching accepts (including its own)
+    /// are in.
+    fn try_commit_dog(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+    ) {
+        let threshold = self.cluster.proxy_quorum() as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.commit_sent || instance.matching_accepts(&digest) < threshold {
+            return;
+        }
+        if !instance.proposal_matches(self.view, &digest) {
+            return;
+        }
+        instance.commit_sent = true;
+        self.broadcast_commit_vote(actions, seq, digest);
+        self.mark_committed_by_proxy(actions, seq, digest);
+    }
+
+    // ------------------------------------------------------------------
+    // PBFT-PREPARE (Peacock mode)
+    // ------------------------------------------------------------------
+
+    /// Handles a PBFT-style `PREPARE` vote (Peacock proxies only).
+    pub(crate) fn on_pbft_prepare(
+        &mut self,
+        from: NodeId,
+        vote: PbftPrepare,
+        _now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.mode != Mode::Peacock || !self.is_proxy() {
+            return actions;
+        }
+        let Some(sender) = from.as_replica() else { return actions };
+        if vote.view != self.view || self.vc.in_view_change {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: vote.view,
+                expected: self.view,
+            }));
+            return actions;
+        }
+        if sender != vote.replica
+            || !self.cluster.is_proxy(sender, self.view)
+            || !self.keystore.verify(NodeId::Replica(sender), &vote.signing_bytes(), &vote.signature)
+        {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(vote.replica),
+            }));
+            return actions;
+        }
+        self.log.instance_mut(vote.seq).record_pbft_prepare(sender, vote.digest);
+        self.try_prepare_peacock(&mut actions, vote.seq, vote.digest);
+        actions
+    }
+
+    /// Peacock proxy: once the proposal plus `2m` matching prepare votes are
+    /// in, the request is *prepared* and the proxy broadcasts its commit
+    /// vote.
+    fn try_prepare_peacock(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+    ) {
+        let threshold = 2 * self.cluster.byzantine_bound() as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.prepared
+            || !instance.proposal_matches(self.view, &digest)
+            || instance.pbft_prepares.values().filter(|d| **d == digest).count() < threshold
+        {
+            return;
+        }
+        instance.prepared = true;
+        instance.record_commit(self.id, digest);
+        self.broadcast_commit_vote(actions, seq, digest);
+        self.try_commit_peacock(actions, seq, digest);
+    }
+
+    /// Broadcasts this proxy's `COMMIT` vote to the other proxies.
+    fn broadcast_commit_vote(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+    ) {
+        let mut commit = Commit {
+            view: self.view,
+            seq,
+            digest,
+            replica: self.id,
+            request: None,
+            signature: Signature::INVALID,
+        };
+        commit.signature = self.signer.sign(&commit.signing_bytes());
+        let proxies = self.current_proxies();
+        self.broadcast_to(actions, proxies, Message::Commit(commit));
+    }
+
+    // ------------------------------------------------------------------
+    // COMMIT
+    // ------------------------------------------------------------------
+
+    /// Handles a `COMMIT`: either the Lion primary's commit announcement or
+    /// a proxy commit vote (Dog / Peacock).
+    pub(crate) fn on_commit(&mut self, from: NodeId, commit: Commit, _now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if sender != commit.replica {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender,
+                expected_role: "the replica named in the commit",
+            }));
+            return actions;
+        }
+        if commit.view != self.view || self.vc.in_view_change {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: commit.view,
+                expected: self.view,
+            }));
+            return actions;
+        }
+        if !self.keystore.verify(NodeId::Replica(sender), &commit.signing_bytes(), &commit.signature)
+        {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(sender),
+            }));
+            return actions;
+        }
+
+        match self.mode {
+            Mode::Lion => {
+                // Only the trusted primary's commit counts.
+                if sender != self.current_primary() {
+                    actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                        sender,
+                        expected_role: "current primary",
+                    }));
+                    return actions;
+                }
+                let instance = self.log.instance_mut(commit.seq);
+                if instance.committed {
+                    return actions;
+                }
+                instance.committed = true;
+                // Prefer the attached request; fall back to the stored
+                // proposal if the primary elided it.
+                let request = commit
+                    .request
+                    .or_else(|| instance.proposal.as_ref().map(|p| p.request.clone()));
+                if let Some(request) = request {
+                    self.metrics.committed += 1;
+                    self.exec.add_committed(commit.seq, request);
+                    self.execute_ready(&mut actions);
+                } else {
+                    // We cannot execute without the request; fetch state.
+                    self.request_state_transfer(&mut actions, sender);
+                }
+            }
+            Mode::Dog | Mode::Peacock => {
+                if !self.is_proxy() || !self.cluster.is_proxy(sender, self.view) {
+                    return actions;
+                }
+                self.log.instance_mut(commit.seq).record_commit(sender, commit.digest);
+                match self.mode {
+                    // A lagging Dog proxy adopts the commit once m+1 proxies
+                    // vouch for it (at least one of them is honest).
+                    Mode::Dog => {
+                        let threshold = self.cluster.byzantine_bound() as usize + 1;
+                        let instance = self.log.instance_mut(commit.seq);
+                        if !instance.committed
+                            && instance.matching_commits(&commit.digest) >= threshold
+                            && instance.proposal_matches(self.view, &commit.digest)
+                        {
+                            self.mark_committed_by_proxy(&mut actions, commit.seq, commit.digest);
+                        }
+                    }
+                    Mode::Peacock => {
+                        self.try_commit_peacock(&mut actions, commit.seq, commit.digest);
+                    }
+                    Mode::Lion => unreachable!(),
+                }
+            }
+        }
+        actions
+    }
+
+    /// Peacock proxy: committed once `2m + 1` matching commit votes
+    /// (including its own) are in.
+    fn try_commit_peacock(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+    ) {
+        let threshold = self.cluster.proxy_quorum() as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.committed
+            || !instance.prepared
+            || !instance.proposal_matches(self.view, &digest)
+            || instance.matching_commits(&digest) < threshold
+        {
+            return;
+        }
+        self.mark_committed_by_proxy(actions, seq, digest);
+    }
+
+    /// Common tail for proxies (Dog / Peacock): mark committed, inform the
+    /// passive replicas, execute and reply.
+    fn mark_committed_by_proxy(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        digest: seemore_crypto::Digest,
+    ) {
+        let instance = self.log.instance_mut(seq);
+        if instance.committed {
+            return;
+        }
+        instance.committed = true;
+        let request = instance.proposal.as_ref().map(|p| p.request.clone());
+        let send_inform = !instance.inform_sent;
+        instance.inform_sent = true;
+
+        if send_inform {
+            let mut inform = Inform {
+                view: self.view,
+                seq,
+                digest,
+                replica: self.id,
+                signature: Signature::INVALID,
+            };
+            inform.signature = self.signer.sign(&inform.signing_bytes());
+            let passive = self.passive_replicas();
+            self.broadcast_to(actions, passive, Message::Inform(inform));
+        }
+
+        if let Some(request) = request {
+            self.metrics.committed += 1;
+            self.exec.add_committed(seq, request);
+            self.execute_ready(actions);
+        }
+        actions.push(Action::CancelTimer { timer: Timer::RequestProgress { seq } });
+    }
+
+    // ------------------------------------------------------------------
+    // INFORM (passive replicas in Dog / Peacock)
+    // ------------------------------------------------------------------
+
+    /// Handles an `INFORM` notification from a proxy.
+    pub(crate) fn on_inform(&mut self, from: NodeId, inform: Inform, _now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.mode == Mode::Lion {
+            actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
+            return actions;
+        }
+        let Some(sender) = from.as_replica() else { return actions };
+        if inform.view != self.view {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: inform.view,
+                expected: self.view,
+            }));
+            return actions;
+        }
+        if sender != inform.replica
+            || !self.cluster.is_proxy(sender, self.view)
+            || !self.keystore.verify(
+                NodeId::Replica(sender),
+                &inform.signing_bytes(),
+                &inform.signature,
+            )
+        {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(inform.replica),
+            }));
+            return actions;
+        }
+        self.log.instance_mut(inform.seq).record_inform(sender, inform.digest);
+        self.try_execute_informed(&mut actions, inform.seq);
+        actions
+    }
+
+    /// Passive replica: execute once enough matching informs have arrived
+    /// and the request itself is known (from the primary's proposal).
+    pub(crate) fn try_execute_informed(&mut self, actions: &mut Vec<Action>, seq: SeqNum) {
+        if self.is_agreement_participant() {
+            return;
+        }
+        let threshold = self.cluster.inform_threshold(self.mode) as usize;
+        let instance = self.log.instance_mut(seq);
+        if instance.committed {
+            return;
+        }
+        let Some(proposal) = instance.proposal.clone() else {
+            // We know the request committed but never saw the proposal; ask a
+            // proxy that informed us for the state.
+            if instance.informs.len() >= threshold {
+                if let Some(&proxy) = instance.informs.keys().next() {
+                    self.request_state_transfer(actions, proxy);
+                }
+            }
+            return;
+        };
+        let matching = instance
+            .informs
+            .values()
+            .filter(|d| **d == proposal.digest)
+            .count();
+        if matching < threshold {
+            return;
+        }
+        instance.committed = true;
+        self.metrics.committed += 1;
+        self.exec.add_committed(seq, proposal.request);
+        self.execute_ready(actions);
+    }
+
+    /// Issues a state-transfer request to `target` unless one is already in
+    /// flight.
+    pub(crate) fn request_state_transfer(&mut self, actions: &mut Vec<Action>, target: ReplicaId) {
+        if self.state_transfer_pending {
+            return;
+        }
+        self.state_transfer_pending = true;
+        let request = seemore_wire::StateRequest {
+            from_seq: self.exec.last_executed(),
+            replica: self.id,
+        };
+        self.send(actions, NodeId::Replica(target), Message::StateRequest(request));
+    }
+}

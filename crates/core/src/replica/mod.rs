@@ -1,0 +1,589 @@
+//! The SeeMoRe replica: one state machine implementing the Lion, Dog and
+//! Peacock modes, their view changes, checkpointing and dynamic mode
+//! switching.
+//!
+//! The replica is organized around [`SeeMoReReplica`], which owns:
+//!
+//! * the message [`log`](crate::log::MessageLog) of agreement instances,
+//! * the [`ExecutionEngine`] applying committed requests in order,
+//! * the [`CheckpointManager`] driving garbage collection and state
+//!   transfer,
+//! * and the view-change bookkeeping.
+//!
+//! Message handlers live in the [`agreement`] submodule (normal case) and
+//! the [`view_change`] submodule (view change, new view and mode switch).
+
+mod agreement;
+mod view_change;
+
+pub use view_change::mode_switch_announcer;
+
+#[cfg(test)]
+mod tests;
+
+use crate::actions::{broadcast, Action, Timer};
+use crate::checkpoint::{CheckpointManager, StabilityRule};
+use crate::config::ProtocolConfig;
+use crate::exec::{ExecutedEntry, ExecutionEngine};
+use crate::log::MessageLog;
+use crate::metrics::ReplicaMetrics;
+use crate::protocol::ReplicaProtocol;
+use seemore_app::StateMachine;
+use seemore_crypto::{KeyStore, Signer};
+use seemore_types::{
+    ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum, View,
+};
+use seemore_wire::{
+    Checkpoint, ClientReply, ClientRequest, Message, SignedPayload, StateRequest, StateResponse,
+    ViewChange, WireSize,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Bookkeeping for an in-progress view change.
+#[derive(Debug, Default)]
+pub(crate) struct ViewChangeState {
+    /// Whether this replica has stopped normal-case processing and is waiting
+    /// for a `NEW-VIEW`.
+    pub in_view_change: bool,
+    /// The view this replica is trying to install.
+    pub target_view: View,
+    /// `VIEW-CHANGE` messages received, grouped by proposed view.
+    pub received: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
+    /// Views for which this replica has already emitted a `NEW-VIEW`.
+    pub new_view_sent: Vec<View>,
+}
+
+/// A replica running the SeeMoRe protocol.
+pub struct SeeMoReReplica {
+    pub(crate) id: ReplicaId,
+    pub(crate) cluster: ClusterConfig,
+    pub(crate) pconfig: ProtocolConfig,
+    pub(crate) keystore: KeyStore,
+    pub(crate) signer: Signer,
+    pub(crate) mode: Mode,
+    pub(crate) view: View,
+    pub(crate) log: MessageLog,
+    pub(crate) exec: ExecutionEngine,
+    pub(crate) checkpoints: CheckpointManager,
+    /// Next sequence number to assign (meaningful only while primary).
+    pub(crate) next_seq: SeqNum,
+    /// Requests this primary has already assigned a sequence number.
+    pub(crate) assigned: HashMap<RequestId, SeqNum>,
+    pub(crate) vc: ViewChangeState,
+    /// View in which each outstanding progress timer was armed; a timer that
+    /// fires after a newer view was installed is re-armed instead of
+    /// suspecting the (new) primary immediately.
+    pub(crate) progress_armed: HashMap<SeqNum, View>,
+    /// View in which each forwarded-request timer was armed.
+    pub(crate) forwarded_armed: HashMap<RequestId, View>,
+    /// Requests this replica forwarded to a primary and is still watching;
+    /// a newly installed primary proposes these immediately so that view
+    /// changes recover without waiting for client retransmission.
+    pub(crate) forwarded_requests: HashMap<RequestId, ClientRequest>,
+    /// Mode the protocol will switch to at the next view change, if any.
+    pub(crate) pending_mode: Option<Mode>,
+    /// Whether a state-transfer request is already outstanding.
+    pub(crate) state_transfer_pending: bool,
+    /// Last time this replica observed commit progress (a valid COMMIT,
+    /// INFORM or NEW-VIEW). Suspicion timers re-arm instead of deposing the
+    /// primary while progress is being made — the PBFT practice of
+    /// restarting the timer whenever the system moves forward.
+    pub(crate) last_progress: Instant,
+    pub(crate) metrics: ReplicaMetrics,
+    pub(crate) crashed: bool,
+}
+
+impl std::fmt::Debug for SeeMoReReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeeMoReReplica")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("view", &self.view)
+            .field("last_executed", &self.exec.last_executed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SeeMoReReplica {
+    /// Creates a replica in the given initial mode, view 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member of `cluster` or if the key store has
+    /// no signer for it — both are configuration errors caught at startup.
+    pub fn new(
+        id: ReplicaId,
+        cluster: ClusterConfig,
+        pconfig: ProtocolConfig,
+        keystore: KeyStore,
+        mode: Mode,
+        app: Box<dyn StateMachine>,
+    ) -> Self {
+        assert!(cluster.contains(id), "replica {id} not in cluster");
+        let signer = keystore
+            .signer_for(NodeId::Replica(id))
+            .expect("key store must contain a signer for this replica");
+        let rule = Self::stability_rule_for(mode, &cluster);
+        SeeMoReReplica {
+            id,
+            cluster,
+            pconfig,
+            keystore,
+            signer,
+            mode,
+            view: View::ZERO,
+            log: MessageLog::new(),
+            exec: ExecutionEngine::new(app),
+            checkpoints: CheckpointManager::new(pconfig.checkpoint_period, rule),
+            next_seq: SeqNum(0),
+            assigned: HashMap::new(),
+            vc: ViewChangeState::default(),
+            progress_armed: HashMap::new(),
+            forwarded_armed: HashMap::new(),
+            forwarded_requests: HashMap::new(),
+            pending_mode: None,
+            state_transfer_pending: false,
+            last_progress: Instant::ZERO,
+            metrics: ReplicaMetrics::default(),
+            crashed: false,
+        }
+    }
+
+    /// Checkpoint stability rule for `mode`: a single trusted signature in
+    /// Lion/Dog, `m + 1` matching messages in Peacock.
+    pub(crate) fn stability_rule_for(mode: Mode, cluster: &ClusterConfig) -> StabilityRule {
+        match mode {
+            Mode::Lion | Mode::Dog => StabilityRule::TrustedSigner,
+            Mode::Peacock => {
+                StabilityRule::Quorum(cluster.byzantine_bound() as usize + 1)
+            }
+        }
+    }
+
+    /// The cluster configuration this replica was built with.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// The primary of the current `(mode, view)`.
+    pub fn current_primary(&self) -> ReplicaId {
+        self.cluster
+            .primary(self.mode, self.view)
+            .expect("cluster validated at construction")
+    }
+
+    /// Whether this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.current_primary() == self.id
+    }
+
+    /// Whether this replica is a proxy in the current view (Dog / Peacock).
+    pub fn is_proxy(&self) -> bool {
+        self.cluster.is_proxy(self.id, self.view)
+    }
+
+    /// Whether this replica participates in the agreement quorum of the
+    /// current mode and view.
+    pub fn is_agreement_participant(&self) -> bool {
+        match self.mode {
+            Mode::Lion => true,
+            Mode::Dog | Mode::Peacock => self.is_proxy(),
+        }
+    }
+
+    /// Whether this replica is eligible to *vote* for a view change in
+    /// `mode` (Lion: everyone; Dog / Peacock: public-cloud replicas).
+    pub(crate) fn is_view_change_voter(&self, mode: Mode) -> bool {
+        match mode {
+            Mode::Lion => true,
+            Mode::Dog | Mode::Peacock => !self.cluster.is_trusted(self.id),
+        }
+    }
+
+    /// The sequence number of the last request this replica executed.
+    pub fn last_executed(&self) -> SeqNum {
+        self.exec.last_executed()
+    }
+
+    /// The sequence number of the last stable checkpoint.
+    pub fn stable_checkpoint(&self) -> SeqNum {
+        self.checkpoints.stable_seq()
+    }
+
+    /// The application state digest (diagnostics / tests).
+    pub fn state_digest(&self) -> seemore_crypto::Digest {
+        self.exec.state_digest()
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing-message helpers
+    // ------------------------------------------------------------------
+
+    /// Queues a send and records it in the metrics.
+    pub(crate) fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
+        self.metrics.record_sent(message.kind(), message.wire_size());
+        actions.push(Action::Send { to, message });
+    }
+
+    /// Queues a broadcast to `recipients` (excluding this replica) and
+    /// records each copy in the metrics.
+    pub(crate) fn broadcast_to(
+        &mut self,
+        actions: &mut Vec<Action>,
+        recipients: impl IntoIterator<Item = ReplicaId>,
+        message: Message,
+    ) {
+        let recipients: Vec<NodeId> = recipients
+            .into_iter()
+            .filter(|r| *r != self.id)
+            .map(NodeId::Replica)
+            .collect();
+        for _ in &recipients {
+            self.metrics.record_sent(message.kind(), message.wire_size());
+        }
+        broadcast(actions, recipients, message, None);
+    }
+
+    /// All replicas in the cluster.
+    pub(crate) fn all_replicas(&self) -> Vec<ReplicaId> {
+        self.cluster.replicas().collect()
+    }
+
+    /// The proxies of the current view.
+    pub(crate) fn current_proxies(&self) -> Vec<ReplicaId> {
+        self.cluster.proxies(self.view)
+    }
+
+    /// The passive replicas of the current view: the private cloud plus the
+    /// non-proxy public replicas (Dog / Peacock informs go to these).
+    pub(crate) fn passive_replicas(&self) -> Vec<ReplicaId> {
+        self.cluster
+            .replicas()
+            .filter(|r| !self.cluster.is_proxy(*r, self.view))
+            .collect()
+    }
+
+    /// Records a protocol violation (invalid message) and returns the
+    /// corresponding action.
+    pub(crate) fn violation(&mut self, violation: ProtocolViolation) -> Action {
+        self.metrics.rejected_messages += 1;
+        Action::Violation(violation)
+    }
+
+    // ------------------------------------------------------------------
+    // Client requests
+    // ------------------------------------------------------------------
+
+    /// Handles a `REQUEST`, whether received directly from the client or
+    /// forwarded / retransmitted.
+    fn on_request(&mut self, request: ClientRequest, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+
+        // Signature check: requests are signed by their client.
+        if !self.keystore.verify(
+            NodeId::Client(request.client),
+            &request.signing_bytes(),
+            &request.signature,
+        ) {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Client(request.client),
+            }));
+            return actions;
+        }
+
+        // Exactly-once: answer already-executed requests from the reply cache.
+        if let Some(result) = self.exec.cached_reply(request.client, request.timestamp).cloned() {
+            let reply = self.make_reply(&request, result);
+            self.send(&mut actions, NodeId::Client(request.client), Message::Reply(reply));
+            return actions;
+        }
+
+        if self.vc.in_view_change {
+            // Requests received during a view change are deferred; the client
+            // will retransmit.
+            return actions;
+        }
+
+        if self.is_primary() {
+            self.primary_propose(&mut actions, request, now);
+        } else {
+            // Forward to the primary and watch for progress so that a dead
+            // primary is eventually suspected (this is what lets a client
+            // broadcast trigger a view change).
+            let primary = self.current_primary();
+            let id = request.id();
+            if self.exec.last_timestamp(request.client) < Some(request.timestamp)
+                || self.exec.last_timestamp(request.client).is_none()
+            {
+                self.forwarded_requests.insert(id, request.clone());
+                self.send(&mut actions, NodeId::Replica(primary), Message::Request(request));
+                // Arm the suspicion timer only for the first time we see this
+                // request: client retransmissions must not keep resetting it,
+                // otherwise a dead primary is never suspected.
+                if self.is_view_change_voter(self.mode)
+                    && !self.forwarded_armed.contains_key(&id)
+                {
+                    self.forwarded_armed.insert(id, self.view);
+                    actions.push(Action::SetTimer {
+                        timer: Timer::ForwardedRequest { request: id },
+                        after: self.pconfig.request_timeout,
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    /// Builds a signed reply for `request` in the current mode and view.
+    pub(crate) fn make_reply(&self, request: &ClientRequest, result: Vec<u8>) -> ClientReply {
+        ClientReply::new(self.mode, self.view, request.id(), self.id, result, &self.signer)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing and state transfer
+    // ------------------------------------------------------------------
+
+    /// Called after executions; produces checkpoint messages when the
+    /// executed sequence number crosses a checkpoint boundary.
+    pub(crate) fn maybe_checkpoint(&mut self, actions: &mut Vec<Action>) {
+        let executed = self.exec.last_executed();
+        if !self.checkpoints.should_checkpoint(executed) {
+            return;
+        }
+        let announcer = match self.mode {
+            // Only the trusted primary announces checkpoints.
+            Mode::Lion | Mode::Dog => self.is_primary(),
+            // Every proxy announces; stability needs m+1 matching.
+            Mode::Peacock => self.is_proxy(),
+        };
+        if !announcer {
+            return;
+        }
+        let mut checkpoint = Checkpoint {
+            seq: executed,
+            state_digest: self.exec.state_digest(),
+            replica: self.id,
+            signature: seemore_crypto::Signature::INVALID,
+        };
+        checkpoint.signature = self.signer.sign(&checkpoint.signing_bytes());
+        // Record our own message (a trusted primary's own checkpoint is
+        // immediately stable; a proxy's own vote counts toward the quorum).
+        let trusted = self.cluster.is_trusted(self.id);
+        if self.checkpoints.record(checkpoint.clone(), trusted) {
+            self.metrics.stable_checkpoints += 1;
+            self.log.garbage_collect(self.checkpoints.stable_seq());
+        }
+        let recipients = self.all_replicas();
+        self.broadcast_to(actions, recipients, Message::Checkpoint(checkpoint));
+    }
+
+    /// Handles an incoming `CHECKPOINT` message.
+    fn on_checkpoint(&mut self, from: NodeId, checkpoint: Checkpoint) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender: ReplicaId(u32::MAX),
+                expected_role: "replica",
+            }));
+            return actions;
+        };
+        if sender != checkpoint.replica
+            || !self.keystore.verify(
+                NodeId::Replica(checkpoint.replica),
+                &checkpoint.signing_bytes(),
+                &checkpoint.signature,
+            )
+        {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(checkpoint.replica),
+            }));
+            return actions;
+        }
+        let trusted = self.cluster.is_trusted(checkpoint.replica);
+        let seq = checkpoint.seq;
+        if self.checkpoints.record(checkpoint, trusted) {
+            self.metrics.stable_checkpoints += 1;
+            self.log.garbage_collect(self.checkpoints.stable_seq());
+            // If we have fallen behind the stable checkpoint, ask the
+            // announcer for state.
+            if self.exec.last_executed() < seq && !self.state_transfer_pending {
+                self.state_transfer_pending = true;
+                let request = StateRequest { from_seq: self.exec.last_executed(), replica: self.id };
+                self.send(&mut actions, NodeId::Replica(sender), Message::StateRequest(request));
+            }
+        }
+        actions
+    }
+
+    /// Handles a `STATE-REQUEST` by returning our snapshot and pending
+    /// committed entries.
+    fn on_state_request(&mut self, request: StateRequest) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let response = StateResponse {
+            checkpoint: self.checkpoints.stable_proof().first().cloned(),
+            snapshot: Some(self.exec.snapshot()),
+            entries: self.exec.committed_after(request.from_seq),
+            replica: self.id,
+        };
+        self.send(
+            &mut actions,
+            NodeId::Replica(request.replica),
+            Message::StateResponse(response),
+        );
+        actions
+    }
+
+    /// Handles a `STATE-RESPONSE`.
+    ///
+    /// Snapshots are only adopted from trusted (private cloud) replicas: a
+    /// Byzantine public replica could otherwise install a fabricated state.
+    /// Pending committed entries are harmless to accept from anyone because
+    /// they re-enter the normal commit path.
+    fn on_state_response(&mut self, from: NodeId, response: StateResponse) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.state_transfer_pending = false;
+        let Some(sender) = from.as_replica() else { return actions };
+        if let (Some(snapshot), true) = (&response.snapshot, self.cluster.is_trusted(sender)) {
+            let before = self.exec.last_executed();
+            self.exec.restore(snapshot);
+            if self.exec.last_executed() > before {
+                if let Some(cp) = &response.checkpoint {
+                    self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                }
+                self.log.garbage_collect(self.checkpoints.stable_seq());
+            }
+        }
+        for (seq, request) in response.entries {
+            if self.exec.add_committed(seq, request) {
+                self.log.instance_mut(seq).committed = true;
+            }
+        }
+        self.execute_ready(&mut actions);
+        actions
+    }
+
+    /// Drains the execution queue, emitting replies where the current mode
+    /// requires them, and triggering checkpoints.
+    pub(crate) fn execute_ready(&mut self, actions: &mut Vec<Action>) {
+        let executions = self.exec.execute_ready();
+        if executions.is_empty() {
+            return;
+        }
+        let should_reply = match self.mode {
+            // Only the trusted primary replies in the Lion mode.
+            Mode::Lion => self.is_primary(),
+            // Proxies reply in the Dog and Peacock modes.
+            Mode::Dog | Mode::Peacock => self.is_proxy(),
+        };
+        for execution in executions {
+            self.metrics.executed += 1;
+            actions.push(Action::Executed {
+                seq: execution.seq,
+                request: execution.request.id(),
+            });
+            actions.push(Action::CancelTimer {
+                timer: Timer::RequestProgress { seq: execution.seq },
+            });
+            actions.push(Action::CancelTimer {
+                timer: Timer::ForwardedRequest { request: execution.request.id() },
+            });
+            self.forwarded_requests.remove(&execution.request.id());
+            self.forwarded_armed.remove(&execution.request.id());
+            if should_reply && execution.request.client != NOOP_CLIENT {
+                let reply = self.make_reply(&execution.request, execution.result);
+                self.send(
+                    actions,
+                    NodeId::Client(execution.request.client),
+                    Message::Reply(reply),
+                );
+            }
+        }
+        self.maybe_checkpoint(actions);
+    }
+}
+
+/// The pseudo-client used for no-op requests issued during view changes
+/// (the paper's `µ∅`). Replies are never sent to it.
+pub(crate) const NOOP_CLIENT: seemore_types::ClientId = seemore_types::ClientId(u64::MAX);
+
+impl ReplicaProtocol for SeeMoReReplica {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        if self.crashed {
+            return Vec::new();
+        }
+        self.metrics.record_received(message.kind());
+        // Observing commit-carrying traffic counts as progress for the
+        // suspicion timers (the actual validity checks happen in the
+        // handlers; a forged message can at worst delay a view change by one
+        // timeout, which does not affect safety).
+        if matches!(
+            message.kind(),
+            seemore_wire::MessageKind::Commit
+                | seemore_wire::MessageKind::Inform
+                | seemore_wire::MessageKind::NewView
+        ) {
+            self.last_progress = now;
+        }
+        match message {
+            Message::Request(request) => self.on_request(request, now),
+            Message::Prepare(prepare) => self.on_prepare(from, prepare, now),
+            Message::PrePrepare(preprepare) => self.on_pre_prepare(from, preprepare, now),
+            Message::Accept(accept) => self.on_accept(from, accept, now),
+            Message::PbftPrepare(vote) => self.on_pbft_prepare(from, vote, now),
+            Message::Commit(commit) => self.on_commit(from, commit, now),
+            Message::Inform(inform) => self.on_inform(from, inform, now),
+            Message::Checkpoint(checkpoint) => self.on_checkpoint(from, checkpoint),
+            Message::ViewChange(view_change) => self.on_view_change(from, view_change, now),
+            Message::NewView(new_view) => self.on_new_view(from, new_view, now),
+            Message::ModeChange(mode_change) => self.on_mode_change(from, mode_change, now),
+            Message::StateRequest(request) => self.on_state_request(request),
+            Message::StateResponse(response) => self.on_state_response(from, response),
+            // Replicas never receive replies.
+            Message::Reply(_) => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, now: Instant) -> Vec<Action> {
+        if self.crashed {
+            return Vec::new();
+        }
+        match timer {
+            Timer::RequestProgress { seq } => self.on_progress_timeout(seq, now),
+            Timer::ForwardedRequest { request } => self.on_forwarded_timeout(request, now),
+            Timer::ViewChange { view } => self.on_view_change_timeout(view, now),
+            Timer::ClientRetransmit { .. } => Vec::new(),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.view
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn executed(&self) -> &[ExecutedEntry] {
+        self.exec.history()
+    }
+
+    fn metrics(&self) -> &ReplicaMetrics {
+        &self.metrics
+    }
+
+    fn request_mode_switch(&mut self, mode: Mode, now: Instant) -> Vec<Action> {
+        self.initiate_mode_switch(mode, now)
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn crash(&mut self) {
+        self.crashed = true;
+    }
+}

@@ -1,0 +1,726 @@
+//! View changes, new-view installation and dynamic mode switching
+//! (Sections 5.1–5.4 of the paper).
+
+use super::{SeeMoReReplica, NOOP_CLIENT};
+use crate::protocol::ReplicaProtocol;
+use crate::actions::{Action, Timer};
+use crate::log::Proposal;
+use seemore_crypto::Signature;
+use seemore_types::{
+    ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum,
+    Timestamp, View,
+};
+use seemore_wire::{
+    Accept, ClientRequest, CommitCert, Message, ModeChange, NewView, PbftPrepare,
+    PrepareCert, SignedPayload, ViewChange,
+};
+
+/// The trusted replica that is allowed to announce a switch to `mode`
+/// starting at `new_view`: the new primary for Lion/Dog, the transferer for
+/// Peacock (Section 5.4).
+pub fn mode_switch_announcer(
+    cluster: &ClusterConfig,
+    new_view: View,
+    mode: Mode,
+) -> Option<ReplicaId> {
+    match mode {
+        Mode::Lion | Mode::Dog => cluster.primary(mode, new_view).ok(),
+        Mode::Peacock => cluster.transferer(new_view).ok(),
+    }
+}
+
+impl SeeMoReReplica {
+    /// The mode the *next* view will run in (the pending switch target, if
+    /// any, otherwise the current mode).
+    pub(crate) fn effective_next_mode(&self) -> Mode {
+        self.pending_mode.unwrap_or(self.mode)
+    }
+
+    /// The replica that collects `VIEW-CHANGE` messages and emits the
+    /// `NEW-VIEW` for `(view, mode)`: the new primary in Lion/Dog, the
+    /// trusted transferer in Peacock.
+    pub(crate) fn new_view_collector(&self, view: View, mode: Mode) -> Option<ReplicaId> {
+        match mode {
+            Mode::Lion | Mode::Dog => self.cluster.primary(mode, view).ok(),
+            Mode::Peacock => self.cluster.transferer(view).ok(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// A request we learned about never committed: suspect the primary.
+    pub(crate) fn on_progress_timeout(&mut self, seq: SeqNum, now: Instant) -> Vec<Action> {
+        let committed = self
+            .log
+            .instance(seq)
+            .map(|instance| instance.committed)
+            .unwrap_or(seq <= self.exec.last_executed());
+        if committed || self.vc.in_view_change {
+            return Vec::new();
+        }
+        // If a newer view was installed after this timer was armed, or the
+        // system is visibly making progress, give the primary another full
+        // timeout before suspecting it.
+        let armed_view = self.progress_armed.get(&seq).copied().unwrap_or(View::ZERO);
+        if armed_view < self.view || self.recent_progress(now) {
+            self.progress_armed.insert(seq, self.view);
+            return vec![Action::SetTimer {
+                timer: Timer::RequestProgress { seq },
+                after: self.pconfig.request_timeout,
+            }];
+        }
+        self.suspect_primary(now)
+    }
+
+    /// Whether commit progress was observed within the last suspicion
+    /// timeout (used to damp spurious view changes while the primary is
+    /// healthy but busy).
+    fn recent_progress(&self, now: Instant) -> bool {
+        now.duration_since(self.last_progress) < self.pconfig.request_timeout
+            && self.last_progress > Instant::ZERO
+    }
+
+    /// A request we forwarded to the primary was never executed.
+    pub(crate) fn on_forwarded_timeout(&mut self, request: RequestId, now: Instant) -> Vec<Action> {
+        let executed = self
+            .exec
+            .cached_reply(request.client, request.timestamp)
+            .is_some();
+        if executed || self.vc.in_view_change {
+            return Vec::new();
+        }
+        // Same grace period as progress timers: a freshly installed primary
+        // gets a full timeout (and the request is re-forwarded to it), and a
+        // primary that is visibly committing other requests is not deposed.
+        let armed_view = self.forwarded_armed.get(&request).copied().unwrap_or(View::ZERO);
+        if armed_view < self.view || self.recent_progress(now) {
+            self.forwarded_armed.insert(request, self.view);
+            let mut actions = Vec::new();
+            // Re-forward the buffered request to the *current* primary so it
+            // does not depend on the client noticing the view change.
+            if let Some(buffered) = self.forwarded_requests.get(&request).cloned() {
+                if !self.is_primary() {
+                    let primary = self.current_primary();
+                    self.send(&mut actions, NodeId::Replica(primary), Message::Request(buffered));
+                } else {
+                    actions.extend(self.on_message(
+                        NodeId::Replica(self.id),
+                        Message::Request(buffered),
+                        now,
+                    ));
+                }
+            }
+            actions.push(Action::SetTimer {
+                timer: Timer::ForwardedRequest { request },
+                after: self.pconfig.request_timeout,
+            });
+            return actions;
+        }
+        self.suspect_primary(now)
+    }
+
+    /// No `NEW-VIEW` arrived for the view we voted for: escalate.
+    pub(crate) fn on_view_change_timeout(&mut self, view: View, now: Instant) -> Vec<Action> {
+        if !self.vc.in_view_change || self.view >= view {
+            return Vec::new();
+        }
+        let mode = self.effective_next_mode();
+        self.start_view_change(view.next(), mode, now)
+    }
+
+    fn suspect_primary(&mut self, now: Instant) -> Vec<Action> {
+        let mode = self.effective_next_mode();
+        if !self.is_view_change_voter(mode) {
+            return Vec::new();
+        }
+        self.start_view_change(self.view.next(), mode, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Sending VIEW-CHANGE
+    // ------------------------------------------------------------------
+
+    /// Stops normal-case processing and votes to install `target_view` in
+    /// `target_mode`.
+    pub(crate) fn start_view_change(
+        &mut self,
+        target_view: View,
+        target_mode: Mode,
+        _now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.vc.in_view_change && self.vc.target_view >= target_view {
+            return actions;
+        }
+        self.vc.in_view_change = true;
+        self.vc.target_view = target_view;
+        self.metrics.view_changes_started += 1;
+
+        let stable_seq = self.checkpoints.stable_seq();
+        let mut prepares = Vec::new();
+        let mut commits = Vec::new();
+        for (seq, instance) in self.log.instances_after(stable_seq) {
+            let Some(proposal) = &instance.proposal else { continue };
+            let cert_request = Some(proposal.request.clone());
+            if instance.committed && target_mode == Mode::Lion {
+                // Only the Lion mode carries commit certificates; Dog and
+                // Peacock omit them to keep view-change messages small.
+                commits.push(CommitCert {
+                    view: proposal.view,
+                    seq: *seq,
+                    digest: proposal.digest,
+                    primary_signature: proposal.primary_signature,
+                    request: cert_request,
+                });
+            } else {
+                prepares.push(PrepareCert {
+                    view: proposal.view,
+                    seq: *seq,
+                    digest: proposal.digest,
+                    primary_signature: proposal.primary_signature,
+                    request: cert_request,
+                });
+            }
+        }
+
+        let mut view_change = ViewChange {
+            new_view: target_view,
+            mode: target_mode,
+            stable_seq,
+            checkpoint_proof: self.checkpoints.stable_proof().to_vec(),
+            prepares,
+            commits,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        view_change.signature = self.signer.sign(&view_change.signing_bytes());
+
+        // Record our own vote so a collector that is also a voter counts it.
+        self.vc
+            .received
+            .entry(target_view)
+            .or_default()
+            .insert(self.id, view_change.clone());
+
+        // Recipients depend on the *target* mode (Section 5.2: in the Dog
+        // mode only the public cloud and the next primary are involved).
+        let recipients: Vec<ReplicaId> = match target_mode {
+            Mode::Lion | Mode::Peacock => self.all_replicas(),
+            Mode::Dog => {
+                let mut set: Vec<ReplicaId> = self.cluster.public_replicas().collect();
+                if let Some(primary) = self.new_view_collector(target_view, target_mode) {
+                    if !set.contains(&primary) {
+                        set.push(primary);
+                    }
+                }
+                set
+            }
+        };
+        self.broadcast_to(&mut actions, recipients, Message::ViewChange(view_change));
+        actions.push(Action::SetTimer {
+            timer: Timer::ViewChange { view: target_view },
+            after: self.pconfig.view_change_timeout,
+        });
+
+        // The collector might already hold enough votes (including this one).
+        self.try_assemble_new_view(&mut actions, target_view, target_mode);
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving VIEW-CHANGE
+    // ------------------------------------------------------------------
+
+    /// Handles a `VIEW-CHANGE` vote from another replica.
+    pub(crate) fn on_view_change(
+        &mut self,
+        from: NodeId,
+        view_change: ViewChange,
+        now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if sender != view_change.replica
+            || !self.keystore.verify(
+                NodeId::Replica(sender),
+                &view_change.signing_bytes(),
+                &view_change.signature,
+            )
+        {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(view_change.replica),
+            }));
+            return actions;
+        }
+        if view_change.new_view <= self.view {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: view_change.new_view,
+                expected: self.view.next(),
+            }));
+            return actions;
+        }
+        let target_view = view_change.new_view;
+        let target_mode = view_change.mode;
+        self.vc
+            .received
+            .entry(target_view)
+            .or_default()
+            .insert(sender, view_change);
+
+        // Liveness rule: if more than `m` replicas already voted for a newer
+        // view, join them even if our own timer has not fired yet (a correct
+        // replica must be among them).
+        let votes = self.vc.received.get(&target_view).map(|v| v.len()).unwrap_or(0);
+        if !self.vc.in_view_change
+            && votes > self.cluster.byzantine_bound() as usize
+            && self.is_view_change_voter(target_mode)
+        {
+            actions.extend(self.start_view_change(target_view, target_mode, now));
+        }
+
+        self.try_assemble_new_view(&mut actions, target_view, target_mode);
+        actions
+    }
+
+    /// If this replica is the collector for `(view, mode)` and holds enough
+    /// votes, build and broadcast the `NEW-VIEW`.
+    fn try_assemble_new_view(&mut self, actions: &mut Vec<Action>, view: View, mode: Mode) {
+        if self.new_view_collector(view, mode) != Some(self.id) {
+            return;
+        }
+        if self.vc.new_view_sent.contains(&view) || view <= self.view {
+            return;
+        }
+        let threshold = self.cluster.view_change_threshold(mode) as usize;
+        let Some(votes) = self.vc.received.get(&view) else { return };
+        let votes_from_others = votes.keys().filter(|r| **r != self.id).count();
+        if votes_from_others < threshold {
+            return;
+        }
+        self.vc.new_view_sent.push(view);
+
+        let votes: Vec<ViewChange> = votes.values().cloned().collect();
+        let new_view = self.build_new_view(view, mode, &votes);
+        let recipients = self.all_replicas();
+        self.broadcast_to(actions, recipients, Message::NewView(new_view.clone()));
+        self.install_new_view(actions, new_view);
+    }
+
+    /// Constructs the `NEW-VIEW` message from the received `VIEW-CHANGE`
+    /// evidence, following the three rules of Section 5.1.
+    fn build_new_view(&mut self, view: View, mode: Mode, votes: &[ViewChange]) -> NewView {
+        // Adopt the most recent stable checkpoint among the votes and our own.
+        let mut best_checkpoint = self.checkpoints.stable_proof().first().cloned();
+        let mut low = self.checkpoints.stable_seq();
+        for vote in votes {
+            if vote.stable_seq > low {
+                if let Some(cp) = vote.checkpoint_proof.first() {
+                    low = vote.stable_seq;
+                    best_checkpoint = Some(cp.clone());
+                }
+            }
+        }
+
+        // Highest sequence number mentioned by any certificate.
+        let mut high = low;
+        for vote in votes {
+            for cert in vote.prepares.iter() {
+                high = high.max(cert.seq);
+            }
+            for cert in vote.commits.iter() {
+                high = high.max(cert.seq);
+            }
+        }
+
+        let lion_commit_threshold = self.cluster.quorum(Mode::Lion).quorum_size as usize;
+        let mut prepares_out: Vec<PrepareCert> = Vec::new();
+        let mut commits_out: Vec<CommitCert> = Vec::new();
+
+        let mut seq = low.next();
+        while seq <= high {
+            // Rule 1: any commit certificate wins.
+            let committed = votes.iter().flat_map(|v| v.commits.iter()).find(|c| {
+                c.seq == seq && self.validate_cert_request(c.digest, c.request.as_ref())
+            });
+            // Collect prepare evidence for this sequence number.
+            let prepared: Vec<&PrepareCert> = votes
+                .iter()
+                .flat_map(|v| v.prepares.iter())
+                .filter(|p| p.seq == seq && self.validate_cert_request(p.digest, p.request.as_ref()))
+                .collect();
+
+            if let Some(cert) = committed {
+                commits_out.push(CommitCert { ..cert.clone() });
+            } else if mode == Mode::Lion && prepared.len() >= lion_commit_threshold {
+                // Rule 2a (Lion): a full quorum of prepares proves the
+                // request may have committed; carry it as committed.
+                let cert = prepared[0];
+                commits_out.push(CommitCert {
+                    view: cert.view,
+                    seq,
+                    digest: cert.digest,
+                    primary_signature: cert.primary_signature,
+                    request: cert.request.clone(),
+                });
+            } else if let Some(cert) = prepared.first() {
+                // Rule 2b: at least one valid prepare; re-propose it.
+                prepares_out.push((*cert).clone());
+            } else {
+                // Rule 3: nobody saw a proposal; fill the gap with a no-op.
+                prepares_out.push(self.noop_cert(seq));
+            }
+            seq = seq.next();
+        }
+
+        let mut message = NewView {
+            view,
+            mode,
+            prepares: prepares_out,
+            commits: commits_out,
+            checkpoint: best_checkpoint,
+            view_change_proof: Vec::new(),
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        message.signature = self.signer.sign(&message.signing_bytes());
+        message
+    }
+
+    /// A certificate is only usable if the request it carries matches its
+    /// digest and carries a valid client signature (or is the internal
+    /// no-op). This is what prevents a Byzantine public replica from
+    /// smuggling a fabricated operation through a view change.
+    fn validate_cert_request(
+        &self,
+        digest: seemore_crypto::Digest,
+        request: Option<&ClientRequest>,
+    ) -> bool {
+        let Some(request) = request else { return false };
+        if request.digest() != digest {
+            return false;
+        }
+        if request.client == NOOP_CLIENT {
+            return true;
+        }
+        self.keystore.verify(
+            NodeId::Client(request.client),
+            &request.signing_bytes(),
+            &request.signature,
+        )
+    }
+
+    /// Builds the no-op filler certificate for a gap sequence number
+    /// (the paper's `µ∅`).
+    fn noop_cert(&self, seq: SeqNum) -> PrepareCert {
+        let request = ClientRequest {
+            client: NOOP_CLIENT,
+            timestamp: Timestamp(seq.0),
+            operation: Vec::new(),
+            signature: Signature::INVALID,
+        };
+        PrepareCert {
+            view: self.view,
+            seq,
+            digest: request.digest(),
+            primary_signature: Signature::INVALID,
+            request: Some(request),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving NEW-VIEW
+    // ------------------------------------------------------------------
+
+    /// Handles a `NEW-VIEW` from the new primary (Lion / Dog) or the
+    /// transferer (Peacock).
+    pub(crate) fn on_new_view(
+        &mut self,
+        from: NodeId,
+        new_view: NewView,
+        _now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if new_view.view <= self.view {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: new_view.view,
+                expected: self.view.next(),
+            }));
+            return actions;
+        }
+        let expected = self.new_view_collector(new_view.view, new_view.mode);
+        if Some(sender) != expected || sender != new_view.replica {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender,
+                expected_role: "new-view collector (new primary or transferer)",
+            }));
+            return actions;
+        }
+        if !self.keystore.verify(
+            NodeId::Replica(sender),
+            &new_view.signing_bytes(),
+            &new_view.signature,
+        ) {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(sender),
+            }));
+            return actions;
+        }
+        self.install_new_view(&mut actions, new_view);
+        actions
+    }
+
+    /// Applies a validated `NEW-VIEW`: adopts the view, mode and checkpoint,
+    /// replays the carried certificates, and re-enters the normal case.
+    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
+        let old_mode = self.mode;
+        actions.push(Action::CancelTimer {
+            timer: Timer::ViewChange { view: new_view.view },
+        });
+
+        self.view = new_view.view;
+        self.mode = new_view.mode;
+        if self.pending_mode == Some(new_view.mode) {
+            self.pending_mode = None;
+        }
+        if old_mode != new_view.mode {
+            self.metrics.mode_switches += 1;
+            self.checkpoints
+                .set_rule(Self::stability_rule_for(new_view.mode, &self.cluster));
+        }
+        self.vc.in_view_change = false;
+        self.vc.received.retain(|view, _| *view > new_view.view);
+        self.metrics.view_changes_completed += 1;
+        self.assigned.clear();
+        self.log.reset_votes_for_new_view();
+
+        // Adopt the carried checkpoint if it is ahead of ours.
+        if let Some(cp) = &new_view.checkpoint {
+            if cp.seq > self.checkpoints.stable_seq() {
+                self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                self.log.garbage_collect(cp.seq);
+                if self.exec.last_executed() < cp.seq && self.cluster.is_trusted(new_view.replica) {
+                    self.request_state_transfer(actions, new_view.replica);
+                }
+            }
+        }
+
+        let mut highest = self.checkpoints.stable_seq().max(self.exec.last_executed());
+
+        // Committed certificates: mark committed and execute.
+        for cert in &new_view.commits {
+            highest = highest.max(cert.seq);
+            let instance = self.log.instance_mut(cert.seq);
+            instance.committed = true;
+            instance.proposal = Some(Proposal {
+                view: new_view.view,
+                digest: cert.digest,
+                request: cert.request.clone().unwrap_or_else(|| ClientRequest {
+                    client: NOOP_CLIENT,
+                    timestamp: Timestamp(cert.seq.0),
+                    operation: Vec::new(),
+                    signature: Signature::INVALID,
+                }),
+                primary_signature: cert.primary_signature,
+            });
+            if let Some(request) = cert.request.clone() {
+                self.metrics.committed += 1;
+                self.exec.add_committed(cert.seq, request);
+            }
+        }
+
+        // Prepared certificates: adopt as proposals of the new view and vote.
+        let i_am_primary = self.current_primary() == self.id;
+        for cert in &new_view.prepares {
+            highest = highest.max(cert.seq);
+            let Some(request) = cert.request.clone() else { continue };
+            let digest = cert.digest;
+            let seq = cert.seq;
+            {
+                let instance = self.log.instance_mut(seq);
+                if instance.committed {
+                    continue;
+                }
+                instance.proposal = Some(Proposal {
+                    view: new_view.view,
+                    digest,
+                    request,
+                    primary_signature: cert.primary_signature,
+                });
+            }
+            match self.mode {
+                Mode::Lion => {
+                    if !i_am_primary {
+                        let accept = Accept {
+                            view: self.view,
+                            seq,
+                            digest,
+                            replica: self.id,
+                            signature: None,
+                        };
+                        let primary = self.current_primary();
+                        self.send(actions, NodeId::Replica(primary), Message::Accept(accept));
+                    }
+                }
+                Mode::Dog => {
+                    if self.is_proxy() {
+                        let mut accept = Accept {
+                            view: self.view,
+                            seq,
+                            digest,
+                            replica: self.id,
+                            signature: None,
+                        };
+                        accept.signature = Some(self.signer.sign(&accept.signing_bytes()));
+                        self.log.instance_mut(seq).record_accept(self.id, digest);
+                        let proxies = self.current_proxies();
+                        self.broadcast_to(actions, proxies, Message::Accept(accept));
+                    }
+                }
+                Mode::Peacock => {
+                    if self.is_proxy() && !i_am_primary {
+                        let mut vote = PbftPrepare {
+                            view: self.view,
+                            seq,
+                            digest,
+                            replica: self.id,
+                            signature: Signature::INVALID,
+                        };
+                        vote.signature = self.signer.sign(&vote.signing_bytes());
+                        self.log.instance_mut(seq).record_pbft_prepare(self.id, digest);
+                        let proxies = self.current_proxies();
+                        self.broadcast_to(actions, proxies, Message::PbftPrepare(vote));
+                    }
+                }
+            }
+        }
+
+        // The new primary continues sequence numbering above everything the
+        // new view carried over.
+        self.next_seq = highest;
+        self.execute_ready(actions);
+
+        // A newly installed primary immediately proposes the requests that
+        // were forwarded to the failed primary but never ordered, so
+        // recovery does not wait for client retransmissions (this is what
+        // keeps the Figure 4 outage short).
+        if self.current_primary() == self.id {
+            let pending: Vec<ClientRequest> = self
+                .forwarded_requests
+                .values()
+                .filter(|request| {
+                    self.exec.cached_reply(request.client, request.timestamp).is_none()
+                        && !self.assigned.contains_key(&request.id())
+                })
+                .cloned()
+                .collect();
+            let now_placeholder = Instant::ZERO;
+            for request in pending {
+                self.primary_propose(actions, request, now_placeholder);
+            }
+        }
+
+        // A brand-new Lion/Dog primary must also drive the carried-over
+        // prepares to commit; its own "vote" is implicit in having proposed
+        // them, so nothing further is needed here — accepts from the backups
+        // will arrive and the normal-case path takes over.
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic mode switching (Section 5.4)
+    // ------------------------------------------------------------------
+
+    /// Called on the trusted replica that should announce a switch to
+    /// `new_mode`. Returns no actions if this replica is not the legitimate
+    /// announcer.
+    pub(crate) fn initiate_mode_switch(&mut self, new_mode: Mode, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if new_mode == self.mode {
+            return actions;
+        }
+        let target_view = self.view.next();
+        let announcer = mode_switch_announcer(&self.cluster, target_view, new_mode);
+        if announcer != Some(self.id) || !self.cluster.is_trusted(self.id) {
+            return actions;
+        }
+        let mut announcement = ModeChange {
+            new_view: target_view,
+            new_mode,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        announcement.signature = self.signer.sign(&announcement.signing_bytes());
+        let recipients = self.all_replicas();
+        self.broadcast_to(&mut actions, recipients, Message::ModeChange(announcement.clone()));
+        actions.extend(self.apply_mode_change(announcement, now));
+        actions
+    }
+
+    /// Handles a `MODE-CHANGE` announcement.
+    pub(crate) fn on_mode_change(
+        &mut self,
+        from: NodeId,
+        mode_change: ModeChange,
+        now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else { return actions };
+        if mode_change.new_view <= self.view {
+            actions.push(self.violation(ProtocolViolation::WrongView {
+                got: mode_change.new_view,
+                expected: self.view.next(),
+            }));
+            return actions;
+        }
+        let announcer =
+            mode_switch_announcer(&self.cluster, mode_change.new_view, mode_change.new_mode);
+        if sender != mode_change.replica
+            || announcer != Some(sender)
+            || !self.cluster.is_trusted(sender)
+        {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender,
+                expected_role: "trusted mode-switch announcer",
+            }));
+            return actions;
+        }
+        if !self.keystore.verify(
+            NodeId::Replica(sender),
+            &mode_change.signing_bytes(),
+            &mode_change.signature,
+        ) {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(sender),
+            }));
+            return actions;
+        }
+        actions.extend(self.apply_mode_change(mode_change, now));
+        actions
+    }
+
+    /// Adopts a validated mode-change announcement: remembers the pending
+    /// mode and participates in the view change that installs it.
+    fn apply_mode_change(&mut self, mode_change: ModeChange, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.pending_mode = Some(mode_change.new_mode);
+        if self.is_view_change_voter(mode_change.new_mode) {
+            actions.extend(self.start_view_change(
+                mode_change.new_view,
+                mode_change.new_mode,
+                now,
+            ));
+        } else {
+            // Non-voters (private replicas for Dog/Peacock targets) stop
+            // normal-case processing and wait for the NEW-VIEW.
+            self.vc.in_view_change = true;
+            self.vc.target_view = mode_change.new_view;
+            actions.push(Action::SetTimer {
+                timer: Timer::ViewChange { view: mode_change.new_view },
+                after: self.pconfig.view_change_timeout,
+            });
+        }
+        actions
+    }
+}

@@ -1,0 +1,167 @@
+//! HMAC-SHA-256 (RFC 2104), validated against the RFC 4231 test vectors.
+
+use crate::sha256::{Sha256, BLOCK_LEN, OUTPUT_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte SHA-256 block are first hashed, as required
+/// by RFC 2104; shorter keys are zero-padded.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; OUTPUT_LEN] {
+    let mut block_key = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let hashed = crate::sha256::sha256(key);
+        block_key[..OUTPUT_LEN].copy_from_slice(&hashed);
+    } else {
+        block_key[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = block_key[i] ^ 0x36;
+        opad[i] = block_key[i] ^ 0x5c;
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time comparison of two byte strings of equal length.
+///
+/// Returns `false` if the lengths differ. Used when verifying signatures so
+/// that (even inside the simulation) verification does not leak how many
+/// prefix bytes matched.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex(&hmac_sha256(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2: "Jefe" / "what do ya want for nothing?".
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 0xaa*20 key, 0xdd*50 data.
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex(&hmac_sha256(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 4231 test case 7: long key and long data.
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac_sha256(&key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let tag_a = hmac_sha256(b"key-a", b"message");
+        let tag_b = hmac_sha256(b"key-b", b"message");
+        assert_ne!(tag_a, tag_b);
+    }
+
+    #[test]
+    fn different_messages_give_different_tags() {
+        let tag_a = hmac_sha256(b"key", b"message-1");
+        let tag_b = hmac_sha256(b"key", b"message-2");
+        assert_ne!(tag_a, tag_b);
+    }
+
+    #[test]
+    fn constant_time_eq_behaviour() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// HMAC is deterministic and key-sensitive.
+        #[test]
+        fn deterministic_and_key_sensitive(
+            key in proptest::collection::vec(any::<u8>(), 1..128),
+            msg in proptest::collection::vec(any::<u8>(), 0..512),
+            flip in 0usize..128,
+        ) {
+            let tag = hmac_sha256(&key, &msg);
+            prop_assert_eq!(tag, hmac_sha256(&key, &msg));
+
+            let mut other_key = key.clone();
+            let idx = flip % other_key.len();
+            other_key[idx] ^= 0x01;
+            prop_assert_ne!(tag, hmac_sha256(&other_key, &msg));
+        }
+
+        /// constant_time_eq agrees with ordinary equality.
+        #[test]
+        fn constant_time_eq_matches_eq(
+            a in proptest::collection::vec(any::<u8>(), 0..64),
+            b in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            prop_assert_eq!(constant_time_eq(&a, &b), a == b);
+        }
+    }
+}

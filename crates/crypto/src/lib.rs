@@ -1,0 +1,40 @@
+//! Cryptographic substrate for the SeeMoRe reproduction.
+//!
+//! The paper assumes standard cryptographic primitives: collision-resistant
+//! message digests to protect message integrity, and signatures that a
+//! Byzantine replica cannot forge on behalf of a correct replica
+//! (Section 3.1). This crate provides both, implemented from scratch so that
+//! the workspace has no external cryptography dependencies:
+//!
+//! * [`sha256`] — a from-scratch SHA-256 implementation (FIPS 180-4),
+//!   validated against the standard test vectors.
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104 / RFC 4231).
+//! * [`Digest`] — a 32-byte message digest.
+//! * [`KeyStore`] / [`SecretKey`] / [`Signature`] — *simulated* digital
+//!   signatures: each node holds a secret HMAC key and every node can verify
+//!   any signature through a shared [`KeyStore`].
+//!
+//! ## Why simulated signatures are sound here
+//!
+//! The protocol only relies on two properties of signatures: (1) a Byzantine
+//! replica cannot produce a valid signature of another replica, and (2) every
+//! replica and client can verify every signature. In this reproduction the
+//! Byzantine fault injectors are never handed other nodes' secret keys, so
+//! property (1) holds inside the simulation exactly as it would with
+//! public-key signatures, while the shared [`KeyStore`] provides property
+//! (2). The CPU cost of signing/verifying (an HMAC over the message) is also
+//! paid on every code path the paper pays it on, which is what matters for
+//! the performance model. This substitution is documented in `DESIGN.md`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod digest;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+
+pub use digest::Digest;
+pub use hmac::hmac_sha256;
+pub use keys::{KeyStore, SecretKey, Signature, Signer};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,193 @@
+//! Link-level fault injection: message loss, duplication and partitions.
+//!
+//! The paper's model allows the network to drop, delay, corrupt, duplicate
+//! or reorder messages (Section 3.1); safety must hold regardless. These
+//! faults are injected at the link layer of the simulator so that every
+//! protocol is exercised under the same adverse conditions.
+
+use rand::Rng;
+use seemore_types::{Duration, NodeId};
+use std::collections::BTreeSet;
+
+/// What the (faulty) link decided to do with a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDecision {
+    /// Deliver `copies` copies (1 = normal, 2 = duplicated), each delayed by
+    /// the attached extra delay on top of the latency model.
+    Deliver {
+        /// Number of copies to deliver.
+        copies: u32,
+        /// Extra delay added to every copy (models reordering).
+        extra_delay: Duration,
+    },
+    /// Silently drop the message.
+    Drop,
+}
+
+/// Probabilistic link faults plus explicit partitions.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFaults {
+    /// Probability that a message is dropped.
+    pub drop_probability: f64,
+    /// Probability that a message is duplicated.
+    pub duplicate_probability: f64,
+    /// Probability that a message is delayed by `reorder_delay` (which makes
+    /// it overtake later messages, i.e. reordering).
+    pub reorder_probability: f64,
+    /// The extra delay applied to reordered messages.
+    pub reorder_delay: Duration,
+    /// Unidirectional blocked links (messages from `.0` to `.1` are dropped).
+    partitions: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl LinkFaults {
+    /// A perfectly reliable network.
+    pub fn none() -> Self {
+        LinkFaults::default()
+    }
+
+    /// A lossy network with the given drop probability.
+    pub fn lossy(drop_probability: f64) -> Self {
+        LinkFaults { drop_probability, ..LinkFaults::default() }
+    }
+
+    /// A network that occasionally duplicates and reorders messages.
+    pub fn chaotic(drop: f64, duplicate: f64, reorder: f64) -> Self {
+        LinkFaults {
+            drop_probability: drop,
+            duplicate_probability: duplicate,
+            reorder_probability: reorder,
+            reorder_delay: Duration::from_millis(2),
+            ..LinkFaults::default()
+        }
+    }
+
+    /// Blocks the unidirectional link `from -> to`.
+    pub fn partition_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.partitions.insert((from, to));
+    }
+
+    /// Blocks both directions between `a` and `b`.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert((a, b));
+        self.partitions.insert((b, a));
+    }
+
+    /// Removes every partition involving `node`.
+    pub fn heal_node(&mut self, node: NodeId) {
+        self.partitions.retain(|(a, b)| *a != node && *b != node);
+    }
+
+    /// Removes all partitions.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Whether the link `from -> to` is currently partitioned.
+    pub fn is_partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        self.partitions.contains(&(from, to))
+    }
+
+    /// Decides the fate of one message on the link `from -> to`.
+    pub fn decide<R: Rng + ?Sized>(&self, from: NodeId, to: NodeId, rng: &mut R) -> LinkDecision {
+        if self.is_partitioned(from, to) {
+            return LinkDecision::Drop;
+        }
+        if self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.clamp(0.0, 1.0)) {
+            return LinkDecision::Drop;
+        }
+        let copies = if self.duplicate_probability > 0.0
+            && rng.gen_bool(self.duplicate_probability.clamp(0.0, 1.0))
+        {
+            2
+        } else {
+            1
+        };
+        let extra_delay = if self.reorder_probability > 0.0
+            && rng.gen_bool(self.reorder_probability.clamp(0.0, 1.0))
+        {
+            self.reorder_delay
+        } else {
+            Duration::ZERO
+        };
+        LinkDecision::Deliver { copies, extra_delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use seemore_types::{ClientId, ReplicaId};
+
+    fn node(r: u32) -> NodeId {
+        NodeId::Replica(ReplicaId(r))
+    }
+
+    #[test]
+    fn reliable_network_always_delivers_once() {
+        let faults = LinkFaults::none();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(
+                faults.decide(node(0), node(1), &mut rng),
+                LinkDecision::Deliver { copies: 1, extra_delay: Duration::ZERO }
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut faults = LinkFaults::none();
+        let mut rng = SmallRng::seed_from_u64(2);
+        faults.partition(node(0), node(1));
+        assert!(faults.is_partitioned(node(0), node(1)));
+        assert!(faults.is_partitioned(node(1), node(0)));
+        assert_eq!(faults.decide(node(0), node(1), &mut rng), LinkDecision::Drop);
+        assert!(!faults.is_partitioned(node(0), node(2)));
+
+        faults.partition_one_way(node(2), node(3));
+        assert!(faults.is_partitioned(node(2), node(3)));
+        assert!(!faults.is_partitioned(node(3), node(2)));
+
+        faults.heal_node(node(0));
+        assert!(!faults.is_partitioned(node(0), node(1)));
+        assert!(faults.is_partitioned(node(2), node(3)));
+        faults.heal_all();
+        assert!(!faults.is_partitioned(node(2), node(3)));
+    }
+
+    #[test]
+    fn drop_probability_drops_roughly_the_right_fraction() {
+        let faults = LinkFaults::lossy(0.3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let drops = (0..10_000)
+            .filter(|_| faults.decide(node(0), node(1), &mut rng) == LinkDecision::Drop)
+            .count();
+        assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn chaotic_network_duplicates_and_reorders() {
+        let faults = LinkFaults::chaotic(0.0, 0.5, 0.5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut dupes = 0;
+        let mut reorders = 0;
+        for _ in 0..1_000 {
+            match faults.decide(node(0), NodeId::Client(ClientId(0)), &mut rng) {
+                LinkDecision::Deliver { copies, extra_delay } => {
+                    if copies > 1 {
+                        dupes += 1;
+                    }
+                    if extra_delay > Duration::ZERO {
+                        reorders += 1;
+                    }
+                }
+                LinkDecision::Drop => panic!("no drops configured"),
+            }
+        }
+        assert!(dupes > 300 && dupes < 700, "dupes = {dupes}");
+        assert!(reorders > 300 && reorders < 700, "reorders = {reorders}");
+    }
+}

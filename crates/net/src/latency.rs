@@ -1,0 +1,162 @@
+//! One-way link latency model.
+
+use crate::placement::{Placement, Zone};
+use rand::Rng;
+use seemore_types::{Duration, NodeId};
+
+/// Latency parameters of the simulated network.
+///
+/// The default models the paper's testbed: both clouds in the same EC2
+/// region (sub-millisecond replica-to-replica latency) with clients slightly
+/// further away. `cross_cloud` can be raised to study the geo-separated
+/// setting that motivates the Peacock mode (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// One-way latency between two replicas in the same cloud.
+    pub intra_cloud: Duration,
+    /// One-way latency between a private and a public replica.
+    pub cross_cloud: Duration,
+    /// One-way latency between a client and any replica.
+    pub client_link: Duration,
+    /// Additional transmission time per kilobyte of message payload.
+    pub per_kilobyte: Duration,
+    /// Uniform jitter applied to every delay, as a fraction of the base
+    /// (0.1 = up to ±10%).
+    pub jitter: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::same_region()
+    }
+}
+
+impl LatencyModel {
+    /// The paper's evaluation setting: both clouds in the same data center.
+    pub fn same_region() -> Self {
+        LatencyModel {
+            intra_cloud: Duration::from_micros(120),
+            cross_cloud: Duration::from_micros(120),
+            client_link: Duration::from_micros(250),
+            per_kilobyte: Duration::from_micros(3),
+            jitter: 0.10,
+        }
+    }
+
+    /// A geo-separated hybrid cloud: the public cloud is far from the
+    /// private cloud (used to motivate switching to the Peacock mode).
+    pub fn geo_separated(cross_cloud_ms: u64) -> Self {
+        LatencyModel {
+            cross_cloud: Duration::from_millis(cross_cloud_ms),
+            ..LatencyModel::same_region()
+        }
+    }
+
+    /// A zero-jitter copy of this model (deterministic runs).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter = 0.0;
+        self
+    }
+
+    /// Base (jitter-free) one-way delay between `from` and `to` for a
+    /// message of `bytes` bytes.
+    pub fn base_delay(&self, placement: &Placement, from: NodeId, to: NodeId, bytes: usize) -> Duration {
+        let (zf, zt) = (placement.zone(from), placement.zone(to));
+        let link = if zf == Zone::Client || zt == Zone::Client {
+            self.client_link
+        } else if zf != zt {
+            self.cross_cloud
+        } else {
+            self.intra_cloud
+        };
+        let size_cost_nanos =
+            (self.per_kilobyte.as_nanos() as f64 * bytes as f64 / 1024.0) as u64;
+        link + Duration::from_nanos(size_cost_nanos)
+    }
+
+    /// One-way delay including jitter drawn from `rng`.
+    pub fn delay<R: Rng + ?Sized>(
+        &self,
+        placement: &Placement,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        rng: &mut R,
+    ) -> Duration {
+        let base = self.base_delay(placement, from, to, bytes);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let factor = 1.0 + rng.gen_range(-self.jitter..=self.jitter);
+        Duration::from_nanos((base.as_nanos() as f64 * factor).max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use seemore_types::{ClientId, ClusterConfig, FailureBounds, ReplicaId};
+
+    fn placement() -> Placement {
+        Placement::hybrid(ClusterConfig::new(2, 4, FailureBounds::new(1, 1)).unwrap())
+    }
+
+    #[test]
+    fn link_class_selection() {
+        let model = LatencyModel::geo_separated(20).without_jitter();
+        let p = placement();
+        let private0 = NodeId::Replica(ReplicaId(0));
+        let private1 = NodeId::Replica(ReplicaId(1));
+        let public0 = NodeId::Replica(ReplicaId(2));
+        let client = NodeId::Client(ClientId(0));
+
+        assert_eq!(model.base_delay(&p, private0, private1, 0), model.intra_cloud);
+        assert_eq!(model.base_delay(&p, private0, public0, 0), Duration::from_millis(20));
+        assert_eq!(model.base_delay(&p, client, private0, 0), model.client_link);
+        assert_eq!(model.base_delay(&p, public0, client, 0), model.client_link);
+    }
+
+    #[test]
+    fn size_increases_delay_linearly() {
+        let model = LatencyModel::same_region().without_jitter();
+        let p = placement();
+        let a = NodeId::Replica(ReplicaId(2));
+        let b = NodeId::Replica(ReplicaId(3));
+        let small = model.base_delay(&p, a, b, 0);
+        let large = model.base_delay(&p, a, b, 4096);
+        assert_eq!(
+            large.as_nanos() - small.as_nanos(),
+            model.per_kilobyte.as_nanos() * 4
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic_per_seed() {
+        let model = LatencyModel::same_region();
+        let p = placement();
+        let a = NodeId::Replica(ReplicaId(0));
+        let b = NodeId::Replica(ReplicaId(3));
+        let base = model.base_delay(&p, a, b, 100);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let d = model.delay(&p, a, b, 100, &mut rng);
+            let ratio = d.as_nanos() as f64 / base.as_nanos() as f64;
+            assert!((0.89..=1.11).contains(&ratio), "ratio {ratio} out of bounds");
+        }
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        assert_eq!(
+            model.delay(&p, a, b, 100, &mut rng_a),
+            model.delay(&p, a, b, 100, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn default_is_same_region() {
+        assert_eq!(LatencyModel::default(), LatencyModel::same_region());
+        let nj = LatencyModel::default().without_jitter();
+        assert_eq!(nj.jitter, 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Network substrate for the SeeMoRe reproduction.
+//!
+//! The paper evaluates SeeMoRe on Amazon EC2 with both clouds in the same
+//! region; this crate supplies the models that let the discrete-event
+//! simulator (in `seemore-runtime`) reproduce the same experiments on a
+//! laptop:
+//!
+//! * [`Placement`] — which cloud (private, public, or client side) each
+//!   endpoint lives in.
+//! * [`LatencyModel`] — one-way link latency as a function of the two
+//!   endpoints' placements and the message size, with optional jitter.
+//! * [`CpuModel`] — per-message processing cost (serialization plus
+//!   signature generation/verification), which is what saturates a replica
+//!   and bends the throughput/latency curves of Figures 2 and 3.
+//! * [`LinkFaults`] — message drop/duplication probabilities and explicit
+//!   partitions for fault-injection experiments.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cpu;
+pub mod faults;
+pub mod latency;
+pub mod placement;
+
+pub use cpu::CpuModel;
+pub use faults::{LinkDecision, LinkFaults};
+pub use latency::LatencyModel;
+pub use placement::{Placement, Zone};

@@ -1,0 +1,97 @@
+//! Endpoint placement: which cloud a node lives in.
+
+use seemore_types::{ClusterConfig, NodeId};
+
+/// The location class of an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Zone {
+    /// The trusted private cloud.
+    Private,
+    /// The untrusted public cloud.
+    Public,
+    /// A client machine (outside both clouds).
+    Client,
+}
+
+/// Maps endpoints to zones.
+///
+/// For SeeMoRe clusters the mapping comes from the [`ClusterConfig`]
+/// (replicas below `S` are private); for the baselines, which do not
+/// distinguish clouds, every replica is placed in the public cloud so that
+/// all replica-to-replica links share one latency class — matching the
+/// paper's setup where both clouds sit in the same EC2 region.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    cluster: Option<ClusterConfig>,
+}
+
+impl Placement {
+    /// Placement derived from a SeeMoRe cluster configuration.
+    pub fn hybrid(cluster: ClusterConfig) -> Self {
+        Placement { cluster: Some(cluster) }
+    }
+
+    /// Placement for a baseline group: every replica in one (public) cloud.
+    pub fn flat() -> Self {
+        Placement { cluster: None }
+    }
+
+    /// The zone of `node`.
+    pub fn zone(&self, node: NodeId) -> Zone {
+        match node {
+            NodeId::Client(_) => Zone::Client,
+            NodeId::Replica(replica) => match &self.cluster {
+                Some(cluster) if cluster.is_trusted(replica) => Zone::Private,
+                _ => Zone::Public,
+            },
+        }
+    }
+
+    /// Whether two endpoints live in different clouds (ignoring clients).
+    pub fn crosses_clouds(&self, a: NodeId, b: NodeId) -> bool {
+        let (za, zb) = (self.zone(a), self.zone(b));
+        za != zb && za != Zone::Client && zb != Zone::Client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::{ClientId, FailureBounds, ReplicaId};
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::new(2, 4, FailureBounds::new(1, 1)).unwrap()
+    }
+
+    #[test]
+    fn hybrid_placement_follows_cluster_trust() {
+        let placement = Placement::hybrid(cluster());
+        assert_eq!(placement.zone(NodeId::Replica(ReplicaId(0))), Zone::Private);
+        assert_eq!(placement.zone(NodeId::Replica(ReplicaId(1))), Zone::Private);
+        assert_eq!(placement.zone(NodeId::Replica(ReplicaId(2))), Zone::Public);
+        assert_eq!(placement.zone(NodeId::Client(ClientId(0))), Zone::Client);
+    }
+
+    #[test]
+    fn flat_placement_is_all_public() {
+        let placement = Placement::flat();
+        assert_eq!(placement.zone(NodeId::Replica(ReplicaId(0))), Zone::Public);
+        assert_eq!(placement.zone(NodeId::Replica(ReplicaId(9))), Zone::Public);
+        assert_eq!(placement.zone(NodeId::Client(ClientId(3))), Zone::Client);
+    }
+
+    #[test]
+    fn cross_cloud_detection() {
+        let placement = Placement::hybrid(cluster());
+        let private = NodeId::Replica(ReplicaId(0));
+        let public = NodeId::Replica(ReplicaId(3));
+        let client = NodeId::Client(ClientId(0));
+        assert!(placement.crosses_clouds(private, public));
+        assert!(!placement.crosses_clouds(private, NodeId::Replica(ReplicaId(1))));
+        assert!(!placement.crosses_clouds(public, NodeId::Replica(ReplicaId(4))));
+        assert!(!placement.crosses_clouds(private, client));
+
+        let flat = Placement::flat();
+        assert!(!flat.crosses_clouds(private, public));
+    }
+}

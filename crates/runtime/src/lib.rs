@@ -1,0 +1,31 @@
+//! Execution substrates and measurement harness for the SeeMoRe
+//! reproduction.
+//!
+//! * [`sim`] — a deterministic discrete-event simulator that drives any
+//!   collection of sans-IO replica and client cores over the latency, CPU
+//!   and fault models from `seemore-net`. This is what regenerates the
+//!   paper's figures.
+//! * [`workload`] — the 0/0, 0/4 and 4/0 micro-benchmarks of the evaluation
+//!   plus a key-value workload for the examples.
+//! * [`report`] — throughput / latency / timeline statistics extracted from
+//!   a run.
+//! * [`scenario`] — one-call builders that assemble a cluster (SeeMoRe in
+//!   any mode, or one of the baselines), attach clients and failure
+//!   schedules, run the simulation and return a [`report::RunReport`].
+//! * [`threaded`] — a thread-per-replica runtime over in-memory channels,
+//!   used by the examples to show the protocol running outside the
+//!   simulator.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod report;
+pub mod scenario;
+pub mod sim;
+pub mod threaded;
+pub mod workload;
+
+pub use report::{RunReport, TimelineBucket};
+pub use scenario::{ProtocolKind, Scenario};
+pub use sim::{SimConfig, Simulation};
+pub use workload::Workload;

@@ -1,0 +1,206 @@
+//! Run statistics: throughput, latency distribution and a throughput
+//! timeline.
+
+use seemore_core::client::ClientOutcome;
+use seemore_types::{Duration, Instant};
+
+/// One bucket of the throughput timeline (Figure 4's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineBucket {
+    /// Start of the bucket, milliseconds since the beginning of the run.
+    pub start_ms: f64,
+    /// Requests completed inside the bucket.
+    pub completed: u64,
+    /// Throughput over the bucket in thousands of requests per second.
+    pub throughput_kreqs: f64,
+}
+
+/// Aggregated statistics of one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Requests completed inside the measurement window.
+    pub completed: u64,
+    /// Length of the measurement window.
+    pub measured_duration: Duration,
+    /// Throughput in thousands of requests per second.
+    pub throughput_kreqs: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th percentile latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// 99th percentile latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Protocol messages delivered during the whole run.
+    pub messages_delivered: u64,
+    /// Bytes delivered during the whole run (wire-size model).
+    pub bytes_delivered: u64,
+    /// View changes completed across all replicas.
+    pub view_changes: u64,
+    /// Mode switches completed across all replicas.
+    pub mode_switches: u64,
+    /// Client retransmissions.
+    pub retransmissions: u64,
+    /// Throughput timeline over the whole run (not only the measurement
+    /// window), for the view-change experiment.
+    pub timeline: Vec<TimelineBucket>,
+}
+
+impl RunReport {
+    /// Builds a report from raw completions.
+    ///
+    /// * `outcomes` — every completed request with its completion time.
+    /// * `measure_from` — completions before this instant (warm-up) are
+    ///   excluded from throughput/latency statistics but still appear in the
+    ///   timeline.
+    /// * `run_end` — end of the run.
+    /// * `bucket` — timeline bucket width.
+    pub fn from_outcomes(
+        outcomes: &[ClientOutcome],
+        measure_from: Instant,
+        run_end: Instant,
+        bucket: Duration,
+    ) -> RunReport {
+        let mut latencies_ms: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.completed_at >= measure_from)
+            .map(|o| o.latency.as_millis_f64())
+            .collect();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+        let completed = latencies_ms.len() as u64;
+        let measured_duration = run_end - measure_from;
+        let secs = measured_duration.as_secs_f64();
+        let throughput_kreqs = if secs > 0.0 { completed as f64 / secs / 1_000.0 } else { 0.0 };
+
+        let percentile = |p: f64| -> f64 {
+            if latencies_ms.is_empty() {
+                return 0.0;
+            }
+            let rank = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+            latencies_ms[rank.min(latencies_ms.len() - 1)]
+        };
+        let avg = if latencies_ms.is_empty() {
+            0.0
+        } else {
+            latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+        };
+
+        let timeline = Self::timeline(outcomes, run_end, bucket);
+
+        RunReport {
+            completed,
+            measured_duration,
+            throughput_kreqs,
+            avg_latency_ms: avg,
+            p50_latency_ms: percentile(0.50),
+            p95_latency_ms: percentile(0.95),
+            p99_latency_ms: percentile(0.99),
+            timeline,
+            ..RunReport::default()
+        }
+    }
+
+    fn timeline(
+        outcomes: &[ClientOutcome],
+        run_end: Instant,
+        bucket: Duration,
+    ) -> Vec<TimelineBucket> {
+        if bucket == Duration::ZERO || run_end == Instant::ZERO {
+            return Vec::new();
+        }
+        let bucket_ns = bucket.as_nanos().max(1);
+        let buckets = run_end.as_nanos().div_ceil(bucket_ns) as usize;
+        let mut counts = vec![0u64; buckets];
+        for outcome in outcomes {
+            let index = (outcome.completed_at.as_nanos() / bucket_ns) as usize;
+            if index < buckets {
+                counts[index] += 1;
+            }
+        }
+        let bucket_secs = bucket.as_secs_f64();
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, completed)| TimelineBucket {
+                start_ms: i as f64 * bucket.as_millis_f64(),
+                completed: *completed,
+                throughput_kreqs: *completed as f64 / bucket_secs / 1_000.0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::{ClientId, RequestId, Timestamp};
+
+    fn outcome(completed_ms: u64, latency_ms: u64, n: u64) -> ClientOutcome {
+        ClientOutcome {
+            request: RequestId::new(ClientId(0), Timestamp(n)),
+            result: Vec::new(),
+            latency: Duration::from_millis(latency_ms),
+            completed_at: Instant::from_nanos(completed_ms * 1_000_000),
+        }
+    }
+
+    #[test]
+    fn throughput_and_latency_over_measurement_window() {
+        // 100 completions spread over 1 second, 2 ms latency each, after a
+        // 100 ms warm-up that contains 10 more completions.
+        let mut outcomes = Vec::new();
+        for i in 0..10 {
+            outcomes.push(outcome(i * 10, 5, i));
+        }
+        for i in 0..100 {
+            outcomes.push(outcome(100 + i * 9, 2, 100 + i));
+        }
+        let report = RunReport::from_outcomes(
+            &outcomes,
+            Instant::from_nanos(100 * 1_000_000),
+            Instant::from_nanos(1_000 * 1_000_000),
+            Duration::from_millis(100),
+        );
+        assert_eq!(report.completed, 100);
+        assert!((report.throughput_kreqs - 100.0 / 0.9 / 1000.0).abs() < 1e-9);
+        assert!((report.avg_latency_ms - 2.0).abs() < 1e-9);
+        assert!((report.p50_latency_ms - 2.0).abs() < 1e-9);
+        assert_eq!(report.timeline.len(), 10);
+        // Warm-up completions appear in the timeline's first bucket.
+        assert_eq!(report.timeline[0].completed, 10);
+    }
+
+    #[test]
+    fn empty_runs_produce_zeroes() {
+        let report = RunReport::from_outcomes(
+            &[],
+            Instant::ZERO,
+            Instant::from_nanos(1_000_000),
+            Duration::from_millis(1),
+        );
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.throughput_kreqs, 0.0);
+        assert_eq!(report.avg_latency_ms, 0.0);
+        assert_eq!(report.p99_latency_ms, 0.0);
+        assert_eq!(report.timeline.len(), 1);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let outcomes: Vec<ClientOutcome> =
+            (0..1000).map(|i| outcome(i, i % 50 + 1, i)).collect();
+        let report = RunReport::from_outcomes(
+            &outcomes,
+            Instant::ZERO,
+            Instant::from_nanos(1_000 * 1_000_000),
+            Duration::from_millis(10),
+        );
+        assert!(report.p50_latency_ms <= report.p95_latency_ms);
+        assert!(report.p95_latency_ms <= report.p99_latency_ms);
+        assert!(report.avg_latency_ms > 0.0);
+        let total_in_timeline: u64 = report.timeline.iter().map(|b| b.completed).sum();
+        assert_eq!(total_in_timeline, 1000);
+    }
+}

@@ -1,0 +1,479 @@
+//! One-call experiment builders.
+//!
+//! A [`Scenario`] describes one point of the paper's evaluation — which
+//! protocol, which failure bounds, how many clients, which payload sizes,
+//! and any failure to inject — and [`Scenario::run`] assembles the cluster,
+//! drives the discrete-event simulator and returns a [`RunReport`]. The
+//! benchmark harness sweeps scenarios to regenerate every figure.
+
+use crate::report::RunReport;
+use crate::sim::{SimConfig, Simulation};
+use crate::workload::Workload;
+use seemore_app::NoopApp;
+use seemore_baselines::{s_upright, BaselineClient, BaselineConfig, BftReplica, CftReplica};
+use seemore_core::byzantine::{ByzantineBehavior, ByzantineReplica};
+use seemore_core::client::ClientCore;
+use seemore_core::config::ProtocolConfig;
+use seemore_core::replica::SeeMoReReplica;
+use seemore_crypto::KeyStore;
+use seemore_net::{CpuModel, LatencyModel, LinkFaults, Placement};
+use seemore_types::{ClientId, ClusterConfig, Duration, Instant, Mode, ReplicaId};
+
+/// Which protocol a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// SeeMoRe in the Lion mode.
+    SeeMoReLion,
+    /// SeeMoRe in the Dog mode.
+    SeeMoReDog,
+    /// SeeMoRe in the Peacock mode.
+    SeeMoRePeacock,
+    /// The crash fault-tolerant baseline (Paxos), sized for `f = c + m`.
+    Cft,
+    /// The Byzantine fault-tolerant baseline (PBFT), sized for `f = c + m`.
+    Bft,
+    /// The S-UpRight hybrid baseline (PBFT agreement over `3m + 2c + 1`).
+    SUpright,
+}
+
+impl ProtocolKind {
+    /// Every protocol line plotted in the paper's figures, in plot order.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::Bft,
+        ProtocolKind::SUpright,
+        ProtocolKind::SeeMoRePeacock,
+        ProtocolKind::SeeMoReDog,
+        ProtocolKind::SeeMoReLion,
+        ProtocolKind::Cft,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::SeeMoReLion => "Lion",
+            ProtocolKind::SeeMoReDog => "Dog",
+            ProtocolKind::SeeMoRePeacock => "Peacock",
+            ProtocolKind::Cft => "CFT",
+            ProtocolKind::Bft => "BFT",
+            ProtocolKind::SUpright => "S-UpRight",
+        }
+    }
+
+    /// The SeeMoRe mode, if this is a SeeMoRe line.
+    pub fn seemore_mode(self) -> Option<Mode> {
+        match self {
+            ProtocolKind::SeeMoReLion => Some(Mode::Lion),
+            ProtocolKind::SeeMoReDog => Some(Mode::Dog),
+            ProtocolKind::SeeMoRePeacock => Some(Mode::Peacock),
+            _ => None,
+        }
+    }
+
+    /// Total number of replicas this protocol deploys for `(c, m)`.
+    pub fn network_size(self, c: u32, m: u32) -> u32 {
+        match self {
+            ProtocolKind::SeeMoReLion | ProtocolKind::SeeMoReDog | ProtocolKind::SeeMoRePeacock
+            | ProtocolKind::SUpright => 3 * m + 2 * c + 1,
+            ProtocolKind::Cft => 2 * (c + m) + 1,
+            ProtocolKind::Bft => 3 * (c + m) + 1,
+        }
+    }
+}
+
+/// A fully specified experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Crash-fault bound `c`.
+    pub crash_faults: u32,
+    /// Byzantine-fault bound `m`.
+    pub byzantine_faults: u32,
+    /// Number of closed-loop clients.
+    pub clients: u32,
+    /// Request payload size in bytes.
+    pub request_size: usize,
+    /// Reply payload size in bytes.
+    pub reply_size: usize,
+    /// Total simulated run length.
+    pub duration: Duration,
+    /// Warm-up excluded from the measured window.
+    pub warmup: Duration,
+    /// Timeline bucket width (Figure 4).
+    pub timeline_bucket: Duration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// CPU cost model.
+    pub cpu: CpuModel,
+    /// Link fault injection.
+    pub faults: LinkFaults,
+    /// Checkpoint period (requests between checkpoints).
+    pub checkpoint_period: u64,
+    /// Protocol timeouts.
+    pub request_timeout: Duration,
+    /// If set, crash the view-0 primary at this instant (Figure 4).
+    pub crash_primary_at: Option<Instant>,
+    /// If set, announce a switch to this mode at the given instant
+    /// (SeeMoRe only).
+    pub mode_switch: Option<(Instant, Mode)>,
+    /// Number of public-cloud replicas wrapped with this Byzantine
+    /// behaviour (must stay ≤ `m` for guarantees to hold).
+    pub byzantine_replicas: u32,
+    /// The behaviour applied to those replicas.
+    pub byzantine_behavior: ByzantineBehavior,
+}
+
+impl Scenario {
+    /// A scenario with the defaults used throughout the evaluation:
+    /// 0/0 payloads, same-region latency, 16 clients, 400 ms of simulated
+    /// time with a 100 ms warm-up.
+    pub fn new(protocol: ProtocolKind, c: u32, m: u32) -> Self {
+        Scenario {
+            protocol,
+            crash_faults: c,
+            byzantine_faults: m,
+            clients: 16,
+            request_size: 0,
+            reply_size: 0,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+            timeline_bucket: Duration::from_millis(5),
+            seed: 0xC0FFEE,
+            latency: LatencyModel::same_region(),
+            cpu: CpuModel::default(),
+            faults: LinkFaults::none(),
+            checkpoint_period: 1_000,
+            request_timeout: Duration::from_millis(20),
+            crash_primary_at: None,
+            mode_switch: None,
+            byzantine_replicas: 0,
+            byzantine_behavior: ByzantineBehavior::Honest,
+        }
+    }
+
+    /// Sets the number of closed-loop clients.
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the request/reply payload sizes in bytes (the paper's `x/y`
+    /// micro-benchmarks use 0 or 4096).
+    pub fn with_payload(mut self, request: usize, reply: usize) -> Self {
+        self.request_size = request;
+        self.reply_size = reply;
+        self
+    }
+
+    /// Sets the simulated duration and warm-up.
+    pub fn with_duration(mut self, duration: Duration, warmup: Duration) -> Self {
+        self.duration = duration;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Crashes the view-0 primary at `at` (the Figure 4 experiment).
+    pub fn with_primary_crash(mut self, at: Instant) -> Self {
+        self.crash_primary_at = Some(at);
+        self
+    }
+
+    /// Announces a mode switch at `at` (SeeMoRe only).
+    pub fn with_mode_switch(mut self, at: Instant, mode: Mode) -> Self {
+        self.mode_switch = Some((at, mode));
+        self
+    }
+
+    /// Uses a custom latency model (e.g. geo-separated clouds).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Uses a custom CPU model (e.g. free crypto for ablations).
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Injects link faults.
+    pub fn with_link_faults(mut self, faults: LinkFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the checkpoint period.
+    pub fn with_checkpoint_period(mut self, period: u64) -> Self {
+        self.checkpoint_period = period;
+        self
+    }
+
+    /// Wraps `count` public-cloud replicas with the given Byzantine
+    /// behaviour (SeeMoRe and BFT-style baselines).
+    pub fn with_byzantine(mut self, count: u32, behavior: ByzantineBehavior) -> Self {
+        self.byzantine_replicas = count;
+        self.byzantine_behavior = behavior;
+        self
+    }
+
+    fn protocol_config(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            checkpoint_period: self.checkpoint_period,
+            high_water_mark: self.checkpoint_period.saturating_mul(4).max(64),
+            request_timeout: self.request_timeout,
+            view_change_timeout: self.request_timeout.mul(2),
+            client_timeout: self.request_timeout.mul(2),
+        }
+    }
+
+    /// Builds the cluster, runs the simulation and returns the report.
+    pub fn run(&self) -> RunReport {
+        let (mut sim, primary) = self.build();
+        if let Some(at) = self.crash_primary_at {
+            sim.schedule_crash(at, primary);
+        }
+        sim.run_until(Instant::ZERO + self.duration);
+        sim.report(Instant::ZERO + self.warmup, self.timeline_bucket)
+    }
+
+    /// Builds the simulation without running it (used by tests and examples
+    /// that want to inspect intermediate state). Returns the simulation and
+    /// the id of the view-0 primary.
+    pub fn build(&self) -> (Simulation, ReplicaId) {
+        let c = self.crash_faults;
+        let m = self.byzantine_faults;
+        let pconfig = self.protocol_config();
+        let client_timeout = pconfig.client_timeout;
+
+        match self.protocol.seemore_mode() {
+            Some(mode) => {
+                let cluster = ClusterConfig::minimal(c, m).expect("valid SeeMoRe cluster");
+                let keystore =
+                    KeyStore::generate(self.seed, cluster.total_size(), u64::from(self.clients));
+                let config = SimConfig {
+                    latency: self.latency,
+                    cpu: self.cpu,
+                    faults: self.faults.clone(),
+                    placement: Placement::hybrid(cluster),
+                    seed: self.seed,
+                };
+                let mut sim = Simulation::new(config);
+                // The last `byzantine_replicas` public replicas misbehave.
+                let byzantine_cutoff =
+                    cluster.total_size().saturating_sub(self.byzantine_replicas);
+                for replica in cluster.replicas() {
+                    let core = SeeMoReReplica::new(
+                        replica,
+                        cluster,
+                        pconfig,
+                        keystore.clone(),
+                        mode,
+                        Box::new(NoopApp::new(self.reply_size)),
+                    );
+                    if replica.0 >= byzantine_cutoff && !cluster.is_trusted(replica) {
+                        sim.add_replica(Box::new(ByzantineReplica::new(
+                            core,
+                            self.byzantine_behavior,
+                        )));
+                    } else {
+                        sim.add_replica(Box::new(core));
+                    }
+                }
+                for client in 0..u64::from(self.clients) {
+                    sim.add_client(
+                        ClientCore::new(
+                            ClientId(client),
+                            cluster,
+                            keystore.clone(),
+                            mode,
+                            client_timeout,
+                        ),
+                        Workload::micro(self.request_size),
+                        Instant::from_nanos(client * 5_000),
+                    );
+                }
+                if let Some((at, target_mode)) = self.mode_switch {
+                    let view = seemore_types::View(1);
+                    if let Some(announcer) =
+                        seemore_core::replica::mode_switch_announcer(&cluster, view, target_mode)
+                    {
+                        sim.schedule_mode_switch(at, announcer, target_mode);
+                    }
+                }
+                let primary = cluster
+                    .primary(mode, seemore_types::View(0))
+                    .expect("view-0 primary");
+                (sim, primary)
+            }
+            None => {
+                let config = match self.protocol {
+                    ProtocolKind::Cft => BaselineConfig::cft(c + m),
+                    ProtocolKind::Bft => BaselineConfig::bft(c + m),
+                    ProtocolKind::SUpright => s_upright(c, m),
+                    _ => unreachable!("SeeMoRe handled above"),
+                };
+                let keystore =
+                    KeyStore::generate(self.seed, config.network_size, u64::from(self.clients));
+                let sim_config = SimConfig {
+                    latency: self.latency,
+                    cpu: self.cpu,
+                    faults: self.faults.clone(),
+                    placement: Placement::flat(),
+                    seed: self.seed,
+                };
+                let mut sim = Simulation::new(sim_config);
+                let byzantine_cutoff =
+                    config.network_size.saturating_sub(self.byzantine_replicas);
+                for replica in config.replicas() {
+                    match self.protocol {
+                        ProtocolKind::Cft => {
+                            sim.add_replica(Box::new(CftReplica::new(
+                                replica,
+                                config,
+                                pconfig,
+                                Box::new(NoopApp::new(self.reply_size)),
+                            )));
+                        }
+                        _ => {
+                            let core = BftReplica::new(
+                                replica,
+                                config,
+                                pconfig,
+                                keystore.clone(),
+                                Box::new(NoopApp::new(self.reply_size)),
+                            );
+                            if replica.0 >= byzantine_cutoff && replica.0 != 0 {
+                                sim.add_replica(Box::new(ByzantineReplica::new(
+                                    core,
+                                    self.byzantine_behavior,
+                                )));
+                            } else {
+                                sim.add_replica(Box::new(core));
+                            }
+                        }
+                    }
+                }
+                for client in 0..u64::from(self.clients) {
+                    sim.add_client(
+                        BaselineClient::new(
+                            ClientId(client),
+                            config,
+                            keystore.clone(),
+                            client_timeout,
+                        ),
+                        Workload::micro(self.request_size),
+                        Instant::from_nanos(client * 5_000),
+                    );
+                }
+                (sim, config.primary(seemore_types::View(0)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_kind_metadata() {
+        assert_eq!(ProtocolKind::ALL.len(), 6);
+        assert_eq!(ProtocolKind::SeeMoReLion.name(), "Lion");
+        assert_eq!(ProtocolKind::Cft.name(), "CFT");
+        assert_eq!(ProtocolKind::SeeMoReDog.seemore_mode(), Some(Mode::Dog));
+        assert_eq!(ProtocolKind::Bft.seemore_mode(), None);
+        // Fig. 2(a) caption sizes.
+        assert_eq!(ProtocolKind::SeeMoReLion.network_size(1, 1), 6);
+        assert_eq!(ProtocolKind::SUpright.network_size(1, 1), 6);
+        assert_eq!(ProtocolKind::Cft.network_size(1, 1), 5);
+        assert_eq!(ProtocolKind::Bft.network_size(1, 1), 7);
+    }
+
+    #[test]
+    fn every_protocol_makes_progress_in_a_short_run() {
+        for protocol in ProtocolKind::ALL {
+            let report = Scenario::new(protocol, 1, 1)
+                .with_clients(4)
+                .with_duration(Duration::from_millis(60), Duration::from_millis(10))
+                .run();
+            assert!(
+                report.completed > 0,
+                "{} completed no requests",
+                protocol.name()
+            );
+            assert!(report.throughput_kreqs > 0.0);
+            assert!(report.avg_latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn lion_outperforms_bft_at_equal_fault_tolerance() {
+        let lion = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(16)
+            .with_duration(Duration::from_millis(150), Duration::from_millis(30))
+            .run();
+        let bft = Scenario::new(ProtocolKind::Bft, 1, 1)
+            .with_clients(16)
+            .with_duration(Duration::from_millis(150), Duration::from_millis(30))
+            .run();
+        assert!(
+            lion.throughput_kreqs > bft.throughput_kreqs,
+            "lion {:.2} kreq/s should beat BFT {:.2} kreq/s",
+            lion.throughput_kreqs,
+            bft.throughput_kreqs
+        );
+    }
+
+    #[test]
+    fn primary_crash_scenario_records_view_changes() {
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(4)
+            .with_duration(Duration::from_millis(300), Duration::from_millis(10))
+            .with_primary_crash(Instant::from_nanos(50_000_000))
+            .run();
+        assert!(report.view_changes > 0);
+        // The timeline shows completions after the crash point.
+        let after: u64 = report
+            .timeline
+            .iter()
+            .filter(|b| b.start_ms > 100.0)
+            .map(|b| b.completed)
+            .sum();
+        assert!(after > 0, "throughput should recover after the view change");
+    }
+
+    #[test]
+    fn byzantine_public_replica_does_not_stop_seemore() {
+        let report = Scenario::new(ProtocolKind::SeeMoReDog, 1, 1)
+            .with_clients(4)
+            .with_duration(Duration::from_millis(100), Duration::from_millis(20))
+            .with_byzantine(1, ByzantineBehavior::ConflictingVotes)
+            .run();
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn mode_switch_scenario_switches_modes() {
+        let scenario = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(2)
+            .with_duration(Duration::from_millis(200), Duration::from_millis(10))
+            .with_mode_switch(Instant::from_nanos(50_000_000), Mode::Peacock);
+        let (mut sim, _) = scenario.build();
+        sim.run_until(Instant::ZERO + scenario.duration);
+        let report = sim.report(Instant::ZERO + scenario.warmup, scenario.timeline_bucket);
+        assert!(report.mode_switches > 0, "mode switch should have been installed");
+        // All replicas ended up in the Peacock mode.
+        for replica in sim.replica_ids() {
+            assert_eq!(sim.replica(replica).mode(), Mode::Peacock);
+        }
+        assert!(report.completed > 0);
+    }
+}

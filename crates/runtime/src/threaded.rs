@@ -1,0 +1,317 @@
+//! A thread-per-replica runtime over in-memory channels.
+//!
+//! The discrete-event simulator is what regenerates the paper's figures; this
+//! runtime exists to show the same protocol cores running under real
+//! concurrency (OS threads, real clocks, crossbeam channels), which is how
+//! the examples exercise the public API end to end. Timers are implemented
+//! with `recv_timeout` deadlines inside each replica thread.
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use seemore_core::actions::{Action, Timer};
+use seemore_core::client::{ClientOutcome, ClientProtocol};
+use seemore_core::protocol::ReplicaProtocol;
+use seemore_types::{ClientId, Duration, Instant, NodeId, ReplicaId};
+use seemore_wire::Message;
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+use std::time::Instant as StdInstant;
+
+/// A message in flight between threads.
+#[derive(Debug)]
+struct Envelope {
+    from: NodeId,
+    message: Message,
+}
+
+/// Control commands sent to a replica thread.
+enum Control {
+    Deliver(Envelope),
+    Crash,
+    Shutdown,
+}
+
+/// Handle to a running threaded cluster.
+pub struct ThreadedCluster {
+    replica_senders: HashMap<ReplicaId, Sender<Control>>,
+    client_inboxes: HashMap<ClientId, Receiver<Envelope>>,
+    client_outbox: Sender<(NodeId, Envelope)>,
+    router: Option<JoinHandle<()>>,
+    replicas: Vec<JoinHandle<Box<dyn ReplicaProtocol>>>,
+    start: StdInstant,
+}
+
+/// Converts elapsed wall-clock time into the protocol's virtual instants.
+fn to_instant(start: StdInstant) -> Instant {
+    Instant::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+impl ThreadedCluster {
+    /// Spawns one thread per replica plus a router thread.
+    ///
+    /// `client_ids` lists the clients that will interact with the cluster
+    /// through [`run_client`](Self::run_client).
+    pub fn spawn(replicas: Vec<Box<dyn ReplicaProtocol>>, client_ids: &[ClientId]) -> Self {
+        let start = StdInstant::now();
+        // Router: fan-in channel carrying (destination, envelope).
+        let (router_tx, router_rx) = unbounded::<(NodeId, Envelope)>();
+
+        let mut replica_senders: HashMap<ReplicaId, Sender<Control>> = HashMap::new();
+        let mut replica_handles = Vec::new();
+        let mut client_senders: HashMap<ClientId, Sender<Envelope>> = HashMap::new();
+        let mut client_inboxes = HashMap::new();
+        for client in client_ids {
+            let (tx, rx) = unbounded();
+            client_senders.insert(*client, tx);
+            client_inboxes.insert(*client, rx);
+        }
+
+        for mut replica in replicas {
+            let id = replica.id();
+            let (tx, rx) = unbounded::<Control>();
+            replica_senders.insert(id, tx);
+            let out = router_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("replica-{id}"))
+                .spawn(move || {
+                    let mut timers: BTreeMap<Instant, Vec<Timer>> = BTreeMap::new();
+                    let mut armed: HashMap<Timer, Instant> = HashMap::new();
+                    loop {
+                        // Wait until the next timer deadline (or a message).
+                        let now = to_instant(start);
+                        let next_deadline = timers.keys().next().copied();
+                        let wait = match next_deadline {
+                            Some(deadline) if deadline > now => (deadline - now).to_std(),
+                            Some(_) => std::time::Duration::from_millis(0),
+                            None => std::time::Duration::from_millis(50),
+                        };
+                        let mut actions = Vec::new();
+                        match rx.recv_timeout(wait) {
+                            Ok(Control::Deliver(envelope)) => {
+                                let now = to_instant(start);
+                                actions =
+                                    replica.on_message(envelope.from, envelope.message, now);
+                            }
+                            Ok(Control::Crash) => replica.crash(),
+                            Ok(Control::Shutdown) => return replica,
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => return replica,
+                        }
+                        // Fire due timers.
+                        let now = to_instant(start);
+                        let due: Vec<Instant> =
+                            timers.range(..=now).map(|(t, _)| *t).collect();
+                        for deadline in due {
+                            for timer in timers.remove(&deadline).unwrap_or_default() {
+                                if armed.get(&timer) == Some(&deadline) {
+                                    armed.remove(&timer);
+                                    actions.extend(replica.on_timer(timer, now));
+                                }
+                            }
+                        }
+                        // Carry out the actions.
+                        for action in actions.drain(..) {
+                            match action {
+                                Action::Send { to, message } => {
+                                    let _ = out.send((
+                                        to,
+                                        Envelope { from: NodeId::Replica(id), message },
+                                    ));
+                                }
+                                Action::SetTimer { timer, after } => {
+                                    let deadline = to_instant(start) + after;
+                                    armed.insert(timer, deadline);
+                                    timers.entry(deadline).or_default().push(timer);
+                                }
+                                Action::CancelTimer { timer } => {
+                                    armed.remove(&timer);
+                                }
+                                Action::Executed { .. } | Action::Violation(_) => {}
+                            }
+                        }
+                    }
+                })
+                .expect("spawn replica thread");
+            replica_handles.push(handle);
+        }
+
+        // Router thread: moves envelopes to replica or client inboxes.
+        let senders = replica_senders.clone();
+        let router = std::thread::Builder::new()
+            .name("router".to_string())
+            .spawn(move || {
+                while let Ok((to, envelope)) = router_rx.recv() {
+                    match to {
+                        NodeId::Replica(id) => {
+                            if let Some(tx) = senders.get(&id) {
+                                let _ = tx.send(Control::Deliver(envelope));
+                            }
+                        }
+                        NodeId::Client(id) => {
+                            if let Some(tx) = client_senders.get(&id) {
+                                let _ = tx.send(envelope);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn router thread");
+
+        ThreadedCluster {
+            replica_senders,
+            client_inboxes,
+            client_outbox: router_tx,
+            router: Some(router),
+            replicas: replica_handles,
+            start,
+        }
+    }
+
+    /// Crashes a replica (fail-stop).
+    pub fn crash(&self, replica: ReplicaId) {
+        if let Some(tx) = self.replica_senders.get(&replica) {
+            let _ = tx.send(Control::Crash);
+        }
+    }
+
+    /// Runs a closed-loop client on the calling thread: submits `requests`
+    /// operations one after another and returns the outcomes.
+    ///
+    /// `make_op` is called with the request index to produce each operation.
+    pub fn run_client<C, F>(
+        &self,
+        mut client: C,
+        requests: usize,
+        timeout: Duration,
+        mut make_op: F,
+    ) -> (C, Vec<ClientOutcome>)
+    where
+        C: ClientProtocol,
+        F: FnMut(usize) -> Vec<u8>,
+    {
+        let inbox = self
+            .client_inboxes
+            .get(&client.id())
+            .expect("client id not registered at spawn time");
+        let mut outcomes = Vec::new();
+        for index in 0..requests {
+            let now = to_instant(self.start);
+            let actions = client.submit(make_op(index), now);
+            self.perform_client_actions(&client, actions);
+            let deadline = StdInstant::now() + timeout.to_std();
+            while client.has_pending() {
+                let remaining = deadline.saturating_duration_since(StdInstant::now());
+                if remaining.is_zero() {
+                    // Retransmit and extend the deadline once; protocols with
+                    // a crashed primary need the broadcast path.
+                    let actions = client.on_retransmit_timer(to_instant(self.start));
+                    self.perform_client_actions(&client, actions);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+                match inbox.recv_timeout(remaining.min(std::time::Duration::from_millis(20))) {
+                    Ok(envelope) => {
+                        let now = to_instant(self.start);
+                        let actions = client.on_message(envelope.from, envelope.message, now);
+                        self.perform_client_actions(&client, actions);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            outcomes.extend(client.take_completed());
+        }
+        (client, outcomes)
+    }
+
+    fn perform_client_actions<C: ClientProtocol>(&self, client: &C, actions: Vec<Action>) {
+        for action in actions {
+            if let Action::Send { to, message } = action {
+                let _ = self.client_outbox.send((
+                    to,
+                    Envelope { from: NodeId::Client(client.id()), message },
+                ));
+            }
+        }
+    }
+
+    /// Shuts the cluster down and returns the replica cores for inspection.
+    pub fn shutdown(mut self) -> Vec<Box<dyn ReplicaProtocol>> {
+        for tx in self.replica_senders.values() {
+            let _ = tx.send(Control::Shutdown);
+        }
+        let mut cores = Vec::new();
+        for handle in self.replicas.drain(..) {
+            if let Ok(core) = handle.join() {
+                cores.push(core);
+            }
+        }
+        drop(self.client_outbox.clone());
+        self.replica_senders.clear();
+        if let Some(router) = self.router.take() {
+            // The router exits once every sender is dropped; detach it.
+            drop(router);
+        }
+        cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_app::{KvOp, KvResult, KvStore};
+    use seemore_core::client::ClientCore;
+    use seemore_core::config::ProtocolConfig;
+    use seemore_core::replica::SeeMoReReplica;
+    use seemore_crypto::KeyStore;
+    use seemore_types::{ClusterConfig, Mode};
+
+    #[test]
+    fn threaded_cluster_serves_kv_requests() {
+        let cluster = ClusterConfig::minimal(1, 1).unwrap();
+        let keystore = KeyStore::generate(99, cluster.total_size(), 1);
+        let replicas: Vec<Box<dyn ReplicaProtocol>> = cluster
+            .replicas()
+            .map(|r| {
+                Box::new(SeeMoReReplica::new(
+                    r,
+                    cluster,
+                    ProtocolConfig::default(),
+                    keystore.clone(),
+                    Mode::Lion,
+                    Box::new(KvStore::new()),
+                )) as Box<dyn ReplicaProtocol>
+            })
+            .collect();
+        let client_id = ClientId(0);
+        let threaded = ThreadedCluster::spawn(replicas, &[client_id]);
+        let client = ClientCore::new(
+            client_id,
+            cluster,
+            keystore,
+            Mode::Lion,
+            Duration::from_millis(200),
+        );
+        let (_client, outcomes) = threaded.run_client(
+            client,
+            4,
+            Duration::from_secs(5),
+            |i| {
+                KvOp::Put {
+                    key: format!("key-{i}").into_bytes(),
+                    value: b"value".to_vec(),
+                }
+                .encode()
+            },
+        );
+        assert_eq!(outcomes.len(), 4);
+        for outcome in &outcomes {
+            assert_eq!(KvResult::decode(&outcome.result), Some(KvResult::Ok));
+        }
+        let cores = threaded.shutdown();
+        assert_eq!(cores.len(), cluster.total_size() as usize);
+        // Every replica executed all four requests.
+        for core in &cores {
+            assert_eq!(core.executed().len(), 4, "replica {} lagging", core.id());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Error types shared across the workspace.
+
+use crate::id::{NodeId, ReplicaId, SeqNum, View};
+use crate::mode::Mode;
+use std::fmt;
+
+/// Errors raised while validating a [`ClusterConfig`](crate::ClusterConfig)
+/// or planner input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The private cloud cannot contain more crash-faulty replicas than it
+    /// has replicas.
+    CrashBoundExceedsPrivateCloud {
+        /// Configured private cloud size `S`.
+        private: u32,
+        /// Configured crash bound `c`.
+        crash_bound: u32,
+    },
+    /// The public cloud cannot contain more Byzantine replicas than it has
+    /// replicas.
+    ByzantineBoundExceedsPublicCloud {
+        /// Configured public cloud size `P`.
+        public: u32,
+        /// Configured Byzantine bound `m`.
+        byzantine_bound: u32,
+    },
+    /// The total network is smaller than the minimum `3m + 2c + 1` required
+    /// by Equation 1 of the paper.
+    NetworkTooSmall {
+        /// Actual network size `N = S + P`.
+        actual: u32,
+        /// Minimum network size `3m + 2c + 1`.
+        required: u32,
+    },
+    /// The public cloud is smaller than the `3m + 1` replicas needed to run
+    /// the Dog or Peacock modes.
+    PublicCloudTooSmallForProxies {
+        /// Actual public cloud size `P`.
+        actual: u32,
+        /// Required proxy-set size `3m + 1`.
+        required: u32,
+    },
+    /// A mode that requires a trusted primary was requested but the private
+    /// cloud is empty.
+    NoTrustedReplicas {
+        /// The mode that was requested.
+        mode: Mode,
+    },
+    /// The fraction of Byzantine replicas in the public cloud makes the
+    /// sizing equation unsatisfiable (`alpha >= 1/3`, Section 4).
+    MaliciousRatioTooHigh {
+        /// The offending ratio.
+        alpha: f64,
+    },
+    /// Planner inputs were outside their documented domain.
+    InvalidPlannerInput(
+        /// Human-readable description of the violated precondition.
+        String,
+    ),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::CrashBoundExceedsPrivateCloud { private, crash_bound } => write!(
+                f,
+                "crash bound c={crash_bound} exceeds private cloud size S={private}"
+            ),
+            ConfigError::ByzantineBoundExceedsPublicCloud { public, byzantine_bound } => write!(
+                f,
+                "byzantine bound m={byzantine_bound} exceeds public cloud size P={public}"
+            ),
+            ConfigError::NetworkTooSmall { actual, required } => write!(
+                f,
+                "network size N={actual} is below the minimum 3m+2c+1={required}"
+            ),
+            ConfigError::PublicCloudTooSmallForProxies { actual, required } => write!(
+                f,
+                "public cloud size P={actual} is below the 3m+1={required} proxies required"
+            ),
+            ConfigError::NoTrustedReplicas { mode } => {
+                write!(f, "mode {mode} requires a trusted primary but S=0")
+            }
+            ConfigError::MaliciousRatioTooHigh { alpha } => write!(
+                f,
+                "malicious ratio alpha={alpha} >= 1/3; the public cloud cannot satisfy BFT sizing"
+            ),
+            ConfigError::InvalidPlannerInput(msg) => write!(f, "invalid planner input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Protocol-level violations detected while validating an incoming message.
+///
+/// These are not fatal for the receiving replica: a correct replica simply
+/// discards the offending message (and, in tests, the violation is asserted
+/// on). They are surfaced as a typed enum so that the fault-injection tests
+/// can distinguish "ignored because malformed" from "ignored because stale".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolViolation {
+    /// A signature failed to verify.
+    BadSignature {
+        /// Claimed signer of the message.
+        claimed_signer: NodeId,
+    },
+    /// A digest embedded in a message does not match the request it covers.
+    DigestMismatch {
+        /// Sequence number of the offending entry, when known.
+        seq: Option<SeqNum>,
+    },
+    /// The message refers to a view this replica is not in.
+    WrongView {
+        /// View carried by the message.
+        got: View,
+        /// View the replica is currently in.
+        expected: View,
+    },
+    /// The message came from a node that is not allowed to send it in the
+    /// current mode/view (e.g. a prepare from a non-primary).
+    UnexpectedSender {
+        /// The offending sender.
+        sender: ReplicaId,
+        /// Short description of the role that was expected instead.
+        expected_role: &'static str,
+    },
+    /// A primary attempted to assign two different requests to the same
+    /// sequence number within one view (equivocation).
+    Equivocation {
+        /// The sequence number that was assigned twice.
+        seq: SeqNum,
+        /// The view in which the equivocation happened.
+        view: View,
+    },
+    /// The message's sequence number falls outside the acceptable window
+    /// (e.g. already garbage-collected by a stable checkpoint).
+    OutsideWindow {
+        /// The offending sequence number.
+        seq: SeqNum,
+        /// Low end of the acceptable window.
+        low: SeqNum,
+        /// High end of the acceptable window.
+        high: SeqNum,
+    },
+    /// The client request carried a stale timestamp (already executed).
+    StaleTimestamp,
+    /// The message is syntactically valid but not meaningful for the
+    /// replica's current mode.
+    WrongMode {
+        /// The mode the replica is operating in.
+        current: Mode,
+    },
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolViolation::BadSignature { claimed_signer } => {
+                write!(f, "invalid signature claimed to be from {claimed_signer}")
+            }
+            ProtocolViolation::DigestMismatch { seq } => match seq {
+                Some(n) => write!(f, "digest mismatch at {n}"),
+                None => write!(f, "digest mismatch"),
+            },
+            ProtocolViolation::WrongView { got, expected } => {
+                write!(f, "message for {got} but replica is in {expected}")
+            }
+            ProtocolViolation::UnexpectedSender { sender, expected_role } => {
+                write!(f, "unexpected sender {sender}; expected {expected_role}")
+            }
+            ProtocolViolation::Equivocation { seq, view } => {
+                write!(f, "equivocation detected at {seq} in {view}")
+            }
+            ProtocolViolation::OutsideWindow { seq, low, high } => {
+                write!(f, "{seq} outside window [{low}, {high}]")
+            }
+            ProtocolViolation::StaleTimestamp => write!(f, "stale client timestamp"),
+            ProtocolViolation::WrongMode { current } => {
+                write!(f, "message not valid in mode {current}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ClientId;
+
+    #[test]
+    fn config_error_messages_mention_parameters() {
+        let e = ConfigError::NetworkTooSmall { actual: 5, required: 6 };
+        assert!(e.to_string().contains("N=5"));
+        assert!(e.to_string().contains("3m+2c+1=6"));
+
+        let e = ConfigError::MaliciousRatioTooHigh { alpha: 0.4 };
+        assert!(e.to_string().contains("0.4"));
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = ProtocolViolation::WrongView { got: View(3), expected: View(2) };
+        assert!(v.to_string().contains("v3"));
+        assert!(v.to_string().contains("v2"));
+
+        let v = ProtocolViolation::BadSignature {
+            claimed_signer: NodeId::Client(ClientId(1)),
+        };
+        assert!(v.to_string().contains("c1"));
+
+        let v = ProtocolViolation::OutsideWindow {
+            seq: SeqNum(100),
+            low: SeqNum(1),
+            high: SeqNum(50),
+        };
+        assert!(v.to_string().contains("n100"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ConfigError::NoTrustedReplicas { mode: Mode::Lion });
+        assert_err(&ProtocolViolation::StaleTimestamp);
+    }
+}

@@ -1,0 +1,438 @@
+//! Agreement-phase messages: `PREPARE`, `PRE-PREPARE`, `ACCEPT`,
+//! PBFT-style `PREPARE` votes, `COMMIT` and `INFORM`.
+//!
+//! Naming follows the paper:
+//!
+//! * [`Prepare`] is the trusted primary's proposal in the Lion and Dog modes
+//!   (`⟨⟨PREPARE, v, n, d⟩_σp, µ⟩`).
+//! * [`PrePrepare`] is the untrusted primary's proposal in the Peacock mode
+//!   and in the PBFT / S-UpRight baselines.
+//! * [`Accept`] is the backup/proxy vote of the Lion and Dog modes; it is
+//!   unsigned in Lion (only the trusted primary consumes it) and signed in
+//!   Dog (proxies exchange it as evidence).
+//! * [`PbftPrepare`] is the first all-to-all vote of PBFT-style agreement
+//!   (used by Peacock and the BFT / S-UpRight baselines).
+//! * [`Commit`] doubles as the trusted primary's commit announcement
+//!   (Lion — carries the request so lagging replicas can still execute) and
+//!   as the commit vote of proxy/PBFT agreement.
+//! * [`Inform`] notifies passive replicas that a request committed
+//!   (Dog and Peacock modes).
+
+use crate::client::ClientRequest;
+use crate::size::{
+    canonical_bytes, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
+};
+use seemore_crypto::{Digest, Signature};
+use seemore_types::{ReplicaId, SeqNum, View};
+use serde::{Deserialize, Serialize};
+
+/// `⟨⟨PREPARE, v, n, d⟩_σp, µ⟩` — the trusted primary's proposal
+/// (Lion and Dog modes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prepare {
+    /// View in which the request is proposed.
+    pub view: View,
+    /// Sequence number assigned by the primary.
+    pub seq: SeqNum,
+    /// Digest of the client request.
+    pub digest: Digest,
+    /// The full client request `µ` (attached so every replica can execute).
+    pub request: ClientRequest,
+    /// The primary's signature over `(view, seq, digest)`.
+    pub signature: Signature,
+}
+
+impl Prepare {
+    /// The `(view, seq, digest)` triple quorum matching is performed on.
+    pub fn key(&self) -> (View, SeqNum, Digest) {
+        (self.view, self.seq, self.digest)
+    }
+}
+
+impl SignedPayload for Prepare {
+    fn signing_bytes(&self) -> Vec<u8> {
+        canonical_bytes(
+            "prepare",
+            &[
+                &self.view.0.to_le_bytes(),
+                &self.seq.0.to_le_bytes(),
+                self.digest.as_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for Prepare {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN + 2 * INT_LEN + DIGEST_LEN + self.request.wire_size() + SIGNATURE_LEN
+    }
+}
+
+/// `⟨⟨PRE-PREPARE, v, n, d⟩_σp, µ⟩` — the untrusted primary's proposal
+/// (Peacock mode, PBFT and S-UpRight baselines).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrePrepare {
+    /// View in which the request is proposed.
+    pub view: View,
+    /// Sequence number assigned by the primary.
+    pub seq: SeqNum,
+    /// Digest of the client request.
+    pub digest: Digest,
+    /// The full client request `µ`.
+    pub request: ClientRequest,
+    /// The primary's signature over `(view, seq, digest)`.
+    pub signature: Signature,
+}
+
+impl PrePrepare {
+    /// The `(view, seq, digest)` triple quorum matching is performed on.
+    pub fn key(&self) -> (View, SeqNum, Digest) {
+        (self.view, self.seq, self.digest)
+    }
+}
+
+impl SignedPayload for PrePrepare {
+    fn signing_bytes(&self) -> Vec<u8> {
+        canonical_bytes(
+            "pre-prepare",
+            &[
+                &self.view.0.to_le_bytes(),
+                &self.seq.0.to_le_bytes(),
+                self.digest.as_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for PrePrepare {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN + 2 * INT_LEN + DIGEST_LEN + self.request.wire_size() + SIGNATURE_LEN
+    }
+}
+
+/// `⟨ACCEPT, v, n, d, r⟩(_σr)` — the backup vote of the Lion mode (unsigned,
+/// sent only to the trusted primary) and the proxy vote of the Dog mode
+/// (signed, exchanged among proxies as view-change evidence).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accept {
+    /// View of the vote.
+    pub view: View,
+    /// Sequence number being voted on.
+    pub seq: SeqNum,
+    /// Digest of the request being voted on.
+    pub digest: Digest,
+    /// The voting replica.
+    pub replica: ReplicaId,
+    /// Signature, present only when the mode requires signed accepts (Dog).
+    pub signature: Option<Signature>,
+}
+
+impl Accept {
+    /// The `(view, seq, digest)` triple quorum matching is performed on.
+    pub fn key(&self) -> (View, SeqNum, Digest) {
+        (self.view, self.seq, self.digest)
+    }
+}
+
+impl SignedPayload for Accept {
+    fn signing_bytes(&self) -> Vec<u8> {
+        canonical_bytes(
+            "accept",
+            &[
+                &self.view.0.to_le_bytes(),
+                &self.seq.0.to_le_bytes(),
+                self.digest.as_bytes(),
+                &self.replica.0.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for Accept {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN
+            + 2 * INT_LEN
+            + DIGEST_LEN
+            + INT_LEN
+            + if self.signature.is_some() { SIGNATURE_LEN } else { 0 }
+    }
+}
+
+/// PBFT-style `⟨PREPARE, v, n, d, r⟩_σr` vote — the first all-to-all phase of
+/// Peacock / PBFT / S-UpRight agreement, establishing that non-faulty
+/// replicas received matching proposals from the primary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbftPrepare {
+    /// View of the vote.
+    pub view: View,
+    /// Sequence number being voted on.
+    pub seq: SeqNum,
+    /// Digest of the request being voted on.
+    pub digest: Digest,
+    /// The voting replica.
+    pub replica: ReplicaId,
+    /// The voter's signature.
+    pub signature: Signature,
+}
+
+impl PbftPrepare {
+    /// The `(view, seq, digest)` triple quorum matching is performed on.
+    pub fn key(&self) -> (View, SeqNum, Digest) {
+        (self.view, self.seq, self.digest)
+    }
+}
+
+impl SignedPayload for PbftPrepare {
+    fn signing_bytes(&self) -> Vec<u8> {
+        canonical_bytes(
+            "pbft-prepare",
+            &[
+                &self.view.0.to_le_bytes(),
+                &self.seq.0.to_le_bytes(),
+                self.digest.as_bytes(),
+                &self.replica.0.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for PbftPrepare {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN + 3 * INT_LEN + DIGEST_LEN + SIGNATURE_LEN
+    }
+}
+
+/// `COMMIT` — either the trusted primary's commit announcement
+/// (Lion: `⟨⟨COMMIT, v, n, d⟩_σp, µ⟩`, request attached) or a commit vote in
+/// proxy / PBFT agreement (`⟨COMMIT, v, n, d, r⟩_σr`, no request).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Commit {
+    /// View of the commit.
+    pub view: View,
+    /// Sequence number being committed.
+    pub seq: SeqNum,
+    /// Digest of the committed request.
+    pub digest: Digest,
+    /// The sending replica (the primary in Lion mode).
+    pub replica: ReplicaId,
+    /// The full request, attached only by the Lion-mode primary so that
+    /// replicas that missed the `PREPARE` can still execute.
+    pub request: Option<ClientRequest>,
+    /// The sender's signature.
+    pub signature: Signature,
+}
+
+impl Commit {
+    /// The `(view, seq, digest)` triple quorum matching is performed on.
+    pub fn key(&self) -> (View, SeqNum, Digest) {
+        (self.view, self.seq, self.digest)
+    }
+}
+
+impl SignedPayload for Commit {
+    fn signing_bytes(&self) -> Vec<u8> {
+        canonical_bytes(
+            "commit",
+            &[
+                &self.view.0.to_le_bytes(),
+                &self.seq.0.to_le_bytes(),
+                self.digest.as_bytes(),
+                &self.replica.0.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for Commit {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN + 3 * INT_LEN + DIGEST_LEN + self.request.wire_size() + SIGNATURE_LEN
+    }
+}
+
+/// `⟨INFORM, v, n, d, r⟩_σr` — sent by proxies to passive replicas (private
+/// cloud and non-proxy public replicas) once a request has committed
+/// (Dog and Peacock modes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inform {
+    /// View of the committed request.
+    pub view: View,
+    /// Sequence number of the committed request.
+    pub seq: SeqNum,
+    /// Digest of the committed request.
+    pub digest: Digest,
+    /// The proxy sending the notification.
+    pub replica: ReplicaId,
+    /// The proxy's signature.
+    pub signature: Signature,
+}
+
+impl Inform {
+    /// The `(view, seq, digest)` triple quorum matching is performed on.
+    pub fn key(&self) -> (View, SeqNum, Digest) {
+        (self.view, self.seq, self.digest)
+    }
+}
+
+impl SignedPayload for Inform {
+    fn signing_bytes(&self) -> Vec<u8> {
+        canonical_bytes(
+            "inform",
+            &[
+                &self.view.0.to_le_bytes(),
+                &self.seq.0.to_le_bytes(),
+                self.digest.as_bytes(),
+                &self.replica.0.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for Inform {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN + 3 * INT_LEN + DIGEST_LEN + SIGNATURE_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_crypto::{KeyStore, Signer};
+    use seemore_types::{ClientId, NodeId, Timestamp};
+
+    fn fixtures() -> (KeyStore, Signer, ClientRequest) {
+        let ks = KeyStore::generate(3, 4, 1);
+        let client_signer = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
+        let request =
+            ClientRequest::new(ClientId(0), Timestamp(1), b"op".to_vec(), &client_signer);
+        let primary = ks.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
+        (ks, primary, request)
+    }
+
+    #[test]
+    fn prepare_and_preprepare_share_key_semantics() {
+        let (_, primary, request) = fixtures();
+        let digest = request.digest();
+        let prepare = Prepare {
+            view: View(1),
+            seq: SeqNum(5),
+            digest,
+            request: request.clone(),
+            signature: primary.sign(b"x"),
+        };
+        let preprepare = PrePrepare {
+            view: View(1),
+            seq: SeqNum(5),
+            digest,
+            request,
+            signature: primary.sign(b"x"),
+        };
+        assert_eq!(prepare.key(), preprepare.key());
+        assert_eq!(prepare.key(), (View(1), SeqNum(5), digest));
+    }
+
+    #[test]
+    fn signing_bytes_differ_between_message_kinds() {
+        let (_, _, request) = fixtures();
+        let digest = request.digest();
+        let prepare = Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest,
+            request: request.clone(),
+            signature: Signature::INVALID,
+        };
+        let preprepare = PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest,
+            request,
+            signature: Signature::INVALID,
+        };
+        // A signature on a PREPARE must not validate a PRE-PREPARE with the
+        // same fields (domain separation via the label).
+        assert_ne!(prepare.signing_bytes(), preprepare.signing_bytes());
+    }
+
+    #[test]
+    fn accept_signature_is_optional_and_affects_size() {
+        let digest = Digest::of_bytes(b"d");
+        let unsigned = Accept {
+            view: View(0),
+            seq: SeqNum(1),
+            digest,
+            replica: ReplicaId(3),
+            signature: None,
+        };
+        let signed = Accept { signature: Some(Signature::INVALID), ..unsigned.clone() };
+        assert_eq!(signed.wire_size() - unsigned.wire_size(), SIGNATURE_LEN);
+        assert_eq!(unsigned.signing_bytes(), signed.signing_bytes());
+    }
+
+    #[test]
+    fn commit_carries_request_only_in_lion_mode_usage() {
+        let (_, primary, request) = fixtures();
+        let digest = request.digest();
+        let with_request = Commit {
+            view: View(0),
+            seq: SeqNum(1),
+            digest,
+            replica: ReplicaId(0),
+            request: Some(request.clone()),
+            signature: primary.sign(b"c"),
+        };
+        let without = Commit { request: None, ..with_request.clone() };
+        assert!(with_request.wire_size() > without.wire_size());
+        // The request is NOT part of the signed bytes: the signature covers
+        // (view, seq, digest) and the digest already binds the request.
+        assert_eq!(with_request.signing_bytes(), without.signing_bytes());
+    }
+
+    #[test]
+    fn votes_sign_their_sender() {
+        let digest = Digest::of_bytes(b"d");
+        let a = PbftPrepare {
+            view: View(2),
+            seq: SeqNum(7),
+            digest,
+            replica: ReplicaId(1),
+            signature: Signature::INVALID,
+        };
+        let b = PbftPrepare { replica: ReplicaId(2), ..a.clone() };
+        assert_ne!(a.signing_bytes(), b.signing_bytes());
+
+        let i = Inform {
+            view: View(2),
+            seq: SeqNum(7),
+            digest,
+            replica: ReplicaId(1),
+            signature: Signature::INVALID,
+        };
+        let j = Inform { replica: ReplicaId(2), ..i.clone() };
+        assert_ne!(i.signing_bytes(), j.signing_bytes());
+        assert_eq!(i.key(), j.key());
+    }
+
+    #[test]
+    fn verified_round_trip_with_keystore() {
+        let (ks, primary, request) = fixtures();
+        let mut prepare = Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: request.digest(),
+            request,
+            signature: Signature::INVALID,
+        };
+        prepare.signature = primary.sign(&prepare.signing_bytes());
+        assert!(ks.verify(
+            NodeId::Replica(ReplicaId(0)),
+            &prepare.signing_bytes(),
+            &prepare.signature
+        ));
+        // Another replica cannot have produced it.
+        assert!(!ks.verify(
+            NodeId::Replica(ReplicaId(1)),
+            &prepare.signing_bytes(),
+            &prepare.signature
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! Wire protocol for the SeeMoRe reproduction.
+//!
+//! This crate defines every message exchanged by the SeeMoRe protocol
+//! (Section 5 of the paper) and by the baseline protocols used in the
+//! evaluation (Paxos-style CFT, PBFT and S-UpRight):
+//!
+//! * client traffic — [`ClientRequest`] / [`ClientReply`],
+//! * agreement traffic — [`Prepare`], [`PrePrepare`], [`Accept`],
+//!   [`PbftPrepare`], [`Commit`], [`Inform`],
+//! * control traffic — [`Checkpoint`], [`ViewChange`], [`NewView`],
+//!   [`ModeChange`], and state-transfer messages.
+//!
+//! Messages are plain Rust values moved between nodes by the network
+//! substrate; the [`WireSize`] trait supplies the byte size each message
+//! would occupy on a real wire so that the simulator and the benchmarks can
+//! model bandwidth and serialization cost without an actual codec.
+//! Signatures cover each message's [`SignedPayload::signing_bytes`], which
+//! include every semantically relevant field.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod agreement;
+pub mod client;
+pub mod control;
+pub mod message;
+pub mod size;
+
+pub use agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
+pub use client::{ClientReply, ClientRequest};
+pub use control::{
+    Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
+    ViewChange,
+};
+pub use message::{Message, MessageKind};
+pub use size::{SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, SIGNATURE_LEN};

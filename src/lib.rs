@@ -1,0 +1,32 @@
+//! SeeMoRe — a hybrid fault-tolerant State Machine Replication protocol for
+//! public/private cloud environments.
+//!
+//! This facade crate re-exports the workspace crates under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`types`] — identifiers, cluster configuration, quorum math and the
+//!   public-cloud sizing planner.
+//! * [`crypto`] — digests and (simulated) signatures.
+//! * [`wire`] — the protocol's message types.
+//! * [`net`] — the network substrate: in-memory transport, latency model,
+//!   fault injection and the discrete-event simulator.
+//! * [`app`] — the replicated application layer (state machine trait and a
+//!   key-value store).
+//! * [`core`] — the SeeMoRe protocol itself: Lion, Dog and Peacock modes,
+//!   view changes, checkpointing and dynamic mode switching.
+//! * [`baselines`] — CFT (Multi-Paxos-like), BFT (PBFT) and S-UpRight
+//!   baselines used by the paper's evaluation.
+//! * [`runtime`] — cluster harness, workload generation, failure schedules
+//!   and metrics.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use seemore_app as app;
+pub use seemore_baselines as baselines;
+pub use seemore_core as core;
+pub use seemore_crypto as crypto;
+pub use seemore_net as net;
+pub use seemore_runtime as runtime;
+pub use seemore_types as types;
+pub use seemore_wire as wire;
