@@ -104,12 +104,20 @@ impl KvOp {
         let tag = *bytes.first()?;
         bytes = &bytes[1..];
         let op = match tag {
-            TAG_PUT => KvOp::Put { key: take_field(&mut bytes)?, value: take_field(&mut bytes)? },
-            TAG_GET => KvOp::Get { key: take_field(&mut bytes)? },
-            TAG_DELETE => KvOp::Delete { key: take_field(&mut bytes)? },
-            TAG_APPEND => {
-                KvOp::Append { key: take_field(&mut bytes)?, suffix: take_field(&mut bytes)? }
-            }
+            TAG_PUT => KvOp::Put {
+                key: take_field(&mut bytes)?,
+                value: take_field(&mut bytes)?,
+            },
+            TAG_GET => KvOp::Get {
+                key: take_field(&mut bytes)?,
+            },
+            TAG_DELETE => KvOp::Delete {
+                key: take_field(&mut bytes)?,
+            },
+            TAG_APPEND => KvOp::Append {
+                key: take_field(&mut bytes)?,
+                suffix: take_field(&mut bytes)?,
+            },
             _ => return None,
         };
         if bytes.is_empty() {
@@ -290,10 +298,18 @@ mod tests {
     #[test]
     fn op_encode_decode_round_trip() {
         let ops = vec![
-            KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() },
-            KvOp::Get { key: b"key".to_vec() },
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            KvOp::Get {
+                key: b"key".to_vec(),
+            },
             KvOp::Delete { key: vec![] },
-            KvOp::Append { key: b"log".to_vec(), suffix: b"entry".to_vec() },
+            KvOp::Append {
+                key: b"log".to_vec(),
+                suffix: b"entry".to_vec(),
+            },
         ];
         for op in ops {
             assert_eq!(KvOp::decode(&op.encode()), Some(op));
@@ -330,9 +346,15 @@ mod tests {
     fn store_put_get_delete_semantics() {
         let mut store = KvStore::new();
         assert!(store.is_empty());
-        assert_eq!(store.apply(KvOp::Get { key: b"a".to_vec() }), KvResult::NotFound);
         assert_eq!(
-            store.apply(KvOp::Put { key: b"a".to_vec(), value: b"1".to_vec() }),
+            store.apply(KvOp::Get { key: b"a".to_vec() }),
+            KvResult::NotFound
+        );
+        assert_eq!(
+            store.apply(KvOp::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec()
+            }),
             KvResult::Ok
         );
         assert_eq!(
@@ -340,38 +362,83 @@ mod tests {
             KvResult::Value(b"1".to_vec())
         );
         assert_eq!(store.len(), 1);
-        assert_eq!(store.apply(KvOp::Delete { key: b"a".to_vec() }), KvResult::Ok);
-        assert_eq!(store.apply(KvOp::Delete { key: b"a".to_vec() }), KvResult::NotFound);
+        assert_eq!(
+            store.apply(KvOp::Delete { key: b"a".to_vec() }),
+            KvResult::Ok
+        );
+        assert_eq!(
+            store.apply(KvOp::Delete { key: b"a".to_vec() }),
+            KvResult::NotFound
+        );
         assert!(store.get(b"a").is_none());
     }
 
     #[test]
     fn append_treats_missing_value_as_empty() {
         let mut store = KvStore::new();
-        store.apply(KvOp::Append { key: b"log".to_vec(), suffix: b"a".to_vec() });
-        store.apply(KvOp::Append { key: b"log".to_vec(), suffix: b"b".to_vec() });
+        store.apply(KvOp::Append {
+            key: b"log".to_vec(),
+            suffix: b"a".to_vec(),
+        });
+        store.apply(KvOp::Append {
+            key: b"log".to_vec(),
+            suffix: b"b".to_vec(),
+        });
         assert_eq!(store.get(b"log"), Some(&b"ab".to_vec()));
     }
 
     #[test]
     fn execute_counts_and_handles_garbage() {
         let mut store = KvStore::new();
-        let result = store.execute(&KvOp::Put { key: b"k".to_vec(), value: b"v".to_vec() }.encode());
+        let result = store.execute(
+            &KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .encode(),
+        );
         assert_eq!(KvResult::decode(&result), Some(KvResult::Ok));
         let result = store.execute(b"\xffgarbage");
-        assert_eq!(KvResult::decode(&result), Some(KvResult::MalformedOperation));
+        assert_eq!(
+            KvResult::decode(&result),
+            Some(KvResult::MalformedOperation)
+        );
         assert_eq!(store.executed_count(), 2);
     }
 
     #[test]
     fn state_digest_reflects_content_not_history() {
         let mut a = KvStore::new();
-        a.execute(&KvOp::Put { key: b"x".to_vec(), value: b"1".to_vec() }.encode());
-        a.execute(&KvOp::Put { key: b"y".to_vec(), value: b"2".to_vec() }.encode());
+        a.execute(
+            &KvOp::Put {
+                key: b"x".to_vec(),
+                value: b"1".to_vec(),
+            }
+            .encode(),
+        );
+        a.execute(
+            &KvOp::Put {
+                key: b"y".to_vec(),
+                value: b"2".to_vec(),
+            }
+            .encode(),
+        );
 
         let mut b = KvStore::new();
-        b.execute(&KvOp::Put { key: b"y".to_vec(), value: b"2".to_vec() }.encode());
-        b.execute(&KvOp::Put { key: b"x".to_vec(), value: b"1".to_vec() }.encode());
+        b.execute(
+            &KvOp::Put {
+                key: b"y".to_vec(),
+                value: b"2".to_vec(),
+            }
+            .encode(),
+        );
+        b.execute(
+            &KvOp::Put {
+                key: b"x".to_vec(),
+                value: b"1".to_vec(),
+            }
+            .encode(),
+        );
 
         // Same content, different insertion order -> same digest.
         assert_eq!(a.state_digest(), b.state_digest());

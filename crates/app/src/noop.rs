@@ -19,7 +19,10 @@ pub struct NoopApp {
 impl NoopApp {
     /// Creates a no-op application whose every reply is `reply_size` bytes.
     pub fn new(reply_size: usize) -> Self {
-        NoopApp { reply_size, executed: 0 }
+        NoopApp {
+            reply_size,
+            executed: 0,
+        }
     }
 
     /// The configured reply size in bytes.

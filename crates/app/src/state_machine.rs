@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let mut sm: Box<dyn StateMachine> = Box::new(Counter { total: 0, executed: 0 });
+        let mut sm: Box<dyn StateMachine> = Box::new(Counter {
+            total: 0,
+            executed: 0,
+        });
         let r1 = sm.execute(b"abc");
         assert_eq!(r1, 3u64.to_le_bytes().to_vec());
         assert_eq!(sm.executed_count(), 1);
@@ -79,12 +82,18 @@ mod tests {
 
     #[test]
     fn snapshot_restore_round_trip() {
-        let mut a = Counter { total: 0, executed: 0 };
+        let mut a = Counter {
+            total: 0,
+            executed: 0,
+        };
         a.execute(b"hello");
         a.execute(b"world!");
         let snap = a.snapshot();
 
-        let mut b = Counter { total: 0, executed: 0 };
+        let mut b = Counter {
+            total: 0,
+            executed: 0,
+        };
         b.restore(&snap);
         assert_eq!(a.state_digest(), b.state_digest());
         assert_eq!(b.executed_count(), 2);

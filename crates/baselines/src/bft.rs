@@ -19,6 +19,7 @@
 use crate::config::BaselineConfig;
 use seemore_app::StateMachine;
 use seemore_core::actions::{Action, Timer};
+use seemore_core::batching::BatchAccumulator;
 use seemore_core::checkpoint::{CheckpointManager, StabilityRule};
 use seemore_core::config::ProtocolConfig;
 use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
@@ -30,7 +31,7 @@ use seemore_types::{
     ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
 };
 use seemore_wire::{
-    Checkpoint, ClientReply, ClientRequest, Commit, Message, NewView, PbftPrepare,
+    Batch, Checkpoint, ClientReply, ClientRequest, Commit, Message, NewView, PbftPrepare,
     PrePrepare, PrepareCert, SignedPayload, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
@@ -51,6 +52,8 @@ pub struct BftReplica {
     checkpoints: CheckpointManager,
     next_seq: SeqNum,
     assigned: HashMap<RequestId, SeqNum>,
+    /// Pending requests accumulating into the next batch (primary only).
+    batcher: BatchAccumulator,
     in_view_change: bool,
     target_view: View,
     view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
@@ -97,6 +100,7 @@ impl BftReplica {
             ),
             next_seq: SeqNum(0),
             assigned: HashMap::new(),
+            batcher: BatchAccumulator::new(pconfig.batch),
             in_view_change: false,
             target_view: View::ZERO,
             view_changes: BTreeMap::new(),
@@ -117,33 +121,50 @@ impl BftReplica {
     }
 
     fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
-        self.metrics.record_sent(message.kind(), message.wire_size());
+        self.metrics
+            .record_sent(message.kind(), message.wire_size());
         actions.push(Action::Send { to, message });
     }
 
     fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
-        let recipients: Vec<ReplicaId> =
-            self.config.replicas().filter(|r| *r != self.id).collect();
+        let recipients: Vec<ReplicaId> = self.config.replicas().filter(|r| *r != self.id).collect();
         for to in recipients {
-            self.metrics.record_sent(message.kind(), message.wire_size());
-            actions.push(Action::Send { to: NodeId::Replica(to), message: message.clone() });
+            self.metrics
+                .record_sent(message.kind(), message.wire_size());
+            actions.push(Action::Send {
+                to: NodeId::Replica(to),
+                message: message.clone(),
+            });
         }
     }
 
-    fn verify(&self, replica: ReplicaId, payload: &impl SignedPayload, signature: &Signature) -> bool {
-        self.keystore
-            .verify(NodeId::Replica(replica), &payload.signing_bytes(), signature)
+    fn verify(
+        &self,
+        replica: ReplicaId,
+        payload: &impl SignedPayload,
+        signature: &Signature,
+    ) -> bool {
+        self.keystore.verify(
+            NodeId::Replica(replica),
+            &payload.signing_bytes(),
+            signature,
+        )
     }
 
     fn execute_ready(&mut self, actions: &mut Vec<Action>) {
         for execution in self.exec.execute_ready() {
             self.metrics.executed += 1;
-            actions.push(Action::Executed { seq: execution.seq, request: execution.request.id() });
+            actions.push(Action::Executed {
+                seq: execution.seq,
+                request: execution.request.id(),
+            });
             actions.push(Action::CancelTimer {
                 timer: Timer::RequestProgress { seq: execution.seq },
             });
             actions.push(Action::CancelTimer {
-                timer: Timer::ForwardedRequest { request: execution.request.id() },
+                timer: Timer::ForwardedRequest {
+                    request: execution.request.id(),
+                },
             });
             self.forwarded_armed.remove(&execution.request.id());
             if execution.request.client != NOOP_CLIENT {
@@ -157,7 +178,11 @@ impl BftReplica {
                     execution.result,
                     &self.signer,
                 );
-                self.send(actions, NodeId::Client(execution.request.client), Message::Reply(reply));
+                self.send(
+                    actions,
+                    NodeId::Client(execution.request.client),
+                    Message::Reply(reply),
+                );
             }
         }
         self.maybe_checkpoint(actions);
@@ -196,7 +221,11 @@ impl BftReplica {
             self.metrics.rejected_messages += 1;
             return actions;
         }
-        if let Some(result) = self.exec.cached_reply(request.client, request.timestamp).cloned() {
+        if let Some(result) = self
+            .exec
+            .cached_reply(request.client, request.timestamp)
+            .cloned()
+        {
             let reply = ClientReply::new(
                 Mode::Peacock,
                 self.view,
@@ -205,46 +234,26 @@ impl BftReplica {
                 result,
                 &self.signer,
             );
-            self.send(&mut actions, NodeId::Client(request.client), Message::Reply(reply));
+            self.send(
+                &mut actions,
+                NodeId::Client(request.client),
+                Message::Reply(reply),
+            );
             return actions;
         }
         if self.in_view_change {
             return actions;
         }
         if self.is_primary() {
-            let id = request.id();
-            if self.assigned.contains_key(&id) {
-                return actions;
-            }
-            let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
-            if !self.log.in_window(seq, self.pconfig.high_water_mark) {
-                return actions;
-            }
-            self.next_seq = seq;
-            self.assigned.insert(id, seq);
-            let digest = request.digest();
-            let mut preprepare = PrePrepare {
-                view: self.view,
-                seq,
-                digest,
-                request: request.clone(),
-                signature: Signature::INVALID,
-            };
-            preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
-            let instance = self.log.instance_mut(seq);
-            instance.proposal = Some(Proposal {
-                view: self.view,
-                digest,
-                request,
-                primary_signature: preprepare.signature,
-            });
-            // The primary's pre-prepare counts as its prepare vote.
-            instance.record_pbft_prepare(self.id, digest);
-            self.broadcast(&mut actions, Message::PrePrepare(preprepare));
+            self.buffer_or_propose(&mut actions, request);
         } else {
             let primary = self.primary();
             let id = request.id();
-            self.send(&mut actions, NodeId::Replica(primary), Message::Request(request));
+            self.send(
+                &mut actions,
+                NodeId::Replica(primary),
+                Message::Request(request),
+            );
             // Only the first forwarding of a request arms the suspicion
             // timer; client retransmissions must not keep resetting it.
             if !self.forwarded_armed.contains_key(&id) {
@@ -258,14 +267,59 @@ impl BftReplica {
         actions
     }
 
+    /// Offers `request` to the batch accumulator, proposing immediately when
+    /// the batching policy says so (always, when `max_batch = 1`).
+    fn buffer_or_propose(&mut self, actions: &mut Vec<Action>, request: ClientRequest) {
+        if self.assigned.contains_key(&request.id()) {
+            return;
+        }
+        if let Some(batch) = self.batcher.offer(request, actions) {
+            self.propose_batch(actions, batch);
+        }
+    }
+
+    /// Assigns a sequence number to `batch` and broadcasts the signed
+    /// `PRE-PREPARE`.
+    fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch) {
+        let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
+        if !self.log.in_window(seq, self.pconfig.high_water_mark) {
+            return;
+        }
+        self.next_seq = seq;
+        for id in batch.request_ids() {
+            self.assigned.insert(id, seq);
+        }
+        let digest = batch.digest();
+        let mut preprepare = PrePrepare {
+            view: self.view,
+            seq,
+            digest,
+            batch: batch.clone(),
+            signature: Signature::INVALID,
+        };
+        preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
+        let instance = self.log.instance_mut(seq);
+        instance.proposal = Some(Proposal {
+            view: self.view,
+            digest,
+            batch,
+            primary_signature: preprepare.signature,
+        });
+        // The primary's pre-prepare counts as its prepare vote.
+        instance.record_pbft_prepare(self.id, digest);
+        self.broadcast(actions, Message::PrePrepare(preprepare));
+    }
+
     fn on_pre_prepare(&mut self, from: NodeId, preprepare: PrePrepare) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.in_view_change
             || preprepare.view != self.view
             || from.as_replica() != Some(self.primary())
-            || preprepare.digest != preprepare.request.digest()
+            || preprepare.digest != preprepare.batch.digest()
             || !self.verify(self.primary(), &preprepare, &preprepare.signature)
-            || !self.log.in_window(preprepare.seq, self.pconfig.high_water_mark)
+            || !self
+                .log
+                .in_window(preprepare.seq, self.pconfig.high_water_mark)
         {
             self.metrics.rejected_messages += 1;
             return actions;
@@ -287,7 +341,7 @@ impl BftReplica {
             instance.proposal = Some(Proposal {
                 view: preprepare.view,
                 digest,
-                request: preprepare.request,
+                batch: preprepare.batch,
                 primary_signature: preprepare.signature,
             });
             // Count the primary's implicit prepare vote and our own.
@@ -314,7 +368,9 @@ impl BftReplica {
 
     fn on_pbft_prepare(&mut self, from: NodeId, vote: PbftPrepare) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if vote.view != self.view
             || self.in_view_change
             || sender != vote.replica
@@ -323,7 +379,9 @@ impl BftReplica {
             self.metrics.rejected_messages += 1;
             return actions;
         }
-        self.log.instance_mut(vote.seq).record_pbft_prepare(sender, vote.digest);
+        self.log
+            .instance_mut(vote.seq)
+            .record_pbft_prepare(sender, vote.digest);
         self.try_prepare(&mut actions, vote.seq, vote.digest);
         actions
     }
@@ -333,7 +391,12 @@ impl BftReplica {
         let instance = self.log.instance_mut(seq);
         if instance.prepared
             || !instance.proposal_matches(self.view, &digest)
-            || instance.pbft_prepares.values().filter(|d| **d == digest).count() < quorum
+            || instance
+                .pbft_prepares
+                .values()
+                .filter(|d| **d == digest)
+                .count()
+                < quorum
         {
             return;
         }
@@ -344,7 +407,7 @@ impl BftReplica {
             seq,
             digest,
             replica: self.id,
-            request: None,
+            batch: None,
             signature: Signature::INVALID,
         };
         commit.signature = self.signer.sign(&commit.signing_bytes());
@@ -354,7 +417,9 @@ impl BftReplica {
 
     fn on_commit(&mut self, from: NodeId, commit: Commit) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if commit.view != self.view
             || self.in_view_change
             || sender != commit.replica
@@ -363,7 +428,9 @@ impl BftReplica {
             self.metrics.rejected_messages += 1;
             return actions;
         }
-        self.log.instance_mut(commit.seq).record_commit(sender, commit.digest);
+        self.log
+            .instance_mut(commit.seq)
+            .record_commit(sender, commit.digest);
         self.try_commit(&mut actions, commit.seq, commit.digest);
         actions
     }
@@ -379,17 +446,21 @@ impl BftReplica {
             return;
         }
         instance.committed = true;
-        let request = instance.proposal.as_ref().map(|p| p.request.clone());
-        if let Some(request) = request {
+        let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
+        if let Some(batch) = batch {
             self.metrics.committed += 1;
-            self.exec.add_committed(seq, request);
+            self.exec.add_committed(seq, batch);
             self.execute_ready(actions);
         }
-        actions.push(Action::CancelTimer { timer: Timer::RequestProgress { seq } });
+        actions.push(Action::CancelTimer {
+            timer: Timer::RequestProgress { seq },
+        });
     }
 
     fn on_checkpoint(&mut self, from: NodeId, checkpoint: Checkpoint) -> Vec<Action> {
-        let Some(sender) = from.as_replica() else { return Vec::new() };
+        let Some(sender) = from.as_replica() else {
+            return Vec::new();
+        };
         if sender != checkpoint.replica || !self.verify(sender, &checkpoint, &checkpoint.signature)
         {
             self.metrics.rejected_messages += 1;
@@ -423,13 +494,15 @@ impl BftReplica {
             if !(instance.prepared || instance.committed) {
                 continue;
             }
-            let Some(proposal) = &instance.proposal else { continue };
+            let Some(proposal) = &instance.proposal else {
+                continue;
+            };
             prepares.push(PrepareCert {
                 view: proposal.view,
                 seq: *seq,
                 digest: proposal.digest,
                 primary_signature: proposal.primary_signature,
-                request: Some(proposal.request.clone()),
+                batch: Some(proposal.batch.clone()),
             });
         }
         let mut view_change = ViewChange {
@@ -458,7 +531,9 @@ impl BftReplica {
 
     fn on_view_change(&mut self, from: NodeId, view_change: ViewChange) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if view_change.new_view <= self.view
             || sender != view_change.replica
             || !self.verify(sender, &view_change, &view_change.signature)
@@ -467,7 +542,10 @@ impl BftReplica {
             return actions;
         }
         let target = view_change.new_view;
-        self.view_changes.entry(target).or_default().insert(sender, view_change);
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(sender, view_change);
         // PBFT liveness rule: join once more than `f` replicas voted for a
         // newer view.
         let votes = self.view_changes.get(&target).map(|v| v.len()).unwrap_or(0);
@@ -486,7 +564,9 @@ impl BftReplica {
             return;
         }
         let threshold = self.config.view_change_threshold() as usize;
-        let Some(votes) = self.view_changes.get(&target) else { return };
+        let Some(votes) = self.view_changes.get(&target) else {
+            return;
+        };
         let others = votes.keys().filter(|r| **r != self.id).count();
         if others < threshold {
             return;
@@ -514,34 +594,36 @@ impl BftReplica {
         while seq <= high {
             let prepared = votes.iter().flat_map(|v| v.prepares.iter()).find(|p| {
                 p.seq == seq
-                    && p.request
+                    && p.batch
                         .as_ref()
-                        .map(|r| {
-                            r.digest() == p.digest
-                                && (r.client == NOOP_CLIENT
-                                    || self.keystore.verify(
-                                        NodeId::Client(r.client),
-                                        &r.signing_bytes(),
-                                        &r.signature,
-                                    ))
+                        .map(|batch| {
+                            batch.digest() == p.digest
+                                && batch.iter().all(|r| {
+                                    r.client == NOOP_CLIENT
+                                        || self.keystore.verify(
+                                            NodeId::Client(r.client),
+                                            &r.signing_bytes(),
+                                            &r.signature,
+                                        )
+                                })
                         })
                         .unwrap_or(false)
             });
             if let Some(cert) = prepared {
                 prepares_out.push(cert.clone());
             } else {
-                let request = ClientRequest {
+                let batch = Batch::single(ClientRequest {
                     client: NOOP_CLIENT,
                     timestamp: Timestamp(seq.0),
                     operation: Vec::new(),
                     signature: Signature::INVALID,
-                };
+                });
                 prepares_out.push(PrepareCert {
                     view: self.view,
                     seq,
-                    digest: request.digest(),
+                    digest: batch.digest(),
                     primary_signature: Signature::INVALID,
-                    request: Some(request),
+                    batch: Some(batch),
                 });
             }
             seq = seq.next();
@@ -564,7 +646,9 @@ impl BftReplica {
 
     fn on_new_view(&mut self, from: NodeId, new_view: NewView) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if new_view.view <= self.view
             || sender != self.config.primary(new_view.view)
             || sender != new_view.replica
@@ -578,7 +662,11 @@ impl BftReplica {
     }
 
     fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
-        actions.push(Action::CancelTimer { timer: Timer::ViewChange { view: new_view.view } });
+        actions.push(Action::CancelTimer {
+            timer: Timer::ViewChange {
+                view: new_view.view,
+            },
+        });
         self.view = new_view.view;
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
@@ -588,7 +676,8 @@ impl BftReplica {
 
         if let Some(cp) = &new_view.checkpoint {
             if cp.seq > self.checkpoints.stable_seq() {
-                self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                self.checkpoints
+                    .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
                 self.log.garbage_collect(cp.seq);
             }
         }
@@ -596,7 +685,9 @@ impl BftReplica {
         let i_am_primary = self.config.primary(new_view.view) == self.id;
         for cert in &new_view.prepares {
             highest = highest.max(cert.seq);
-            let Some(request) = cert.request.clone() else { continue };
+            let Some(batch) = cert.batch.clone() else {
+                continue;
+            };
             let digest = cert.digest;
             let seq = cert.seq;
             {
@@ -607,7 +698,7 @@ impl BftReplica {
                 instance.proposal = Some(Proposal {
                     view: new_view.view,
                     digest,
-                    request,
+                    batch,
                     primary_signature: cert.primary_signature,
                 });
                 instance.record_pbft_prepare(self.config.primary(new_view.view), digest);
@@ -627,6 +718,62 @@ impl BftReplica {
         }
         self.next_seq = highest;
         self.execute_ready(actions);
+
+        // Requests buffered for batching under the old view are re-routed:
+        // the new primary proposes them, everyone else forwards them.
+        let buffered = self.batcher.drain();
+        if i_am_primary {
+            for request in buffered {
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_none()
+                {
+                    self.buffer_or_propose(actions, request);
+                }
+            }
+            self.flush_buffered(actions);
+        } else {
+            let primary = self.config.primary(new_view.view);
+            for request in buffered {
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_none()
+                {
+                    self.send(actions, NodeId::Replica(primary), Message::Request(request));
+                }
+            }
+        }
+    }
+
+    /// Forces out any partially accumulated batch.
+    fn flush_buffered(&mut self, actions: &mut Vec<Action>) {
+        if let Some(batch) = self.batcher.take_batch() {
+            self.propose_batch(actions, batch);
+        }
+    }
+
+    /// The batch flush timer fired: propose the buffer (primary) or re-route
+    /// it to the current primary (a replica deposed while buffering).
+    fn on_batch_flush(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.in_view_change {
+            return actions;
+        }
+        if self.is_primary() {
+            self.flush_buffered(&mut actions);
+        } else {
+            let primary = self.primary();
+            for request in self.batcher.drain() {
+                self.send(
+                    &mut actions,
+                    NodeId::Replica(primary),
+                    Message::Request(request),
+                );
+            }
+        }
+        actions
     }
 }
 
@@ -679,12 +826,19 @@ impl ReplicaProtocol for BftReplica {
                 self.start_view_change(self.view.next())
             }
             Timer::ForwardedRequest { request } => {
-                if self.exec.cached_reply(request.client, request.timestamp).is_some()
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_some()
                     || self.in_view_change
                 {
                     return Vec::new();
                 }
-                let armed = self.forwarded_armed.get(&request).copied().unwrap_or(View::ZERO);
+                let armed = self
+                    .forwarded_armed
+                    .get(&request)
+                    .copied()
+                    .unwrap_or(View::ZERO);
                 if armed < self.view {
                     self.forwarded_armed.insert(request, self.view);
                     return vec![Action::SetTimer {
@@ -701,6 +855,7 @@ impl ReplicaProtocol for BftReplica {
                     Vec::new()
                 }
             }
+            Timer::BatchFlush => self.on_batch_flush(),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }
@@ -742,7 +897,10 @@ mod tests {
 
     const LIMIT: u64 = 200_000;
 
-    fn build(config: BaselineConfig, byzantine: Option<(ReplicaId, ByzantineBehavior)>) -> SyncCluster {
+    fn build(
+        config: BaselineConfig,
+        byzantine: Option<(ReplicaId, ByzantineBehavior)>,
+    ) -> SyncCluster {
         let keystore = KeyStore::generate(21, config.network_size, 2);
         let mut cluster = SyncCluster::new();
         for replica in config.replicas() {

@@ -5,10 +5,12 @@
 //! Normal case (two phases, linear messages, no signatures):
 //!
 //! 1. the client sends its request to the leader,
-//! 2. the leader assigns a sequence number and broadcasts a `PREPARE`,
+//! 2. the leader accumulates pending requests under the shared batching
+//!    policy, assigns the cut batch a sequence number and broadcasts a
+//!    `PREPARE` (with `max_batch = 1` this is one request per slot),
 //! 3. backups answer with an `ACCEPT` to the leader,
 //! 4. after `f` accepts (plus its own) the leader broadcasts a `COMMIT`,
-//!    executes and replies to the client.
+//!    executes and replies to each client in the batch.
 //!
 //! View changes follow the same pattern as SeeMoRe's Lion mode but without
 //! any cryptographic evidence (crash faults cannot forge messages).
@@ -16,6 +18,7 @@
 use crate::config::BaselineConfig;
 use seemore_app::StateMachine;
 use seemore_core::actions::{Action, Timer};
+use seemore_core::batching::BatchAccumulator;
 use seemore_core::checkpoint::{CheckpointManager, StabilityRule};
 use seemore_core::config::ProtocolConfig;
 use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
@@ -23,11 +26,9 @@ use seemore_core::log::{MessageLog, Proposal};
 use seemore_core::metrics::ReplicaMetrics;
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_crypto::Signature;
-use seemore_types::{
-    Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
-};
+use seemore_types::{Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View};
 use seemore_wire::{
-    Accept, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message, NewView,
+    Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message, NewView,
     Prepare, PrepareCert, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
@@ -46,6 +47,8 @@ pub struct CftReplica {
     checkpoints: CheckpointManager,
     next_seq: SeqNum,
     assigned: HashMap<RequestId, SeqNum>,
+    /// Pending requests accumulating into the next batch (leader only).
+    batcher: BatchAccumulator,
     in_view_change: bool,
     target_view: View,
     view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
@@ -79,6 +82,7 @@ impl CftReplica {
             ),
             next_seq: SeqNum(0),
             assigned: HashMap::new(),
+            batcher: BatchAccumulator::new(pconfig.batch),
             in_view_change: false,
             target_view: View::ZERO,
             view_changes: BTreeMap::new(),
@@ -98,16 +102,20 @@ impl CftReplica {
     }
 
     fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
-        self.metrics.record_sent(message.kind(), message.wire_size());
+        self.metrics
+            .record_sent(message.kind(), message.wire_size());
         actions.push(Action::Send { to, message });
     }
 
     fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
-        let recipients: Vec<ReplicaId> =
-            self.config.replicas().filter(|r| *r != self.id).collect();
+        let recipients: Vec<ReplicaId> = self.config.replicas().filter(|r| *r != self.id).collect();
         for to in recipients {
-            self.metrics.record_sent(message.kind(), message.wire_size());
-            actions.push(Action::Send { to: NodeId::Replica(to), message: message.clone() });
+            self.metrics
+                .record_sent(message.kind(), message.wire_size());
+            actions.push(Action::Send {
+                to: NodeId::Replica(to),
+                message: message.clone(),
+            });
         }
     }
 
@@ -128,17 +136,26 @@ impl CftReplica {
         let should_reply = self.is_primary();
         for execution in self.exec.execute_ready() {
             self.metrics.executed += 1;
-            actions.push(Action::Executed { seq: execution.seq, request: execution.request.id() });
+            actions.push(Action::Executed {
+                seq: execution.seq,
+                request: execution.request.id(),
+            });
             actions.push(Action::CancelTimer {
                 timer: Timer::RequestProgress { seq: execution.seq },
             });
             actions.push(Action::CancelTimer {
-                timer: Timer::ForwardedRequest { request: execution.request.id() },
+                timer: Timer::ForwardedRequest {
+                    request: execution.request.id(),
+                },
             });
             self.forwarded_watch.remove(&execution.request.id());
             if should_reply && execution.request.client != NOOP_CLIENT {
                 let reply = self.make_reply(&execution.request, execution.result);
-                self.send(actions, NodeId::Client(execution.request.client), Message::Reply(reply));
+                self.send(
+                    actions,
+                    NodeId::Client(execution.request.client),
+                    Message::Reply(reply),
+                );
             }
         }
         self.maybe_checkpoint(actions);
@@ -168,44 +185,32 @@ impl CftReplica {
 
     fn on_request(&mut self, request: ClientRequest) -> Vec<Action> {
         let mut actions = Vec::new();
-        if let Some(result) = self.exec.cached_reply(request.client, request.timestamp).cloned() {
+        if let Some(result) = self
+            .exec
+            .cached_reply(request.client, request.timestamp)
+            .cloned()
+        {
             let reply = self.make_reply(&request, result);
-            self.send(&mut actions, NodeId::Client(request.client), Message::Reply(reply));
+            self.send(
+                &mut actions,
+                NodeId::Client(request.client),
+                Message::Reply(reply),
+            );
             return actions;
         }
         if self.in_view_change {
             return actions;
         }
         if self.is_primary() {
-            let id = request.id();
-            if self.assigned.contains_key(&id) {
-                return actions;
-            }
-            let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
-            if !self.log.in_window(seq, self.pconfig.high_water_mark) {
-                return actions;
-            }
-            self.next_seq = seq;
-            self.assigned.insert(id, seq);
-            let digest = request.digest();
-            let prepare = Prepare {
-                view: self.view,
-                seq,
-                digest,
-                request: request.clone(),
-                signature: Signature::INVALID,
-            };
-            self.log.instance_mut(seq).proposal = Some(Proposal {
-                view: self.view,
-                digest,
-                request,
-                primary_signature: Signature::INVALID,
-            });
-            self.broadcast(&mut actions, Message::Prepare(prepare));
+            self.buffer_or_propose(&mut actions, request);
         } else {
             let primary = self.primary();
             let id = request.id();
-            self.send(&mut actions, NodeId::Replica(primary), Message::Request(request));
+            self.send(
+                &mut actions,
+                NodeId::Replica(primary),
+                Message::Request(request),
+            );
             if self.forwarded_watch.insert(id) {
                 actions.push(Action::SetTimer {
                     timer: Timer::ForwardedRequest { request: id },
@@ -216,13 +221,53 @@ impl CftReplica {
         actions
     }
 
+    /// Offers `request` to the batch accumulator, proposing immediately when
+    /// the batching policy says so (always, when `max_batch = 1`).
+    fn buffer_or_propose(&mut self, actions: &mut Vec<Action>, request: ClientRequest) {
+        if self.assigned.contains_key(&request.id()) {
+            return;
+        }
+        if let Some(batch) = self.batcher.offer(request, actions) {
+            self.propose_batch(actions, batch);
+        }
+    }
+
+    /// Assigns a sequence number to `batch` and broadcasts the `PREPARE`.
+    fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch) {
+        let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
+        if !self.log.in_window(seq, self.pconfig.high_water_mark) {
+            return;
+        }
+        self.next_seq = seq;
+        for id in batch.request_ids() {
+            self.assigned.insert(id, seq);
+        }
+        let digest = batch.digest();
+        let prepare = Prepare {
+            view: self.view,
+            seq,
+            digest,
+            batch: batch.clone(),
+            signature: Signature::INVALID,
+        };
+        self.log.instance_mut(seq).proposal = Some(Proposal {
+            view: self.view,
+            digest,
+            batch,
+            primary_signature: Signature::INVALID,
+        });
+        self.broadcast(actions, Message::Prepare(prepare));
+    }
+
     fn on_prepare(&mut self, from: NodeId, prepare: Prepare) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.in_view_change
             || prepare.view != self.view
             || from.as_replica() != Some(self.primary())
-            || prepare.digest != prepare.request.digest()
-            || !self.log.in_window(prepare.seq, self.pconfig.high_water_mark)
+            || prepare.digest != prepare.batch.digest()
+            || !self
+                .log
+                .in_window(prepare.seq, self.pconfig.high_water_mark)
         {
             self.metrics.rejected_messages += 1;
             return actions;
@@ -232,12 +277,22 @@ impl CftReplica {
         self.log.instance_mut(seq).proposal = Some(Proposal {
             view: prepare.view,
             digest,
-            request: prepare.request,
+            batch: prepare.batch,
             primary_signature: Signature::INVALID,
         });
-        let accept = Accept { view: self.view, seq, digest, replica: self.id, signature: None };
+        let accept = Accept {
+            view: self.view,
+            seq,
+            digest,
+            replica: self.id,
+            signature: None,
+        };
         let primary = self.primary();
-        self.send(&mut actions, NodeId::Replica(primary), Message::Accept(accept));
+        self.send(
+            &mut actions,
+            NodeId::Replica(primary),
+            Message::Accept(accept),
+        );
         actions.push(Action::SetTimer {
             timer: Timer::RequestProgress { seq },
             after: self.pconfig.request_timeout,
@@ -247,7 +302,9 @@ impl CftReplica {
 
     fn on_accept(&mut self, from: NodeId, accept: Accept) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if !self.is_primary() || accept.view != self.view || self.in_view_change {
             return actions;
         }
@@ -262,19 +319,19 @@ impl CftReplica {
         }
         instance.commit_sent = true;
         instance.committed = true;
-        let request = instance.proposal.as_ref().map(|p| p.request.clone());
+        let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
         let commit = Commit {
             view: self.view,
             seq: accept.seq,
             digest: accept.digest,
             replica: self.id,
-            request: request.clone(),
+            batch: batch.clone(),
             signature: Signature::INVALID,
         };
         self.broadcast(&mut actions, Message::Commit(commit));
-        if let Some(request) = request {
+        if let Some(batch) = batch {
             self.metrics.committed += 1;
-            self.exec.add_committed(accept.seq, request);
+            self.exec.add_committed(accept.seq, batch);
             self.execute_ready(&mut actions);
         }
         actions
@@ -294,11 +351,12 @@ impl CftReplica {
             return actions;
         }
         instance.committed = true;
-        let request =
-            commit.request.or_else(|| instance.proposal.as_ref().map(|p| p.request.clone()));
-        if let Some(request) = request {
+        let batch = commit
+            .batch
+            .or_else(|| instance.proposal.as_ref().map(|p| p.batch.clone()));
+        if let Some(batch) = batch {
             self.metrics.committed += 1;
-            self.exec.add_committed(commit.seq, request);
+            self.exec.add_committed(commit.seq, batch);
             self.execute_ready(&mut actions);
         }
         actions
@@ -329,13 +387,15 @@ impl CftReplica {
         let mut prepares = Vec::new();
         let mut commits = Vec::new();
         for (seq, instance) in self.log.instances_after(stable) {
-            let Some(proposal) = &instance.proposal else { continue };
+            let Some(proposal) = &instance.proposal else {
+                continue;
+            };
             let cert = PrepareCert {
                 view: proposal.view,
                 seq: *seq,
                 digest: proposal.digest,
                 primary_signature: Signature::INVALID,
-                request: Some(proposal.request.clone()),
+                batch: Some(proposal.batch.clone()),
             };
             if instance.committed {
                 commits.push(CommitCert {
@@ -343,7 +403,7 @@ impl CftReplica {
                     seq: *seq,
                     digest: proposal.digest,
                     primary_signature: Signature::INVALID,
-                    request: Some(proposal.request.clone()),
+                    batch: Some(proposal.batch.clone()),
                 });
             } else {
                 prepares.push(cert);
@@ -374,12 +434,17 @@ impl CftReplica {
 
     fn on_view_change(&mut self, from: NodeId, view_change: ViewChange) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if view_change.new_view <= self.view {
             return actions;
         }
         let target = view_change.new_view;
-        self.view_changes.entry(target).or_default().insert(sender, view_change);
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(sender, view_change);
         // Join once anyone else asked for a newer view (crash faults cannot
         // lie, so a single vote is trustworthy).
         if !self.in_view_change {
@@ -397,7 +462,9 @@ impl CftReplica {
             return;
         }
         let threshold = self.config.view_change_threshold() as usize;
-        let Some(votes) = self.view_changes.get(&target) else { return };
+        let Some(votes) = self.view_changes.get(&target) else {
+            return;
+        };
         let others = votes.keys().filter(|r| **r != self.id).count();
         if others < threshold {
             return;
@@ -427,25 +494,31 @@ impl CftReplica {
         let mut commits_out = Vec::new();
         let mut seq = low.next();
         while seq <= high {
-            let committed = votes.iter().flat_map(|v| v.commits.iter()).find(|c| c.seq == seq);
-            let prepared = votes.iter().flat_map(|v| v.prepares.iter()).find(|p| p.seq == seq);
+            let committed = votes
+                .iter()
+                .flat_map(|v| v.commits.iter())
+                .find(|c| c.seq == seq);
+            let prepared = votes
+                .iter()
+                .flat_map(|v| v.prepares.iter())
+                .find(|p| p.seq == seq);
             if let Some(cert) = committed {
                 commits_out.push(cert.clone());
             } else if let Some(cert) = prepared {
                 prepares_out.push(cert.clone());
             } else {
-                let request = ClientRequest {
+                let batch = Batch::single(ClientRequest {
                     client: NOOP_CLIENT,
                     timestamp: Timestamp(seq.0),
                     operation: Vec::new(),
                     signature: Signature::INVALID,
-                };
+                });
                 prepares_out.push(PrepareCert {
                     view: self.view,
                     seq,
-                    digest: request.digest(),
+                    digest: batch.digest(),
                     primary_signature: Signature::INVALID,
-                    request: Some(request),
+                    batch: Some(batch),
                 });
             }
             seq = seq.next();
@@ -478,7 +551,11 @@ impl CftReplica {
     }
 
     fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
-        actions.push(Action::CancelTimer { timer: Timer::ViewChange { view: new_view.view } });
+        actions.push(Action::CancelTimer {
+            timer: Timer::ViewChange {
+                view: new_view.view,
+            },
+        });
         self.view = new_view.view;
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
@@ -488,7 +565,8 @@ impl CftReplica {
 
         if let Some(cp) = &new_view.checkpoint {
             if cp.seq > self.checkpoints.stable_seq() {
-                self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                self.checkpoints
+                    .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
                 self.log.garbage_collect(cp.seq);
             }
         }
@@ -496,14 +574,16 @@ impl CftReplica {
         for cert in &new_view.commits {
             highest = highest.max(cert.seq);
             self.log.instance_mut(cert.seq).committed = true;
-            if let Some(request) = cert.request.clone() {
-                self.exec.add_committed(cert.seq, request);
+            if let Some(batch) = cert.batch.clone() {
+                self.exec.add_committed(cert.seq, batch);
             }
         }
         let i_am_primary = self.config.primary(new_view.view) == self.id;
         for cert in &new_view.prepares {
             highest = highest.max(cert.seq);
-            let Some(request) = cert.request.clone() else { continue };
+            let Some(batch) = cert.batch.clone() else {
+                continue;
+            };
             let instance = self.log.instance_mut(cert.seq);
             if instance.committed {
                 continue;
@@ -511,7 +591,7 @@ impl CftReplica {
             instance.proposal = Some(Proposal {
                 view: new_view.view,
                 digest: cert.digest,
-                request,
+                batch,
                 primary_signature: Signature::INVALID,
             });
             if !i_am_primary {
@@ -528,6 +608,62 @@ impl CftReplica {
         }
         self.next_seq = highest;
         self.execute_ready(actions);
+
+        // Requests buffered for batching under the old view are re-routed:
+        // the new leader proposes them, everyone else forwards them.
+        let buffered = self.batcher.drain();
+        if i_am_primary {
+            for request in buffered {
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_none()
+                {
+                    self.buffer_or_propose(actions, request);
+                }
+            }
+            self.flush_buffered(actions);
+        } else {
+            let primary = self.config.primary(new_view.view);
+            for request in buffered {
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_none()
+                {
+                    self.send(actions, NodeId::Replica(primary), Message::Request(request));
+                }
+            }
+        }
+    }
+
+    /// Forces out any partially accumulated batch.
+    fn flush_buffered(&mut self, actions: &mut Vec<Action>) {
+        if let Some(batch) = self.batcher.take_batch() {
+            self.propose_batch(actions, batch);
+        }
+    }
+
+    /// The batch flush timer fired: propose the buffer (leader) or re-route
+    /// it to the current leader (a replica deposed while buffering).
+    fn on_batch_flush(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.in_view_change {
+            return actions;
+        }
+        if self.is_primary() {
+            self.flush_buffered(&mut actions);
+        } else {
+            let primary = self.primary();
+            for request in self.batcher.drain() {
+                self.send(
+                    &mut actions,
+                    NodeId::Replica(primary),
+                    Message::Request(request),
+                );
+            }
+        }
+        actions
     }
 }
 
@@ -571,7 +707,10 @@ impl ReplicaProtocol for CftReplica {
                 }
             }
             Timer::ForwardedRequest { request } => {
-                if self.exec.cached_reply(request.client, request.timestamp).is_some()
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_some()
                     || self.in_view_change
                 {
                     Vec::new()
@@ -586,6 +725,7 @@ impl ReplicaProtocol for CftReplica {
                     Vec::new()
                 }
             }
+            Timer::BatchFlush => self.on_batch_flush(),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }

@@ -79,13 +79,22 @@ impl BaselineClient {
         {
             return Vec::new();
         }
-        let Some(pending) = &mut self.pending else { return Vec::new() };
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
         if reply.request != pending.request.id() {
             return Vec::new();
         }
         let digest = Digest::of_fields(&[b"reply-result", &reply.result]);
-        pending.votes.entry(digest).or_default().insert(reply.replica);
-        pending.results.entry(digest).or_insert_with(|| reply.result.clone());
+        pending
+            .votes
+            .entry(digest)
+            .or_default()
+            .insert(reply.replica);
+        pending
+            .results
+            .entry(digest)
+            .or_insert_with(|| reply.result.clone());
         let votes = pending.votes.get(&digest).map(|v| v.len()).unwrap_or(0);
         if votes < self.config.reply_quorum as usize {
             return Vec::new();
@@ -100,7 +109,9 @@ impl BaselineClient {
             completed_at: now,
         });
         vec![Action::CancelTimer {
-            timer: Timer::ClientRetransmit { timestamp: pending.request.timestamp },
+            timer: Timer::ClientRetransmit {
+                timestamp: pending.request.timestamp,
+            },
         }]
     }
 }
@@ -121,7 +132,11 @@ impl ClientProtocol for BaselineClient {
     }
 
     fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
-        assert!(self.pending.is_none(), "client {} already has a pending request", self.id);
+        assert!(
+            self.pending.is_none(),
+            "client {} already has a pending request",
+            self.id
+        );
         self.next_timestamp = self.next_timestamp.next();
         let request = ClientRequest::new(self.id, self.next_timestamp, operation, &self.signer);
         let primary = self.config.primary(self.view);
@@ -131,7 +146,9 @@ impl ClientProtocol for BaselineClient {
                 message: Message::Request(request.clone()),
             },
             Action::SetTimer {
-                timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+                timer: Timer::ClientRetransmit {
+                    timestamp: request.timestamp,
+                },
                 after: self.timeout,
             },
         ];
@@ -152,7 +169,9 @@ impl ClientProtocol for BaselineClient {
     }
 
     fn on_retransmit_timer(&mut self, _now: Instant) -> Vec<Action> {
-        let Some(pending) = &self.pending else { return Vec::new() };
+        let Some(pending) = &self.pending else {
+            return Vec::new();
+        };
         self.retransmissions += 1;
         let request = pending.request.clone();
         let mut actions: Vec<Action> = self
@@ -164,7 +183,9 @@ impl ClientProtocol for BaselineClient {
             })
             .collect();
         actions.push(Action::SetTimer {
-            timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+            timer: Timer::ClientRetransmit {
+                timestamp: request.timestamp,
+            },
             after: self.timeout,
         });
         actions
@@ -198,10 +219,23 @@ mod tests {
         KeyStore::generate(3, 10, 2)
     }
 
-    fn reply(ks: &KeyStore, replica: u32, request: RequestId, result: &[u8], signed: bool) -> ClientReply {
+    fn reply(
+        ks: &KeyStore,
+        replica: u32,
+        request: RequestId,
+        result: &[u8],
+        signed: bool,
+    ) -> ClientReply {
         if signed {
             let signer = ks.signer_for(NodeId::Replica(ReplicaId(replica))).unwrap();
-            ClientReply::new(Mode::Peacock, View(0), request, ReplicaId(replica), result.to_vec(), &signer)
+            ClientReply::new(
+                Mode::Peacock,
+                View(0),
+                request,
+                ReplicaId(replica),
+                result.to_vec(),
+                &signer,
+            )
         } else {
             ClientReply {
                 mode: Mode::Lion,
@@ -217,8 +251,12 @@ mod tests {
     #[test]
     fn cft_client_accepts_a_single_unsigned_reply() {
         let ks = keystore();
-        let mut client =
-            BaselineClient::new(ClientId(0), BaselineConfig::cft(1), ks.clone(), Duration::from_millis(50));
+        let mut client = BaselineClient::new(
+            ClientId(0),
+            BaselineConfig::cft(1),
+            ks.clone(),
+            Duration::from_millis(50),
+        );
         let actions = client.submit(b"op".to_vec(), Instant::ZERO);
         assert_eq!(actions.len(), 2);
         assert!(client.has_pending());
@@ -293,8 +331,12 @@ mod tests {
     #[test]
     fn retransmission_broadcasts_to_the_whole_group() {
         let ks = keystore();
-        let mut client =
-            BaselineClient::new(ClientId(0), BaselineConfig::bft(1), ks, Duration::from_millis(50));
+        let mut client = BaselineClient::new(
+            ClientId(0),
+            BaselineConfig::bft(1),
+            ks,
+            Duration::from_millis(50),
+        );
         client.submit(b"op".to_vec(), Instant::ZERO);
         let actions = client.on_retransmit_timer(Instant::ZERO);
         let sends = actions.iter().filter(|a| a.is_send()).count();

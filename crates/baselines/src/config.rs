@@ -121,8 +121,7 @@ mod tests {
     #[test]
     fn primary_rotates_through_all_replicas() {
         let cfg = BaselineConfig::bft(1);
-        let primaries: Vec<ReplicaId> =
-            (0..8).map(|v| cfg.primary(View(v))).collect();
+        let primaries: Vec<ReplicaId> = (0..8).map(|v| cfg.primary(View(v))).collect();
         assert_eq!(primaries[0], ReplicaId(0));
         assert_eq!(primaries[3], ReplicaId(3));
         assert_eq!(primaries[4], ReplicaId(0));

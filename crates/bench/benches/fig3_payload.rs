@@ -28,8 +28,16 @@ fn run(title: &str, request_size: usize, reply_size: usize) {
 }
 
 fn main() {
-    run("Fig 3(a): benchmark 0/4 (0 KB request, 4 KB reply), c = m = 1", 0, KB4);
-    run("Fig 3(b): benchmark 4/0 (4 KB request, 0 KB reply), c = m = 1", KB4, 0);
+    run(
+        "Fig 3(a): benchmark 0/4 (0 KB request, 4 KB reply), c = m = 1",
+        0,
+        KB4,
+    );
+    run(
+        "Fig 3(b): benchmark 4/0 (4 KB request, 0 KB reply), c = m = 1",
+        KB4,
+        0,
+    );
     println!(
         "# Shape check (paper expectation): every protocol peaks lower under 4/0 than\n\
          # under 0/4, because the request payload is shipped between replicas during\n\

@@ -14,7 +14,11 @@ use seemore_types::{Duration, Instant};
 fn main() {
     header("Fig 4: throughput timeline around a primary crash (c = m = 1, 0/0)");
 
-    let total = if quick_mode() { Duration::from_millis(300) } else { Duration::from_millis(600) };
+    let total = if quick_mode() {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(600)
+    };
     let crash_at = Instant::ZERO + Duration::from_millis(if quick_mode() { 100 } else { 200 });
     let bucket = Duration::from_millis(10);
 
@@ -42,7 +46,11 @@ fn main() {
             .with_primary_crash(crash_at)
             .run();
 
-        println!("# {} — bucketed throughput ({} ms buckets)", protocol.name(), bucket.as_millis());
+        println!(
+            "# {} — bucketed throughput ({} ms buckets)",
+            protocol.name(),
+            bucket.as_millis()
+        );
         println!("{:>12} {:>18}", "time[ms]", "throughput[kreq/s]");
         for point in &report.timeline {
             println!("{:>12.1} {:>18.3}", point.start_ms, point.throughput_kreqs);
@@ -80,7 +88,10 @@ fn main() {
     for (name, pre, recovery, view_changes) in summaries {
         match recovery {
             Some(ms) => println!("{name:<12} {pre:>22.3} {ms:>22.1} {view_changes:>14}"),
-            None => println!("{name:<12} {pre:>22.3} {:>22} {view_changes:>14}", "not recovered"),
+            None => println!(
+                "{name:<12} {pre:>22.3} {:>22} {view_changes:>14}",
+                "not recovered"
+            ),
         }
     }
     println!();

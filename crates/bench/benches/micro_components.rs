@@ -1,112 +1,143 @@
-//! Criterion micro-benchmarks for the building blocks whose costs feed the
-//! simulator's CPU model: hashing, signing, verification, request digests,
+//! Micro-benchmarks for the building blocks whose costs feed the simulator's
+//! CPU model: hashing, signing, verification, request/batch digests,
 //! key-value execution and quorum bookkeeping.
+//!
+//! Implemented with the lightweight self-timing harness from `seemore-bench`
+//! (criterion is unavailable in the offline build environment): each
+//! benchmark reports the median nanoseconds per operation over several
+//! timed rounds.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use seemore_app::{KvOp, KvStore, StateMachine};
+use seemore_bench::{header, time_op};
 use seemore_core::log::Instance;
 use seemore_crypto::{hmac_sha256, sha256, Digest, KeyStore};
 use seemore_types::{ClientId, NodeId, ReplicaId, Timestamp};
-use seemore_wire::{ClientRequest, SignedPayload, WireSize};
+use seemore_wire::{Batch, ClientRequest, SignedPayload, WireSize};
 
-fn bench_hashing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn main() {
+    header("Micro-benchmarks: components behind the CPU cost model");
+
     for size in [64usize, 1024, 4096] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(&data)));
+        let ns = time_op(&format!("sha256/{size}B"), || {
+            sha256(&data);
+        });
+        println!(
+            "sha256/{size:>5}B             : {ns:>9.0} ns/op ({:.1} MB/s)",
+            size as f64 * 1_000.0 / ns.max(1.0)
+        );
     }
-    group.finish();
 
-    c.bench_function("hmac_sha256/1KiB", |b| {
-        let key = [7u8; 32];
-        let data = vec![0xcdu8; 1024];
-        b.iter(|| hmac_sha256(&key, &data))
+    let key = [7u8; 32];
+    let data = vec![0xcdu8; 1024];
+    let ns = time_op("hmac_sha256/1KiB", || {
+        hmac_sha256(&key, &data);
     });
-}
+    println!("hmac_sha256/1KiB          : {ns:>9.0} ns/op");
 
-fn bench_signatures(c: &mut Criterion) {
     let keystore = KeyStore::generate(5, 4, 1);
     let signer = keystore.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
     let message = vec![0x42u8; 256];
-    c.bench_function("sign/256B", |b| b.iter(|| signer.sign(&message)));
+    let ns = time_op("sign/256B", || {
+        signer.sign(&message);
+    });
+    println!("sign/256B                 : {ns:>9.0} ns/op");
     let signature = signer.sign(&message);
-    c.bench_function("verify/256B", |b| {
-        b.iter(|| keystore.verify(NodeId::Replica(ReplicaId(0)), &message, &signature))
+    let ns = time_op("verify/256B", || {
+        keystore.verify(NodeId::Replica(ReplicaId(0)), &message, &signature);
     });
-}
+    println!("verify/256B               : {ns:>9.0} ns/op");
 
-fn bench_requests(c: &mut Criterion) {
-    let keystore = KeyStore::generate(6, 1, 1);
-    let signer = keystore.signer_for(NodeId::Client(ClientId(0))).unwrap();
+    let client_keys = KeyStore::generate(6, 1, 1);
+    let client_signer = client_keys.signer_for(NodeId::Client(ClientId(0))).unwrap();
     for size in [0usize, 4096] {
-        let request = ClientRequest::new(ClientId(0), Timestamp(1), vec![0u8; size], &signer);
-        c.bench_function(&format!("request_digest/{size}B"), |b| b.iter(|| request.digest()));
-        c.bench_function(&format!("request_sign_verify/{size}B"), |b| {
-            b.iter(|| {
-                let fresh =
-                    ClientRequest::new(ClientId(0), Timestamp(2), vec![0u8; size], &signer);
-                keystore.verify(NodeId::Client(ClientId(0)), &fresh.signing_bytes(), &fresh.signature)
-            })
+        let request =
+            ClientRequest::new(ClientId(0), Timestamp(1), vec![0u8; size], &client_signer);
+        let ns = time_op("request_digest", || {
+            request.digest();
         });
-        c.bench_function(&format!("request_wire_size/{size}B"), |b| {
-            b.iter(|| request.wire_size())
+        println!("request_digest/{size:>4}B     : {ns:>9.0} ns/op");
+        let ns = time_op("request_sign_verify", || {
+            let fresh =
+                ClientRequest::new(ClientId(0), Timestamp(2), vec![0u8; size], &client_signer);
+            client_keys.verify(
+                NodeId::Client(ClientId(0)),
+                &fresh.signing_bytes(),
+                &fresh.signature,
+            );
         });
+        println!("request_sign_verify/{size:>4}B: {ns:>9.0} ns/op");
+        let ns = time_op("request_wire_size", || {
+            request.wire_size();
+        });
+        println!("request_wire_size/{size:>4}B  : {ns:>9.0} ns/op");
     }
-}
 
-fn bench_kv_store(c: &mut Criterion) {
-    c.bench_function("kvstore/put_get_1k_keys", |b| {
-        b.iter_batched(
-            KvStore::new,
-            |mut store| {
-                for i in 0..1_000u32 {
-                    store.execute(
-                        &KvOp::Put {
-                            key: format!("key-{i}").into_bytes(),
-                            value: vec![0u8; 64],
-                        }
-                        .encode(),
-                    );
-                }
-                for i in 0..1_000u32 {
-                    store.execute(&KvOp::Get { key: format!("key-{i}").into_bytes() }.encode());
-                }
-                store
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("kvstore/state_digest_1k_keys", |b| {
+    // The combined digest of a batch is what agreement quorums match on;
+    // its cost must scale linearly in the batch size for the batching
+    // throughput model to hold.
+    for batch_size in [1usize, 8, 64] {
+        let requests: Vec<ClientRequest> = (0..batch_size)
+            .map(|i| {
+                ClientRequest::new(
+                    ClientId(0),
+                    Timestamp(i as u64 + 1),
+                    vec![0u8; 64],
+                    &client_signer,
+                )
+            })
+            .collect();
+        let batch = Batch::new(requests);
+        let ns = time_op("batch_digest", || {
+            batch.digest();
+        });
+        println!("batch_digest/{batch_size:>3} reqs     : {ns:>9.0} ns/op");
+    }
+
+    let ns = time_op("kvstore/put_get_1k_keys", || {
         let mut store = KvStore::new();
         for i in 0..1_000u32 {
             store.execute(
-                &KvOp::Put { key: format!("key-{i}").into_bytes(), value: vec![0u8; 64] }.encode(),
+                &KvOp::Put {
+                    key: format!("key-{i}").into_bytes(),
+                    value: vec![0u8; 64],
+                }
+                .encode(),
             );
         }
-        b.iter(|| store.state_digest())
-    });
-}
-
-fn bench_quorum_tracking(c: &mut Criterion) {
-    c.bench_function("instance/record_100_votes", |b| {
-        let digest = Digest::of_bytes(b"proposal");
-        b.iter_batched(
-            Instance::default,
-            |mut instance| {
-                for voter in 0..100u32 {
-                    instance.record_commit(ReplicaId(voter), digest);
+        for i in 0..1_000u32 {
+            store.execute(
+                &KvOp::Get {
+                    key: format!("key-{i}").into_bytes(),
                 }
-                instance.matching_commits(&digest)
-            },
-            BatchSize::SmallInput,
-        )
+                .encode(),
+            );
+        }
     });
-}
+    println!("kvstore/put_get_1k_keys   : {ns:>9.0} ns/op");
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hashing, bench_signatures, bench_requests, bench_kv_store, bench_quorum_tracking
-);
-criterion_main!(benches);
+    let mut store = KvStore::new();
+    for i in 0..1_000u32 {
+        store.execute(
+            &KvOp::Put {
+                key: format!("key-{i}").into_bytes(),
+                value: vec![0u8; 64],
+            }
+            .encode(),
+        );
+    }
+    let ns = time_op("kvstore/state_digest_1k_keys", || {
+        store.state_digest();
+    });
+    println!("kvstore/state_digest_1k   : {ns:>9.0} ns/op");
+
+    let digest = Digest::of_bytes(b"proposal");
+    let ns = time_op("instance/record_100_votes", || {
+        let mut instance = Instance::default();
+        for voter in 0..100u32 {
+            instance.record_commit(ReplicaId(voter), digest);
+        }
+        instance.matching_commits(&digest);
+    });
+    println!("instance/record_100_votes : {ns:>9.0} ns/op");
+}

@@ -78,7 +78,11 @@ fn main() {
     header("Measured agreement messages per request (implementation, c=1, m=1)");
     println!("{:<10} {:>20}", "Mode", "agreement msgs/req");
     for mode in Mode::ALL {
-        println!("{:<10} {:>20}", mode.to_string(), measured_agreement_messages(mode, 1, 1));
+        println!(
+            "{:<10} {:>20}",
+            mode.to_string(),
+            measured_agreement_messages(mode, 1, 1)
+        );
     }
     println!();
     println!(

@@ -13,7 +13,9 @@ use seemore_types::Duration;
 
 /// Whether the quick (smoke) configuration was requested.
 pub fn quick_mode() -> bool {
-    std::env::var("SEEMORE_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("SEEMORE_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// The client counts swept for throughput/latency curves.
@@ -74,7 +76,10 @@ pub fn sweep_protocol(
 /// Prints one throughput/latency curve in a gnuplot-friendly layout.
 pub fn print_curve(label: &str, points: &[CurvePoint]) {
     println!("# {label}");
-    println!("{:>8} {:>18} {:>14}", "clients", "throughput[kreq/s]", "latency[ms]");
+    println!(
+        "{:>8} {:>18} {:>14}",
+        "clients", "throughput[kreq/s]", "latency[ms]"
+    );
     for point in points {
         println!(
             "{:>8} {:>18.3} {:>14.3}",
@@ -86,7 +91,10 @@ pub fn print_curve(label: &str, points: &[CurvePoint]) {
 
 /// Peak throughput of a curve (used for the summary comparisons).
 pub fn peak_throughput(points: &[CurvePoint]) -> f64 {
-    points.iter().map(|p| p.throughput_kreqs).fold(0.0, f64::max)
+    points
+        .iter()
+        .map(|p| p.throughput_kreqs)
+        .fold(0.0, f64::max)
 }
 
 /// Prints a section header.
@@ -94,6 +102,43 @@ pub fn header(title: &str) {
     println!("==============================================================");
     println!("{title}");
     println!("==============================================================");
+}
+
+/// Times a closure and returns the median nanoseconds per call over several
+/// rounds (a lightweight stand-in for a statistical benchmark harness,
+/// which is unavailable in the offline build environment).
+///
+/// The iteration count is auto-calibrated so each round runs for roughly a
+/// millisecond; `_label` exists for readability at call sites.
+pub fn time_op<F: FnMut()>(_label: &str, mut op: F) -> f64 {
+    use std::time::Instant;
+
+    // Calibrate: find an iteration count that takes ~1 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_micros() >= 1_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let rounds = 7;
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[rounds / 2]
 }
 
 #[cfg(test)]
@@ -112,9 +157,21 @@ mod tests {
     #[test]
     fn peak_throughput_finds_the_maximum() {
         let points = vec![
-            CurvePoint { clients: 1, throughput_kreqs: 1.0, latency_ms: 1.0 },
-            CurvePoint { clients: 2, throughput_kreqs: 3.0, latency_ms: 1.5 },
-            CurvePoint { clients: 4, throughput_kreqs: 2.0, latency_ms: 4.0 },
+            CurvePoint {
+                clients: 1,
+                throughput_kreqs: 1.0,
+                latency_ms: 1.0,
+            },
+            CurvePoint {
+                clients: 2,
+                throughput_kreqs: 3.0,
+                latency_ms: 1.5,
+            },
+            CurvePoint {
+                clients: 4,
+                throughput_kreqs: 2.0,
+                latency_ms: 4.0,
+            },
         ];
         assert_eq!(peak_throughput(&points), 3.0);
         assert_eq!(peak_throughput(&[]), 0.0);

@@ -35,6 +35,11 @@ pub enum Timer {
         /// Timestamp of the outstanding request.
         timestamp: Timestamp,
     },
+    /// Batching flush timer: armed by a primary when the first request
+    /// enters its empty batch buffer, so a partially filled batch is
+    /// proposed after at most `max_delay` (the latency trigger of the
+    /// batching policy). Never armed when `max_batch = 1`.
+    BatchFlush,
 }
 
 impl fmt::Display for Timer {
@@ -44,6 +49,7 @@ impl fmt::Display for Timer {
             Timer::ForwardedRequest { request } => write!(f, "forwarded({request})"),
             Timer::ViewChange { view } => write!(f, "view-change({view})"),
             Timer::ClientRetransmit { timestamp } => write!(f, "retransmit({timestamp})"),
+            Timer::BatchFlush => write!(f, "batch-flush"),
         }
     }
 }
@@ -91,7 +97,10 @@ pub enum Action {
 impl Action {
     /// Convenience constructor for [`Action::Send`].
     pub fn send(to: impl Into<NodeId>, message: impl Into<Message>) -> Action {
-        Action::Send { to: to.into(), message: message.into() }
+        Action::Send {
+            to: to.into(),
+            message: message.into(),
+        }
     }
 
     /// Returns the destination and message if this is a send action.
@@ -119,7 +128,10 @@ pub fn broadcast(
         if Some(to) == exclude {
             continue;
         }
-        actions.push(Action::Send { to, message: message.clone() });
+        actions.push(Action::Send {
+            to,
+            message: message.clone(),
+        });
     }
 }
 
@@ -130,7 +142,10 @@ mod tests {
     use seemore_wire::StateRequest;
 
     fn sample_message() -> Message {
-        Message::StateRequest(StateRequest { from_seq: SeqNum(1), replica: ReplicaId(0) })
+        Message::StateRequest(StateRequest {
+            from_seq: SeqNum(1),
+            replica: ReplicaId(0),
+        })
     }
 
     #[test]
@@ -152,8 +167,7 @@ mod tests {
     #[test]
     fn broadcast_excludes_self() {
         let mut actions = Vec::new();
-        let recipients: Vec<NodeId> =
-            (0..4).map(|r| NodeId::Replica(ReplicaId(r))).collect();
+        let recipients: Vec<NodeId> = (0..4).map(|r| NodeId::Replica(ReplicaId(r))).collect();
         broadcast(
             &mut actions,
             recipients,
@@ -169,10 +183,8 @@ mod tests {
     #[test]
     fn broadcast_without_exclusion_hits_everyone() {
         let mut actions = Vec::new();
-        let recipients: Vec<NodeId> = vec![
-            NodeId::Replica(ReplicaId(0)),
-            NodeId::Client(ClientId(1)),
-        ];
+        let recipients: Vec<NodeId> =
+            vec![NodeId::Replica(ReplicaId(0)), NodeId::Client(ClientId(1))];
         broadcast(&mut actions, recipients, sample_message(), None);
         assert_eq!(actions.len(), 2);
     }
@@ -187,10 +199,15 @@ mod tests {
             Timer::RequestProgress { seq: SeqNum(4) },
             Timer::RequestProgress { seq: SeqNum(5) }
         );
-        assert_eq!(Timer::ViewChange { view: View(2) }.to_string(), "view-change(v2)");
-        assert!(Timer::ClientRetransmit { timestamp: Timestamp(7) }
-            .to_string()
-            .contains("ts7"));
+        assert_eq!(
+            Timer::ViewChange { view: View(2) }.to_string(),
+            "view-change(v2)"
+        );
+        assert!(Timer::ClientRetransmit {
+            timestamp: Timestamp(7)
+        }
+        .to_string()
+        .contains("ts7"));
         assert!(Timer::ForwardedRequest {
             request: RequestId::new(ClientId(1), Timestamp(2))
         }

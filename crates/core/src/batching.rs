@@ -1,0 +1,266 @@
+//! Request batching: the policy under which a primary accumulates pending
+//! client requests and cuts them into [`Batch`]es for ordering.
+//!
+//! Batching is the standard throughput lever of leader-based replication:
+//! each agreement slot pays one proposal broadcast, one round of votes and
+//! one commit regardless of how many requests ride in the slot, so ordering
+//! `k` requests per slot divides the per-request quorum cost by `k`. The
+//! policy here is the classic two-knob one:
+//!
+//! * **`max_batch`** — a batch is cut as soon as this many requests are
+//!   buffered (the size trigger);
+//! * **`max_delay`** — a batch is cut at most this long after the first
+//!   request entered an empty buffer (the latency trigger, implemented with
+//!   the [`Timer::BatchFlush`](crate::actions::Timer::BatchFlush) timer).
+//!
+//! With `max_batch == 1` every request is proposed immediately and the timer
+//! is never armed, reproducing unbatched, one-request-per-slot agreement
+//! exactly. All three SeeMoRe modes and both baselines share this
+//! accumulator so their comparison stays apples-to-apples.
+
+use seemore_types::{Duration, RequestId};
+use seemore_wire::{Batch, ClientRequest};
+use std::collections::HashSet;
+
+/// The two batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum requests per batch; a full buffer flushes immediately.
+    pub max_batch: usize,
+    /// Maximum time the first buffered request may wait before the buffer is
+    /// flushed regardless of its size.
+    pub max_delay: Duration,
+}
+
+impl BatchConfig {
+    /// Batching disabled: every request is proposed on arrival in its own
+    /// slot (`max_batch = 1`), bit-for-bit reproducing unbatched agreement.
+    pub fn disabled() -> Self {
+        BatchConfig {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// A batching policy with the given size cap and flush delay.
+    pub fn new(max_batch: usize, max_delay: Duration) -> Self {
+        BatchConfig {
+            max_batch: max_batch.max(1),
+            max_delay,
+        }
+    }
+
+    /// Whether this policy ever buffers (i.e. `max_batch > 1`).
+    pub fn is_batching(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
+}
+
+/// What the caller must do after offering a request to the accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// The buffer reached `max_batch` (or batching is disabled): propose
+    /// this batch now.
+    Flush(Batch),
+    /// The request was buffered into a previously *empty* buffer: arm the
+    /// flush timer for `max_delay`.
+    BufferedFirst,
+    /// The request was buffered behind others; the already-armed timer (or
+    /// the size trigger) will flush it.
+    Buffered,
+    /// The request is already buffered or was already assigned a slot;
+    /// nothing to do.
+    Duplicate,
+}
+
+/// Accumulates a primary's pending requests under a [`BatchConfig`].
+#[derive(Debug)]
+pub struct BatchAccumulator {
+    config: BatchConfig,
+    buffer: Vec<ClientRequest>,
+    buffered_ids: HashSet<RequestId>,
+}
+
+impl BatchAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new(config: BatchConfig) -> Self {
+        BatchAccumulator {
+            config,
+            buffer: Vec::new(),
+            buffered_ids: HashSet::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> BatchConfig {
+        self.config
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Number of buffered requests.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether a request with `id` is currently buffered.
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.buffered_ids.contains(&id)
+    }
+
+    /// Offers a request, returning what the caller must do next.
+    pub fn push(&mut self, request: ClientRequest) -> BatchDecision {
+        if !self.buffered_ids.insert(request.id()) {
+            return BatchDecision::Duplicate;
+        }
+        self.buffer.push(request);
+        if self.buffer.len() >= self.config.max_batch {
+            return BatchDecision::Flush(self.take_batch().expect("buffer is non-empty"));
+        }
+        if self.buffer.len() == 1 {
+            BatchDecision::BufferedFirst
+        } else {
+            BatchDecision::Buffered
+        }
+    }
+
+    /// The shared primary-side driver: offers a request and carries out the
+    /// policy bookkeeping that is identical across every protocol core —
+    /// arming the [`Timer::BatchFlush`](crate::actions::Timer::BatchFlush)
+    /// flush timer when the first request enters an empty buffer. Returns
+    /// the batch to propose, if the size trigger fired (always, when
+    /// `max_batch = 1`).
+    pub fn offer(
+        &mut self,
+        request: ClientRequest,
+        actions: &mut Vec<crate::actions::Action>,
+    ) -> Option<Batch> {
+        match self.push(request) {
+            BatchDecision::Flush(batch) => Some(batch),
+            BatchDecision::BufferedFirst => {
+                actions.push(crate::actions::Action::SetTimer {
+                    timer: crate::actions::Timer::BatchFlush,
+                    after: self.config.max_delay,
+                });
+                None
+            }
+            BatchDecision::Buffered | BatchDecision::Duplicate => None,
+        }
+    }
+
+    /// Cuts the current buffer into a batch (used by the flush timer), or
+    /// `None` if nothing is buffered.
+    pub fn take_batch(&mut self) -> Option<Batch> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        self.buffered_ids.clear();
+        Some(Batch::new(std::mem::take(&mut self.buffer)))
+    }
+
+    /// Drains the buffer as raw requests without forming a batch (used when
+    /// a view change deposes the buffering primary and the requests must be
+    /// re-routed instead of proposed).
+    pub fn drain(&mut self) -> Vec<ClientRequest> {
+        self.buffered_ids.clear();
+        std::mem::take(&mut self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_crypto::KeyStore;
+    use seemore_types::{ClientId, NodeId, Timestamp};
+
+    fn request(ks: &KeyStore, client: u64, ts: u64) -> ClientRequest {
+        let signer = ks.signer_for(NodeId::Client(ClientId(client))).unwrap();
+        ClientRequest::new(ClientId(client), Timestamp(ts), b"op".to_vec(), &signer)
+    }
+
+    fn keystore() -> KeyStore {
+        KeyStore::generate(1, 1, 8)
+    }
+
+    #[test]
+    fn disabled_policy_flushes_every_request_immediately() {
+        let ks = keystore();
+        let mut acc = BatchAccumulator::new(BatchConfig::disabled());
+        for ts in 1..=3 {
+            match acc.push(request(&ks, 0, ts)) {
+                BatchDecision::Flush(batch) => assert_eq!(batch.len(), 1),
+                other => panic!("expected immediate flush, got {other:?}"),
+            }
+        }
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn size_trigger_cuts_full_batches_in_arrival_order() {
+        let ks = keystore();
+        let mut acc = BatchAccumulator::new(BatchConfig::new(3, Duration::from_millis(5)));
+        assert_eq!(acc.push(request(&ks, 0, 1)), BatchDecision::BufferedFirst);
+        assert_eq!(acc.push(request(&ks, 1, 1)), BatchDecision::Buffered);
+        assert_eq!(acc.len(), 2);
+        match acc.push(request(&ks, 2, 1)) {
+            BatchDecision::Flush(batch) => {
+                let clients: Vec<u64> = batch.requests().iter().map(|r| r.client.0).collect();
+                assert_eq!(clients, vec![0, 1, 2], "arrival order preserved");
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        assert!(acc.is_empty());
+        // The next request starts a fresh buffer (timer must be re-armed).
+        assert_eq!(acc.push(request(&ks, 3, 1)), BatchDecision::BufferedFirst);
+    }
+
+    #[test]
+    fn duplicates_are_rejected_while_buffered() {
+        let ks = keystore();
+        let mut acc = BatchAccumulator::new(BatchConfig::new(8, Duration::from_millis(5)));
+        let r = request(&ks, 0, 1);
+        assert_eq!(acc.push(r.clone()), BatchDecision::BufferedFirst);
+        assert_eq!(acc.push(r.clone()), BatchDecision::Duplicate);
+        assert_eq!(acc.len(), 1);
+        assert!(acc.contains(r.id()));
+        // After a flush the same id may be offered again (the commit path
+        // guards against double execution).
+        acc.take_batch();
+        assert_eq!(acc.push(r), BatchDecision::BufferedFirst);
+    }
+
+    #[test]
+    fn take_batch_and_drain_empty_the_buffer() {
+        let ks = keystore();
+        let mut acc = BatchAccumulator::new(BatchConfig::new(8, Duration::from_millis(5)));
+        assert!(acc.take_batch().is_none());
+        acc.push(request(&ks, 0, 1));
+        acc.push(request(&ks, 1, 1));
+        let batch = acc.take_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(acc.is_empty());
+
+        acc.push(request(&ks, 2, 1));
+        let drained = acc.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(acc.is_empty());
+        assert!(!acc.contains(drained[0].id()));
+    }
+
+    #[test]
+    fn config_clamps_and_classifies() {
+        assert_eq!(BatchConfig::new(0, Duration::ZERO).max_batch, 1);
+        assert!(!BatchConfig::disabled().is_batching());
+        assert!(BatchConfig::new(2, Duration::from_micros(50)).is_batching());
+        assert_eq!(BatchConfig::default(), BatchConfig::disabled());
+    }
+}

@@ -81,8 +81,11 @@ impl<P: ReplicaProtocol> ByzantineReplica<P> {
                     .map(|action| match action {
                         Action::Send { to, message } => {
                             flip = !flip;
-                            let message =
-                                if flip { corrupt_vote_digest(message) } else { message };
+                            let message = if flip {
+                                corrupt_vote_digest(message)
+                            } else {
+                                message
+                            };
                             Action::Send { to, message }
                         }
                         other => other,
@@ -267,7 +270,7 @@ mod tests {
                         seq: SeqNum(1),
                         digest: Digest::of_bytes(b"real"),
                         replica: ReplicaId(3),
-                        request: None,
+                        batch: None,
                         signature: Signature::from_bytes([9u8; 32]),
                     }),
                 },
@@ -360,17 +363,14 @@ mod tests {
         // But a proposal gets its sequence number shifted.
         let ks = seemore_crypto::KeyStore::generate(1, 4, 1);
         let client = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
-        let request = seemore_wire::ClientRequest::new(
-            ClientId(0),
-            Timestamp(1),
-            b"op".to_vec(),
-            &client,
-        );
+        let request =
+            seemore_wire::ClientRequest::new(ClientId(0), Timestamp(1), b"op".to_vec(), &client);
+        let batch = seemore_wire::Batch::single(request);
         let preprepare = Message::PrePrepare(seemore_wire::PrePrepare {
             view: View(0),
             seq: SeqNum(7),
-            digest: request.digest(),
-            request,
+            digest: batch.digest(),
+            batch,
             signature: Signature::INVALID,
         });
         if let Message::PrePrepare(m) = equivocate(preprepare) {

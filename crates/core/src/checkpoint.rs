@@ -71,7 +71,7 @@ impl CheckpointManager {
 
     /// Whether executing `seq` should trigger a checkpoint.
     pub fn should_checkpoint(&self, seq: SeqNum) -> bool {
-        seq.0 > 0 && seq.0 % self.period == 0 && seq > self.stable_seq
+        seq.0 > 0 && seq.0.is_multiple_of(self.period) && seq > self.stable_seq
     }
 
     /// Sequence number of the last stable checkpoint.

@@ -4,8 +4,7 @@
 use crate::actions::{Action, Timer};
 use seemore_crypto::{Digest, KeyStore, Signer};
 use seemore_types::{
-    ClientId, ClusterConfig, Duration, Instant, Mode, NodeId, ReplicaId, RequestId, Timestamp,
-    View,
+    ClientId, ClusterConfig, Duration, Instant, Mode, NodeId, ReplicaId, RequestId, Timestamp, View,
 };
 use seemore_wire::{ClientReply, ClientRequest, Message, SignedPayload};
 use std::collections::{BTreeSet, HashMap};
@@ -171,10 +170,13 @@ impl ClientCore {
     /// if a request is already outstanding (SeeMoRe clients are closed-loop:
     /// one outstanding request each, as in the paper's evaluation).
     pub fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
-        assert!(self.pending.is_none(), "client {} already has a pending request", self.id);
+        assert!(
+            self.pending.is_none(),
+            "client {} already has a pending request",
+            self.id
+        );
         self.next_timestamp = self.next_timestamp.next();
-        let request =
-            ClientRequest::new(self.id, self.next_timestamp, operation, &self.signer);
+        let request = ClientRequest::new(self.id, self.next_timestamp, operation, &self.signer);
         let mut actions = Vec::new();
         let primary = self.current_primary();
         actions.push(Action::Send {
@@ -182,7 +184,9 @@ impl ClientCore {
             message: Message::Request(request.clone()),
         });
         actions.push(Action::SetTimer {
-            timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+            timer: Timer::ClientRetransmit {
+                timestamp: request.timestamp,
+            },
             after: self.timeout,
         });
         self.pending = Some(Pending {
@@ -212,7 +216,9 @@ impl ClientCore {
         ) {
             return Vec::new();
         }
-        let Some(pending_ref) = &self.pending else { return Vec::new() };
+        let Some(pending_ref) = &self.pending else {
+            return Vec::new();
+        };
         if reply.request != pending_ref.request.id() {
             return Vec::new();
         }
@@ -241,7 +247,12 @@ impl ClientCore {
             .entry(result_digest)
             .or_insert_with(|| reply.result.clone());
 
-        let votes = pending.tally.votes.get(&result_digest).map(|s| s.len()).unwrap_or(0);
+        let votes = pending
+            .tally
+            .votes
+            .get(&result_digest)
+            .map(|s| s.len())
+            .unwrap_or(0);
         let accepted = if replier_trusted {
             // A single reply from the trusted private cloud is always
             // sufficient (Lion primary reply, or a private replica answering
@@ -274,7 +285,9 @@ impl ClientCore {
             completed_at: now,
         });
         vec![Action::CancelTimer {
-            timer: Timer::ClientRetransmit { timestamp: pending.request.timestamp },
+            timer: Timer::ClientRetransmit {
+                timestamp: pending.request.timestamp,
+            },
         }]
     }
 
@@ -297,7 +310,9 @@ impl ClientCore {
 
     /// The client's retransmission timer fired: broadcast the request.
     pub fn on_retransmit_timer(&mut self, _now: Instant) -> Vec<Action> {
-        let Some(pending) = &mut self.pending else { return Vec::new() };
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
         pending.retransmitted = true;
         self.retransmissions += 1;
         let request = pending.request.clone();
@@ -326,7 +341,9 @@ impl ClientCore {
             });
         }
         actions.push(Action::SetTimer {
-            timer: Timer::ClientRetransmit { timestamp: request.timestamp },
+            timer: Timer::ClientRetransmit {
+                timestamp: request.timestamp,
+            },
             after: self.timeout,
         });
         actions
@@ -382,11 +399,24 @@ mod tests {
         view: View,
     ) -> ClientReply {
         let signer = ks.signer_for(NodeId::Replica(ReplicaId(replica))).unwrap();
-        ClientReply::new(mode, view, request, ReplicaId(replica), result.to_vec(), &signer)
+        ClientReply::new(
+            mode,
+            view,
+            request,
+            ReplicaId(replica),
+            result.to_vec(),
+            &signer,
+        )
     }
 
     fn new_client(mode: Mode) -> ClientCore {
-        ClientCore::new(ClientId(0), cluster(), keystore(), mode, Duration::from_millis(100))
+        ClientCore::new(
+            ClientId(0),
+            cluster(),
+            keystore(),
+            mode,
+            Duration::from_millis(100),
+        )
     }
 
     #[test]
@@ -436,16 +466,25 @@ mod tests {
         let id = RequestId::new(ClientId(0), Timestamp(1));
         // First (untrusted) reply is not enough for m = 1.
         assert!(client
-            .on_reply(reply_from(&ks, 2, id, b"r", Mode::Peacock, View(0)), Instant::ZERO)
+            .on_reply(
+                reply_from(&ks, 2, id, b"r", Mode::Peacock, View(0)),
+                Instant::ZERO
+            )
             .is_empty());
         assert!(client.has_pending());
         // A conflicting reply from another replica does not help.
         assert!(client
-            .on_reply(reply_from(&ks, 3, id, b"bogus", Mode::Peacock, View(0)), Instant::ZERO)
+            .on_reply(
+                reply_from(&ks, 3, id, b"bogus", Mode::Peacock, View(0)),
+                Instant::ZERO
+            )
             .is_empty());
         assert!(client.has_pending());
         // A second matching reply completes (m + 1 = 2).
-        client.on_reply(reply_from(&ks, 4, id, b"r", Mode::Peacock, View(0)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 4, id, b"r", Mode::Peacock, View(0)),
+            Instant::ZERO,
+        );
         assert!(!client.has_pending());
         assert_eq!(client.completed()[0].result, b"r");
     }
@@ -458,12 +497,18 @@ mod tests {
         let id = RequestId::new(ClientId(0), Timestamp(1));
         for replica in [2u32, 3] {
             assert!(client
-                .on_reply(reply_from(&ks, replica, id, b"r", Mode::Dog, View(0)), Instant::ZERO)
+                .on_reply(
+                    reply_from(&ks, replica, id, b"r", Mode::Dog, View(0)),
+                    Instant::ZERO
+                )
                 .is_empty());
         }
         assert!(client.has_pending());
         // Third matching proxy reply reaches 2m+1 = 3.
-        client.on_reply(reply_from(&ks, 4, id, b"r", Mode::Dog, View(0)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 4, id, b"r", Mode::Dog, View(0)),
+            Instant::ZERO,
+        );
         assert!(!client.has_pending());
     }
 
@@ -480,9 +525,15 @@ mod tests {
 
         let id = RequestId::new(ClientId(0), Timestamp(1));
         // After retransmission m+1 = 2 matching replies suffice.
-        client.on_reply(reply_from(&ks, 2, id, b"r", Mode::Dog, View(0)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 2, id, b"r", Mode::Dog, View(0)),
+            Instant::ZERO,
+        );
         assert!(client.has_pending());
-        client.on_reply(reply_from(&ks, 5, id, b"r", Mode::Dog, View(0)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 5, id, b"r", Mode::Dog, View(0)),
+            Instant::ZERO,
+        );
         assert!(!client.has_pending());
     }
 
@@ -495,7 +546,10 @@ mod tests {
 
         // Reply for a different request id.
         let wrong_id = RequestId::new(ClientId(0), Timestamp(9));
-        client.on_reply(reply_from(&ks, 0, wrong_id, b"x", Mode::Lion, View(0)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 0, wrong_id, b"x", Mode::Lion, View(0)),
+            Instant::ZERO,
+        );
         assert!(client.has_pending());
 
         // Forged signature (claims to be replica 0 but signed by replica 5).
@@ -509,7 +563,12 @@ mod tests {
 
         // Replies when nothing is pending are ignored too.
         let mut idle = new_client(Mode::Lion);
-        assert!(idle.on_reply(reply_from(&ks, 0, id, b"x", Mode::Lion, View(0)), Instant::ZERO).is_empty());
+        assert!(idle
+            .on_reply(
+                reply_from(&ks, 0, id, b"x", Mode::Lion, View(0)),
+                Instant::ZERO
+            )
+            .is_empty());
     }
 
     #[test]
@@ -519,7 +578,10 @@ mod tests {
         client.submit(b"op".to_vec(), Instant::ZERO);
         let id = RequestId::new(ClientId(0), Timestamp(1));
         // Trusted replica 1 answers from view 3 in Dog mode.
-        client.on_reply(reply_from(&ks, 1, id, b"r", Mode::Dog, View(3)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 1, id, b"r", Mode::Dog, View(3)),
+            Instant::ZERO,
+        );
         assert_eq!(client.mode(), Mode::Dog);
         assert_eq!(client.view(), View(3));
         // Next submission goes to the Dog primary of view 3 (= 3 mod S = r1).
@@ -534,7 +596,10 @@ mod tests {
         let mut client = new_client(Mode::Lion);
         client.submit(b"op".to_vec(), Instant::ZERO);
         let id = RequestId::new(ClientId(0), Timestamp(1));
-        client.on_reply(reply_from(&ks, 0, id, b"r", Mode::Lion, View(0)), Instant::ZERO);
+        client.on_reply(
+            reply_from(&ks, 0, id, b"r", Mode::Lion, View(0)),
+            Instant::ZERO,
+        );
         assert_eq!(client.take_completed().len(), 1);
         assert!(client.completed().is_empty());
         let _ = client.on_message(

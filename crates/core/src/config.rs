@@ -1,5 +1,7 @@
-//! Tunable protocol parameters (timeouts, checkpoint period, window sizes).
+//! Tunable protocol parameters (timeouts, checkpoint period, window sizes,
+//! batching policy).
 
+use crate::batching::BatchConfig;
 use seemore_types::Duration;
 
 /// Parameters governing a replica's behaviour that are not part of the
@@ -20,6 +22,10 @@ pub struct ProtocolConfig {
     pub view_change_timeout: Duration,
     /// Client-side retransmission timeout (the paper's "preset time").
     pub client_timeout: Duration,
+    /// The primary's request-batching policy (`max_batch` size trigger plus
+    /// `max_delay` flush timer). Defaults to disabled (`max_batch = 1`),
+    /// which reproduces unbatched one-request-per-slot agreement exactly.
+    pub batch: BatchConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -30,6 +36,7 @@ impl Default for ProtocolConfig {
             request_timeout: Duration::from_millis(200),
             view_change_timeout: Duration::from_millis(400),
             client_timeout: Duration::from_millis(500),
+            batch: BatchConfig::disabled(),
         }
     }
 }
@@ -38,7 +45,11 @@ impl ProtocolConfig {
     /// The configuration used by the view-change experiment of the paper's
     /// evaluation (Section 6.3): a checkpoint every 10 000 requests.
     pub fn paper_evaluation() -> Self {
-        ProtocolConfig { checkpoint_period: 10_000, high_water_mark: 40_000, ..Self::default() }
+        ProtocolConfig {
+            checkpoint_period: 10_000,
+            high_water_mark: 40_000,
+            ..Self::default()
+        }
     }
 
     /// A configuration with a small checkpoint period, convenient for tests
@@ -49,6 +60,12 @@ impl ProtocolConfig {
             high_water_mark: period.saturating_mul(4).max(16),
             ..Self::default()
         }
+    }
+
+    /// The same configuration with a different batching policy.
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
     }
 }
 
@@ -77,5 +94,17 @@ mod tests {
         assert!(cfg.high_water_mark >= 16);
         let tiny = ProtocolConfig::with_checkpoint_period(1);
         assert!(tiny.high_water_mark >= 16);
+    }
+
+    #[test]
+    fn batching_defaults_off_and_is_configurable() {
+        assert!(!ProtocolConfig::default().batch.is_batching());
+        let cfg = ProtocolConfig::default()
+            .with_batching(BatchConfig::new(16, Duration::from_micros(100)));
+        assert_eq!(cfg.batch.max_batch, 16);
+        assert!(
+            cfg.batch.max_delay < cfg.request_timeout,
+            "flush must beat suspicion"
+        );
     }
 }

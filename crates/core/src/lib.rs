@@ -9,6 +9,9 @@
 //!   changes and dynamic mode switching (Section 5.4).
 //! * [`client::ClientCore`] — the client side of the protocol: request
 //!   submission, per-mode reply quorums and retransmission.
+//! * [`batching`] — the request-batching policy: primaries order
+//!   [`Batch`]es of requests (one sequence number, one quorum round per
+//!   batch) under a configurable `max_batch` / `max_delay` policy.
 //! * [`byzantine`] — Byzantine behaviour wrappers used by the tests and the
 //!   evaluation harness to inject equivocation, silence and signature
 //!   corruption into public-cloud replicas.
@@ -20,11 +23,13 @@
 //! in-memory network or a deterministic discrete-event simulator.
 //!
 //! [`Message`]: seemore_wire::Message
+//! [`Batch`]: seemore_wire::Batch
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod actions;
+pub mod batching;
 pub mod byzantine;
 pub mod checkpoint;
 pub mod client;
@@ -38,6 +43,7 @@ pub mod replica;
 pub mod testkit;
 
 pub use actions::{Action, Timer};
+pub use batching::{BatchAccumulator, BatchConfig, BatchDecision};
 pub use byzantine::{ByzantineBehavior, ByzantineReplica};
 pub use client::{ClientCore, ClientOutcome, ClientProtocol};
 pub use config::ProtocolConfig;

@@ -1,26 +1,27 @@
 //! The per-sequence-number message log and quorum tracking.
 //!
 //! Every agreement protocol in this workspace (the three SeeMoRe modes and
-//! the baselines) keeps, for each sequence number, the proposal it accepted
-//! and the votes it has collected so far. [`MessageLog`] owns those
+//! the baselines) keeps, for each sequence number, the batch proposal it
+//! accepted and the votes it has collected so far. [`MessageLog`] owns those
 //! [`Instance`]s, enforces the sequence-number window dictated by the last
 //! stable checkpoint, and garbage-collects instances once a checkpoint makes
 //! them obsolete (Section 5.1, "State Transfer").
 
 use seemore_crypto::{Digest, Signature};
 use seemore_types::{ReplicaId, SeqNum, View};
-use seemore_wire::ClientRequest;
+use seemore_wire::Batch;
 use std::collections::BTreeMap;
 
-/// The proposal a replica has accepted for one sequence number.
+/// The proposal a replica has accepted for one sequence number: one batch of
+/// client requests ordered as a unit.
 #[derive(Debug, Clone)]
 pub struct Proposal {
     /// View the proposal was made in.
     pub view: View,
-    /// Digest of the proposed request.
+    /// Combined digest of the proposed batch.
     pub digest: Digest,
-    /// The proposed request.
-    pub request: ClientRequest,
+    /// The proposed batch.
+    pub batch: Batch,
     /// The proposing primary's signature (kept as view-change evidence).
     pub primary_signature: Signature,
 }
@@ -264,7 +265,7 @@ mod tests {
         log.instance_mut(SeqNum(5)).proposal = Some(Proposal {
             view: View(0),
             digest: digest("x"),
-            request: sample_request(),
+            batch: sample_batch(),
             primary_signature: Signature::INVALID,
         });
         assert_eq!(log.highest_proposed(), Some(SeqNum(5)));
@@ -288,7 +289,7 @@ mod tests {
             inst.proposal = Some(Proposal {
                 view: View(0),
                 digest: d,
-                request: sample_request(),
+                batch: sample_batch(),
                 primary_signature: Signature::INVALID,
             });
         }
@@ -308,7 +309,7 @@ mod tests {
         inst.proposal = Some(Proposal {
             view: View(0),
             digest: d,
-            request: sample_request(),
+            batch: sample_batch(),
             primary_signature: Signature::INVALID,
         });
         assert!(inst.proposal_matches(View(0), &d));
@@ -316,11 +317,17 @@ mod tests {
         assert!(!inst.proposal_matches(View(0), &digest("other")));
     }
 
-    fn sample_request() -> ClientRequest {
+    fn sample_batch() -> Batch {
         use seemore_crypto::KeyStore;
         use seemore_types::{ClientId, NodeId, Timestamp};
+        use seemore_wire::ClientRequest;
         let ks = KeyStore::generate(0, 1, 1);
         let signer = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
-        ClientRequest::new(ClientId(0), Timestamp(1), b"op".to_vec(), &signer)
+        Batch::single(ClientRequest::new(
+            ClientId(0),
+            Timestamp(1),
+            b"op".to_vec(),
+            &signer,
+        ))
     }
 }

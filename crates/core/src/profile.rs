@@ -199,12 +199,42 @@ mod tests {
     fn concrete_sizes_for_the_evaluation_scenarios() {
         // f = 2 (c = m = 1): SeeMoRe/UpRight = 6, CFT = 5, BFT = 7.
         let rows = table1(1, 1);
-        assert_eq!(rows.iter().find(|r| r.name == "Lion").unwrap().receiving_network, 6);
-        assert_eq!(rows.iter().find(|r| r.name == "UpRight").unwrap().receiving_network, 6);
-        assert_eq!(rows.iter().find(|r| r.name == "Paxos").unwrap().receiving_network, 5);
-        assert_eq!(rows.iter().find(|r| r.name == "PBFT").unwrap().receiving_network, 7);
+        assert_eq!(
+            rows.iter()
+                .find(|r| r.name == "Lion")
+                .unwrap()
+                .receiving_network,
+            6
+        );
+        assert_eq!(
+            rows.iter()
+                .find(|r| r.name == "UpRight")
+                .unwrap()
+                .receiving_network,
+            6
+        );
+        assert_eq!(
+            rows.iter()
+                .find(|r| r.name == "Paxos")
+                .unwrap()
+                .receiving_network,
+            5
+        );
+        assert_eq!(
+            rows.iter()
+                .find(|r| r.name == "PBFT")
+                .unwrap()
+                .receiving_network,
+            7
+        );
         // The Dog/Peacock modes only talk to the 3m+1 = 4 public replicas.
-        assert_eq!(rows.iter().find(|r| r.name == "Dog").unwrap().receiving_network, 4);
+        assert_eq!(
+            rows.iter()
+                .find(|r| r.name == "Dog")
+                .unwrap()
+                .receiving_network,
+            4
+        );
 
         // f = 4 scenarios from Fig. 2(b)-(d).
         assert_eq!(seemore_profile(Mode::Lion, 2, 2).receiving_network, 11);

@@ -105,13 +105,19 @@ mod tests {
             metrics: ReplicaMetrics::default(),
             executed: vec![ExecutedEntry {
                 seq: SeqNum(1),
-                request: seemore_types::RequestId::new(seemore_types::ClientId(0), seemore_types::Timestamp(1)),
+                offset: 0,
+                request: seemore_types::RequestId::new(
+                    seemore_types::ClientId(0),
+                    seemore_types::Timestamp(1),
+                ),
                 digest: seemore_crypto::Digest::ZERO,
                 result_digest: seemore_crypto::Digest::ZERO,
             }],
         };
         assert!(echo.on_start(Instant::ZERO).is_empty());
-        assert!(echo.request_mode_switch(Mode::Dog, Instant::ZERO).is_empty());
+        assert!(echo
+            .request_mode_switch(Mode::Dog, Instant::ZERO)
+            .is_empty());
         assert!(!echo.is_crashed());
         echo.crash(); // no-op by default
         assert!(!echo.is_crashed());

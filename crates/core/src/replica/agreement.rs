@@ -1,5 +1,12 @@
 //! Normal-case agreement handlers for the three SeeMoRe modes
-//! (Sections 5.1–5.3 of the paper).
+//! (Sections 5.1–5.3 of the paper), generalized to order [`Batch`]es.
+//!
+//! The unit of agreement is a batch: the primary accumulates pending client
+//! requests under the configured batching policy (`max_batch` size trigger
+//! plus `max_delay` flush timer) and assigns one sequence number to the
+//! whole batch, so one proposal broadcast, one round of votes and one commit
+//! order every request it carries. `max_batch = 1` degenerates to classic
+//! one-request-per-slot agreement.
 
 use super::SeeMoReReplica;
 use crate::actions::{Action, Timer};
@@ -7,38 +14,72 @@ use crate::log::Proposal;
 use seemore_crypto::Signature;
 use seemore_types::{Instant, Mode, NodeId, ProtocolViolation, ReplicaId, SeqNum};
 use seemore_wire::{
-    Accept, ClientRequest, Commit, Inform, Message, PbftPrepare, PrePrepare, Prepare,
+    Accept, Batch, ClientRequest, Commit, Inform, Message, PbftPrepare, PrePrepare, Prepare,
     SignedPayload,
 };
 
 impl SeeMoReReplica {
     // ------------------------------------------------------------------
-    // Primary: proposing
+    // Primary: batching and proposing
     // ------------------------------------------------------------------
 
-    /// Assigns a sequence number to `request` and broadcasts the proposal
-    /// (a `PREPARE` in Lion/Dog, a `PRE-PREPARE` in Peacock).
-    pub(crate) fn primary_propose(
-        &mut self,
-        actions: &mut Vec<Action>,
-        request: ClientRequest,
-        _now: Instant,
-    ) {
-        let id = request.id();
-        if self.assigned.contains_key(&id) {
+    /// Offers `request` to the batch accumulator, proposing immediately when
+    /// the batching policy says so (always, when `max_batch = 1`).
+    pub(crate) fn buffer_or_propose(&mut self, actions: &mut Vec<Action>, request: ClientRequest) {
+        if self.assigned.contains_key(&request.id()) {
             // Already ordered (duplicate transmission); the commit path will
             // answer the client.
             return;
         }
+        if let Some(batch) = self.batcher.offer(request, actions) {
+            self.propose_batch(actions, batch);
+        }
+    }
+
+    /// The batch flush timer fired: propose whatever is buffered. A replica
+    /// that was deposed while buffering re-routes its buffer to the current
+    /// primary instead, so no request is stranded.
+    pub(crate) fn on_batch_flush(&mut self, _now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.vc.in_view_change {
+            // Keep buffering: the buffer is re-routed when the new view is
+            // installed (see `install_new_view`).
+            return actions;
+        }
+        if self.is_primary() {
+            if let Some(batch) = self.batcher.take_batch() {
+                self.propose_batch(&mut actions, batch);
+            }
+        } else {
+            for request in self.batcher.drain() {
+                self.forward_to_primary(&mut actions, request);
+            }
+        }
+        actions
+    }
+
+    /// Forces out any partially accumulated batch (used when a new view is
+    /// installed, where recovery should not wait out `max_delay`).
+    pub(crate) fn flush_pending_batch(&mut self, actions: &mut Vec<Action>) {
+        if let Some(batch) = self.batcher.take_batch() {
+            self.propose_batch(actions, batch);
+        }
+    }
+
+    /// Assigns a sequence number to `batch` and broadcasts the proposal
+    /// (a `PREPARE` in Lion/Dog, a `PRE-PREPARE` in Peacock).
+    pub(crate) fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch) {
         let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
         if !self.log.in_window(seq, self.pconfig.high_water_mark) {
-            // The window is full; the request is dropped and the client will
+            // The window is full; the batch is dropped and the clients will
             // retransmit once the backlog drains.
             return;
         }
         self.next_seq = seq;
-        self.assigned.insert(id, seq);
-        let digest = request.digest();
+        for id in batch.request_ids() {
+            self.assigned.insert(id, seq);
+        }
+        let digest = batch.digest();
 
         match self.mode {
             Mode::Lion | Mode::Dog => {
@@ -46,7 +87,7 @@ impl SeeMoReReplica {
                     view: self.view,
                     seq,
                     digest,
-                    request: request.clone(),
+                    batch: batch.clone(),
                     signature: Signature::INVALID,
                 };
                 prepare.signature = self.signer.sign(&prepare.signing_bytes());
@@ -54,7 +95,7 @@ impl SeeMoReReplica {
                 instance.proposal = Some(Proposal {
                     view: self.view,
                     digest,
-                    request,
+                    batch,
                     primary_signature: prepare.signature,
                 });
                 let recipients = self.all_replicas();
@@ -65,7 +106,7 @@ impl SeeMoReReplica {
                     view: self.view,
                     seq,
                     digest,
-                    request: request.clone(),
+                    batch: batch.clone(),
                     signature: Signature::INVALID,
                 };
                 preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
@@ -73,11 +114,11 @@ impl SeeMoReReplica {
                 instance.proposal = Some(Proposal {
                     view: self.view,
                     digest,
-                    request,
+                    batch,
                     primary_signature: preprepare.signature,
                 });
                 // The paper: the Peacock primary multicasts the pre-prepare
-                // (with the request) to *all* nodes, not only the proxies.
+                // (with the batch) to *all* nodes, not only the proxies.
                 let recipients = self.all_replicas();
                 self.broadcast_to(actions, recipients, Message::PrePrepare(preprepare));
                 // Arm a progress timer on the primary too, so a stalled
@@ -95,7 +136,7 @@ impl SeeMoReReplica {
     // Proposal validation shared by PREPARE and PRE-PREPARE
     // ------------------------------------------------------------------
 
-    /// Validates a proposal received from the network. On success the
+    /// Validates a batch proposal received from the network. On success the
     /// proposal is stored in the log and `true` is returned.
     #[allow(clippy::too_many_arguments)]
     fn accept_proposal(
@@ -105,7 +146,7 @@ impl SeeMoReReplica {
         view: seemore_types::View,
         seq: SeqNum,
         digest: seemore_crypto::Digest,
-        request: ClientRequest,
+        batch: Batch,
         signature: Signature,
         signing_bytes: &[u8],
     ) -> bool {
@@ -133,13 +174,19 @@ impl SeeMoReReplica {
             }));
             return false;
         }
-        if !self.keystore.verify(NodeId::Replica(sender), signing_bytes, &signature) {
+        if !self
+            .keystore
+            .verify(NodeId::Replica(sender), signing_bytes, &signature)
+        {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(sender),
             }));
             return false;
         }
-        if digest != request.digest() {
+        // The advertised digest must bind exactly the carried batch (content
+        // *and* order), so a Byzantine primary cannot smuggle different
+        // request orders past the quorum-matching digest.
+        if digest != batch.digest() {
             actions.push(self.violation(ProtocolViolation::DigestMismatch { seq: Some(seq) }));
             return false;
         }
@@ -154,7 +201,7 @@ impl SeeMoReReplica {
         let instance = self.log.instance_mut(seq);
         if let Some(existing) = &instance.proposal {
             if existing.view == view && existing.digest != digest {
-                // The primary proposed two different requests for the same
+                // The primary proposed two different batches for the same
                 // sequence number. A trusted primary never does this; an
                 // untrusted (Peacock) primary doing it is Byzantine.
                 actions.push(self.violation(ProtocolViolation::Equivocation { seq, view }));
@@ -168,7 +215,7 @@ impl SeeMoReReplica {
         instance.proposal = Some(Proposal {
             view,
             digest,
-            request,
+            batch,
             primary_signature: signature,
         });
         true
@@ -197,7 +244,7 @@ impl SeeMoReReplica {
             prepare.view,
             prepare.seq,
             prepare.digest,
-            prepare.request.clone(),
+            prepare.batch.clone(),
             prepare.signature,
             &signing,
         ) {
@@ -218,7 +265,11 @@ impl SeeMoReReplica {
                     signature: None,
                 };
                 let primary = self.current_primary();
-                self.send(&mut actions, NodeId::Replica(primary), Message::Accept(accept));
+                self.send(
+                    &mut actions,
+                    NodeId::Replica(primary),
+                    Message::Accept(accept),
+                );
                 self.progress_armed.insert(seq, self.view);
                 actions.push(Action::SetTimer {
                     timer: Timer::RequestProgress { seq },
@@ -280,7 +331,7 @@ impl SeeMoReReplica {
             preprepare.view,
             preprepare.seq,
             preprepare.digest,
-            preprepare.request.clone(),
+            preprepare.batch.clone(),
             preprepare.signature,
             &signing,
         ) {
@@ -298,7 +349,9 @@ impl SeeMoReReplica {
                 signature: Signature::INVALID,
             };
             vote.signature = self.signer.sign(&vote.signing_bytes());
-            self.log.instance_mut(seq).record_pbft_prepare(self.id, digest);
+            self.log
+                .instance_mut(seq)
+                .record_pbft_prepare(self.id, digest);
             let proxies = self.current_proxies();
             self.broadcast_to(&mut actions, proxies, Message::PbftPrepare(vote));
             self.progress_armed.insert(seq, self.view);
@@ -320,7 +373,9 @@ impl SeeMoReReplica {
     /// Handles an `ACCEPT` vote.
     pub(crate) fn on_accept(&mut self, from: NodeId, accept: Accept, _now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if sender != accept.replica {
             actions.push(self.violation(ProtocolViolation::UnexpectedSender {
                 sender,
@@ -371,7 +426,9 @@ impl SeeMoReReplica {
                     }));
                     return actions;
                 }
-                self.log.instance_mut(accept.seq).record_accept(sender, accept.digest);
+                self.log
+                    .instance_mut(accept.seq)
+                    .record_accept(sender, accept.digest);
                 self.try_commit_dog(&mut actions, accept.seq, accept.digest);
             }
             Mode::Peacock => {
@@ -394,7 +451,9 @@ impl SeeMoReReplica {
         if instance.commit_sent || instance.matching_accepts(&digest) < threshold {
             return;
         }
-        let Some(proposal) = instance.proposal.clone() else { return };
+        let Some(proposal) = instance.proposal.clone() else {
+            return;
+        };
         instance.commit_sent = true;
         instance.committed = true;
 
@@ -403,9 +462,9 @@ impl SeeMoReReplica {
             seq,
             digest,
             replica: self.id,
-            // The Lion primary attaches the request so a replica that missed
+            // The Lion primary attaches the batch so a replica that missed
             // the PREPARE can still execute.
-            request: Some(proposal.request.clone()),
+            batch: Some(proposal.batch.clone()),
             signature: Signature::INVALID,
         };
         commit.signature = self.signer.sign(&commit.signing_bytes());
@@ -413,7 +472,7 @@ impl SeeMoReReplica {
         self.broadcast_to(actions, recipients, Message::Commit(commit));
 
         self.metrics.committed += 1;
-        self.exec.add_committed(seq, proposal.request);
+        self.exec.add_committed(seq, proposal.batch);
         self.execute_ready(actions);
     }
 
@@ -453,7 +512,9 @@ impl SeeMoReReplica {
         if self.mode != Mode::Peacock || !self.is_proxy() {
             return actions;
         }
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if vote.view != self.view || self.vc.in_view_change {
             actions.push(self.violation(ProtocolViolation::WrongView {
                 got: vote.view,
@@ -463,21 +524,26 @@ impl SeeMoReReplica {
         }
         if sender != vote.replica
             || !self.cluster.is_proxy(sender, self.view)
-            || !self.keystore.verify(NodeId::Replica(sender), &vote.signing_bytes(), &vote.signature)
+            || !self.keystore.verify(
+                NodeId::Replica(sender),
+                &vote.signing_bytes(),
+                &vote.signature,
+            )
         {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(vote.replica),
             }));
             return actions;
         }
-        self.log.instance_mut(vote.seq).record_pbft_prepare(sender, vote.digest);
+        self.log
+            .instance_mut(vote.seq)
+            .record_pbft_prepare(sender, vote.digest);
         self.try_prepare_peacock(&mut actions, vote.seq, vote.digest);
         actions
     }
 
     /// Peacock proxy: once the proposal plus `2m` matching prepare votes are
-    /// in, the request is *prepared* and the proxy broadcasts its commit
-    /// vote.
+    /// in, the batch is *prepared* and the proxy broadcasts its commit vote.
     fn try_prepare_peacock(
         &mut self,
         actions: &mut Vec<Action>,
@@ -488,7 +554,12 @@ impl SeeMoReReplica {
         let instance = self.log.instance_mut(seq);
         if instance.prepared
             || !instance.proposal_matches(self.view, &digest)
-            || instance.pbft_prepares.values().filter(|d| **d == digest).count() < threshold
+            || instance
+                .pbft_prepares
+                .values()
+                .filter(|d| **d == digest)
+                .count()
+                < threshold
         {
             return;
         }
@@ -510,7 +581,7 @@ impl SeeMoReReplica {
             seq,
             digest,
             replica: self.id,
-            request: None,
+            batch: None,
             signature: Signature::INVALID,
         };
         commit.signature = self.signer.sign(&commit.signing_bytes());
@@ -526,7 +597,9 @@ impl SeeMoReReplica {
     /// a proxy commit vote (Dog / Peacock).
     pub(crate) fn on_commit(&mut self, from: NodeId, commit: Commit, _now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if sender != commit.replica {
             actions.push(self.violation(ProtocolViolation::UnexpectedSender {
                 sender,
@@ -541,8 +614,11 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
-        if !self.keystore.verify(NodeId::Replica(sender), &commit.signing_bytes(), &commit.signature)
-        {
+        if !self.keystore.verify(
+            NodeId::Replica(sender),
+            &commit.signing_bytes(),
+            &commit.signature,
+        ) {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(sender),
             }));
@@ -564,17 +640,19 @@ impl SeeMoReReplica {
                     return actions;
                 }
                 instance.committed = true;
-                // Prefer the attached request; fall back to the stored
-                // proposal if the primary elided it.
-                let request = commit
-                    .request
-                    .or_else(|| instance.proposal.as_ref().map(|p| p.request.clone()));
-                if let Some(request) = request {
+                // Prefer the attached batch (validated against the signed
+                // digest); fall back to the stored proposal if the primary
+                // elided it.
+                let batch = commit
+                    .batch
+                    .filter(|batch| batch.digest() == commit.digest)
+                    .or_else(|| instance.proposal.as_ref().map(|p| p.batch.clone()));
+                if let Some(batch) = batch {
                     self.metrics.committed += 1;
-                    self.exec.add_committed(commit.seq, request);
+                    self.exec.add_committed(commit.seq, batch);
                     self.execute_ready(&mut actions);
                 } else {
-                    // We cannot execute without the request; fetch state.
+                    // We cannot execute without the batch; fetch state.
                     self.request_state_transfer(&mut actions, sender);
                 }
             }
@@ -582,7 +660,9 @@ impl SeeMoReReplica {
                 if !self.is_proxy() || !self.cluster.is_proxy(sender, self.view) {
                     return actions;
                 }
-                self.log.instance_mut(commit.seq).record_commit(sender, commit.digest);
+                self.log
+                    .instance_mut(commit.seq)
+                    .record_commit(sender, commit.digest);
                 match self.mode {
                     // A lagging Dog proxy adopts the commit once m+1 proxies
                     // vouch for it (at least one of them is honest).
@@ -639,7 +719,7 @@ impl SeeMoReReplica {
             return;
         }
         instance.committed = true;
-        let request = instance.proposal.as_ref().map(|p| p.request.clone());
+        let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
         let send_inform = !instance.inform_sent;
         instance.inform_sent = true;
 
@@ -656,12 +736,14 @@ impl SeeMoReReplica {
             self.broadcast_to(actions, passive, Message::Inform(inform));
         }
 
-        if let Some(request) = request {
+        if let Some(batch) = batch {
             self.metrics.committed += 1;
-            self.exec.add_committed(seq, request);
+            self.exec.add_committed(seq, batch);
             self.execute_ready(actions);
         }
-        actions.push(Action::CancelTimer { timer: Timer::RequestProgress { seq } });
+        actions.push(Action::CancelTimer {
+            timer: Timer::RequestProgress { seq },
+        });
     }
 
     // ------------------------------------------------------------------
@@ -675,7 +757,9 @@ impl SeeMoReReplica {
             actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
             return actions;
         }
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if inform.view != self.view {
             actions.push(self.violation(ProtocolViolation::WrongView {
                 got: inform.view,
@@ -696,13 +780,15 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
-        self.log.instance_mut(inform.seq).record_inform(sender, inform.digest);
+        self.log
+            .instance_mut(inform.seq)
+            .record_inform(sender, inform.digest);
         self.try_execute_informed(&mut actions, inform.seq);
         actions
     }
 
     /// Passive replica: execute once enough matching informs have arrived
-    /// and the request itself is known (from the primary's proposal).
+    /// and the batch itself is known (from the primary's proposal).
     pub(crate) fn try_execute_informed(&mut self, actions: &mut Vec<Action>, seq: SeqNum) {
         if self.is_agreement_participant() {
             return;
@@ -713,7 +799,7 @@ impl SeeMoReReplica {
             return;
         }
         let Some(proposal) = instance.proposal.clone() else {
-            // We know the request committed but never saw the proposal; ask a
+            // We know the batch committed but never saw the proposal; ask a
             // proxy that informed us for the state.
             if instance.informs.len() >= threshold {
                 if let Some(&proxy) = instance.informs.keys().next() {
@@ -732,7 +818,7 @@ impl SeeMoReReplica {
         }
         instance.committed = true;
         self.metrics.committed += 1;
-        self.exec.add_committed(seq, proposal.request);
+        self.exec.add_committed(seq, proposal.batch);
         self.execute_ready(actions);
     }
 
@@ -747,6 +833,10 @@ impl SeeMoReReplica {
             from_seq: self.exec.last_executed(),
             replica: self.id,
         };
-        self.send(actions, NodeId::Replica(target), Message::StateRequest(request));
+        self.send(
+            actions,
+            NodeId::Replica(target),
+            Message::StateRequest(request),
+        );
     }
 }

@@ -22,6 +22,7 @@ pub use view_change::mode_switch_announcer;
 mod tests;
 
 use crate::actions::{broadcast, Action, Timer};
+use crate::batching::BatchAccumulator;
 use crate::checkpoint::{CheckpointManager, StabilityRule};
 use crate::config::ProtocolConfig;
 use crate::exec::{ExecutedEntry, ExecutionEngine};
@@ -67,8 +68,11 @@ pub struct SeeMoReReplica {
     pub(crate) checkpoints: CheckpointManager,
     /// Next sequence number to assign (meaningful only while primary).
     pub(crate) next_seq: SeqNum,
-    /// Requests this primary has already assigned a sequence number.
+    /// Requests this primary has already assigned a sequence number (the
+    /// sequence number of the batch each request rides in).
     pub(crate) assigned: HashMap<RequestId, SeqNum>,
+    /// Pending requests accumulating into the next batch (primary only).
+    pub(crate) batcher: BatchAccumulator,
     pub(crate) vc: ViewChangeState,
     /// View in which each outstanding progress timer was armed; a timer that
     /// fires after a newer view was installed is re-armed instead of
@@ -137,6 +141,7 @@ impl SeeMoReReplica {
             checkpoints: CheckpointManager::new(pconfig.checkpoint_period, rule),
             next_seq: SeqNum(0),
             assigned: HashMap::new(),
+            batcher: BatchAccumulator::new(pconfig.batch),
             vc: ViewChangeState::default(),
             progress_armed: HashMap::new(),
             forwarded_armed: HashMap::new(),
@@ -154,9 +159,7 @@ impl SeeMoReReplica {
     pub(crate) fn stability_rule_for(mode: Mode, cluster: &ClusterConfig) -> StabilityRule {
         match mode {
             Mode::Lion | Mode::Dog => StabilityRule::TrustedSigner,
-            Mode::Peacock => {
-                StabilityRule::Quorum(cluster.byzantine_bound() as usize + 1)
-            }
+            Mode::Peacock => StabilityRule::Quorum(cluster.byzantine_bound() as usize + 1),
         }
     }
 
@@ -221,7 +224,8 @@ impl SeeMoReReplica {
 
     /// Queues a send and records it in the metrics.
     pub(crate) fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
-        self.metrics.record_sent(message.kind(), message.wire_size());
+        self.metrics
+            .record_sent(message.kind(), message.wire_size());
         actions.push(Action::Send { to, message });
     }
 
@@ -239,7 +243,8 @@ impl SeeMoReReplica {
             .map(NodeId::Replica)
             .collect();
         for _ in &recipients {
-            self.metrics.record_sent(message.kind(), message.wire_size());
+            self.metrics
+                .record_sent(message.kind(), message.wire_size());
         }
         broadcast(actions, recipients, message, None);
     }
@@ -276,7 +281,7 @@ impl SeeMoReReplica {
 
     /// Handles a `REQUEST`, whether received directly from the client or
     /// forwarded / retransmitted.
-    fn on_request(&mut self, request: ClientRequest, now: Instant) -> Vec<Action> {
+    fn on_request(&mut self, request: ClientRequest, _now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
 
         // Signature check: requests are signed by their client.
@@ -292,9 +297,17 @@ impl SeeMoReReplica {
         }
 
         // Exactly-once: answer already-executed requests from the reply cache.
-        if let Some(result) = self.exec.cached_reply(request.client, request.timestamp).cloned() {
+        if let Some(result) = self
+            .exec
+            .cached_reply(request.client, request.timestamp)
+            .cloned()
+        {
             let reply = self.make_reply(&request, result);
-            self.send(&mut actions, NodeId::Client(request.client), Message::Reply(reply));
+            self.send(
+                &mut actions,
+                NodeId::Client(request.client),
+                Message::Reply(reply),
+            );
             return actions;
         }
 
@@ -305,38 +318,47 @@ impl SeeMoReReplica {
         }
 
         if self.is_primary() {
-            self.primary_propose(&mut actions, request, now);
+            self.buffer_or_propose(&mut actions, request);
         } else {
-            // Forward to the primary and watch for progress so that a dead
-            // primary is eventually suspected (this is what lets a client
-            // broadcast trigger a view change).
-            let primary = self.current_primary();
-            let id = request.id();
-            if self.exec.last_timestamp(request.client) < Some(request.timestamp)
-                || self.exec.last_timestamp(request.client).is_none()
-            {
-                self.forwarded_requests.insert(id, request.clone());
-                self.send(&mut actions, NodeId::Replica(primary), Message::Request(request));
-                // Arm the suspicion timer only for the first time we see this
-                // request: client retransmissions must not keep resetting it,
-                // otherwise a dead primary is never suspected.
-                if self.is_view_change_voter(self.mode)
-                    && !self.forwarded_armed.contains_key(&id)
-                {
-                    self.forwarded_armed.insert(id, self.view);
-                    actions.push(Action::SetTimer {
-                        timer: Timer::ForwardedRequest { request: id },
-                        after: self.pconfig.request_timeout,
-                    });
-                }
-            }
+            self.forward_to_primary(&mut actions, request);
         }
         actions
     }
 
+    /// Forwards `request` to the current primary and watches for progress so
+    /// that a dead primary is eventually suspected (this is what lets a
+    /// client broadcast trigger a view change).
+    pub(crate) fn forward_to_primary(&mut self, actions: &mut Vec<Action>, request: ClientRequest) {
+        let primary = self.current_primary();
+        let id = request.id();
+        if self.exec.last_timestamp(request.client) < Some(request.timestamp)
+            || self.exec.last_timestamp(request.client).is_none()
+        {
+            self.forwarded_requests.insert(id, request.clone());
+            self.send(actions, NodeId::Replica(primary), Message::Request(request));
+            // Arm the suspicion timer only for the first time we see this
+            // request: client retransmissions must not keep resetting it,
+            // otherwise a dead primary is never suspected.
+            if self.is_view_change_voter(self.mode) && !self.forwarded_armed.contains_key(&id) {
+                self.forwarded_armed.insert(id, self.view);
+                actions.push(Action::SetTimer {
+                    timer: Timer::ForwardedRequest { request: id },
+                    after: self.pconfig.request_timeout,
+                });
+            }
+        }
+    }
+
     /// Builds a signed reply for `request` in the current mode and view.
     pub(crate) fn make_reply(&self, request: &ClientRequest, result: Vec<u8>) -> ClientReply {
-        ClientReply::new(self.mode, self.view, request.id(), self.id, result, &self.signer)
+        ClientReply::new(
+            self.mode,
+            self.view,
+            request.id(),
+            self.id,
+            result,
+            &self.signer,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -408,8 +430,15 @@ impl SeeMoReReplica {
             // announcer for state.
             if self.exec.last_executed() < seq && !self.state_transfer_pending {
                 self.state_transfer_pending = true;
-                let request = StateRequest { from_seq: self.exec.last_executed(), replica: self.id };
-                self.send(&mut actions, NodeId::Replica(sender), Message::StateRequest(request));
+                let request = StateRequest {
+                    from_seq: self.exec.last_executed(),
+                    replica: self.id,
+                };
+                self.send(
+                    &mut actions,
+                    NodeId::Replica(sender),
+                    Message::StateRequest(request),
+                );
             }
         }
         actions
@@ -442,19 +471,22 @@ impl SeeMoReReplica {
     fn on_state_response(&mut self, from: NodeId, response: StateResponse) -> Vec<Action> {
         let mut actions = Vec::new();
         self.state_transfer_pending = false;
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if let (Some(snapshot), true) = (&response.snapshot, self.cluster.is_trusted(sender)) {
             let before = self.exec.last_executed();
             self.exec.restore(snapshot);
             if self.exec.last_executed() > before {
                 if let Some(cp) = &response.checkpoint {
-                    self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                    self.checkpoints
+                        .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
                 }
                 self.log.garbage_collect(self.checkpoints.stable_seq());
             }
         }
-        for (seq, request) in response.entries {
-            if self.exec.add_committed(seq, request) {
+        for (seq, batch) in response.entries {
+            if self.exec.add_committed(seq, batch) {
                 self.log.instance_mut(seq).committed = true;
             }
         }
@@ -462,8 +494,9 @@ impl SeeMoReReplica {
         actions
     }
 
-    /// Drains the execution queue, emitting replies where the current mode
-    /// requires them, and triggering checkpoints.
+    /// Drains the execution queue (whole batches, atomically), emitting one
+    /// reply per executed request where the current mode requires them, and
+    /// triggering checkpoints.
     pub(crate) fn execute_ready(&mut self, actions: &mut Vec<Action>) {
         let executions = self.exec.execute_ready();
         if executions.is_empty() {
@@ -485,7 +518,9 @@ impl SeeMoReReplica {
                 timer: Timer::RequestProgress { seq: execution.seq },
             });
             actions.push(Action::CancelTimer {
-                timer: Timer::ForwardedRequest { request: execution.request.id() },
+                timer: Timer::ForwardedRequest {
+                    request: execution.request.id(),
+                },
             });
             self.forwarded_requests.remove(&execution.request.id());
             self.forwarded_armed.remove(&execution.request.id());
@@ -555,6 +590,7 @@ impl ReplicaProtocol for SeeMoReReplica {
             Timer::RequestProgress { seq } => self.on_progress_timeout(seq, now),
             Timer::ForwardedRequest { request } => self.on_forwarded_timeout(request, now),
             Timer::ViewChange { view } => self.on_view_change_timeout(view, now),
+            Timer::BatchFlush => self.on_batch_flush(now),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }

@@ -1,6 +1,8 @@
 //! Protocol-level tests for the SeeMoRe replica, driven through the
 //! synchronous test cluster.
 
+use crate::actions::Timer;
+use crate::batching::BatchConfig;
 use crate::byzantine::{ByzantineBehavior, ByzantineReplica};
 use crate::client::ClientCore;
 use crate::config::ProtocolConfig;
@@ -8,7 +10,7 @@ use crate::replica::SeeMoReReplica;
 use crate::testkit::SyncCluster;
 use seemore_app::{KvOp, KvResult, KvStore};
 use seemore_crypto::KeyStore;
-use seemore_types::{ClientId, ClusterConfig, Duration, Mode, ReplicaId};
+use seemore_types::{ClientId, ClusterConfig, Duration, Mode, ReplicaId, SeqNum};
 
 /// Builds a cluster of SeeMoRe replicas plus `clients` clients, all in
 /// `mode`.
@@ -20,8 +22,11 @@ fn build_cluster(
     pconfig: ProtocolConfig,
 ) -> (SyncCluster, ClusterConfig, KeyStore) {
     let cluster_config = ClusterConfig::minimal(c, m).expect("valid minimal cluster");
-    let keystore =
-        KeyStore::generate(0x5eed ^ u64::from(c * 31 + m), cluster_config.total_size(), clients);
+    let keystore = KeyStore::generate(
+        0x5eed ^ u64::from(c * 31 + m),
+        cluster_config.total_size(),
+        clients,
+    );
     let mut cluster = SyncCluster::new();
     for replica in cluster_config.replicas() {
         cluster.add_replica(Box::new(SeeMoReReplica::new(
@@ -65,11 +70,18 @@ fn assert_histories_consistent(cluster: &SyncCluster, replicas: &[ReplicaId]) {
 }
 
 fn put_op(key: &str, value: &str) -> Vec<u8> {
-    KvOp::Put { key: key.as_bytes().to_vec(), value: value.as_bytes().to_vec() }.encode()
+    KvOp::Put {
+        key: key.as_bytes().to_vec(),
+        value: value.as_bytes().to_vec(),
+    }
+    .encode()
 }
 
 fn get_op(key: &str) -> Vec<u8> {
-    KvOp::Get { key: key.as_bytes().to_vec() }.encode()
+    KvOp::Get {
+        key: key.as_bytes().to_vec(),
+    }
+    .encode()
 }
 
 const LIMIT: u64 = 200_000;
@@ -86,11 +98,18 @@ fn lion_mode_commits_and_replies() {
 
     let client = cluster.client(ClientId(0));
     assert_eq!(client.completed().len(), 1, "client request must complete");
-    assert_eq!(KvResult::decode(&client.completed()[0].result), Some(KvResult::Ok));
+    assert_eq!(
+        KvResult::decode(&client.completed()[0].result),
+        Some(KvResult::Ok)
+    );
 
     // Every replica executed the request.
     for replica in config.replicas() {
-        assert_eq!(cluster.replica(replica).executed().len(), 1, "{replica} lagging");
+        assert_eq!(
+            cluster.replica(replica).executed().len(),
+            1,
+            "{replica} lagging"
+        );
     }
     assert_histories_consistent(&cluster, &config.replicas().collect::<Vec<_>>());
 }
@@ -116,8 +135,7 @@ fn dog_mode_commits_and_replies() {
 
 #[test]
 fn peacock_mode_commits_and_replies() {
-    let (mut cluster, config, _) =
-        build_cluster(1, 1, Mode::Peacock, 1, ProtocolConfig::default());
+    let (mut cluster, config, _) = build_cluster(1, 1, Mode::Peacock, 1, ProtocolConfig::default());
     cluster.submit(ClientId(0), put_op("k", "v"));
     cluster.run_to_quiescence(LIMIT);
 
@@ -125,7 +143,11 @@ fn peacock_mode_commits_and_replies() {
     assert_eq!(client.completed().len(), 1);
 
     for replica in config.replicas() {
-        assert_eq!(cluster.replica(replica).executed().len(), 1, "{replica} lagging");
+        assert_eq!(
+            cluster.replica(replica).executed().len(),
+            1,
+            "{replica} lagging"
+        );
     }
     assert_histories_consistent(&cluster, &config.replicas().collect::<Vec<_>>());
 }
@@ -136,7 +158,10 @@ fn sequential_requests_are_totally_ordered_across_clients() {
         let (mut cluster, config, _) = build_cluster(1, 1, mode, 3, ProtocolConfig::default());
         for round in 0..5 {
             for client in 0..3u64 {
-                cluster.submit(ClientId(client), put_op(&format!("k{client}"), &format!("{round}")));
+                cluster.submit(
+                    ClientId(client),
+                    put_op(&format!("k{client}"), &format!("{round}")),
+                );
                 cluster.run_to_quiescence(LIMIT);
             }
         }
@@ -149,7 +174,11 @@ fn sequential_requests_are_totally_ordered_across_clients() {
         }
         let replicas: Vec<ReplicaId> = config.replicas().collect();
         for replica in &replicas {
-            assert_eq!(cluster.replica(*replica).executed().len(), 15, "{mode}: {replica}");
+            assert_eq!(
+                cluster.replica(*replica).executed().len(),
+                15,
+                "{mode}: {replica}"
+            );
         }
         assert_histories_consistent(&cluster, &replicas);
     }
@@ -186,8 +215,7 @@ fn lion_tolerates_backup_crash_in_private_cloud() {
         cluster.run_to_quiescence(LIMIT);
     }
     assert_eq!(cluster.client(ClientId(0)).completed().len(), 3);
-    let alive: Vec<ReplicaId> =
-        config.replicas().filter(|r| *r != ReplicaId(1)).collect();
+    let alive: Vec<ReplicaId> = config.replicas().filter(|r| *r != ReplicaId(1)).collect();
     for replica in &alive {
         assert_eq!(cluster.replica(*replica).executed().len(), 3);
     }
@@ -238,14 +266,15 @@ fn lion_primary_crash_triggers_view_change_and_recovers() {
 
 #[test]
 fn peacock_primary_crash_recovers_via_transferer() {
-    let (mut cluster, config, _) =
-        build_cluster(1, 1, Mode::Peacock, 1, ProtocolConfig::default());
+    let (mut cluster, config, _) = build_cluster(1, 1, Mode::Peacock, 1, ProtocolConfig::default());
     cluster.submit(ClientId(0), put_op("a", "1"));
     cluster.run_to_quiescence(LIMIT);
     assert_eq!(cluster.client(ClientId(0)).completed().len(), 1);
 
     // The Peacock primary of view 0 is the first public replica.
-    let primary = config.primary(Mode::Peacock, seemore_types::View(0)).unwrap();
+    let primary = config
+        .primary(Mode::Peacock, seemore_types::View(0))
+        .unwrap();
     cluster.replica_mut(primary).crash();
 
     cluster.submit(ClientId(0), put_op("a", "2"));
@@ -360,7 +389,10 @@ fn dog_mode_checkpoints_are_driven_by_the_trusted_primary() {
         cluster.run_to_quiescence(LIMIT);
     }
     for replica in config.replicas() {
-        assert!(cluster.replica(replica).metrics().stable_checkpoints >= 1, "{replica}");
+        assert!(
+            cluster.replica(replica).metrics().stable_checkpoints >= 1,
+            "{replica}"
+        );
     }
 }
 
@@ -375,14 +407,13 @@ fn mode_switch_lion_to_peacock_and_back() {
     cluster.run_to_quiescence(LIMIT);
 
     // Switch to Peacock: the announcer is the transferer of view 1.
-    let announcer = crate::replica::mode_switch_announcer(
-        &config,
-        seemore_types::View(1),
-        Mode::Peacock,
-    )
-    .unwrap();
+    let announcer =
+        crate::replica::mode_switch_announcer(&config, seemore_types::View(1), Mode::Peacock)
+            .unwrap();
     let now = cluster.now();
-    let actions = cluster.replica_mut(announcer).request_mode_switch(Mode::Peacock, now);
+    let actions = cluster
+        .replica_mut(announcer)
+        .request_mode_switch(Mode::Peacock, now);
     assert!(!actions.is_empty(), "announcer must emit the MODE-CHANGE");
     // Feed the announcer's own actions into the network.
     for action in actions {
@@ -393,7 +424,11 @@ fn mode_switch_lion_to_peacock_and_back() {
     cluster.run_to_quiescence(LIMIT);
 
     for replica in config.replicas() {
-        assert_eq!(cluster.replica(replica).mode(), Mode::Peacock, "{replica} did not switch");
+        assert_eq!(
+            cluster.replica(replica).mode(),
+            Mode::Peacock,
+            "{replica} did not switch"
+        );
     }
 
     // The protocol keeps working in the new mode.
@@ -414,7 +449,9 @@ fn mode_switch_lion_to_peacock_and_back() {
     )
     .unwrap();
     let now = cluster.now();
-    let actions = cluster.replica_mut(announcer).request_mode_switch(Mode::Lion, now);
+    let actions = cluster
+        .replica_mut(announcer)
+        .request_mode_switch(Mode::Lion, now);
     for action in actions {
         if let crate::actions::Action::Send { to, message } = action {
             cluster.inject(seemore_types::NodeId::Replica(announcer), to, message);
@@ -422,7 +459,11 @@ fn mode_switch_lion_to_peacock_and_back() {
     }
     cluster.run_to_quiescence(LIMIT);
     for replica in config.replicas() {
-        assert_eq!(cluster.replica(replica).mode(), Mode::Lion, "{replica} did not switch back");
+        assert_eq!(
+            cluster.replica(replica).mode(),
+            Mode::Lion,
+            "{replica} did not switch back"
+        );
     }
 
     cluster.submit(ClientId(0), put_op("a", "3"));
@@ -443,8 +484,7 @@ fn mode_switch_lion_to_peacock_and_back() {
 fn figure2_configurations_all_commit() {
     for (c, m) in [(1, 1), (2, 2), (1, 3), (3, 1)] {
         for mode in Mode::ALL {
-            let (mut cluster, config, _) =
-                build_cluster(c, m, mode, 1, ProtocolConfig::default());
+            let (mut cluster, config, _) = build_cluster(c, m, mode, 1, ProtocolConfig::default());
             cluster.submit(ClientId(0), put_op("k", "v"));
             cluster.run_to_quiescence(LIMIT);
             if cluster.client(ClientId(0)).has_pending() {
@@ -459,6 +499,198 @@ fn figure2_configurations_all_commit() {
             assert_histories_consistent(&cluster, &config.replicas().collect::<Vec<_>>());
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Batching: one sequence number orders many requests
+// ----------------------------------------------------------------------
+
+/// A full batch (size trigger) commits atomically in every mode: all member
+/// requests execute in batch order under one sequence number, and every
+/// client gets its reply.
+#[test]
+fn full_batches_commit_atomically_in_every_mode() {
+    for mode in Mode::ALL {
+        let pconfig =
+            ProtocolConfig::default().with_batching(BatchConfig::new(3, Duration::from_millis(1)));
+        let (mut cluster, config, _) = build_cluster(1, 1, mode, 3, pconfig);
+        for client in 0..3u64 {
+            cluster.submit(ClientId(client), put_op(&format!("k{client}"), "v"));
+        }
+        cluster.run_to_quiescence(LIMIT);
+        if (0..3u64).any(|c| cluster.client(ClientId(c)).has_pending()) {
+            cluster.fire_client_timers(LIMIT);
+            cluster.run_to_quiescence(LIMIT);
+        }
+        for client in 0..3u64 {
+            assert_eq!(
+                cluster.client(ClientId(client)).completed().len(),
+                1,
+                "{mode}: client {client} starved"
+            );
+        }
+        for replica in config.replicas() {
+            let history = cluster.replica(replica).executed();
+            assert_eq!(history.len(), 3, "{mode}: {replica} lagging");
+            // All three requests share one slot, in batch order.
+            assert!(
+                history.iter().all(|e| e.seq == SeqNum(1)),
+                "{mode}: {replica}"
+            );
+            let offsets: Vec<usize> = history.iter().map(|e| e.offset).collect();
+            assert_eq!(offsets, vec![0, 1, 2], "{mode}: {replica}");
+        }
+        assert_histories_consistent(&cluster, &config.replicas().collect::<Vec<_>>());
+    }
+}
+
+/// A partial batch is cut by the flush timer (latency trigger), not lost.
+#[test]
+fn partial_batches_flush_on_the_timer() {
+    for mode in Mode::ALL {
+        let pconfig =
+            ProtocolConfig::default().with_batching(BatchConfig::new(64, Duration::from_millis(1)));
+        let (mut cluster, config, _) = build_cluster(1, 1, mode, 2, pconfig);
+        cluster.submit(ClientId(0), put_op("a", "1"));
+        cluster.submit(ClientId(1), put_op("b", "2"));
+        cluster.run_to_quiescence(LIMIT);
+        // Nothing ordered yet: the buffer holds 2 < 64 requests.
+        let primary = config.primary(mode, seemore_types::View(0)).unwrap();
+        for replica in config.replicas() {
+            assert!(
+                cluster.replica(replica).executed().is_empty(),
+                "{mode}: {replica}"
+            );
+        }
+        // The flush timer cuts the partial batch.
+        assert!(
+            cluster.fire_timer(primary, Timer::BatchFlush),
+            "{mode}: timer armed"
+        );
+        cluster.run_to_quiescence(LIMIT);
+        if (0..2u64).any(|c| cluster.client(ClientId(c)).has_pending()) {
+            cluster.fire_client_timers(LIMIT);
+            cluster.run_to_quiescence(LIMIT);
+        }
+        for replica in config.replicas() {
+            let history = cluster.replica(replica).executed();
+            assert_eq!(history.len(), 2, "{mode}: {replica} lagging");
+            assert!(
+                history.iter().all(|e| e.seq == SeqNum(1)),
+                "{mode}: {replica}"
+            );
+        }
+        for client in 0..2u64 {
+            assert_eq!(
+                cluster.client(ClientId(client)).completed().len(),
+                1,
+                "{mode}"
+            );
+        }
+    }
+}
+
+/// A view change preserves a prepared-but-uncommitted batch: the batch was
+/// proposed by the old primary and received by the backups but never
+/// committed; the new view must re-propose and commit it without losing,
+/// duplicating or reordering its member requests.
+#[test]
+fn view_change_preserves_prepared_but_uncommitted_batches() {
+    let pconfig =
+        ProtocolConfig::default().with_batching(BatchConfig::new(3, Duration::from_millis(1)));
+    let (mut cluster, config, _) = build_cluster(1, 1, Mode::Lion, 3, pconfig);
+    let primary = config.primary(Mode::Lion, seemore_types::View(0)).unwrap();
+
+    // Deliver the three client requests to the primary; the third fills the
+    // batch and queues the PREPARE broadcast.
+    for client in 0..3u64 {
+        cluster.submit(ClientId(client), put_op(&format!("k{client}"), "v"));
+    }
+    for _ in 0..3 {
+        assert!(cluster.step(), "request delivery");
+    }
+    // Cut the primary off *before* any ACCEPT can reach it: the queued
+    // PREPAREs still go out (they were already sent), but the commit never
+    // happens — the batch is prepared everywhere and committed nowhere.
+    cluster.isolate(primary);
+    cluster.run_to_quiescence(LIMIT);
+    for replica in config.replicas().filter(|r| *r != primary) {
+        assert!(
+            cluster.replica(replica).executed().is_empty(),
+            "{replica} committed early"
+        );
+    }
+
+    // Backups suspect the primary and install view 1; the new primary
+    // re-proposes the carried batch.
+    cluster.fire_all_timers(LIMIT);
+    cluster.run_to_quiescence(LIMIT);
+    cluster.fire_client_timers(LIMIT);
+    cluster.run_to_quiescence(LIMIT);
+
+    let alive: Vec<ReplicaId> = config.replicas().filter(|r| *r != primary).collect();
+    for replica in &alive {
+        let history = cluster.replica(*replica).executed();
+        assert!(
+            cluster.replica(*replica).view() > seemore_types::View(0),
+            "{replica} still in view 0"
+        );
+        // The batch survived intact: same three requests, batch order
+        // preserved, nothing duplicated.
+        let executed: Vec<u64> = history
+            .iter()
+            .filter(|e| e.request.client != super::NOOP_CLIENT)
+            .map(|e| e.request.client.0)
+            .collect();
+        assert_eq!(
+            executed,
+            vec![0, 1, 2],
+            "{replica} lost or reordered the batch"
+        );
+    }
+    assert_histories_consistent(&cluster, &alive);
+    for client in 0..3u64 {
+        assert_eq!(
+            cluster.client(ClientId(client)).completed().len(),
+            1,
+            "client {client} starved across the view change"
+        );
+    }
+}
+
+/// A replica that buffered requests and was then deposed re-routes its
+/// buffer to the new primary instead of stranding the requests.
+#[test]
+fn deposed_primary_reroutes_its_batch_buffer() {
+    let pconfig =
+        ProtocolConfig::default().with_batching(BatchConfig::new(64, Duration::from_millis(1)));
+    let (mut cluster, config, _) = build_cluster(1, 1, Mode::Lion, 2, pconfig);
+    let primary = config.primary(Mode::Lion, seemore_types::View(0)).unwrap();
+
+    // Two requests reach the primary's buffer (64 never fills).
+    cluster.submit(ClientId(0), put_op("a", "1"));
+    cluster.submit(ClientId(1), put_op("b", "2"));
+    cluster.run_to_quiescence(LIMIT);
+
+    // Clients retransmit to everyone; backups forward to the (stalled)
+    // primary and arm suspicion timers. The primary is isolated so its
+    // flush can no longer reach anyone.
+    cluster.isolate(primary);
+    cluster.fire_client_timers(LIMIT);
+    cluster.fire_all_timers(LIMIT);
+    cluster.run_to_quiescence(LIMIT);
+    cluster.fire_client_timers(LIMIT);
+    cluster.run_to_quiescence(LIMIT);
+
+    for client in 0..2u64 {
+        assert_eq!(
+            cluster.client(ClientId(client)).completed().len(),
+            1,
+            "client {client} starved after the primary was deposed"
+        );
+    }
+    let alive: Vec<ReplicaId> = config.replicas().filter(|r| *r != primary).collect();
+    assert_histories_consistent(&cluster, &alive);
 }
 
 // ----------------------------------------------------------------------
@@ -483,8 +715,7 @@ fn lion_uses_linear_messages_and_dog_uses_quadratic() {
         .map(|r| dog.replica(r).metrics().agreement_messages_sent())
         .sum();
 
-    let (mut peacock, config, _) =
-        build_cluster(1, 1, Mode::Peacock, 1, ProtocolConfig::default());
+    let (mut peacock, config, _) = build_cluster(1, 1, Mode::Peacock, 1, ProtocolConfig::default());
     peacock.submit(ClientId(0), put_op("k", "v"));
     peacock.run_to_quiescence(LIMIT);
     let peacock_msgs: u64 = config
@@ -497,5 +728,8 @@ fn lion_uses_linear_messages_and_dog_uses_quadratic() {
     // column of Table 1. (Dog and Peacock are close to each other at this
     // small scale: Dog has one fewer phase but one more voter per phase.)
     assert!(lion_msgs < dog_msgs, "lion={lion_msgs} dog={dog_msgs}");
-    assert!(lion_msgs < peacock_msgs, "lion={lion_msgs} peacock={peacock_msgs}");
+    assert!(
+        lion_msgs < peacock_msgs,
+        "lion={lion_msgs} peacock={peacock_msgs}"
+    );
 }

@@ -2,16 +2,16 @@
 //! (Sections 5.1–5.4 of the paper).
 
 use super::{SeeMoReReplica, NOOP_CLIENT};
-use crate::protocol::ReplicaProtocol;
 use crate::actions::{Action, Timer};
 use crate::log::Proposal;
+use crate::protocol::ReplicaProtocol;
 use seemore_crypto::Signature;
 use seemore_types::{
     ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum,
     Timestamp, View,
 };
 use seemore_wire::{
-    Accept, ClientRequest, CommitCert, Message, ModeChange, NewView, PbftPrepare,
+    Accept, Batch, ClientRequest, CommitCert, Message, ModeChange, NewView, PbftPrepare,
     PrepareCert, SignedPayload, ViewChange,
 };
 
@@ -26,6 +26,17 @@ pub fn mode_switch_announcer(
     match mode {
         Mode::Lion | Mode::Dog => cluster.primary(mode, new_view).ok(),
         Mode::Peacock => cluster.transferer(new_view).ok(),
+    }
+}
+
+/// The paper's `µ∅`: the internal no-op request used to fill ordering gaps
+/// left by a view change.
+fn noop_request(seq: SeqNum) -> ClientRequest {
+    ClientRequest {
+        client: NOOP_CLIENT,
+        timestamp: Timestamp(seq.0),
+        operation: Vec::new(),
+        signature: Signature::INVALID,
     }
 }
 
@@ -94,7 +105,11 @@ impl SeeMoReReplica {
         // Same grace period as progress timers: a freshly installed primary
         // gets a full timeout (and the request is re-forwarded to it), and a
         // primary that is visibly committing other requests is not deposed.
-        let armed_view = self.forwarded_armed.get(&request).copied().unwrap_or(View::ZERO);
+        let armed_view = self
+            .forwarded_armed
+            .get(&request)
+            .copied()
+            .unwrap_or(View::ZERO);
         if armed_view < self.view || self.recent_progress(now) {
             self.forwarded_armed.insert(request, self.view);
             let mut actions = Vec::new();
@@ -103,7 +118,11 @@ impl SeeMoReReplica {
             if let Some(buffered) = self.forwarded_requests.get(&request).cloned() {
                 if !self.is_primary() {
                     let primary = self.current_primary();
-                    self.send(&mut actions, NodeId::Replica(primary), Message::Request(buffered));
+                    self.send(
+                        &mut actions,
+                        NodeId::Replica(primary),
+                        Message::Request(buffered),
+                    );
                 } else {
                     actions.extend(self.on_message(
                         NodeId::Replica(self.id),
@@ -162,8 +181,10 @@ impl SeeMoReReplica {
         let mut prepares = Vec::new();
         let mut commits = Vec::new();
         for (seq, instance) in self.log.instances_after(stable_seq) {
-            let Some(proposal) = &instance.proposal else { continue };
-            let cert_request = Some(proposal.request.clone());
+            let Some(proposal) = &instance.proposal else {
+                continue;
+            };
+            let cert_batch = Some(proposal.batch.clone());
             if instance.committed && target_mode == Mode::Lion {
                 // Only the Lion mode carries commit certificates; Dog and
                 // Peacock omit them to keep view-change messages small.
@@ -172,7 +193,7 @@ impl SeeMoReReplica {
                     seq: *seq,
                     digest: proposal.digest,
                     primary_signature: proposal.primary_signature,
-                    request: cert_request,
+                    batch: cert_batch,
                 });
             } else {
                 prepares.push(PrepareCert {
@@ -180,7 +201,7 @@ impl SeeMoReReplica {
                     seq: *seq,
                     digest: proposal.digest,
                     primary_signature: proposal.primary_signature,
-                    request: cert_request,
+                    batch: cert_batch,
                 });
             }
         }
@@ -241,7 +262,9 @@ impl SeeMoReReplica {
         now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if sender != view_change.replica
             || !self.keystore.verify(
                 NodeId::Replica(sender),
@@ -272,7 +295,12 @@ impl SeeMoReReplica {
         // Liveness rule: if more than `m` replicas already voted for a newer
         // view, join them even if our own timer has not fired yet (a correct
         // replica must be among them).
-        let votes = self.vc.received.get(&target_view).map(|v| v.len()).unwrap_or(0);
+        let votes = self
+            .vc
+            .received
+            .get(&target_view)
+            .map(|v| v.len())
+            .unwrap_or(0);
         if !self.vc.in_view_change
             && votes > self.cluster.byzantine_bound() as usize
             && self.is_view_change_voter(target_mode)
@@ -294,7 +322,9 @@ impl SeeMoReReplica {
             return;
         }
         let threshold = self.cluster.view_change_threshold(mode) as usize;
-        let Some(votes) = self.vc.received.get(&view) else { return };
+        let Some(votes) = self.vc.received.get(&view) else {
+            return;
+        };
         let votes_from_others = votes.keys().filter(|r| **r != self.id).count();
         if votes_from_others < threshold {
             return;
@@ -341,28 +371,29 @@ impl SeeMoReReplica {
         let mut seq = low.next();
         while seq <= high {
             // Rule 1: any commit certificate wins.
-            let committed = votes.iter().flat_map(|v| v.commits.iter()).find(|c| {
-                c.seq == seq && self.validate_cert_request(c.digest, c.request.as_ref())
-            });
+            let committed = votes
+                .iter()
+                .flat_map(|v| v.commits.iter())
+                .find(|c| c.seq == seq && self.validate_cert_batch(c.digest, c.batch.as_ref()));
             // Collect prepare evidence for this sequence number.
             let prepared: Vec<&PrepareCert> = votes
                 .iter()
                 .flat_map(|v| v.prepares.iter())
-                .filter(|p| p.seq == seq && self.validate_cert_request(p.digest, p.request.as_ref()))
+                .filter(|p| p.seq == seq && self.validate_cert_batch(p.digest, p.batch.as_ref()))
                 .collect();
 
             if let Some(cert) = committed {
                 commits_out.push(CommitCert { ..cert.clone() });
             } else if mode == Mode::Lion && prepared.len() >= lion_commit_threshold {
                 // Rule 2a (Lion): a full quorum of prepares proves the
-                // request may have committed; carry it as committed.
+                // batch may have committed; carry it as committed.
                 let cert = prepared[0];
                 commits_out.push(CommitCert {
                     view: cert.view,
                     seq,
                     digest: cert.digest,
                     primary_signature: cert.primary_signature,
-                    request: cert.request.clone(),
+                    batch: cert.batch.clone(),
                 });
             } else if let Some(cert) = prepared.first() {
                 // Rule 2b: at least one valid prepare; re-propose it.
@@ -388,44 +419,36 @@ impl SeeMoReReplica {
         message
     }
 
-    /// A certificate is only usable if the request it carries matches its
-    /// digest and carries a valid client signature (or is the internal
+    /// A certificate is only usable if the batch it carries matches its
+    /// combined digest (binding membership, content and order) and every
+    /// member request carries a valid client signature (or is the internal
     /// no-op). This is what prevents a Byzantine public replica from
-    /// smuggling a fabricated operation through a view change.
-    fn validate_cert_request(
-        &self,
-        digest: seemore_crypto::Digest,
-        request: Option<&ClientRequest>,
-    ) -> bool {
-        let Some(request) = request else { return false };
-        if request.digest() != digest {
+    /// smuggling a fabricated or reordered operation through a view change.
+    fn validate_cert_batch(&self, digest: seemore_crypto::Digest, batch: Option<&Batch>) -> bool {
+        let Some(batch) = batch else { return false };
+        if batch.digest() != digest {
             return false;
         }
-        if request.client == NOOP_CLIENT {
-            return true;
-        }
-        self.keystore.verify(
-            NodeId::Client(request.client),
-            &request.signing_bytes(),
-            &request.signature,
-        )
+        batch.iter().all(|request| {
+            request.client == NOOP_CLIENT
+                || self.keystore.verify(
+                    NodeId::Client(request.client),
+                    &request.signing_bytes(),
+                    &request.signature,
+                )
+        })
     }
 
     /// Builds the no-op filler certificate for a gap sequence number
-    /// (the paper's `µ∅`).
+    /// (the paper's `µ∅`, as a singleton batch).
     fn noop_cert(&self, seq: SeqNum) -> PrepareCert {
-        let request = ClientRequest {
-            client: NOOP_CLIENT,
-            timestamp: Timestamp(seq.0),
-            operation: Vec::new(),
-            signature: Signature::INVALID,
-        };
+        let batch = Batch::single(noop_request(seq));
         PrepareCert {
             view: self.view,
             seq,
-            digest: request.digest(),
+            digest: batch.digest(),
             primary_signature: Signature::INVALID,
-            request: Some(request),
+            batch: Some(batch),
         }
     }
 
@@ -442,7 +465,9 @@ impl SeeMoReReplica {
         _now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if new_view.view <= self.view {
             actions.push(self.violation(ProtocolViolation::WrongView {
                 got: new_view.view,
@@ -477,7 +502,9 @@ impl SeeMoReReplica {
     fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
         let old_mode = self.mode;
         actions.push(Action::CancelTimer {
-            timer: Timer::ViewChange { view: new_view.view },
+            timer: Timer::ViewChange {
+                view: new_view.view,
+            },
         });
 
         self.view = new_view.view;
@@ -499,7 +526,8 @@ impl SeeMoReReplica {
         // Adopt the carried checkpoint if it is ahead of ours.
         if let Some(cp) = &new_view.checkpoint {
             if cp.seq > self.checkpoints.stable_seq() {
-                self.checkpoints.make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                self.checkpoints
+                    .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
                 self.log.garbage_collect(cp.seq);
                 if self.exec.last_executed() < cp.seq && self.cluster.is_trusted(new_view.replica) {
                     self.request_state_transfer(actions, new_view.replica);
@@ -517,17 +545,15 @@ impl SeeMoReReplica {
             instance.proposal = Some(Proposal {
                 view: new_view.view,
                 digest: cert.digest,
-                request: cert.request.clone().unwrap_or_else(|| ClientRequest {
-                    client: NOOP_CLIENT,
-                    timestamp: Timestamp(cert.seq.0),
-                    operation: Vec::new(),
-                    signature: Signature::INVALID,
-                }),
+                batch: cert
+                    .batch
+                    .clone()
+                    .unwrap_or_else(|| Batch::single(noop_request(cert.seq))),
                 primary_signature: cert.primary_signature,
             });
-            if let Some(request) = cert.request.clone() {
+            if let Some(batch) = cert.batch.clone() {
                 self.metrics.committed += 1;
-                self.exec.add_committed(cert.seq, request);
+                self.exec.add_committed(cert.seq, batch);
             }
         }
 
@@ -535,7 +561,9 @@ impl SeeMoReReplica {
         let i_am_primary = self.current_primary() == self.id;
         for cert in &new_view.prepares {
             highest = highest.max(cert.seq);
-            let Some(request) = cert.request.clone() else { continue };
+            let Some(batch) = cert.batch.clone() else {
+                continue;
+            };
             let digest = cert.digest;
             let seq = cert.seq;
             {
@@ -546,7 +574,7 @@ impl SeeMoReReplica {
                 instance.proposal = Some(Proposal {
                     view: new_view.view,
                     digest,
-                    request,
+                    batch,
                     primary_signature: cert.primary_signature,
                 });
             }
@@ -589,7 +617,9 @@ impl SeeMoReReplica {
                             signature: Signature::INVALID,
                         };
                         vote.signature = self.signer.sign(&vote.signing_bytes());
-                        self.log.instance_mut(seq).record_pbft_prepare(self.id, digest);
+                        self.log
+                            .instance_mut(seq)
+                            .record_pbft_prepare(self.id, digest);
                         let proxies = self.current_proxies();
                         self.broadcast_to(actions, proxies, Message::PbftPrepare(vote));
                     }
@@ -602,23 +632,46 @@ impl SeeMoReReplica {
         self.next_seq = highest;
         self.execute_ready(actions);
 
-        // A newly installed primary immediately proposes the requests that
-        // were forwarded to the failed primary but never ordered, so
-        // recovery does not wait for client retransmissions (this is what
-        // keeps the Figure 4 outage short).
+        // Requests that were sitting in the (old) primary's batch buffer
+        // when the view changed must not be stranded: a prepared-but-never-
+        // proposed buffer is re-routed through the normal request paths.
+        let buffered = self.batcher.drain();
+
         if self.current_primary() == self.id {
-            let pending: Vec<ClientRequest> = self
+            // A newly installed primary immediately proposes the requests
+            // that were forwarded to the failed primary (plus its own
+            // leftover buffer) but never ordered, so recovery does not wait
+            // for client retransmissions (this is what keeps the Figure 4
+            // outage short). The pending set is sorted by request identity
+            // so recovery batches are deterministic.
+            let mut pending: Vec<ClientRequest> = self
                 .forwarded_requests
                 .values()
+                .chain(buffered.iter())
                 .filter(|request| {
-                    self.exec.cached_reply(request.client, request.timestamp).is_none()
+                    self.exec
+                        .cached_reply(request.client, request.timestamp)
+                        .is_none()
                         && !self.assigned.contains_key(&request.id())
                 })
                 .cloned()
                 .collect();
-            let now_placeholder = Instant::ZERO;
+            pending.sort_by_key(ClientRequest::id);
+            pending.dedup_by_key(|request| request.id());
             for request in pending {
-                self.primary_propose(actions, request, now_placeholder);
+                self.buffer_or_propose(actions, request);
+            }
+            // Recovery must not wait out `max_delay`: cut the partial batch.
+            self.flush_pending_batch(actions);
+        } else {
+            for request in buffered {
+                if self
+                    .exec
+                    .cached_reply(request.client, request.timestamp)
+                    .is_none()
+                {
+                    self.forward_to_primary(actions, request);
+                }
             }
         }
 
@@ -653,7 +706,11 @@ impl SeeMoReReplica {
         };
         announcement.signature = self.signer.sign(&announcement.signing_bytes());
         let recipients = self.all_replicas();
-        self.broadcast_to(&mut actions, recipients, Message::ModeChange(announcement.clone()));
+        self.broadcast_to(
+            &mut actions,
+            recipients,
+            Message::ModeChange(announcement.clone()),
+        );
         actions.extend(self.apply_mode_change(announcement, now));
         actions
     }
@@ -666,7 +723,9 @@ impl SeeMoReReplica {
         now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
-        let Some(sender) = from.as_replica() else { return actions };
+        let Some(sender) = from.as_replica() else {
+            return actions;
+        };
         if mode_change.new_view <= self.view {
             actions.push(self.violation(ProtocolViolation::WrongView {
                 got: mode_change.new_view,
@@ -706,18 +765,16 @@ impl SeeMoReReplica {
         let mut actions = Vec::new();
         self.pending_mode = Some(mode_change.new_mode);
         if self.is_view_change_voter(mode_change.new_mode) {
-            actions.extend(self.start_view_change(
-                mode_change.new_view,
-                mode_change.new_mode,
-                now,
-            ));
+            actions.extend(self.start_view_change(mode_change.new_view, mode_change.new_mode, now));
         } else {
             // Non-voters (private replicas for Dog/Peacock targets) stop
             // normal-case processing and wait for the NEW-VIEW.
             self.vc.in_view_change = true;
             self.vc.target_view = mode_change.new_view;
             actions.push(Action::SetTimer {
-                timer: Timer::ViewChange { view: mode_change.new_view },
+                timer: Timer::ViewChange {
+                    view: mode_change.new_view,
+                },
                 after: self.pconfig.view_change_timeout,
             });
         }

@@ -158,7 +158,10 @@ impl SyncCluster {
         let mut count = 0;
         while let Some(envelope) = self.queue.pop_front() {
             count += 1;
-            assert!(count <= limit, "message storm: more than {limit} deliveries");
+            assert!(
+                count <= limit,
+                "message storm: more than {limit} deliveries"
+            );
             self.deliver(envelope);
         }
         count
@@ -220,7 +223,11 @@ impl SyncCluster {
         let ids: Vec<ClientId> = self.clients.keys().copied().collect();
         let now = self.now;
         for id in ids {
-            let actions = self.clients.get_mut(&id).expect("client").on_retransmit_timer(now);
+            let actions = self
+                .clients
+                .get_mut(&id)
+                .expect("client")
+                .on_retransmit_timer(now);
             self.apply_actions(NodeId::Client(id), actions);
             self.run_to_quiescence(limit);
         }
@@ -242,12 +249,16 @@ impl SyncCluster {
                 if self.isolated.contains(&id) {
                     return;
                 }
-                let Some(replica) = self.replicas.get_mut(&id) else { return };
+                let Some(replica) = self.replicas.get_mut(&id) else {
+                    return;
+                };
                 let actions = replica.on_message(envelope.from, envelope.message, now);
                 self.apply_actions(NodeId::Replica(id), actions);
             }
             NodeId::Client(id) => {
-                let Some(client) = self.clients.get_mut(&id) else { return };
+                let Some(client) = self.clients.get_mut(&id) else {
+                    return;
+                };
                 let actions = client.on_message(envelope.from, envelope.message, now);
                 self.apply_actions(NodeId::Client(id), actions);
             }

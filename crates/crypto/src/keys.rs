@@ -153,7 +153,10 @@ impl KeyStore {
             let node = NodeId::Client(ClientId(c));
             keys.insert(node, SecretKey::derive(cluster_seed, node));
         }
-        KeyStore { keys: Arc::new(keys), cluster_seed }
+        KeyStore {
+            keys: Arc::new(keys),
+            cluster_seed,
+        }
     }
 
     /// The seed this key store was generated from.
@@ -177,7 +180,9 @@ impl KeyStore {
     /// Byzantine replicas are given the same single signer, never the whole
     /// store's signing capability.
     pub fn signer_for(&self, node: NodeId) -> Option<Signer> {
-        self.keys.get(&node).map(|key| Signer::new(node, key.clone()))
+        self.keys
+            .get(&node)
+            .map(|key| Signer::new(node, key.clone()))
     }
 
     /// Verifies that `signature` is `node`'s signature over `message`.

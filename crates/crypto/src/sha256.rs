@@ -74,7 +74,12 @@ impl std::fmt::Debug for Sha256 {
 impl Sha256 {
     /// Creates a hasher in its initial state.
     pub fn new() -> Self {
-        Sha256 { state: H0, buffer: [0u8; BLOCK_LEN], buffer_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -223,7 +228,9 @@ mod tests {
     #[test]
     fn nist_448_bit_message() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

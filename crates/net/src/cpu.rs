@@ -81,8 +81,9 @@ impl CpuModel {
     /// Processing time for one message at one node.
     pub fn cost(&self, message: &Message) -> Duration {
         let bytes = message.wire_size();
-        let size_cost =
-            Duration::from_nanos((self.per_kilobyte.as_nanos() as f64 * bytes as f64 / 1024.0) as u64);
+        let size_cost = Duration::from_nanos(
+            (self.per_kilobyte.as_nanos() as f64 * bytes as f64 / 1024.0) as u64,
+        );
         let crypto_cost = Duration::from_nanos(
             self.per_signature.as_nanos() * u64::from(Self::signature_ops(message)),
         );

@@ -48,7 +48,10 @@ impl LinkFaults {
 
     /// A lossy network with the given drop probability.
     pub fn lossy(drop_probability: f64) -> Self {
-        LinkFaults { drop_probability, ..LinkFaults::default() }
+        LinkFaults {
+            drop_probability,
+            ..LinkFaults::default()
+        }
     }
 
     /// A network that occasionally duplicates and reorders messages.
@@ -110,7 +113,10 @@ impl LinkFaults {
         } else {
             Duration::ZERO
         };
-        LinkDecision::Deliver { copies, extra_delay }
+        LinkDecision::Deliver {
+            copies,
+            extra_delay,
+        }
     }
 }
 
@@ -132,7 +138,10 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(
                 faults.decide(node(0), node(1), &mut rng),
-                LinkDecision::Deliver { copies: 1, extra_delay: Duration::ZERO }
+                LinkDecision::Deliver {
+                    copies: 1,
+                    extra_delay: Duration::ZERO
+                }
             );
         }
     }
@@ -144,7 +153,10 @@ mod tests {
         faults.partition(node(0), node(1));
         assert!(faults.is_partitioned(node(0), node(1)));
         assert!(faults.is_partitioned(node(1), node(0)));
-        assert_eq!(faults.decide(node(0), node(1), &mut rng), LinkDecision::Drop);
+        assert_eq!(
+            faults.decide(node(0), node(1), &mut rng),
+            LinkDecision::Drop
+        );
         assert!(!faults.is_partitioned(node(0), node(2)));
 
         faults.partition_one_way(node(2), node(3));
@@ -176,7 +188,10 @@ mod tests {
         let mut reorders = 0;
         for _ in 0..1_000 {
             match faults.decide(node(0), NodeId::Client(ClientId(0)), &mut rng) {
-                LinkDecision::Deliver { copies, extra_delay } => {
+                LinkDecision::Deliver {
+                    copies,
+                    extra_delay,
+                } => {
                     if copies > 1 {
                         dupes += 1;
                     }

@@ -60,7 +60,13 @@ impl LatencyModel {
 
     /// Base (jitter-free) one-way delay between `from` and `to` for a
     /// message of `bytes` bytes.
-    pub fn base_delay(&self, placement: &Placement, from: NodeId, to: NodeId, bytes: usize) -> Duration {
+    pub fn base_delay(
+        &self,
+        placement: &Placement,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> Duration {
         let (zf, zt) = (placement.zone(from), placement.zone(to));
         let link = if zf == Zone::Client || zt == Zone::Client {
             self.client_link
@@ -69,8 +75,7 @@ impl LatencyModel {
         } else {
             self.intra_cloud
         };
-        let size_cost_nanos =
-            (self.per_kilobyte.as_nanos() as f64 * bytes as f64 / 1024.0) as u64;
+        let size_cost_nanos = (self.per_kilobyte.as_nanos() as f64 * bytes as f64 / 1024.0) as u64;
         link + Duration::from_nanos(size_cost_nanos)
     }
 
@@ -112,8 +117,14 @@ mod tests {
         let public0 = NodeId::Replica(ReplicaId(2));
         let client = NodeId::Client(ClientId(0));
 
-        assert_eq!(model.base_delay(&p, private0, private1, 0), model.intra_cloud);
-        assert_eq!(model.base_delay(&p, private0, public0, 0), Duration::from_millis(20));
+        assert_eq!(
+            model.base_delay(&p, private0, private1, 0),
+            model.intra_cloud
+        );
+        assert_eq!(
+            model.base_delay(&p, private0, public0, 0),
+            Duration::from_millis(20)
+        );
         assert_eq!(model.base_delay(&p, client, private0, 0), model.client_link);
         assert_eq!(model.base_delay(&p, public0, client, 0), model.client_link);
     }
@@ -143,7 +154,10 @@ mod tests {
         for _ in 0..100 {
             let d = model.delay(&p, a, b, 100, &mut rng);
             let ratio = d.as_nanos() as f64 / base.as_nanos() as f64;
-            assert!((0.89..=1.11).contains(&ratio), "ratio {ratio} out of bounds");
+            assert!(
+                (0.89..=1.11).contains(&ratio),
+                "ratio {ratio} out of bounds"
+            );
         }
         let mut rng_a = SmallRng::seed_from_u64(9);
         let mut rng_b = SmallRng::seed_from_u64(9);

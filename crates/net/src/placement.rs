@@ -28,7 +28,9 @@ pub struct Placement {
 impl Placement {
     /// Placement derived from a SeeMoRe cluster configuration.
     pub fn hybrid(cluster: ClusterConfig) -> Self {
-        Placement { cluster: Some(cluster) }
+        Placement {
+            cluster: Some(cluster),
+        }
     }
 
     /// Placement for a baseline group: every replica in one (public) cloud.

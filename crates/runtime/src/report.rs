@@ -72,7 +72,11 @@ impl RunReport {
         let completed = latencies_ms.len() as u64;
         let measured_duration = run_end - measure_from;
         let secs = measured_duration.as_secs_f64();
-        let throughput_kreqs = if secs > 0.0 { completed as f64 / secs / 1_000.0 } else { 0.0 };
+        let throughput_kreqs = if secs > 0.0 {
+            completed as f64 / secs / 1_000.0
+        } else {
+            0.0
+        };
 
         let percentile = |p: f64| -> f64 {
             if latencies_ms.is_empty() {
@@ -189,8 +193,7 @@ mod tests {
 
     #[test]
     fn percentiles_are_ordered() {
-        let outcomes: Vec<ClientOutcome> =
-            (0..1000).map(|i| outcome(i, i % 50 + 1, i)).collect();
+        let outcomes: Vec<ClientOutcome> = (0..1000).map(|i| outcome(i, i % 50 + 1, i)).collect();
         let report = RunReport::from_outcomes(
             &outcomes,
             Instant::ZERO,

@@ -72,7 +72,9 @@ impl ProtocolKind {
     /// Total number of replicas this protocol deploys for `(c, m)`.
     pub fn network_size(self, c: u32, m: u32) -> u32 {
         match self {
-            ProtocolKind::SeeMoReLion | ProtocolKind::SeeMoReDog | ProtocolKind::SeeMoRePeacock
+            ProtocolKind::SeeMoReLion
+            | ProtocolKind::SeeMoReDog
+            | ProtocolKind::SeeMoRePeacock
             | ProtocolKind::SUpright => 3 * m + 2 * c + 1,
             ProtocolKind::Cft => 2 * (c + m) + 1,
             ProtocolKind::Bft => 3 * (c + m) + 1,
@@ -111,6 +113,12 @@ pub struct Scenario {
     pub faults: LinkFaults,
     /// Checkpoint period (requests between checkpoints).
     pub checkpoint_period: u64,
+    /// Maximum requests per ordered batch (`1` disables batching and
+    /// reproduces one-request-per-slot agreement exactly).
+    pub max_batch: usize,
+    /// Maximum time the first buffered request waits before a partial batch
+    /// is flushed (ignored when `max_batch = 1`).
+    pub batch_delay: Duration,
     /// Protocol timeouts.
     pub request_timeout: Duration,
     /// If set, crash the view-0 primary at this instant (Figure 4).
@@ -145,6 +153,8 @@ impl Scenario {
             cpu: CpuModel::default(),
             faults: LinkFaults::none(),
             checkpoint_period: 1_000,
+            max_batch: 1,
+            batch_delay: Duration::from_micros(100),
             request_timeout: Duration::from_millis(20),
             crash_primary_at: None,
             mode_switch: None,
@@ -216,6 +226,17 @@ impl Scenario {
         self
     }
 
+    /// Sets the request-batching policy: batches of up to `max_batch`
+    /// requests, with a partial batch flushed after `batch_delay`. Applies
+    /// to SeeMoRe in every mode and to both baselines, so comparisons stay
+    /// apples-to-apples. `with_batching(1, _)` reproduces unbatched
+    /// agreement exactly.
+    pub fn with_batching(mut self, max_batch: usize, batch_delay: Duration) -> Self {
+        self.max_batch = max_batch.max(1);
+        self.batch_delay = batch_delay;
+        self
+    }
+
     /// Wraps `count` public-cloud replicas with the given Byzantine
     /// behaviour (SeeMoRe and BFT-style baselines).
     pub fn with_byzantine(mut self, count: u32, behavior: ByzantineBehavior) -> Self {
@@ -231,6 +252,7 @@ impl Scenario {
             request_timeout: self.request_timeout,
             view_change_timeout: self.request_timeout.mul(2),
             client_timeout: self.request_timeout.mul(2),
+            batch: seemore_core::batching::BatchConfig::new(self.max_batch, self.batch_delay),
         }
     }
 
@@ -267,8 +289,7 @@ impl Scenario {
                 };
                 let mut sim = Simulation::new(config);
                 // The last `byzantine_replicas` public replicas misbehave.
-                let byzantine_cutoff =
-                    cluster.total_size().saturating_sub(self.byzantine_replicas);
+                let byzantine_cutoff = cluster.total_size().saturating_sub(self.byzantine_replicas);
                 for replica in cluster.replicas() {
                     let core = SeeMoReReplica::new(
                         replica,
@@ -330,8 +351,7 @@ impl Scenario {
                     seed: self.seed,
                 };
                 let mut sim = Simulation::new(sim_config);
-                let byzantine_cutoff =
-                    config.network_size.saturating_sub(self.byzantine_replicas);
+                let byzantine_cutoff = config.network_size.saturating_sub(self.byzantine_replicas);
                 for replica in config.replicas() {
                     match self.protocol {
                         ProtocolKind::Cft => {
@@ -469,7 +489,10 @@ mod tests {
         let (mut sim, _) = scenario.build();
         sim.run_until(Instant::ZERO + scenario.duration);
         let report = sim.report(Instant::ZERO + scenario.warmup, scenario.timeline_bucket);
-        assert!(report.mode_switches > 0, "mode switch should have been installed");
+        assert!(
+            report.mode_switches > 0,
+            "mode switch should have been installed"
+        );
         // All replicas ended up in the Peacock mode.
         for replica in sim.replica_ids() {
             assert_eq!(sim.replica(replica).mode(), Mode::Peacock);

@@ -11,6 +11,18 @@
 //! operations) comes from a single seeded RNG, and ties in virtual time are
 //! broken by insertion order, so a given seed always reproduces the same
 //! run.
+//!
+//! # Batching
+//!
+//! The unit of ordering is a batch of client requests (see
+//! `seemore_core::batching`). The simulator needs no batching logic of its
+//! own: the policy lives in the replica cores, configured through
+//! `ProtocolConfig::batch` (or `Scenario::with_batching`), and its latency
+//! trigger is the cores' `Timer::BatchFlush`, which flows through the same
+//! `SetTimer` / timer-generation machinery as every other protocol timer.
+//! Because a `max_batch = 1` core never arms the flush timer or buffers a
+//! request, runs with batching disabled are event-for-event identical to the
+//! pre-batching simulator, and a fixed seed still reproduces them exactly.
 
 use crate::workload::Workload;
 use rand::rngs::SmallRng;
@@ -39,13 +51,32 @@ pub struct SimConfig {
 }
 
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Deliver dominates and is the common case
 enum EventKind {
-    Deliver { from: NodeId, to: NodeId, message: Message },
-    ReplicaTimer { replica: ReplicaId, timer: Timer, generation: u64 },
-    ClientTimer { client: ClientId, generation: u64 },
-    ClientSubmit { client: ClientId },
-    Crash { replica: ReplicaId },
-    ModeSwitch { replica: ReplicaId, mode: Mode },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: Message,
+    },
+    ReplicaTimer {
+        replica: ReplicaId,
+        timer: Timer,
+        generation: u64,
+    },
+    ClientTimer {
+        client: ClientId,
+        generation: u64,
+    },
+    ClientSubmit {
+        client: ClientId,
+    },
+    Crash {
+        replica: ReplicaId,
+    },
+    ModeSwitch {
+        replica: ReplicaId,
+        mode: Mode,
+    },
 }
 
 struct Event {
@@ -224,7 +255,10 @@ impl Simulation {
         let mut handled = 0u64;
         while let Some(event) = self.events.pop() {
             handled += 1;
-            assert!(handled <= max_events, "simulation did not quiesce after {max_events} events");
+            assert!(
+                handled <= max_events,
+                "simulation did not quiesce after {max_events} events"
+            );
             self.now = event.at;
             self.handle(event.kind);
         }
@@ -233,8 +267,16 @@ impl Simulation {
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::Deliver { from, to, message } => self.deliver(from, to, message),
-            EventKind::ReplicaTimer { replica, timer, generation } => {
-                let current = self.replica_timer_gen.get(&(replica, timer)).copied().unwrap_or(0);
+            EventKind::ReplicaTimer {
+                replica,
+                timer,
+                generation,
+            } => {
+                let current = self
+                    .replica_timer_gen
+                    .get(&(replica, timer))
+                    .copied()
+                    .unwrap_or(0);
                 if current != generation {
                     return; // cancelled or re-armed
                 }
@@ -278,10 +320,14 @@ impl Simulation {
         if self.now > self.submit_stop {
             return;
         }
-        let Some(workload) = self.workloads.get(&client) else { return };
+        let Some(workload) = self.workloads.get(&client) else {
+            return;
+        };
         let op = workload.next_op(&mut self.rng);
         let now = self.now;
-        let Some(core) = self.clients.get_mut(&client) else { return };
+        let Some(core) = self.clients.get_mut(&client) else {
+            return;
+        };
         if core.has_pending() {
             return;
         }
@@ -296,18 +342,24 @@ impl Simulation {
         // The destination processes messages one at a time: processing starts
         // when both the message has arrived and the node is free.
         let cost = self.config.cpu.cost(&message);
-        let start = self.now.max(self.busy_until.get(&to).copied().unwrap_or(Instant::ZERO));
+        let start = self
+            .now
+            .max(self.busy_until.get(&to).copied().unwrap_or(Instant::ZERO));
         let done = start + cost;
         self.busy_until.insert(to, done);
 
         match to {
             NodeId::Replica(id) => {
-                let Some(core) = self.replicas.get_mut(&id) else { return };
+                let Some(core) = self.replicas.get_mut(&id) else {
+                    return;
+                };
                 let actions = core.on_message(from, message, done);
                 self.apply_actions(to, actions);
             }
             NodeId::Client(id) => {
-                let Some(core) = self.clients.get_mut(&id) else { return };
+                let Some(core) = self.clients.get_mut(&id) else {
+                    return;
+                };
                 let actions = core.on_message(from, message, done);
                 // Collect completions and keep the closed loop going.
                 let finished = core.take_completed();
@@ -339,13 +391,16 @@ impl Simulation {
                 }
                 Action::SetTimer { timer, after } => match from {
                     NodeId::Replica(id) => {
-                        let generation =
-                            self.replica_timer_gen.entry((id, timer)).or_insert(0);
+                        let generation = self.replica_timer_gen.entry((id, timer)).or_insert(0);
                         *generation += 1;
                         let generation = *generation;
                         self.push_event(
                             self.now + after,
-                            EventKind::ReplicaTimer { replica: id, timer, generation },
+                            EventKind::ReplicaTimer {
+                                replica: id,
+                                timer,
+                                generation,
+                            },
                         );
                     }
                     NodeId::Client(id) => {
@@ -354,7 +409,10 @@ impl Simulation {
                         let generation = *generation;
                         self.push_event(
                             self.now + after,
-                            EventKind::ClientTimer { client: id, generation },
+                            EventKind::ClientTimer {
+                                client: id,
+                                generation,
+                            },
                         );
                     }
                 },
@@ -379,13 +437,18 @@ impl Simulation {
         } else {
             self.config.cpu.serialization_cost(&message)
         };
-        let departure =
-            self.now.max(self.busy_until.get(&from).copied().unwrap_or(Instant::ZERO)) + cost;
+        let departure = self
+            .now
+            .max(self.busy_until.get(&from).copied().unwrap_or(Instant::ZERO))
+            + cost;
         self.busy_until.insert(from, departure);
 
         match self.config.faults.decide(from, to, &mut self.rng) {
             LinkDecision::Drop => {}
-            LinkDecision::Deliver { copies, extra_delay } => {
+            LinkDecision::Deliver {
+                copies,
+                extra_delay,
+            } => {
                 for _ in 0..copies {
                     let delay = self.config.latency.delay(
                         &self.config.placement,
@@ -397,7 +460,11 @@ impl Simulation {
                     let arrival = departure + delay + extra_delay;
                     self.push_event(
                         arrival,
-                        EventKind::Deliver { from, to, message: message.clone() },
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            message: message.clone(),
+                        },
                     );
                 }
             }
@@ -420,12 +487,8 @@ impl Simulation {
 
     /// Builds a [`crate::RunReport`] for the window `[measure_from, now]`.
     pub fn report(&self, measure_from: Instant, bucket: Duration) -> crate::RunReport {
-        let mut report = crate::RunReport::from_outcomes(
-            &self.completions,
-            measure_from,
-            self.now,
-            bucket,
-        );
+        let mut report =
+            crate::RunReport::from_outcomes(&self.completions, measure_from, self.now, bucket);
         let metrics = self.merged_replica_metrics();
         report.messages_delivered = self.messages_delivered;
         report.bytes_delivered = self.bytes_delivered;
@@ -519,7 +582,10 @@ mod tests {
         sim.schedule_crash(Instant::from_nanos(10_000_000), primary);
         sim.run_until(Instant::from_nanos(2_000_000_000)); // 2 s
         let report = sim.report(Instant::ZERO, Duration::from_millis(10));
-        assert!(report.view_changes > 0, "a view change should have completed");
+        assert!(
+            report.view_changes > 0,
+            "a view change should have completed"
+        );
         // Requests completed both before and after the crash.
         let after_crash = sim
             .completions()

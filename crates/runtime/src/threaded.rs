@@ -24,6 +24,7 @@ struct Envelope {
 }
 
 /// Control commands sent to a replica thread.
+#[allow(clippy::large_enum_variant)] // Deliver dominates and is the common case
 enum Control {
     Deliver(Envelope),
     Crash,
@@ -88,8 +89,7 @@ impl ThreadedCluster {
                         match rx.recv_timeout(wait) {
                             Ok(Control::Deliver(envelope)) => {
                                 let now = to_instant(start);
-                                actions =
-                                    replica.on_message(envelope.from, envelope.message, now);
+                                actions = replica.on_message(envelope.from, envelope.message, now);
                             }
                             Ok(Control::Crash) => replica.crash(),
                             Ok(Control::Shutdown) => return replica,
@@ -98,8 +98,7 @@ impl ThreadedCluster {
                         }
                         // Fire due timers.
                         let now = to_instant(start);
-                        let due: Vec<Instant> =
-                            timers.range(..=now).map(|(t, _)| *t).collect();
+                        let due: Vec<Instant> = timers.range(..=now).map(|(t, _)| *t).collect();
                         for deadline in due {
                             for timer in timers.remove(&deadline).unwrap_or_default() {
                                 if armed.get(&timer) == Some(&deadline) {
@@ -114,7 +113,10 @@ impl ThreadedCluster {
                                 Action::Send { to, message } => {
                                     let _ = out.send((
                                         to,
-                                        Envelope { from: NodeId::Replica(id), message },
+                                        Envelope {
+                                            from: NodeId::Replica(id),
+                                            message,
+                                        },
                                     ));
                                 }
                                 Action::SetTimer { timer, after } => {
@@ -228,7 +230,10 @@ impl ThreadedCluster {
             if let Action::Send { to, message } = action {
                 let _ = self.client_outbox.send((
                     to,
-                    Envelope { from: NodeId::Client(client.id()), message },
+                    Envelope {
+                        from: NodeId::Client(client.id()),
+                        message,
+                    },
                 ));
             }
         }
@@ -291,18 +296,13 @@ mod tests {
             Mode::Lion,
             Duration::from_millis(200),
         );
-        let (_client, outcomes) = threaded.run_client(
-            client,
-            4,
-            Duration::from_secs(5),
-            |i| {
-                KvOp::Put {
-                    key: format!("key-{i}").into_bytes(),
-                    value: b"value".to_vec(),
-                }
-                .encode()
-            },
-        );
+        let (_client, outcomes) = threaded.run_client(client, 4, Duration::from_secs(5), |i| {
+            KvOp::Put {
+                key: format!("key-{i}").into_bytes(),
+                value: b"value".to_vec(),
+            }
+            .encode()
+        });
         assert_eq!(outcomes.len(), 4);
         for outcome in &outcomes {
             assert_eq!(KvResult::decode(&outcome.result), Some(KvResult::Ok));

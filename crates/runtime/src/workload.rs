@@ -42,14 +42,22 @@ impl Workload {
 
     /// A key-value workload.
     pub fn kv(keys: u64, value_size: usize, read_fraction: f64) -> Self {
-        Workload::Kv { keys, value_size, read_fraction }
+        Workload::Kv {
+            keys,
+            value_size,
+            read_fraction,
+        }
     }
 
     /// Generates the next operation payload.
     pub fn next_op<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
         match self {
             Workload::Micro { request_size } => vec![0xA5u8; *request_size],
-            Workload::Kv { keys, value_size, read_fraction } => {
+            Workload::Kv {
+                keys,
+                value_size,
+                read_fraction,
+            } => {
                 let key = format!("key-{}", rng.gen_range(0..*keys)).into_bytes();
                 if rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
                     KvOp::Get { key }.encode()

@@ -109,7 +109,11 @@ impl ClusterConfig {
                 required: proxies_required,
             });
         }
-        Ok(ClusterConfig { private_size, public_size, bounds })
+        Ok(ClusterConfig {
+            private_size,
+            public_size,
+            bounds,
+        })
     }
 
     /// The configuration used throughout the paper's evaluation: `2c`
@@ -224,9 +228,13 @@ impl ClusterConfig {
     /// Returns [`ConfigError::NoTrustedReplicas`] when `S = 0`.
     pub fn transferer(&self, new_view: View) -> Result<ReplicaId, ConfigError> {
         if self.private_size == 0 {
-            Err(ConfigError::NoTrustedReplicas { mode: Mode::Peacock })
+            Err(ConfigError::NoTrustedReplicas {
+                mode: Mode::Peacock,
+            })
         } else {
-            Ok(ReplicaId((new_view.0 % u64::from(self.private_size)) as u32))
+            Ok(ReplicaId(
+                (new_view.0 % u64::from(self.private_size)) as u32,
+            ))
         }
     }
 
@@ -294,13 +302,21 @@ impl ClusterConfig {
                 // If the deployment is larger than the paper's minimum
                 // network, grow the quorum just enough to preserve the
                 // `m + 1` intersection guarantee.
-                let quorum_size = base.quorum_size.max(
-                    crate::quorum::min_quorum_for_intersection(n, self.bounds.byzantine),
-                );
-                QuorumSpec { network_size: n, quorum_size, ..base }
+                let quorum_size = base
+                    .quorum_size
+                    .max(crate::quorum::min_quorum_for_intersection(
+                        n,
+                        self.bounds.byzantine,
+                    ));
+                QuorumSpec {
+                    network_size: n,
+                    quorum_size,
+                    ..base
+                }
             }
-            Mode::Dog | Mode::Peacock => QuorumSpec::byzantine(self.bounds.byzantine)
-                .with_network_size(self.proxy_count()),
+            Mode::Dog | Mode::Peacock => {
+                QuorumSpec::byzantine(self.bounds.byzantine).with_network_size(self.proxy_count())
+            }
         }
     }
 
@@ -436,7 +452,10 @@ mod tests {
             let view = View(v);
             let p = cluster.primary(Mode::Peacock, view).unwrap();
             assert!(!cluster.is_trusted(p));
-            assert!(cluster.is_proxy(p, view), "primary {p} must be a proxy in {view}");
+            assert!(
+                cluster.is_proxy(p, view),
+                "primary {p} must be a proxy in {view}"
+            );
         }
     }
 
@@ -480,18 +499,40 @@ mod tests {
     fn roles_reflect_mode() {
         let cluster = cfg(2, 4, 1, 1);
         let view = View(0);
-        assert_eq!(cluster.role_of(ReplicaId(0), Mode::Lion, view), ReplicaRole::Primary);
-        assert_eq!(cluster.role_of(ReplicaId(3), Mode::Lion, view), ReplicaRole::Active);
-        // Dog: primary trusted, private backup passive, proxies active.
-        assert_eq!(cluster.role_of(ReplicaId(0), Mode::Dog, view), ReplicaRole::Primary);
-        assert_eq!(cluster.role_of(ReplicaId(1), Mode::Dog, view), ReplicaRole::Passive);
-        assert_eq!(cluster.role_of(ReplicaId(2), Mode::Dog, view), ReplicaRole::Active);
-        // Peacock: public primary, private replicas passive.
         assert_eq!(
-            cluster.role_of(cluster.primary(Mode::Peacock, view).unwrap(), Mode::Peacock, view),
+            cluster.role_of(ReplicaId(0), Mode::Lion, view),
             ReplicaRole::Primary
         );
-        assert_eq!(cluster.role_of(ReplicaId(0), Mode::Peacock, view), ReplicaRole::Passive);
+        assert_eq!(
+            cluster.role_of(ReplicaId(3), Mode::Lion, view),
+            ReplicaRole::Active
+        );
+        // Dog: primary trusted, private backup passive, proxies active.
+        assert_eq!(
+            cluster.role_of(ReplicaId(0), Mode::Dog, view),
+            ReplicaRole::Primary
+        );
+        assert_eq!(
+            cluster.role_of(ReplicaId(1), Mode::Dog, view),
+            ReplicaRole::Passive
+        );
+        assert_eq!(
+            cluster.role_of(ReplicaId(2), Mode::Dog, view),
+            ReplicaRole::Active
+        );
+        // Peacock: public primary, private replicas passive.
+        assert_eq!(
+            cluster.role_of(
+                cluster.primary(Mode::Peacock, view).unwrap(),
+                Mode::Peacock,
+                view
+            ),
+            ReplicaRole::Primary
+        );
+        assert_eq!(
+            cluster.role_of(ReplicaId(0), Mode::Peacock, view),
+            ReplicaRole::Passive
+        );
     }
 
     #[test]

@@ -62,11 +62,17 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::CrashBoundExceedsPrivateCloud { private, crash_bound } => write!(
+            ConfigError::CrashBoundExceedsPrivateCloud {
+                private,
+                crash_bound,
+            } => write!(
                 f,
                 "crash bound c={crash_bound} exceeds private cloud size S={private}"
             ),
-            ConfigError::ByzantineBoundExceedsPublicCloud { public, byzantine_bound } => write!(
+            ConfigError::ByzantineBoundExceedsPublicCloud {
+                public,
+                byzantine_bound,
+            } => write!(
                 f,
                 "byzantine bound m={byzantine_bound} exceeds public cloud size P={public}"
             ),
@@ -166,7 +172,10 @@ impl fmt::Display for ProtocolViolation {
             ProtocolViolation::WrongView { got, expected } => {
                 write!(f, "message for {got} but replica is in {expected}")
             }
-            ProtocolViolation::UnexpectedSender { sender, expected_role } => {
+            ProtocolViolation::UnexpectedSender {
+                sender,
+                expected_role,
+            } => {
                 write!(f, "unexpected sender {sender}; expected {expected_role}")
             }
             ProtocolViolation::Equivocation { seq, view } => {
@@ -192,7 +201,10 @@ mod tests {
 
     #[test]
     fn config_error_messages_mention_parameters() {
-        let e = ConfigError::NetworkTooSmall { actual: 5, required: 6 };
+        let e = ConfigError::NetworkTooSmall {
+            actual: 5,
+            required: 6,
+        };
         assert!(e.to_string().contains("N=5"));
         assert!(e.to_string().contains("3m+2c+1=6"));
 
@@ -202,7 +214,10 @@ mod tests {
 
     #[test]
     fn violation_messages_render() {
-        let v = ProtocolViolation::WrongView { got: View(3), expected: View(2) };
+        let v = ProtocolViolation::WrongView {
+            got: View(3),
+            expected: View(2),
+        };
         assert!(v.to_string().contains("v3"));
         assert!(v.to_string().contains("v2"));
 

@@ -15,6 +15,10 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+// Quorum and network-size bounds are written exactly as the paper states
+// them (e.g. `n >= 3m + 2c + 1`); rewriting them as `n > 3m + 2c` to please
+// the lint would obscure the correspondence with Equation 1.
+#![allow(clippy::int_plus_one)]
 
 pub mod config;
 pub mod error;

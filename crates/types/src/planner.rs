@@ -86,8 +86,12 @@ pub enum PlannerOutcome {
 /// * [`ConfigError::InvalidPlannerInput`] if the ratios are not in `[0, 1)`
 ///   or the crash bound exceeds the private cloud size.
 pub fn plan_with_ratios(input: PlannerInput) -> Result<PlannerOutcome, ConfigError> {
-    let PlannerInput { private_size: s, private_crash_bound: c, malicious_ratio: alpha, crash_ratio: beta } =
-        input;
+    let PlannerInput {
+        private_size: s,
+        private_crash_bound: c,
+        malicious_ratio: alpha,
+        crash_ratio: beta,
+    } = input;
     if !(0.0..1.0).contains(&alpha) || !(0.0..1.0).contains(&beta) {
         return Err(ConfigError::InvalidPlannerInput(format!(
             "ratios must be in [0, 1): alpha={alpha}, beta={beta}"
@@ -101,7 +105,9 @@ pub fn plan_with_ratios(input: PlannerInput) -> Result<PlannerOutcome, ConfigErr
 
     // S >= 2c + 1: the private cloud can run Paxos by itself.
     if s >= 2 * c + 1 {
-        return Ok(PlannerOutcome::PrivateCloudSufficient { required_private: 2 * c + 1 });
+        return Ok(PlannerOutcome::PrivateCloudSufficient {
+            required_private: 2 * c + 1,
+        });
     }
 
     let denominator = 3.0 * alpha + 2.0 * beta - 1.0;
@@ -118,7 +124,10 @@ pub fn plan_with_ratios(input: PlannerInput) -> Result<PlannerOutcome, ConfigErr
         loop {
             let m = expected_byzantine(p, alpha);
             if p >= 3 * m + 1 {
-                return Ok(PlannerOutcome::UsePublicCloudOnly { rent: p, byzantine_bound: m });
+                return Ok(PlannerOutcome::UsePublicCloudOnly {
+                    rent: p,
+                    byzantine_bound: m,
+                });
             }
             p += 1;
         }
@@ -192,7 +201,11 @@ pub fn cluster_from_outcome(
     outcome: PlannerOutcome,
 ) -> Result<ClusterConfig, ConfigError> {
     match outcome {
-        PlannerOutcome::RentFromPublicCloud { rent, byzantine_bound, .. } => ClusterConfig::new(
+        PlannerOutcome::RentFromPublicCloud {
+            rent,
+            byzantine_bound,
+            ..
+        } => ClusterConfig::new(
             private_size,
             rent,
             FailureBounds::new(private_crash_bound, byzantine_bound),
@@ -220,10 +233,13 @@ mod tests {
     #[test]
     fn paper_worked_example() {
         // Section 4: S = 2, c = 1, alpha = 0.3  =>  P = 10.
-        let outcome =
-            plan_with_ratios(PlannerInput::with_malicious_ratio(2, 1, 0.3)).unwrap();
+        let outcome = plan_with_ratios(PlannerInput::with_malicious_ratio(2, 1, 0.3)).unwrap();
         match outcome {
-            PlannerOutcome::RentFromPublicCloud { rent, byzantine_bound, network_size } => {
+            PlannerOutcome::RentFromPublicCloud {
+                rent,
+                byzantine_bound,
+                network_size,
+            } => {
                 assert_eq!(rent, 10);
                 assert_eq!(byzantine_bound, 3); // ceil(0.3 * 10)
                 assert_eq!(network_size, 12); // 3*3 + 2*1 + 1
@@ -234,18 +250,27 @@ mod tests {
 
     #[test]
     fn sufficient_private_cloud_needs_no_rental() {
-        let outcome =
-            plan_with_ratios(PlannerInput::with_malicious_ratio(5, 2, 0.2)).unwrap();
-        assert_eq!(outcome, PlannerOutcome::PrivateCloudSufficient { required_private: 5 });
+        let outcome = plan_with_ratios(PlannerInput::with_malicious_ratio(5, 2, 0.2)).unwrap();
+        assert_eq!(
+            outcome,
+            PlannerOutcome::PrivateCloudSufficient {
+                required_private: 5
+            }
+        );
 
         let outcome = plan_with_explicit_bounds(7, 3, 1, 0).unwrap();
-        assert_eq!(outcome, PlannerOutcome::PrivateCloudSufficient { required_private: 7 });
+        assert_eq!(
+            outcome,
+            PlannerOutcome::PrivateCloudSufficient {
+                required_private: 7
+            }
+        );
     }
 
     #[test]
     fn malicious_ratio_one_third_is_rejected() {
-        let err = plan_with_ratios(PlannerInput::with_malicious_ratio(2, 1, 1.0 / 3.0))
-            .unwrap_err();
+        let err =
+            plan_with_ratios(PlannerInput::with_malicious_ratio(2, 1, 1.0 / 3.0)).unwrap_err();
         assert!(matches!(err, ConfigError::MaliciousRatioTooHigh { .. }));
 
         // With a crash ratio the combined denominator can also be infeasible.
@@ -275,10 +300,12 @@ mod tests {
 
     #[test]
     fn no_private_cloud_falls_back_to_bft() {
-        let outcome =
-            plan_with_ratios(PlannerInput::with_malicious_ratio(0, 0, 0.2)).unwrap();
+        let outcome = plan_with_ratios(PlannerInput::with_malicious_ratio(0, 0, 0.2)).unwrap();
         match outcome {
-            PlannerOutcome::UsePublicCloudOnly { rent, byzantine_bound } => {
+            PlannerOutcome::UsePublicCloudOnly {
+                rent,
+                byzantine_bound,
+            } => {
                 assert!(rent >= 3 * byzantine_bound + 1);
                 assert!(byzantine_bound >= 1 || rent >= 1);
             }
@@ -286,8 +313,7 @@ mod tests {
         }
 
         // S = c: every private node may crash, so the private cloud is useless.
-        let outcome =
-            plan_with_ratios(PlannerInput::with_malicious_ratio(1, 1, 0.1)).unwrap();
+        let outcome = plan_with_ratios(PlannerInput::with_malicious_ratio(1, 1, 0.1)).unwrap();
         assert!(matches!(outcome, PlannerOutcome::UsePublicCloudOnly { .. }));
     }
 
@@ -297,7 +323,11 @@ mod tests {
         // (3*2 + 2*1 + 2*1 + 1) - 2 = 11 - 2 = 9.
         let outcome = plan_with_explicit_bounds(2, 1, 2, 1).unwrap();
         match outcome {
-            PlannerOutcome::RentFromPublicCloud { rent, byzantine_bound, network_size } => {
+            PlannerOutcome::RentFromPublicCloud {
+                rent,
+                byzantine_bound,
+                network_size,
+            } => {
                 assert_eq!(rent, 9);
                 assert_eq!(byzantine_bound, 2);
                 assert_eq!(network_size, 11);
@@ -312,7 +342,11 @@ mod tests {
         // 3M + 1 nodes; the planner must still rent enough for the proxies.
         let outcome = plan_with_explicit_bounds(2, 1, 3, 0).unwrap();
         match outcome {
-            PlannerOutcome::RentFromPublicCloud { rent, byzantine_bound, .. } => {
+            PlannerOutcome::RentFromPublicCloud {
+                rent,
+                byzantine_bound,
+                ..
+            } => {
                 assert!(rent >= 3 * byzantine_bound + 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -321,8 +355,7 @@ mod tests {
 
     #[test]
     fn rental_outcomes_produce_valid_clusters() {
-        let outcome =
-            plan_with_ratios(PlannerInput::with_malicious_ratio(2, 1, 0.3)).unwrap();
+        let outcome = plan_with_ratios(PlannerInput::with_malicious_ratio(2, 1, 0.3)).unwrap();
         let cluster = cluster_from_outcome(2, 1, outcome).unwrap();
         assert_eq!(cluster.total_size(), 12);
         assert!(cluster.quorum(crate::Mode::Lion).is_valid());
@@ -337,13 +370,18 @@ mod tests {
         assert!(cluster_from_outcome(
             5,
             2,
-            PlannerOutcome::PrivateCloudSufficient { required_private: 5 }
+            PlannerOutcome::PrivateCloudSufficient {
+                required_private: 5
+            }
         )
         .is_err());
         assert!(cluster_from_outcome(
             0,
             0,
-            PlannerOutcome::UsePublicCloudOnly { rent: 4, byzantine_bound: 1 }
+            PlannerOutcome::UsePublicCloudOnly {
+                rent: 4,
+                byzantine_bound: 1
+            }
         )
         .is_err());
     }

@@ -86,7 +86,10 @@ impl QuorumSpec {
     /// kept at the model minimum; `network_size` must be at least the model
     /// minimum for the spec to be [`valid`](Self::is_valid).
     pub fn with_network_size(self, network_size: u32) -> QuorumSpec {
-        QuorumSpec { network_size, ..self }
+        QuorumSpec {
+            network_size,
+            ..self
+        }
     }
 
     /// Total number of failures of any kind tolerated.
@@ -108,8 +111,7 @@ impl QuorumSpec {
     ///   `network - (c + m) >= quorum` (liveness).
     pub fn is_valid(&self) -> bool {
         let intersection_ok = self.min_intersection() >= i64::from(self.byzantine_bound) + 1;
-        let liveness_ok =
-            self.network_size >= self.quorum_size + self.total_faults();
+        let liveness_ok = self.network_size >= self.quorum_size + self.total_faults();
         let quorum_fits = self.quorum_size <= self.network_size;
         intersection_ok && liveness_ok && quorum_fits
     }

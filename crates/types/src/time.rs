@@ -72,6 +72,7 @@ impl Duration {
     }
 
     /// Multiplies the duration by an integer factor.
+    #[allow(clippy::should_implement_trait)] // an inherent, panic-free scalar helper
     pub fn mul(self, factor: u64) -> Duration {
         Duration(self.0 * factor)
     }

@@ -1,0 +1,213 @@
+//! Deterministic RNG shim covering the slice of the `rand` 0.8 API this
+//! workspace uses: `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` methods `gen`, `gen_bool` and `gen_range` over integer and float
+//! ranges.
+//!
+//! The generator is xorshift64* seeded through SplitMix64 — small, fast and
+//! deterministic, which is all the discrete-event simulator needs (its
+//! reproducibility guarantees only require that a given seed always produces
+//! the same stream).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a raw 64-bit draw.
+pub trait Standard: Sized {
+    /// Derives a value from one uniformly random `u64`.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),*) => {
+        $(impl Standard for $ty {
+            fn from_u64(raw: u64) -> Self {
+                raw as $ty
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges that can be sampled with a stream of raw 64-bit draws.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),*) => {
+        $(impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (next() % span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return next() as $ty;
+                }
+                start + (next() % (span + 1)) as $ty
+            }
+        })*
+    };
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = f64::from_u64(next());
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        let unit = f64::from_u64(next());
+        start + unit * (end - start)
+    }
+}
+
+/// The slice of `rand::Rng` this workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        let raw = self.next_u64();
+        T::from_u64(raw)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = f64::from_u64(self.next_u64());
+        unit < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample_from(&mut next)
+    }
+}
+
+/// The slice of `rand::SeedableRng` this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used for seeding and as a stream finalizer.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 guarantees a non-zero, well-mixed state even for
+            // adversarial seeds like 0.
+            let mut s = seed;
+            let state = splitmix64(&mut s) | 1;
+            SmallRng { state }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0u64..10);
+            assert!(v < 10);
+            let f = rng.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&f));
+            let u = rng.gen_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_produces_all_byte_values_eventually() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 256];
+        for _ in 0..100_000 {
+            seen[rng.gen::<u8>() as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

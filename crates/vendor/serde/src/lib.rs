@@ -1,0 +1,16 @@
+//! API-surface shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros so that `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without network access.
+//! Nothing in this workspace actually serializes through serde — messages
+//! move between nodes as plain Rust values and the `WireSize` trait models
+//! their encoded size — so empty marker traits are sufficient.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

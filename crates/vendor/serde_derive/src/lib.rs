@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace never serializes messages to bytes — the wire-size model in
+//! `seemore-wire` replaces a real codec — so the `Serialize` / `Deserialize`
+//! derives only need to exist, not to generate impls. These derives accept
+//! any input and emit nothing, which keeps every `#[derive(Serialize,
+//! Deserialize)]` in the tree compiling without a registry connection.
+
+use proc_macro::TokenStream;
+
+/// Accepts any item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,10 +1,13 @@
 //! Agreement-phase messages: `PREPARE`, `PRE-PREPARE`, `ACCEPT`,
 //! PBFT-style `PREPARE` votes, `COMMIT` and `INFORM`.
 //!
-//! Naming follows the paper:
+//! The unit of agreement is a [`Batch`] of client requests: proposals carry
+//! the full batch and every digest field is the batch's combined digest, so
+//! one slot of quorum traffic orders every request in the batch. Naming
+//! follows the paper:
 //!
 //! * [`Prepare`] is the trusted primary's proposal in the Lion and Dog modes
-//!   (`⟨⟨PREPARE, v, n, d⟩_σp, µ⟩`).
+//!   (`⟨⟨PREPARE, v, n, d⟩_σp, µ⟩` with `µ` generalized to a batch).
 //! * [`PrePrepare`] is the untrusted primary's proposal in the Peacock mode
 //!   and in the PBFT / S-UpRight baselines.
 //! * [`Accept`] is the backup/proxy vote of the Lion and Dog modes; it is
@@ -13,12 +16,12 @@
 //! * [`PbftPrepare`] is the first all-to-all vote of PBFT-style agreement
 //!   (used by Peacock and the BFT / S-UpRight baselines).
 //! * [`Commit`] doubles as the trusted primary's commit announcement
-//!   (Lion — carries the request so lagging replicas can still execute) and
+//!   (Lion — carries the batch so lagging replicas can still execute) and
 //!   as the commit vote of proxy/PBFT agreement.
-//! * [`Inform`] notifies passive replicas that a request committed
+//! * [`Inform`] notifies passive replicas that a batch committed
 //!   (Dog and Peacock modes).
 
-use crate::client::ClientRequest;
+use crate::batch::Batch;
 use crate::size::{
     canonical_bytes, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
 };
@@ -27,17 +30,17 @@ use seemore_types::{ReplicaId, SeqNum, View};
 use serde::{Deserialize, Serialize};
 
 /// `⟨⟨PREPARE, v, n, d⟩_σp, µ⟩` — the trusted primary's proposal
-/// (Lion and Dog modes).
+/// (Lion and Dog modes), ordering one batch at sequence number `n`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Prepare {
-    /// View in which the request is proposed.
+    /// View in which the batch is proposed.
     pub view: View,
     /// Sequence number assigned by the primary.
     pub seq: SeqNum,
-    /// Digest of the client request.
+    /// Combined digest of the proposed batch.
     pub digest: Digest,
-    /// The full client request `µ` (attached so every replica can execute).
-    pub request: ClientRequest,
+    /// The full batch (attached so every replica can execute).
+    pub batch: Batch,
     /// The primary's signature over `(view, seq, digest)`.
     pub signature: Signature,
 }
@@ -64,22 +67,22 @@ impl SignedPayload for Prepare {
 
 impl WireSize for Prepare {
     fn wire_size(&self) -> usize {
-        HEADER_LEN + 2 * INT_LEN + DIGEST_LEN + self.request.wire_size() + SIGNATURE_LEN
+        HEADER_LEN + 2 * INT_LEN + DIGEST_LEN + self.batch.wire_size() + SIGNATURE_LEN
     }
 }
 
 /// `⟨⟨PRE-PREPARE, v, n, d⟩_σp, µ⟩` — the untrusted primary's proposal
-/// (Peacock mode, PBFT and S-UpRight baselines).
+/// (Peacock mode, PBFT and S-UpRight baselines), ordering one batch.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrePrepare {
-    /// View in which the request is proposed.
+    /// View in which the batch is proposed.
     pub view: View,
     /// Sequence number assigned by the primary.
     pub seq: SeqNum,
-    /// Digest of the client request.
+    /// Combined digest of the proposed batch.
     pub digest: Digest,
-    /// The full client request `µ`.
-    pub request: ClientRequest,
+    /// The full batch.
+    pub batch: Batch,
     /// The primary's signature over `(view, seq, digest)`.
     pub signature: Signature,
 }
@@ -106,7 +109,7 @@ impl SignedPayload for PrePrepare {
 
 impl WireSize for PrePrepare {
     fn wire_size(&self) -> usize {
-        HEADER_LEN + 2 * INT_LEN + DIGEST_LEN + self.request.wire_size() + SIGNATURE_LEN
+        HEADER_LEN + 2 * INT_LEN + DIGEST_LEN + self.batch.wire_size() + SIGNATURE_LEN
     }
 }
 
@@ -119,7 +122,7 @@ pub struct Accept {
     pub view: View,
     /// Sequence number being voted on.
     pub seq: SeqNum,
-    /// Digest of the request being voted on.
+    /// Combined digest of the batch being voted on.
     pub digest: Digest,
     /// The voting replica.
     pub replica: ReplicaId,
@@ -154,7 +157,11 @@ impl WireSize for Accept {
             + 2 * INT_LEN
             + DIGEST_LEN
             + INT_LEN
-            + if self.signature.is_some() { SIGNATURE_LEN } else { 0 }
+            + if self.signature.is_some() {
+                SIGNATURE_LEN
+            } else {
+                0
+            }
     }
 }
 
@@ -167,7 +174,7 @@ pub struct PbftPrepare {
     pub view: View,
     /// Sequence number being voted on.
     pub seq: SeqNum,
-    /// Digest of the request being voted on.
+    /// Combined digest of the batch being voted on.
     pub digest: Digest,
     /// The voting replica.
     pub replica: ReplicaId,
@@ -203,21 +210,21 @@ impl WireSize for PbftPrepare {
 }
 
 /// `COMMIT` — either the trusted primary's commit announcement
-/// (Lion: `⟨⟨COMMIT, v, n, d⟩_σp, µ⟩`, request attached) or a commit vote in
-/// proxy / PBFT agreement (`⟨COMMIT, v, n, d, r⟩_σr`, no request).
+/// (Lion: `⟨⟨COMMIT, v, n, d⟩_σp, µ⟩`, batch attached) or a commit vote in
+/// proxy / PBFT agreement (`⟨COMMIT, v, n, d, r⟩_σr`, no batch).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Commit {
     /// View of the commit.
     pub view: View,
     /// Sequence number being committed.
     pub seq: SeqNum,
-    /// Digest of the committed request.
+    /// Combined digest of the committed batch.
     pub digest: Digest,
     /// The sending replica (the primary in Lion mode).
     pub replica: ReplicaId,
-    /// The full request, attached only by the Lion-mode primary so that
+    /// The full batch, attached only by the Lion-mode primary so that
     /// replicas that missed the `PREPARE` can still execute.
-    pub request: Option<ClientRequest>,
+    pub batch: Option<Batch>,
     /// The sender's signature.
     pub signature: Signature,
 }
@@ -245,20 +252,20 @@ impl SignedPayload for Commit {
 
 impl WireSize for Commit {
     fn wire_size(&self) -> usize {
-        HEADER_LEN + 3 * INT_LEN + DIGEST_LEN + self.request.wire_size() + SIGNATURE_LEN
+        HEADER_LEN + 3 * INT_LEN + DIGEST_LEN + self.batch.wire_size() + SIGNATURE_LEN
     }
 }
 
 /// `⟨INFORM, v, n, d, r⟩_σr` — sent by proxies to passive replicas (private
-/// cloud and non-proxy public replicas) once a request has committed
+/// cloud and non-proxy public replicas) once a batch has committed
 /// (Dog and Peacock modes).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Inform {
-    /// View of the committed request.
+    /// View of the committed batch.
     pub view: View,
-    /// Sequence number of the committed request.
+    /// Sequence number of the committed batch.
     pub seq: SeqNum,
-    /// Digest of the committed request.
+    /// Combined digest of the committed batch.
     pub digest: Digest,
     /// The proxy sending the notification.
     pub replica: ReplicaId,
@@ -296,34 +303,38 @@ impl WireSize for Inform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::ClientRequest;
     use seemore_crypto::{KeyStore, Signer};
     use seemore_types::{ClientId, NodeId, Timestamp};
 
-    fn fixtures() -> (KeyStore, Signer, ClientRequest) {
-        let ks = KeyStore::generate(3, 4, 1);
-        let client_signer = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
-        let request =
-            ClientRequest::new(ClientId(0), Timestamp(1), b"op".to_vec(), &client_signer);
+    fn fixtures() -> (KeyStore, Signer, Batch) {
+        let ks = KeyStore::generate(3, 4, 2);
+        let c0 = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
+        let c1 = ks.signer_for(NodeId::Client(ClientId(1))).unwrap();
+        let batch = Batch::new(vec![
+            ClientRequest::new(ClientId(0), Timestamp(1), b"op-a".to_vec(), &c0),
+            ClientRequest::new(ClientId(1), Timestamp(1), b"op-b".to_vec(), &c1),
+        ]);
         let primary = ks.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
-        (ks, primary, request)
+        (ks, primary, batch)
     }
 
     #[test]
     fn prepare_and_preprepare_share_key_semantics() {
-        let (_, primary, request) = fixtures();
-        let digest = request.digest();
+        let (_, primary, batch) = fixtures();
+        let digest = batch.digest();
         let prepare = Prepare {
             view: View(1),
             seq: SeqNum(5),
             digest,
-            request: request.clone(),
+            batch: batch.clone(),
             signature: primary.sign(b"x"),
         };
         let preprepare = PrePrepare {
             view: View(1),
             seq: SeqNum(5),
             digest,
-            request,
+            batch,
             signature: primary.sign(b"x"),
         };
         assert_eq!(prepare.key(), preprepare.key());
@@ -332,25 +343,49 @@ mod tests {
 
     #[test]
     fn signing_bytes_differ_between_message_kinds() {
-        let (_, _, request) = fixtures();
-        let digest = request.digest();
+        let (_, _, batch) = fixtures();
+        let digest = batch.digest();
         let prepare = Prepare {
             view: View(0),
             seq: SeqNum(1),
             digest,
-            request: request.clone(),
+            batch: batch.clone(),
             signature: Signature::INVALID,
         };
         let preprepare = PrePrepare {
             view: View(0),
             seq: SeqNum(1),
             digest,
-            request,
+            batch,
             signature: Signature::INVALID,
         };
         // A signature on a PREPARE must not validate a PRE-PREPARE with the
         // same fields (domain separation via the label).
         assert_ne!(prepare.signing_bytes(), preprepare.signing_bytes());
+    }
+
+    #[test]
+    fn proposal_signature_binds_the_batch_through_its_digest() {
+        let (ks, primary, batch) = fixtures();
+        let mut prepare = Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: batch.digest(),
+            batch: batch.clone(),
+            signature: Signature::INVALID,
+        };
+        prepare.signature = primary.sign(&prepare.signing_bytes());
+        assert!(ks.verify(
+            NodeId::Replica(ReplicaId(0)),
+            &prepare.signing_bytes(),
+            &prepare.signature
+        ));
+        // Reordering the batch changes the digest, so the signed bytes no
+        // longer describe the carried batch.
+        let mut requests = batch.clone().into_requests();
+        requests.reverse();
+        let reordered = Batch::new(requests);
+        assert_ne!(reordered.digest(), prepare.digest);
     }
 
     #[test]
@@ -363,28 +398,34 @@ mod tests {
             replica: ReplicaId(3),
             signature: None,
         };
-        let signed = Accept { signature: Some(Signature::INVALID), ..unsigned.clone() };
+        let signed = Accept {
+            signature: Some(Signature::INVALID),
+            ..unsigned.clone()
+        };
         assert_eq!(signed.wire_size() - unsigned.wire_size(), SIGNATURE_LEN);
         assert_eq!(unsigned.signing_bytes(), signed.signing_bytes());
     }
 
     #[test]
-    fn commit_carries_request_only_in_lion_mode_usage() {
-        let (_, primary, request) = fixtures();
-        let digest = request.digest();
-        let with_request = Commit {
+    fn commit_carries_batch_only_in_lion_mode_usage() {
+        let (_, primary, batch) = fixtures();
+        let digest = batch.digest();
+        let with_batch = Commit {
             view: View(0),
             seq: SeqNum(1),
             digest,
             replica: ReplicaId(0),
-            request: Some(request.clone()),
+            batch: Some(batch.clone()),
             signature: primary.sign(b"c"),
         };
-        let without = Commit { request: None, ..with_request.clone() };
-        assert!(with_request.wire_size() > without.wire_size());
-        // The request is NOT part of the signed bytes: the signature covers
-        // (view, seq, digest) and the digest already binds the request.
-        assert_eq!(with_request.signing_bytes(), without.signing_bytes());
+        let without = Commit {
+            batch: None,
+            ..with_batch.clone()
+        };
+        assert!(with_batch.wire_size() > without.wire_size());
+        // The batch is NOT part of the signed bytes: the signature covers
+        // (view, seq, digest) and the digest already binds the batch.
+        assert_eq!(with_batch.signing_bytes(), without.signing_bytes());
     }
 
     #[test]
@@ -397,7 +438,10 @@ mod tests {
             replica: ReplicaId(1),
             signature: Signature::INVALID,
         };
-        let b = PbftPrepare { replica: ReplicaId(2), ..a.clone() };
+        let b = PbftPrepare {
+            replica: ReplicaId(2),
+            ..a.clone()
+        };
         assert_ne!(a.signing_bytes(), b.signing_bytes());
 
         let i = Inform {
@@ -407,19 +451,22 @@ mod tests {
             replica: ReplicaId(1),
             signature: Signature::INVALID,
         };
-        let j = Inform { replica: ReplicaId(2), ..i.clone() };
+        let j = Inform {
+            replica: ReplicaId(2),
+            ..i.clone()
+        };
         assert_ne!(i.signing_bytes(), j.signing_bytes());
         assert_eq!(i.key(), j.key());
     }
 
     #[test]
     fn verified_round_trip_with_keystore() {
-        let (ks, primary, request) = fixtures();
+        let (ks, primary, batch) = fixtures();
         let mut prepare = Prepare {
             view: View(0),
             seq: SeqNum(1),
-            digest: request.digest(),
-            request,
+            digest: batch.digest(),
+            batch,
             signature: Signature::INVALID,
         };
         prepare.signature = primary.sign(&prepare.signing_bytes());
@@ -434,5 +481,27 @@ mod tests {
             &prepare.signing_bytes(),
             &prepare.signature
         ));
+    }
+
+    #[test]
+    fn proposal_wire_size_scales_with_batch_size() {
+        let (ks, primary, batch) = fixtures();
+        let single = Batch::single(batch.requests()[0].clone());
+        let small = Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: single.digest(),
+            batch: single,
+            signature: primary.sign(b"s"),
+        };
+        let large = Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: batch.digest(),
+            batch: batch.clone(),
+            signature: primary.sign(b"l"),
+        };
+        assert!(large.wire_size() > small.wire_size());
+        let _ = ks;
     }
 }

@@ -218,9 +218,19 @@ mod tests {
         let replica = ReplicaId(2);
         let signer = ks.signer_for(NodeId::Replica(replica)).unwrap();
         let id = RequestId::new(ClientId(1), Timestamp(9));
-        let reply =
-            ClientReply::new(Mode::Peacock, View(4), id, replica, b"value".to_vec(), &signer);
-        assert!(ks.verify(NodeId::Replica(replica), &reply.signing_bytes(), &reply.signature));
+        let reply = ClientReply::new(
+            Mode::Peacock,
+            View(4),
+            id,
+            replica,
+            b"value".to_vec(),
+            &signer,
+        );
+        assert!(ks.verify(
+            NodeId::Replica(replica),
+            &reply.signing_bytes(),
+            &reply.signature
+        ));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Control-plane messages: checkpoints, view changes, new views, mode
 //! changes and state transfer.
 
-use crate::client::ClientRequest;
+use crate::batch::Batch;
 use crate::size::{
     canonical_bytes, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
 };
@@ -48,7 +48,7 @@ impl WireSize for Checkpoint {
 
 /// Evidence that a `PREPARE` / `PRE-PREPARE` was received from the primary
 /// of `view` for `(seq, digest)`; carried inside `VIEW-CHANGE` messages
-/// (the paper's set `P`, "without the request message µ" — the request is
+/// (the paper's set `P`, "without the request message µ" — the batch is
 /// attached only when the sender still has it and the new primary may need
 /// it to re-propose).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,39 +57,39 @@ pub struct PrepareCert {
     pub view: View,
     /// Sequence number of the proposal.
     pub seq: SeqNum,
-    /// Digest of the proposed request.
+    /// Combined digest of the proposed batch.
     pub digest: Digest,
     /// Signature of the primary that made the proposal.
     pub primary_signature: Signature,
-    /// The request itself, when available, so the new primary can re-issue it.
-    pub request: Option<ClientRequest>,
+    /// The batch itself, when available, so the new primary can re-issue it.
+    pub batch: Option<Batch>,
 }
 
 impl WireSize for PrepareCert {
     fn wire_size(&self) -> usize {
-        2 * INT_LEN + DIGEST_LEN + SIGNATURE_LEN + self.request.wire_size()
+        2 * INT_LEN + DIGEST_LEN + SIGNATURE_LEN + self.batch.wire_size()
     }
 }
 
-/// Evidence that a request committed (the paper's set `C` in the Lion mode):
+/// Evidence that a batch committed (the paper's set `C` in the Lion mode):
 /// a `COMMIT` signed by the primary of `view`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommitCert {
     /// View the commit happened in.
     pub view: View,
-    /// Sequence number of the committed request.
+    /// Sequence number of the committed batch.
     pub seq: SeqNum,
-    /// Digest of the committed request.
+    /// Combined digest of the committed batch.
     pub digest: Digest,
     /// Signature of the primary that committed it.
     pub primary_signature: Signature,
-    /// The request itself, when available.
-    pub request: Option<ClientRequest>,
+    /// The batch itself, when available.
+    pub batch: Option<Batch>,
 }
 
 impl WireSize for CommitCert {
     fn wire_size(&self) -> usize {
-        2 * INT_LEN + DIGEST_LEN + SIGNATURE_LEN + self.request.wire_size()
+        2 * INT_LEN + DIGEST_LEN + SIGNATURE_LEN + self.batch.wire_size()
     }
 }
 
@@ -275,7 +275,7 @@ impl WireSize for StateRequest {
     }
 }
 
-/// Response to a [`StateRequest`]: the committed requests starting at the
+/// Response to a [`StateRequest`]: the committed batches starting at the
 /// requested sequence number, plus the sender's latest stable checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateResponse {
@@ -284,8 +284,8 @@ pub struct StateResponse {
     /// Serialized application state at the sender's stable checkpoint, so a
     /// lagging replica can catch up without replaying the whole history.
     pub snapshot: Option<Vec<u8>>,
-    /// Committed `(seq, request)` pairs above the checkpoint.
-    pub entries: Vec<(SeqNum, ClientRequest)>,
+    /// Committed `(seq, batch)` pairs above the checkpoint.
+    pub entries: Vec<(SeqNum, Batch)>,
     /// The responding replica.
     pub replica: ReplicaId,
 }
@@ -301,7 +301,7 @@ impl WireSize for StateResponse {
             + self
                 .entries
                 .iter()
-                .map(|(_, r)| INT_LEN + r.wire_size())
+                .map(|(_, batch)| INT_LEN + batch.wire_size())
                 .sum::<usize>()
     }
 }
@@ -309,6 +309,7 @@ impl WireSize for StateResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::ClientRequest;
     use seemore_crypto::{KeyStore, Signer};
     use seemore_types::{ClientId, NodeId, Timestamp};
 
@@ -316,9 +317,14 @@ mod tests {
         ks.signer_for(NodeId::Replica(ReplicaId(r))).unwrap()
     }
 
-    fn request(ks: &KeyStore) -> ClientRequest {
+    fn batch(ks: &KeyStore) -> Batch {
         let signer = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
-        ClientRequest::new(ClientId(0), Timestamp(1), b"op".to_vec(), &signer)
+        Batch::single(ClientRequest::new(
+            ClientId(0),
+            Timestamp(1),
+            b"op".to_vec(),
+            &signer,
+        ))
     }
 
     #[test]
@@ -332,8 +338,15 @@ mod tests {
             signature: Signature::INVALID,
         };
         cp.signature = s.sign(&cp.signing_bytes());
-        assert!(ks.verify(NodeId::Replica(ReplicaId(0)), &cp.signing_bytes(), &cp.signature));
-        let tampered = Checkpoint { state_digest: Digest::of_bytes(b"other"), ..cp.clone() };
+        assert!(ks.verify(
+            NodeId::Replica(ReplicaId(0)),
+            &cp.signing_bytes(),
+            &cp.signature
+        ));
+        let tampered = Checkpoint {
+            state_digest: Digest::of_bytes(b"other"),
+            ..cp.clone()
+        };
         assert!(!ks.verify(
             NodeId::Replica(ReplicaId(0)),
             &tampered.signing_bytes(),
@@ -344,7 +357,7 @@ mod tests {
     #[test]
     fn view_change_signature_covers_certificates() {
         let ks = KeyStore::generate(9, 4, 1);
-        let req = request(&ks);
+        let batch = batch(&ks);
         let base = ViewChange {
             new_view: View(2),
             mode: Mode::Lion,
@@ -353,9 +366,9 @@ mod tests {
             prepares: vec![PrepareCert {
                 view: View(1),
                 seq: SeqNum(1),
-                digest: req.digest(),
+                digest: batch.digest(),
                 primary_signature: Signature::INVALID,
-                request: Some(req.clone()),
+                batch: Some(batch.clone()),
             }],
             commits: vec![],
             replica: ReplicaId(3),
@@ -369,9 +382,9 @@ mod tests {
         commit_added.commits.push(CommitCert {
             view: View(1),
             seq: SeqNum(1),
-            digest: req.digest(),
+            digest: batch.digest(),
             primary_signature: Signature::INVALID,
-            request: None,
+            batch: None,
         });
         assert_ne!(base.signing_bytes(), commit_added.signing_bytes());
     }
@@ -379,16 +392,16 @@ mod tests {
     #[test]
     fn new_view_signature_covers_reissued_proposals() {
         let ks = KeyStore::generate(9, 4, 1);
-        let req = request(&ks);
+        let batch = batch(&ks);
         let base = NewView {
             view: View(3),
             mode: Mode::Dog,
             prepares: vec![PrepareCert {
                 view: View(3),
                 seq: SeqNum(7),
-                digest: req.digest(),
+                digest: batch.digest(),
                 primary_signature: Signature::INVALID,
-                request: Some(req),
+                batch: Some(batch),
             }],
             commits: vec![],
             checkpoint: None,
@@ -399,12 +412,16 @@ mod tests {
         let mut different = base.clone();
         different.prepares[0].digest = Digest::of_bytes(b"other");
         assert_ne!(base.signing_bytes(), different.signing_bytes());
-        assert_ne!(base.signing_bytes(), ModeChange {
-            new_view: View(3),
-            new_mode: Mode::Dog,
-            replica: ReplicaId(1),
-            signature: Signature::INVALID,
-        }.signing_bytes());
+        assert_ne!(
+            base.signing_bytes(),
+            ModeChange {
+                new_view: View(3),
+                new_mode: Mode::Dog,
+                replica: ReplicaId(1),
+                signature: Signature::INVALID,
+            }
+            .signing_bytes()
+        );
     }
 
     #[test]
@@ -415,8 +432,14 @@ mod tests {
             replica: ReplicaId(0),
             signature: Signature::INVALID,
         };
-        let b = ModeChange { new_mode: Mode::Lion, ..a.clone() };
-        let c = ModeChange { new_view: View(6), ..a.clone() };
+        let b = ModeChange {
+            new_mode: Mode::Lion,
+            ..a.clone()
+        };
+        let c = ModeChange {
+            new_view: View(6),
+            ..a.clone()
+        };
         assert_ne!(a.signing_bytes(), b.signing_bytes());
         assert_ne!(a.signing_bytes(), c.signing_bytes());
     }
@@ -424,7 +447,7 @@ mod tests {
     #[test]
     fn wire_sizes_grow_with_certificates() {
         let ks = KeyStore::generate(9, 4, 1);
-        let req = request(&ks);
+        let batch = batch(&ks);
         let empty = ViewChange {
             new_view: View(1),
             mode: Mode::Lion,
@@ -439,9 +462,9 @@ mod tests {
         with_prepares.prepares.push(PrepareCert {
             view: View(0),
             seq: SeqNum(1),
-            digest: req.digest(),
+            digest: batch.digest(),
             primary_signature: Signature::INVALID,
-            request: Some(req.clone()),
+            batch: Some(batch.clone()),
         });
         assert!(with_prepares.wire_size() > empty.wire_size());
 
@@ -454,10 +477,17 @@ mod tests {
         let resp_full = StateResponse {
             checkpoint: None,
             snapshot: Some(vec![0u8; 128]),
-            entries: vec![(SeqNum(1), req)],
+            entries: vec![(SeqNum(1), batch)],
             replica: ReplicaId(0),
         };
         assert!(resp_full.wire_size() > resp_empty.wire_size());
-        assert!(StateRequest { from_seq: SeqNum(1), replica: ReplicaId(0) }.wire_size() > 0);
+        assert!(
+            StateRequest {
+                from_seq: SeqNum(1),
+                replica: ReplicaId(0)
+            }
+            .wire_size()
+                > 0
+        );
     }
 }

@@ -5,6 +5,8 @@
 //! evaluation (Paxos-style CFT, PBFT and S-UpRight):
 //!
 //! * client traffic — [`ClientRequest`] / [`ClientReply`],
+//! * the ordering unit — [`Batch`], an ordered sequence of requests agreed
+//!   on under one sequence number with one combined digest,
 //! * agreement traffic — [`Prepare`], [`PrePrepare`], [`Accept`],
 //!   [`PbftPrepare`], [`Commit`], [`Inform`],
 //! * control traffic — [`Checkpoint`], [`ViewChange`], [`NewView`],
@@ -21,12 +23,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod agreement;
+pub mod batch;
 pub mod client;
 pub mod control;
 pub mod message;
 pub mod size;
 
 pub use agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
+pub use batch::Batch;
 pub use client::{ClientReply, ClientRequest};
 pub use control::{
     Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,

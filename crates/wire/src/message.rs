@@ -3,9 +3,7 @@
 
 use crate::agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 use crate::client::{ClientReply, ClientRequest};
-use crate::control::{
-    Checkpoint, ModeChange, NewView, StateRequest, StateResponse, ViewChange,
-};
+use crate::control::{Checkpoint, ModeChange, NewView, StateRequest, StateResponse, ViewChange};
 use crate::size::WireSize;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -231,7 +229,10 @@ mod tests {
                 replica: ReplicaId(0),
                 signature: Signature::INVALID,
             }),
-            Message::StateRequest(StateRequest { from_seq: SeqNum(5), replica: ReplicaId(2) }),
+            Message::StateRequest(StateRequest {
+                from_seq: SeqNum(5),
+                replica: ReplicaId(2),
+            }),
         ];
         let kinds: Vec<MessageKind> = messages.iter().map(Message::kind).collect();
         assert_eq!(

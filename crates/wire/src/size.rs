@@ -58,9 +58,8 @@ pub trait SignedPayload {
 /// Helper used by message types to build canonical signing byte strings out
 /// of labelled fields (length-prefixed to avoid concatenation ambiguity).
 pub fn canonical_bytes(label: &str, fields: &[&[u8]]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(
-        label.len() + fields.iter().map(|f| f.len() + 8).sum::<usize>() + 8,
-    );
+    let mut out =
+        Vec::with_capacity(label.len() + fields.iter().map(|f| f.len() + 8).sum::<usize>() + 8);
     out.extend_from_slice(&(label.len() as u64).to_le_bytes());
     out.extend_from_slice(label.as_bytes());
     for field in fields {

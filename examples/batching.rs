@@ -1,0 +1,42 @@
+//! Batched agreement: the throughput lever.
+//!
+//! Sweeps the `max_batch` knob for one SeeMoRe mode and one baseline under a
+//! closed-loop load, showing how ordering a batch of requests per sequence
+//! number amortizes the per-slot quorum cost. `max_batch = 1` reproduces
+//! classic one-request-per-slot agreement.
+//!
+//! Run with: `cargo run --release --example batching`
+
+use seemore::runtime::{ProtocolKind, Scenario};
+use seemore::types::Duration;
+
+fn main() {
+    println!("Batched agreement under a closed loop of 32 clients (c = m = 1)");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>18} {:>14}",
+        "protocol", "max_batch", "throughput[kreq/s]", "latency[ms]"
+    );
+    for protocol in [ProtocolKind::SeeMoReLion, ProtocolKind::Bft] {
+        for max_batch in [1usize, 8, 64] {
+            let report = Scenario::new(protocol, 1, 1)
+                .with_clients(32)
+                .with_duration(Duration::from_millis(300), Duration::from_millis(75))
+                .with_batching(max_batch, Duration::from_micros(100))
+                .run();
+            println!(
+                "{:<10} {:>10} {:>18.3} {:>14.3}",
+                protocol.name(),
+                max_batch,
+                report.throughput_kreqs,
+                report.avg_latency_ms
+            );
+        }
+    }
+    println!();
+    println!(
+        "One slot of agreement traffic (proposal, votes, commit) orders the whole\n\
+         batch, so the per-request quorum cost falls roughly by the batch size;\n\
+         the flush timer (100 µs here) bounds the latency a buffered request pays."
+    );
+}

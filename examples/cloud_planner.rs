@@ -10,9 +10,7 @@
 
 use seemore::net::LatencyModel;
 use seemore::runtime::{ProtocolKind, Scenario};
-use seemore::types::planner::{
-    cluster_from_outcome, plan_with_explicit_bounds, plan_with_ratios,
-};
+use seemore::types::planner::{cluster_from_outcome, plan_with_explicit_bounds, plan_with_ratios};
 use seemore::types::{Duration, Mode, PlannerInput, PlannerOutcome};
 
 fn describe(outcome: &PlannerOutcome) -> String {

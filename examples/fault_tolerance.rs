@@ -11,7 +11,6 @@
 //! Run with: `cargo run --example fault_tolerance`
 
 use seemore::core::byzantine::ByzantineBehavior;
-use seemore::core::protocol::ReplicaProtocol;
 use seemore::runtime::{ProtocolKind, Scenario};
 use seemore::types::{Duration, Instant};
 
@@ -33,7 +32,10 @@ fn main() {
     );
     // Safety: the honest replicas agree on the execution history.
     let ids = sim.replica_ids();
-    let honest: Vec<_> = ids.iter().filter(|r| r.0 != ids.last().unwrap().0).collect();
+    let honest: Vec<_> = ids
+        .iter()
+        .filter(|r| r.0 != ids.last().unwrap().0)
+        .collect();
     let reference = sim.replica(*honest[0]).executed();
     for replica in &honest {
         let history = sim.replica(**replica).executed();
@@ -54,9 +56,20 @@ fn main() {
         .with_primary_crash(crash_at)
         .run();
     println!("time [ms]   throughput [kreq/s]   (primary crashed at t = 100 ms)");
-    for bucket in report.timeline.iter().filter(|b| b.start_ms >= 40.0 && b.start_ms <= 240.0) {
-        let marker = if (bucket.start_ms - 100.0).abs() < 5.0 { "  <- crash" } else { "" };
-        println!("{:>9.0}   {:>19.2}{marker}", bucket.start_ms, bucket.throughput_kreqs);
+    for bucket in report
+        .timeline
+        .iter()
+        .filter(|b| b.start_ms >= 40.0 && b.start_ms <= 240.0)
+    {
+        let marker = if (bucket.start_ms - 100.0).abs() < 5.0 {
+            "  <- crash"
+        } else {
+            ""
+        };
+        println!(
+            "{:>9.0}   {:>19.2}{marker}",
+            bucket.start_ms, bucket.throughput_kreqs
+        );
     }
     println!(
         "\n{} view change(s) completed; throughput dips during the change and recovers, as in Figure 4.\n",
@@ -74,13 +87,19 @@ fn main() {
     let (mut sim, _) = scenario.build();
     // Additionally crash one private replica (allowed: c = 1). Replica 1 is
     // the non-transferer trusted replica in view 0.
-    sim.schedule_crash(Instant::ZERO + Duration::from_millis(60), seemore::types::ReplicaId(1));
+    sim.schedule_crash(
+        Instant::ZERO + Duration::from_millis(60),
+        seemore::types::ReplicaId(1),
+    );
     sim.run_until(Instant::ZERO + scenario.duration);
     let report = sim.report(Instant::ZERO + scenario.warmup, Duration::from_millis(10));
     println!(
         "With one crashed private replica and one silent Byzantine proxy, the cluster completed {} requests ({:.2} kreq/s, {:.2} ms average latency).",
         report.completed, report.throughput_kreqs, report.avg_latency_ms
     );
-    assert!(report.completed > 0, "the protocol must stay live at its failure bounds");
+    assert!(
+        report.completed > 0,
+        "the protocol must stay live at its failure bounds"
+    );
     println!("SeeMoRe stays live exactly at its designed failure bounds (c = 1, m = 1).");
 }

@@ -13,7 +13,6 @@
 //!
 //! Run with: `cargo run --example mode_switching`
 
-use seemore::core::protocol::ReplicaProtocol;
 use seemore::net::LatencyModel;
 use seemore::runtime::{ProtocolKind, Scenario};
 use seemore::types::{Duration, Instant, Mode};
@@ -63,7 +62,10 @@ fn main() {
 
     println!("time [ms]   throughput [kreq/s]   (switch announced at t = 150 ms)");
     for bucket in &report.timeline {
-        println!("{:>9.0}   {:>19.2}", bucket.start_ms, bucket.throughput_kreqs);
+        println!(
+            "{:>9.0}   {:>19.2}",
+            bucket.start_ms, bucket.throughput_kreqs
+        );
     }
     println!();
     for replica in sim.replica_ids() {
@@ -79,5 +81,8 @@ fn main() {
         "\nCompleted {} requests in total; {} mode switch(es) installed; every replica now runs the Peacock mode.",
         report.completed, report.mode_switches
     );
-    assert!(sim.replica_ids().iter().all(|r| sim.replica(*r).mode() == Mode::Peacock));
+    assert!(sim
+        .replica_ids()
+        .iter()
+        .all(|r| sim.replica(*r).mode() == Mode::Peacock));
 }

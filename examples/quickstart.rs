@@ -60,19 +60,30 @@ fn main() {
 
     // 5. Issue a few operations and print the replies.
     let operations = vec![
-        KvOp::Put { key: b"alice".to_vec(), value: b"100".to_vec() },
-        KvOp::Put { key: b"bob".to_vec(), value: b"250".to_vec() },
-        KvOp::Get { key: b"alice".to_vec() },
-        KvOp::Append { key: b"audit-log".to_vec(), suffix: b"alice->bob:50;".to_vec() },
-        KvOp::Get { key: b"audit-log".to_vec() },
+        KvOp::Put {
+            key: b"alice".to_vec(),
+            value: b"100".to_vec(),
+        },
+        KvOp::Put {
+            key: b"bob".to_vec(),
+            value: b"250".to_vec(),
+        },
+        KvOp::Get {
+            key: b"alice".to_vec(),
+        },
+        KvOp::Append {
+            key: b"audit-log".to_vec(),
+            suffix: b"alice->bob:50;".to_vec(),
+        },
+        KvOp::Get {
+            key: b"audit-log".to_vec(),
+        },
     ];
     let ops_for_closure = operations.clone();
-    let (_client, outcomes) = runtime.run_client(
-        client,
-        operations.len(),
-        Duration::from_secs(5),
-        move |i| ops_for_closure[i].encode(),
-    );
+    let (_client, outcomes) =
+        runtime.run_client(client, operations.len(), Duration::from_secs(5), move |i| {
+            ops_for_closure[i].encode()
+        });
 
     for (op, outcome) in operations.iter().zip(&outcomes) {
         let result = KvResult::decode(&outcome.result).expect("well-formed reply");

@@ -8,17 +8,48 @@
 //! * [`types`] — identifiers, cluster configuration, quorum math and the
 //!   public-cloud sizing planner.
 //! * [`crypto`] — digests and (simulated) signatures.
-//! * [`wire`] — the protocol's message types.
+//! * [`wire`] — the protocol's message types, including the unit of
+//!   ordering: [`wire::Batch`].
 //! * [`net`] — the network substrate: in-memory transport, latency model,
 //!   fault injection and the discrete-event simulator.
 //! * [`app`] — the replicated application layer (state machine trait and a
 //!   key-value store).
 //! * [`core`] — the SeeMoRe protocol itself: Lion, Dog and Peacock modes,
-//!   view changes, checkpointing and dynamic mode switching.
+//!   view changes, checkpointing, dynamic mode switching and request
+//!   batching.
 //! * [`baselines`] — CFT (Multi-Paxos-like), BFT (PBFT) and S-UpRight
 //!   baselines used by the paper's evaluation.
 //! * [`runtime`] — cluster harness, workload generation, failure schedules
 //!   and metrics.
+//!
+//! # Batched agreement
+//!
+//! Agreement orders [`wire::Batch`]es — ordered, non-empty sequences of
+//! client requests that share one sequence number and one combined digest —
+//! rather than individual requests. A primary accumulates pending requests
+//! under the two-knob policy in [`core::batching::BatchConfig`]:
+//!
+//! * `max_batch` — a batch is proposed as soon as this many requests are
+//!   buffered (the size trigger);
+//! * `max_delay` — a partially filled batch is proposed at most this long
+//!   after the first request entered the empty buffer (the latency trigger).
+//!
+//! One slot of quorum traffic (proposal broadcast, vote round, commit) then
+//! orders every request in the batch, so per-request agreement cost falls
+//! roughly by the batch size — the standard throughput lever of leader-based
+//! replication. Replicas commit and execute batches atomically (all member
+//! requests, in batch order, or none) while still recording one
+//! [`core::exec::ExecutedEntry`] per request and replying to every client
+//! individually, so per-request safety properties stay directly checkable.
+//!
+//! With `max_batch = 1` (the default) the flush timer is never armed and the
+//! protocol reproduces unbatched one-request-per-slot agreement exactly —
+//! bit-for-bit identical executed histories for a fixed simulator seed. The
+//! knobs are surfaced per-replica through
+//! [`core::config::ProtocolConfig::batch`] and per-experiment through
+//! [`runtime::Scenario::with_batching`], and apply to all three SeeMoRe
+//! modes *and* both baselines so Table-1-style comparisons remain
+//! apples-to-apples.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

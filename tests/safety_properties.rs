@@ -3,24 +3,36 @@
 //! The core guarantee of State Machine Replication is that all non-faulty
 //! replicas execute the same requests in the same order, no matter how the
 //! network behaves within the model (drops, duplication, reordering) and no
-//! matter which tolerated failures occur. These tests drive randomized
-//! schedules through the deterministic simulator and assert that invariant,
-//! plus exactly-once execution per client timestamp.
+//! matter which tolerated failures occur. Because the unit of ordering is a
+//! *batch* of client requests, the tests additionally check batch atomicity:
+//! no request is lost, duplicated, or reordered across batch boundaries, a
+//! batch's requests execute contiguously under one sequence number, and a
+//! view change preserves prepared-but-uncommitted batches. All properties
+//! are checked across random batching policies (`max_batch` sizes and flush
+//! delays) in all three SeeMoRe modes.
+//!
+//! The history comparison is keyed by sequence number rather than by
+//! position so that a replica that legitimately skipped old slots via
+//! checkpoint state transfer is still comparable: for every slot two
+//! replicas both executed, they must have executed the identical batch.
 
 use proptest::prelude::*;
 use seemore::app::NoopApp;
+use seemore::core::batching::BatchConfig;
 use seemore::core::byzantine::{ByzantineBehavior, ByzantineReplica};
 use seemore::core::client::ClientCore;
 use seemore::core::config::ProtocolConfig;
 use seemore::core::replica::SeeMoReReplica;
 use seemore::crypto::KeyStore;
 use seemore::net::{CpuModel, LatencyModel, LinkFaults, Placement};
-use seemore::runtime::{SimConfig, Simulation, Workload};
-use seemore::types::{ClientId, ClusterConfig, Duration, Instant, Mode, ReplicaId};
-use std::collections::HashSet;
+use seemore::runtime::{ProtocolKind, Scenario, SimConfig, Simulation, Workload};
+use seemore::types::{
+    ClientId, ClusterConfig, Duration, Instant, Mode, ReplicaId, SeqNum, Timestamp,
+};
+use std::collections::{BTreeMap, HashMap};
 
-/// Builds a simulation with optional link faults, a Byzantine public replica
-/// and an optional crash of a private replica.
+/// Builds a simulation with optional link faults, a Byzantine public replica,
+/// an optional crash of a private replica, and a batching policy.
 #[allow(clippy::too_many_arguments)]
 fn build(
     mode: Mode,
@@ -31,6 +43,7 @@ fn build(
     crash_private_backup: bool,
     clients: u64,
     crash_primary_ms: Option<u64>,
+    batch: BatchConfig,
 ) -> (Simulation, ClusterConfig, Option<ReplicaId>) {
     let cluster = ClusterConfig::minimal(1, 1).unwrap();
     let keystore = KeyStore::generate(seed, cluster.total_size(), clients);
@@ -41,12 +54,13 @@ fn build(
         placement: Placement::hybrid(cluster),
         seed,
     });
+    let pconfig = ProtocolConfig::default().with_batching(batch);
     let byzantine_id = byzantine.map(|_| ReplicaId(cluster.total_size() - 1));
     for replica in cluster.replicas() {
         let core = SeeMoReReplica::new(
             replica,
             cluster,
-            ProtocolConfig::default(),
+            pconfig,
             keystore.clone(),
             mode,
             Box::new(NoopApp::new(16)),
@@ -82,39 +96,116 @@ fn build(
     (sim, cluster, byzantine_id)
 }
 
-/// Asserts prefix-consistency of executed histories across `replicas` and
-/// exactly-once execution per (client, timestamp) on each replica.
-fn assert_safety(sim: &Simulation, replicas: &[ReplicaId]) {
-    for pair in replicas.windows(2) {
-        let a = sim.replica(pair[0]).executed();
-        let b = sim.replica(pair[1]).executed();
-        for (x, y) in a.iter().zip(b.iter()) {
-            assert_eq!(x.seq, y.seq, "sequence divergence between {} and {}", pair[0], pair[1]);
-            assert_eq!(
-                x.digest, y.digest,
-                "request divergence between {} and {} at {}",
-                pair[0], pair[1], x.seq
-            );
-        }
+/// Per-slot executed batch content: the ordered request digests of the slot.
+fn slot_map(
+    sim: &Simulation,
+    replica: ReplicaId,
+) -> BTreeMap<SeqNum, Vec<seemore::crypto::Digest>> {
+    let mut slots: BTreeMap<SeqNum, Vec<seemore::crypto::Digest>> = BTreeMap::new();
+    for entry in sim.replica(replica).executed() {
+        slots.entry(entry.seq).or_default().push(entry.digest);
     }
+    slots
+}
+
+/// Asserts the SMR safety property plus batch atomicity across `replicas`:
+///
+/// * agreement — for every slot two replicas both executed, they executed
+///   the identical batch (same requests, same within-batch order);
+/// * batch atomicity — each replica's history executes slots in
+///   non-decreasing order and the requests of one slot contiguously, with
+///   within-batch offsets `0, 1, 2, …`;
+/// * exactly-once effects — duplicate executions of a request id (possible
+///   only via cache-served re-proposals) return the identical result, and a
+///   client's requests take effect in timestamp order.
+fn assert_safety(sim: &Simulation, replicas: &[ReplicaId]) {
     for replica in replicas {
         let history = sim.replica(*replica).executed();
-        let mut seen = HashSet::new();
+        let mut last_seq = SeqNum(0);
+        let mut expected_offset = 0usize;
+        let mut result_by_id: HashMap<_, _> = HashMap::new();
+        let mut last_client_ts: HashMap<ClientId, Timestamp> = HashMap::new();
         for entry in history {
-            assert!(
-                seen.insert(entry.request),
-                "{replica} executed {} twice",
-                entry.request
-            );
+            if entry.seq == last_seq {
+                assert_eq!(
+                    entry.offset, expected_offset,
+                    "{replica}: batch at {} executed non-contiguously",
+                    entry.seq
+                );
+            } else {
+                assert!(
+                    entry.seq > last_seq,
+                    "{replica}: slot order violated ({} after {})",
+                    entry.seq,
+                    last_seq
+                );
+                assert_eq!(
+                    entry.offset, 0,
+                    "{replica}: batch at {} started mid-way",
+                    entry.seq
+                );
+                last_seq = entry.seq;
+                expected_offset = 0;
+            }
+            expected_offset += 1;
+
+            if let Some(previous) = result_by_id.insert(entry.request, entry.result_digest) {
+                assert_eq!(
+                    previous, entry.result_digest,
+                    "{replica}: request {} re-executed with a different result",
+                    entry.request
+                );
+            }
+            if let Some(previous_ts) =
+                last_client_ts.insert(entry.request.client, entry.request.timestamp)
+            {
+                assert!(
+                    entry.request.timestamp >= previous_ts,
+                    "{replica}: client {} order inverted",
+                    entry.request.client
+                );
+            }
         }
+    }
+    for pair in replicas.windows(2) {
+        let a = slot_map(sim, pair[0]);
+        let b = slot_map(sim, pair[1]);
+        for (seq, batch_a) in &a {
+            if let Some(batch_b) = b.get(seq) {
+                assert_eq!(
+                    batch_a, batch_b,
+                    "batch divergence between {} and {} at {seq}",
+                    pair[0], pair[1]
+                );
+            }
+        }
+    }
+}
+
+/// Asserts that every request a client observed as completed was actually
+/// executed by at least one honest replica (no request lost).
+fn assert_no_completion_lost(sim: &Simulation, honest: &[ReplicaId]) {
+    let mut executed = std::collections::HashSet::new();
+    for replica in honest {
+        for entry in sim.replica(*replica).executed() {
+            executed.insert(entry.request);
+        }
+    }
+    for outcome in sim.completions() {
+        assert!(
+            executed.contains(&outcome.request),
+            "completed request {} executed by no honest replica",
+            outcome.request
+        );
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
-    /// Under random loss/duplication and an arbitrary Byzantine behaviour in
-    /// the public cloud, every mode preserves safety and keeps committing.
+    /// Under random loss/duplication, an arbitrary Byzantine behaviour in
+    /// the public cloud and a random batching policy, every mode preserves
+    /// safety and batch atomicity, and keeps committing.
     #[test]
     fn safety_under_random_network_and_byzantine_faults(
         seed in 0u64..1_000_000,
@@ -123,6 +214,8 @@ proptest! {
         duplicate in 0.0f64..0.08,
         byz_choice in 0usize..4,
         crash_backup in proptest::bool::ANY,
+        max_batch in 1usize..16,
+        delay_us in 50u64..400,
     ) {
         let mode = Mode::ALL[mode_index];
         let behavior = match byz_choice {
@@ -131,46 +224,62 @@ proptest! {
             2 => Some(ByzantineBehavior::ConflictingVotes),
             _ => Some(ByzantineBehavior::CorruptSignatures),
         };
+        let batch = BatchConfig::new(max_batch, Duration::from_micros(delay_us));
         let (mut sim, cluster, byzantine_id) =
-            build(mode, seed, drop, duplicate, behavior, crash_backup, 2, None);
-        sim.run_until(Instant::from_nanos(120_000_000));
+            build(mode, seed, drop, duplicate, behavior, crash_backup, 3, None, batch);
+        sim.run_until(Instant::from_nanos(250_000_000));
+        if sim.completions().is_empty() {
+            // Unlucky schedules (heavy loss plus a silent proxy) can churn
+            // through several view changes before the first commit lands;
+            // give liveness more virtual time before declaring starvation.
+            sim.run_until(Instant::from_nanos(1_500_000_000));
+        }
 
         let honest: Vec<ReplicaId> = cluster
             .replicas()
             .filter(|r| Some(*r) != byzantine_id && !(crash_backup && *r == ReplicaId(1)))
             .collect();
         assert_safety(&sim, &honest);
+        assert_no_completion_lost(&sim, &honest);
         prop_assert!(
             !sim.completions().is_empty(),
-            "{mode} with drop={drop:.2} dup={duplicate:.2} byz={behavior:?} made no progress"
+            "{mode} seed={seed} drop={drop:.2} dup={duplicate:.2} byz={behavior:?} \
+             max_batch={max_batch} crash_backup={crash_backup} made no progress"
         );
     }
 
-    /// A primary crash at a random time never violates safety, and the
-    /// cluster keeps executing after the view change.
+    /// A primary crash at a random time never violates safety — including
+    /// the fate of prepared-but-uncommitted batches — and the cluster keeps
+    /// executing after the view change, under a random batching policy.
     #[test]
     fn safety_across_view_changes(
         seed in 0u64..1_000_000,
         mode_index in 0usize..3,
         crash_ms in 10u64..60,
+        max_batch in 1usize..16,
     ) {
         let mode = Mode::ALL[mode_index];
+        let batch = BatchConfig::new(max_batch, Duration::from_micros(200));
         let (mut sim, cluster, _) =
-            build(mode, seed, 0.0, 0.0, None, false, 2, Some(crash_ms));
-        sim.run_until(Instant::from_nanos(400_000_000));
+            build(mode, seed, 0.0, 0.0, None, false, 3, Some(crash_ms), batch);
+        sim.run_until(Instant::from_nanos(500_000_000));
 
         let primary = cluster.primary(mode, seemore::types::View(0)).unwrap();
         let alive: Vec<ReplicaId> =
             cluster.replicas().filter(|r| *r != primary).collect();
         assert_safety(&sim, &alive);
+        assert_no_completion_lost(&sim, &alive);
 
         // Progress resumed after the crash.
         let after_crash = sim
             .completions()
             .iter()
-            .filter(|o| o.completed_at > Instant::from_nanos((crash_ms + 150) * 1_000_000))
+            .filter(|o| o.completed_at > Instant::from_nanos((crash_ms + 200) * 1_000_000))
             .count();
-        prop_assert!(after_crash > 0, "{mode}: no progress after primary crash at {crash_ms} ms");
+        prop_assert!(
+            after_crash > 0,
+            "{mode} max_batch={max_batch}: no progress after primary crash at {crash_ms} ms"
+        );
     }
 }
 
@@ -179,7 +288,17 @@ proptest! {
 #[test]
 fn simulation_runs_are_reproducible() {
     let run = |seed| {
-        let (mut sim, cluster, _) = build(Mode::Dog, seed, 0.02, 0.02, None, false, 3, None);
+        let (mut sim, cluster, _) = build(
+            Mode::Dog,
+            seed,
+            0.02,
+            0.02,
+            None,
+            false,
+            3,
+            None,
+            BatchConfig::new(8, Duration::from_micros(100)),
+        );
         sim.run_until(Instant::from_nanos(60_000_000));
         let digest: Vec<_> = cluster
             .replicas()
@@ -189,4 +308,62 @@ fn simulation_runs_are_reproducible() {
     };
     assert_eq!(run(42), run(42));
     assert_ne!(run(42).1, 0);
+}
+
+/// `max_batch = 1` reproduces unbatched single-request agreement exactly:
+/// for a fixed seed, a run with the batching knobs at their disabled default
+/// and a run with an explicit `max_batch = 1` policy produce identical
+/// executed histories, message counts and completions.
+#[test]
+fn max_batch_one_matches_unbatched_agreement() {
+    for mode in Mode::ALL {
+        let run = |batch: BatchConfig| {
+            let (mut sim, cluster, _) = build(mode, 1234, 0.0, 0.0, None, false, 4, None, batch);
+            sim.run_until(Instant::from_nanos(40_000_000));
+            let histories: Vec<Vec<_>> = cluster
+                .replicas()
+                .map(|r| sim.replica(r).executed().to_vec())
+                .collect();
+            (
+                sim.completions().len(),
+                sim.messages_delivered(),
+                sim.bytes_delivered(),
+                histories,
+            )
+        };
+        let disabled = run(BatchConfig::disabled());
+        let singleton = run(BatchConfig::new(1, Duration::from_micros(500)));
+        assert_eq!(disabled.0, singleton.0, "{mode}: completions differ");
+        assert_eq!(disabled.1, singleton.1, "{mode}: message counts differ");
+        assert_eq!(disabled.2, singleton.2, "{mode}: byte counts differ");
+        assert_eq!(disabled.3, singleton.3, "{mode}: histories differ");
+        assert!(disabled.0 > 0, "{mode}: no progress");
+    }
+}
+
+/// Batching is a throughput win, not just a knob: under a closed-loop load
+/// the `max_batch = 64` policy strictly outperforms `max_batch = 1`.
+#[test]
+fn batching_strictly_improves_closed_loop_throughput() {
+    for protocol in [
+        ProtocolKind::SeeMoReLion,
+        ProtocolKind::SeeMoRePeacock,
+        ProtocolKind::Cft,
+    ] {
+        let run = |max_batch| {
+            Scenario::new(protocol, 1, 1)
+                .with_clients(24)
+                .with_duration(Duration::from_millis(200), Duration::from_millis(50))
+                .with_batching(max_batch, Duration::from_micros(100))
+                .run()
+                .throughput_kreqs
+        };
+        let unbatched = run(1);
+        let batched = run(64);
+        assert!(
+            batched > unbatched,
+            "{}: max_batch=64 ({batched:.2} kreq/s) must beat max_batch=1 ({unbatched:.2} kreq/s)",
+            protocol.name()
+        );
+    }
 }
