@@ -20,7 +20,7 @@
 
 use seemore_bench::{header, peak_throughput, quick_mode, run_window, sweep_protocol};
 use seemore_net::{CpuModel, LatencyModel};
-use seemore_runtime::{ProtocolKind, Scenario};
+use seemore_runtime::{ProtocolKind, RuntimeKind, Scenario};
 use seemore_types::Duration;
 
 fn main() {
@@ -162,5 +162,46 @@ fn main() {
         "# Shape check: every protocol's throughput rises with max_batch because one\n\
          # slot of quorum traffic (proposal, votes, commit) orders the whole batch;\n\
          # per-request cost approaches the per-request floor (receive + execute + reply)."
+    );
+    println!();
+
+    header("Ablation 7: socket vs threaded runtime (wall-clock smoke)");
+    // Same cores, same closed-loop clients, wall-clock time; the only
+    // difference is whether messages cross in-memory channels as Rust values
+    // or loopback TCP connections through the wire codec. The gap is the
+    // real cost of serialization + sockets; the socket row's bytes are
+    // counted from actual reads.
+    let smoke_window = if quick_mode() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(500)
+    };
+    println!(
+        "{:<10} {:>9} {:>18} {:>13} {:>14}",
+        "protocol", "runtime", "throughput[kreq/s]", "latency[ms]", "wire[KiB]"
+    );
+    for protocol in [ProtocolKind::SeeMoReLion, ProtocolKind::Bft] {
+        for runtime in [RuntimeKind::Threaded, RuntimeKind::Socket] {
+            let report = Scenario::new(protocol, 1, 1)
+                .with_clients(8)
+                .with_duration(smoke_window, Duration::from_millis(20))
+                .with_batching(8, Duration::from_micros(200))
+                .with_runtime(runtime)
+                .run();
+            println!(
+                "{:<10} {:>9} {:>18.3} {:>13.3} {:>14.1}",
+                protocol.name(),
+                runtime.name(),
+                report.throughput_kreqs,
+                report.avg_latency_ms,
+                report.bytes_delivered as f64 / 1024.0
+            );
+        }
+    }
+    println!();
+    println!(
+        "# Shape check: the threaded runtime bounds what the protocol cores can do on\n\
+         # this machine; the socket rows pay codec + kernel socket costs on top, and\n\
+         # their byte counts are real bytes read from loopback TCP connections."
     );
 }

@@ -11,8 +11,9 @@ use seemore_app::{KvOp, KvStore, StateMachine};
 use seemore_bench::{header, time_op};
 use seemore_core::log::Instance;
 use seemore_crypto::{hmac_sha256, sha256, Digest, KeyStore};
-use seemore_types::{ClientId, NodeId, ReplicaId, Timestamp};
-use seemore_wire::{Batch, ClientRequest, SignedPayload, WireSize};
+use seemore_types::{ClientId, NodeId, ReplicaId, SeqNum, Timestamp, View};
+use seemore_wire::codec::{decode, encode};
+use seemore_wire::{Batch, ClientRequest, Message, Prepare, SignedPayload, WireSize};
 
 fn main() {
     header("Micro-benchmarks: components behind the CPU cost model");
@@ -140,4 +141,64 @@ fn main() {
         instance.matching_commits(&digest);
     });
     println!("instance/record_100_votes : {ns:>9.0} ns/op");
+
+    // Codec cost: what the socket runtime pays (and the simulator's CPU
+    // model charges as "serialization") per message, for a small request, a
+    // 4 KiB request, and a 64-request PREPARE — the shapes that dominate the
+    // data path. Throughput is reported against the encoded size, which by
+    // the size contract equals `wire_size()`.
+    for (label, message) in [
+        (
+            "request/0B",
+            Message::Request(ClientRequest::new(
+                ClientId(0),
+                Timestamp(1),
+                Vec::new(),
+                &client_signer,
+            )),
+        ),
+        (
+            "request/4KiB",
+            Message::Request(ClientRequest::new(
+                ClientId(0),
+                Timestamp(2),
+                vec![0u8; 4096],
+                &client_signer,
+            )),
+        ),
+        ("prepare/64 reqs", {
+            let requests: Vec<ClientRequest> = (0..64)
+                .map(|i| {
+                    ClientRequest::new(ClientId(0), Timestamp(i + 1), vec![0u8; 64], &client_signer)
+                })
+                .collect();
+            let batch = Batch::new(requests);
+            let signer = keystore.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
+            Message::Prepare(Prepare {
+                view: View(0),
+                seq: SeqNum(1),
+                digest: batch.digest(),
+                batch,
+                signature: signer.sign(b"bench"),
+            })
+        }),
+    ] {
+        let encoded = encode(&message);
+        assert_eq!(encoded.len(), message.wire_size(), "size contract");
+        let size = encoded.len();
+        let ns = time_op("encode", || {
+            encode(&message);
+        });
+        println!(
+            "encode/{label:<16}   : {ns:>9.0} ns/op ({:.1} MB/s, {size} B)",
+            size as f64 * 1_000.0 / ns.max(1.0)
+        );
+        let ns = time_op("decode", || {
+            decode(&encoded).expect("well-formed frame");
+        });
+        println!(
+            "decode/{label:<16}   : {ns:>9.0} ns/op ({:.1} MB/s)",
+            size as f64 * 1_000.0 / ns.max(1.0)
+        );
+    }
 }

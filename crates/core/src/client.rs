@@ -31,6 +31,33 @@ pub trait ClientProtocol: Send {
     fn retransmissions(&self) -> u64;
 }
 
+impl ClientProtocol for Box<dyn ClientProtocol> {
+    fn id(&self) -> ClientId {
+        (**self).id()
+    }
+    fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        (**self).submit(operation, now)
+    }
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        (**self).on_message(from, message, now)
+    }
+    fn on_retransmit_timer(&mut self, now: Instant) -> Vec<Action> {
+        (**self).on_retransmit_timer(now)
+    }
+    fn completed(&self) -> &[ClientOutcome] {
+        (**self).completed()
+    }
+    fn take_completed(&mut self) -> Vec<ClientOutcome> {
+        (**self).take_completed()
+    }
+    fn has_pending(&self) -> bool {
+        (**self).has_pending()
+    }
+    fn retransmissions(&self) -> u64 {
+        (**self).retransmissions()
+    }
+}
+
 /// A completed request, as observed by the client.
 #[derive(Debug, Clone)]
 pub struct ClientOutcome {

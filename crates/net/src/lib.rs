@@ -14,6 +14,13 @@
 //!   and bends the throughput/latency curves of Figures 2 and 3.
 //! * [`LinkFaults`] — message drop/duplication probabilities and explicit
 //!   partitions for fault-injection experiments.
+//!
+//! Alongside the simulator models, [`tcp`] provides a *real* transport: a
+//! `std::net` TCP mesh ([`TcpMesh`]) where every message serializes through
+//! the wire codec and crosses an actual socket. The [`Transport`] trait is
+//! the seam between the cluster runtimes and the network substrate, kept
+//! deliberately narrow so an async (tokio/mio) implementation can slot in
+//! once the build environment has registry access.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -22,8 +29,10 @@ pub mod cpu;
 pub mod faults;
 pub mod latency;
 pub mod placement;
+pub mod tcp;
 
 pub use cpu::CpuModel;
 pub use faults::{LinkDecision, LinkFaults};
 pub use latency::LatencyModel;
 pub use placement::{Placement, Zone};
+pub use tcp::{TcpEndpoint, TcpHandle, TcpMesh, Transport, TransportError, TransportStats};

@@ -1,0 +1,638 @@
+//! A real socket transport over `std::net` TCP.
+//!
+//! This is the substrate under `seemore-runtime`'s `SocketCluster`: every
+//! node (replica or client) owns a [`TcpEndpoint`] with a loopback listener,
+//! and a [`TcpMesh`] wires a full set of endpoints together so that any node
+//! can reach any other by [`NodeId`]. Messages serialize through the real
+//! codec (`seemore_wire::codec`), so the bytes counted by
+//! [`TransportStats`] are the bytes that actually crossed a TCP connection.
+//!
+//! # Topology and threads
+//!
+//! * One **acceptor** thread per endpoint polls its listener and spawns a
+//!   **reader** thread per inbound connection. The reader learns the peer's
+//!   identity from a 16-byte preamble, then feeds a streaming
+//!   [`FrameReader`] and forwards every decoded message (tagged with the
+//!   sender) into the endpoint's incoming queue. A malformed preamble or a
+//!   poisoned frame stream drops the connection — never the process.
+//! * Connections are dialed lazily: the first [`send`](TcpHandle::send) to a
+//!   peer spawns a **writer** thread that connects with exponential backoff
+//!   (1 ms doubling to [`MAX_BACKOFF`]), writes the preamble, and drains a
+//!   per-peer outbound queue. A write failure triggers a reconnect and the
+//!   in-flight frame is retransmitted first, so no frame is lost and order
+//!   is FIFO per connection. Across a reconnect, frames still buffered on
+//!   the old connection may interleave with the new connection's at the
+//!   receiver — the protocol cores tolerate reordering (and duplication) by
+//!   design, exactly as they must on a real network.
+//!
+//! # Trust model
+//!
+//! The preamble *asserts* the dialer's identity; nothing authenticates it.
+//! That matches the paper's network assumptions — the protocol defends
+//! against Byzantine *replicas* with signatures on every message whose
+//! sender matters, but assumes point-to-point links are authenticated by
+//! the environment (in a real deployment: TLS/mTLS between machines). The
+//! one message class that leans on transport identity is the Lion mode's
+//! *unsigned* `ACCEPT` (an optimization the paper allows because the
+//! trusted primary is the only consumer): on this loopback transport, any
+//! local process that can reach the primary's listener could forge it.
+//! Loopback test clusters are the intended deployment here; an
+//! authenticated handshake belongs to the same future substrate as TLS.
+//!
+//! # The async seam
+//!
+//! The container this workspace builds in has no crates.io access, so there
+//! is no tokio; everything here is blocking `std::net` plus OS threads. The
+//! [`Transport`] trait is the seam a future async substrate slots into: it
+//! captures exactly what the runtimes consume (identity, fire-and-forget
+//! `send`, timed `recv`, byte accounting) without exposing sockets, so a
+//! tokio/mio implementation can replace [`TcpEndpoint`] without touching the
+//! protocol cores or the cluster runtimes.
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use seemore_types::{ClientId, NodeId, ReplicaId};
+use seemore_wire::codec::{encode, FrameReader, CODEC_VERSION, MAGIC};
+use seemore_wire::Message;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// First reconnect delay of the writer's exponential backoff.
+pub const INITIAL_BACKOFF: Duration = Duration::from_millis(1);
+
+/// Ceiling of the reconnect backoff.
+pub const MAX_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Length of the per-connection identity preamble.
+const PREAMBLE_LEN: usize = 16;
+
+/// Poll interval for accept loops and shutdown checks.
+const POLL: Duration = Duration::from_millis(5);
+
+/// What the cluster runtimes need from a network substrate.
+///
+/// Implemented today by [`TcpEndpoint`] (blocking `std::net`); designed so a
+/// tokio- or mio-backed endpoint can implement it later without changing the
+/// runtimes: no socket types leak through, sends are fire-and-forget (the
+/// transport owns queueing and reconnection), and receives are pull-based
+/// with a timeout so caller threads keep servicing their timers.
+pub trait Transport: Send {
+    /// The node this endpoint speaks as.
+    fn local(&self) -> NodeId;
+
+    /// Queues `message` for delivery to `to`. Returns immediately; delivery
+    /// is asynchronous, FIFO per connection, and best-effort ordered across
+    /// reconnects (receivers must tolerate reordering, as protocol cores
+    /// do).
+    fn send(&self, to: NodeId, message: &Message) -> Result<(), TransportError>;
+
+    /// Waits up to `timeout` for the next message addressed to this node,
+    /// returning it together with the sender's identity.
+    fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, Message), RecvTimeoutError>;
+
+    /// Live byte/message counters for this endpoint's mesh.
+    fn stats(&self) -> Arc<TransportStats>;
+}
+
+/// Why a send was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination is not part of the mesh's address book.
+    UnknownPeer(NodeId),
+    /// The transport has been shut down.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownPeer(node) => write!(f, "unknown peer {node}"),
+            TransportError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Bytes and messages that crossed the wire, aggregated mesh-wide.
+///
+/// Sent counters advance when a frame is written to a socket; received
+/// counters advance on raw reads (bytes) and successful decodes (messages).
+/// Identity preambles count toward bytes — they are on the wire too.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl TransportStats {
+    /// Messages successfully written to a socket.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages successfully decoded from a socket.
+    pub fn messages_received(&self) -> u64 {
+        self.messages_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to sockets (frames plus preambles).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from sockets.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state every handle, writer and reader of one mesh sees.
+#[derive(Debug)]
+struct MeshShared {
+    addresses: HashMap<NodeId, SocketAddr>,
+    stats: Arc<TransportStats>,
+    shutdown: AtomicBool,
+}
+
+impl MeshShared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A full mesh of TCP endpoints on loopback.
+///
+/// Binds one listener per node up front (so every address is known before
+/// any traffic flows), then hands each node's [`TcpEndpoint`] to its owner
+/// thread via [`take_endpoint`](Self::take_endpoint). Dropping the mesh or
+/// calling [`shutdown`](Self::shutdown) stops every acceptor, reader and
+/// writer thread.
+#[derive(Debug)]
+pub struct TcpMesh {
+    shared: Arc<MeshShared>,
+    endpoints: Mutex<HashMap<NodeId, TcpEndpoint>>,
+}
+
+impl TcpMesh {
+    /// Binds a loopback listener for every node and starts the acceptors.
+    pub fn new(nodes: &[NodeId]) -> io::Result<TcpMesh> {
+        let mut listeners = Vec::with_capacity(nodes.len());
+        let mut addresses = HashMap::with_capacity(nodes.len());
+        for &node in nodes {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addresses.insert(node, listener.local_addr()?);
+            listeners.push((node, listener));
+        }
+        let shared = Arc::new(MeshShared {
+            addresses,
+            stats: Arc::new(TransportStats::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut endpoints = HashMap::with_capacity(nodes.len());
+        for (node, listener) in listeners {
+            endpoints.insert(
+                node,
+                TcpEndpoint::start(node, listener, Arc::clone(&shared))?,
+            );
+        }
+        Ok(TcpMesh {
+            shared,
+            endpoints: Mutex::new(endpoints),
+        })
+    }
+
+    /// Hands the endpoint of `node` to its owner. Each endpoint can be taken
+    /// once.
+    pub fn take_endpoint(&self, node: NodeId) -> Option<TcpEndpoint> {
+        self.endpoints.lock().expect("mesh lock").remove(&node)
+    }
+
+    /// Mesh-wide traffic counters.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Stops every acceptor, reader and writer thread of this mesh. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for TcpMesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One node's attachment to a [`TcpMesh`]: a cloneable sending [`TcpHandle`]
+/// plus the queue of decoded inbound messages.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    handle: TcpHandle,
+    incoming: Receiver<(NodeId, Message)>,
+}
+
+impl TcpEndpoint {
+    fn start(local: NodeId, listener: TcpListener, shared: Arc<MeshShared>) -> io::Result<Self> {
+        let (incoming_tx, incoming) = unbounded();
+        listener.set_nonblocking(true)?;
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("tcp-accept-{local}"))
+            .spawn(move || accept_loop(listener, incoming_tx, accept_shared))?;
+        Ok(TcpEndpoint {
+            handle: TcpHandle {
+                local,
+                shared,
+                writers: Arc::new(Mutex::new(HashMap::new())),
+            },
+            incoming,
+        })
+    }
+
+    /// A cloneable sending handle (usable from any thread).
+    pub fn handle(&self) -> TcpHandle {
+        self.handle.clone()
+    }
+
+    /// The queue of decoded inbound messages, tagged with their sender.
+    pub fn incoming(&self) -> &Receiver<(NodeId, Message)> {
+        &self.incoming
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn local(&self) -> NodeId {
+        self.handle.local
+    }
+
+    fn send(&self, to: NodeId, message: &Message) -> Result<(), TransportError> {
+        self.handle.send(to, message)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, Message), RecvTimeoutError> {
+        self.incoming.recv_timeout(timeout)
+    }
+
+    fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.handle.shared.stats)
+    }
+}
+
+/// The sending half of a [`TcpEndpoint`]; cheap to clone and share.
+#[derive(Debug, Clone)]
+pub struct TcpHandle {
+    local: NodeId,
+    shared: Arc<MeshShared>,
+    /// Outbound queue per peer; populated lazily by the first send.
+    writers: Arc<Mutex<HashMap<NodeId, Sender<SharedFrame>>>>,
+}
+
+/// An encoded frame shared between a broadcast's per-peer writer queues.
+type SharedFrame = Arc<Vec<u8>>;
+
+impl TcpHandle {
+    /// The node this handle sends as.
+    pub fn local(&self) -> NodeId {
+        self.local
+    }
+
+    /// Encodes `message` and queues it for `to`, dialing the peer on first
+    /// use. Order is FIFO while a connection lasts; a reconnect re-sends
+    /// the failed frame first but may interleave with frames the receiver
+    /// still holds from the old connection.
+    pub fn send(&self, to: NodeId, message: &Message) -> Result<(), TransportError> {
+        self.send_frame(to, Arc::new(encode(message)))
+    }
+
+    /// Queues an already-encoded frame for `to` — the broadcast path: one
+    /// `encode` can fan out to every peer without re-serializing, which is
+    /// what a primary's proposal broadcast does on the data path.
+    pub fn send_frame(&self, to: NodeId, frame: SharedFrame) -> Result<(), TransportError> {
+        if self.shared.is_shutdown() {
+            return Err(TransportError::Closed);
+        }
+        let addr = *self
+            .shared
+            .addresses
+            .get(&to)
+            .ok_or(TransportError::UnknownPeer(to))?;
+        let mut writers = self.writers.lock().expect("writer map lock");
+        let tx = writers.entry(to).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            let local = self.local;
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("tcp-write-{local}-to-{to}"))
+                .spawn(move || writer_loop(local, addr, rx, shared))
+                .expect("spawn writer thread");
+            tx
+        });
+        tx.send(frame).map_err(|_| TransportError::Closed)
+    }
+}
+
+/// The 16-byte connection preamble identifying the dialing node: magic,
+/// codec version, a replica/client tag, two reserved bytes, and the id.
+fn encode_preamble(node: NodeId) -> [u8; PREAMBLE_LEN] {
+    let (tag, id) = match node {
+        NodeId::Replica(ReplicaId(r)) => (0u8, u64::from(r)),
+        NodeId::Client(ClientId(c)) => (1u8, c),
+    };
+    let mut out = [0u8; PREAMBLE_LEN];
+    out[..4].copy_from_slice(&MAGIC);
+    out[4] = CODEC_VERSION;
+    out[5] = tag;
+    out[8..16].copy_from_slice(&id.to_le_bytes());
+    out
+}
+
+fn decode_preamble(bytes: &[u8; PREAMBLE_LEN]) -> Option<NodeId> {
+    if bytes[..4] != MAGIC || bytes[4] != CODEC_VERSION {
+        return None;
+    }
+    let id = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    match bytes[5] {
+        0 => Some(NodeId::Replica(ReplicaId(u32::try_from(id).ok()?))),
+        1 => Some(NodeId::Client(ClientId(id))),
+        _ => None,
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    incoming: Sender<(NodeId, Message)>,
+    shared: Arc<MeshShared>,
+) {
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let incoming = incoming.clone();
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("tcp-read".to_string())
+                    .spawn(move || reader_loop(stream, incoming, shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            // Transient accept failures (ECONNABORTED when a peer resets
+            // mid-handshake, EMFILE under fd pressure) must not kill the
+            // acceptor — that would silently partition this node from every
+            // future inbound connection. Back off and keep accepting; the
+            // loop exits through the shutdown flag.
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reads `buf.len()` bytes, tolerating read timeouts, aborting on shutdown.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &MeshShared) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.is_shutdown() {
+            return Err(io::ErrorKind::Interrupted.into());
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => {
+                filled += n;
+                shared
+                    .stats
+                    .bytes_received
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    incoming: Sender<(NodeId, Message)>,
+    shared: Arc<MeshShared>,
+) {
+    let _ = stream.set_read_timeout(Some(POLL * 4));
+    let mut preamble = [0u8; PREAMBLE_LEN];
+    if read_full(&mut stream, &mut preamble, &shared).is_err() {
+        return;
+    }
+    let Some(peer) = decode_preamble(&preamble) else {
+        // Not one of ours; drop the connection.
+        return;
+    };
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    while !shared.is_shutdown() {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                shared
+                    .stats
+                    .bytes_received
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                frames.push(&buf[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(message)) => {
+                            shared
+                                .stats
+                                .messages_received
+                                .fetch_add(1, Ordering::Relaxed);
+                            if incoming.send((peer, message)).is_err() {
+                                return; // receiver gone: endpoint dropped
+                            }
+                        }
+                        Ok(None) => break,
+                        // Framing lost; a real deployment would log the peer.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dials `addr`, doubling the retry delay from [`INITIAL_BACKOFF`] up to
+/// [`MAX_BACKOFF`], until connected or the mesh shuts down.
+fn connect_with_backoff(addr: SocketAddr, shared: &MeshShared) -> Option<TcpStream> {
+    let mut backoff = INITIAL_BACKOFF;
+    loop {
+        if shared.is_shutdown() {
+            return None;
+        }
+        match TcpStream::connect_timeout(&addr, MAX_BACKOFF) {
+            Ok(stream) => return Some(stream),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    local: NodeId,
+    addr: SocketAddr,
+    outbound: Receiver<SharedFrame>,
+    shared: Arc<MeshShared>,
+) {
+    // A frame that failed mid-write and must go out first after reconnecting.
+    let mut carry_over: Option<SharedFrame> = None;
+    'connection: loop {
+        let Some(mut stream) = connect_with_backoff(addr, &shared) else {
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        let preamble = encode_preamble(local);
+        if stream.write_all(&preamble).is_err() {
+            continue 'connection;
+        }
+        shared
+            .stats
+            .bytes_sent
+            .fetch_add(PREAMBLE_LEN as u64, Ordering::Relaxed);
+        loop {
+            let frame = match carry_over.take() {
+                Some(frame) => frame,
+                None => match outbound.recv_timeout(POLL * 10) {
+                    Ok(frame) => frame,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if shared.is_shutdown() {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                },
+            };
+            if stream.write_all(&frame).is_err() {
+                if shared.is_shutdown() {
+                    return;
+                }
+                carry_over = Some(frame);
+                continue 'connection;
+            }
+            shared
+                .stats
+                .bytes_sent
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::{SeqNum, Timestamp};
+    use seemore_wire::{ClientRequest, StateRequest, WireSize};
+
+    fn nodes() -> Vec<NodeId> {
+        vec![
+            NodeId::Replica(ReplicaId(0)),
+            NodeId::Replica(ReplicaId(1)),
+            NodeId::Client(ClientId(7)),
+        ]
+    }
+
+    fn state_request(seq: u64) -> Message {
+        Message::StateRequest(StateRequest {
+            from_seq: SeqNum(seq),
+            replica: ReplicaId(0),
+        })
+    }
+
+    #[test]
+    fn messages_cross_the_mesh_with_sender_identity() {
+        let mesh = TcpMesh::new(&nodes()).unwrap();
+        let a = mesh.take_endpoint(NodeId::Replica(ReplicaId(0))).unwrap();
+        let b = mesh.take_endpoint(NodeId::Replica(ReplicaId(1))).unwrap();
+
+        for seq in 0..10 {
+            a.send(NodeId::Replica(ReplicaId(1)), &state_request(seq))
+                .unwrap();
+        }
+        for seq in 0..10 {
+            let (from, message) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(from, NodeId::Replica(ReplicaId(0)));
+            assert_eq!(message, state_request(seq), "FIFO on one connection");
+        }
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn bytes_on_wire_match_the_size_contract() {
+        let mesh = TcpMesh::new(&nodes()).unwrap();
+        let client = mesh.take_endpoint(NodeId::Client(ClientId(7))).unwrap();
+        let replica = mesh.take_endpoint(NodeId::Replica(ReplicaId(0))).unwrap();
+
+        let message = Message::Request(ClientRequest {
+            client: ClientId(7),
+            timestamp: Timestamp(1),
+            operation: vec![0xEE; 500],
+            signature: seemore_crypto::Signature::INVALID,
+        });
+        client
+            .send(NodeId::Replica(ReplicaId(0)), &message)
+            .unwrap();
+        let (from, received) = replica.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, NodeId::Client(ClientId(7)));
+        assert_eq!(received, message);
+
+        let stats = mesh.stats();
+        assert_eq!(stats.messages_sent(), 1);
+        assert_eq!(stats.messages_received(), 1);
+        // Wire bytes = one preamble + exactly wire_size() frame bytes.
+        assert_eq!(
+            stats.bytes_sent(),
+            (PREAMBLE_LEN + message.wire_size()) as u64
+        );
+        assert_eq!(stats.bytes_received(), stats.bytes_sent());
+        mesh.shutdown();
+    }
+
+    #[test]
+    fn unknown_peers_are_rejected() {
+        let mesh = TcpMesh::new(&nodes()).unwrap();
+        let a = mesh.take_endpoint(NodeId::Replica(ReplicaId(0))).unwrap();
+        assert_eq!(
+            a.send(NodeId::Replica(ReplicaId(42)), &state_request(0)),
+            Err(TransportError::UnknownPeer(NodeId::Replica(ReplicaId(42))))
+        );
+        mesh.shutdown();
+        assert_eq!(
+            a.send(NodeId::Replica(ReplicaId(1)), &state_request(0)),
+            Err(TransportError::Closed)
+        );
+    }
+
+    #[test]
+    fn preamble_round_trips_identities() {
+        for node in nodes() {
+            assert_eq!(decode_preamble(&encode_preamble(node)), Some(node));
+        }
+        let mut garbage = encode_preamble(NodeId::Client(ClientId(1)));
+        garbage[0] = b'!';
+        assert_eq!(decode_preamble(&garbage), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Plumbing shared by the concurrent cluster runtimes.
+//!
+//! [`ThreadedCluster`](crate::threaded::ThreadedCluster) (in-memory
+//! channels) and [`SocketCluster`](crate::socket::SocketCluster) (loopback
+//! TCP) differ only in how bytes move between nodes. Everything else — the
+//! replica thread's event loop with its timer wheel, the
+//! [`ReplicaCommand`] control protocol (deliver / crash / shutdown), and the
+//! closed-loop client driver with its retransmission fallback — lives here
+//! once, parameterized over `send`/`recv` closures, so the two runtimes
+//! cannot drift apart behaviourally.
+
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use seemore_core::actions::{Action, Timer};
+use seemore_core::client::{ClientOutcome, ClientProtocol};
+use seemore_core::protocol::ReplicaProtocol;
+use seemore_types::{Duration, Instant, NodeId};
+use seemore_wire::Message;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant as StdInstant;
+
+/// Control commands sent to a replica thread.
+#[allow(clippy::large_enum_variant)] // Deliver dominates and is the common case
+pub(crate) enum ReplicaCommand {
+    /// A protocol message from `from` to process.
+    Deliver {
+        /// The sending node.
+        from: NodeId,
+        /// The message.
+        message: Message,
+    },
+    /// Fail-stop the replica (it keeps its thread but produces no actions).
+    Crash,
+    /// Stop the thread and hand the core back for inspection.
+    Shutdown,
+}
+
+/// Converts elapsed wall-clock time into the protocol's virtual instants.
+pub(crate) fn to_instant(start: StdInstant) -> Instant {
+    Instant::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+/// The replica thread body: waits for commands with a deadline derived from
+/// the earliest armed timer, fires due timers, and carries protocol actions
+/// out through `send`. Returns the core on shutdown so callers can inspect
+/// execution histories and metrics.
+pub(crate) fn run_replica(
+    mut replica: Box<dyn ReplicaProtocol>,
+    commands: &Receiver<ReplicaCommand>,
+    start: StdInstant,
+    mut send: impl FnMut(NodeId, Message),
+) -> Box<dyn ReplicaProtocol> {
+    let mut timers: BTreeMap<Instant, Vec<Timer>> = BTreeMap::new();
+    let mut armed: HashMap<Timer, Instant> = HashMap::new();
+    let mut actions = replica.on_start(to_instant(start));
+    loop {
+        // Carry out the actions accumulated so far.
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, message } => send(to, message),
+                Action::SetTimer { timer, after } => {
+                    let deadline = to_instant(start) + after;
+                    armed.insert(timer, deadline);
+                    timers.entry(deadline).or_default().push(timer);
+                }
+                Action::CancelTimer { timer } => {
+                    armed.remove(&timer);
+                }
+                Action::Executed { .. } | Action::Violation(_) => {}
+            }
+        }
+        // Wait until the next timer deadline (or a command).
+        let now = to_instant(start);
+        let next_deadline = timers.keys().next().copied();
+        let wait = match next_deadline {
+            Some(deadline) if deadline > now => (deadline - now).to_std(),
+            Some(_) => std::time::Duration::from_millis(0),
+            None => std::time::Duration::from_millis(50),
+        };
+        match commands.recv_timeout(wait) {
+            Ok(ReplicaCommand::Deliver { from, message }) => {
+                let now = to_instant(start);
+                actions = replica.on_message(from, message, now);
+            }
+            Ok(ReplicaCommand::Crash) => replica.crash(),
+            Ok(ReplicaCommand::Shutdown) => return replica,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return replica,
+        }
+        // Fire due timers.
+        let now = to_instant(start);
+        let due: Vec<Instant> = timers.range(..=now).map(|(t, _)| *t).collect();
+        for deadline in due {
+            for timer in timers.remove(&deadline).unwrap_or_default() {
+                if armed.get(&timer) == Some(&deadline) {
+                    armed.remove(&timer);
+                    actions.extend(replica.on_timer(timer, now));
+                }
+            }
+        }
+    }
+}
+
+/// How [`drive_client`] paces one closed-loop client.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DrivePlan {
+    /// Number of operations to submit, one after another.
+    pub requests: usize,
+    /// Patience per request before retransmitting.
+    pub timeout: Duration,
+    /// The cluster's wall-clock epoch protocol instants are measured from.
+    pub start: StdInstant,
+    /// If set and passed while a request is still pending, the driver gives
+    /// the request up and returns — the bound the scenario runner needs so a
+    /// failure schedule that exceeds the deployment's fault tolerance cannot
+    /// hang a wall-clock run forever.
+    pub abandon_at: Option<StdInstant>,
+}
+
+/// Drives a closed-loop client on the calling thread: submits
+/// `plan.requests` operations one after another, pumping replies through
+/// the client core until each completes, retransmitting (and extending the
+/// deadline) when the cluster goes quiet — protocols with a crashed primary
+/// need the client's broadcast path.
+///
+/// `recv` waits up to the given duration for the next `(sender, message)`
+/// pair addressed to this client; `send` carries the client's outgoing
+/// messages; `make_op` is called with the request index to produce each
+/// operation payload.
+pub(crate) fn drive_client<C: ClientProtocol>(
+    client: &mut C,
+    plan: DrivePlan,
+    mut recv: impl FnMut(std::time::Duration) -> Result<(NodeId, Message), RecvTimeoutError>,
+    mut send: impl FnMut(NodeId, Message),
+    mut make_op: impl FnMut(usize) -> Vec<u8>,
+) -> Vec<ClientOutcome> {
+    let start = plan.start;
+    let mut outcomes = Vec::new();
+    for index in 0..plan.requests {
+        let now = to_instant(start);
+        let actions = client.submit(make_op(index), now);
+        perform_client_actions(actions, &mut send);
+        let mut deadline = StdInstant::now() + plan.timeout.to_std();
+        while client.has_pending() {
+            if plan.abandon_at.is_some_and(|at| StdInstant::now() >= at) {
+                outcomes.extend(client.take_completed());
+                return outcomes;
+            }
+            let remaining = deadline.saturating_duration_since(StdInstant::now());
+            if remaining.is_zero() {
+                // Retransmit and extend the deadline, so the loop goes back
+                // to draining the inbox between retransmissions; protocols
+                // with a crashed primary need the broadcast path, and the
+                // replies it eventually produces must still be read.
+                let actions = client.on_retransmit_timer(to_instant(start));
+                perform_client_actions(actions, &mut send);
+                deadline = StdInstant::now() + plan.timeout.to_std();
+                continue;
+            }
+            match recv(remaining.min(std::time::Duration::from_millis(20))) {
+                Ok((from, message)) => {
+                    let now = to_instant(start);
+                    let actions = client.on_message(from, message, now);
+                    perform_client_actions(actions, &mut send);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return outcomes,
+            }
+        }
+        outcomes.extend(client.take_completed());
+    }
+    outcomes
+}
+
+fn perform_client_actions(actions: Vec<Action>, send: &mut impl FnMut(NodeId, Message)) {
+    for action in actions {
+        if let Action::Send { to, message } = action {
+            send(to, message);
+        }
+    }
+}

@@ -1,31 +1,56 @@
 //! Execution substrates and measurement harness for the SeeMoRe
 //! reproduction.
 //!
-//! * [`sim`] — a deterministic discrete-event simulator that drives any
-//!   collection of sans-IO replica and client cores over the latency, CPU
-//!   and fault models from `seemore-net`. This is what regenerates the
-//!   paper's figures.
+//! # The three runtimes
+//!
+//! The same sans-IO protocol cores run on three substrates; pick by what you
+//! want to learn:
+//!
+//! * [`sim`] — a **deterministic discrete-event simulator** driving the
+//!   cores over the latency, CPU and fault models from `seemore-net`.
+//!   Virtual time, perfectly reproducible for a fixed seed, thousands of
+//!   simulated seconds per wall second. Use it to regenerate the paper's
+//!   figures, sweep parameters, and shake out protocol bugs with the
+//!   property tests.
+//! * [`threaded`] — a **thread-per-replica runtime over in-memory
+//!   channels**. Real OS concurrency and real clocks, but messages stay
+//!   Rust values routed between crossbeam channels. Use it to exercise the
+//!   public API under true parallelism without paying for serialization —
+//!   and as the reference the socket runtime is differentially tested
+//!   against.
+//! * [`socket`] — a **socket-backed runtime over loopback TCP**. Same
+//!   thread model as `threaded` (the event loop is literally shared, see
+//!   [`driver`]), but every message is encoded by the real wire codec,
+//!   crosses a `std::net` TCP connection of a `TcpMesh`, and is reassembled
+//!   by a streaming frame reader. Use it when the question involves real
+//!   IO: codec cost, framing, socket back-pressure, bytes-on-wire — this is
+//!   the deployable shape of the system.
+//!
+//! Supporting modules:
+//!
 //! * [`workload`] — the 0/0, 0/4 and 4/0 micro-benchmarks of the evaluation
 //!   plus a key-value workload for the examples.
 //! * [`report`] — throughput / latency / timeline statistics extracted from
 //!   a run.
 //! * [`scenario`] — one-call builders that assemble a cluster (SeeMoRe in
 //!   any mode, or one of the baselines), attach clients and failure
-//!   schedules, run the simulation and return a [`report::RunReport`].
-//! * [`threaded`] — a thread-per-replica runtime over in-memory channels,
-//!   used by the examples to show the protocol running outside the
-//!   simulator.
+//!   schedules, run it on any of the three runtimes
+//!   ([`Scenario::with_runtime`]) and return a [`report::RunReport`].
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod driver;
 pub mod report;
 pub mod scenario;
 pub mod sim;
+pub mod socket;
 pub mod threaded;
 pub mod workload;
 
 pub use report::{RunReport, TimelineBucket};
-pub use scenario::{ProtocolKind, Scenario};
+pub use scenario::{ProtocolKind, RuntimeKind, Scenario};
 pub use sim::{SimConfig, Simulation};
+pub use socket::SocketCluster;
+pub use threaded::ThreadedCluster;
 pub use workload::Workload;

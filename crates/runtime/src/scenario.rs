@@ -3,21 +3,35 @@
 //! A [`Scenario`] describes one point of the paper's evaluation — which
 //! protocol, which failure bounds, how many clients, which payload sizes,
 //! and any failure to inject — and [`Scenario::run`] assembles the cluster,
-//! drives the discrete-event simulator and returns a [`RunReport`]. The
-//! benchmark harness sweeps scenarios to regenerate every figure.
+//! drives it and returns a [`RunReport`]. The benchmark harness sweeps
+//! scenarios to regenerate every figure.
+//!
+//! By default scenarios run on the deterministic discrete-event simulator;
+//! [`Scenario::with_runtime`] selects one of the concurrent substrates
+//! instead — [`ThreadedCluster`] (in-memory channels) or [`SocketCluster`]
+//! (real loopback TCP through the wire codec). On the concurrent runtimes
+//! `duration`/`warmup` are wall-clock, closed-loop clients run on their own
+//! threads, and the simulator-only knobs (latency, CPU and link-fault
+//! models, Byzantine payload corruption timing, mode-switch schedules) are
+//! ignored; primary crashes are honoured on every runtime.
 
+use crate::driver::to_instant;
 use crate::report::RunReport;
 use crate::sim::{SimConfig, Simulation};
+use crate::socket::SocketCluster;
+use crate::threaded::ThreadedCluster;
 use crate::workload::Workload;
 use seemore_app::NoopApp;
 use seemore_baselines::{s_upright, BaselineClient, BaselineConfig, BftReplica, CftReplica};
 use seemore_core::byzantine::{ByzantineBehavior, ByzantineReplica};
-use seemore_core::client::ClientCore;
+use seemore_core::client::{ClientCore, ClientOutcome, ClientProtocol};
 use seemore_core::config::ProtocolConfig;
+use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::replica::SeeMoReReplica;
 use seemore_crypto::KeyStore;
 use seemore_net::{CpuModel, LatencyModel, LinkFaults, Placement};
 use seemore_types::{ClientId, ClusterConfig, Duration, Instant, Mode, ReplicaId};
+use std::time::Instant as StdInstant;
 
 /// Which protocol a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +96,33 @@ impl ProtocolKind {
     }
 }
 
+/// Which execution substrate a scenario runs on (see the crate docs for
+/// guidance on choosing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// The deterministic discrete-event simulator (virtual time; the
+    /// default, and what regenerates the paper's figures).
+    #[default]
+    Simulated,
+    /// Thread-per-replica over in-memory channels (wall-clock time, no
+    /// serialization).
+    Threaded,
+    /// Thread-per-replica over real loopback TCP through the wire codec
+    /// (wall-clock time; reported bytes really crossed sockets).
+    Socket,
+}
+
+impl RuntimeKind {
+    /// Display name for reports and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Simulated => "simulated",
+            RuntimeKind::Threaded => "threaded",
+            RuntimeKind::Socket => "socket",
+        }
+    }
+}
+
 /// A fully specified experiment.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -131,6 +172,8 @@ pub struct Scenario {
     pub byzantine_replicas: u32,
     /// The behaviour applied to those replicas.
     pub byzantine_behavior: ByzantineBehavior,
+    /// Which execution substrate to run on.
+    pub runtime: RuntimeKind,
 }
 
 impl Scenario {
@@ -160,7 +203,14 @@ impl Scenario {
             mode_switch: None,
             byzantine_replicas: 0,
             byzantine_behavior: ByzantineBehavior::Honest,
+            runtime: RuntimeKind::Simulated,
         }
+    }
+
+    /// Selects the execution substrate (simulator, threaded, or sockets).
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// Sets the number of closed-loop clients.
@@ -256,20 +306,56 @@ impl Scenario {
         }
     }
 
-    /// Builds the cluster, runs the simulation and returns the report.
+    /// Builds the cluster, runs it on the selected runtime and returns the
+    /// report.
     pub fn run(&self) -> RunReport {
-        let (mut sim, primary) = self.build();
-        if let Some(at) = self.crash_primary_at {
-            sim.schedule_crash(at, primary);
+        match self.runtime {
+            RuntimeKind::Simulated => {
+                let (mut sim, primary) = self.build();
+                if let Some(at) = self.crash_primary_at {
+                    sim.schedule_crash(at, primary);
+                }
+                sim.run_until(Instant::ZERO + self.duration);
+                sim.report(Instant::ZERO + self.warmup, self.timeline_bucket)
+            }
+            kind => self.run_concurrent(kind),
         }
-        sim.run_until(Instant::ZERO + self.duration);
-        sim.report(Instant::ZERO + self.warmup, self.timeline_bucket)
     }
 
     /// Builds the simulation without running it (used by tests and examples
     /// that want to inspect intermediate state). Returns the simulation and
     /// the id of the view-0 primary.
     pub fn build(&self) -> (Simulation, ReplicaId) {
+        let cores = self.build_cores();
+        let config = SimConfig {
+            latency: self.latency,
+            cpu: self.cpu,
+            faults: self.faults.clone(),
+            placement: cores.placement,
+            seed: self.seed,
+        };
+        let mut sim = Simulation::new(config);
+        for replica in cores.replicas {
+            sim.add_replica(replica);
+        }
+        for (index, client) in cores.clients.into_iter().enumerate() {
+            sim.add_client(
+                client,
+                Workload::micro(self.request_size),
+                Instant::from_nanos(index as u64 * 5_000),
+            );
+        }
+        if let (Some((at, target_mode)), Some(announcer)) =
+            (self.mode_switch, cores.mode_switch_announcer)
+        {
+            sim.schedule_mode_switch(at, announcer, target_mode);
+        }
+        (sim, cores.primary)
+    }
+
+    /// Assembles the replica and client cores for this scenario,
+    /// independently of the runtime that will drive them.
+    fn build_cores(&self) -> CoreSet {
         let c = self.crash_faults;
         let m = self.byzantine_faults;
         let pconfig = self.protocol_config();
@@ -280,16 +366,9 @@ impl Scenario {
                 let cluster = ClusterConfig::minimal(c, m).expect("valid SeeMoRe cluster");
                 let keystore =
                     KeyStore::generate(self.seed, cluster.total_size(), u64::from(self.clients));
-                let config = SimConfig {
-                    latency: self.latency,
-                    cpu: self.cpu,
-                    faults: self.faults.clone(),
-                    placement: Placement::hybrid(cluster),
-                    seed: self.seed,
-                };
-                let mut sim = Simulation::new(config);
                 // The last `byzantine_replicas` public replicas misbehave.
                 let byzantine_cutoff = cluster.total_size().saturating_sub(self.byzantine_replicas);
+                let mut replicas: Vec<Box<dyn ReplicaProtocol>> = Vec::new();
                 for replica in cluster.replicas() {
                     let core = SeeMoReReplica::new(
                         replica,
@@ -300,39 +379,41 @@ impl Scenario {
                         Box::new(NoopApp::new(self.reply_size)),
                     );
                     if replica.0 >= byzantine_cutoff && !cluster.is_trusted(replica) {
-                        sim.add_replica(Box::new(ByzantineReplica::new(
+                        replicas.push(Box::new(ByzantineReplica::new(
                             core,
                             self.byzantine_behavior,
                         )));
                     } else {
-                        sim.add_replica(Box::new(core));
+                        replicas.push(Box::new(core));
                     }
                 }
-                for client in 0..u64::from(self.clients) {
-                    sim.add_client(
-                        ClientCore::new(
+                let clients = (0..u64::from(self.clients))
+                    .map(|client| {
+                        Box::new(ClientCore::new(
                             ClientId(client),
                             cluster,
                             keystore.clone(),
                             mode,
                             client_timeout,
-                        ),
-                        Workload::micro(self.request_size),
-                        Instant::from_nanos(client * 5_000),
-                    );
+                        )) as Box<dyn ClientProtocol>
+                    })
+                    .collect();
+                let mode_switch_announcer = self.mode_switch.and_then(|(_, target_mode)| {
+                    seemore_core::replica::mode_switch_announcer(
+                        &cluster,
+                        seemore_types::View(1),
+                        target_mode,
+                    )
+                });
+                CoreSet {
+                    replicas,
+                    clients,
+                    placement: Placement::hybrid(cluster),
+                    primary: cluster
+                        .primary(mode, seemore_types::View(0))
+                        .expect("view-0 primary"),
+                    mode_switch_announcer,
                 }
-                if let Some((at, target_mode)) = self.mode_switch {
-                    let view = seemore_types::View(1);
-                    if let Some(announcer) =
-                        seemore_core::replica::mode_switch_announcer(&cluster, view, target_mode)
-                    {
-                        sim.schedule_mode_switch(at, announcer, target_mode);
-                    }
-                }
-                let primary = cluster
-                    .primary(mode, seemore_types::View(0))
-                    .expect("view-0 primary");
-                (sim, primary)
             }
             None => {
                 let config = match self.protocol {
@@ -343,19 +424,12 @@ impl Scenario {
                 };
                 let keystore =
                     KeyStore::generate(self.seed, config.network_size, u64::from(self.clients));
-                let sim_config = SimConfig {
-                    latency: self.latency,
-                    cpu: self.cpu,
-                    faults: self.faults.clone(),
-                    placement: Placement::flat(),
-                    seed: self.seed,
-                };
-                let mut sim = Simulation::new(sim_config);
                 let byzantine_cutoff = config.network_size.saturating_sub(self.byzantine_replicas);
+                let mut replicas: Vec<Box<dyn ReplicaProtocol>> = Vec::new();
                 for replica in config.replicas() {
                     match self.protocol {
                         ProtocolKind::Cft => {
-                            sim.add_replica(Box::new(CftReplica::new(
+                            replicas.push(Box::new(CftReplica::new(
                                 replica,
                                 config,
                                 pconfig,
@@ -371,30 +445,197 @@ impl Scenario {
                                 Box::new(NoopApp::new(self.reply_size)),
                             );
                             if replica.0 >= byzantine_cutoff && replica.0 != 0 {
-                                sim.add_replica(Box::new(ByzantineReplica::new(
+                                replicas.push(Box::new(ByzantineReplica::new(
                                     core,
                                     self.byzantine_behavior,
                                 )));
                             } else {
-                                sim.add_replica(Box::new(core));
+                                replicas.push(Box::new(core));
                             }
                         }
                     }
                 }
-                for client in 0..u64::from(self.clients) {
-                    sim.add_client(
-                        BaselineClient::new(
+                let clients = (0..u64::from(self.clients))
+                    .map(|client| {
+                        Box::new(BaselineClient::new(
                             ClientId(client),
                             config,
                             keystore.clone(),
                             client_timeout,
-                        ),
-                        Workload::micro(self.request_size),
-                        Instant::from_nanos(client * 5_000),
-                    );
+                        )) as Box<dyn ClientProtocol>
+                    })
+                    .collect();
+                CoreSet {
+                    replicas,
+                    clients,
+                    placement: Placement::flat(),
+                    primary: config.primary(seemore_types::View(0)),
+                    mode_switch_announcer: None,
                 }
-                (sim, config.primary(seemore_types::View(0)))
             }
+        }
+    }
+
+    /// Runs the scenario on a concurrent runtime (threaded or sockets):
+    /// closed-loop clients on their own OS threads against real replica
+    /// threads, for `duration` of wall-clock time.
+    fn run_concurrent(&self, kind: RuntimeKind) -> RunReport {
+        let cores = self.build_cores();
+        let client_ids: Vec<ClientId> = cores.clients.iter().map(|c| c.id()).collect();
+        let primary = cores.primary;
+        let patience = self.protocol_config().client_timeout;
+        let cluster = match kind {
+            RuntimeKind::Threaded => {
+                AnyCluster::Threaded(ThreadedCluster::spawn(cores.replicas, &client_ids))
+            }
+            RuntimeKind::Socket => AnyCluster::Socket(
+                SocketCluster::spawn(cores.replicas, &client_ids)
+                    .expect("bind loopback TCP sockets"),
+            ),
+            RuntimeKind::Simulated => unreachable!("handled by Scenario::run"),
+        };
+        // Measure against the cluster's own clock epoch — the one outcome
+        // timestamps, timers and the crash schedule are all stamped with —
+        // so socket-mesh setup time is not charged to the measurement
+        // window.
+        let start = cluster.epoch();
+
+        let run_for = self.duration.to_std();
+        let (clients, outcomes) = std::thread::scope(|scope| {
+            // Like the simulator (which never fires events past `run_until`),
+            // a crash scheduled beyond the run window is simply dropped; the
+            // sleep is bounded by the window so the scope cannot outlive it.
+            if let Some(at) = self.crash_primary_at {
+                let delay = Duration::from_nanos(at.as_nanos()).to_std();
+                if delay < run_for {
+                    let cluster = &cluster;
+                    scope.spawn(move || {
+                        let elapsed = start.elapsed();
+                        if delay > elapsed {
+                            std::thread::sleep(delay - elapsed);
+                        }
+                        cluster.crash(primary);
+                    });
+                }
+            }
+            // Clients give a pending request up once the window closes, so
+            // even a failure schedule beyond the deployment's fault
+            // tolerance leaves the run bounded.
+            let abandon_at = start + run_for;
+            let handles: Vec<_> = cores
+                .clients
+                .into_iter()
+                .map(|client| {
+                    let cluster = &cluster;
+                    let request_size = self.request_size;
+                    scope.spawn(move || {
+                        let mut client = client;
+                        let mut outcomes = Vec::new();
+                        while start.elapsed() < run_for {
+                            let (back, completed) =
+                                cluster.run_client(client, 1, patience, abandon_at, |_| {
+                                    vec![0u8; request_size]
+                                });
+                            client = back;
+                            outcomes.extend(completed);
+                        }
+                        (client, outcomes)
+                    })
+                })
+                .collect();
+            let mut clients = Vec::new();
+            let mut outcomes = Vec::new();
+            for handle in handles {
+                let (client, completed) = handle.join().expect("client thread");
+                clients.push(client);
+                outcomes.extend(completed);
+            }
+            (clients, outcomes)
+        });
+
+        let run_end = to_instant(start);
+        let (messages, bytes) = cluster.traffic();
+        let replicas = cluster.shutdown();
+        let mut metrics = seemore_core::metrics::ReplicaMetrics::default();
+        for replica in &replicas {
+            metrics.merge(replica.metrics());
+        }
+        let mut report = RunReport::from_outcomes(
+            &outcomes,
+            Instant::ZERO + self.warmup,
+            run_end,
+            self.timeline_bucket,
+        );
+        report.messages_delivered = messages;
+        report.bytes_delivered = bytes;
+        report.view_changes = metrics.view_changes_completed;
+        report.mode_switches = metrics.mode_switches;
+        report.retransmissions = clients.iter().map(|c| c.retransmissions()).sum();
+        report
+    }
+}
+
+/// Replica and client cores plus the metadata runtimes need to place and
+/// drive them.
+struct CoreSet {
+    replicas: Vec<Box<dyn ReplicaProtocol>>,
+    clients: Vec<Box<dyn ClientProtocol>>,
+    placement: Placement,
+    primary: ReplicaId,
+    mode_switch_announcer: Option<ReplicaId>,
+}
+
+/// The two concurrent cluster runtimes behind one face, so the scenario
+/// runner is written once.
+enum AnyCluster {
+    Threaded(ThreadedCluster),
+    Socket(SocketCluster),
+}
+
+impl AnyCluster {
+    fn crash(&self, replica: ReplicaId) {
+        match self {
+            AnyCluster::Threaded(c) => c.crash(replica),
+            AnyCluster::Socket(c) => c.crash(replica),
+        }
+    }
+
+    fn epoch(&self) -> StdInstant {
+        match self {
+            AnyCluster::Threaded(c) => c.epoch(),
+            AnyCluster::Socket(c) => c.epoch(),
+        }
+    }
+
+    fn run_client(
+        &self,
+        client: Box<dyn ClientProtocol>,
+        requests: usize,
+        timeout: Duration,
+        abandon_at: StdInstant,
+        make_op: impl FnMut(usize) -> Vec<u8>,
+    ) -> (Box<dyn ClientProtocol>, Vec<ClientOutcome>) {
+        match self {
+            AnyCluster::Threaded(c) => {
+                c.run_client_until(client, requests, timeout, Some(abandon_at), make_op)
+            }
+            AnyCluster::Socket(c) => {
+                c.run_client_until(client, requests, timeout, Some(abandon_at), make_op)
+            }
+        }
+    }
+
+    fn traffic(&self) -> (u64, u64) {
+        match self {
+            AnyCluster::Threaded(c) => c.traffic(),
+            AnyCluster::Socket(c) => c.traffic(),
+        }
+    }
+
+    fn shutdown(self) -> Vec<Box<dyn ReplicaProtocol>> {
+        match self {
+            AnyCluster::Threaded(c) => c.shutdown(),
+            AnyCluster::Socket(c) => c.shutdown(),
         }
     }
 }
@@ -478,6 +719,58 @@ mod tests {
             .with_byzantine(1, ByzantineBehavior::ConflictingVotes)
             .run();
         assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn concurrent_runtimes_produce_reports_with_traffic() {
+        for kind in [RuntimeKind::Threaded, RuntimeKind::Socket] {
+            let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+                .with_clients(2)
+                .with_duration(Duration::from_millis(150), Duration::from_millis(10))
+                .with_runtime(kind)
+                .run();
+            assert!(report.completed > 0, "{}: no progress", kind.name());
+            assert!(report.messages_delivered > 0, "{}", kind.name());
+            assert!(
+                report.bytes_delivered > 0,
+                "{}: no bytes on the wire",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_runtime_survives_a_primary_crash() {
+        // Regression: the client driver must keep draining replies between
+        // retransmissions, or every client thread livelocks once the
+        // crashed primary makes a request outlive its first deadline.
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(2)
+            .with_duration(Duration::from_millis(400), Duration::from_millis(10))
+            .with_primary_crash(Instant::from_nanos(80_000_000))
+            .with_runtime(RuntimeKind::Threaded)
+            .run();
+        assert!(report.completed > 0);
+        assert!(
+            report.view_changes > 0,
+            "the crash must have forced a view change"
+        );
+    }
+
+    #[test]
+    fn concurrent_runtime_is_bounded_even_beyond_fault_tolerance() {
+        // A single-replica CFT deployment whose only replica crashes can
+        // never complete another request; the wall-clock run must still
+        // return when its window closes instead of retransmitting forever.
+        let report = Scenario::new(ProtocolKind::Cft, 0, 0)
+            .with_clients(1)
+            .with_duration(Duration::from_millis(200), Duration::from_millis(10))
+            .with_primary_crash(Instant::from_nanos(20_000_000))
+            .with_runtime(RuntimeKind::Threaded)
+            .run();
+        // Returning at all is the regression being tested; the report is a
+        // bonus sanity check.
+        assert!(report.measured_duration > Duration::ZERO);
     }
 
     #[test]

@@ -1,18 +1,29 @@
 //! A thread-per-replica runtime over in-memory channels.
 //!
-//! The discrete-event simulator is what regenerates the paper's figures; this
-//! runtime exists to show the same protocol cores running under real
-//! concurrency (OS threads, real clocks, crossbeam channels), which is how
-//! the examples exercise the public API end to end. Timers are implemented
-//! with `recv_timeout` deadlines inside each replica thread.
+//! One of the three execution substrates (see the crate docs for when to use
+//! which): real OS threads and real clocks like
+//! [`SocketCluster`](crate::socket::SocketCluster), but messages stay plain
+//! Rust values moved through crossbeam channels by a router thread — no
+//! serialization, no sockets. That makes it the fastest way to exercise the
+//! protocol cores under true concurrency, and the reference point the socket
+//! runtime's loopback end-to-end tests compare their histories against.
+//!
+//! The replica event loop (timer wheel, [`ReplicaCommand`] control protocol)
+//! and the closed-loop client driver are shared with the socket runtime
+//! through [`crate::driver`]; only the byte-moving differs. Timers are
+//! implemented with `recv_timeout` deadlines inside each replica thread.
+//! Delivered traffic is counted with the [`WireSize`] model — the same
+//! number the socket runtime observes as real encoded bytes.
 
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use seemore_core::actions::{Action, Timer};
+use crate::driver::{self, ReplicaCommand};
+use crossbeam_channel::{unbounded, Receiver, Sender};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::protocol::ReplicaProtocol;
-use seemore_types::{ClientId, Duration, Instant, NodeId, ReplicaId};
-use seemore_wire::Message;
-use std::collections::{BTreeMap, HashMap};
+use seemore_types::{ClientId, Duration, NodeId, ReplicaId};
+use seemore_wire::{Message, WireSize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant as StdInstant;
 
@@ -23,27 +34,19 @@ struct Envelope {
     message: Message,
 }
 
-/// Control commands sent to a replica thread.
-#[allow(clippy::large_enum_variant)] // Deliver dominates and is the common case
-enum Control {
-    Deliver(Envelope),
-    Crash,
-    Shutdown,
-}
-
 /// Handle to a running threaded cluster.
+///
+/// The handle is `Sync`: multiple client threads may call
+/// [`run_client`](Self::run_client) concurrently (one call per client id).
 pub struct ThreadedCluster {
-    replica_senders: HashMap<ReplicaId, Sender<Control>>,
+    replica_senders: HashMap<ReplicaId, Sender<ReplicaCommand>>,
     client_inboxes: HashMap<ClientId, Receiver<Envelope>>,
     client_outbox: Sender<(NodeId, Envelope)>,
     router: Option<JoinHandle<()>>,
     replicas: Vec<JoinHandle<Box<dyn ReplicaProtocol>>>,
+    messages_delivered: Arc<AtomicU64>,
+    bytes_delivered: Arc<AtomicU64>,
     start: StdInstant,
-}
-
-/// Converts elapsed wall-clock time into the protocol's virtual instants.
-fn to_instant(start: StdInstant) -> Instant {
-    Instant::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
 }
 
 impl ThreadedCluster {
@@ -56,7 +59,7 @@ impl ThreadedCluster {
         // Router: fan-in channel carrying (destination, envelope).
         let (router_tx, router_rx) = unbounded::<(NodeId, Envelope)>();
 
-        let mut replica_senders: HashMap<ReplicaId, Sender<Control>> = HashMap::new();
+        let mut replica_senders: HashMap<ReplicaId, Sender<ReplicaCommand>> = HashMap::new();
         let mut replica_handles = Vec::new();
         let mut client_senders: HashMap<ClientId, Sender<Envelope>> = HashMap::new();
         let mut client_inboxes = HashMap::new();
@@ -66,71 +69,23 @@ impl ThreadedCluster {
             client_inboxes.insert(*client, rx);
         }
 
-        for mut replica in replicas {
+        for replica in replicas {
             let id = replica.id();
-            let (tx, rx) = unbounded::<Control>();
+            let (tx, rx) = unbounded::<ReplicaCommand>();
             replica_senders.insert(id, tx);
             let out = router_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("replica-{id}"))
                 .spawn(move || {
-                    let mut timers: BTreeMap<Instant, Vec<Timer>> = BTreeMap::new();
-                    let mut armed: HashMap<Timer, Instant> = HashMap::new();
-                    loop {
-                        // Wait until the next timer deadline (or a message).
-                        let now = to_instant(start);
-                        let next_deadline = timers.keys().next().copied();
-                        let wait = match next_deadline {
-                            Some(deadline) if deadline > now => (deadline - now).to_std(),
-                            Some(_) => std::time::Duration::from_millis(0),
-                            None => std::time::Duration::from_millis(50),
-                        };
-                        let mut actions = Vec::new();
-                        match rx.recv_timeout(wait) {
-                            Ok(Control::Deliver(envelope)) => {
-                                let now = to_instant(start);
-                                actions = replica.on_message(envelope.from, envelope.message, now);
-                            }
-                            Ok(Control::Crash) => replica.crash(),
-                            Ok(Control::Shutdown) => return replica,
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => return replica,
-                        }
-                        // Fire due timers.
-                        let now = to_instant(start);
-                        let due: Vec<Instant> = timers.range(..=now).map(|(t, _)| *t).collect();
-                        for deadline in due {
-                            for timer in timers.remove(&deadline).unwrap_or_default() {
-                                if armed.get(&timer) == Some(&deadline) {
-                                    armed.remove(&timer);
-                                    actions.extend(replica.on_timer(timer, now));
-                                }
-                            }
-                        }
-                        // Carry out the actions.
-                        for action in actions.drain(..) {
-                            match action {
-                                Action::Send { to, message } => {
-                                    let _ = out.send((
-                                        to,
-                                        Envelope {
-                                            from: NodeId::Replica(id),
-                                            message,
-                                        },
-                                    ));
-                                }
-                                Action::SetTimer { timer, after } => {
-                                    let deadline = to_instant(start) + after;
-                                    armed.insert(timer, deadline);
-                                    timers.entry(deadline).or_default().push(timer);
-                                }
-                                Action::CancelTimer { timer } => {
-                                    armed.remove(&timer);
-                                }
-                                Action::Executed { .. } | Action::Violation(_) => {}
-                            }
-                        }
-                    }
+                    driver::run_replica(replica, &rx, start, |to, message| {
+                        let _ = out.send((
+                            to,
+                            Envelope {
+                                from: NodeId::Replica(id),
+                                message,
+                            },
+                        ));
+                    })
                 })
                 .expect("spawn replica thread");
             replica_handles.push(handle);
@@ -138,14 +93,23 @@ impl ThreadedCluster {
 
         // Router thread: moves envelopes to replica or client inboxes.
         let senders = replica_senders.clone();
+        let messages_delivered = Arc::new(AtomicU64::new(0));
+        let bytes_delivered = Arc::new(AtomicU64::new(0));
+        let message_count = Arc::clone(&messages_delivered);
+        let byte_count = Arc::clone(&bytes_delivered);
         let router = std::thread::Builder::new()
             .name("router".to_string())
             .spawn(move || {
                 while let Ok((to, envelope)) = router_rx.recv() {
+                    message_count.fetch_add(1, Ordering::Relaxed);
+                    byte_count.fetch_add(envelope.message.wire_size() as u64, Ordering::Relaxed);
                     match to {
                         NodeId::Replica(id) => {
                             if let Some(tx) = senders.get(&id) {
-                                let _ = tx.send(Control::Deliver(envelope));
+                                let _ = tx.send(ReplicaCommand::Deliver {
+                                    from: envelope.from,
+                                    message: envelope.message,
+                                });
                             }
                         }
                         NodeId::Client(id) => {
@@ -164,6 +128,8 @@ impl ThreadedCluster {
             client_outbox: router_tx,
             router: Some(router),
             replicas: replica_handles,
+            messages_delivered,
+            bytes_delivered,
             start,
         }
     }
@@ -171,20 +137,47 @@ impl ThreadedCluster {
     /// Crashes a replica (fail-stop).
     pub fn crash(&self, replica: ReplicaId) {
         if let Some(tx) = self.replica_senders.get(&replica) {
-            let _ = tx.send(Control::Crash);
+            let _ = tx.send(ReplicaCommand::Crash);
         }
+    }
+
+    /// The wall-clock epoch all protocol instants (timers, client outcome
+    /// timestamps) are measured from.
+    pub(crate) fn epoch(&self) -> StdInstant {
+        self.start
     }
 
     /// Runs a closed-loop client on the calling thread: submits `requests`
     /// operations one after another and returns the outcomes.
     ///
     /// `make_op` is called with the request index to produce each operation.
+    /// Different clients may run concurrently from different threads through
+    /// a shared `&ThreadedCluster`.
     pub fn run_client<C, F>(
+        &self,
+        client: C,
+        requests: usize,
+        timeout: Duration,
+        make_op: F,
+    ) -> (C, Vec<ClientOutcome>)
+    where
+        C: ClientProtocol,
+        F: FnMut(usize) -> Vec<u8>,
+    {
+        self.run_client_until(client, requests, timeout, None, make_op)
+    }
+
+    /// [`run_client`](Self::run_client) with an overall wall-clock bound:
+    /// once `abandon_at` passes, an incomplete request is given up on and
+    /// the call returns. Used by the scenario runner so that failure
+    /// schedules beyond the deployment's fault tolerance cannot hang a run.
+    pub(crate) fn run_client_until<C, F>(
         &self,
         mut client: C,
         requests: usize,
         timeout: Duration,
-        mut make_op: F,
+        abandon_at: Option<StdInstant>,
+        make_op: F,
     ) -> (C, Vec<ClientOutcome>)
     where
         C: ClientProtocol,
@@ -194,55 +187,42 @@ impl ThreadedCluster {
             .client_inboxes
             .get(&client.id())
             .expect("client id not registered at spawn time");
-        let mut outcomes = Vec::new();
-        for index in 0..requests {
-            let now = to_instant(self.start);
-            let actions = client.submit(make_op(index), now);
-            self.perform_client_actions(&client, actions);
-            let deadline = StdInstant::now() + timeout.to_std();
-            while client.has_pending() {
-                let remaining = deadline.saturating_duration_since(StdInstant::now());
-                if remaining.is_zero() {
-                    // Retransmit and extend the deadline once; protocols with
-                    // a crashed primary need the broadcast path.
-                    let actions = client.on_retransmit_timer(to_instant(self.start));
-                    self.perform_client_actions(&client, actions);
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                    continue;
-                }
-                match inbox.recv_timeout(remaining.min(std::time::Duration::from_millis(20))) {
-                    Ok(envelope) => {
-                        let now = to_instant(self.start);
-                        let actions = client.on_message(envelope.from, envelope.message, now);
-                        self.perform_client_actions(&client, actions);
-                    }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            outcomes.extend(client.take_completed());
-        }
+        let from = NodeId::Client(client.id());
+        let outcomes = driver::drive_client(
+            &mut client,
+            driver::DrivePlan {
+                requests,
+                timeout,
+                start: self.start,
+                abandon_at,
+            },
+            |wait| {
+                inbox
+                    .recv_timeout(wait)
+                    .map(|envelope| (envelope.from, envelope.message))
+            },
+            |to, message| {
+                let _ = self.client_outbox.send((to, Envelope { from, message }));
+            },
+            make_op,
+        );
         (client, outcomes)
     }
 
-    fn perform_client_actions<C: ClientProtocol>(&self, client: &C, actions: Vec<Action>) {
-        for action in actions {
-            if let Action::Send { to, message } = action {
-                let _ = self.client_outbox.send((
-                    to,
-                    Envelope {
-                        from: NodeId::Client(client.id()),
-                        message,
-                    },
-                ));
-            }
-        }
+    /// Messages and bytes delivered by the router so far (wire-size model —
+    /// by the codec's size contract, also the bytes a real transport would
+    /// have carried).
+    pub fn traffic(&self) -> (u64, u64) {
+        (
+            self.messages_delivered.load(Ordering::Relaxed),
+            self.bytes_delivered.load(Ordering::Relaxed),
+        )
     }
 
     /// Shuts the cluster down and returns the replica cores for inspection.
     pub fn shutdown(mut self) -> Vec<Box<dyn ReplicaProtocol>> {
         for tx in self.replica_senders.values() {
-            let _ = tx.send(Control::Shutdown);
+            let _ = tx.send(ReplicaCommand::Shutdown);
         }
         let mut cores = Vec::new();
         for handle in self.replicas.drain(..) {
@@ -307,11 +287,67 @@ mod tests {
         for outcome in &outcomes {
             assert_eq!(KvResult::decode(&outcome.result), Some(KvResult::Ok));
         }
+        let (messages, bytes) = threaded.traffic();
+        assert!(messages > 0);
+        assert!(bytes > 0);
         let cores = threaded.shutdown();
         assert_eq!(cores.len(), cluster.total_size() as usize);
         // Every replica executed all four requests.
         for core in &cores {
             assert_eq!(core.executed().len(), 4, "replica {} lagging", core.id());
         }
+    }
+
+    #[test]
+    fn clients_can_run_concurrently_through_a_shared_handle() {
+        let cluster = ClusterConfig::minimal(1, 1).unwrap();
+        let keystore = KeyStore::generate(13, cluster.total_size(), 4);
+        let replicas: Vec<Box<dyn ReplicaProtocol>> = cluster
+            .replicas()
+            .map(|r| {
+                Box::new(SeeMoReReplica::new(
+                    r,
+                    cluster,
+                    ProtocolConfig::default(),
+                    keystore.clone(),
+                    Mode::Lion,
+                    Box::new(KvStore::new()),
+                )) as Box<dyn ReplicaProtocol>
+            })
+            .collect();
+        let client_ids: Vec<ClientId> = (0..4).map(ClientId).collect();
+        let threaded = ThreadedCluster::spawn(replicas, &client_ids);
+        let completed: usize = std::thread::scope(|scope| {
+            let cluster_ref = &threaded;
+            let keystore = &keystore;
+            client_ids
+                .iter()
+                .map(|id| {
+                    let client = ClientCore::new(
+                        *id,
+                        cluster,
+                        keystore.clone(),
+                        Mode::Lion,
+                        Duration::from_millis(200),
+                    );
+                    scope.spawn(move || {
+                        let (_, outcomes) =
+                            cluster_ref.run_client(client, 3, Duration::from_secs(5), |i| {
+                                KvOp::Put {
+                                    key: format!("k-{i}").into_bytes(),
+                                    value: b"v".to_vec(),
+                                }
+                                .encode()
+                            });
+                        outcomes.len()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(completed, 12);
+        threaded.shutdown();
     }
 }

@@ -1,15 +1,21 @@
 //! Shim over `std::sync::mpsc` covering the `crossbeam-channel` API surface
-//! this workspace uses: `unbounded()`, cloneable `Sender`, `Receiver` with
-//! `recv` / `recv_timeout`, and the matching error types.
+//! this workspace uses: `unbounded()`, cloneable `Sender`, cloneable
+//! **`Sync`** `Receiver` with `recv` / `recv_timeout` / `try_recv`, and the
+//! matching error types.
 //!
 //! Since Rust 1.72 `std::sync::mpsc::Sender` is `Sync`, so the std channel
 //! supports the same fan-in topology (many producer threads, one consumer)
-//! that the threaded runtime builds with crossbeam.
+//! that the threaded runtime builds with crossbeam. The real crossbeam
+//! `Receiver` is additionally `Clone + Sync` (multiple threads may compete
+//! for messages through shared references); the shim reproduces that by
+//! guarding the std receiver with a mutex, which the socket and threaded
+//! runtimes rely on to drive concurrent clients through a shared cluster
+//! handle.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// The sending half of an unbounded channel.
 #[derive(Debug)]
@@ -29,30 +35,46 @@ impl<T> Sender<T> {
 }
 
 /// The receiving half of an unbounded channel.
+///
+/// Like the real crossbeam receiver (and unlike the raw std one) it is
+/// `Clone + Sync`: clones share the same queue, and any thread holding a
+/// reference may receive. A receiver blocked inside `recv`/`recv_timeout`
+/// holds the internal lock for the duration of the wait, so concurrent
+/// callers are served one at a time — sufficient for this workspace, which
+/// never races two consumers on one channel.
 #[derive(Debug)]
-pub struct Receiver<T>(mpsc::Receiver<T>);
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver(Arc::clone(&self.0))
+    }
+}
 
 impl<T> Receiver<T> {
     /// Blocks until a value arrives or every sender has been dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.0.recv()
+        self.0.lock().expect("channel lock poisoned").recv()
     }
 
     /// Blocks for at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.0.recv_timeout(timeout)
+        self.0
+            .lock()
+            .expect("channel lock poisoned")
+            .recv_timeout(timeout)
     }
 
     /// Returns immediately with a value if one is ready.
-    pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-        self.0.try_recv()
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.lock().expect("channel lock poisoned").try_recv()
     }
 }
 
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender(tx), Receiver(rx))
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
 }
 
 #[cfg(test)]
@@ -86,5 +108,26 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn receiver_clones_share_one_queue() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        tx.send(7).unwrap();
+        assert_eq!(rx2.recv().unwrap(), 7);
+        tx.send(8).unwrap();
+        assert_eq!(rx.recv().unwrap(), 8);
+    }
+
+    #[test]
+    fn receiver_is_usable_through_shared_references() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let (tx, rx) = unbounded::<u32>();
+        assert_sync(&rx);
+        std::thread::scope(|scope| {
+            scope.spawn(|| tx.send(5).unwrap());
+            scope.spawn(|| assert_eq!(rx.recv().unwrap(), 5));
+        });
     }
 }

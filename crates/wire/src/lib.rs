@@ -12,12 +12,15 @@
 //! * control traffic — [`Checkpoint`], [`ViewChange`], [`NewView`],
 //!   [`ModeChange`], and state-transfer messages.
 //!
-//! Messages are plain Rust values moved between nodes by the network
-//! substrate; the [`WireSize`] trait supplies the byte size each message
-//! would occupy on a real wire so that the simulator and the benchmarks can
-//! model bandwidth and serialization cost without an actual codec.
-//! Signatures cover each message's [`SignedPayload::signing_bytes`], which
-//! include every semantically relevant field.
+//! Inside the discrete-event simulator messages stay plain Rust values; on
+//! the socket runtime they serialize through [`codec`] — a versioned,
+//! length-prefixed binary encoding with a streaming [`FrameReader`] and a
+//! typed [`DecodeError`]. The [`WireSize`] trait is the codec's size
+//! contract: `wire_size()` equals the exact length [`codec::encode`]
+//! produces, so the simulator's bandwidth model and the bytes that really
+//! cross a TCP connection are the same number. Signatures cover each
+//! message's [`SignedPayload::signing_bytes`], which include every
+//! semantically relevant field.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -25,6 +28,7 @@
 pub mod agreement;
 pub mod batch;
 pub mod client;
+pub mod codec;
 pub mod control;
 pub mod message;
 pub mod size;
@@ -32,6 +36,7 @@ pub mod size;
 pub use agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 pub use batch::Batch;
 pub use client::{ClientReply, ClientRequest};
+pub use codec::{decode, encode, DecodeError, FrameReader, CODEC_VERSION, MAGIC, MAX_FRAME};
 pub use control::{
     Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
     ViewChange,

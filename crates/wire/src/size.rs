@@ -1,13 +1,18 @@
 //! Wire-size model and signing helpers.
 //!
-//! Messages never cross a real network in this reproduction, but the
-//! evaluation (Figures 2 and 3) is sensitive to message *sizes*: the 4 KB
-//! request / reply micro-benchmarks stress request transmission between
+//! The evaluation (Figures 2 and 3) is sensitive to message *sizes*: the
+//! 4 KB request / reply micro-benchmarks stress request transmission between
 //! replicas, and the quadratic message complexity of the Dog / Peacock / BFT
 //! protocols multiplies that cost. [`WireSize`] gives each message a
-//! deterministic byte size equal to what a simple length-prefixed binary
-//! codec would produce, and the network substrate charges transmission time
+//! deterministic byte size, and the simulator charges transmission time
 //! proportional to it.
+//!
+//! `wire_size()` is a **contract**, not an estimate: it equals the exact
+//! number of bytes [`crate::codec::encode`] produces for the message (the
+//! `codec_properties` integration tests assert `encode(m).len() ==
+//! m.wire_size()` for randomized instances of every variant). The constants
+//! below are therefore shared vocabulary between this size model and the
+//! codec's frame layout.
 
 use seemore_crypto::Digest;
 

@@ -8,10 +8,12 @@
 //! * [`types`] — identifiers, cluster configuration, quorum math and the
 //!   public-cloud sizing planner.
 //! * [`crypto`] — digests and (simulated) signatures.
-//! * [`wire`] — the protocol's message types, including the unit of
-//!   ordering: [`wire::Batch`].
-//! * [`net`] — the network substrate: in-memory transport, latency model,
-//!   fault injection and the discrete-event simulator.
+//! * [`wire`] — the protocol's message types, the unit of ordering
+//!   ([`wire::Batch`]), and the real binary codec ([`wire::codec`]) whose
+//!   encoded lengths the [`wire::WireSize`] model is contractually equal to.
+//! * [`net`] — the network substrate: latency/CPU/fault models for the
+//!   simulator, plus a real loopback TCP transport ([`net::tcp`]) behind the
+//!   [`net::Transport`] seam.
 //! * [`app`] — the replicated application layer (state machine trait and a
 //!   key-value store).
 //! * [`core`] — the SeeMoRe protocol itself: Lion, Dog and Peacock modes,
@@ -19,8 +21,10 @@
 //!   batching.
 //! * [`baselines`] — CFT (Multi-Paxos-like), BFT (PBFT) and S-UpRight
 //!   baselines used by the paper's evaluation.
-//! * [`runtime`] — cluster harness, workload generation, failure schedules
-//!   and metrics.
+//! * [`runtime`] — the three execution substrates (discrete-event
+//!   simulator, threaded runtime, socket-backed runtime — see the
+//!   `seemore_runtime` crate docs for when to use each), workload
+//!   generation, failure schedules and metrics.
 //!
 //! # Batched agreement
 //!

@@ -1,0 +1,391 @@
+//! Loopback end-to-end: the socket runtime runs the real protocol over real
+//! TCP connections and produces the same per-slot histories as the threaded
+//! runtime.
+//!
+//! For SeeMoRe in all three modes plus the CFT and BFT baselines, with
+//! request batching enabled (`max_batch > 1`, so every proposal goes through
+//! the batch-flush machinery) and a non-primary replica crashed mid-run:
+//!
+//! * a deterministic interleaved workload produces **identical per-slot
+//!   histories** on the socket runtime and the threaded runtime (same
+//!   sequence numbers, same batch offsets, same request digests);
+//! * a concurrent multi-client workload on the socket runtime keeps every
+//!   live replica in per-slot agreement and completes every request, with
+//!   nonzero bytes crossing real sockets.
+
+use seemore::app::NoopApp;
+use seemore::baselines::{BaselineClient, BaselineConfig, BftReplica, CftReplica};
+use seemore::core::batching::BatchConfig;
+use seemore::core::client::{ClientCore, ClientProtocol};
+use seemore::core::config::ProtocolConfig;
+use seemore::core::exec::ExecutedEntry;
+use seemore::core::protocol::ReplicaProtocol;
+use seemore::core::replica::SeeMoReReplica;
+use seemore::crypto::{Digest, KeyStore};
+use seemore::runtime::{SocketCluster, ThreadedCluster};
+use seemore::types::{ClientId, ClusterConfig, Duration, Mode, ReplicaId, SeqNum, View};
+use std::collections::BTreeMap;
+
+/// The five protocol deployments the acceptance criteria name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Case {
+    Lion,
+    Dog,
+    Peacock,
+    Cft,
+    Bft,
+}
+
+const ALL_CASES: [Case; 5] = [Case::Lion, Case::Dog, Case::Peacock, Case::Cft, Case::Bft];
+
+impl Case {
+    fn name(self) -> &'static str {
+        match self {
+            Case::Lion => "Lion",
+            Case::Dog => "Dog",
+            Case::Peacock => "Peacock",
+            Case::Cft => "CFT",
+            Case::Bft => "BFT",
+        }
+    }
+
+    fn mode(self) -> Option<Mode> {
+        match self {
+            Case::Lion => Some(Mode::Lion),
+            Case::Dog => Some(Mode::Dog),
+            Case::Peacock => Some(Mode::Peacock),
+            _ => None,
+        }
+    }
+}
+
+/// Batching on (`max_batch = 4`), short flush timer, sane socket timeouts.
+fn pconfig() -> ProtocolConfig {
+    ProtocolConfig {
+        batch: BatchConfig::new(4, Duration::from_micros(500)),
+        ..ProtocolConfig::default()
+    }
+}
+
+/// The replica cores, the view-0 primary, and a safe non-primary crash
+/// victim (the highest-numbered replica, which is never the initial primary
+/// in any of these deployments).
+struct Deployment {
+    replicas: Vec<Box<dyn ReplicaProtocol>>,
+    clients: Vec<Box<dyn ClientProtocol>>,
+    crash_victim: ReplicaId,
+}
+
+fn deploy(case: Case, client_count: u64) -> Deployment {
+    let seed = 0x50C4E7;
+    match case.mode() {
+        Some(mode) => {
+            let cluster = ClusterConfig::minimal(1, 1).expect("valid cluster");
+            let keystore = KeyStore::generate(seed, cluster.total_size(), client_count);
+            let replicas: Vec<Box<dyn ReplicaProtocol>> = cluster
+                .replicas()
+                .map(|r| {
+                    Box::new(SeeMoReReplica::new(
+                        r,
+                        cluster,
+                        pconfig(),
+                        keystore.clone(),
+                        mode,
+                        Box::new(NoopApp::new(8)),
+                    )) as Box<dyn ReplicaProtocol>
+                })
+                .collect();
+            let clients = (0..client_count)
+                .map(|c| {
+                    Box::new(ClientCore::new(
+                        ClientId(c),
+                        cluster,
+                        keystore.clone(),
+                        mode,
+                        Duration::from_millis(500),
+                    )) as Box<dyn ClientProtocol>
+                })
+                .collect();
+            let primary = cluster.primary(mode, View(0)).expect("view-0 primary");
+            let victim = ReplicaId(cluster.total_size() - 1);
+            assert_ne!(victim, primary, "crash victim must not be the primary");
+            Deployment {
+                replicas,
+                clients,
+                crash_victim: victim,
+            }
+        }
+        None => {
+            let config = match case {
+                Case::Cft => BaselineConfig::cft(2),
+                _ => BaselineConfig::bft(2),
+            };
+            let keystore = KeyStore::generate(seed, config.network_size, client_count);
+            let replicas: Vec<Box<dyn ReplicaProtocol>> = config
+                .replicas()
+                .map(|r| match case {
+                    Case::Cft => Box::new(CftReplica::new(
+                        r,
+                        config,
+                        pconfig(),
+                        Box::new(NoopApp::new(8)),
+                    )) as Box<dyn ReplicaProtocol>,
+                    _ => Box::new(BftReplica::new(
+                        r,
+                        config,
+                        pconfig(),
+                        keystore.clone(),
+                        Box::new(NoopApp::new(8)),
+                    )) as Box<dyn ReplicaProtocol>,
+                })
+                .collect();
+            let clients = (0..client_count)
+                .map(|c| {
+                    Box::new(BaselineClient::new(
+                        ClientId(c),
+                        config,
+                        keystore.clone(),
+                        Duration::from_millis(500),
+                    )) as Box<dyn ClientProtocol>
+                })
+                .collect();
+            let victim = ReplicaId(config.network_size - 1);
+            assert_ne!(victim, config.primary(View(0)));
+            Deployment {
+                replicas,
+                clients,
+                crash_victim: victim,
+            }
+        }
+    }
+}
+
+/// The two concurrent runtimes behind one driving interface.
+enum Harness {
+    Threaded(ThreadedCluster),
+    Socket(SocketCluster),
+}
+
+impl Harness {
+    fn spawn(socket: bool, replicas: Vec<Box<dyn ReplicaProtocol>>, clients: &[ClientId]) -> Self {
+        if socket {
+            Harness::Socket(SocketCluster::spawn(replicas, clients).expect("bind loopback"))
+        } else {
+            Harness::Threaded(ThreadedCluster::spawn(replicas, clients))
+        }
+    }
+
+    fn crash(&self, replica: ReplicaId) {
+        match self {
+            Harness::Threaded(c) => c.crash(replica),
+            Harness::Socket(c) => c.crash(replica),
+        }
+    }
+
+    fn run_one(
+        &self,
+        client: Box<dyn ClientProtocol>,
+        op: Vec<u8>,
+    ) -> (Box<dyn ClientProtocol>, usize) {
+        let timeout = Duration::from_secs(10);
+        let (client, outcomes) = match self {
+            Harness::Threaded(c) => c.run_client(client, 1, timeout, |_| op.clone()),
+            Harness::Socket(c) => c.run_client(client, 1, timeout, |_| op.clone()),
+        };
+        (client, outcomes.len())
+    }
+
+    fn shutdown(self) -> Vec<Box<dyn ReplicaProtocol>> {
+        match self {
+            Harness::Threaded(c) => c.shutdown(),
+            Harness::Socket(c) => c.shutdown(),
+        }
+    }
+}
+
+/// Runs the deterministic interleaved workload: two clients submit
+/// alternately (one outstanding request in the whole system at a time), the
+/// crash victim fail-stops a third of the way in, and the surviving
+/// replicas' histories come back for comparison.
+fn run_deterministic(case: Case, socket: bool) -> Vec<(ReplicaId, Vec<ExecutedEntry>)> {
+    const ROUNDS: usize = 6;
+    let deployment = deploy(case, 2);
+    let crash_victim = deployment.crash_victim;
+    let client_ids: Vec<ClientId> = deployment.clients.iter().map(|c| c.id()).collect();
+    let harness = Harness::spawn(socket, deployment.replicas, &client_ids);
+
+    let mut clients = deployment.clients;
+    let mut completed = 0usize;
+    for round in 0..ROUNDS {
+        if round == ROUNDS / 3 {
+            harness.crash(crash_victim);
+        }
+        let mut next = Vec::with_capacity(clients.len());
+        for client in clients {
+            let id = client.id();
+            let (client, done) = harness.run_one(client, format!("op-{id}-{round}").into_bytes());
+            completed += done;
+            next.push(client);
+        }
+        clients = next;
+    }
+    assert_eq!(
+        completed,
+        ROUNDS * 2,
+        "{} ({}): every request must complete despite the crash",
+        case.name(),
+        if socket { "socket" } else { "threaded" },
+    );
+
+    harness
+        .shutdown()
+        .into_iter()
+        .filter(|core| core.id() != crash_victim)
+        .map(|core| (core.id(), core.executed().to_vec()))
+        .collect()
+}
+
+/// Per-slot view of a history: sequence number → ordered request digests.
+fn slot_map(history: &[ExecutedEntry]) -> BTreeMap<SeqNum, Vec<Digest>> {
+    let mut slots: BTreeMap<SeqNum, Vec<Digest>> = BTreeMap::new();
+    for entry in history {
+        slots.entry(entry.seq).or_default().push(entry.digest);
+    }
+    slots
+}
+
+/// Within one runtime's histories: every pair of live replicas (all pairs,
+/// not just adjacent ones — a replica missing a slot must not mask
+/// divergence between its neighbours) agrees on every slot both executed.
+fn assert_internal_agreement(case: Case, histories: &[(ReplicaId, Vec<ExecutedEntry>)]) {
+    let maps: Vec<(ReplicaId, BTreeMap<SeqNum, Vec<Digest>>)> = histories
+        .iter()
+        .map(|(id, history)| (*id, slot_map(history)))
+        .collect();
+    for (i, (id_a, a)) in maps.iter().enumerate() {
+        for (id_b, b) in maps.iter().skip(i + 1) {
+            for (seq, digests) in a {
+                if let Some(other) = b.get(seq) {
+                    assert_eq!(
+                        digests,
+                        other,
+                        "{}: {id_a} and {id_b} diverge at {seq}",
+                        case.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The longest (most complete) history of a run, as the run's canonical
+/// execution order.
+fn canonical(histories: &[(ReplicaId, Vec<ExecutedEntry>)]) -> Vec<ExecutedEntry> {
+    histories
+        .iter()
+        .map(|(_, h)| h.clone())
+        .max_by_key(|h| h.len())
+        .expect("at least one live replica")
+}
+
+/// Acceptance: all three SeeMoRe modes plus both baselines complete the
+/// loopback e2e over real TCP sockets, and their per-slot histories match
+/// the threaded runtime's.
+#[test]
+fn socket_histories_match_threaded_histories() {
+    for case in ALL_CASES {
+        let socket = run_deterministic(case, true);
+        let threaded = run_deterministic(case, false);
+        assert_internal_agreement(case, &socket);
+        assert_internal_agreement(case, &threaded);
+
+        let socket_canon = canonical(&socket);
+        let threaded_canon = canonical(&threaded);
+        assert_eq!(
+            socket_canon.len(),
+            threaded_canon.len(),
+            "{}: history lengths differ",
+            case.name()
+        );
+        for (s, t) in socket_canon.iter().zip(threaded_canon.iter()) {
+            assert_eq!(
+                (s.seq, s.offset, s.request, s.digest),
+                (t.seq, t.offset, t.request, t.digest),
+                "{}: socket and threaded runtimes ordered requests differently",
+                case.name()
+            );
+        }
+    }
+}
+
+/// Concurrent clients over real sockets with batching and a crashed backup:
+/// liveness for every request, per-slot safety for every live replica, and
+/// real bytes on the wire.
+#[test]
+fn concurrent_clients_over_sockets_stay_safe_under_a_crash() {
+    for case in [Case::Lion, Case::Dog, Case::Bft] {
+        const CLIENTS: u64 = 4;
+        const PER_CLIENT: usize = 4;
+        let deployment = deploy(case, CLIENTS);
+        let crash_victim = deployment.crash_victim;
+        let client_ids: Vec<ClientId> = deployment.clients.iter().map(|c| c.id()).collect();
+        let cluster =
+            SocketCluster::spawn(deployment.replicas, &client_ids).expect("bind loopback");
+
+        let completed: usize = std::thread::scope(|scope| {
+            let cluster = &cluster;
+            // Crash the backup while the clients are mid-workload.
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                cluster.crash(crash_victim);
+            });
+            let handles: Vec<_> = deployment
+                .clients
+                .into_iter()
+                .map(|client| {
+                    scope.spawn(move || {
+                        let id = client.id();
+                        let (_, outcomes) =
+                            cluster.run_client(client, PER_CLIENT, Duration::from_secs(10), |i| {
+                                format!("op-{id}-{i}").into_bytes()
+                            });
+                        outcomes.len()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(
+            completed,
+            (CLIENTS as usize) * PER_CLIENT,
+            "{}: every concurrent request must complete despite the crash",
+            case.name()
+        );
+
+        let (messages, bytes) = cluster.traffic();
+        assert!(messages > 0, "{}: no messages on the wire", case.name());
+        assert!(bytes > 0, "{}: no bytes on the wire", case.name());
+
+        let histories: Vec<(ReplicaId, Vec<ExecutedEntry>)> = cluster
+            .shutdown()
+            .into_iter()
+            .filter(|core| core.id() != crash_victim)
+            .map(|core| (core.id(), core.executed().to_vec()))
+            .collect();
+        assert_internal_agreement(case, &histories);
+        // The canonical history must contain every submitted request exactly
+        // once (batch atomicity: nothing lost, nothing duplicated).
+        let canon = canonical(&histories);
+        let mut ids: Vec<_> = canon.iter().map(|e| e.request).collect();
+        let total = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), total, "{}: duplicated execution", case.name());
+        assert_eq!(
+            total,
+            (CLIENTS as usize) * PER_CLIENT,
+            "{}: canonical history incomplete",
+            case.name()
+        );
+    }
+}
