@@ -18,7 +18,7 @@
 use crate::config::BaselineConfig;
 use seemore_app::StateMachine;
 use seemore_core::actions::{Action, Timer};
-use seemore_core::batching::BatchAccumulator;
+use seemore_core::batching::AdaptiveBatcher;
 use seemore_core::checkpoint::{CheckpointManager, StabilityRule};
 use seemore_core::config::ProtocolConfig;
 use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
@@ -47,8 +47,9 @@ pub struct CftReplica {
     checkpoints: CheckpointManager,
     next_seq: SeqNum,
     assigned: HashMap<RequestId, SeqNum>,
-    /// Pending requests accumulating into the next batch (leader only).
-    batcher: BatchAccumulator,
+    /// Pending requests accumulating into the next batch (leader only),
+    /// plus the shared controller deciding when to cut them.
+    batcher: AdaptiveBatcher,
     in_view_change: bool,
     target_view: View,
     view_changes: BTreeMap<View, BTreeMap<ReplicaId, ViewChange>>,
@@ -82,7 +83,7 @@ impl CftReplica {
             ),
             next_seq: SeqNum(0),
             assigned: HashMap::new(),
-            batcher: BatchAccumulator::new(pconfig.batch),
+            batcher: AdaptiveBatcher::new(pconfig.batch),
             in_view_change: false,
             target_view: View::ZERO,
             view_changes: BTreeMap::new(),
@@ -183,7 +184,7 @@ impl CftReplica {
     // Normal case
     // --------------------------------------------------------------
 
-    fn on_request(&mut self, request: ClientRequest) -> Vec<Action> {
+    fn on_request(&mut self, request: ClientRequest, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if let Some(result) = self
             .exec
@@ -202,7 +203,7 @@ impl CftReplica {
             return actions;
         }
         if self.is_primary() {
-            self.buffer_or_propose(&mut actions, request);
+            self.buffer_or_propose(&mut actions, request, now);
         } else {
             let primary = self.primary();
             let id = request.id();
@@ -221,15 +222,30 @@ impl CftReplica {
         actions
     }
 
-    /// Offers `request` to the batch accumulator, proposing immediately when
-    /// the batching policy says so (always, when `max_batch = 1`).
-    fn buffer_or_propose(&mut self, actions: &mut Vec<Action>, request: ClientRequest) {
+    /// Offers `request` to the batching controller, proposing immediately
+    /// when the policy says so (always, when the effective cap is 1).
+    fn buffer_or_propose(
+        &mut self,
+        actions: &mut Vec<Action>,
+        request: ClientRequest,
+        now: Instant,
+    ) {
         if self.assigned.contains_key(&request.id()) {
             return;
         }
-        if let Some(batch) = self.batcher.offer(request, actions) {
+        let in_flight = self.slots_in_flight();
+        if let Some(batch) = self
+            .batcher
+            .offer(request, now, in_flight, actions, &mut self.metrics)
+        {
             self.propose_batch(actions, batch);
         }
+    }
+
+    /// Slots this leader proposed that have not executed yet — the occupancy
+    /// signal the adaptive batching policy grows on.
+    fn slots_in_flight(&self) -> u64 {
+        self.next_seq.0.saturating_sub(self.exec.last_executed().0)
     }
 
     /// Assigns a sequence number to `batch` and broadcasts the `PREPARE`.
@@ -374,7 +390,7 @@ impl CftReplica {
     // View change
     // --------------------------------------------------------------
 
-    fn start_view_change(&mut self, target: View) -> Vec<Action> {
+    fn start_view_change(&mut self, target: View, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.in_view_change && self.target_view >= target {
             return actions;
@@ -428,11 +444,16 @@ impl CftReplica {
             timer: Timer::ViewChange { view: target },
             after: self.pconfig.view_change_timeout,
         });
-        self.try_assemble(&mut actions, target);
+        self.try_assemble(&mut actions, target, now);
         actions
     }
 
-    fn on_view_change(&mut self, from: NodeId, view_change: ViewChange) -> Vec<Action> {
+    fn on_view_change(
+        &mut self,
+        from: NodeId,
+        view_change: ViewChange,
+        now: Instant,
+    ) -> Vec<Action> {
         let mut actions = Vec::new();
         let Some(sender) = from.as_replica() else {
             return actions;
@@ -448,13 +469,13 @@ impl CftReplica {
         // Join once anyone else asked for a newer view (crash faults cannot
         // lie, so a single vote is trustworthy).
         if !self.in_view_change {
-            actions.extend(self.start_view_change(target));
+            actions.extend(self.start_view_change(target, now));
         }
-        self.try_assemble(&mut actions, target);
+        self.try_assemble(&mut actions, target, now);
         actions
     }
 
-    fn try_assemble(&mut self, actions: &mut Vec<Action>, target: View) {
+    fn try_assemble(&mut self, actions: &mut Vec<Action>, target: View, now: Instant) {
         if self.config.primary(target) != self.id
             || self.new_view_sent.contains(&target)
             || target <= self.view
@@ -535,10 +556,10 @@ impl CftReplica {
             signature: Signature::INVALID,
         };
         self.broadcast(actions, Message::NewView(new_view.clone()));
-        self.install_new_view(actions, new_view);
+        self.install_new_view(actions, new_view, now);
     }
 
-    fn on_new_view(&mut self, from: NodeId, new_view: NewView) -> Vec<Action> {
+    fn on_new_view(&mut self, from: NodeId, new_view: NewView, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if new_view.view <= self.view
             || from.as_replica() != Some(self.config.primary(new_view.view))
@@ -546,11 +567,11 @@ impl CftReplica {
             self.metrics.rejected_messages += 1;
             return actions;
         }
-        self.install_new_view(&mut actions, new_view);
+        self.install_new_view(&mut actions, new_view, now);
         actions
     }
 
-    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
+    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView, now: Instant) {
         actions.push(Action::CancelTimer {
             timer: Timer::ViewChange {
                 view: new_view.view,
@@ -610,8 +631,9 @@ impl CftReplica {
         self.execute_ready(actions);
 
         // Requests buffered for batching under the old view are re-routed:
-        // the new leader proposes them, everyone else forwards them.
-        let buffered = self.batcher.drain();
+        // the new leader proposes them, everyone else forwards them (and the
+        // armed flush timer, if any, is cancelled with the buffer).
+        let buffered = self.batcher.drain(actions);
         if i_am_primary {
             for request in buffered {
                 if self
@@ -619,7 +641,7 @@ impl CftReplica {
                     .cached_reply(request.client, request.timestamp)
                     .is_none()
                 {
-                    self.buffer_or_propose(actions, request);
+                    self.buffer_or_propose(actions, request, now);
                 }
             }
             self.flush_buffered(actions);
@@ -639,23 +661,36 @@ impl CftReplica {
 
     /// Forces out any partially accumulated batch.
     fn flush_buffered(&mut self, actions: &mut Vec<Action>) {
-        if let Some(batch) = self.batcher.take_batch() {
+        if let Some(batch) = self.batcher.flush(actions, &mut self.metrics) {
             self.propose_batch(actions, batch);
         }
     }
 
-    /// The batch flush timer fired: propose the buffer (leader) or re-route
-    /// it to the current leader (a replica deposed while buffering).
-    fn on_batch_flush(&mut self) -> Vec<Action> {
+    /// The batch flush timer of `generation` fired: propose the buffer
+    /// (leader) or re-route it to the current leader (a replica deposed
+    /// while buffering). Stale generations — timers that raced a
+    /// size-trigger cut — are counted and ignored so they can never truncate
+    /// the next buffer's delay.
+    fn on_batch_flush(&mut self, generation: u64) -> Vec<Action> {
         let mut actions = Vec::new();
+        if !self.batcher.timer_is_current(generation) {
+            self.metrics.batch.stale_timer_fires += 1;
+            return actions;
+        }
         if self.in_view_change {
             return actions;
         }
         if self.is_primary() {
-            self.flush_buffered(&mut actions);
+            let in_flight = self.slots_in_flight();
+            if let Some(batch) =
+                self.batcher
+                    .on_flush_timer(generation, in_flight, &mut self.metrics)
+            {
+                self.propose_batch(&mut actions, batch);
+            }
         } else {
             let primary = self.primary();
-            for request in self.batcher.drain() {
+            for request in self.batcher.drain(&mut actions) {
                 self.send(
                     &mut actions,
                     NodeId::Replica(primary),
@@ -672,24 +707,24 @@ impl ReplicaProtocol for CftReplica {
         self.id
     }
 
-    fn on_message(&mut self, from: NodeId, message: Message, _now: Instant) -> Vec<Action> {
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         if self.crashed {
             return Vec::new();
         }
         self.metrics.record_received(message.kind());
         match message {
-            Message::Request(request) => self.on_request(request),
+            Message::Request(request) => self.on_request(request, now),
             Message::Prepare(prepare) => self.on_prepare(from, prepare),
             Message::Accept(accept) => self.on_accept(from, accept),
             Message::Commit(commit) => self.on_commit(from, commit),
             Message::Checkpoint(checkpoint) => self.on_checkpoint(checkpoint),
-            Message::ViewChange(view_change) => self.on_view_change(from, view_change),
-            Message::NewView(new_view) => self.on_new_view(from, new_view),
+            Message::ViewChange(view_change) => self.on_view_change(from, view_change, now),
+            Message::NewView(new_view) => self.on_new_view(from, new_view, now),
             _ => Vec::new(),
         }
     }
 
-    fn on_timer(&mut self, timer: Timer, _now: Instant) -> Vec<Action> {
+    fn on_timer(&mut self, timer: Timer, now: Instant) -> Vec<Action> {
         if self.crashed {
             return Vec::new();
         }
@@ -703,7 +738,7 @@ impl ReplicaProtocol for CftReplica {
                 if committed || self.in_view_change {
                     Vec::new()
                 } else {
-                    self.start_view_change(self.view.next())
+                    self.start_view_change(self.view.next(), now)
                 }
             }
             Timer::ForwardedRequest { request } => {
@@ -715,17 +750,17 @@ impl ReplicaProtocol for CftReplica {
                 {
                     Vec::new()
                 } else {
-                    self.start_view_change(self.view.next())
+                    self.start_view_change(self.view.next(), now)
                 }
             }
             Timer::ViewChange { view } => {
                 if self.in_view_change && self.view < view {
-                    self.start_view_change(view.next())
+                    self.start_view_change(view.next(), now)
                 } else {
                     Vec::new()
                 }
             }
-            Timer::BatchFlush => self.on_batch_flush(),
+            Timer::BatchFlush { generation } => self.on_batch_flush(generation),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }
@@ -830,6 +865,80 @@ mod tests {
 
         assert_eq!(cluster.client(ClientId(0)).completed().len(), 2);
         assert!(cluster.replica(ReplicaId(1)).view() > View(0));
+    }
+
+    /// Regression (same bug as the SeeMoRe core): a size-trigger cut used to
+    /// leave the armed flush timer live, so its stale expiry cut the next
+    /// buffer prematurely. Generation-tagged timers make the stale expiry a
+    /// no-op.
+    #[test]
+    fn cft_stale_flush_timer_cannot_truncate_the_next_batch() {
+        use seemore_core::batching::BatchConfig;
+
+        let config = BaselineConfig::cft(1);
+        let keystore = KeyStore::generate(9, config.network_size, 4);
+        let mut cluster = SyncCluster::new();
+        let pconfig =
+            ProtocolConfig::default().with_batching(BatchConfig::new(3, Duration::from_millis(1)));
+        for replica in config.replicas() {
+            cluster.add_replica(Box::new(CftReplica::new(
+                replica,
+                config,
+                pconfig,
+                Box::new(KvStore::new()),
+            )));
+        }
+        for client in 0..4u64 {
+            cluster.add_client(BaselineClient::new(
+                ClientId(client),
+                config,
+                keystore.clone(),
+                Duration::from_millis(100),
+            ));
+        }
+        let leader = config.primary(View::ZERO);
+        let armed_flush = |cluster: &SyncCluster| {
+            cluster
+                .armed_timers(leader)
+                .into_iter()
+                .find(|t| matches!(t, Timer::BatchFlush { .. }))
+        };
+
+        cluster.submit(ClientId(0), b"a".to_vec());
+        cluster.run_to_quiescence(100_000);
+        let stale = armed_flush(&cluster).expect("first request arms the flush timer");
+
+        // Fill the batch; the size cut must invalidate the armed timer.
+        cluster.submit(ClientId(1), b"b".to_vec());
+        cluster.submit(ClientId(2), b"c".to_vec());
+        cluster.run_to_quiescence(100_000);
+        assert_eq!(cluster.replica(leader).executed().len(), 3);
+        assert!(
+            armed_flush(&cluster).is_none(),
+            "size cut cancels the timer"
+        );
+
+        // Refill one request; the stale expiry must not cut it early.
+        cluster.submit(ClientId(3), b"d".to_vec());
+        cluster.run_to_quiescence(100_000);
+        let fresh = armed_flush(&cluster).expect("second buffer arms a fresh timer");
+        assert_ne!(fresh, stale);
+        let now = cluster.now();
+        let actions = cluster.replica_mut(leader).on_timer(stale, now);
+        assert!(actions.is_empty(), "stale flush produced {actions:?}");
+        cluster.run_to_quiescence(100_000);
+        assert_eq!(
+            cluster.replica(leader).executed().len(),
+            3,
+            "second batch flushed before its delay elapsed"
+        );
+        assert_eq!(cluster.replica(leader).metrics().batch.stale_timer_fires, 1);
+
+        // The current timer is what flushes the second batch.
+        assert!(cluster.fire_timer(leader, fresh));
+        cluster.run_to_quiescence(100_000);
+        assert_eq!(cluster.replica(leader).executed().len(), 4);
+        assert_eq!(cluster.client(ClientId(3)).completed().len(), 1);
     }
 
     #[test]

@@ -37,9 +37,19 @@ pub enum Timer {
     },
     /// Batching flush timer: armed by a primary when the first request
     /// enters its empty batch buffer, so a partially filled batch is
-    /// proposed after at most `max_delay` (the latency trigger of the
-    /// batching policy). Never armed when `max_batch = 1`.
-    BatchFlush,
+    /// proposed after at most the policy's delay bound (the latency trigger
+    /// of the batching policy). Never armed when the effective batch cap
+    /// is 1.
+    ///
+    /// The generation makes every arming a distinct timer identity: a cut
+    /// or drain invalidates the armed generation, so a stale expiration —
+    /// one racing a size-trigger cut — can never flush the *next* buffer
+    /// prematurely (see [`crate::batching`]).
+    BatchFlush {
+        /// Generation assigned by the arming
+        /// [`AdaptiveBatcher`](crate::batching::AdaptiveBatcher).
+        generation: u64,
+    },
 }
 
 impl fmt::Display for Timer {
@@ -49,7 +59,7 @@ impl fmt::Display for Timer {
             Timer::ForwardedRequest { request } => write!(f, "forwarded({request})"),
             Timer::ViewChange { view } => write!(f, "view-change({view})"),
             Timer::ClientRetransmit { timestamp } => write!(f, "retransmit({timestamp})"),
-            Timer::BatchFlush => write!(f, "batch-flush"),
+            Timer::BatchFlush { generation } => write!(f, "batch-flush(g{generation})"),
         }
     }
 }
@@ -213,5 +223,15 @@ mod tests {
         }
         .to_string()
         .contains("c1"));
+        // Flush timers of different generations are different identities:
+        // cancelling one can never disarm the other.
+        assert_ne!(
+            Timer::BatchFlush { generation: 1 },
+            Timer::BatchFlush { generation: 2 }
+        );
+        assert_eq!(
+            Timer::BatchFlush { generation: 7 }.to_string(),
+            "batch-flush(g7)"
+        );
     }
 }

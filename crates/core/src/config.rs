@@ -1,8 +1,82 @@
 //! Tunable protocol parameters (timeouts, checkpoint period, window sizes,
 //! batching policy).
 
-use crate::batching::BatchConfig;
+use crate::batching::{AdaptiveBatchConfig, BatchConfig};
 use seemore_types::Duration;
+
+/// How a primary batches client requests into agreement slots (executed by
+/// [`AdaptiveBatcher`](crate::batching::AdaptiveBatcher)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// The classic fixed knobs: cut at `max_batch` requests or after
+    /// `max_delay`, whichever comes first.
+    Static(BatchConfig),
+    /// The AIMD controller: the effective cap grows toward `ceiling` under
+    /// load and decays toward 1 when idle, with the flush delay adapting
+    /// within `(0, max_delay]`. See the [`batching`](crate::batching) module
+    /// docs for the control law.
+    Adaptive(AdaptiveBatchConfig),
+}
+
+impl BatchPolicy {
+    /// Batching disabled: every request is proposed on arrival in its own
+    /// slot, bit-for-bit reproducing unbatched agreement.
+    pub fn disabled() -> Self {
+        BatchPolicy::Static(BatchConfig::disabled())
+    }
+
+    /// A static policy with the given size cap and flush delay.
+    pub fn fixed(max_batch: usize, max_delay: Duration) -> Self {
+        BatchPolicy::Static(BatchConfig::new(max_batch, max_delay))
+    }
+
+    /// An adaptive policy growing up to `ceiling` with flush delays bounded
+    /// by `max_delay`.
+    pub fn adaptive(ceiling: usize, max_delay: Duration) -> Self {
+        BatchPolicy::Adaptive(AdaptiveBatchConfig::new(ceiling, max_delay))
+    }
+
+    /// The largest batch this policy may ever cut.
+    pub fn ceiling(&self) -> usize {
+        match self {
+            BatchPolicy::Static(config) => config.max_batch.max(1),
+            BatchPolicy::Adaptive(config) => config.ceiling.max(1),
+        }
+    }
+
+    /// The hard bound on how long a buffered request may wait before its
+    /// batch is proposed.
+    pub fn max_delay(&self) -> Duration {
+        match self {
+            BatchPolicy::Static(config) => config.max_delay,
+            BatchPolicy::Adaptive(config) => config.max_delay,
+        }
+    }
+
+    /// Whether this policy can ever buffer a request (a ceiling above 1 and
+    /// a non-zero delay; anything else proposes immediately).
+    pub fn is_batching(&self) -> bool {
+        self.ceiling() > 1 && self.max_delay() > Duration::ZERO
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::disabled()
+    }
+}
+
+impl From<BatchConfig> for BatchPolicy {
+    fn from(config: BatchConfig) -> Self {
+        BatchPolicy::Static(config)
+    }
+}
+
+impl From<AdaptiveBatchConfig> for BatchPolicy {
+    fn from(config: AdaptiveBatchConfig) -> Self {
+        BatchPolicy::Adaptive(config)
+    }
+}
 
 /// Parameters governing a replica's behaviour that are not part of the
 /// cluster topology.
@@ -22,10 +96,10 @@ pub struct ProtocolConfig {
     pub view_change_timeout: Duration,
     /// Client-side retransmission timeout (the paper's "preset time").
     pub client_timeout: Duration,
-    /// The primary's request-batching policy (`max_batch` size trigger plus
-    /// `max_delay` flush timer). Defaults to disabled (`max_batch = 1`),
-    /// which reproduces unbatched one-request-per-slot agreement exactly.
-    pub batch: BatchConfig,
+    /// The primary's request-batching policy. Defaults to disabled (a static
+    /// `max_batch = 1`), which reproduces unbatched one-request-per-slot
+    /// agreement exactly.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ProtocolConfig {
@@ -36,7 +110,7 @@ impl Default for ProtocolConfig {
             request_timeout: Duration::from_millis(200),
             view_change_timeout: Duration::from_millis(400),
             client_timeout: Duration::from_millis(500),
-            batch: BatchConfig::disabled(),
+            batch: BatchPolicy::disabled(),
         }
     }
 }
@@ -62,8 +136,15 @@ impl ProtocolConfig {
         }
     }
 
-    /// The same configuration with a different batching policy.
+    /// The same configuration with a static batching policy.
     pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = BatchPolicy::Static(batch);
+        self
+    }
+
+    /// The same configuration with an arbitrary batching policy (static or
+    /// adaptive).
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Self {
         self.batch = batch;
         self
     }
@@ -101,10 +182,31 @@ mod tests {
         assert!(!ProtocolConfig::default().batch.is_batching());
         let cfg = ProtocolConfig::default()
             .with_batching(BatchConfig::new(16, Duration::from_micros(100)));
-        assert_eq!(cfg.batch.max_batch, 16);
+        assert_eq!(cfg.batch.ceiling(), 16);
         assert!(
-            cfg.batch.max_delay < cfg.request_timeout,
+            cfg.batch.max_delay() < cfg.request_timeout,
             "flush must beat suspicion"
         );
+        let adaptive = ProtocolConfig::default()
+            .with_batch_policy(BatchPolicy::adaptive(64, Duration::from_micros(200)));
+        assert!(adaptive.batch.is_batching());
+        assert_eq!(adaptive.batch.ceiling(), 64);
+    }
+
+    #[test]
+    fn policy_classification_and_conversions() {
+        assert_eq!(BatchPolicy::default(), BatchPolicy::disabled());
+        assert!(!BatchPolicy::disabled().is_batching());
+        assert!(!BatchPolicy::fixed(8, Duration::ZERO).is_batching());
+        assert!(BatchPolicy::fixed(8, Duration::from_micros(50)).is_batching());
+        assert!(!BatchPolicy::adaptive(1, Duration::from_micros(50)).is_batching());
+        assert!(BatchPolicy::adaptive(2, Duration::from_micros(50)).is_batching());
+        assert_eq!(BatchPolicy::adaptive(0, Duration::ZERO).ceiling(), 1);
+        let from_static: BatchPolicy = BatchConfig::new(4, Duration::from_micros(10)).into();
+        assert_eq!(from_static.ceiling(), 4);
+        let from_adaptive: BatchPolicy =
+            AdaptiveBatchConfig::new(32, Duration::from_micros(10)).into();
+        assert_eq!(from_adaptive.ceiling(), 32);
+        assert_eq!(from_adaptive.max_delay(), Duration::from_micros(10));
     }
 }

@@ -9,9 +9,11 @@
 //!   changes and dynamic mode switching (Section 5.4).
 //! * [`client::ClientCore`] — the client side of the protocol: request
 //!   submission, per-mode reply quorums and retransmission.
-//! * [`batching`] — the request-batching policy: primaries order
+//! * [`batching`] — the request-batching controller: primaries order
 //!   [`Batch`]es of requests (one sequence number, one quorum round per
-//!   batch) under a configurable `max_batch` / `max_delay` policy.
+//!   batch) under a [`BatchPolicy`](config::BatchPolicy) — either the
+//!   static `max_batch` / `max_delay` knobs or the adaptive AIMD
+//!   controller that sizes batches from observed load.
 //! * [`byzantine`] — Byzantine behaviour wrappers used by the tests and the
 //!   evaluation harness to inject equivocation, silence and signature
 //!   corruption into public-cloud replicas.
@@ -43,12 +45,14 @@ pub mod replica;
 pub mod testkit;
 
 pub use actions::{Action, Timer};
-pub use batching::{BatchAccumulator, BatchConfig, BatchDecision};
+pub use batching::{
+    AdaptiveBatchConfig, AdaptiveBatcher, BatchAccumulator, BatchConfig, FlushCause,
+};
 pub use byzantine::{ByzantineBehavior, ByzantineReplica};
 pub use client::{ClientCore, ClientOutcome, ClientProtocol};
-pub use config::ProtocolConfig;
+pub use config::{BatchPolicy, ProtocolConfig};
 pub use exec::ExecutedEntry;
-pub use metrics::ReplicaMetrics;
+pub use metrics::{BatchTelemetry, ReplicaMetrics};
 pub use profile::ProtocolProfile;
 pub use protocol::ReplicaProtocol;
 pub use replica::SeeMoReReplica;

@@ -5,8 +5,91 @@
 //! view changes (Figure 4). Every core maintains a [`ReplicaMetrics`] that
 //! the runtime aggregates.
 
+use crate::batching::FlushCause;
 use seemore_wire::MessageKind;
 use std::collections::BTreeMap;
+
+/// Chosen-size telemetry of the batching controller: what batch sizes the
+/// policy actually cut and why, maintained by the replica that cut them and
+/// aggregated into `RunReport` by the runtime.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTelemetry {
+    /// Histogram of cut batch sizes (`size → count`).
+    sizes: BTreeMap<usize, u64>,
+    /// Batches cut by the size trigger (buffer reached the effective cap).
+    pub cut_by_size: u64,
+    /// Batches cut by the flush timer (partial buffer, latency trigger).
+    pub cut_by_timer: u64,
+    /// Batches forced out (view-change installation).
+    pub cut_forced: u64,
+    /// Stale flush-timer expirations that were correctly ignored (a timer
+    /// generation that had already been invalidated by a cut).
+    pub stale_timer_fires: u64,
+}
+
+impl BatchTelemetry {
+    /// Records one cut batch of `len` requests.
+    pub fn record_cut(&mut self, len: usize, cause: FlushCause) {
+        *self.sizes.entry(len).or_default() += 1;
+        match cause {
+            FlushCause::Size => self.cut_by_size += 1,
+            FlushCause::Timer => self.cut_by_timer += 1,
+            FlushCause::Forced => self.cut_forced += 1,
+        }
+    }
+
+    /// Total batches cut.
+    pub fn batches(&self) -> u64 {
+        self.sizes.values().sum()
+    }
+
+    /// Mean cut batch size (0 when nothing was cut).
+    pub fn mean_size(&self) -> f64 {
+        let total = self.batches();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .sizes
+            .iter()
+            .map(|(size, count)| *size as u64 * count)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Median cut batch size (0 when nothing was cut).
+    pub fn p50_size(&self) -> usize {
+        let total = self.batches();
+        if total == 0 {
+            return 0;
+        }
+        let midpoint = total.div_ceil(2);
+        let mut seen = 0u64;
+        for (size, count) in &self.sizes {
+            seen += count;
+            if seen >= midpoint {
+                return *size;
+            }
+        }
+        0
+    }
+
+    /// Largest batch ever cut.
+    pub fn max_size(&self) -> usize {
+        self.sizes.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Folds another replica's batch telemetry into this one.
+    pub fn merge(&mut self, other: &BatchTelemetry) {
+        for (size, count) in &other.sizes {
+            *self.sizes.entry(*size).or_default() += count;
+        }
+        self.cut_by_size += other.cut_by_size;
+        self.cut_by_timer += other.cut_by_timer;
+        self.cut_forced += other.cut_forced;
+        self.stale_timer_fires += other.stale_timer_fires;
+    }
+}
 
 /// Counters maintained by every replica core.
 #[derive(Debug, Clone, Default)]
@@ -28,6 +111,8 @@ pub struct ReplicaMetrics {
     pub stable_checkpoints: u64,
     /// Messages discarded as invalid (bad signature, wrong view, ...).
     pub rejected_messages: u64,
+    /// What the batching controller actually did (sizes and flush causes).
+    pub batch: BatchTelemetry,
 }
 
 impl ReplicaMetrics {
@@ -95,6 +180,7 @@ impl ReplicaMetrics {
         self.mode_switches += other.mode_switches;
         self.stable_checkpoints += other.stable_checkpoints;
         self.rejected_messages += other.rejected_messages;
+        self.batch.merge(&other.batch);
     }
 }
 
@@ -149,5 +235,43 @@ mod tests {
         assert_eq!(a.rejected_messages, 4);
         assert_eq!(a.view_changes_completed, 1);
         assert_eq!(a.total_sent_bytes(), 100);
+    }
+
+    #[test]
+    fn batch_telemetry_statistics() {
+        let mut t = BatchTelemetry::default();
+        assert_eq!(t.batches(), 0);
+        assert_eq!(t.mean_size(), 0.0);
+        assert_eq!(t.p50_size(), 0);
+        assert_eq!(t.max_size(), 0);
+
+        t.record_cut(1, FlushCause::Size);
+        t.record_cut(2, FlushCause::Timer);
+        t.record_cut(2, FlushCause::Timer);
+        t.record_cut(8, FlushCause::Forced);
+        assert_eq!(t.batches(), 4);
+        assert_eq!(t.cut_by_size, 1);
+        assert_eq!(t.cut_by_timer, 2);
+        assert_eq!(t.cut_forced, 1);
+        assert!((t.mean_size() - 13.0 / 4.0).abs() < 1e-12);
+        assert_eq!(t.p50_size(), 2);
+        assert_eq!(t.max_size(), 8);
+    }
+
+    #[test]
+    fn batch_telemetry_merges_through_replica_metrics() {
+        let mut a = ReplicaMetrics::default();
+        a.batch.record_cut(4, FlushCause::Size);
+        a.batch.stale_timer_fires = 2;
+        let mut b = ReplicaMetrics::default();
+        b.batch.record_cut(4, FlushCause::Size);
+        b.batch.record_cut(1, FlushCause::Timer);
+        a.merge(&b);
+        assert_eq!(a.batch.batches(), 3);
+        assert_eq!(a.batch.cut_by_size, 2);
+        assert_eq!(a.batch.cut_by_timer, 1);
+        assert_eq!(a.batch.stale_timer_fires, 2);
+        assert_eq!(a.batch.max_size(), 4);
+        assert_eq!(a.batch.p50_size(), 4);
     }
 }

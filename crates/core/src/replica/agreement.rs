@@ -2,11 +2,14 @@
 //! (Sections 5.1–5.3 of the paper), generalized to order [`Batch`]es.
 //!
 //! The unit of agreement is a batch: the primary accumulates pending client
-//! requests under the configured batching policy (`max_batch` size trigger
-//! plus `max_delay` flush timer) and assigns one sequence number to the
-//! whole batch, so one proposal broadcast, one round of votes and one commit
-//! order every request it carries. `max_batch = 1` degenerates to classic
-//! one-request-per-slot agreement.
+//! requests under the configured [`BatchPolicy`](crate::config::BatchPolicy)
+//! (static knobs or the adaptive AIMD controller — see [`crate::batching`])
+//! and assigns one sequence number to the whole batch, so one proposal
+//! broadcast, one round of votes and one commit order every request it
+//! carries. An effective batch cap of 1 degenerates to classic
+//! one-request-per-slot agreement. The primary feeds its in-flight slot
+//! count (proposed but not yet executed) to the controller at every cut;
+//! that occupancy is the load signal the adaptive policy grows on.
 
 use super::SeeMoReReplica;
 use crate::actions::{Action, Timer};
@@ -23,35 +26,61 @@ impl SeeMoReReplica {
     // Primary: batching and proposing
     // ------------------------------------------------------------------
 
-    /// Offers `request` to the batch accumulator, proposing immediately when
-    /// the batching policy says so (always, when `max_batch = 1`).
-    pub(crate) fn buffer_or_propose(&mut self, actions: &mut Vec<Action>, request: ClientRequest) {
+    /// Offers `request` to the batching controller, proposing immediately
+    /// when the policy says so (always, when the effective cap is 1).
+    pub(crate) fn buffer_or_propose(
+        &mut self,
+        actions: &mut Vec<Action>,
+        request: ClientRequest,
+        now: Instant,
+    ) {
         if self.assigned.contains_key(&request.id()) {
             // Already ordered (duplicate transmission); the commit path will
             // answer the client.
             return;
         }
-        if let Some(batch) = self.batcher.offer(request, actions) {
+        let in_flight = self.slots_in_flight();
+        if let Some(batch) = self
+            .batcher
+            .offer(request, now, in_flight, actions, &mut self.metrics)
+        {
             self.propose_batch(actions, batch);
         }
     }
 
-    /// The batch flush timer fired: propose whatever is buffered. A replica
-    /// that was deposed while buffering re-routes its buffer to the current
-    /// primary instead, so no request is stranded.
-    pub(crate) fn on_batch_flush(&mut self, _now: Instant) -> Vec<Action> {
+    /// Slots this primary proposed that have not executed yet — the
+    /// occupancy signal the adaptive batching policy grows on.
+    pub(crate) fn slots_in_flight(&self) -> u64 {
+        self.next_seq.0.saturating_sub(self.exec.last_executed().0)
+    }
+
+    /// The batch flush timer of `generation` fired: propose whatever is
+    /// buffered, provided the generation is still current (a stale timer —
+    /// one that raced a size-trigger cut — is counted and ignored, so it can
+    /// never truncate the next buffer's delay). A replica that was deposed
+    /// while buffering re-routes its buffer to the current primary instead,
+    /// so no request is stranded.
+    pub(crate) fn on_batch_flush(&mut self, generation: u64, _now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
+        if !self.batcher.timer_is_current(generation) {
+            self.metrics.batch.stale_timer_fires += 1;
+            return actions;
+        }
         if self.vc.in_view_change {
             // Keep buffering: the buffer is re-routed when the new view is
             // installed (see `install_new_view`).
             return actions;
         }
         if self.is_primary() {
-            if let Some(batch) = self.batcher.take_batch() {
+            let in_flight = self.slots_in_flight();
+            if let Some(batch) =
+                self.batcher
+                    .on_flush_timer(generation, in_flight, &mut self.metrics)
+            {
                 self.propose_batch(&mut actions, batch);
             }
         } else {
-            for request in self.batcher.drain() {
+            for request in self.batcher.drain(&mut actions) {
                 self.forward_to_primary(&mut actions, request);
             }
         }
@@ -59,9 +88,9 @@ impl SeeMoReReplica {
     }
 
     /// Forces out any partially accumulated batch (used when a new view is
-    /// installed, where recovery should not wait out `max_delay`).
+    /// installed, where recovery should not wait out the flush delay).
     pub(crate) fn flush_pending_batch(&mut self, actions: &mut Vec<Action>) {
-        if let Some(batch) = self.batcher.take_batch() {
+        if let Some(batch) = self.batcher.flush(actions, &mut self.metrics) {
             self.propose_batch(actions, batch);
         }
     }

@@ -22,7 +22,7 @@ pub use view_change::mode_switch_announcer;
 mod tests;
 
 use crate::actions::{broadcast, Action, Timer};
-use crate::batching::BatchAccumulator;
+use crate::batching::AdaptiveBatcher;
 use crate::checkpoint::{CheckpointManager, StabilityRule};
 use crate::config::ProtocolConfig;
 use crate::exec::{ExecutedEntry, ExecutionEngine};
@@ -71,8 +71,9 @@ pub struct SeeMoReReplica {
     /// Requests this primary has already assigned a sequence number (the
     /// sequence number of the batch each request rides in).
     pub(crate) assigned: HashMap<RequestId, SeqNum>,
-    /// Pending requests accumulating into the next batch (primary only).
-    pub(crate) batcher: BatchAccumulator,
+    /// Pending requests accumulating into the next batch (primary only),
+    /// plus the controller deciding when to cut them.
+    pub(crate) batcher: AdaptiveBatcher,
     pub(crate) vc: ViewChangeState,
     /// View in which each outstanding progress timer was armed; a timer that
     /// fires after a newer view was installed is re-armed instead of
@@ -141,7 +142,7 @@ impl SeeMoReReplica {
             checkpoints: CheckpointManager::new(pconfig.checkpoint_period, rule),
             next_seq: SeqNum(0),
             assigned: HashMap::new(),
-            batcher: BatchAccumulator::new(pconfig.batch),
+            batcher: AdaptiveBatcher::new(pconfig.batch),
             vc: ViewChangeState::default(),
             progress_armed: HashMap::new(),
             forwarded_armed: HashMap::new(),
@@ -281,7 +282,7 @@ impl SeeMoReReplica {
 
     /// Handles a `REQUEST`, whether received directly from the client or
     /// forwarded / retransmitted.
-    fn on_request(&mut self, request: ClientRequest, _now: Instant) -> Vec<Action> {
+    fn on_request(&mut self, request: ClientRequest, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
 
         // Signature check: requests are signed by their client.
@@ -318,7 +319,7 @@ impl SeeMoReReplica {
         }
 
         if self.is_primary() {
-            self.buffer_or_propose(&mut actions, request);
+            self.buffer_or_propose(&mut actions, request, now);
         } else {
             self.forward_to_primary(&mut actions, request);
         }
@@ -590,7 +591,7 @@ impl ReplicaProtocol for SeeMoReReplica {
             Timer::RequestProgress { seq } => self.on_progress_timeout(seq, now),
             Timer::ForwardedRequest { request } => self.on_forwarded_timeout(request, now),
             Timer::ViewChange { view } => self.on_view_change_timeout(view, now),
-            Timer::BatchFlush => self.on_batch_flush(now),
+            Timer::BatchFlush { generation } => self.on_batch_flush(generation, now),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }

@@ -5,7 +5,7 @@ use crate::actions::Timer;
 use crate::batching::BatchConfig;
 use crate::byzantine::{ByzantineBehavior, ByzantineReplica};
 use crate::client::ClientCore;
-use crate::config::ProtocolConfig;
+use crate::config::{BatchPolicy, ProtocolConfig};
 use crate::replica::SeeMoReReplica;
 use crate::testkit::SyncCluster;
 use seemore_app::{KvOp, KvResult, KvStore};
@@ -67,6 +67,16 @@ fn assert_histories_consistent(cluster: &SyncCluster, replicas: &[ReplicaId]) {
             assert_eq!(a[i].seq, b[i].seq);
         }
     }
+}
+
+/// The batch-flush timer currently armed on `id` (timers are
+/// generation-tagged, so tests must look the live identity up rather than
+/// name a constant).
+fn armed_batch_flush(cluster: &SyncCluster, id: ReplicaId) -> Option<Timer> {
+    cluster
+        .armed_timers(id)
+        .into_iter()
+        .find(|t| matches!(t, Timer::BatchFlush { .. }))
 }
 
 fn put_op(key: &str, value: &str) -> Vec<u8> {
@@ -563,10 +573,8 @@ fn partial_batches_flush_on_the_timer() {
             );
         }
         // The flush timer cuts the partial batch.
-        assert!(
-            cluster.fire_timer(primary, Timer::BatchFlush),
-            "{mode}: timer armed"
-        );
+        let flush = armed_batch_flush(&cluster, primary).expect("flush timer armed");
+        assert!(cluster.fire_timer(primary, flush), "{mode}: timer armed");
         cluster.run_to_quiescence(LIMIT);
         if (0..2u64).any(|c| cluster.client(ClientId(c)).has_pending()) {
             cluster.fire_client_timers(LIMIT);
@@ -691,6 +699,189 @@ fn deposed_primary_reroutes_its_batch_buffer() {
     }
     let alive: Vec<ReplicaId> = config.replicas().filter(|r| *r != primary).collect();
     assert_histories_consistent(&cluster, &alive);
+}
+
+/// Regression for the stale flush-timer bug: a size-trigger cut used to
+/// leave the armed `BatchFlush` timer live, so it fired into the *next*
+/// buffer and cut it prematurely — silently truncating the flush delay of
+/// every batch after the first under steady load. With generation-tagged
+/// timers the stale expiry is provably not the armed timer and is ignored:
+/// the second batch waits out its own full delay.
+#[test]
+fn stale_flush_timer_cannot_truncate_the_next_batch() {
+    for mode in Mode::ALL {
+        let pconfig =
+            ProtocolConfig::default().with_batching(BatchConfig::new(3, Duration::from_millis(1)));
+        let (mut cluster, config, _) = build_cluster(1, 1, mode, 4, pconfig);
+        let primary = config.primary(mode, seemore_types::View(0)).unwrap();
+
+        // The first request arms the flush timer; remember that identity.
+        cluster.submit(ClientId(0), put_op("a", "1"));
+        cluster.run_to_quiescence(LIMIT);
+        let stale =
+            armed_batch_flush(&cluster, primary).expect("first buffered request arms the timer");
+
+        // Fill the batch: the size trigger cuts it, which must invalidate
+        // (and cancel) the armed timer.
+        cluster.submit(ClientId(1), put_op("b", "2"));
+        cluster.submit(ClientId(2), put_op("c", "3"));
+        cluster.run_to_quiescence(LIMIT);
+        if (0..3u64).any(|c| cluster.client(ClientId(c)).has_pending()) {
+            cluster.fire_client_timers(LIMIT);
+            cluster.run_to_quiescence(LIMIT);
+        }
+        for replica in config.replicas() {
+            assert_eq!(
+                cluster.replica(replica).executed().len(),
+                3,
+                "{mode}: {replica} missing the first batch"
+            );
+        }
+        assert!(
+            armed_batch_flush(&cluster, primary).is_none(),
+            "{mode}: the size cut must cancel the flush timer"
+        );
+
+        // A fourth request starts the second buffer with a fresh timer.
+        cluster.submit(ClientId(3), put_op("d", "4"));
+        cluster.run_to_quiescence(LIMIT);
+        let fresh = armed_batch_flush(&cluster, primary).expect("second buffer arms a timer");
+        assert_ne!(fresh, stale, "{mode}: every arming gets a new generation");
+
+        // The stale timer expires anyway (a substrate can race an expiry
+        // against the cancel): it must NOT cut the second batch early.
+        let now = cluster.now();
+        let actions = cluster.replica_mut(primary).on_timer(stale, now);
+        assert!(
+            actions.is_empty(),
+            "{mode}: stale flush timer produced actions: {actions:?}"
+        );
+        cluster.run_to_quiescence(LIMIT);
+        for replica in config.replicas() {
+            assert_eq!(
+                cluster.replica(replica).executed().len(),
+                3,
+                "{mode}: {replica} executed the second batch before its delay elapsed"
+            );
+        }
+        assert_eq!(
+            cluster.replica(primary).metrics().batch.stale_timer_fires,
+            1,
+            "{mode}: the stale expiry should be counted"
+        );
+
+        // The *current* timer — i.e. the full delay of the second buffer —
+        // is what flushes it.
+        assert!(
+            cluster.fire_timer(primary, fresh),
+            "{mode}: fresh timer still armed"
+        );
+        cluster.run_to_quiescence(LIMIT);
+        if cluster.client(ClientId(3)).has_pending() {
+            cluster.fire_client_timers(LIMIT);
+            cluster.run_to_quiescence(LIMIT);
+        }
+        assert_eq!(
+            cluster.client(ClientId(3)).completed().len(),
+            1,
+            "{mode}: second batch lost"
+        );
+        assert_histories_consistent(&cluster, &config.replicas().collect::<Vec<_>>());
+    }
+}
+
+/// A zero flush delay with a cap above 1 must not arm a zero-delay timer
+/// per request (degenerate timer churn): it proposes every request
+/// immediately, exactly like an unbatched policy.
+#[test]
+fn zero_delay_policy_proposes_immediately_without_timer_churn() {
+    for mode in Mode::ALL {
+        let pconfig = ProtocolConfig::default().with_batching(BatchConfig::new(8, Duration::ZERO));
+        let (mut cluster, config, _) = build_cluster(1, 1, mode, 2, pconfig);
+        let primary = config.primary(mode, seemore_types::View(0)).unwrap();
+        for client in 0..2u64 {
+            cluster.submit(ClientId(client), put_op(&format!("k{client}"), "v"));
+        }
+        cluster.run_to_quiescence(LIMIT);
+        if (0..2u64).any(|c| cluster.client(ClientId(c)).has_pending()) {
+            cluster.fire_client_timers(LIMIT);
+            cluster.run_to_quiescence(LIMIT);
+        }
+        assert!(
+            armed_batch_flush(&cluster, primary).is_none(),
+            "{mode}: a zero-delay policy must never arm a flush timer"
+        );
+        for client in 0..2u64 {
+            assert_eq!(
+                cluster.client(ClientId(client)).completed().len(),
+                1,
+                "{mode}: client {client}"
+            );
+        }
+        for replica in config.replicas() {
+            assert_eq!(cluster.replica(replica).executed().len(), 2, "{mode}");
+        }
+        // Every batch was a singleton cut on arrival.
+        assert_eq!(
+            cluster.replica(primary).metrics().batch.max_size(),
+            1,
+            "{mode}"
+        );
+    }
+}
+
+/// The adaptive policy grows the effective cap past 1 under a request burst
+/// (slots in flight at cut time) and never cuts a batch above its ceiling,
+/// in every mode.
+#[test]
+fn adaptive_policy_grows_batches_under_load_in_every_mode() {
+    for mode in Mode::ALL {
+        let pconfig = ProtocolConfig::default()
+            .with_batch_policy(BatchPolicy::adaptive(4, Duration::from_millis(1)));
+        let (mut cluster, config, _) = build_cluster(1, 1, mode, 6, pconfig);
+        let primary = config.primary(mode, seemore_types::View(0)).unwrap();
+
+        for round in 0..3 {
+            for client in 0..6u64 {
+                cluster.submit(ClientId(client), put_op(&format!("k{client}-{round}"), "v"));
+            }
+            // Drain the burst, firing flush timers for partial tails and
+            // client retransmissions for stragglers.
+            for _ in 0..20 {
+                cluster.run_to_quiescence(LIMIT);
+                if let Some(flush) = armed_batch_flush(&cluster, primary) {
+                    cluster.fire_timer(primary, flush);
+                    continue;
+                }
+                if (0..6u64).any(|c| cluster.client(ClientId(c)).has_pending()) {
+                    cluster.fire_client_timers(LIMIT);
+                    cluster.run_to_quiescence(LIMIT);
+                }
+                break;
+            }
+        }
+
+        let telemetry = &cluster.replica(primary).metrics().batch;
+        assert!(telemetry.batches() > 0, "{mode}: nothing was cut");
+        assert!(
+            telemetry.max_size() >= 2,
+            "{mode}: the cap never grew under load (max {})",
+            telemetry.max_size()
+        );
+        assert!(
+            telemetry.max_size() <= 4,
+            "{mode}: a batch exceeded the ceiling (max {})",
+            telemetry.max_size()
+        );
+        for client in 0..6u64 {
+            assert_eq!(
+                cluster.client(ClientId(client)).completed().len(),
+                3,
+                "{mode}: client {client} starved"
+            );
+        }
+        assert_histories_consistent(&cluster, &config.replicas().collect::<Vec<_>>());
+    }
 }
 
 // ----------------------------------------------------------------------

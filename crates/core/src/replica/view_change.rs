@@ -246,7 +246,7 @@ impl SeeMoReReplica {
         });
 
         // The collector might already hold enough votes (including this one).
-        self.try_assemble_new_view(&mut actions, target_view, target_mode);
+        self.try_assemble_new_view(&mut actions, target_view, target_mode, _now);
         actions
     }
 
@@ -308,13 +308,19 @@ impl SeeMoReReplica {
             actions.extend(self.start_view_change(target_view, target_mode, now));
         }
 
-        self.try_assemble_new_view(&mut actions, target_view, target_mode);
+        self.try_assemble_new_view(&mut actions, target_view, target_mode, now);
         actions
     }
 
     /// If this replica is the collector for `(view, mode)` and holds enough
     /// votes, build and broadcast the `NEW-VIEW`.
-    fn try_assemble_new_view(&mut self, actions: &mut Vec<Action>, view: View, mode: Mode) {
+    fn try_assemble_new_view(
+        &mut self,
+        actions: &mut Vec<Action>,
+        view: View,
+        mode: Mode,
+        now: Instant,
+    ) {
         if self.new_view_collector(view, mode) != Some(self.id) {
             return;
         }
@@ -335,7 +341,7 @@ impl SeeMoReReplica {
         let new_view = self.build_new_view(view, mode, &votes);
         let recipients = self.all_replicas();
         self.broadcast_to(actions, recipients, Message::NewView(new_view.clone()));
-        self.install_new_view(actions, new_view);
+        self.install_new_view(actions, new_view, now);
     }
 
     /// Constructs the `NEW-VIEW` message from the received `VIEW-CHANGE`
@@ -462,7 +468,7 @@ impl SeeMoReReplica {
         &mut self,
         from: NodeId,
         new_view: NewView,
-        _now: Instant,
+        now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         let Some(sender) = from.as_replica() else {
@@ -493,13 +499,13 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
-        self.install_new_view(&mut actions, new_view);
+        self.install_new_view(&mut actions, new_view, now);
         actions
     }
 
     /// Applies a validated `NEW-VIEW`: adopts the view, mode and checkpoint,
     /// replays the carried certificates, and re-enters the normal case.
-    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView) {
+    fn install_new_view(&mut self, actions: &mut Vec<Action>, new_view: NewView, now: Instant) {
         let old_mode = self.mode;
         actions.push(Action::CancelTimer {
             timer: Timer::ViewChange {
@@ -634,8 +640,9 @@ impl SeeMoReReplica {
 
         // Requests that were sitting in the (old) primary's batch buffer
         // when the view changed must not be stranded: a prepared-but-never-
-        // proposed buffer is re-routed through the normal request paths.
-        let buffered = self.batcher.drain();
+        // proposed buffer is re-routed through the normal request paths (and
+        // its armed flush timer, if any, is cancelled with it).
+        let buffered = self.batcher.drain(actions);
 
         if self.current_primary() == self.id {
             // A newly installed primary immediately proposes the requests
@@ -659,9 +666,10 @@ impl SeeMoReReplica {
             pending.sort_by_key(ClientRequest::id);
             pending.dedup_by_key(|request| request.id());
             for request in pending {
-                self.buffer_or_propose(actions, request);
+                self.buffer_or_propose(actions, request, now);
             }
-            // Recovery must not wait out `max_delay`: cut the partial batch.
+            // Recovery must not wait out the flush delay: cut the partial
+            // batch.
             self.flush_pending_batch(actions);
         } else {
             for request in buffered {

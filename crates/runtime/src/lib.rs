@@ -48,7 +48,7 @@ pub mod socket;
 pub mod threaded;
 pub mod workload;
 
-pub use report::{RunReport, TimelineBucket};
+pub use report::{BatchReport, RunReport, TimelineBucket};
 pub use scenario::{ProtocolKind, RuntimeKind, Scenario};
 pub use sim::{SimConfig, Simulation};
 pub use socket::SocketCluster;

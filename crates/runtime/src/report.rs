@@ -1,7 +1,8 @@
-//! Run statistics: throughput, latency distribution and a throughput
-//! timeline.
+//! Run statistics: throughput, latency distribution, a throughput timeline,
+//! and what the batching policy actually chose (sizes and flush causes).
 
 use seemore_core::client::ClientOutcome;
+use seemore_core::metrics::BatchTelemetry;
 use seemore_types::{Duration, Instant};
 
 /// One bucket of the throughput timeline (Figure 4's x-axis).
@@ -13,6 +14,48 @@ pub struct TimelineBucket {
     pub completed: u64,
     /// Throughput over the bucket in thousands of requests per second.
     pub throughput_kreqs: f64,
+}
+
+/// What the batching controller actually did during a run, aggregated
+/// across every replica: the *effective* (chosen) batch sizes — which under
+/// the adaptive policy are decided at run time, not configured — and why
+/// each batch left the buffer. This is the "report the chosen sizes"
+/// telemetry the adaptive batch-sizing controller feeds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReport {
+    /// Total batches cut (equals the number of agreement slots proposed by
+    /// primaries during the run).
+    pub batches: u64,
+    /// Mean effective batch size.
+    pub mean_size: f64,
+    /// Median effective batch size.
+    pub p50_size: usize,
+    /// Largest batch any primary cut.
+    pub max_size: usize,
+    /// Batches cut because the buffer reached the effective size cap.
+    pub cut_by_size: u64,
+    /// Batches cut by the flush timer (latency trigger on a partial buffer).
+    pub cut_by_timer: u64,
+    /// Batches forced out by view-change installation.
+    pub cut_forced: u64,
+    /// Stale flush-timer expirations that were correctly ignored.
+    pub stale_timer_fires: u64,
+}
+
+impl BatchReport {
+    /// Projects the cluster-wide merged replica telemetry into report form.
+    pub fn from_telemetry(telemetry: &BatchTelemetry) -> BatchReport {
+        BatchReport {
+            batches: telemetry.batches(),
+            mean_size: telemetry.mean_size(),
+            p50_size: telemetry.p50_size(),
+            max_size: telemetry.max_size(),
+            cut_by_size: telemetry.cut_by_size,
+            cut_by_timer: telemetry.cut_by_timer,
+            cut_forced: telemetry.cut_forced,
+            stale_timer_fires: telemetry.stale_timer_fires,
+        }
+    }
 }
 
 /// Aggregated statistics of one simulated run.
@@ -42,6 +85,9 @@ pub struct RunReport {
     pub mode_switches: u64,
     /// Client retransmissions.
     pub retransmissions: u64,
+    /// Chosen batch sizes and flush causes, aggregated across all replicas
+    /// over the whole run.
+    pub batching: BatchReport,
     /// Throughput timeline over the whole run (not only the measurement
     /// window), for the view-change experiment.
     pub timeline: Vec<TimelineBucket>,
@@ -205,5 +251,25 @@ mod tests {
         assert!(report.avg_latency_ms > 0.0);
         let total_in_timeline: u64 = report.timeline.iter().map(|b| b.completed).sum();
         assert_eq!(total_in_timeline, 1000);
+    }
+
+    #[test]
+    fn batch_report_projects_telemetry() {
+        use seemore_core::batching::FlushCause;
+        let mut telemetry = BatchTelemetry::default();
+        telemetry.record_cut(1, FlushCause::Size);
+        telemetry.record_cut(3, FlushCause::Timer);
+        telemetry.record_cut(8, FlushCause::Forced);
+        telemetry.stale_timer_fires = 2;
+        let report = BatchReport::from_telemetry(&telemetry);
+        assert_eq!(report.batches, 3);
+        assert!((report.mean_size - 4.0).abs() < 1e-12);
+        assert_eq!(report.p50_size, 3);
+        assert_eq!(report.max_size, 8);
+        assert_eq!(report.cut_by_size, 1);
+        assert_eq!(report.cut_by_timer, 1);
+        assert_eq!(report.cut_forced, 1);
+        assert_eq!(report.stale_timer_fires, 2);
+        assert_eq!(RunReport::default().batching, BatchReport::default());
     }
 }

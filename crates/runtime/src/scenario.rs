@@ -25,7 +25,7 @@ use seemore_app::NoopApp;
 use seemore_baselines::{s_upright, BaselineClient, BaselineConfig, BftReplica, CftReplica};
 use seemore_core::byzantine::{ByzantineBehavior, ByzantineReplica};
 use seemore_core::client::{ClientCore, ClientOutcome, ClientProtocol};
-use seemore_core::config::ProtocolConfig;
+use seemore_core::config::{BatchPolicy, ProtocolConfig};
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::replica::SeeMoReReplica;
 use seemore_crypto::KeyStore;
@@ -154,12 +154,11 @@ pub struct Scenario {
     pub faults: LinkFaults,
     /// Checkpoint period (requests between checkpoints).
     pub checkpoint_period: u64,
-    /// Maximum requests per ordered batch (`1` disables batching and
-    /// reproduces one-request-per-slot agreement exactly).
-    pub max_batch: usize,
-    /// Maximum time the first buffered request waits before a partial batch
-    /// is flushed (ignored when `max_batch = 1`).
-    pub batch_delay: Duration,
+    /// The request-batching policy every primary runs: either the static
+    /// `max_batch` / `max_delay` knobs or the adaptive AIMD controller
+    /// (see [`seemore_core::batching`]). Applies to SeeMoRe in every mode
+    /// and to all baselines, so comparisons stay apples-to-apples.
+    pub batch: BatchPolicy,
     /// Protocol timeouts.
     pub request_timeout: Duration,
     /// If set, crash the view-0 primary at this instant (Figure 4).
@@ -196,8 +195,7 @@ impl Scenario {
             cpu: CpuModel::default(),
             faults: LinkFaults::none(),
             checkpoint_period: 1_000,
-            max_batch: 1,
-            batch_delay: Duration::from_micros(100),
+            batch: BatchPolicy::fixed(1, Duration::from_micros(100)),
             request_timeout: Duration::from_millis(20),
             crash_primary_at: None,
             mode_switch: None,
@@ -276,14 +274,28 @@ impl Scenario {
         self
     }
 
-    /// Sets the request-batching policy: batches of up to `max_batch`
-    /// requests, with a partial batch flushed after `batch_delay`. Applies
-    /// to SeeMoRe in every mode and to both baselines, so comparisons stay
-    /// apples-to-apples. `with_batching(1, _)` reproduces unbatched
-    /// agreement exactly.
+    /// Sets a *static* request-batching policy: batches of up to
+    /// `max_batch` requests, with a partial batch flushed after
+    /// `batch_delay`. Applies to SeeMoRe in every mode and to all
+    /// baselines, so comparisons stay apples-to-apples. `with_batching(1, _)`
+    /// reproduces unbatched agreement exactly.
     pub fn with_batching(mut self, max_batch: usize, batch_delay: Duration) -> Self {
-        self.max_batch = max_batch.max(1);
-        self.batch_delay = batch_delay;
+        self.batch = BatchPolicy::fixed(max_batch, batch_delay);
+        self
+    }
+
+    /// Sets the *adaptive* request-batching policy: the effective batch cap
+    /// grows toward `ceiling` under load and decays toward 1 when idle,
+    /// with flush delays bounded by `max_delay`. The chosen sizes are
+    /// reported in [`RunReport::batching`].
+    pub fn with_adaptive_batching(mut self, ceiling: usize, max_delay: Duration) -> Self {
+        self.batch = BatchPolicy::adaptive(ceiling, max_delay);
+        self
+    }
+
+    /// Sets an arbitrary batching policy.
+    pub fn with_batch_policy(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -302,7 +314,7 @@ impl Scenario {
             request_timeout: self.request_timeout,
             view_change_timeout: self.request_timeout.mul(2),
             client_timeout: self.request_timeout.mul(2),
-            batch: seemore_core::batching::BatchConfig::new(self.max_batch, self.batch_delay),
+            batch: self.batch,
         }
     }
 
@@ -571,6 +583,7 @@ impl Scenario {
         report.view_changes = metrics.view_changes_completed;
         report.mode_switches = metrics.mode_switches;
         report.retransmissions = clients.iter().map(|c| c.retransmissions()).sum();
+        report.batching = crate::report::BatchReport::from_telemetry(&metrics.batch);
         report
     }
 }

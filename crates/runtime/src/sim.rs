@@ -22,13 +22,18 @@
 //!
 //! The unit of ordering is a batch of client requests (see
 //! `seemore_core::batching`). The simulator needs no batching logic of its
-//! own: the policy lives in the replica cores, configured through
-//! `ProtocolConfig::batch` (or `Scenario::with_batching`), and its latency
-//! trigger is the cores' `Timer::BatchFlush`, which flows through the same
-//! `SetTimer` / timer-generation machinery as every other protocol timer.
-//! Because a `max_batch = 1` core never arms the flush timer or buffers a
-//! request, runs with batching disabled are event-for-event identical to the
-//! pre-batching simulator, and a fixed seed still reproduces them exactly.
+//! own: the policy — static knobs or the adaptive AIMD controller — lives
+//! in the replica cores, configured through `ProtocolConfig::batch` (or
+//! `Scenario::with_batching` / `Scenario::with_adaptive_batching`), and its
+//! latency trigger is the cores' generation-tagged `Timer::BatchFlush`,
+//! which flows through the same `SetTimer` / timer-generation machinery as
+//! every other protocol timer (the per-identity generations here and the
+//! in-timer generation tag are independent defences: either alone suppresses
+//! a stale flush). Because a cap-1 core never arms the flush timer or
+//! buffers a request, runs with batching disabled are event-for-event
+//! identical to the pre-batching simulator, and a fixed seed still
+//! reproduces them exactly. The sizes the controller actually chose are
+//! aggregated into `RunReport::batching` by [`Simulation::report`].
 
 use crate::workload::Workload;
 use rand::rngs::SmallRng;
@@ -270,6 +275,15 @@ impl Simulation {
         }
     }
 
+    /// Whether a timer identity is armed at most once for the life of a run
+    /// (generation-tagged identities like `BatchFlush`). Re-armable
+    /// identities must keep their generation entry so a stale queued event
+    /// cannot collide with a fresh arming; single-shot identities can have
+    /// it reclaimed on fire or cancel.
+    fn timer_is_single_shot(timer: &Timer) -> bool {
+        matches!(timer, Timer::BatchFlush { .. })
+    }
+
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::Deliver { from, to, message } => self.deliver(from, to, message),
@@ -285,6 +299,12 @@ impl Simulation {
                     .unwrap_or(0);
                 if current != generation {
                     return; // cancelled or re-armed
+                }
+                if Self::timer_is_single_shot(&timer) {
+                    // A generation-tagged identity is armed exactly once;
+                    // reclaim its map entry so the generation map does not
+                    // grow with every flush timer ever armed.
+                    self.replica_timer_gen.remove(&(replica, timer));
                 }
                 let now = self.now;
                 let actions = match self.replicas.get_mut(&replica) {
@@ -424,7 +444,16 @@ impl Simulation {
                 },
                 Action::CancelTimer { timer } => match from {
                     NodeId::Replica(id) => {
-                        *self.replica_timer_gen.entry((id, timer)).or_insert(0) += 1;
+                        if Self::timer_is_single_shot(&timer) {
+                            // Removing the entry (value 1, the single arming)
+                            // makes the pending event's generation check read
+                            // 0 and skip, and the identity is never re-armed
+                            // — so the map stays bounded instead of keeping a
+                            // dead entry per cancelled flush timer.
+                            self.replica_timer_gen.remove(&(id, timer));
+                        } else {
+                            *self.replica_timer_gen.entry((id, timer)).or_insert(0) += 1;
+                        }
                     }
                     NodeId::Client(id) => {
                         *self.client_timer_gen.entry(id).or_insert(0) += 1;
@@ -501,6 +530,7 @@ impl Simulation {
         report.view_changes = metrics.view_changes_completed;
         report.mode_switches = metrics.mode_switches;
         report.retransmissions = self.total_retransmissions();
+        report.batching = crate::report::BatchReport::from_telemetry(&metrics.batch);
         report
     }
 }
@@ -611,6 +641,64 @@ mod tests {
         assert!(report.avg_latency_ms > 0.0);
         assert!(report.p50_latency_ms <= report.p99_latency_ms);
         assert!(!report.timeline.is_empty());
+    }
+
+    #[test]
+    fn flush_timer_generations_do_not_leak_map_entries() {
+        // Every armed BatchFlush carries a fresh generation, i.e. a fresh
+        // key in the simulator's timer-generation map. Those keys are
+        // single-shot and must be reclaimed on fire/cancel, or a long
+        // batched run grows the map by one dead entry per buffered batch.
+        use seemore_core::config::{BatchPolicy, ProtocolConfig};
+
+        let cluster = ClusterConfig::minimal(1, 1).unwrap();
+        let keystore = KeyStore::generate(17, cluster.total_size(), 4);
+        let config = SimConfig {
+            latency: LatencyModel::same_region(),
+            cpu: CpuModel::default(),
+            faults: LinkFaults::none(),
+            placement: Placement::hybrid(cluster),
+            seed: 3,
+        };
+        let mut sim = Simulation::new(config);
+        let pconfig = ProtocolConfig::default()
+            .with_batch_policy(BatchPolicy::adaptive(16, Duration::from_micros(200)));
+        for replica in cluster.replicas() {
+            sim.add_replica(Box::new(SeeMoReReplica::new(
+                replica,
+                cluster,
+                pconfig,
+                keystore.clone(),
+                Mode::Lion,
+                Box::new(NoopApp::new(0)),
+            )));
+        }
+        for client in 0..4 {
+            sim.add_client(
+                ClientCore::new(
+                    ClientId(client),
+                    cluster,
+                    keystore.clone(),
+                    Mode::Lion,
+                    Duration::from_millis(50),
+                ),
+                Workload::micro_0_0(),
+                Instant::from_nanos(client * 1_000),
+            );
+        }
+        sim.run_until(Instant::from_nanos(100_000_000));
+        let report = sim.report(Instant::ZERO, Duration::from_millis(10));
+        assert!(report.batching.batches > 50, "batching was exercised");
+        let live_flush_entries = sim
+            .replica_timer_gen
+            .keys()
+            .filter(|(_, timer)| matches!(timer, Timer::BatchFlush { .. }))
+            .count();
+        assert!(
+            live_flush_entries <= cluster.total_size() as usize,
+            "{live_flush_entries} flush-timer generation entries survive \
+             (at most one armed timer per replica should)"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn main() {
     // 2. Replica cores with request batching enabled — proposals carry up to
     //    8 requests per slot, flushed after at most 500 µs.
     let config = ProtocolConfig {
-        batch: BatchConfig::new(8, Duration::from_micros(500)),
+        batch: BatchConfig::new(8, Duration::from_micros(500)).into(),
         ..ProtocolConfig::default()
     };
     let replicas: Vec<Box<dyn ReplicaProtocol>> = cluster

@@ -31,12 +31,21 @@
 //! Agreement orders [`wire::Batch`]es — ordered, non-empty sequences of
 //! client requests that share one sequence number and one combined digest —
 //! rather than individual requests. A primary accumulates pending requests
-//! under the two-knob policy in [`core::batching::BatchConfig`]:
+//! under a [`core::config::BatchPolicy`], executed by the shared
+//! [`core::batching::AdaptiveBatcher`] controller:
 //!
-//! * `max_batch` — a batch is proposed as soon as this many requests are
-//!   buffered (the size trigger);
-//! * `max_delay` — a partially filled batch is proposed at most this long
-//!   after the first request entered the empty buffer (the latency trigger).
+//! * **static** ([`core::batching::BatchConfig`]) — the classic two knobs:
+//!   a batch is proposed as soon as `max_batch` requests are buffered (the
+//!   size trigger) or `max_delay` after the first request entered the empty
+//!   buffer (the latency trigger);
+//! * **adaptive** ([`core::batching::AdaptiveBatchConfig`]) — an AIMD
+//!   controller that grows the effective cap toward a configured ceiling
+//!   while slots are in flight at cut time (the system is saturated) and
+//!   decays it toward 1 when batches are cut partial with nothing in flight
+//!   (the system is idle), shortening the flush delay as the cap grows.
+//!   `max_delay` stays the hard bound on how long any request may wait, and
+//!   the sizes the controller actually chose are reported in
+//!   [`runtime::RunReport::batching`].
 //!
 //! One slot of quorum traffic (proposal broadcast, vote round, commit) then
 //! orders every request in the batch, so per-request agreement cost falls
@@ -46,13 +55,19 @@
 //! [`core::exec::ExecutedEntry`] per request and replying to every client
 //! individually, so per-request safety properties stay directly checkable.
 //!
-//! With `max_batch = 1` (the default) the flush timer is never armed and the
-//! protocol reproduces unbatched one-request-per-slot agreement exactly —
-//! bit-for-bit identical executed histories for a fixed simulator seed. The
-//! knobs are surfaced per-replica through
+//! The batch-flush timer is generation-tagged
+//! ([`core::actions::Timer::BatchFlush`]): a size-trigger cut invalidates
+//! the armed generation, so a stale timer expiration can never truncate the
+//! next buffer's delay.
+//!
+//! With an effective cap of 1 (the default) the flush timer is never armed
+//! and the protocol reproduces unbatched one-request-per-slot agreement
+//! exactly — bit-for-bit identical executed histories for a fixed simulator
+//! seed. The policy is surfaced per-replica through
 //! [`core::config::ProtocolConfig::batch`] and per-experiment through
-//! [`runtime::Scenario::with_batching`], and apply to all three SeeMoRe
-//! modes *and* both baselines so Table-1-style comparisons remain
+//! [`runtime::Scenario::with_batching`] /
+//! [`runtime::Scenario::with_adaptive_batching`], and applies to all three
+//! SeeMoRe modes *and* the baselines so Table-1-style comparisons remain
 //! apples-to-apples.
 
 #![deny(rustdoc::broken_intra_doc_links)]

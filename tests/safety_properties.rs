@@ -9,7 +9,7 @@
 //! batch's requests execute contiguously under one sequence number, and a
 //! view change preserves prepared-but-uncommitted batches. All properties
 //! are checked across random batching policies (`max_batch` sizes and flush
-//! delays) in all three SeeMoRe modes.
+//! delays, plus the adaptive AIMD controller) in all three SeeMoRe modes.
 //!
 //! The history comparison is keyed by sequence number rather than by
 //! position so that a replica that legitimately skipped old slots via
@@ -18,10 +18,9 @@
 
 use proptest::prelude::*;
 use seemore::app::NoopApp;
-use seemore::core::batching::BatchConfig;
 use seemore::core::byzantine::{ByzantineBehavior, ByzantineReplica};
 use seemore::core::client::ClientCore;
-use seemore::core::config::ProtocolConfig;
+use seemore::core::config::{BatchPolicy, ProtocolConfig};
 use seemore::core::replica::SeeMoReReplica;
 use seemore::crypto::KeyStore;
 use seemore::net::{CpuModel, LatencyModel, LinkFaults, Placement};
@@ -43,7 +42,7 @@ fn build(
     crash_private_backup: bool,
     clients: u64,
     crash_primary_ms: Option<u64>,
-    batch: BatchConfig,
+    batch: BatchPolicy,
 ) -> (Simulation, ClusterConfig, Option<ReplicaId>) {
     let cluster = ClusterConfig::minimal(1, 1).unwrap();
     let keystore = KeyStore::generate(seed, cluster.total_size(), clients);
@@ -54,7 +53,7 @@ fn build(
         placement: Placement::hybrid(cluster),
         seed,
     });
-    let pconfig = ProtocolConfig::default().with_batching(batch);
+    let pconfig = ProtocolConfig::default().with_batch_policy(batch);
     let byzantine_id = byzantine.map(|_| ReplicaId(cluster.total_size() - 1));
     for replica in cluster.replicas() {
         let core = SeeMoReReplica::new(
@@ -224,7 +223,7 @@ proptest! {
             2 => Some(ByzantineBehavior::ConflictingVotes),
             _ => Some(ByzantineBehavior::CorruptSignatures),
         };
-        let batch = BatchConfig::new(max_batch, Duration::from_micros(delay_us));
+        let batch = BatchPolicy::fixed(max_batch, Duration::from_micros(delay_us));
         let (mut sim, cluster, byzantine_id) =
             build(mode, seed, drop, duplicate, behavior, crash_backup, 3, None, batch);
         sim.run_until(Instant::from_nanos(250_000_000));
@@ -259,7 +258,7 @@ proptest! {
         max_batch in 1usize..16,
     ) {
         let mode = Mode::ALL[mode_index];
-        let batch = BatchConfig::new(max_batch, Duration::from_micros(200));
+        let batch = BatchPolicy::fixed(max_batch, Duration::from_micros(200));
         let (mut sim, cluster, _) =
             build(mode, seed, 0.0, 0.0, None, false, 3, Some(crash_ms), batch);
         sim.run_until(Instant::from_nanos(500_000_000));
@@ -281,6 +280,57 @@ proptest! {
             "{mode} max_batch={max_batch}: no progress after primary crash at {crash_ms} ms"
         );
     }
+
+    /// The adaptive batching controller preserves safety and batch
+    /// atomicity in all three modes, keeps every executed slot within its
+    /// configured ceiling, and makes progress — for random ceilings and
+    /// delay bounds.
+    #[test]
+    fn adaptive_batching_is_safe_and_bounded_in_every_mode(
+        seed in 0u64..1_000_000,
+        mode_index in 0usize..3,
+        ceiling in 2usize..32,
+        delay_us in 50u64..400,
+    ) {
+        let mode = Mode::ALL[mode_index];
+        let batch = BatchPolicy::adaptive(ceiling, Duration::from_micros(delay_us));
+        let (mut sim, cluster, _) =
+            build(mode, seed, 0.0, 0.0, None, false, 4, None, batch);
+        sim.run_until(Instant::from_nanos(150_000_000));
+
+        let replicas: Vec<ReplicaId> = cluster.replicas().collect();
+        assert_safety(&sim, &replicas);
+        assert_no_completion_lost(&sim, &replicas);
+        prop_assert!(
+            !sim.completions().is_empty(),
+            "{mode} seed={seed} ceiling={ceiling}: no progress under the adaptive policy"
+        );
+
+        // Every executed slot carries between 1 and `ceiling` requests: the
+        // controller's effective cap never escaped its bounds.
+        for replica in &replicas {
+            let mut per_slot: BTreeMap<SeqNum, usize> = BTreeMap::new();
+            for entry in sim.replica(*replica).executed() {
+                *per_slot.entry(entry.seq).or_default() += 1;
+            }
+            for (seq, count) in per_slot {
+                prop_assert!(
+                    (1..=ceiling).contains(&count),
+                    "{mode} {replica}: slot {seq} carries {count} requests (ceiling {ceiling})"
+                );
+            }
+        }
+
+        // The chosen-size telemetry agrees with the histories.
+        let report = sim.report(Instant::ZERO, Duration::from_millis(5));
+        prop_assert!(report.batching.batches > 0);
+        prop_assert!(
+            report.batching.max_size <= ceiling,
+            "{mode}: reported max batch {} above ceiling {ceiling}",
+            report.batching.max_size
+        );
+        prop_assert!(report.batching.p50_size as f64 <= report.batching.max_size as f64);
+    }
 }
 
 /// Deterministic regression: the same seed produces byte-identical results,
@@ -297,7 +347,7 @@ fn simulation_runs_are_reproducible() {
             false,
             3,
             None,
-            BatchConfig::new(8, Duration::from_micros(100)),
+            BatchPolicy::fixed(8, Duration::from_micros(100)),
         );
         sim.run_until(Instant::from_nanos(60_000_000));
         let digest: Vec<_> = cluster
@@ -317,7 +367,7 @@ fn simulation_runs_are_reproducible() {
 #[test]
 fn max_batch_one_matches_unbatched_agreement() {
     for mode in Mode::ALL {
-        let run = |batch: BatchConfig| {
+        let run = |batch: BatchPolicy| {
             let (mut sim, cluster, _) = build(mode, 1234, 0.0, 0.0, None, false, 4, None, batch);
             sim.run_until(Instant::from_nanos(40_000_000));
             let histories: Vec<Vec<_>> = cluster
@@ -331,8 +381,8 @@ fn max_batch_one_matches_unbatched_agreement() {
                 histories,
             )
         };
-        let disabled = run(BatchConfig::disabled());
-        let singleton = run(BatchConfig::new(1, Duration::from_micros(500)));
+        let disabled = run(BatchPolicy::disabled());
+        let singleton = run(BatchPolicy::fixed(1, Duration::from_micros(500)));
         assert_eq!(disabled.0, singleton.0, "{mode}: completions differ");
         assert_eq!(disabled.1, singleton.1, "{mode}: message counts differ");
         assert_eq!(disabled.2, singleton.2, "{mode}: byte counts differ");
@@ -365,5 +415,65 @@ fn batching_strictly_improves_closed_loop_throughput() {
             "{}: max_batch=64 ({batched:.2} kreq/s) must beat max_batch=1 ({unbatched:.2} kreq/s)",
             protocol.name()
         );
+    }
+}
+
+/// The point of the adaptive controller (and this PR's acceptance bar): it
+/// must beat a static `max_batch = 64` on low-load p50 latency (the static
+/// policy makes every never-full batch wait out the flush delay; the
+/// adaptive cap decays to ~1 and proposes immediately) *and* beat a static
+/// `max_batch = 1` on high-load throughput (where it grows toward the
+/// ceiling and amortizes the quorum cost). Deterministic: the simulator is
+/// seeded.
+#[test]
+fn adaptive_batching_beats_static_extremes() {
+    let delay = Duration::from_millis(1);
+    for protocol in [
+        ProtocolKind::SeeMoReLion,
+        ProtocolKind::Cft,
+        ProtocolKind::Bft,
+    ] {
+        // Low load: 2 closed-loop clients.
+        let low = |scenario: Scenario| {
+            scenario
+                .with_clients(2)
+                .with_duration(Duration::from_millis(150), Duration::from_millis(30))
+                .run()
+        };
+        let static_64 = low(Scenario::new(protocol, 1, 1).with_batching(64, delay));
+        let adaptive_low = low(Scenario::new(protocol, 1, 1).with_adaptive_batching(64, delay));
+        assert!(
+            adaptive_low.p50_latency_ms < static_64.p50_latency_ms,
+            "{}: adaptive low-load p50 {:.3} ms must beat static-64's {:.3} ms",
+            protocol.name(),
+            adaptive_low.p50_latency_ms,
+            static_64.p50_latency_ms
+        );
+
+        // High load: 24 closed-loop clients.
+        let high = |scenario: Scenario| {
+            scenario
+                .with_clients(24)
+                .with_duration(Duration::from_millis(200), Duration::from_millis(50))
+                .run()
+        };
+        let static_1 = high(Scenario::new(protocol, 1, 1).with_batching(1, delay));
+        let adaptive_high = high(Scenario::new(protocol, 1, 1).with_adaptive_batching(64, delay));
+        assert!(
+            adaptive_high.throughput_kreqs > static_1.throughput_kreqs,
+            "{}: adaptive high-load throughput {:.2} kreq/s must beat static-1's {:.2} kreq/s",
+            protocol.name(),
+            adaptive_high.throughput_kreqs,
+            static_1.throughput_kreqs
+        );
+        // The controller really did choose bigger batches under load, and
+        // reported them.
+        assert!(
+            adaptive_high.batching.max_size > 1,
+            "{}: the adaptive cap never grew under load",
+            protocol.name()
+        );
+        assert!(adaptive_high.batching.max_size <= 64);
+        assert!(adaptive_high.batching.batches > 0);
     }
 }

@@ -62,7 +62,7 @@ impl Case {
 /// Batching on (`max_batch = 4`), short flush timer, sane socket timeouts.
 fn pconfig() -> ProtocolConfig {
     ProtocolConfig {
-        batch: BatchConfig::new(4, Duration::from_micros(500)),
+        batch: BatchConfig::new(4, Duration::from_micros(500)).into(),
         ..ProtocolConfig::default()
     }
 }
