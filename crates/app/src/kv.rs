@@ -7,6 +7,7 @@
 
 use crate::state_machine::StateMachine;
 use seemore_crypto::{Digest, Sha256};
+use seemore_types::OpClass;
 use std::collections::BTreeMap;
 
 /// An operation against the key-value store.
@@ -69,6 +70,29 @@ fn take_field(input: &mut &[u8]) -> Option<Vec<u8>> {
 }
 
 impl KvOp {
+    /// Whether this operation mutates the store ([`OpClass::Write`]) or only
+    /// observes it ([`OpClass::Read`]). `Get` is the only read; everything
+    /// else — including the read-modify-write `Append` — must be ordered.
+    pub fn class(&self) -> OpClass {
+        match self {
+            KvOp::Get { .. } => OpClass::Read,
+            KvOp::Put { .. } | KvOp::Delete { .. } | KvOp::Append { .. } => OpClass::Write,
+        }
+    }
+
+    /// Classifies an *encoded* operation without fully decoding it.
+    ///
+    /// Conservative: anything that is not a well-formed `Get` (unknown tags,
+    /// malformed fields, trailing bytes) is classified as a write, so a
+    /// Byzantine client cannot smuggle a mutation through the read path by
+    /// mislabelling it.
+    pub fn classify(bytes: &[u8]) -> OpClass {
+        match KvOp::decode(bytes) {
+            Some(op) => op.class(),
+            None => OpClass::Write,
+        }
+    }
+
     /// Encodes the operation into the byte string carried by a `REQUEST`.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -246,6 +270,21 @@ impl StateMachine for KvStore {
         }
     }
 
+    fn execute_read(&self, op: &[u8]) -> Option<Vec<u8>> {
+        // Only a well-formed `Get` is served without ordering; every other
+        // operation (or garbage) is refused so it cannot bypass agreement.
+        match KvOp::decode(op) {
+            Some(KvOp::Get { key }) => {
+                let result = match self.data.get(&key) {
+                    Some(value) => KvResult::Value(value.clone()),
+                    None => KvResult::NotFound,
+                };
+                Some(result.encode())
+            }
+            _ => None,
+        }
+    }
+
     fn state_digest(&self) -> Digest {
         let mut hasher = Sha256::new();
         hasher.update(&(self.data.len() as u64).to_le_bytes());
@@ -294,6 +333,87 @@ impl StateMachine for KvStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn classification_is_conservative() {
+        assert_eq!(KvOp::Get { key: b"k".to_vec() }.class(), OpClass::Read);
+        assert_eq!(
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec()
+            }
+            .class(),
+            OpClass::Write
+        );
+        assert_eq!(KvOp::Delete { key: b"k".to_vec() }.class(), OpClass::Write);
+        assert_eq!(
+            KvOp::Append {
+                key: b"k".to_vec(),
+                suffix: b"s".to_vec()
+            }
+            .class(),
+            OpClass::Write
+        );
+        // Encoded classification agrees with the decoded one.
+        assert_eq!(
+            KvOp::classify(&KvOp::Get { key: b"k".to_vec() }.encode()),
+            OpClass::Read
+        );
+        // Garbage, truncated and trailing-byte encodings are writes.
+        assert_eq!(KvOp::classify(&[]), OpClass::Write);
+        assert_eq!(KvOp::classify(&[99, 1, 2]), OpClass::Write);
+        let mut with_trailing = KvOp::Get { key: b"k".to_vec() }.encode();
+        with_trailing.push(0);
+        assert_eq!(KvOp::classify(&with_trailing), OpClass::Write);
+    }
+
+    #[test]
+    fn execute_read_serves_gets_without_mutating() {
+        let mut store = KvStore::new();
+        store.execute(
+            &KvOp::Put {
+                key: b"a".to_vec(),
+                value: b"1".to_vec(),
+            }
+            .encode(),
+        );
+        let digest_before = store.state_digest();
+        let executed_before = store.executed_count();
+
+        let hit = store
+            .execute_read(&KvOp::Get { key: b"a".to_vec() }.encode())
+            .expect("well-formed get is served");
+        assert_eq!(KvResult::decode(&hit), Some(KvResult::Value(b"1".to_vec())));
+        let miss = store
+            .execute_read(&KvOp::Get { key: b"z".to_vec() }.encode())
+            .expect("misses are still served");
+        assert_eq!(KvResult::decode(&miss), Some(KvResult::NotFound));
+
+        // Writes, read-modify-writes and garbage are refused.
+        assert!(store
+            .execute_read(
+                &KvOp::Put {
+                    key: b"a".to_vec(),
+                    value: b"2".to_vec()
+                }
+                .encode()
+            )
+            .is_none());
+        assert!(store
+            .execute_read(
+                &KvOp::Append {
+                    key: b"a".to_vec(),
+                    suffix: b"x".to_vec()
+                }
+                .encode()
+            )
+            .is_none());
+        assert!(store.execute_read(b"\xffgarbage").is_none());
+
+        // Reads left no trace: digest and execution count are untouched.
+        assert_eq!(store.state_digest(), digest_before);
+        assert_eq!(store.executed_count(), executed_before);
+    }
 
     #[test]
     fn op_encode_decode_round_trip() {

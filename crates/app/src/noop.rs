@@ -49,6 +49,14 @@ impl StateMachine for NoopApp {
         vec![0xCDu8; self.reply_size]
     }
 
+    fn execute_read(&self, _op: &[u8]) -> Option<Vec<u8>> {
+        // Every reply is the same fixed-size payload regardless of state, so
+        // any operation is trivially servable as a read (the micro workload
+        // classifies its operations as writes, so this only matters when a
+        // scenario explicitly issues reads against the no-op application).
+        Some(vec![0xCDu8; self.reply_size])
+    }
+
     fn state_digest(&self) -> Digest {
         Digest::of_fields(&[b"noop-app", &self.executed.to_le_bytes()])
     }

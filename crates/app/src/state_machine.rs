@@ -17,6 +17,23 @@ pub trait StateMachine: Send {
     /// `REQUEST`; the returned bytes become the `REPLY` payload.
     fn execute(&mut self, op: &[u8]) -> Vec<u8>;
 
+    /// Evaluates a *read-only* operation against the current state without
+    /// mutating it, or returns `None` when the operation is not provably
+    /// read-only (including malformed input).
+    ///
+    /// This is the application half of the read fast path: replicas serve
+    /// `READ-REQUEST`s through this method instead of ordering them, so an
+    /// implementation must guarantee that `execute_read` observes exactly
+    /// the state produced by the `execute` history so far and changes
+    /// nothing — not even diagnostic counters that feed
+    /// [`state_digest`](StateMachine::state_digest). Returning `None` makes
+    /// the replica refuse the fast path and the client falls back to the
+    /// ordered path, which is always safe; the default implementation
+    /// refuses everything.
+    fn execute_read(&self, _op: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+
     /// A digest of the current state, used in `CHECKPOINT` messages so that
     /// replicas can compare snapshots without shipping them.
     fn state_digest(&self) -> Digest;

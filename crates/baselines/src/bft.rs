@@ -26,13 +26,14 @@ use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
 use seemore_core::log::{MessageLog, Proposal};
 use seemore_core::metrics::ReplicaMetrics;
 use seemore_core::protocol::ReplicaProtocol;
+use seemore_core::reads::ParkedReads;
 use seemore_crypto::{Digest, KeyStore, Signature, Signer};
 use seemore_types::{
     ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
 };
 use seemore_wire::{
     Batch, Checkpoint, ClientReply, ClientRequest, Commit, Message, NewView, PbftPrepare,
-    PrePrepare, PrepareCert, SignedPayload, ViewChange, WireSize,
+    PrePrepare, PrepareCert, ReadReply, ReadRequest, SignedPayload, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -64,6 +65,15 @@ pub struct BftReplica {
     progress_armed: HashMap<SeqNum, View>,
     /// View in which each forwarded-request timer was armed.
     forwarded_armed: HashMap<RequestId, View>,
+    /// Highest slot this replica has *prepared* (2f+1 matching prepare
+    /// votes). Reads are fenced at this frontier: an acknowledged write's
+    /// commit quorum contains at least f+1 honest prepared replicas, so
+    /// once every prepared slot is executed locally at most f honest
+    /// replicas can still answer with the pre-write value — not enough,
+    /// with f Byzantine ones, for a 2f+1 matching stale quorum.
+    highest_prepared: SeqNum,
+    /// Fast-path reads parked until the prepared frontier is executed.
+    parked_reads: ParkedReads,
     metrics: ReplicaMetrics,
     crashed: bool,
 }
@@ -108,6 +118,8 @@ impl BftReplica {
             new_view_sent: Vec::new(),
             progress_armed: HashMap::new(),
             forwarded_armed: HashMap::new(),
+            highest_prepared: SeqNum(0),
+            parked_reads: ParkedReads::new(),
             metrics: ReplicaMetrics::default(),
             crashed: false,
         }
@@ -187,6 +199,7 @@ impl BftReplica {
             }
         }
         self.maybe_checkpoint(actions);
+        self.serve_parked_reads(actions);
     }
 
     fn maybe_checkpoint(&mut self, actions: &mut Vec<Action>) {
@@ -206,6 +219,95 @@ impl BftReplica {
             self.log.garbage_collect(self.checkpoints.stable_seq());
         }
         self.broadcast(actions, Message::Checkpoint(checkpoint));
+    }
+
+    // --------------------------------------------------------------
+    // Read-only fast path (PBFT quorum reads)
+    // --------------------------------------------------------------
+
+    /// Handles a `READ-REQUEST`: every replica answers from its executed
+    /// state (the classic PBFT read-only optimization); the client accepts
+    /// only `2f + 1` matching replies, whose intersection with every
+    /// committed write's quorum contains an honest replica that had already
+    /// executed the write. A view change refuses instead, redirecting the
+    /// client to the ordered path.
+    fn on_read_request(&mut self, read: ReadRequest, _now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.keystore.verify(
+            NodeId::Client(read.client),
+            &read.signing_bytes(),
+            &read.signature,
+        ) {
+            self.metrics.rejected_messages += 1;
+            return actions;
+        }
+        if self.in_view_change {
+            self.refuse_read(&mut actions, &read);
+            return actions;
+        }
+        // Prepared fence (see the field docs): answer only once every slot
+        // this replica has prepared is executed, otherwise honest laggards
+        // could complete a matching-but-stale 2f+1 read quorum against a
+        // write that was acknowledged with only f+1 replies.
+        let fence = self.highest_prepared;
+        if self.exec.last_executed() >= fence {
+            self.serve_read(&mut actions, &read);
+        } else {
+            self.parked_reads.park(fence, read);
+        }
+        actions
+    }
+
+    fn serve_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
+        match self.exec.read(&read.operation) {
+            Some(result) => {
+                self.metrics.reads_served += 1;
+                let reply = ReadReply::new(
+                    Mode::Peacock,
+                    self.view,
+                    read.id(),
+                    self.id,
+                    self.exec.last_executed(),
+                    result,
+                    &self.signer,
+                );
+                self.send(
+                    actions,
+                    NodeId::Client(read.client),
+                    Message::ReadReply(reply),
+                );
+            }
+            None => self.refuse_read(actions, read),
+        }
+    }
+
+    fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
+        self.metrics.reads_refused += 1;
+        let reply = ReadReply::refusal(
+            Mode::Peacock,
+            self.view,
+            read.id(),
+            self.id,
+            self.exec.last_executed(),
+            &self.signer,
+        );
+        self.send(
+            actions,
+            NodeId::Client(read.client),
+            Message::ReadReply(reply),
+        );
+    }
+
+    fn serve_parked_reads(&mut self, actions: &mut Vec<Action>) {
+        for read in self.parked_reads.take_ready(self.exec.last_executed()) {
+            self.serve_read(actions, &read);
+        }
+    }
+
+    fn refuse_parked_reads(&mut self, actions: &mut Vec<Action>) {
+        for read in self.parked_reads.drain() {
+            self.refuse_read(actions, &read);
+        }
     }
 
     // --------------------------------------------------------------
@@ -418,6 +520,8 @@ impl BftReplica {
         }
         instance.prepared = true;
         instance.record_commit(self.id, digest);
+        // Advance the prepared frontier fencing this replica's reads.
+        self.highest_prepared = self.highest_prepared.max(seq);
         let mut commit = Commit {
             view: self.view,
             seq,
@@ -501,6 +605,7 @@ impl BftReplica {
         self.in_view_change = true;
         self.target_view = target;
         self.metrics.view_changes_started += 1;
+        self.refuse_parked_reads(&mut actions);
 
         let stable = self.checkpoints.stable_seq();
         let mut prepares = Vec::new();
@@ -691,6 +796,7 @@ impl BftReplica {
         self.view = new_view.view;
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
+        self.refuse_parked_reads(actions);
         self.assigned.clear();
         self.view_changes.retain(|view, _| *view > new_view.view);
         self.log.reset_votes_for_new_view();
@@ -824,6 +930,7 @@ impl ReplicaProtocol for BftReplica {
         self.metrics.record_received(message.kind());
         match message {
             Message::Request(request) => self.on_request(request, now),
+            Message::ReadRequest(read) => self.on_read_request(read, now),
             Message::PrePrepare(preprepare) => self.on_pre_prepare(from, preprepare),
             Message::PbftPrepare(vote) => self.on_pbft_prepare(from, vote),
             Message::Commit(commit) => self.on_commit(from, commit),
@@ -962,6 +1069,79 @@ mod tests {
             ));
         }
         cluster
+    }
+
+    #[test]
+    fn bft_quorum_reads_complete_without_ordering() {
+        use seemore_app::{KvOp, KvResult};
+        use seemore_types::OpClass;
+
+        let config = BaselineConfig::bft(1);
+        let mut cluster = build(config, None);
+        cluster.submit(
+            ClientId(0),
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .encode(),
+        );
+        cluster.run_to_quiescence(LIMIT);
+
+        cluster.submit_op(
+            ClientId(1),
+            KvOp::Get { key: b"k".to_vec() }.encode(),
+            OpClass::Read,
+        );
+        cluster.run_to_quiescence(LIMIT);
+
+        let client = cluster.client(ClientId(1));
+        assert_eq!(client.completed().len(), 1);
+        assert_eq!(client.completed()[0].class, OpClass::Read);
+        assert_eq!(
+            KvResult::decode(&client.completed()[0].result),
+            Some(KvResult::Value(b"v".to_vec()))
+        );
+        // All 3f + 1 replicas answered; none ordered a second operation.
+        let served: u64 = config
+            .replicas()
+            .map(|r| cluster.replica(r).metrics().reads_served)
+            .sum();
+        assert_eq!(served, 4);
+        for replica in config.replicas() {
+            assert_eq!(cluster.replica(replica).executed().len(), 1);
+        }
+    }
+
+    #[test]
+    fn bft_reads_tolerate_a_silent_replica() {
+        use seemore_app::{KvOp, KvResult};
+        use seemore_types::OpClass;
+
+        let config = BaselineConfig::bft(1);
+        let mut cluster = build(config, Some((ReplicaId(3), ByzantineBehavior::Silent)));
+        cluster.submit(
+            ClientId(0),
+            KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            }
+            .encode(),
+        );
+        cluster.run_to_quiescence(LIMIT);
+        cluster.submit_op(
+            ClientId(1),
+            KvOp::Get { key: b"k".to_vec() }.encode(),
+            OpClass::Read,
+        );
+        cluster.run_to_quiescence(LIMIT);
+        // 2f + 1 = 3 honest matching replies complete the read.
+        let client = cluster.client(ClientId(1));
+        assert_eq!(client.completed().len(), 1);
+        assert_eq!(
+            KvResult::decode(&client.completed()[0].result),
+            Some(KvResult::Value(b"v".to_vec()))
+        );
     }
 
     #[test]

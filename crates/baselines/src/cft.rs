@@ -25,11 +25,12 @@ use seemore_core::exec::{ExecutedEntry, ExecutionEngine};
 use seemore_core::log::{MessageLog, Proposal};
 use seemore_core::metrics::ReplicaMetrics;
 use seemore_core::protocol::ReplicaProtocol;
+use seemore_core::reads::ParkedReads;
 use seemore_crypto::Signature;
 use seemore_types::{Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View};
 use seemore_wire::{
     Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message, NewView,
-    Prepare, PrepareCert, ViewChange, WireSize,
+    Prepare, PrepareCert, ReadReply, ReadRequest, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -57,6 +58,16 @@ pub struct CftReplica {
     /// Requests whose suspicion timer is already armed (re-forwarded client
     /// retransmissions must not reset it).
     forwarded_watch: std::collections::HashSet<RequestId>,
+    /// Until when this leader may serve reads locally: extended to
+    /// `propose_time + τ` whenever an accept quorum commits a slot — the
+    /// same propose-time-anchored commit-index lease rule as SeeMoRe's
+    /// trusted-primary modes (anchoring at evidence *arrival* would let a
+    /// delayed ACCEPT revive a deposed leader's lease).
+    read_lease_until: Instant,
+    /// When each in-flight slot was proposed (the lease anchors).
+    proposed_at: HashMap<SeqNum, Instant>,
+    /// Reads waiting for the commit index to reach their fence.
+    parked_reads: ParkedReads,
     metrics: ReplicaMetrics,
     crashed: bool,
 }
@@ -89,6 +100,9 @@ impl CftReplica {
             view_changes: BTreeMap::new(),
             new_view_sent: Vec::new(),
             forwarded_watch: std::collections::HashSet::new(),
+            read_lease_until: Instant::ZERO + pconfig.request_timeout,
+            proposed_at: HashMap::new(),
+            parked_reads: ParkedReads::new(),
             metrics: ReplicaMetrics::default(),
             crashed: false,
         }
@@ -133,7 +147,95 @@ impl CftReplica {
         }
     }
 
-    fn execute_ready(&mut self, actions: &mut Vec<Action>) {
+    // --------------------------------------------------------------
+    // Read-only fast path (leader reads)
+    // --------------------------------------------------------------
+
+    /// Handles a `READ-REQUEST`: the lease-holding leader serves it from
+    /// executed state behind the commit-index fence; everyone else refuses
+    /// so the client falls back to the ordered path. Crash-only deployments
+    /// neither sign nor verify read traffic, mirroring the write path.
+    fn on_read_request(&mut self, read: ReadRequest, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.is_primary() || self.in_view_change || now >= self.read_lease_until {
+            self.refuse_read(&mut actions, &read);
+            return actions;
+        }
+        let fence = SeqNum(self.next_seq.0.max(self.exec.last_executed().0));
+        if self.exec.last_executed() >= fence {
+            self.serve_read(&mut actions, &read);
+        } else {
+            self.parked_reads.park(fence, read);
+        }
+        actions
+    }
+
+    fn serve_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
+        match self.exec.read(&read.operation) {
+            Some(result) => {
+                self.metrics.reads_served += 1;
+                let reply = ReadReply {
+                    mode: Mode::Lion,
+                    view: self.view,
+                    request: read.id(),
+                    replica: self.id,
+                    last_executed: self.exec.last_executed(),
+                    refused: false,
+                    result,
+                    signature: Signature::INVALID,
+                };
+                self.send(
+                    actions,
+                    NodeId::Client(read.client),
+                    Message::ReadReply(reply),
+                );
+            }
+            None => self.refuse_read(actions, read),
+        }
+    }
+
+    fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
+        self.metrics.reads_refused += 1;
+        let reply = ReadReply {
+            mode: Mode::Lion,
+            view: self.view,
+            request: read.id(),
+            replica: self.id,
+            last_executed: self.exec.last_executed(),
+            refused: true,
+            result: Vec::new(),
+            signature: Signature::INVALID,
+        };
+        self.send(
+            actions,
+            NodeId::Client(read.client),
+            Message::ReadReply(reply),
+        );
+    }
+
+    /// The admission-time lease check is re-validated at serve time: the
+    /// commit evidence that advanced execution may have been delayed past
+    /// the lease the read was parked under.
+    fn serve_parked_reads(&mut self, actions: &mut Vec<Action>, now: Instant) {
+        if self.parked_reads.is_empty() {
+            return;
+        }
+        if !self.is_primary() || self.in_view_change || now >= self.read_lease_until {
+            self.refuse_parked_reads(actions);
+            return;
+        }
+        for read in self.parked_reads.take_ready(self.exec.last_executed()) {
+            self.serve_read(actions, &read);
+        }
+    }
+
+    fn refuse_parked_reads(&mut self, actions: &mut Vec<Action>) {
+        for read in self.parked_reads.drain() {
+            self.refuse_read(actions, &read);
+        }
+    }
+
+    fn execute_ready(&mut self, actions: &mut Vec<Action>, now: Instant) {
         let should_reply = self.is_primary();
         for execution in self.exec.execute_ready() {
             self.metrics.executed += 1;
@@ -160,6 +262,7 @@ impl CftReplica {
             }
         }
         self.maybe_checkpoint(actions);
+        self.serve_parked_reads(actions, now);
     }
 
     fn maybe_checkpoint(&mut self, actions: &mut Vec<Action>) {
@@ -238,7 +341,7 @@ impl CftReplica {
             .batcher
             .offer(request, now, in_flight, actions, &mut self.metrics)
         {
-            self.propose_batch(actions, batch);
+            self.propose_batch(actions, batch, now);
         }
     }
 
@@ -248,13 +351,19 @@ impl CftReplica {
         self.next_seq.0.saturating_sub(self.exec.last_executed().0)
     }
 
-    /// Assigns a sequence number to `batch` and broadcasts the `PREPARE`.
-    fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch) {
+    /// Assigns a sequence number to `batch` and broadcasts the `PREPARE`;
+    /// `now` (the send time) is recorded as the slot's lease anchor.
+    fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch, now: Instant) {
         let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
         if !self.log.in_window(seq, self.pconfig.high_water_mark) {
             return;
         }
         self.next_seq = seq;
+        // Anchor discounted by the batching delay bound, as in the SeeMoRe
+        // core: a member request may have armed a backup's suspicion timer
+        // up to `max_delay` before this proposal went out.
+        self.proposed_at
+            .insert(seq, now.saturating_sub(self.pconfig.batch.max_delay()));
         for id in batch.request_ids() {
             self.assigned.insert(id, seq);
         }
@@ -316,7 +425,7 @@ impl CftReplica {
         actions
     }
 
-    fn on_accept(&mut self, from: NodeId, accept: Accept) -> Vec<Action> {
+    fn on_accept(&mut self, from: NodeId, accept: Accept, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         let Some(sender) = from.as_replica() else {
             return actions;
@@ -335,6 +444,13 @@ impl CftReplica {
         }
         instance.commit_sent = true;
         instance.committed = true;
+        // An accept quorum just followed this leader: extend the read
+        // lease, anchored at the slot's propose time.
+        if let Some(anchor) = self.proposed_at.remove(&accept.seq) {
+            self.read_lease_until = self
+                .read_lease_until
+                .max(anchor + self.pconfig.request_timeout);
+        }
         let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
         let commit = Commit {
             view: self.view,
@@ -348,12 +464,12 @@ impl CftReplica {
         if let Some(batch) = batch {
             self.metrics.committed += 1;
             self.exec.add_committed(accept.seq, batch);
-            self.execute_ready(&mut actions);
+            self.execute_ready(&mut actions, now);
         }
         actions
     }
 
-    fn on_commit(&mut self, from: NodeId, commit: Commit) -> Vec<Action> {
+    fn on_commit(&mut self, from: NodeId, commit: Commit, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if from.as_replica() != Some(self.primary())
             || commit.view != self.view
@@ -373,7 +489,7 @@ impl CftReplica {
         if let Some(batch) = batch {
             self.metrics.committed += 1;
             self.exec.add_committed(commit.seq, batch);
-            self.execute_ready(&mut actions);
+            self.execute_ready(&mut actions, now);
         }
         actions
     }
@@ -398,6 +514,7 @@ impl CftReplica {
         self.in_view_change = true;
         self.target_view = target;
         self.metrics.view_changes_started += 1;
+        self.refuse_parked_reads(&mut actions);
 
         let stable = self.checkpoints.stable_seq();
         let mut prepares = Vec::new();
@@ -580,6 +697,10 @@ impl CftReplica {
         self.view = new_view.view;
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
+        self.refuse_parked_reads(actions);
+        // The dead view's lease anchors are gone; a new leader earns its
+        // lease from its first committed slot.
+        self.proposed_at.clear();
         self.assigned.clear();
         self.view_changes.retain(|view, _| *view > new_view.view);
         self.log.reset_votes_for_new_view();
@@ -628,7 +749,7 @@ impl CftReplica {
             }
         }
         self.next_seq = highest;
-        self.execute_ready(actions);
+        self.execute_ready(actions, now);
 
         // Requests buffered for batching under the old view are re-routed:
         // the new leader proposes them, everyone else forwards them (and the
@@ -644,7 +765,7 @@ impl CftReplica {
                     self.buffer_or_propose(actions, request, now);
                 }
             }
-            self.flush_buffered(actions);
+            self.flush_buffered(actions, now);
         } else {
             let primary = self.config.primary(new_view.view);
             for request in buffered {
@@ -660,9 +781,9 @@ impl CftReplica {
     }
 
     /// Forces out any partially accumulated batch.
-    fn flush_buffered(&mut self, actions: &mut Vec<Action>) {
+    fn flush_buffered(&mut self, actions: &mut Vec<Action>, now: Instant) {
         if let Some(batch) = self.batcher.flush(actions, &mut self.metrics) {
-            self.propose_batch(actions, batch);
+            self.propose_batch(actions, batch, now);
         }
     }
 
@@ -671,7 +792,7 @@ impl CftReplica {
     /// while buffering). Stale generations — timers that raced a
     /// size-trigger cut — are counted and ignored so they can never truncate
     /// the next buffer's delay.
-    fn on_batch_flush(&mut self, generation: u64) -> Vec<Action> {
+    fn on_batch_flush(&mut self, generation: u64, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if !self.batcher.timer_is_current(generation) {
             self.metrics.batch.stale_timer_fires += 1;
@@ -686,7 +807,7 @@ impl CftReplica {
                 self.batcher
                     .on_flush_timer(generation, in_flight, &mut self.metrics)
             {
-                self.propose_batch(&mut actions, batch);
+                self.propose_batch(&mut actions, batch, now);
             }
         } else {
             let primary = self.primary();
@@ -714,9 +835,10 @@ impl ReplicaProtocol for CftReplica {
         self.metrics.record_received(message.kind());
         match message {
             Message::Request(request) => self.on_request(request, now),
+            Message::ReadRequest(read) => self.on_read_request(read, now),
             Message::Prepare(prepare) => self.on_prepare(from, prepare),
-            Message::Accept(accept) => self.on_accept(from, accept),
-            Message::Commit(commit) => self.on_commit(from, commit),
+            Message::Accept(accept) => self.on_accept(from, accept, now),
+            Message::Commit(commit) => self.on_commit(from, commit, now),
             Message::Checkpoint(checkpoint) => self.on_checkpoint(checkpoint),
             Message::ViewChange(view_change) => self.on_view_change(from, view_change, now),
             Message::NewView(new_view) => self.on_new_view(from, new_view, now),
@@ -760,7 +882,7 @@ impl ReplicaProtocol for CftReplica {
                     Vec::new()
                 }
             }
-            Timer::BatchFlush { generation } => self.on_batch_flush(generation),
+            Timer::BatchFlush { generation } => self.on_batch_flush(generation, now),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }
@@ -939,6 +1061,44 @@ mod tests {
         cluster.run_to_quiescence(100_000);
         assert_eq!(cluster.replica(leader).executed().len(), 4);
         assert_eq!(cluster.client(ClientId(3)).completed().len(), 1);
+    }
+
+    #[test]
+    fn cft_leader_serves_fast_reads_and_backups_never_see_them() {
+        use seemore_app::{KvOp, KvResult};
+        use seemore_types::OpClass;
+
+        let (mut cluster, config) = build(1);
+        cluster.submit(
+            ClientId(0),
+            KvOp::Put {
+                key: b"x".to_vec(),
+                value: b"9".to_vec(),
+            }
+            .encode(),
+        );
+        cluster.run_to_quiescence(100_000);
+
+        cluster.submit_op(
+            ClientId(1),
+            KvOp::Get { key: b"x".to_vec() }.encode(),
+            OpClass::Read,
+        );
+        cluster.run_to_quiescence(100_000);
+
+        let client = cluster.client(ClientId(1));
+        assert_eq!(client.completed().len(), 1);
+        assert_eq!(client.completed()[0].class, OpClass::Read);
+        assert_eq!(
+            KvResult::decode(&client.completed()[0].result),
+            Some(KvResult::Value(b"9".to_vec()))
+        );
+        // The read was served by the leader without ordering.
+        let leader = config.primary(View::ZERO);
+        assert_eq!(cluster.replica(leader).metrics().reads_served, 1);
+        for replica in config.replicas() {
+            assert_eq!(cluster.replica(replica).executed().len(), 1);
+        }
     }
 
     #[test]

@@ -3,19 +3,34 @@
 //! Identical in spirit to SeeMoRe's client, but without the notion of
 //! trusted/untrusted replicas: it sends requests to the current primary,
 //! collects `reply_quorum` matching replies, and broadcasts to everyone
-//! after a timeout.
+//! after a timeout. Read-only operations take the same classification seam
+//! as SeeMoRe's: CFT reads go to the leader (served under its commit-index
+//! lease), BFT reads are quorum reads needing `2f + 1` matching replies.
 
 use crate::config::BaselineConfig;
 use seemore_core::actions::{Action, Timer};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
+use seemore_core::reads::ReadTally;
 use seemore_crypto::{Digest, KeyStore, Signer};
-use seemore_types::{ClientId, Duration, Instant, NodeId, ReplicaId, Timestamp, View};
-use seemore_wire::{ClientReply, ClientRequest, Message, SignedPayload};
+use seemore_types::{
+    ClientId, Duration, Instant, NodeId, OpClass, ReplicaId, RequestId, Timestamp, View,
+};
+use seemore_wire::{ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload};
 use std::collections::{BTreeSet, HashMap};
 
 struct Pending {
-    request: ClientRequest,
+    /// The request identity `(client, timestamp)`, shared by the fast path
+    /// and the ordered fallback.
+    id: RequestId,
+    /// The signed ordered-path request — built eagerly for writes, lazily on
+    /// fallback for reads.
+    ordered: Option<ClientRequest>,
+    /// Operation bytes kept for the lazy fallback (reads only).
+    fallback_op: Option<Vec<u8>>,
     sent_at: Instant,
+    class: OpClass,
+    /// `Some` while a read is on the fast path.
+    read: Option<ReadTally>,
     votes: HashMap<Digest, BTreeSet<ReplicaId>>,
     results: HashMap<Digest, Vec<u8>>,
 }
@@ -82,7 +97,7 @@ impl BaselineClient {
         let Some(pending) = &mut self.pending else {
             return Vec::new();
         };
-        if reply.request != pending.request.id() {
+        if reply.request != pending.id || pending.read.is_some() {
             return Vec::new();
         }
         let digest = Digest::of_fields(&[b"reply-result", &reply.result]);
@@ -103,16 +118,160 @@ impl BaselineClient {
         let result = pending.results.get(&digest).cloned().unwrap_or_default();
         self.view = self.view.max(reply.view);
         self.completed.push(ClientOutcome {
-            request: pending.request.id(),
+            request: pending.id,
+            class: pending.class,
             result,
             latency: now - pending.sent_at,
             completed_at: now,
         });
         vec![Action::CancelTimer {
             timer: Timer::ClientRetransmit {
-                timestamp: pending.request.timestamp,
+                timestamp: pending.id.timestamp,
             },
         }]
+    }
+
+    /// Submits a read through the baseline fast path: to the leader alone in
+    /// the crash model (one reply suffices), broadcast to everyone in the
+    /// Byzantine models (`quorum` matching replies needed). Falls back to
+    /// the ordered path on refusal, mismatch or timeout under the same
+    /// `(client, timestamp)` identity.
+    fn submit_read(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        assert!(
+            self.pending.is_none(),
+            "client {} already has a pending request",
+            self.id
+        );
+        self.next_timestamp = self.next_timestamp.next();
+        let nonce = self.next_timestamp;
+        let read = ReadRequest::new(self.id, nonce, operation.clone(), &self.signer);
+        let targets: Vec<ReplicaId> = if self.config.signed {
+            self.config.replicas().collect()
+        } else {
+            vec![self.config.primary(self.view)]
+        };
+        let mut actions: Vec<Action> = targets
+            .into_iter()
+            .map(|to| Action::Send {
+                to: NodeId::Replica(to),
+                message: Message::ReadRequest(read.clone()),
+            })
+            .collect();
+        actions.push(Action::SetTimer {
+            timer: Timer::ClientRetransmit { timestamp: nonce },
+            after: self.timeout,
+        });
+        self.pending = Some(Pending {
+            id: read.id(),
+            ordered: None,
+            fallback_op: Some(operation),
+            sent_at: now,
+            class: OpClass::Read,
+            read: Some(ReadTally::new()),
+            votes: HashMap::new(),
+            results: HashMap::new(),
+        });
+        actions
+    }
+
+    fn on_read_reply(&mut self, reply: ReadReply, now: Instant) -> Vec<Action> {
+        if self.config.signed
+            && !self.keystore.verify(
+                NodeId::Replica(reply.replica),
+                &reply.signing_bytes(),
+                &reply.signature,
+            )
+        {
+            return Vec::new();
+        }
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
+        if pending.read.is_none() || reply.request != pending.id {
+            return Vec::new();
+        }
+        self.view = self.view.max(reply.view);
+
+        let read = pending.read.as_mut().expect("checked above");
+        if reply.refused {
+            let refusals = read.record_refusal(reply.replica);
+            // Crash model: the leader's refusal is authoritative. Byzantine
+            // models: `f + 1` refusals contain an honest one.
+            let fallback = if self.config.signed {
+                refusals > self.config.fault_bound as usize
+            } else {
+                true
+            };
+            if fallback {
+                return self.fall_back_to_ordered();
+            }
+            return Vec::new();
+        }
+
+        let (_, digest) = reply.matching_key();
+        let votes = read.record(digest, reply.replica, &reply.result);
+        // One leader reply in the crash model; a full `2f + 1` agreement
+        // quorum in the Byzantine models (reply_quorum would only prove the
+        // result correct, not fresh).
+        let needed = if self.config.signed {
+            self.config.quorum as usize
+        } else {
+            1
+        };
+        if votes < needed {
+            return Vec::new();
+        }
+
+        let pending = self.pending.take().expect("checked above");
+        let result = pending
+            .read
+            .as_ref()
+            .and_then(|read| read.result_for(&digest))
+            .unwrap_or_default();
+        self.completed.push(ClientOutcome {
+            request: pending.id,
+            class: OpClass::Read,
+            result,
+            latency: now - pending.sent_at,
+            completed_at: now,
+        });
+        vec![Action::CancelTimer {
+            timer: Timer::ClientRetransmit {
+                timestamp: pending.id.timestamp,
+            },
+        }]
+    }
+
+    /// Abandons the fast path and re-submits through the ordered path; the
+    /// ordered request is built (and signed) only here, so the common
+    /// all-fast-path case pays one signature per read.
+    fn fall_back_to_ordered(&mut self) -> Vec<Action> {
+        let signer = self.signer.clone();
+        let primary = self.config.primary(self.view);
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
+        if pending.read.take().is_none() {
+            return Vec::new();
+        }
+        pending.votes.clear();
+        pending.results.clear();
+        let operation = pending.fallback_op.take().unwrap_or_default();
+        let request =
+            ClientRequest::new(pending.id.client, pending.id.timestamp, operation, &signer);
+        pending.ordered = Some(request.clone());
+        vec![
+            Action::Send {
+                to: NodeId::Replica(primary),
+                message: Message::Request(request),
+            },
+            Action::SetTimer {
+                timer: Timer::ClientRetransmit {
+                    timestamp: pending.id.timestamp,
+                },
+                after: self.timeout,
+            },
+        ]
     }
 }
 
@@ -153,27 +312,48 @@ impl ClientProtocol for BaselineClient {
             },
         ];
         self.pending = Some(Pending {
-            request,
+            id: request.id(),
+            ordered: Some(request),
+            fallback_op: None,
             sent_at: now,
+            class: OpClass::Write,
+            read: None,
             votes: HashMap::new(),
             results: HashMap::new(),
         });
         actions
     }
 
+    fn submit_op(&mut self, operation: Vec<u8>, class: OpClass, now: Instant) -> Vec<Action> {
+        match class {
+            OpClass::Read => self.submit_read(operation, now),
+            OpClass::Write => self.submit(operation, now),
+        }
+    }
+
     fn on_message(&mut self, _from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         match message {
             Message::Reply(reply) => self.on_reply(reply, now),
+            Message::ReadReply(reply) => self.on_read_reply(reply, now),
             _ => Vec::new(),
         }
     }
 
     fn on_retransmit_timer(&mut self, _now: Instant) -> Vec<Action> {
+        if self
+            .pending
+            .as_ref()
+            .is_some_and(|pending| pending.read.is_some())
+        {
+            return self.fall_back_to_ordered();
+        }
         let Some(pending) = &self.pending else {
             return Vec::new();
         };
+        let Some(request) = pending.ordered.clone() else {
+            return Vec::new();
+        };
         self.retransmissions += 1;
-        let request = pending.request.clone();
         let mut actions: Vec<Action> = self
             .config
             .replicas()

@@ -10,13 +10,13 @@
 //!
 //! All buffering runs through one sans-IO controller, [`AdaptiveBatcher`],
 //! which wraps the raw request buffer ([`BatchAccumulator`]) and executes a
-//! [`BatchPolicy`](crate::config::BatchPolicy):
+//! [`crate::config::BatchPolicy`]:
 //!
 //! * **`BatchPolicy::Static`** — the classic two-knob policy
 //!   ([`BatchConfig`]): a batch is cut as soon as `max_batch` requests are
 //!   buffered (the size trigger) or `max_delay` after the first request
 //!   entered an empty buffer (the latency trigger, implemented with the
-//!   [`Timer::BatchFlush`](crate::actions::Timer::BatchFlush) timer).
+//!   [`crate::actions::Timer::BatchFlush`] timer).
 //! * **`BatchPolicy::Adaptive`** — an AIMD controller
 //!   ([`AdaptiveBatchConfig`]) that tunes the *effective* size cap from
 //!   observed load instead of trusting a hand-picked constant. The load

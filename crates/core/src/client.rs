@@ -1,12 +1,15 @@
-//! The client side of SeeMoRe: request submission, per-mode reply quorums
-//! and retransmission (Section 5).
+//! The client side of SeeMoRe: request submission, per-mode reply quorums,
+//! retransmission, and the mode-aware read-only fast path (Section 5 plus
+//! the PBFT read optimization lineage).
 
 use crate::actions::{Action, Timer};
+use crate::reads::ReadTally;
 use seemore_crypto::{Digest, KeyStore, Signer};
 use seemore_types::{
-    ClientId, ClusterConfig, Duration, Instant, Mode, NodeId, ReplicaId, RequestId, Timestamp, View,
+    ClientId, ClusterConfig, Duration, Instant, Mode, NodeId, OpClass, ReplicaId, RequestId,
+    Timestamp, View,
 };
-use seemore_wire::{ClientReply, ClientRequest, Message, SignedPayload};
+use seemore_wire::{ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload};
 use std::collections::{BTreeSet, HashMap};
 
 /// The sans-IO contract for protocol clients (SeeMoRe's [`ClientCore`] and
@@ -17,6 +20,16 @@ pub trait ClientProtocol: Send {
     fn id(&self) -> ClientId;
     /// Submits a new operation, returning send/timer actions.
     fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action>;
+    /// Submits an operation with an explicit read/write classification.
+    ///
+    /// Writes always take the ordered path; clients that implement a read
+    /// fast path route [`OpClass::Read`] operations through it. The default
+    /// implementation ignores the classification and orders everything,
+    /// which is always safe.
+    fn submit_op(&mut self, operation: Vec<u8>, class: OpClass, now: Instant) -> Vec<Action> {
+        let _ = class;
+        self.submit(operation, now)
+    }
     /// Handles a message addressed to the client.
     fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action>;
     /// Handles the retransmission timer.
@@ -37,6 +50,9 @@ impl ClientProtocol for Box<dyn ClientProtocol> {
     }
     fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
         (**self).submit(operation, now)
+    }
+    fn submit_op(&mut self, operation: Vec<u8>, class: OpClass, now: Instant) -> Vec<Action> {
+        (**self).submit_op(operation, class, now)
     }
     fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         (**self).on_message(from, message, now)
@@ -63,6 +79,9 @@ impl ClientProtocol for Box<dyn ClientProtocol> {
 pub struct ClientOutcome {
     /// Identity of the completed request.
     pub request: RequestId,
+    /// Whether the operation was submitted as a read or a write (reads that
+    /// fell back to the ordered path still count as reads).
+    pub class: OpClass,
     /// The accepted result payload.
     pub result: Vec<u8>,
     /// Time from first transmission to acceptance.
@@ -83,8 +102,22 @@ struct ReplyTally {
 /// The outstanding request, if any.
 #[derive(Debug)]
 struct Pending {
-    request: ClientRequest,
+    /// The request identity `(client, timestamp)`, shared by the fast path
+    /// and the ordered fallback.
+    id: RequestId,
+    /// The signed ordered-path request — built eagerly for writes, lazily on
+    /// fallback for reads (so the common all-fast-path case pays one
+    /// signature, not two).
+    ordered: Option<ClientRequest>,
+    /// The operation bytes kept for the lazy fallback (reads only; taken
+    /// when the fallback request is built).
+    fallback_op: Option<Vec<u8>>,
     sent_at: Instant,
+    /// Read/write classification recorded in the outcome.
+    class: OpClass,
+    /// `Some` while a read is on the fast path; `None` on the ordered path
+    /// (writes always, reads after falling back).
+    read: Option<ReadTally>,
     tally: ReplyTally,
     retransmitted: bool,
 }
@@ -107,6 +140,7 @@ pub struct ClientCore {
     pending: Option<Pending>,
     completed: Vec<ClientOutcome>,
     retransmissions: u64,
+    read_fallbacks: u64,
 }
 
 impl std::fmt::Debug for ClientCore {
@@ -148,6 +182,7 @@ impl ClientCore {
             pending: None,
             completed: Vec::new(),
             retransmissions: 0,
+            read_fallbacks: 0,
         }
     }
 
@@ -186,6 +221,12 @@ impl ClientCore {
         self.retransmissions
     }
 
+    /// Number of reads that abandoned the fast path and fell back to the
+    /// ordered path (refusals, quorum mismatches or timeouts).
+    pub fn read_fallbacks(&self) -> u64 {
+        self.read_fallbacks
+    }
+
     /// The primary this client would currently address.
     pub fn current_primary(&self) -> ReplicaId {
         self.cluster
@@ -217,18 +258,78 @@ impl ClientCore {
             after: self.timeout,
         });
         self.pending = Some(Pending {
-            request,
+            id: request.id(),
+            ordered: Some(request),
+            fallback_op: None,
             sent_at: now,
+            class: OpClass::Write,
+            read: None,
             tally: ReplyTally::default(),
             retransmitted: false,
         });
         actions
     }
 
-    /// Handles any message addressed to the client (only `REPLY` matters).
+    /// Submits a read-only operation through the mode-aware fast path:
+    /// to the trusted primary in Lion/Dog (served under its commit-index
+    /// lease), to the proxies in Peacock (accepted on `2m + 1` matching
+    /// replies). Falls back to the ordered path on refusal, quorum mismatch
+    /// or timeout; the fallback reuses the same `(client, timestamp)`
+    /// identity so it inherits the ordered path's exactly-once handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request is already outstanding (closed-loop clients).
+    pub fn submit_read(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        assert!(
+            self.pending.is_none(),
+            "client {} already has a pending request",
+            self.id
+        );
+        self.next_timestamp = self.next_timestamp.next();
+        let nonce = self.next_timestamp;
+        let read = ReadRequest::new(self.id, nonce, operation.clone(), &self.signer);
+        let mut actions = Vec::new();
+        for to in self.read_targets() {
+            actions.push(Action::Send {
+                to: NodeId::Replica(to),
+                message: Message::ReadRequest(read.clone()),
+            });
+        }
+        actions.push(Action::SetTimer {
+            timer: Timer::ClientRetransmit { timestamp: nonce },
+            after: self.timeout,
+        });
+        self.pending = Some(Pending {
+            id: read.id(),
+            // The ordered-path fallback shares this identity but is only
+            // built (and signed) if a fallback actually happens.
+            ordered: None,
+            fallback_op: Some(operation),
+            sent_at: now,
+            class: OpClass::Read,
+            read: Some(ReadTally::new()),
+            tally: ReplyTally::default(),
+            retransmitted: false,
+        });
+        actions
+    }
+
+    /// The replicas a read is issued to in the client's current mode/view:
+    /// the trusted primary in Lion/Dog, the `3m + 1` proxies in Peacock.
+    fn read_targets(&self) -> Vec<ReplicaId> {
+        match self.mode {
+            Mode::Lion | Mode::Dog => vec![self.current_primary()],
+            Mode::Peacock => self.cluster.proxies(self.view),
+        }
+    }
+
+    /// Handles any message addressed to the client (`REPLY` and
+    /// `READ-REPLY`).
     pub fn on_message(&mut self, _from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         match message {
             Message::Reply(reply) => self.on_reply(reply, now),
+            Message::ReadReply(reply) => self.on_read_reply(reply, now),
             _ => Vec::new(),
         }
     }
@@ -246,7 +347,13 @@ impl ClientCore {
         let Some(pending_ref) = &self.pending else {
             return Vec::new();
         };
-        if reply.request != pending_ref.request.id() {
+        if reply.request != pending_ref.id {
+            return Vec::new();
+        }
+        if pending_ref.read.is_some() {
+            // Ordered replies cannot complete a read that is still on the
+            // fast path (they can only arrive for the identity after a
+            // fallback, which clears the read phase first).
             return Vec::new();
         }
         let retransmitted = pending_ref.retransmitted;
@@ -306,16 +413,139 @@ impl ClientCore {
             self.view = self.view.max(reply.view);
         }
         self.completed.push(ClientOutcome {
-            request: pending.request.id(),
+            request: pending.id,
+            class: pending.class,
             result,
             latency: now - pending.sent_at,
             completed_at: now,
         });
         vec![Action::CancelTimer {
             timer: Timer::ClientRetransmit {
-                timestamp: pending.request.timestamp,
+                timestamp: pending.id.timestamp,
             },
         }]
+    }
+
+    /// Handles a `READ-REPLY` from a replica.
+    pub fn on_read_reply(&mut self, reply: ReadReply, now: Instant) -> Vec<Action> {
+        if !self.keystore.verify(
+            NodeId::Replica(reply.replica),
+            &reply.signing_bytes(),
+            &reply.signature,
+        ) {
+            return Vec::new();
+        }
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
+        if pending.read.is_none() || reply.request != pending.id {
+            return Vec::new();
+        }
+
+        let replier_trusted = self.cluster.is_trusted(reply.replica);
+        // Trusted replicas never lie: adopt their mode/view immediately, as
+        // on the write path.
+        if replier_trusted {
+            self.mode = reply.mode;
+            self.view = self.view.max(reply.view);
+        }
+
+        if reply.refused {
+            let read = pending.read.as_mut().expect("checked above");
+            let refusals = read.record_refusal(reply.replica);
+            // The decision is keyed on the *replier*, not on the mode the
+            // reply claims (the cluster may have switched modes under the
+            // client's feet): a trusted replica's refusal is authoritative,
+            // while untrusted refusals fall back once more than `m` have
+            // accumulated — at least one of them is then honest, telling us
+            // the fast path is unavailable (view change, mode switch).
+            if replier_trusted || refusals > self.cluster.byzantine_bound() as usize {
+                return self.fall_back_to_ordered();
+            }
+            return Vec::new();
+        }
+
+        // Tally the served reply.
+        let (_, digest) = reply.matching_key();
+        let read = pending.read.as_mut().expect("checked above");
+        let votes = read.record(digest, reply.replica, &reply.result);
+
+        let accepted = match reply.mode {
+            // In Lion/Dog a single reply suffices, but only from the
+            // lease-holding trusted primary of the view it claims — a
+            // trusted *backup*'s state may lag the acknowledged prefix, and
+            // it refuses reads anyway.
+            Mode::Lion | Mode::Dog => {
+                replier_trusted && self.cluster.primary(reply.mode, reply.view) == Ok(reply.replica)
+            }
+            // Peacock: `2m + 1` matching replies guarantee intersection with
+            // every committed write's quorum in at least one honest replica
+            // that had already executed the write.
+            Mode::Peacock => !replier_trusted && votes >= self.cluster.proxy_quorum() as usize,
+        };
+        if !accepted {
+            return Vec::new();
+        }
+
+        let pending = self.pending.take().expect("checked above");
+        let result = pending
+            .read
+            .as_ref()
+            .and_then(|read| read.result_for(&digest))
+            .unwrap_or_default();
+        // An untrusted quorum also teaches us the current mode/view.
+        if !replier_trusted {
+            self.mode = reply.mode;
+            self.view = self.view.max(reply.view);
+        }
+        self.completed.push(ClientOutcome {
+            request: pending.id,
+            class: OpClass::Read,
+            result,
+            latency: now - pending.sent_at,
+            completed_at: now,
+        });
+        vec![Action::CancelTimer {
+            timer: Timer::ClientRetransmit {
+                timestamp: pending.id.timestamp,
+            },
+        }]
+    }
+
+    /// Abandons the read fast path for the outstanding read and re-submits
+    /// the identical operation through the ordered path under the identical
+    /// `(client, timestamp)` identity.
+    fn fall_back_to_ordered(&mut self) -> Vec<Action> {
+        let signer = self.signer.clone();
+        let primary = self.current_primary();
+        let Some(pending) = &mut self.pending else {
+            return Vec::new();
+        };
+        if pending.read.take().is_none() {
+            return Vec::new();
+        }
+        self.read_fallbacks += 1;
+        pending.tally = ReplyTally::default();
+        pending.retransmitted = false;
+        // Build (and sign) the ordered-path request only now that a
+        // fallback is actually happening — the identity is the read's
+        // `(client, nonce)`, so exactly-once carries over.
+        let operation = pending.fallback_op.take().unwrap_or_default();
+        let request =
+            ClientRequest::new(pending.id.client, pending.id.timestamp, operation, &signer);
+        pending.ordered = Some(request.clone());
+        vec![
+            Action::Send {
+                to: NodeId::Replica(primary),
+                message: Message::Request(request),
+            },
+            Action::SetTimer {
+                timer: Timer::ClientRetransmit {
+                    timestamp: pending.id.timestamp,
+                },
+                after: self.timeout,
+            },
+        ]
     }
 
     /// Matching-reply threshold for untrusted repliers, per mode and
@@ -335,14 +565,25 @@ impl ClientCore {
         }
     }
 
-    /// The client's retransmission timer fired: broadcast the request.
+    /// The client's retransmission timer fired: a read still on the fast
+    /// path falls back to the ordered path (quorum mismatch, lost replies or
+    /// an unreachable primary); an ordered request is broadcast.
     pub fn on_retransmit_timer(&mut self, _now: Instant) -> Vec<Action> {
+        if self
+            .pending
+            .as_ref()
+            .is_some_and(|pending| pending.read.is_some())
+        {
+            return self.fall_back_to_ordered();
+        }
         let Some(pending) = &mut self.pending else {
             return Vec::new();
         };
         pending.retransmitted = true;
         self.retransmissions += 1;
-        let request = pending.request.clone();
+        let Some(request) = pending.ordered.clone() else {
+            return Vec::new();
+        };
         let mut actions = Vec::new();
         // Lion: broadcast to every replica (any replica that executed will
         // answer). Dog / Peacock: broadcast to the proxies of the current
@@ -383,6 +624,12 @@ impl ClientProtocol for ClientCore {
     }
     fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
         ClientCore::submit(self, operation, now)
+    }
+    fn submit_op(&mut self, operation: Vec<u8>, class: OpClass, now: Instant) -> Vec<Action> {
+        match class {
+            OpClass::Read => ClientCore::submit_read(self, operation, now),
+            OpClass::Write => ClientCore::submit(self, operation, now),
+        }
     }
     fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         ClientCore::on_message(self, from, message, now)

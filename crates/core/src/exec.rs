@@ -170,6 +170,16 @@ impl ExecutionEngine {
         }
     }
 
+    /// Evaluates a read-only operation against the current application state
+    /// without mutating it.
+    ///
+    /// Returns `None` when the application cannot prove the operation
+    /// read-only (see [`StateMachine::execute_read`]); the caller must then
+    /// refuse the read fast path so the operation goes through ordering.
+    pub fn read(&self, op: &[u8]) -> Option<Vec<u8>> {
+        self.app.execute_read(op)
+    }
+
     /// Digest of the application state (used by checkpoints).
     pub fn state_digest(&self) -> Digest {
         self.app.state_digest()

@@ -11,13 +11,81 @@
 //!   submission, per-mode reply quorums and retransmission.
 //! * [`batching`] — the request-batching controller: primaries order
 //!   [`Batch`]es of requests (one sequence number, one quorum round per
-//!   batch) under a [`BatchPolicy`](config::BatchPolicy) — either the
+//!   batch) under a [`config::BatchPolicy`] — either the
 //!   static `max_batch` / `max_delay` knobs or the adaptive AIMD
 //!   controller that sizes batches from observed load.
 //! * [`byzantine`] — Byzantine behaviour wrappers used by the tests and the
 //!   evaluation harness to inject equivocation, silence and signature
 //!   corruption into public-cloud replicas.
 //! * [`profile`] — the analytical cost model behind Table 1.
+//!
+//! # The read-only fast path
+//!
+//! Operations carry a read/write classification
+//! ([`OpClass`](seemore_types::OpClass)); writes are batched, sequenced and
+//! executed through full agreement, while reads are served from a replica's
+//! executed state under a mode-aware freshness rule — the single biggest
+//! win for real (read-heavy) workloads, in the lineage of PBFT's read-only
+//! optimization:
+//!
+//! * **Lion / Dog — trusted-primary lease reads.** Only the current trusted
+//!   primary serves reads, and only while it holds a *commit-index lease*:
+//!   whenever a slot this primary proposed commits with quorum evidence (a
+//!   Lion accept quorum, a Dog inform quorum), the lease is extended to
+//!   `propose_time + τ` — anchored at the **send time of the proposal**,
+//!   never at the arrival time of the evidence, because a delayed ACCEPT or
+//!   INFORM could otherwise revive a deposed primary's lease after its
+//!   successor has already committed. Replicas arm their suspicion timers
+//!   no earlier than the proposal's send and wait out `τ` of silence before
+//!   voting to depose, so every lease expires before a successor elected
+//!   behind this primary's back can commit a conflicting write; a freshly
+//!   installed primary starts lease-less and earns one from its first
+//!   committed slot. Each read is additionally *fenced* at the primary's
+//!   proposal frontier: it is served only once `last_executed` covers every
+//!   slot the primary had proposed when the read arrived. The fence is what
+//!   makes Dog reads linearizable — Dog proxies may acknowledge a write to
+//!   its client before the primary's INFORM-driven execution catches up,
+//!   and the fence forces the read to wait for exactly that prefix.
+//! * **Peacock — quorum reads behind a prepared fence.** The primary is
+//!   untrusted, so no single reply can be believed: every proxy answers
+//!   from its executed state and the client accepts only `2m + 1`
+//!   *matching* replies. Matching alone is not freshness, though — the
+//!   write path acknowledges on `m + 1` matching replies, so `m` Byzantine
+//!   proxies plus honest laggards could assemble a matching *stale* quorum
+//!   against an already-acknowledged write. Each proxy therefore serves
+//!   reads only once every slot it has **prepared** is executed (the
+//!   prepared fence): an acknowledged write's commit quorum contains at
+//!   least `m + 1` honest prepared proxies, so behind the fence at most `m`
+//!   honest proxies can still answer with the pre-write value — not enough,
+//!   together with `m` Byzantine ones, to reach `2m + 1`. A concurrent
+//!   write to the same key makes replies mismatch, and the read falls
+//!   back.
+//!
+//! Like every lease scheme (Raft leader leases, Spanner), the
+//! trusted-primary lease is a *real-time* mechanism: it is sound under the
+//! same bounded-delay assumption the suspicion timers already encode —
+//! that a forwarded request reaches the primary within the suspicion
+//! timeout's margin (the batching delay a request may additionally spend
+//! in the primary's buffer *is* discounted from the anchor). Under
+//! unbounded asynchrony a delayed forward could arm a suspicion timer
+//! arbitrarily long before the primary ever proposes the request, and no
+//! propose-time anchor can cover that; deployments that cannot accept the
+//! assumption can disable the fast path and order every read
+//! (`Scenario::with_read_fast_path(false)` — always linearizable, never
+//! fast). Agreement safety itself never depends on the lease.
+//!
+//! A read **falls back to the ordered path** whenever the fast path cannot
+//! answer: the contacted replica refuses (not the lease-holding primary,
+//! lease expired, view change or mode switch in progress, or the
+//! application cannot prove the operation read-only — see
+//! [`StateMachine::execute_read`](seemore_app::StateMachine::execute_read)),
+//! a Peacock reply quorum fails to match, or the client times out.
+//! Refusals are first-class signed `READ-REPLY` messages so clients fall
+//! back immediately; the fallback re-submits the identical operation under
+//! the identical `(client, timestamp)` identity, inheriting the ordered
+//! path's exactly-once handling. Ordering a read is always safe — just
+//! slower — so the fast path is strictly an optimization, never a safety
+//! dependency.
 //!
 //! Every protocol core is *sans-IO*: it consumes [`Message`]s and timer
 //! expirations and produces [`Action`]s, never touching sockets, clocks or
@@ -41,6 +109,7 @@ pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod protocol;
+pub mod reads;
 pub mod replica;
 pub mod testkit;
 
@@ -55,4 +124,5 @@ pub use exec::ExecutedEntry;
 pub use metrics::{BatchTelemetry, ReplicaMetrics};
 pub use profile::ProtocolProfile;
 pub use protocol::ReplicaProtocol;
+pub use reads::{ParkedReads, ReadTally};
 pub use replica::SeeMoReReplica;

@@ -111,6 +111,13 @@ pub struct ReplicaMetrics {
     pub stable_checkpoints: u64,
     /// Messages discarded as invalid (bad signature, wrong view, ...).
     pub rejected_messages: u64,
+    /// Read-only requests this replica served from executed state without
+    /// ordering (the read fast path).
+    pub reads_served: u64,
+    /// Read-only requests this replica refused (not the lease-holding
+    /// primary, lease expired, view change in progress, or the operation was
+    /// not provably read-only), redirecting the client to the ordered path.
+    pub reads_refused: u64,
     /// What the batching controller actually did (sizes and flush causes).
     pub batch: BatchTelemetry,
 }
@@ -180,6 +187,8 @@ impl ReplicaMetrics {
         self.mode_switches += other.mode_switches;
         self.stable_checkpoints += other.stable_checkpoints;
         self.rejected_messages += other.rejected_messages;
+        self.reads_served += other.reads_served;
+        self.reads_refused += other.reads_refused;
         self.batch.merge(&other.batch);
     }
 }

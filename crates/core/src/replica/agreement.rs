@@ -44,7 +44,7 @@ impl SeeMoReReplica {
             .batcher
             .offer(request, now, in_flight, actions, &mut self.metrics)
         {
-            self.propose_batch(actions, batch);
+            self.propose_batch(actions, batch, now);
         }
     }
 
@@ -60,7 +60,7 @@ impl SeeMoReReplica {
     /// never truncate the next buffer's delay). A replica that was deposed
     /// while buffering re-routes its buffer to the current primary instead,
     /// so no request is stranded.
-    pub(crate) fn on_batch_flush(&mut self, generation: u64, _now: Instant) -> Vec<Action> {
+    pub(crate) fn on_batch_flush(&mut self, generation: u64, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if !self.batcher.timer_is_current(generation) {
             self.metrics.batch.stale_timer_fires += 1;
@@ -77,7 +77,7 @@ impl SeeMoReReplica {
                 self.batcher
                     .on_flush_timer(generation, in_flight, &mut self.metrics)
             {
-                self.propose_batch(&mut actions, batch);
+                self.propose_batch(&mut actions, batch, now);
             }
         } else {
             for request in self.batcher.drain(&mut actions) {
@@ -89,15 +89,20 @@ impl SeeMoReReplica {
 
     /// Forces out any partially accumulated batch (used when a new view is
     /// installed, where recovery should not wait out the flush delay).
-    pub(crate) fn flush_pending_batch(&mut self, actions: &mut Vec<Action>) {
+    pub(crate) fn flush_pending_batch(&mut self, actions: &mut Vec<Action>, now: Instant) {
         if let Some(batch) = self.batcher.flush(actions, &mut self.metrics) {
-            self.propose_batch(actions, batch);
+            self.propose_batch(actions, batch, now);
         }
     }
 
     /// Assigns a sequence number to `batch` and broadcasts the proposal
-    /// (a `PREPARE` in Lion/Dog, a `PRE-PREPARE` in Peacock).
-    pub(crate) fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch) {
+    /// (a `PREPARE` in Lion/Dog, a `PRE-PREPARE` in Peacock). The slot's
+    /// read-lease anchor is recorded as the send time *minus the batching
+    /// delay bound*: a member request may have sat in the buffer for up to
+    /// `max_delay` after arming a backup's suspicion timer via forwarding,
+    /// and the lease derived from this slot must not outlive a deposal that
+    /// timer could trigger.
+    pub(crate) fn propose_batch(&mut self, actions: &mut Vec<Action>, batch: Batch, now: Instant) {
         let seq = SeqNum(self.next_seq.0.max(self.exec.last_executed().0) + 1);
         if !self.log.in_window(seq, self.pconfig.high_water_mark) {
             // The window is full; the batch is dropped and the clients will
@@ -105,6 +110,10 @@ impl SeeMoReReplica {
             return;
         }
         self.next_seq = seq;
+        if self.mode.has_trusted_primary() {
+            self.proposed_at
+                .insert(seq, now.saturating_sub(self.pconfig.batch.max_delay()));
+        }
         for id in batch.request_ids() {
             self.assigned.insert(id, seq);
         }
@@ -259,7 +268,7 @@ impl SeeMoReReplica {
         &mut self,
         from: NodeId,
         prepare: Prepare,
-        _now: Instant,
+        now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.mode == Mode::Peacock {
@@ -326,11 +335,11 @@ impl SeeMoReReplica {
                         timer: Timer::RequestProgress { seq },
                         after: self.pconfig.request_timeout,
                     });
-                    self.try_commit_dog(&mut actions, seq, digest);
+                    self.try_commit_dog(&mut actions, seq, digest, now);
                 }
                 // Passive replicas just hold the proposal and wait for
                 // INFORM messages; they might already have enough.
-                self.try_execute_informed(&mut actions, seq);
+                self.try_execute_informed(&mut actions, seq, now);
             }
             Mode::Peacock => unreachable!("handled above"),
         }
@@ -346,7 +355,7 @@ impl SeeMoReReplica {
         &mut self,
         from: NodeId,
         preprepare: PrePrepare,
-        _now: Instant,
+        now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.mode != Mode::Peacock {
@@ -388,10 +397,10 @@ impl SeeMoReReplica {
                 timer: Timer::RequestProgress { seq },
                 after: self.pconfig.request_timeout,
             });
-            self.try_prepare_peacock(&mut actions, seq, digest);
+            self.try_prepare_peacock(&mut actions, seq, digest, now);
         }
         // Passive replicas hold the proposal for later INFORM matching.
-        self.try_execute_informed(&mut actions, seq);
+        self.try_execute_informed(&mut actions, seq, now);
         actions
     }
 
@@ -400,7 +409,7 @@ impl SeeMoReReplica {
     // ------------------------------------------------------------------
 
     /// Handles an `ACCEPT` vote.
-    pub(crate) fn on_accept(&mut self, from: NodeId, accept: Accept, _now: Instant) -> Vec<Action> {
+    pub(crate) fn on_accept(&mut self, from: NodeId, accept: Accept, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         let Some(sender) = from.as_replica() else {
             return actions;
@@ -430,7 +439,7 @@ impl SeeMoReReplica {
                     return actions;
                 }
                 instance.record_accept(sender, accept.digest);
-                self.try_commit_lion(&mut actions, accept.seq, accept.digest);
+                self.try_commit_lion(&mut actions, accept.seq, accept.digest, now);
             }
             Mode::Dog => {
                 if !self.is_proxy() {
@@ -458,7 +467,7 @@ impl SeeMoReReplica {
                 self.log
                     .instance_mut(accept.seq)
                     .record_accept(sender, accept.digest);
-                self.try_commit_dog(&mut actions, accept.seq, accept.digest);
+                self.try_commit_dog(&mut actions, accept.seq, accept.digest, now);
             }
             Mode::Peacock => {
                 actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
@@ -474,6 +483,7 @@ impl SeeMoReReplica {
         actions: &mut Vec<Action>,
         seq: SeqNum,
         digest: seemore_crypto::Digest,
+        now: Instant,
     ) {
         let threshold = self.cluster.lion_accept_threshold() as usize;
         let instance = self.log.instance_mut(seq);
@@ -485,6 +495,10 @@ impl SeeMoReReplica {
         };
         instance.commit_sent = true;
         instance.committed = true;
+        // An accept quorum of the current view followed this primary:
+        // extend the read lease, anchored at the slot's *propose* time (not
+        // at evidence arrival, which a delayed network could abuse).
+        self.extend_read_lease_from_slot(seq);
 
         let mut commit = Commit {
             view: self.view,
@@ -502,7 +516,7 @@ impl SeeMoReReplica {
 
         self.metrics.committed += 1;
         self.exec.add_committed(seq, proposal.batch);
-        self.execute_ready(actions);
+        self.execute_ready(actions, now);
     }
 
     /// Dog proxy: commit once `2m + 1` matching accepts (including its own)
@@ -512,6 +526,7 @@ impl SeeMoReReplica {
         actions: &mut Vec<Action>,
         seq: SeqNum,
         digest: seemore_crypto::Digest,
+        now: Instant,
     ) {
         let threshold = self.cluster.proxy_quorum() as usize;
         let instance = self.log.instance_mut(seq);
@@ -523,7 +538,7 @@ impl SeeMoReReplica {
         }
         instance.commit_sent = true;
         self.broadcast_commit_vote(actions, seq, digest);
-        self.mark_committed_by_proxy(actions, seq, digest);
+        self.mark_committed_by_proxy(actions, seq, digest, now);
     }
 
     // ------------------------------------------------------------------
@@ -535,7 +550,7 @@ impl SeeMoReReplica {
         &mut self,
         from: NodeId,
         vote: PbftPrepare,
-        _now: Instant,
+        now: Instant,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.mode != Mode::Peacock || !self.is_proxy() {
@@ -567,7 +582,7 @@ impl SeeMoReReplica {
         self.log
             .instance_mut(vote.seq)
             .record_pbft_prepare(sender, vote.digest);
-        self.try_prepare_peacock(&mut actions, vote.seq, vote.digest);
+        self.try_prepare_peacock(&mut actions, vote.seq, vote.digest, now);
         actions
     }
 
@@ -578,6 +593,7 @@ impl SeeMoReReplica {
         actions: &mut Vec<Action>,
         seq: SeqNum,
         digest: seemore_crypto::Digest,
+        now: Instant,
     ) {
         let threshold = 2 * self.cluster.byzantine_bound() as usize;
         let instance = self.log.instance_mut(seq);
@@ -594,8 +610,11 @@ impl SeeMoReReplica {
         }
         instance.prepared = true;
         instance.record_commit(self.id, digest);
+        // Advance the prepared frontier that fences this proxy's fast-path
+        // reads (see `on_read_request`).
+        self.highest_prepared = self.highest_prepared.max(seq);
         self.broadcast_commit_vote(actions, seq, digest);
-        self.try_commit_peacock(actions, seq, digest);
+        self.try_commit_peacock(actions, seq, digest, now);
     }
 
     /// Broadcasts this proxy's `COMMIT` vote to the other proxies.
@@ -624,7 +643,7 @@ impl SeeMoReReplica {
 
     /// Handles a `COMMIT`: either the Lion primary's commit announcement or
     /// a proxy commit vote (Dog / Peacock).
-    pub(crate) fn on_commit(&mut self, from: NodeId, commit: Commit, _now: Instant) -> Vec<Action> {
+    pub(crate) fn on_commit(&mut self, from: NodeId, commit: Commit, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         let Some(sender) = from.as_replica() else {
             return actions;
@@ -679,7 +698,7 @@ impl SeeMoReReplica {
                 if let Some(batch) = batch {
                     self.metrics.committed += 1;
                     self.exec.add_committed(commit.seq, batch);
-                    self.execute_ready(&mut actions);
+                    self.execute_ready(&mut actions, now);
                 } else {
                     // We cannot execute without the batch; fetch state.
                     self.request_state_transfer(&mut actions, sender);
@@ -702,11 +721,16 @@ impl SeeMoReReplica {
                             && instance.matching_commits(&commit.digest) >= threshold
                             && instance.proposal_matches(self.view, &commit.digest)
                         {
-                            self.mark_committed_by_proxy(&mut actions, commit.seq, commit.digest);
+                            self.mark_committed_by_proxy(
+                                &mut actions,
+                                commit.seq,
+                                commit.digest,
+                                now,
+                            );
                         }
                     }
                     Mode::Peacock => {
-                        self.try_commit_peacock(&mut actions, commit.seq, commit.digest);
+                        self.try_commit_peacock(&mut actions, commit.seq, commit.digest, now);
                     }
                     Mode::Lion => unreachable!(),
                 }
@@ -722,6 +746,7 @@ impl SeeMoReReplica {
         actions: &mut Vec<Action>,
         seq: SeqNum,
         digest: seemore_crypto::Digest,
+        now: Instant,
     ) {
         let threshold = self.cluster.proxy_quorum() as usize;
         let instance = self.log.instance_mut(seq);
@@ -732,7 +757,7 @@ impl SeeMoReReplica {
         {
             return;
         }
-        self.mark_committed_by_proxy(actions, seq, digest);
+        self.mark_committed_by_proxy(actions, seq, digest, now);
     }
 
     /// Common tail for proxies (Dog / Peacock): mark committed, inform the
@@ -742,6 +767,7 @@ impl SeeMoReReplica {
         actions: &mut Vec<Action>,
         seq: SeqNum,
         digest: seemore_crypto::Digest,
+        now: Instant,
     ) {
         let instance = self.log.instance_mut(seq);
         if instance.committed {
@@ -768,7 +794,7 @@ impl SeeMoReReplica {
         if let Some(batch) = batch {
             self.metrics.committed += 1;
             self.exec.add_committed(seq, batch);
-            self.execute_ready(actions);
+            self.execute_ready(actions, now);
         }
         actions.push(Action::CancelTimer {
             timer: Timer::RequestProgress { seq },
@@ -780,7 +806,7 @@ impl SeeMoReReplica {
     // ------------------------------------------------------------------
 
     /// Handles an `INFORM` notification from a proxy.
-    pub(crate) fn on_inform(&mut self, from: NodeId, inform: Inform, _now: Instant) -> Vec<Action> {
+    pub(crate) fn on_inform(&mut self, from: NodeId, inform: Inform, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         if self.mode == Mode::Lion {
             actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
@@ -812,13 +838,18 @@ impl SeeMoReReplica {
         self.log
             .instance_mut(inform.seq)
             .record_inform(sender, inform.digest);
-        self.try_execute_informed(&mut actions, inform.seq);
+        self.try_execute_informed(&mut actions, inform.seq, now);
         actions
     }
 
     /// Passive replica: execute once enough matching informs have arrived
     /// and the batch itself is known (from the primary's proposal).
-    pub(crate) fn try_execute_informed(&mut self, actions: &mut Vec<Action>, seq: SeqNum) {
+    pub(crate) fn try_execute_informed(
+        &mut self,
+        actions: &mut Vec<Action>,
+        seq: SeqNum,
+        now: Instant,
+    ) {
         if self.is_agreement_participant() {
             return;
         }
@@ -847,8 +878,14 @@ impl SeeMoReReplica {
         }
         instance.committed = true;
         self.metrics.committed += 1;
+        // A Dog primary learns through an inform quorum (>= m+1 honest
+        // proxies) that the current view is still committing its proposals:
+        // extend the read lease, anchored at the slot's propose time.
+        if self.mode == Mode::Dog && self.is_primary() {
+            self.extend_read_lease_from_slot(seq);
+        }
         self.exec.add_committed(seq, proposal.batch);
-        self.execute_ready(actions);
+        self.execute_ready(actions, now);
     }
 
     /// Issues a state-transfer request to `target` unless one is already in

@@ -10,8 +10,8 @@
 //!   transfer,
 //! * and the view-change bookkeeping.
 //!
-//! Message handlers live in the [`agreement`] submodule (normal case) and
-//! the [`view_change`] submodule (view change, new view and mode switch).
+//! Message handlers live in the `agreement` submodule (normal case) and
+//! the `view_change` submodule (view change, new view and mode switch).
 
 mod agreement;
 mod view_change;
@@ -29,14 +29,15 @@ use crate::exec::{ExecutedEntry, ExecutionEngine};
 use crate::log::MessageLog;
 use crate::metrics::ReplicaMetrics;
 use crate::protocol::ReplicaProtocol;
+use crate::reads::ParkedReads;
 use seemore_app::StateMachine;
 use seemore_crypto::{KeyStore, Signer};
 use seemore_types::{
     ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum, View,
 };
 use seemore_wire::{
-    Checkpoint, ClientReply, ClientRequest, Message, SignedPayload, StateRequest, StateResponse,
-    ViewChange, WireSize,
+    Checkpoint, ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload,
+    StateRequest, StateResponse, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -89,6 +90,34 @@ pub struct SeeMoReReplica {
     pub(crate) pending_mode: Option<Mode>,
     /// Whether a state-transfer request is already outstanding.
     pub(crate) state_transfer_pending: bool,
+    /// Until when this replica, as a trusted primary (Lion/Dog), may serve
+    /// linearizable reads from its executed state without ordering them.
+    /// Extended to `propose_time + τ` (one suspicion timeout) every time a
+    /// slot this primary proposed commits with quorum evidence (a Lion
+    /// accept quorum, a Dog inform quorum). The anchor is the *proposal
+    /// send time*, not the evidence arrival time: replicas arm their
+    /// suspicion timers no earlier than the proposal's send, and wait out
+    /// `τ` of silence before deposing a primary, so for any slot the lease
+    /// derived from it expires before a successor elected behind this
+    /// primary's back can commit a conflicting write — even if the quorum
+    /// evidence itself was delayed arbitrarily in the network.
+    pub(crate) read_lease_until: Instant,
+    /// When each in-flight slot was proposed by this primary — the lease
+    /// anchors above. Entries are consumed on commit and cleared on view
+    /// change.
+    pub(crate) proposed_at: HashMap<SeqNum, Instant>,
+    /// Highest slot this replica has *prepared* as a Peacock proxy (seen a
+    /// pre-prepare plus `2m` matching prepare votes). Peacock reads are
+    /// fenced at this frontier: an acknowledged write's commit quorum
+    /// contains at least `m + 1` honest prepared proxies, so once every
+    /// prepared slot is executed locally, at most `m` honest proxies can
+    /// still answer with the pre-write value — not enough, together with
+    /// `m` Byzantine ones, to assemble a `2m + 1` matching stale quorum.
+    pub(crate) highest_prepared: SeqNum,
+    /// Fast-path reads waiting for the commit index to reach their fence
+    /// (the proposal frontier at read arrival in Lion/Dog, the prepared
+    /// frontier in Peacock).
+    pub(crate) parked_reads: ParkedReads,
     /// Last time this replica observed commit progress (a valid COMMIT,
     /// INFORM or NEW-VIEW). Suspicion timers re-arm instead of deposing the
     /// primary while progress is being made — the PBFT practice of
@@ -149,6 +178,13 @@ impl SeeMoReReplica {
             forwarded_requests: HashMap::new(),
             pending_mode: None,
             state_transfer_pending: false,
+            // All replicas boot together into view 0, which counts as the
+            // initial quorum contact (the same convention `last_progress`
+            // uses for suspicion damping).
+            read_lease_until: Instant::ZERO + pconfig.request_timeout,
+            proposed_at: HashMap::new(),
+            highest_prepared: SeqNum(0),
+            parked_reads: ParkedReads::new(),
             last_progress: Instant::ZERO,
             metrics: ReplicaMetrics::default(),
             crashed: false,
@@ -363,6 +399,171 @@ impl SeeMoReReplica {
     }
 
     // ------------------------------------------------------------------
+    // Read-only fast path
+    // ------------------------------------------------------------------
+
+    /// Extends the trusted-primary read lease to `anchor + τ`. `anchor`
+    /// must be the *send time of the proposal* whose quorum evidence just
+    /// arrived — never the arrival time of the evidence itself (see the
+    /// field docs for why receipt-time anchoring is unsafe under message
+    /// delay).
+    pub(crate) fn extend_read_lease(&mut self, anchor: Instant) {
+        self.read_lease_until = self
+            .read_lease_until
+            .max(anchor + self.pconfig.request_timeout);
+    }
+
+    /// Consumes the recorded propose time of `seq` (if this primary
+    /// proposed it) and extends the lease from that anchor.
+    pub(crate) fn extend_read_lease_from_slot(&mut self, seq: SeqNum) {
+        if let Some(anchor) = self.proposed_at.remove(&seq) {
+            self.extend_read_lease(anchor);
+        }
+    }
+
+    /// Whether the trusted-primary read lease is still valid.
+    pub(crate) fn read_lease_valid(&self, now: Instant) -> bool {
+        now < self.read_lease_until
+    }
+
+    /// Handles a `READ-REQUEST`: serve it from executed state when this
+    /// replica is allowed to (mode-dependent), park it behind the
+    /// commit-index fence, or refuse it so the client falls back to the
+    /// ordered path.
+    fn on_read_request(&mut self, read: ReadRequest, now: Instant) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // Reads are signed by their client, exactly like ordered requests.
+        if !self.keystore.verify(
+            NodeId::Client(read.client),
+            &read.signing_bytes(),
+            &read.signature,
+        ) {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Client(read.client),
+            }));
+            return actions;
+        }
+        match self.mode {
+            // Lion / Dog: only the lease-holding trusted primary serves, and
+            // only after its executed state covers everything it had already
+            // proposed when the read arrived (the read-index fence). The
+            // fence is what makes Dog reads linearizable: proxies may have
+            // acknowledged a write to its client before the primary's
+            // INFORM-driven execution catches up.
+            Mode::Lion | Mode::Dog => {
+                if !self.is_primary() || self.vc.in_view_change || !self.read_lease_valid(now) {
+                    self.refuse_read(&mut actions, &read);
+                    return actions;
+                }
+                let fence = SeqNum(self.next_seq.0.max(self.exec.last_executed().0));
+                if self.exec.last_executed() >= fence {
+                    self.serve_read(&mut actions, &read);
+                } else {
+                    self.parked_reads.park(fence, read);
+                }
+            }
+            // Peacock: every proxy answers from local executed state and
+            // the client needs 2m+1 matching replies — but matching alone is
+            // not freshness, because the write path acknowledges on m+1
+            // matching replies: m Byzantine proxies plus honest laggards
+            // could still assemble a matching stale quorum. The *prepared
+            // fence* closes that hole: a proxy answers only once every slot
+            // it has prepared is executed, so at most m honest proxies
+            // (those outside the write's prepare quorum) can ever answer
+            // with the pre-write value. Passive replicas refuse outright
+            // (their state lags the proxies' acknowledged prefix).
+            Mode::Peacock => {
+                if !self.is_proxy() || self.vc.in_view_change {
+                    self.refuse_read(&mut actions, &read);
+                    return actions;
+                }
+                let fence = self.highest_prepared;
+                if self.exec.last_executed() >= fence {
+                    self.serve_read(&mut actions, &read);
+                } else {
+                    self.parked_reads.park(fence, read);
+                }
+            }
+        }
+        actions
+    }
+
+    /// Evaluates `read` against executed state and replies; refuses when the
+    /// application cannot prove the operation read-only (which also stops a
+    /// Byzantine client from sneaking a mutation past ordering).
+    fn serve_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
+        match self.exec.read(&read.operation) {
+            Some(result) => {
+                self.metrics.reads_served += 1;
+                let reply = ReadReply::new(
+                    self.mode,
+                    self.view,
+                    read.id(),
+                    self.id,
+                    self.exec.last_executed(),
+                    result,
+                    &self.signer,
+                );
+                self.send(
+                    actions,
+                    NodeId::Client(read.client),
+                    Message::ReadReply(reply),
+                );
+            }
+            None => self.refuse_read(actions, read),
+        }
+    }
+
+    /// Sends a signed refusal redirecting the client to the ordered path.
+    fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
+        self.metrics.reads_refused += 1;
+        let reply = ReadReply::refusal(
+            self.mode,
+            self.view,
+            read.id(),
+            self.id,
+            self.exec.last_executed(),
+            &self.signer,
+        );
+        self.send(
+            actions,
+            NodeId::Client(read.client),
+            Message::ReadReply(reply),
+        );
+    }
+
+    /// Serves every parked read whose fence has been reached (called after
+    /// executions advance `last_executed`).
+    ///
+    /// In the trusted-primary modes the admission-time lease check is
+    /// re-validated at *serve* time: the very commit evidence that advanced
+    /// execution may have been delayed past the lease this read was parked
+    /// under (a deposed primary's successor could have committed in the
+    /// meantime), in which case every parked read is refused instead.
+    pub(crate) fn serve_parked_reads(&mut self, actions: &mut Vec<Action>, now: Instant) {
+        if self.parked_reads.is_empty() {
+            return;
+        }
+        if self.mode.has_trusted_primary()
+            && (!self.is_primary() || self.vc.in_view_change || !self.read_lease_valid(now))
+        {
+            self.refuse_parked_reads(actions);
+            return;
+        }
+        for read in self.parked_reads.take_ready(self.exec.last_executed()) {
+            self.serve_read(actions, &read);
+        }
+    }
+
+    /// Refuses every parked read (view change or mode switch started: the
+    /// fence no longer means anything, so the clients must fall back).
+    pub(crate) fn refuse_parked_reads(&mut self, actions: &mut Vec<Action>) {
+        for read in self.parked_reads.drain() {
+            self.refuse_read(actions, &read);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Checkpointing and state transfer
     // ------------------------------------------------------------------
 
@@ -469,7 +670,12 @@ impl SeeMoReReplica {
     /// Byzantine public replica could otherwise install a fabricated state.
     /// Pending committed entries are harmless to accept from anyone because
     /// they re-enter the normal commit path.
-    fn on_state_response(&mut self, from: NodeId, response: StateResponse) -> Vec<Action> {
+    fn on_state_response(
+        &mut self,
+        from: NodeId,
+        response: StateResponse,
+        now: Instant,
+    ) -> Vec<Action> {
         let mut actions = Vec::new();
         self.state_transfer_pending = false;
         let Some(sender) = from.as_replica() else {
@@ -491,14 +697,14 @@ impl SeeMoReReplica {
                 self.log.instance_mut(seq).committed = true;
             }
         }
-        self.execute_ready(&mut actions);
+        self.execute_ready(&mut actions, now);
         actions
     }
 
     /// Drains the execution queue (whole batches, atomically), emitting one
     /// reply per executed request where the current mode requires them, and
     /// triggering checkpoints.
-    pub(crate) fn execute_ready(&mut self, actions: &mut Vec<Action>) {
+    pub(crate) fn execute_ready(&mut self, actions: &mut Vec<Action>, now: Instant) {
         let executions = self.exec.execute_ready();
         if executions.is_empty() {
             return;
@@ -535,6 +741,9 @@ impl SeeMoReReplica {
             }
         }
         self.maybe_checkpoint(actions);
+        // Executions moved the commit index forward; parked reads whose
+        // fence is now covered can be served.
+        self.serve_parked_reads(actions, now);
     }
 }
 
@@ -566,6 +775,7 @@ impl ReplicaProtocol for SeeMoReReplica {
         }
         match message {
             Message::Request(request) => self.on_request(request, now),
+            Message::ReadRequest(read) => self.on_read_request(read, now),
             Message::Prepare(prepare) => self.on_prepare(from, prepare, now),
             Message::PrePrepare(preprepare) => self.on_pre_prepare(from, preprepare, now),
             Message::Accept(accept) => self.on_accept(from, accept, now),
@@ -577,9 +787,9 @@ impl ReplicaProtocol for SeeMoReReplica {
             Message::NewView(new_view) => self.on_new_view(from, new_view, now),
             Message::ModeChange(mode_change) => self.on_mode_change(from, mode_change, now),
             Message::StateRequest(request) => self.on_state_request(request),
-            Message::StateResponse(response) => self.on_state_response(from, response),
+            Message::StateResponse(response) => self.on_state_response(from, response, now),
             // Replicas never receive replies.
-            Message::Reply(_) => Vec::new(),
+            Message::Reply(_) | Message::ReadReply(_) => Vec::new(),
         }
     }
 

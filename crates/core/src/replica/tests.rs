@@ -924,3 +924,276 @@ fn lion_uses_linear_messages_and_dog_uses_quadratic() {
         "lion={lion_msgs} peacock={peacock_msgs}"
     );
 }
+
+// ----------------------------------------------------------------------
+// Read-only fast path
+// ----------------------------------------------------------------------
+
+#[test]
+fn fast_path_reads_serve_without_ordering_in_every_mode() {
+    for mode in Mode::ALL {
+        let (mut cluster, config, _) = build_cluster(1, 1, mode, 2, ProtocolConfig::default());
+        cluster.submit(ClientId(0), put_op("x", "42"));
+        cluster.run_to_quiescence(LIMIT);
+        let ordered_before: usize = config
+            .replicas()
+            .map(|r| cluster.replica(r).executed().len())
+            .sum();
+
+        cluster.submit_op(ClientId(1), get_op("x"), seemore_types::OpClass::Read);
+        cluster.run_to_quiescence(LIMIT);
+
+        let client = cluster.client(ClientId(1));
+        assert_eq!(client.completed().len(), 1, "{mode}: read must complete");
+        let outcome = &client.completed()[0];
+        assert_eq!(outcome.class, seemore_types::OpClass::Read);
+        assert_eq!(
+            KvResult::decode(&outcome.result),
+            Some(KvResult::Value(b"42".to_vec())),
+            "{mode}: read must observe the committed write"
+        );
+
+        // The read never entered the ordered path: no replica executed a
+        // second operation, and at least one replica served it fast.
+        let ordered_after: usize = config
+            .replicas()
+            .map(|r| cluster.replica(r).executed().len())
+            .sum();
+        assert_eq!(
+            ordered_after, ordered_before,
+            "{mode}: the fast read must not be ordered"
+        );
+        let served: u64 = config
+            .replicas()
+            .map(|r| cluster.replica(r).metrics().reads_served)
+            .sum();
+        match mode {
+            // A single trusted primary serves Lion/Dog reads.
+            Mode::Lion | Mode::Dog => assert_eq!(served, 1, "{mode}"),
+            // Every proxy answers in Peacock (3m + 1 = 4).
+            Mode::Peacock => assert_eq!(served, 4, "{mode}"),
+        }
+    }
+}
+
+#[test]
+fn backup_refuses_fast_reads_in_trusted_primary_modes() {
+    for mode in [Mode::Lion, Mode::Dog] {
+        let (mut cluster, _, keystore) = build_cluster(1, 1, mode, 1, ProtocolConfig::default());
+        let signer = keystore
+            .signer_for(seemore_types::NodeId::Client(ClientId(0)))
+            .unwrap();
+        let read = seemore_wire::ReadRequest::new(
+            ClientId(0),
+            seemore_types::Timestamp(1),
+            get_op("x"),
+            &signer,
+        );
+        // A backup (trusted, but not the primary) must refuse: its executed
+        // state may lag the acknowledged prefix.
+        cluster.inject(
+            seemore_types::NodeId::Client(ClientId(0)),
+            seemore_types::NodeId::Replica(ReplicaId(1)),
+            seemore_wire::Message::ReadRequest(read),
+        );
+        cluster.run_to_quiescence(LIMIT);
+        assert_eq!(
+            cluster.replica(ReplicaId(1)).metrics().reads_refused,
+            1,
+            "{mode}: backup must refuse"
+        );
+        assert_eq!(cluster.replica(ReplicaId(1)).metrics().reads_served, 0);
+    }
+}
+
+#[test]
+fn expired_lease_refuses_and_the_client_falls_back_to_the_ordered_path() {
+    let (mut cluster, _, _) = build_cluster(1, 1, Mode::Lion, 1, ProtocolConfig::default());
+    cluster.submit(ClientId(0), put_op("x", "7"));
+    cluster.run_to_quiescence(LIMIT);
+
+    // Let the lease (one request timeout past the last commit) expire with
+    // no new quorum contact.
+    cluster.advance_time(Duration::from_millis(500));
+    cluster.submit_op(ClientId(0), get_op("x"), seemore_types::OpClass::Read);
+    cluster.run_to_quiescence(LIMIT);
+
+    // The refusal redirected the client to the ordered path, which ordered
+    // and executed the Get like any other request — and ordering the Get
+    // renewed the lease as a side effect.
+    let client = cluster.client(ClientId(0));
+    assert_eq!(client.completed().len(), 2);
+    let outcome = &client.completed()[1];
+    assert_eq!(outcome.class, seemore_types::OpClass::Read);
+    assert_eq!(
+        KvResult::decode(&outcome.result),
+        Some(KvResult::Value(b"7".to_vec()))
+    );
+    assert_eq!(cluster.replica(ReplicaId(0)).metrics().reads_refused, 1);
+    assert_eq!(cluster.replica(ReplicaId(0)).metrics().reads_served, 0);
+
+    // With the lease fresh again, the next read takes the fast path.
+    cluster.submit_op(ClientId(0), get_op("x"), seemore_types::OpClass::Read);
+    cluster.run_to_quiescence(LIMIT);
+    assert_eq!(cluster.replica(ReplicaId(0)).metrics().reads_served, 1);
+    assert_eq!(cluster.client(ClientId(0)).completed().len(), 3);
+}
+
+#[test]
+fn dog_reads_park_behind_the_commit_index_fence() {
+    // Submit a write and a read back-to-back without draining in between:
+    // the primary proposes the write (slot 1 in flight), then receives the
+    // read while its own execution still lags the proxies' progress. The
+    // fence must hold the read until the INFORM-driven execution catches
+    // up, so the read observes the write it arrived after.
+    let (mut cluster, _, _) = build_cluster(1, 1, Mode::Dog, 2, ProtocolConfig::default());
+    cluster.submit(ClientId(0), put_op("x", "fenced"));
+    cluster.submit_op(ClientId(1), get_op("x"), seemore_types::OpClass::Read);
+    cluster.run_to_quiescence(LIMIT);
+
+    let reader = cluster.client(ClientId(1));
+    assert_eq!(reader.completed().len(), 1);
+    assert_eq!(
+        KvResult::decode(&reader.completed()[0].result),
+        Some(KvResult::Value(b"fenced".to_vec())),
+        "a read arriving after an in-flight write must wait for it"
+    );
+    assert_eq!(cluster.replica(ReplicaId(0)).metrics().reads_served, 1);
+}
+
+#[test]
+fn mode_switch_refuses_parked_reads() {
+    // Park a read behind a write that can never commit (the proxies are
+    // isolated), then announce a mode switch: the primary must refuse the
+    // parked read so its client is not stranded.
+    let (mut cluster, config, _) = build_cluster(1, 1, Mode::Dog, 2, ProtocolConfig::default());
+    for proxy in config.public_replicas() {
+        cluster.isolate(proxy);
+    }
+    cluster.submit(ClientId(0), put_op("x", "stuck"));
+    cluster.submit_op(ClientId(1), get_op("x"), seemore_types::OpClass::Read);
+    cluster.run_to_quiescence(LIMIT);
+    assert_eq!(cluster.replica(ReplicaId(0)).metrics().reads_served, 0);
+    assert_eq!(cluster.replica(ReplicaId(0)).metrics().reads_refused, 0);
+
+    // The announcer for a Peacock switch starting at view 1 is the
+    // transferer (trusted r1); its announcement reaches the primary, which
+    // stops normal-case processing and flushes the parked read as a refusal.
+    cluster.request_mode_switch(ReplicaId(1), Mode::Peacock);
+    cluster.run_to_quiescence(LIMIT);
+    assert_eq!(
+        cluster.replica(ReplicaId(0)).metrics().reads_refused,
+        1,
+        "the parked read must be refused on a mode switch"
+    );
+}
+
+#[test]
+fn peacock_reads_park_behind_prepared_but_uncommitted_slots() {
+    // A Peacock proxy must not answer a fast-path read while a slot it has
+    // *prepared* is still unexecuted: the write may already have been
+    // acknowledged to its client (the write path accepts m+1 matching
+    // replies), and this proxy's stale answer could complete a
+    // matching-but-stale 2m+1 read quorum together with m Byzantine proxies
+    // and the (at most m) honest proxies outside the write's prepare quorum.
+    use crate::protocol::ReplicaProtocol;
+    use seemore_crypto::Signature;
+    use seemore_types::{NodeId, Timestamp};
+    use seemore_wire::{Batch, Commit, Message, PbftPrepare, PrePrepare, SignedPayload};
+
+    let config = ClusterConfig::minimal(1, 1).unwrap();
+    let keystore = KeyStore::generate(0xFE7CE, config.total_size(), 1);
+    // r2 is the view-0 Peacock primary; r3 is an ordinary proxy under test.
+    let mut proxy = SeeMoReReplica::new(
+        ReplicaId(3),
+        config,
+        ProtocolConfig::default(),
+        keystore.clone(),
+        Mode::Peacock,
+        Box::new(KvStore::new()),
+    );
+    let now = seemore_types::Instant::ZERO;
+
+    // The primary's PRE-PREPARE for slot 1.
+    let client_signer = keystore.signer_for(NodeId::Client(ClientId(0))).unwrap();
+    let request = seemore_wire::ClientRequest::new(
+        ClientId(0),
+        Timestamp(1),
+        put_op("x", "new"),
+        &client_signer,
+    );
+    let batch = Batch::single(request);
+    let primary_signer = keystore.signer_for(NodeId::Replica(ReplicaId(2))).unwrap();
+    let mut preprepare = PrePrepare {
+        view: seemore_types::View(0),
+        seq: SeqNum(1),
+        digest: batch.digest(),
+        batch: batch.clone(),
+        signature: Signature::INVALID,
+    };
+    preprepare.signature = primary_signer.sign(&preprepare.signing_bytes());
+    proxy.on_message(
+        NodeId::Replica(ReplicaId(2)),
+        Message::PrePrepare(preprepare),
+        now,
+    );
+
+    // One more prepare vote reaches the 2m = 2 matching threshold (the
+    // proxy's own vote was recorded when it handled the pre-prepare): the
+    // slot is now *prepared* but not committed.
+    let vote_signer = keystore.signer_for(NodeId::Replica(ReplicaId(4))).unwrap();
+    let mut vote = PbftPrepare {
+        view: seemore_types::View(0),
+        seq: SeqNum(1),
+        digest: batch.digest(),
+        replica: ReplicaId(4),
+        signature: Signature::INVALID,
+    };
+    vote.signature = vote_signer.sign(&vote.signing_bytes());
+    proxy.on_message(
+        NodeId::Replica(ReplicaId(4)),
+        Message::PbftPrepare(vote),
+        now,
+    );
+    assert_eq!(proxy.executed().len(), 0, "slot must not have executed yet");
+
+    // A fast-path read arriving now must park, not serve.
+    let read =
+        seemore_wire::ReadRequest::new(ClientId(0), Timestamp(2), get_op("x"), &client_signer);
+    let actions = proxy.on_message(NodeId::Client(ClientId(0)), Message::ReadRequest(read), now);
+    assert!(
+        actions.iter().all(|a| !a.is_send()),
+        "read behind the prepared frontier must be parked, got {actions:?}"
+    );
+    assert_eq!(proxy.metrics().reads_served, 0);
+    assert_eq!(proxy.metrics().reads_refused, 0);
+
+    // Commit votes from two more proxies reach 2m + 1 = 3 (with the proxy's
+    // own vote from the prepare step): the slot executes and the parked
+    // read is served — with the committed value.
+    for replica in [4u32, 5] {
+        let signer = keystore
+            .signer_for(NodeId::Replica(ReplicaId(replica)))
+            .unwrap();
+        let mut commit = Commit {
+            view: seemore_types::View(0),
+            seq: SeqNum(1),
+            digest: batch.digest(),
+            replica: ReplicaId(replica),
+            batch: None,
+            signature: Signature::INVALID,
+        };
+        commit.signature = signer.sign(&commit.signing_bytes());
+        proxy.on_message(
+            NodeId::Replica(ReplicaId(replica)),
+            Message::Commit(commit),
+            now,
+        );
+    }
+    assert_eq!(proxy.executed().len(), 1);
+    assert_eq!(
+        proxy.metrics().reads_served,
+        1,
+        "parked read must be served"
+    );
+}

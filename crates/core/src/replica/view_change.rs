@@ -176,6 +176,10 @@ impl SeeMoReReplica {
         self.vc.in_view_change = true;
         self.vc.target_view = target_view;
         self.metrics.view_changes_started += 1;
+        // Normal-case processing stops: parked fast-path reads can no longer
+        // be served under this view's fence, so their clients must fall back
+        // to the ordered path.
+        self.refuse_parked_reads(&mut actions);
 
         let stable_seq = self.checkpoints.stable_seq();
         let mut prepares = Vec::new();
@@ -528,6 +532,15 @@ impl SeeMoReReplica {
         self.metrics.view_changes_completed += 1;
         self.assigned.clear();
         self.log.reset_votes_for_new_view();
+        // Any read still parked from the previous view is refused, and the
+        // lease anchors of the dead view are discarded: a freshly installed
+        // trusted primary starts with no lease and earns one from its first
+        // committed slot (its propose time is the anchor), so reads arriving
+        // before that fall back to the ordered path — conservative, but it
+        // avoids granting a lease from evidence whose send times we cannot
+        // bound.
+        self.refuse_parked_reads(actions);
+        self.proposed_at.clear();
 
         // Adopt the carried checkpoint if it is ahead of ours.
         if let Some(cp) = &new_view.checkpoint {
@@ -636,7 +649,7 @@ impl SeeMoReReplica {
         // The new primary continues sequence numbering above everything the
         // new view carried over.
         self.next_seq = highest;
-        self.execute_ready(actions);
+        self.execute_ready(actions, now);
 
         // Requests that were sitting in the (old) primary's batch buffer
         // when the view changed must not be stranded: a prepared-but-never-
@@ -670,7 +683,7 @@ impl SeeMoReReplica {
             }
             // Recovery must not wait out the flush delay: cut the partial
             // batch.
-            self.flush_pending_batch(actions);
+            self.flush_pending_batch(actions, now);
         } else {
             for request in buffered {
                 if self
@@ -779,6 +792,7 @@ impl SeeMoReReplica {
             // normal-case processing and wait for the NEW-VIEW.
             self.vc.in_view_change = true;
             self.vc.target_view = mode_change.new_view;
+            self.refuse_parked_reads(&mut actions);
             actions.push(Action::SetTimer {
                 timer: Timer::ViewChange {
                     view: mode_change.new_view,

@@ -145,10 +145,39 @@ impl SyncCluster {
         self.apply_actions(NodeId::Client(client), actions);
     }
 
+    /// Injects a client operation with an explicit read/write
+    /// classification, routing reads through the client's fast path.
+    pub fn submit_op(
+        &mut self,
+        client: ClientId,
+        operation: Vec<u8>,
+        class: seemore_types::OpClass,
+    ) {
+        let now = self.now;
+        let actions = self
+            .clients
+            .get_mut(&client)
+            .expect("unknown client")
+            .submit_op(operation, class, now);
+        self.apply_actions(NodeId::Client(client), actions);
+    }
+
     /// Queues an arbitrary message (used by fault-injection tests to forge
     /// traffic).
     pub fn inject(&mut self, from: NodeId, to: NodeId, message: Message) {
         self.queue.push_back(Envelope { from, to, message });
+    }
+
+    /// Asks a replica to initiate a dynamic mode switch, queueing whatever
+    /// announcements it produces (SeeMoRe only; a no-op on other cores).
+    pub fn request_mode_switch(&mut self, id: ReplicaId, mode: seemore_types::Mode) {
+        let now = self.now;
+        let actions = self
+            .replicas
+            .get_mut(&id)
+            .expect("unknown replica")
+            .request_mode_switch(mode, now);
+        self.apply_actions(NodeId::Replica(id), actions);
     }
 
     /// Delivers every queued message (and the messages those deliveries
@@ -176,6 +205,21 @@ impl SyncCluster {
             }
             None => false,
         }
+    }
+
+    /// Delivers the `index`-th (modulo queue length) queued message instead
+    /// of the front one, modelling network reordering — the asynchronous
+    /// network may deliver messages in any order, and interleaving tests use
+    /// this to open races FIFO delivery can never produce. Returns `false`
+    /// when idle.
+    pub fn step_reordered(&mut self, index: usize) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        let index = index % self.queue.len();
+        let envelope = self.queue.remove(index).expect("index bounded by len");
+        self.deliver(envelope);
+        true
     }
 
     /// Number of messages currently queued.

@@ -6,7 +6,7 @@
 //! (Section 3.1). This crate provides both, implemented from scratch so that
 //! the workspace has no external cryptography dependencies:
 //!
-//! * [`sha256`] — a from-scratch SHA-256 implementation (FIPS 180-4),
+//! * [`mod@sha256`] — a from-scratch SHA-256 implementation (FIPS 180-4),
 //!   validated against the standard test vectors.
 //! * [`hmac`] — HMAC-SHA-256 (RFC 2104 / RFC 4231).
 //! * [`Digest`] — a 32-byte message digest.

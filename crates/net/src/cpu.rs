@@ -50,6 +50,8 @@ impl CpuModel {
         match message {
             Message::Request(m) => u32::from(m.signature != Signature::INVALID),
             Message::Reply(m) => u32::from(m.signature != Signature::INVALID),
+            Message::ReadRequest(m) => u32::from(m.signature != Signature::INVALID),
+            Message::ReadReply(m) => u32::from(m.signature != Signature::INVALID),
             Message::Prepare(m) => u32::from(m.signature != Signature::INVALID),
             Message::PrePrepare(m) => u32::from(m.signature != Signature::INVALID),
             Message::Accept(m) => u32::from(m.signature.is_some()),

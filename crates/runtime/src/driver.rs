@@ -13,7 +13,7 @@ use crossbeam_channel::{Receiver, RecvTimeoutError};
 use seemore_core::actions::{Action, Timer};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::protocol::ReplicaProtocol;
-use seemore_types::{Duration, Instant, NodeId};
+use seemore_types::{Duration, Instant, Mode, NodeId, OpClass};
 use seemore_wire::Message;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant as StdInstant;
@@ -30,6 +30,14 @@ pub(crate) enum ReplicaCommand {
     },
     /// Fail-stop the replica (it keeps its thread but produces no actions).
     Crash,
+    /// Ask the replica to initiate a dynamic mode switch (SeeMoRe only;
+    /// other cores ignore it). This is how `Scenario::with_mode_switch`
+    /// reaches the concurrent runtimes, which have no simulator event queue
+    /// to schedule the announcement through.
+    ModeSwitch {
+        /// The mode to switch to.
+        mode: Mode,
+    },
     /// Stop the thread and hand the core back for inspection.
     Shutdown,
 }
@@ -82,6 +90,10 @@ pub(crate) fn run_replica(
                 actions = replica.on_message(from, message, now);
             }
             Ok(ReplicaCommand::Crash) => replica.crash(),
+            Ok(ReplicaCommand::ModeSwitch { mode }) => {
+                let now = to_instant(start);
+                actions = replica.request_mode_switch(mode, now);
+            }
             Ok(ReplicaCommand::Shutdown) => return replica,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return replica,
@@ -125,19 +137,21 @@ pub(crate) struct DrivePlan {
 /// `recv` waits up to the given duration for the next `(sender, message)`
 /// pair addressed to this client; `send` carries the client's outgoing
 /// messages; `make_op` is called with the request index to produce each
-/// operation payload.
+/// operation payload together with its read/write classification (reads
+/// route through the client's fast path).
 pub(crate) fn drive_client<C: ClientProtocol>(
     client: &mut C,
     plan: DrivePlan,
     mut recv: impl FnMut(std::time::Duration) -> Result<(NodeId, Message), RecvTimeoutError>,
     mut send: impl FnMut(NodeId, Message),
-    mut make_op: impl FnMut(usize) -> Vec<u8>,
+    mut make_op: impl FnMut(usize) -> (Vec<u8>, OpClass),
 ) -> Vec<ClientOutcome> {
     let start = plan.start;
     let mut outcomes = Vec::new();
     for index in 0..plan.requests {
         let now = to_instant(start);
-        let actions = client.submit(make_op(index), now);
+        let (operation, class) = make_op(index);
+        let actions = client.submit_op(operation, class, now);
         perform_client_actions(actions, &mut send);
         let mut deadline = StdInstant::now() + plan.timeout.to_std();
         while client.has_pending() {

@@ -20,7 +20,7 @@
 //!   against.
 //! * [`socket`] — a **socket-backed runtime over loopback TCP**. Same
 //!   thread model as `threaded` (the event loop is literally shared, see
-//!   [`driver`]), but every message is encoded by the real wire codec,
+//!   `driver`), but every message is encoded by the real wire codec,
 //!   crosses a `std::net` TCP connection of a `TcpMesh`, and is reassembled
 //!   by a streaming frame reader. Use it when the question involves real
 //!   IO: codec cost, framing, socket back-pressure, bytes-on-wire — this is
@@ -48,7 +48,7 @@ pub mod socket;
 pub mod threaded;
 pub mod workload;
 
-pub use report::{BatchReport, RunReport, TimelineBucket};
+pub use report::{BatchReport, ClassStats, RunReport, TimelineBucket};
 pub use scenario::{ProtocolKind, RuntimeKind, Scenario};
 pub use sim::{SimConfig, Simulation};
 pub use socket::SocketCluster;

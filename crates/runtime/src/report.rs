@@ -3,7 +3,7 @@
 
 use seemore_core::client::ClientOutcome;
 use seemore_core::metrics::BatchTelemetry;
-use seemore_types::{Duration, Instant};
+use seemore_types::{Duration, Instant, OpClass};
 
 /// One bucket of the throughput timeline (Figure 4's x-axis).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +58,55 @@ impl BatchReport {
     }
 }
 
+/// Throughput and latency statistics for one operation class (reads or
+/// writes) inside the measurement window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassStats {
+    /// Operations of this class completed inside the window.
+    pub completed: u64,
+    /// Throughput in thousands of operations per second.
+    pub throughput_kreqs: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th percentile latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// 99th percentile latency in milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+impl ClassStats {
+    /// Builds the statistics from a sorted latency sample over a window of
+    /// `secs` seconds.
+    fn from_sorted_latencies(latencies_ms: &[f64], secs: f64) -> ClassStats {
+        let completed = latencies_ms.len() as u64;
+        let percentile = |p: f64| -> f64 {
+            if latencies_ms.is_empty() {
+                return 0.0;
+            }
+            let rank = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+            latencies_ms[rank.min(latencies_ms.len() - 1)]
+        };
+        ClassStats {
+            completed,
+            throughput_kreqs: if secs > 0.0 {
+                completed as f64 / secs / 1_000.0
+            } else {
+                0.0
+            },
+            avg_latency_ms: if latencies_ms.is_empty() {
+                0.0
+            } else {
+                latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+            },
+            p50_latency_ms: percentile(0.50),
+            p95_latency_ms: percentile(0.95),
+            p99_latency_ms: percentile(0.99),
+        }
+    }
+}
+
 /// Aggregated statistics of one simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -85,6 +134,11 @@ pub struct RunReport {
     pub mode_switches: u64,
     /// Client retransmissions.
     pub retransmissions: u64,
+    /// Statistics for read-classified operations only (reads served by the
+    /// fast path *and* reads that fell back to the ordered path).
+    pub reads: ClassStats,
+    /// Statistics for write-classified operations only.
+    pub writes: ClassStats,
     /// Chosen batch sizes and flush causes, aggregated across all replicas
     /// over the whole run.
     pub batching: BatchReport,
@@ -108,45 +162,40 @@ impl RunReport {
         run_end: Instant,
         bucket: Duration,
     ) -> RunReport {
-        let mut latencies_ms: Vec<f64> = outcomes
-            .iter()
-            .filter(|o| o.completed_at >= measure_from)
-            .map(|o| o.latency.as_millis_f64())
-            .collect();
-        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut latencies_ms = Vec::new();
+        let mut read_latencies_ms = Vec::new();
+        let mut write_latencies_ms = Vec::new();
+        for outcome in outcomes.iter().filter(|o| o.completed_at >= measure_from) {
+            let latency = outcome.latency.as_millis_f64();
+            latencies_ms.push(latency);
+            match outcome.class {
+                OpClass::Read => read_latencies_ms.push(latency),
+                OpClass::Write => write_latencies_ms.push(latency),
+            }
+        }
+        fn sort(sample: &mut [f64]) {
+            sample.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        }
+        sort(&mut latencies_ms);
+        sort(&mut read_latencies_ms);
+        sort(&mut write_latencies_ms);
 
-        let completed = latencies_ms.len() as u64;
         let measured_duration = run_end - measure_from;
         let secs = measured_duration.as_secs_f64();
-        let throughput_kreqs = if secs > 0.0 {
-            completed as f64 / secs / 1_000.0
-        } else {
-            0.0
-        };
-
-        let percentile = |p: f64| -> f64 {
-            if latencies_ms.is_empty() {
-                return 0.0;
-            }
-            let rank = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
-            latencies_ms[rank.min(latencies_ms.len() - 1)]
-        };
-        let avg = if latencies_ms.is_empty() {
-            0.0
-        } else {
-            latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
-        };
+        let overall = ClassStats::from_sorted_latencies(&latencies_ms, secs);
 
         let timeline = Self::timeline(outcomes, run_end, bucket);
 
         RunReport {
-            completed,
+            completed: overall.completed,
             measured_duration,
-            throughput_kreqs,
-            avg_latency_ms: avg,
-            p50_latency_ms: percentile(0.50),
-            p95_latency_ms: percentile(0.95),
-            p99_latency_ms: percentile(0.99),
+            throughput_kreqs: overall.throughput_kreqs,
+            avg_latency_ms: overall.avg_latency_ms,
+            p50_latency_ms: overall.p50_latency_ms,
+            p95_latency_ms: overall.p95_latency_ms,
+            p99_latency_ms: overall.p99_latency_ms,
+            reads: ClassStats::from_sorted_latencies(&read_latencies_ms, secs),
+            writes: ClassStats::from_sorted_latencies(&write_latencies_ms, secs),
             timeline,
             ..RunReport::default()
         }
@@ -190,10 +239,41 @@ mod tests {
     fn outcome(completed_ms: u64, latency_ms: u64, n: u64) -> ClientOutcome {
         ClientOutcome {
             request: RequestId::new(ClientId(0), Timestamp(n)),
+            class: if n.is_multiple_of(2) {
+                OpClass::Write
+            } else {
+                OpClass::Read
+            },
             result: Vec::new(),
             latency: Duration::from_millis(latency_ms),
             completed_at: Instant::from_nanos(completed_ms * 1_000_000),
         }
+    }
+
+    #[test]
+    fn per_class_statistics_split_reads_from_writes() {
+        // 10 writes at 4 ms and 10 reads at 1 ms over one second.
+        let outcomes: Vec<ClientOutcome> = (0..20)
+            .map(|n| outcome(n * 40, if n % 2 == 0 { 4 } else { 1 }, n))
+            .collect();
+        let report = RunReport::from_outcomes(
+            &outcomes,
+            Instant::ZERO,
+            Instant::from_nanos(1_000_000_000),
+            Duration::from_millis(100),
+        );
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.reads.completed, 10);
+        assert_eq!(report.writes.completed, 10);
+        assert!((report.reads.avg_latency_ms - 1.0).abs() < 1e-9);
+        assert!((report.writes.avg_latency_ms - 4.0).abs() < 1e-9);
+        assert!((report.avg_latency_ms - 2.5).abs() < 1e-9);
+        assert!(
+            (report.reads.throughput_kreqs + report.writes.throughput_kreqs
+                - report.throughput_kreqs)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

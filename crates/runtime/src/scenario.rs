@@ -21,7 +21,9 @@ use crate::sim::{SimConfig, Simulation};
 use crate::socket::SocketCluster;
 use crate::threaded::ThreadedCluster;
 use crate::workload::Workload;
-use seemore_app::NoopApp;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use seemore_app::{KvStore, NoopApp, StateMachine};
 use seemore_baselines::{s_upright, BaselineClient, BaselineConfig, BftReplica, CftReplica};
 use seemore_core::byzantine::{ByzantineBehavior, ByzantineReplica};
 use seemore_core::client::{ClientCore, ClientOutcome, ClientProtocol};
@@ -30,7 +32,7 @@ use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::replica::SeeMoReReplica;
 use seemore_crypto::KeyStore;
 use seemore_net::{CpuModel, LatencyModel, LinkFaults, Placement};
-use seemore_types::{ClientId, ClusterConfig, Duration, Instant, Mode, ReplicaId};
+use seemore_types::{ClientId, ClusterConfig, Duration, Instant, Mode, OpClass, ReplicaId};
 use std::time::Instant as StdInstant;
 
 /// Which protocol a scenario runs.
@@ -166,6 +168,16 @@ pub struct Scenario {
     /// If set, announce a switch to this mode at the given instant
     /// (SeeMoRe only).
     pub mode_switch: Option<(Instant, Mode)>,
+    /// The per-client operation generator. `None` (the default) runs the
+    /// paper's micro-benchmark at [`request_size`](Self::request_size)
+    /// against the no-op application; `Some(Workload::Kv { .. })` runs
+    /// key-value operations (with its `read_fraction`) against the
+    /// replicated KV store, on every runtime.
+    pub workload: Option<Workload>,
+    /// Whether read-classified operations take the mode-aware fast path
+    /// (true, the default) or are downgraded to the ordered path (the
+    /// ordered-everything baseline arm of the read ablation).
+    pub read_fast_path: bool,
     /// Number of public-cloud replicas wrapped with this Byzantine
     /// behaviour (must stay ≤ `m` for guarantees to hold).
     pub byzantine_replicas: u32,
@@ -199,6 +211,8 @@ impl Scenario {
             request_timeout: Duration::from_millis(20),
             crash_primary_at: None,
             mode_switch: None,
+            workload: None,
+            read_fast_path: true,
             byzantine_replicas: 0,
             byzantine_behavior: ByzantineBehavior::Honest,
             runtime: RuntimeKind::Simulated,
@@ -248,6 +262,40 @@ impl Scenario {
     pub fn with_mode_switch(mut self, at: Instant, mode: Mode) -> Self {
         self.mode_switch = Some((at, mode));
         self
+    }
+
+    /// Uses an explicit workload generator (e.g. [`Workload::kv`] with a
+    /// read fraction) instead of the default micro-benchmark. KV workloads
+    /// run against the replicated [`KvStore`]; micro workloads against the
+    /// no-op application.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Enables or disables the read-only fast path (enabled by default).
+    /// With the fast path off, reads are downgraded to the ordered path at
+    /// submission; the RNG draws and operation bytes are identical, so the
+    /// two arms differ only in how reads travel.
+    pub fn with_read_fast_path(mut self, enabled: bool) -> Self {
+        self.read_fast_path = enabled;
+        self
+    }
+
+    /// The effective workload generator for this scenario.
+    pub fn workload(&self) -> Workload {
+        self.workload.clone().unwrap_or(Workload::Micro {
+            request_size: self.request_size,
+        })
+    }
+
+    /// The application instance every replica runs: the replicated KV store
+    /// under a KV workload, the paper's no-op micro-benchmark app otherwise.
+    fn make_app(&self) -> Box<dyn StateMachine> {
+        match self.workload() {
+            Workload::Kv { .. } => Box::new(KvStore::new()),
+            Workload::Micro { .. } => Box::new(NoopApp::new(self.reply_size)),
+        }
     }
 
     /// Uses a custom latency model (e.g. geo-separated clouds).
@@ -347,13 +395,14 @@ impl Scenario {
             seed: self.seed,
         };
         let mut sim = Simulation::new(config);
+        sim.set_read_fast_path(self.read_fast_path);
         for replica in cores.replicas {
             sim.add_replica(replica);
         }
         for (index, client) in cores.clients.into_iter().enumerate() {
             sim.add_client(
                 client,
-                Workload::micro(self.request_size),
+                self.workload(),
                 Instant::from_nanos(index as u64 * 5_000),
             );
         }
@@ -388,7 +437,7 @@ impl Scenario {
                         pconfig,
                         keystore.clone(),
                         mode,
-                        Box::new(NoopApp::new(self.reply_size)),
+                        self.make_app(),
                     );
                     if replica.0 >= byzantine_cutoff && !cluster.is_trusted(replica) {
                         replicas.push(Box::new(ByzantineReplica::new(
@@ -445,7 +494,7 @@ impl Scenario {
                                 replica,
                                 config,
                                 pconfig,
-                                Box::new(NoopApp::new(self.reply_size)),
+                                self.make_app(),
                             )));
                         }
                         _ => {
@@ -454,7 +503,7 @@ impl Scenario {
                                 config,
                                 pconfig,
                                 keystore.clone(),
-                                Box::new(NoopApp::new(self.reply_size)),
+                                self.make_app(),
                             );
                             if replica.0 >= byzantine_cutoff && replica.0 != 0 {
                                 replicas.push(Box::new(ByzantineReplica::new(
@@ -530,6 +579,25 @@ impl Scenario {
                     });
                 }
             }
+            // Mode switches are delivered as a driver command to the
+            // announcing replica, mirroring the simulator's scheduled
+            // announcement (a switch scheduled beyond the window is dropped,
+            // like a crash).
+            if let (Some((at, target_mode)), Some(announcer)) =
+                (self.mode_switch, cores.mode_switch_announcer)
+            {
+                let delay = Duration::from_nanos(at.as_nanos()).to_std();
+                if delay < run_for {
+                    let cluster = &cluster;
+                    scope.spawn(move || {
+                        let elapsed = start.elapsed();
+                        if delay > elapsed {
+                            std::thread::sleep(delay - elapsed);
+                        }
+                        cluster.request_mode_switch(announcer, target_mode);
+                    });
+                }
+            }
             // Clients give a pending request up once the window closes, so
             // even a failure schedule beyond the deployment's fault
             // tolerance leaves the run bounded.
@@ -537,16 +605,25 @@ impl Scenario {
             let handles: Vec<_> = cores
                 .clients
                 .into_iter()
-                .map(|client| {
+                .enumerate()
+                .map(|(index, client)| {
                     let cluster = &cluster;
-                    let request_size = self.request_size;
+                    let workload = self.workload();
+                    let read_fast_path = self.read_fast_path;
+                    let seed = self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                     scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(seed);
                         let mut client = client;
                         let mut outcomes = Vec::new();
                         while start.elapsed() < run_for {
                             let (back, completed) =
                                 cluster.run_client(client, 1, patience, abandon_at, |_| {
-                                    vec![0u8; request_size]
+                                    let (op, class) = workload.next_classified(&mut rng);
+                                    if read_fast_path {
+                                        (op, class)
+                                    } else {
+                                        (op, OpClass::Write)
+                                    }
                                 });
                             client = back;
                             outcomes.extend(completed);
@@ -613,6 +690,13 @@ impl AnyCluster {
         }
     }
 
+    fn request_mode_switch(&self, replica: ReplicaId, mode: Mode) {
+        match self {
+            AnyCluster::Threaded(c) => c.request_mode_switch(replica, mode),
+            AnyCluster::Socket(c) => c.request_mode_switch(replica, mode),
+        }
+    }
+
     fn epoch(&self) -> StdInstant {
         match self {
             AnyCluster::Threaded(c) => c.epoch(),
@@ -626,7 +710,7 @@ impl AnyCluster {
         requests: usize,
         timeout: Duration,
         abandon_at: StdInstant,
-        make_op: impl FnMut(usize) -> Vec<u8>,
+        make_op: impl FnMut(usize) -> (Vec<u8>, OpClass),
     ) -> (Box<dyn ClientProtocol>, Vec<ClientOutcome>) {
         match self {
             AnyCluster::Threaded(c) => {
@@ -784,6 +868,92 @@ mod tests {
         // Returning at all is the regression being tested; the report is a
         // bonus sanity check.
         assert!(report.measured_duration > Duration::ZERO);
+    }
+
+    #[test]
+    fn mode_switch_completes_on_the_threaded_runtime() {
+        // Regression: `with_mode_switch` used to be wired only through the
+        // simulator's event queue, so the concurrent runtimes silently
+        // ignored it; it is now delivered as a driver command.
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(2)
+            .with_duration(Duration::from_millis(400), Duration::from_millis(10))
+            .with_mode_switch(Instant::from_nanos(100_000_000), Mode::Peacock)
+            .with_runtime(RuntimeKind::Threaded)
+            .run();
+        assert!(
+            report.mode_switches > 0,
+            "the scheduled mode switch must be delivered on the threaded runtime"
+        );
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn kv_workload_flows_through_the_simulator_and_splits_classes() {
+        // Regression: `Scenario::build` used to hardcode `Workload::micro`,
+        // so simulated runs ignored the configured workload entirely.
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(8)
+            .with_duration(Duration::from_millis(120), Duration::from_millis(20))
+            .with_workload(crate::workload::Workload::kv(64, 32, 0.5))
+            .run();
+        assert!(report.completed > 0);
+        assert!(report.reads.completed > 0, "reads must be generated");
+        assert!(report.writes.completed > 0, "writes must be generated");
+        assert_eq!(
+            report.reads.completed + report.writes.completed,
+            report.completed
+        );
+    }
+
+    #[test]
+    fn read_fraction_zero_reproduces_the_ordered_path_bit_for_bit() {
+        let base = |fast: bool| {
+            Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+                .with_clients(4)
+                .with_duration(Duration::from_millis(100), Duration::from_millis(20))
+                .with_workload(crate::workload::Workload::kv(32, 16, 0.0))
+                .with_read_fast_path(fast)
+                .run()
+        };
+        let fast_on = base(true);
+        let fast_off = base(false);
+        // With no reads generated, the fast-path flag changes nothing: the
+        // runs are event-for-event identical.
+        assert_eq!(fast_on.completed, fast_off.completed);
+        assert_eq!(fast_on.messages_delivered, fast_off.messages_delivered);
+        assert_eq!(fast_on.bytes_delivered, fast_off.bytes_delivered);
+        assert_eq!(fast_on.reads.completed, 0);
+        assert_eq!(fast_off.reads.completed, 0);
+    }
+
+    #[test]
+    fn read_heavy_lion_outperforms_the_ordered_everything_path() {
+        let run = |fast: bool| {
+            Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+                .with_clients(16)
+                .with_duration(Duration::from_millis(200), Duration::from_millis(40))
+                .with_workload(crate::workload::Workload::kv(64, 32, 0.9))
+                .with_read_fast_path(fast)
+                .run()
+        };
+        let fast = run(true);
+        let ordered = run(false);
+        assert!(fast.reads.completed > 0);
+        assert!(
+            fast.throughput_kreqs > ordered.throughput_kreqs,
+            "fast reads {:.2} kreq/s must beat ordered-everything {:.2} kreq/s",
+            fast.throughput_kreqs,
+            ordered.throughput_kreqs
+        );
+        // Fast-path reads skip agreement entirely, so they are also cheaper
+        // per operation than the writes in the same run.
+        assert!(
+            fast.reads.avg_latency_ms < fast.writes.avg_latency_ms,
+            "reads {:.3} ms vs writes {:.3} ms",
+            fast.reads.avg_latency_ms,
+            fast.writes.avg_latency_ms
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ use seemore_core::actions::{Action, Timer};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_net::{CpuModel, LatencyModel, LinkDecision, LinkFaults, Placement};
-use seemore_types::{ClientId, Duration, Instant, Mode, NodeId, ReplicaId};
+use seemore_types::{ClientId, Duration, Instant, Mode, NodeId, OpClass, ReplicaId};
 use seemore_wire::{Message, WireSize};
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
@@ -127,6 +127,10 @@ pub struct Simulation {
     /// Whether each client keeps submitting a new request after completing
     /// the previous one (closed loop).
     closed_loop: bool,
+    /// Whether read-classified operations take the client's fast path
+    /// (true, the default) or are downgraded to the ordered path (used by
+    /// the fast-path-off ablation arm).
+    read_fast_path: bool,
     replica_timer_gen: HashMap<(ReplicaId, Timer), u64>,
     client_timer_gen: HashMap<ClientId, u64>,
     busy_until: HashMap<NodeId, Instant>,
@@ -150,6 +154,7 @@ impl Simulation {
             clients: BTreeMap::new(),
             workloads: BTreeMap::new(),
             closed_loop: true,
+            read_fast_path: true,
             replica_timer_gen: HashMap::new(),
             client_timer_gen: HashMap::new(),
             busy_until: HashMap::new(),
@@ -203,6 +208,14 @@ impl Simulation {
     /// Disables the closed loop: clients submit only what the test schedules.
     pub fn set_closed_loop(&mut self, enabled: bool) {
         self.closed_loop = enabled;
+    }
+
+    /// Enables or disables the read fast path: when disabled, reads are
+    /// downgraded to the ordered path at submission (every other aspect of
+    /// the run — RNG draws, operation bytes — is identical, which is what
+    /// makes fast-vs-ordered ablations apples-to-apples).
+    pub fn set_read_fast_path(&mut self, enabled: bool) {
+        self.read_fast_path = enabled;
     }
 
     /// Stops issuing new requests after `at` (in-flight requests still
@@ -349,7 +362,12 @@ impl Simulation {
         let Some(workload) = self.workloads.get(&client) else {
             return;
         };
-        let op = workload.next_op(&mut self.rng);
+        let (op, class) = workload.next_classified(&mut self.rng);
+        let class = if self.read_fast_path {
+            class
+        } else {
+            OpClass::Write
+        };
         let now = self.now;
         let Some(core) = self.clients.get_mut(&client) else {
             return;
@@ -357,7 +375,7 @@ impl Simulation {
         if core.has_pending() {
             return;
         }
-        let actions = core.submit(op, now);
+        let actions = core.submit_op(op, class, now);
         self.apply_actions(NodeId::Client(client), actions);
     }
 

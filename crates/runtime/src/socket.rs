@@ -10,7 +10,7 @@
 //! to and read from sockets.
 //!
 //! The replica event loop and the closed-loop client driver are shared with
-//! the threaded runtime through [`crate::driver`]; this module only adds the
+//! the threaded runtime through `crate::driver`; this module only adds the
 //! TCP endpoints and the pump threads that feed decoded messages into each
 //! replica's command channel. See the crate docs for guidance on choosing
 //! between the simulator, the threaded runtime and this one.
@@ -20,7 +20,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_net::tcp::{TcpMesh, TransportStats};
-use seemore_types::{ClientId, Duration, NodeId, ReplicaId};
+use seemore_types::{ClientId, Duration, Mode, NodeId, OpClass, ReplicaId};
 use seemore_wire::Message;
 use std::collections::HashMap;
 use std::io;
@@ -157,6 +157,15 @@ impl SocketCluster {
         }
     }
 
+    /// Asks `replica` to announce a dynamic mode switch (SeeMoRe only; other
+    /// cores ignore the request). This is how `Scenario::with_mode_switch`
+    /// is delivered on the concurrent runtimes.
+    pub fn request_mode_switch(&self, replica: ReplicaId, mode: Mode) {
+        if let Some(tx) = self.replica_senders.get(&replica) {
+            let _ = tx.send(ReplicaCommand::ModeSwitch { mode });
+        }
+    }
+
     /// The wall-clock epoch all protocol instants (timers, client outcome
     /// timestamps) are measured from.
     pub(crate) fn epoch(&self) -> StdInstant {
@@ -167,7 +176,9 @@ impl SocketCluster {
     /// operations one after another over real sockets and returns the
     /// outcomes.
     ///
-    /// `make_op` is called with the request index to produce each operation.
+    /// `make_op` is called with the request index to produce each operation
+    /// payload plus its read/write classification (reads take the client's
+    /// fast path).
     /// Different clients may run concurrently from different threads through
     /// a shared `&SocketCluster`.
     pub fn run_client<C, F>(
@@ -179,7 +190,7 @@ impl SocketCluster {
     ) -> (C, Vec<ClientOutcome>)
     where
         C: ClientProtocol,
-        F: FnMut(usize) -> Vec<u8>,
+        F: FnMut(usize) -> (Vec<u8>, OpClass),
     {
         self.run_client_until(client, requests, timeout, None, make_op)
     }
@@ -198,7 +209,7 @@ impl SocketCluster {
     ) -> (C, Vec<ClientOutcome>)
     where
         C: ClientProtocol,
-        F: FnMut(usize) -> Vec<u8>,
+        F: FnMut(usize) -> (Vec<u8>, OpClass),
     {
         let port = self
             .clients
@@ -291,11 +302,14 @@ mod tests {
             Duration::from_millis(500),
         );
         let (_client, outcomes) = sockets.run_client(client, 4, Duration::from_secs(10), |i| {
-            KvOp::Put {
-                key: format!("key-{i}").into_bytes(),
-                value: b"value".to_vec(),
-            }
-            .encode()
+            (
+                KvOp::Put {
+                    key: format!("key-{i}").into_bytes(),
+                    value: b"value".to_vec(),
+                }
+                .encode(),
+                OpClass::Write,
+            )
         });
         assert_eq!(outcomes.len(), 4);
         for outcome in &outcomes {

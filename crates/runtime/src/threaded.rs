@@ -8,9 +8,9 @@
 //! protocol cores under true concurrency, and the reference point the socket
 //! runtime's loopback end-to-end tests compare their histories against.
 //!
-//! The replica event loop (timer wheel, [`ReplicaCommand`] control protocol)
+//! The replica event loop (timer wheel, `ReplicaCommand` control protocol)
 //! and the closed-loop client driver are shared with the socket runtime
-//! through [`crate::driver`]; only the byte-moving differs. Timers are
+//! through `crate::driver`; only the byte-moving differs. Timers are
 //! implemented with `recv_timeout` deadlines inside each replica thread.
 //! Delivered traffic is counted with the [`WireSize`] model — the same
 //! number the socket runtime observes as real encoded bytes.
@@ -19,7 +19,7 @@ use crate::driver::{self, ReplicaCommand};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::protocol::ReplicaProtocol;
-use seemore_types::{ClientId, Duration, NodeId, ReplicaId};
+use seemore_types::{ClientId, Duration, Mode, NodeId, OpClass, ReplicaId};
 use seemore_wire::{Message, WireSize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -141,6 +141,15 @@ impl ThreadedCluster {
         }
     }
 
+    /// Asks `replica` to announce a dynamic mode switch (SeeMoRe only; other
+    /// cores ignore the request). This is how `Scenario::with_mode_switch`
+    /// is delivered on the concurrent runtimes.
+    pub fn request_mode_switch(&self, replica: ReplicaId, mode: Mode) {
+        if let Some(tx) = self.replica_senders.get(&replica) {
+            let _ = tx.send(ReplicaCommand::ModeSwitch { mode });
+        }
+    }
+
     /// The wall-clock epoch all protocol instants (timers, client outcome
     /// timestamps) are measured from.
     pub(crate) fn epoch(&self) -> StdInstant {
@@ -150,7 +159,9 @@ impl ThreadedCluster {
     /// Runs a closed-loop client on the calling thread: submits `requests`
     /// operations one after another and returns the outcomes.
     ///
-    /// `make_op` is called with the request index to produce each operation.
+    /// `make_op` is called with the request index to produce each operation
+    /// payload plus its read/write classification (reads take the client's
+    /// fast path).
     /// Different clients may run concurrently from different threads through
     /// a shared `&ThreadedCluster`.
     pub fn run_client<C, F>(
@@ -162,7 +173,7 @@ impl ThreadedCluster {
     ) -> (C, Vec<ClientOutcome>)
     where
         C: ClientProtocol,
-        F: FnMut(usize) -> Vec<u8>,
+        F: FnMut(usize) -> (Vec<u8>, OpClass),
     {
         self.run_client_until(client, requests, timeout, None, make_op)
     }
@@ -181,7 +192,7 @@ impl ThreadedCluster {
     ) -> (C, Vec<ClientOutcome>)
     where
         C: ClientProtocol,
-        F: FnMut(usize) -> Vec<u8>,
+        F: FnMut(usize) -> (Vec<u8>, OpClass),
     {
         let inbox = self
             .client_inboxes
@@ -277,11 +288,14 @@ mod tests {
             Duration::from_millis(200),
         );
         let (_client, outcomes) = threaded.run_client(client, 4, Duration::from_secs(5), |i| {
-            KvOp::Put {
-                key: format!("key-{i}").into_bytes(),
-                value: b"value".to_vec(),
-            }
-            .encode()
+            (
+                KvOp::Put {
+                    key: format!("key-{i}").into_bytes(),
+                    value: b"value".to_vec(),
+                }
+                .encode(),
+                OpClass::Write,
+            )
         });
         assert_eq!(outcomes.len(), 4);
         for outcome in &outcomes {
@@ -333,11 +347,14 @@ mod tests {
                     scope.spawn(move || {
                         let (_, outcomes) =
                             cluster_ref.run_client(client, 3, Duration::from_secs(5), |i| {
-                                KvOp::Put {
-                                    key: format!("k-{i}").into_bytes(),
-                                    value: b"v".to_vec(),
-                                }
-                                .encode()
+                                (
+                                    KvOp::Put {
+                                        key: format!("k-{i}").into_bytes(),
+                                        value: b"v".to_vec(),
+                                    }
+                                    .encode(),
+                                    OpClass::Write,
+                                )
                             });
                         outcomes.len()
                     })

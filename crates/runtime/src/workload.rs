@@ -7,6 +7,7 @@
 
 use rand::Rng;
 use seemore_app::KvOp;
+use seemore_types::OpClass;
 
 /// A per-client operation generator.
 #[derive(Debug, Clone)]
@@ -51,8 +52,19 @@ impl Workload {
 
     /// Generates the next operation payload.
     pub fn next_op<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        self.next_classified(rng).0
+    }
+
+    /// Generates the next operation payload together with its read/write
+    /// classification (the workload is the layer that knows what it
+    /// generated, so classification costs nothing here).
+    ///
+    /// Micro operations are opaque payloads executed by the no-op
+    /// application; they classify as writes so `read_fraction = 0` KV runs
+    /// and micro runs exercise the identical ordered path.
+    pub fn next_classified<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<u8>, OpClass) {
         match self {
-            Workload::Micro { request_size } => vec![0xA5u8; *request_size],
+            Workload::Micro { request_size } => (vec![0xA5u8; *request_size], OpClass::Write),
             Workload::Kv {
                 keys,
                 value_size,
@@ -60,10 +72,14 @@ impl Workload {
             } => {
                 let key = format!("key-{}", rng.gen_range(0..*keys)).into_bytes();
                 if rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
-                    KvOp::Get { key }.encode()
+                    let op = KvOp::Get { key };
+                    let class = op.class();
+                    (op.encode(), class)
                 } else {
                     let value = vec![rng.gen::<u8>(); *value_size];
-                    KvOp::Put { key, value }.encode()
+                    let op = KvOp::Put { key, value };
+                    let class = op.class();
+                    (op.encode(), class)
                 }
             }
         }
@@ -91,6 +107,24 @@ mod tests {
         assert_eq!(w.next_op(&mut rng).len(), 4096);
         assert_eq!(w.request_size(), 4096);
         assert_eq!(Workload::micro_0_0().next_op(&mut rng).len(), 0);
+    }
+
+    #[test]
+    fn classification_matches_generated_operations() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = Workload::kv(10, 8, 0.5);
+        for _ in 0..100 {
+            let (op, class) = w.next_classified(&mut rng);
+            assert_eq!(KvOp::classify(&op), class);
+        }
+        // Micro ops are opaque: conservatively writes.
+        let (_, class) = Workload::micro(16).next_classified(&mut rng);
+        assert_eq!(class, OpClass::Write);
+        // read_fraction = 0 produces writes only.
+        let w = Workload::kv(10, 8, 0.0);
+        for _ in 0..50 {
+            assert_eq!(w.next_classified(&mut rng).1, OpClass::Write);
+        }
     }
 
     #[test]

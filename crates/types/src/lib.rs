@@ -24,6 +24,7 @@ pub mod config;
 pub mod error;
 pub mod id;
 pub mod mode;
+pub mod op;
 pub mod planner;
 pub mod quorum;
 pub mod time;
@@ -32,6 +33,7 @@ pub use config::{ClusterConfig, FailureBounds, ReplicaRole, Trust};
 pub use error::{ConfigError, ProtocolViolation};
 pub use id::{ClientId, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View};
 pub use mode::Mode;
+pub use op::OpClass;
 pub use planner::{PlannerInput, PlannerOutcome};
 pub use quorum::QuorumSpec;
 pub use time::{Duration, Instant};

@@ -151,6 +151,11 @@ impl Instant {
     pub fn checked_add(self, d: Duration) -> Option<Instant> {
         self.0.checked_add(d.as_nanos()).map(Instant)
     }
+
+    /// Saturating subtraction of a duration (clamped at time zero).
+    pub fn saturating_sub(self, d: Duration) -> Instant {
+        Instant(self.0.saturating_sub(d.as_nanos()))
+    }
 }
 
 impl Add<Duration> for Instant {

@@ -46,7 +46,7 @@
 
 use crate::agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 use crate::batch::Batch;
-use crate::client::{ClientReply, ClientRequest};
+use crate::client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
 use crate::control::{
     Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
     ViewChange,
@@ -75,6 +75,9 @@ const HASH_LEN: usize = 32;
 /// ACCEPT header flag bit: the optional signature is present.
 const FLAG_ACCEPT_SIGNED: u16 = 1;
 
+/// READ-REPLY header flag bit: the replica refused the fast path.
+const FLAG_READ_REFUSED: u16 = 1;
+
 // Kind tags. These are wire artifacts (not `MessageKind` discriminants) so
 // reordering the Rust enum can never silently change the protocol.
 const KIND_REQUEST: u8 = 1;
@@ -91,6 +94,8 @@ const KIND_NEW_VIEW: u8 = 11;
 const KIND_MODE_CHANGE: u8 = 12;
 const KIND_STATE_REQUEST: u8 = 13;
 const KIND_STATE_RESPONSE: u8 = 14;
+const KIND_READ_REQUEST: u8 = 15;
+const KIND_READ_REPLY: u8 = 16;
 
 /// Why a byte string failed to decode. Every variant is a graceful error —
 /// the decoder never panics and never allocates proportionally to an
@@ -146,6 +151,25 @@ pub fn encode_into(message: &Message, out: &mut Vec<u8>) {
     match message {
         Message::Request(m) => put_request(out, m),
         Message::Reply(m) => put_reply(out, m),
+        Message::ReadRequest(m) => put_block(out, KIND_READ_REQUEST, 0, |b| {
+            put_u64(b, m.client.0);
+            put_u64(b, m.nonce.0);
+            put_hash(b, m.signature.as_bytes());
+            b.extend_from_slice(&m.operation);
+        }),
+        Message::ReadReply(m) => {
+            let flags = if m.refused { FLAG_READ_REFUSED } else { 0 };
+            put_block(out, KIND_READ_REPLY, flags, |b| {
+                put_u8(b, m.mode.index());
+                put_u64(b, m.view.0);
+                put_u64(b, m.request.client.0);
+                put_u64(b, m.request.timestamp.0);
+                put_u64(b, u64::from(m.replica.0));
+                put_u64(b, m.last_executed.0);
+                put_hash(b, m.signature.as_bytes());
+                b.extend_from_slice(&m.result);
+            });
+        }
         Message::Prepare(m) => put_block(out, KIND_PREPARE, 0, |b| {
             put_u64(b, m.view.0);
             put_u64(b, m.seq.0);
@@ -585,6 +609,38 @@ fn read_message(r: &mut Reader) -> Result<Message, DecodeError> {
     let message = match header.kind {
         KIND_REQUEST => Message::Request(read_request_body(&mut body)?),
         KIND_REPLY => Message::Reply(read_reply_body(&mut body)?),
+        KIND_READ_REQUEST => {
+            let client = ClientId(body.u64()?);
+            let nonce = Timestamp(body.u64()?);
+            let signature = body.signature()?;
+            let operation = body.take(body.remaining())?.to_vec();
+            Message::ReadRequest(ReadRequest {
+                client,
+                nonce,
+                operation,
+                signature,
+            })
+        }
+        KIND_READ_REPLY => {
+            let mode = body.mode()?;
+            let view = View(body.u64()?);
+            let client = ClientId(body.u64()?);
+            let nonce = Timestamp(body.u64()?);
+            let replica = body.replica()?;
+            let last_executed = SeqNum(body.u64()?);
+            let signature = body.signature()?;
+            let result = body.take(body.remaining())?.to_vec();
+            Message::ReadReply(ReadReply {
+                mode,
+                view,
+                request: RequestId::new(client, nonce),
+                replica,
+                last_executed,
+                refused: header.flags & FLAG_READ_REFUSED != 0,
+                result,
+                signature,
+            })
+        }
         KIND_PREPARE => {
             let (view, seq, digest, signature, batch) = read_proposal_body(&mut body)?;
             Message::Prepare(Prepare {
@@ -980,6 +1036,80 @@ mod tests {
             assert_eq!(bytes.len(), message.wire_size());
             assert_eq!(decode(&bytes).unwrap(), message);
         }
+    }
+
+    #[test]
+    fn read_messages_round_trip_and_honour_the_size_contract() {
+        let ks = keystore();
+        let signer = ks.signer_for(NodeId::Client(ClientId(1))).unwrap();
+        let request = Message::ReadRequest(crate::client::ReadRequest::new(
+            ClientId(1),
+            Timestamp(9),
+            vec![0x5A; 77],
+            &signer,
+        ));
+        let bytes = encode(&request);
+        assert_eq!(bytes.len(), request.wire_size());
+        assert_eq!(decode(&bytes).unwrap(), request);
+
+        let rs = ks.signer_for(NodeId::Replica(ReplicaId(2))).unwrap();
+        let id = RequestId::new(ClientId(1), Timestamp(9));
+        for reply in [
+            crate::client::ReadReply::new(
+                Mode::Dog,
+                View(4),
+                id,
+                ReplicaId(2),
+                SeqNum(31),
+                b"value-bytes".to_vec(),
+                &rs,
+            ),
+            crate::client::ReadReply::refusal(
+                Mode::Peacock,
+                View(5),
+                id,
+                ReplicaId(2),
+                SeqNum(31),
+                &rs,
+            ),
+        ] {
+            let message = Message::ReadReply(reply);
+            let bytes = encode(&message);
+            assert_eq!(bytes.len(), message.wire_size());
+            assert_eq!(decode(&bytes).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn read_reply_refusal_travels_in_the_header_flags() {
+        let ks = keystore();
+        let rs = ks.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
+        let id = RequestId::new(ClientId(0), Timestamp(1));
+        let refusal = crate::client::ReadReply::refusal(
+            Mode::Lion,
+            View(0),
+            id,
+            ReplicaId(0),
+            SeqNum(0),
+            &rs,
+        );
+        let bytes = encode(&Message::ReadReply(refusal.clone()));
+        // Bit 0 of the little-endian flags at offset 6 carries the refusal.
+        assert_eq!(bytes[6] & 1, 1);
+        // Clearing the flag decodes to a non-refused reply whose signature no
+        // longer verifies — a Byzantine proxy cannot flip refusals in flight.
+        let mut cleared = bytes;
+        cleared[6] &= !1;
+        use crate::size::SignedPayload;
+        let Message::ReadReply(decoded) = decode(&cleared).unwrap() else {
+            panic!("kind preserved");
+        };
+        assert!(!decoded.refused);
+        assert!(!ks.verify(
+            NodeId::Replica(ReplicaId(0)),
+            &decoded.signing_bytes(),
+            &decoded.signature
+        ));
     }
 
     #[test]

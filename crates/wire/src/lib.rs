@@ -4,7 +4,8 @@
 //! (Section 5 of the paper) and by the baseline protocols used in the
 //! evaluation (Paxos-style CFT, PBFT and S-UpRight):
 //!
-//! * client traffic — [`ClientRequest`] / [`ClientReply`],
+//! * client traffic — [`ClientRequest`] / [`ClientReply`] on the ordered
+//!   path, [`ReadRequest`] / [`ReadReply`] on the read-only fast path,
 //! * the ordering unit — [`Batch`], an ordered sequence of requests agreed
 //!   on under one sequence number with one combined digest,
 //! * agreement traffic — [`Prepare`], [`PrePrepare`], [`Accept`],
@@ -35,7 +36,7 @@ pub mod size;
 
 pub use agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 pub use batch::Batch;
-pub use client::{ClientReply, ClientRequest};
+pub use client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
 pub use codec::{decode, encode, DecodeError, FrameReader, CODEC_VERSION, MAGIC, MAX_FRAME};
 pub use control::{
     Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,

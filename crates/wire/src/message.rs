@@ -2,7 +2,7 @@
 //! substrate, plus [`MessageKind`] used for per-kind metrics.
 
 use crate::agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
-use crate::client::{ClientReply, ClientRequest};
+use crate::client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
 use crate::control::{Checkpoint, ModeChange, NewView, StateRequest, StateResponse, ViewChange};
 use crate::size::WireSize;
 use serde::{Deserialize, Serialize};
@@ -16,6 +16,10 @@ pub enum Message {
     Request(ClientRequest),
     /// A replica's reply to a client.
     Reply(ClientReply),
+    /// A client's read-only request for the mode-aware fast path.
+    ReadRequest(ReadRequest),
+    /// A replica's (served or refused) answer to a read-only request.
+    ReadReply(ReadReply),
     /// Trusted-primary proposal (Lion / Dog).
     Prepare(Prepare),
     /// Untrusted-primary proposal (Peacock / PBFT / S-UpRight).
@@ -49,6 +53,10 @@ pub enum MessageKind {
     Request,
     /// See [`Message::Reply`].
     Reply,
+    /// See [`Message::ReadRequest`].
+    ReadRequest,
+    /// See [`Message::ReadReply`].
+    ReadReply,
     /// See [`Message::Prepare`].
     Prepare,
     /// See [`Message::PrePrepare`].
@@ -77,9 +85,11 @@ pub enum MessageKind {
 
 impl MessageKind {
     /// All message kinds, in declaration order.
-    pub const ALL: [MessageKind; 14] = [
+    pub const ALL: [MessageKind; 16] = [
         MessageKind::Request,
         MessageKind::Reply,
+        MessageKind::ReadRequest,
+        MessageKind::ReadReply,
         MessageKind::Prepare,
         MessageKind::PrePrepare,
         MessageKind::Accept,
@@ -114,6 +124,8 @@ impl fmt::Display for MessageKind {
         let name = match self {
             MessageKind::Request => "REQUEST",
             MessageKind::Reply => "REPLY",
+            MessageKind::ReadRequest => "READ-REQUEST",
+            MessageKind::ReadReply => "READ-REPLY",
             MessageKind::Prepare => "PREPARE",
             MessageKind::PrePrepare => "PRE-PREPARE",
             MessageKind::Accept => "ACCEPT",
@@ -137,6 +149,8 @@ impl Message {
         match self {
             Message::Request(_) => MessageKind::Request,
             Message::Reply(_) => MessageKind::Reply,
+            Message::ReadRequest(_) => MessageKind::ReadRequest,
+            Message::ReadReply(_) => MessageKind::ReadReply,
             Message::Prepare(_) => MessageKind::Prepare,
             Message::PrePrepare(_) => MessageKind::PrePrepare,
             Message::Accept(_) => MessageKind::Accept,
@@ -158,6 +172,8 @@ impl WireSize for Message {
         match self {
             Message::Request(m) => m.wire_size(),
             Message::Reply(m) => m.wire_size(),
+            Message::ReadRequest(m) => m.wire_size(),
+            Message::ReadReply(m) => m.wire_size(),
             Message::Prepare(m) => m.wire_size(),
             Message::PrePrepare(m) => m.wire_size(),
             Message::Accept(m) => m.wire_size(),
@@ -186,6 +202,8 @@ macro_rules! impl_from {
 
 impl_from!(Request, ClientRequest);
 impl_from!(Reply, ClientReply);
+impl_from!(ReadRequest, ReadRequest);
+impl_from!(ReadReply, ReadReply);
 impl_from!(Prepare, Prepare);
 impl_from!(PrePrepare, PrePrepare);
 impl_from!(Accept, Accept);
@@ -251,14 +269,18 @@ mod tests {
         assert!(MessageKind::Prepare.is_agreement());
         assert!(MessageKind::Inform.is_agreement());
         assert!(!MessageKind::Request.is_agreement());
+        assert!(!MessageKind::ReadRequest.is_agreement());
+        assert!(!MessageKind::ReadReply.is_agreement());
         assert!(!MessageKind::ViewChange.is_agreement());
         assert!(!MessageKind::Checkpoint.is_agreement());
-        assert_eq!(MessageKind::ALL.len(), 14);
+        assert_eq!(MessageKind::ALL.len(), 16);
     }
 
     #[test]
     fn display_names_are_paper_style() {
         assert_eq!(MessageKind::PrePrepare.to_string(), "PRE-PREPARE");
+        assert_eq!(MessageKind::ReadRequest.to_string(), "READ-REQUEST");
+        assert_eq!(MessageKind::ReadReply.to_string(), "READ-REPLY");
         assert_eq!(MessageKind::ViewChange.to_string(), "VIEW-CHANGE");
         assert_eq!(MessageKind::ModeChange.to_string(), "MODE-CHANGE");
     }

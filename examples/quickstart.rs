@@ -82,7 +82,9 @@ fn main() {
     let ops_for_closure = operations.clone();
     let (_client, outcomes) =
         runtime.run_client(client, operations.len(), Duration::from_secs(5), move |i| {
-            ops_for_closure[i].encode()
+            // Self-classifying operations: the Gets take the mode-aware read
+            // fast path, everything else is ordered through agreement.
+            (ops_for_closure[i].encode(), ops_for_closure[i].class())
         });
 
     for (op, outcome) in operations.iter().zip(&outcomes) {
@@ -96,17 +98,29 @@ fn main() {
     }
 
     // 6. Shut down and verify every replica executed the same history.
+    // Only the *writes* were ordered and executed — the two Gets took the
+    // read fast path, served from the primary's executed state under its
+    // commit-index lease without ever entering agreement.
+    let writes = operations
+        .iter()
+        .filter(|op| op.class() == seemore::types::OpClass::Write)
+        .count();
     let cores = runtime.shutdown();
     let reference = cores[0].executed();
     for core in &cores {
-        assert_eq!(core.executed().len(), operations.len());
+        // At least every write was ordered; a read may legitimately join
+        // them if its fast path fell back (e.g. the lease lapsed on a
+        // heavily loaded machine), so this is a floor, not an equality.
+        assert!(core.executed().len() >= writes);
         for (a, b) in reference.iter().zip(core.executed()) {
             assert_eq!(a.digest, b.digest, "replica histories must agree");
         }
     }
     println!(
-        "\nAll {} replicas executed the same {} operations in the same order.",
+        "\nAll {} replicas executed the same {} writes in the same order; the {} reads \
+         were served by the fast path without ordering.",
         cores.len(),
-        operations.len()
+        writes,
+        operations.len() - writes,
     );
 }

@@ -65,11 +65,11 @@ fn main() {
     );
     let operations = 16usize;
     let (client, outcomes) = sockets.run_client(client, operations, Duration::from_secs(10), |i| {
-        KvOp::Put {
+        let op = KvOp::Put {
             key: format!("key-{i}").into_bytes(),
             value: format!("value-{i}").into_bytes(),
-        }
-        .encode()
+        };
+        (op.encode(), op.class())
     });
     assert_eq!(outcomes.len(), operations);
     let acknowledged = outcomes
@@ -78,12 +78,14 @@ fn main() {
         .count();
     println!("{acknowledged}/{operations} PUTs acknowledged by a reply quorum");
 
-    // 5. Read one key back through the same agreement path.
+    // 5. Read one key back — a self-classified Get takes the read fast
+    // path (served by the trusted Lion primary under its commit-index
+    // lease, no agreement round).
     let (_client, reads) = sockets.run_client(client, 1, Duration::from_secs(10), |_| {
-        KvOp::Get {
+        let op = KvOp::Get {
             key: b"key-3".to_vec(),
-        }
-        .encode()
+        };
+        (op.encode(), op.class())
     });
     match KvResult::decode(&reads[0].result) {
         Some(KvResult::Value(v)) => {

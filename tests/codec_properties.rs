@@ -18,12 +18,12 @@ use seemore::types::{ClientId, Mode, NodeId, ReplicaId, RequestId, SeqNum, Times
 use seemore::wire::codec::{decode, encode, DecodeError, FrameReader, MAX_FRAME};
 use seemore::wire::{
     Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Inform, Message,
-    ModeChange, NewView, PbftPrepare, PrePrepare, Prepare, PrepareCert, StateRequest,
-    StateResponse, ViewChange, WireSize,
+    ModeChange, NewView, PbftPrepare, PrePrepare, Prepare, PrepareCert, ReadReply, ReadRequest,
+    StateRequest, StateResponse, ViewChange, WireSize,
 };
 
 /// Number of distinct message kinds the generator can produce.
-const KINDS: usize = 14;
+const KINDS: usize = 16;
 
 fn keystore() -> KeyStore {
     KeyStore::generate(0xC0DEC, 8, 4)
@@ -212,6 +212,38 @@ fn arbitrary_message(seed: u64, index: usize) -> Message {
             from_seq: SeqNum(rng.gen_range(0u64..10_000)),
             replica: ReplicaId(rng.gen_range(0u64..8) as u32),
         }),
+        13 => {
+            let client = ClientId(rng.gen_range(0u64..4));
+            let op_len = rng.gen_range(0usize..512);
+            let operation: Vec<u8> = (0..op_len)
+                .map(|_| rng.gen_range(0u64..256) as u8)
+                .collect();
+            let signer = ks.signer_for(NodeId::Client(client)).expect("client key");
+            Message::ReadRequest(ReadRequest::new(
+                client,
+                Timestamp(rng.gen_range(0u64..1_000)),
+                operation,
+                &signer,
+            ))
+        }
+        14 => {
+            let result_len = rng.gen_range(0usize..512);
+            Message::ReadReply(ReadReply {
+                mode: mode(rng),
+                view: View(rng.gen_range(0u64..16)),
+                request: RequestId::new(
+                    ClientId(rng.gen_range(0u64..4)),
+                    Timestamp(rng.gen_range(0u64..1_000)),
+                ),
+                replica: ReplicaId(rng.gen_range(0u64..8) as u32),
+                last_executed: SeqNum(rng.gen_range(0u64..10_000)),
+                refused: rng.gen_bool(0.25),
+                result: (0..result_len)
+                    .map(|_| rng.gen_range(0u64..256) as u8)
+                    .collect(),
+                signature: signature(rng),
+            })
+        }
         _ => {
             let snapshot_len = rng.gen_range(0usize..256);
             Message::StateResponse(StateResponse {

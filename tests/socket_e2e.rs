@@ -23,6 +23,7 @@ use seemore::core::protocol::ReplicaProtocol;
 use seemore::core::replica::SeeMoReReplica;
 use seemore::crypto::{Digest, KeyStore};
 use seemore::runtime::{SocketCluster, ThreadedCluster};
+use seemore::types::OpClass;
 use seemore::types::{ClientId, ClusterConfig, Duration, Mode, ReplicaId, SeqNum, View};
 use std::collections::BTreeMap;
 
@@ -189,8 +190,12 @@ impl Harness {
     ) -> (Box<dyn ClientProtocol>, usize) {
         let timeout = Duration::from_secs(10);
         let (client, outcomes) = match self {
-            Harness::Threaded(c) => c.run_client(client, 1, timeout, |_| op.clone()),
-            Harness::Socket(c) => c.run_client(client, 1, timeout, |_| op.clone()),
+            Harness::Threaded(c) => {
+                c.run_client(client, 1, timeout, |_| (op.clone(), OpClass::Write))
+            }
+            Harness::Socket(c) => {
+                c.run_client(client, 1, timeout, |_| (op.clone(), OpClass::Write))
+            }
         };
         (client, outcomes.len())
     }
@@ -347,7 +352,7 @@ fn concurrent_clients_over_sockets_stay_safe_under_a_crash() {
                         let id = client.id();
                         let (_, outcomes) =
                             cluster.run_client(client, PER_CLIENT, Duration::from_secs(10), |i| {
-                                format!("op-{id}-{i}").into_bytes()
+                                (format!("op-{id}-{i}").into_bytes(), OpClass::Write)
                             });
                         outcomes.len()
                     })
