@@ -27,13 +27,15 @@ use seemore_core::log::{MessageLog, Proposal};
 use seemore_core::metrics::ReplicaMetrics;
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::reads::ParkedReads;
+use seemore_crypto::VerifyCache;
 use seemore_crypto::{Digest, KeyStore, Signature, Signer};
 use seemore_types::{
     ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
 };
 use seemore_wire::{
     Batch, Checkpoint, ClientReply, ClientRequest, Commit, Message, NewView, PbftPrepare,
-    PrePrepare, PrepareCert, ReadReply, ReadRequest, SignedPayload, ViewChange, WireSize,
+    PrePrepare, PrepareCert, ReadReply, ReadRequest, SignedPayload, SigningScratch, ViewChange,
+    WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -74,6 +76,12 @@ pub struct BftReplica {
     highest_prepared: SeqNum,
     /// Fast-path reads parked until the prepared frontier is executed.
     parked_reads: ParkedReads,
+    /// Reusable buffer for canonical signing bytes (allocation-free
+    /// sign/verify, shared seam with the SeeMoRe cores).
+    scratch: SigningScratch,
+    /// Bounded memo of already-verified signatures (`None` when disabled by
+    /// [`ProtocolConfig::verify_memo`]).
+    verify_memo: Option<VerifyCache>,
     metrics: ReplicaMetrics,
     crashed: bool,
 }
@@ -120,6 +128,8 @@ impl BftReplica {
             forwarded_armed: HashMap::new(),
             highest_prepared: SeqNum(0),
             parked_reads: ParkedReads::new(),
+            scratch: SigningScratch::new(),
+            verify_memo: pconfig.verify_memo.then(VerifyCache::default),
             metrics: ReplicaMetrics::default(),
             crashed: false,
         }
@@ -140,26 +150,65 @@ impl BftReplica {
     }
 
     fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
-        let recipients: Vec<ReplicaId> = self.config.replicas().filter(|r| *r != self.id).collect();
-        for to in recipients {
+        let recipients: Vec<NodeId> = self
+            .config
+            .replicas()
+            .filter(|r| *r != self.id)
+            .map(NodeId::Replica)
+            .collect();
+        for _ in &recipients {
             self.metrics
                 .record_sent(message.kind(), message.wire_size());
-            actions.push(Action::Send {
-                to: NodeId::Replica(to),
-                message: message.clone(),
-            });
+        }
+        seemore_core::actions::broadcast(actions, recipients, message, None);
+    }
+
+    /// Signs `payload`'s canonical bytes through the reusable scratch
+    /// buffer — no allocation per signature.
+    fn sign_payload(&mut self, payload: &impl SignedPayload) -> Signature {
+        self.signer.sign(self.scratch.bytes_of(payload))
+    }
+
+    /// Verifies `signature` over `payload` through the scratch buffer and
+    /// (when enabled) the verified-signature memo, so duplicate deliveries
+    /// and certificate re-checks skip the second HMAC. Used only on paths
+    /// the protocol re-verifies (retransmitted client requests and reads,
+    /// view-change certificate re-checks); quorum votes are verified
+    /// exactly once in healthy runs and take [`verify`](Self::verify)
+    /// instead, where a memo lookup would be pure overhead.
+    fn verify_node(
+        &mut self,
+        node: NodeId,
+        payload: &impl SignedPayload,
+        signature: &Signature,
+    ) -> bool {
+        let Self {
+            scratch,
+            keystore,
+            verify_memo,
+            ..
+        } = self;
+        let bytes = scratch.bytes_of(payload);
+        match verify_memo {
+            Some(memo) => memo.verify(keystore, node, bytes, signature),
+            None => keystore.verify(node, bytes, signature),
         }
     }
 
+    /// Plain (memo-free) replica-signature verification through the scratch
+    /// buffer — the vote-path check.
     fn verify(
-        &self,
+        &mut self,
         replica: ReplicaId,
         payload: &impl SignedPayload,
         signature: &Signature,
     ) -> bool {
-        self.keystore.verify(
+        let Self {
+            scratch, keystore, ..
+        } = self;
+        keystore.verify(
             NodeId::Replica(replica),
-            &payload.signing_bytes(),
+            scratch.bytes_of(payload),
             signature,
         )
     }
@@ -183,13 +232,14 @@ impl BftReplica {
             if execution.request.client != NOOP_CLIENT {
                 // In PBFT every replica replies; the client waits for f+1
                 // matching replies.
-                let reply = ClientReply::new(
+                let reply = ClientReply::new_with(
+                    &mut self.scratch,
+                    &self.signer,
                     Mode::Peacock,
                     self.view,
                     execution.request.id(),
                     self.id,
                     execution.result,
-                    &self.signer,
                 );
                 self.send(
                     actions,
@@ -213,7 +263,7 @@ impl BftReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        checkpoint.signature = self.signer.sign(&checkpoint.signing_bytes());
+        checkpoint.signature = self.sign_payload(&checkpoint);
         if self.checkpoints.record(checkpoint.clone(), false) {
             self.metrics.stable_checkpoints += 1;
             self.log.garbage_collect(self.checkpoints.stable_seq());
@@ -233,11 +283,7 @@ impl BftReplica {
     /// client to the ordered path.
     fn on_read_request(&mut self, read: ReadRequest, _now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
-        if !self.keystore.verify(
-            NodeId::Client(read.client),
-            &read.signing_bytes(),
-            &read.signature,
-        ) {
+        if !self.verify_node(NodeId::Client(read.client), &read, &read.signature) {
             self.metrics.rejected_messages += 1;
             return actions;
         }
@@ -262,14 +308,15 @@ impl BftReplica {
         match self.exec.read(&read.operation) {
             Some(result) => {
                 self.metrics.reads_served += 1;
-                let reply = ReadReply::new(
+                let reply = ReadReply::new_with(
+                    &mut self.scratch,
+                    &self.signer,
                     Mode::Peacock,
                     self.view,
                     read.id(),
                     self.id,
                     self.exec.last_executed(),
                     result,
-                    &self.signer,
                 );
                 self.send(
                     actions,
@@ -283,13 +330,14 @@ impl BftReplica {
 
     fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
         self.metrics.reads_refused += 1;
-        let reply = ReadReply::refusal(
+        let reply = ReadReply::refusal_with(
+            &mut self.scratch,
+            &self.signer,
             Mode::Peacock,
             self.view,
             read.id(),
             self.id,
             self.exec.last_executed(),
-            &self.signer,
         );
         self.send(
             actions,
@@ -316,11 +364,7 @@ impl BftReplica {
 
     fn on_request(&mut self, request: ClientRequest, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
-        if !self.keystore.verify(
-            NodeId::Client(request.client),
-            &request.signing_bytes(),
-            &request.signature,
-        ) {
+        if !self.verify_node(NodeId::Client(request.client), &request, &request.signature) {
             self.metrics.rejected_messages += 1;
             return actions;
         }
@@ -329,13 +373,14 @@ impl BftReplica {
             .cached_reply(request.client, request.timestamp)
             .cloned()
         {
-            let reply = ClientReply::new(
+            let reply = ClientReply::new_with(
+                &mut self.scratch,
+                &self.signer,
                 Mode::Peacock,
                 self.view,
                 request.id(),
                 self.id,
                 result,
-                &self.signer,
             );
             self.send(
                 &mut actions,
@@ -415,7 +460,7 @@ impl BftReplica {
             batch: batch.clone(),
             signature: Signature::INVALID,
         };
-        preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
+        preprepare.signature = self.sign_payload(&preprepare);
         let instance = self.log.instance_mut(seq);
         instance.proposal = Some(Proposal {
             view: self.view,
@@ -473,7 +518,7 @@ impl BftReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        vote.signature = self.signer.sign(&vote.signing_bytes());
+        vote.signature = self.sign_payload(&vote);
         self.broadcast(&mut actions, Message::PbftPrepare(vote));
         self.progress_armed.insert(seq, self.view);
         actions.push(Action::SetTimer {
@@ -530,7 +575,7 @@ impl BftReplica {
             batch: None,
             signature: Signature::INVALID,
         };
-        commit.signature = self.signer.sign(&commit.signing_bytes());
+        commit.signature = self.sign_payload(&commit);
         self.broadcast(actions, Message::Commit(commit));
         self.try_commit(actions, seq, digest);
     }
@@ -636,7 +681,7 @@ impl BftReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        view_change.signature = self.signer.sign(&view_change.signing_bytes());
+        view_change.signature = self.sign_payload(&view_change);
         self.view_changes
             .entry(target)
             .or_default()
@@ -718,6 +763,9 @@ impl BftReplica {
         let mut prepares_out = Vec::new();
         let mut seq = low.next();
         while seq <= high {
+            // Certificate re-validation: every member request's signature
+            // was already verified on first arrival, so the memo (when
+            // enabled) turns these re-checks into digest lookups.
             let prepared = votes.iter().flat_map(|v| v.prepares.iter()).find(|p| {
                 p.seq == seq
                     && p.batch
@@ -726,9 +774,9 @@ impl BftReplica {
                             batch.digest() == p.digest
                                 && batch.iter().all(|r| {
                                     r.client == NOOP_CLIENT
-                                        || self.keystore.verify(
+                                        || self.verify_node(
                                             NodeId::Client(r.client),
-                                            &r.signing_bytes(),
+                                            r,
                                             &r.signature,
                                         )
                                 })
@@ -765,7 +813,7 @@ impl BftReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        new_view.signature = self.signer.sign(&new_view.signing_bytes());
+        new_view.signature = self.sign_payload(&new_view);
         self.broadcast(actions, Message::NewView(new_view.clone()));
         self.install_new_view(actions, new_view, now);
     }
@@ -839,7 +887,7 @@ impl BftReplica {
                     replica: self.id,
                     signature: Signature::INVALID,
                 };
-                vote.signature = self.signer.sign(&vote.signing_bytes());
+                vote.signature = self.sign_payload(&vote);
                 self.broadcast(actions, Message::PbftPrepare(vote));
             }
         }

@@ -123,15 +123,17 @@ impl CftReplica {
     }
 
     fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
-        let recipients: Vec<ReplicaId> = self.config.replicas().filter(|r| *r != self.id).collect();
-        for to in recipients {
+        let recipients: Vec<NodeId> = self
+            .config
+            .replicas()
+            .filter(|r| *r != self.id)
+            .map(NodeId::Replica)
+            .collect();
+        for _ in &recipients {
             self.metrics
                 .record_sent(message.kind(), message.wire_size());
-            actions.push(Action::Send {
-                to: NodeId::Replica(to),
-                message: message.clone(),
-            });
         }
+        seemore_core::actions::broadcast(actions, recipients, message, None);
     }
 
     fn make_reply(&self, request: &ClientRequest, result: Vec<u8>) -> ClientReply {

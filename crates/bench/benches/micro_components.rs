@@ -10,10 +10,12 @@
 use seemore_app::{KvOp, KvStore, StateMachine};
 use seemore_bench::{header, time_op};
 use seemore_core::log::Instance;
-use seemore_crypto::{hmac_sha256, sha256, Digest, KeyStore};
+use seemore_crypto::{hmac_sha256, sha256, Digest, KeyStore, VerifyCache};
 use seemore_types::{ClientId, NodeId, ReplicaId, SeqNum, Timestamp, View};
-use seemore_wire::codec::{decode, encode};
-use seemore_wire::{Batch, ClientRequest, Message, Prepare, SignedPayload, WireSize};
+use seemore_wire::codec::{decode, encode, Frame};
+use seemore_wire::{
+    Batch, ClientRequest, Message, Prepare, SignedPayload, SigningScratch, WireSize,
+};
 
 fn main() {
     header("Micro-benchmarks: components behind the CPU cost model");
@@ -200,5 +202,85 @@ fn main() {
             "decode/{label:<16}   : {ns:>9.0} ns/op ({:.1} MB/s)",
             size as f64 * 1_000.0 / ns.max(1.0)
         );
+    }
+
+    // The sign/verify hot path: allocating `signing_bytes()` vs the
+    // scratch-buffer seam, and plain verification vs the bounded memo on a
+    // hot (repeated) message — the duplicate-delivery / certificate-re-check
+    // case the memo exists for. A memo *miss* pays the key digest on top of
+    // the HMAC, which is why the cores consult it only on paths the
+    // protocol actually re-verifies.
+    {
+        let replica_signer = keystore.signer_for(NodeId::Replica(ReplicaId(1))).unwrap();
+        let request = ClientRequest::new(ClientId(0), Timestamp(3), vec![0u8; 64], &client_signer);
+        let ns = time_op("sign_alloc", || {
+            replica_signer.sign(&request.signing_bytes());
+        });
+        println!("sign/alloc signing_bytes  : {ns:>9.0} ns/op");
+        let mut scratch = SigningScratch::new();
+        let ns = time_op("sign_scratch", || {
+            replica_signer.sign(scratch.bytes_of(&request));
+        });
+        println!("sign/scratch reuse        : {ns:>9.0} ns/op");
+
+        let node = NodeId::Client(ClientId(0));
+        let bytes = request.signing_bytes();
+        let ns = time_op("verify_plain", || {
+            client_keys.verify(node, &bytes, &request.signature);
+        });
+        println!("verify/plain (hot)        : {ns:>9.0} ns/op");
+        let mut memo = VerifyCache::default();
+        memo.verify(&client_keys, node, &bytes, &request.signature);
+        let ns = time_op("verify_memoized", || {
+            memo.verify(&client_keys, node, &bytes, &request.signature);
+        });
+        println!("verify/memoized (hot)     : {ns:>9.0} ns/op");
+    }
+
+    // Broadcast fan-out: per-peer re-encoding (PR 2's behaviour) vs
+    // encode-once shared frames. The shapes mirror what a primary actually
+    // fans out: a small vote and a 64-request PREPARE.
+    for (label, message) in [
+        (
+            "request/0B",
+            Message::Request(ClientRequest::new(
+                ClientId(0),
+                Timestamp(9),
+                Vec::new(),
+                &client_signer,
+            )),
+        ),
+        ("prepare/64 reqs", {
+            let requests: Vec<ClientRequest> = (0..64)
+                .map(|i| {
+                    ClientRequest::new(ClientId(0), Timestamp(i + 1), vec![0u8; 64], &client_signer)
+                })
+                .collect();
+            let batch = Batch::new(requests);
+            let signer = keystore.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
+            Message::Prepare(Prepare {
+                view: View(0),
+                seq: SeqNum(1),
+                digest: batch.digest(),
+                batch,
+                signature: signer.sign(b"bench"),
+            })
+        }),
+    ] {
+        const FANOUT: usize = 6;
+        let ns = time_op("fanout_per_peer", || {
+            for _ in 0..FANOUT {
+                std::hint::black_box(encode(&message));
+            }
+        });
+        println!("fanout6/per-peer {label:<16}: {ns:>9.0} ns/op");
+        let mut scratch = Vec::new();
+        let ns = time_op("fanout_encode_once", || {
+            let frame = Frame::encode_with(&mut scratch, &message);
+            for _ in 0..FANOUT {
+                std::hint::black_box(frame.clone());
+            }
+        });
+        println!("fanout6/encode-once {label:<13}: {ns:>9.0} ns/op");
     }
 }

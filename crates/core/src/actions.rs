@@ -74,6 +74,20 @@ pub enum Action {
         /// Message to deliver.
         message: Message,
     },
+    /// Send one `message` to every node in `to` — the fan-out primitive of
+    /// proposals, votes, commits and informs.
+    ///
+    /// Carrying the destination set in a single action (instead of `n`
+    /// cloned [`Action::Send`]s) is what lets a substrate serialize the
+    /// message **once** and share the encoded bytes across every
+    /// destination (see `Transport::broadcast` in `seemore-net`); the
+    /// in-memory substrates simply deliver a clone per destination.
+    Broadcast {
+        /// Destination nodes (never includes the sender).
+        to: Vec<NodeId>,
+        /// Message to deliver to each of them.
+        message: Message,
+    },
     /// Arm `timer` to fire `after` the current instant.
     SetTimer {
         /// Timer identity.
@@ -113,7 +127,9 @@ impl Action {
         }
     }
 
-    /// Returns the destination and message if this is a send action.
+    /// Returns the destination and message if this is a single send action
+    /// (broadcasts are not flattened; use [`sends`](Self::sends) for a view
+    /// that covers both).
     pub fn as_send(&self) -> Option<(&NodeId, &Message)> {
         match self {
             Action::Send { to, message } => Some((to, message)),
@@ -121,27 +137,60 @@ impl Action {
         }
     }
 
-    /// True if this action is a network send.
+    /// True if this action moves a message over the network (a single send
+    /// or a broadcast).
     pub fn is_send(&self) -> bool {
-        matches!(self, Action::Send { .. })
+        matches!(self, Action::Send { .. } | Action::Broadcast { .. })
+    }
+
+    /// Iterates the `(destination, message)` pairs this action delivers:
+    /// one pair for [`Action::Send`], one per destination for
+    /// [`Action::Broadcast`], none otherwise. This is the view tests and
+    /// in-memory substrates use so they need not care which form a core
+    /// chose.
+    pub fn sends(&self) -> impl Iterator<Item = (NodeId, &Message)> + '_ {
+        let (targets, message): (&[NodeId], Option<&Message>) = match self {
+            Action::Send { to, message } => (std::slice::from_ref(to), Some(message)),
+            Action::Broadcast { to, message } => (to.as_slice(), Some(message)),
+            _ => (&[], None),
+        };
+        targets
+            .iter()
+            .filter_map(move |to| message.map(|m| (*to, m)))
     }
 }
 
-/// Helper extending `Vec<Action>` with a broadcast constructor.
+/// Delivers one `message` to every destination through `deliver`, cloning
+/// for all but the last destination (which receives the original) — the
+/// clone-minimising expansion the in-memory substrates use to lower an
+/// [`Action::Broadcast`] into per-destination deliveries.
+pub fn fan_out(to: Vec<NodeId>, message: Message, mut deliver: impl FnMut(NodeId, Message)) {
+    let mut targets = to.into_iter();
+    if let Some(last) = targets.next_back() {
+        for peer in targets {
+            deliver(peer, message.clone());
+        }
+        deliver(last, message);
+    }
+}
+
+/// Helper extending `Vec<Action>` with a broadcast constructor: pushes one
+/// [`Action::Broadcast`] carrying the whole destination set (no per-copy
+/// message clones), skipping `exclude`.
 pub fn broadcast(
     actions: &mut Vec<Action>,
     recipients: impl IntoIterator<Item = NodeId>,
     message: Message,
     exclude: Option<NodeId>,
 ) {
-    for to in recipients {
-        if Some(to) == exclude {
-            continue;
-        }
-        actions.push(Action::Send {
-            to,
-            message: message.clone(),
-        });
+    let to: Vec<NodeId> = recipients
+        .into_iter()
+        .filter(|node| Some(*node) != exclude)
+        .collect();
+    match to.len() {
+        0 => {}
+        1 => actions.push(Action::Send { to: to[0], message }),
+        _ => actions.push(Action::Broadcast { to, message }),
     }
 }
 
@@ -175,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_excludes_self() {
+    fn broadcast_excludes_self_and_carries_one_message() {
         let mut actions = Vec::new();
         let recipients: Vec<NodeId> = (0..4).map(|r| NodeId::Replica(ReplicaId(r))).collect();
         broadcast(
@@ -184,10 +233,12 @@ mod tests {
             sample_message(),
             Some(NodeId::Replica(ReplicaId(1))),
         );
-        assert_eq!(actions.len(), 3);
-        assert!(actions
-            .iter()
-            .all(|a| a.as_send().unwrap().0 != &NodeId::Replica(ReplicaId(1))));
+        // One action, one message, three destinations — no per-copy clones.
+        assert_eq!(actions.len(), 1);
+        assert!(actions[0].is_send());
+        let deliveries: Vec<NodeId> = actions[0].sends().map(|(to, _)| to).collect();
+        assert_eq!(deliveries.len(), 3);
+        assert!(!deliveries.contains(&NodeId::Replica(ReplicaId(1))));
     }
 
     #[test]
@@ -196,7 +247,25 @@ mod tests {
         let recipients: Vec<NodeId> =
             vec![NodeId::Replica(ReplicaId(0)), NodeId::Client(ClientId(1))];
         broadcast(&mut actions, recipients, sample_message(), None);
-        assert_eq!(actions.len(), 2);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].sends().count(), 2);
+    }
+
+    #[test]
+    fn single_recipient_broadcast_degenerates_to_a_send() {
+        let mut actions = Vec::new();
+        broadcast(
+            &mut actions,
+            vec![NodeId::Replica(ReplicaId(2))],
+            sample_message(),
+            None,
+        );
+        assert!(matches!(&actions[0], Action::Send { .. }));
+        assert_eq!(actions[0].sends().count(), 1);
+
+        let mut empty = Vec::new();
+        broadcast(&mut empty, Vec::new(), sample_message(), None);
+        assert!(empty.is_empty(), "empty destination set pushes nothing");
     }
 
     #[test]

@@ -58,6 +58,26 @@ impl<P: ReplicaProtocol> ByzantineReplica<P> {
     }
 
     fn corrupt(&self, actions: Vec<Action>) -> Vec<Action> {
+        // Per-destination misbehaviour (equivocation, alternating corrupt
+        // votes) needs one send per recipient, so broadcasts are lowered to
+        // individual sends first. An honest wrapper keeps broadcasts intact
+        // — it must not perturb the substrate's encode-once fast path.
+        let actions = match self.behavior {
+            ByzantineBehavior::Honest => actions,
+            _ => actions
+                .into_iter()
+                .flat_map(|action| match action {
+                    Action::Broadcast { to, message } => to
+                        .into_iter()
+                        .map(|peer| Action::Send {
+                            to: peer,
+                            message: message.clone(),
+                        })
+                        .collect::<Vec<Action>>(),
+                    other => vec![other],
+                })
+                .collect(),
+        };
         match self.behavior {
             ByzantineBehavior::Honest => actions,
             ByzantineBehavior::Silent => actions

@@ -128,7 +128,7 @@ impl SeeMoReReplica {
                     batch: batch.clone(),
                     signature: Signature::INVALID,
                 };
-                prepare.signature = self.signer.sign(&prepare.signing_bytes());
+                prepare.signature = self.sign_payload(&prepare);
                 let instance = self.log.instance_mut(seq);
                 instance.proposal = Some(Proposal {
                     view: self.view,
@@ -147,7 +147,7 @@ impl SeeMoReReplica {
                     batch: batch.clone(),
                     signature: Signature::INVALID,
                 };
-                preprepare.signature = self.signer.sign(&preprepare.signing_bytes());
+                preprepare.signature = self.sign_payload(&preprepare);
                 let instance = self.log.instance_mut(seq);
                 instance.proposal = Some(Proposal {
                     view: self.view,
@@ -176,6 +176,10 @@ impl SeeMoReReplica {
 
     /// Validates a batch proposal received from the network. On success the
     /// proposal is stored in the log and `true` is returned.
+    ///
+    /// `payload` is the proposal message itself; its canonical signing
+    /// bytes are built through the replica's scratch buffer at the point of
+    /// verification (allocation-free, memo-assisted on redelivery).
     #[allow(clippy::too_many_arguments)]
     fn accept_proposal(
         &mut self,
@@ -186,7 +190,7 @@ impl SeeMoReReplica {
         digest: seemore_crypto::Digest,
         batch: Batch,
         signature: Signature,
-        signing_bytes: &[u8],
+        payload: &impl SignedPayload,
     ) -> bool {
         let Some(sender) = from.as_replica() else {
             actions.push(self.violation(ProtocolViolation::UnexpectedSender {
@@ -212,10 +216,7 @@ impl SeeMoReReplica {
             }));
             return false;
         }
-        if !self
-            .keystore
-            .verify(NodeId::Replica(sender), signing_bytes, &signature)
-        {
+        if !self.verify_payload_once(NodeId::Replica(sender), payload, &signature) {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(sender),
             }));
@@ -275,7 +276,6 @@ impl SeeMoReReplica {
             actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
             return actions;
         }
-        let signing = prepare.signing_bytes();
         if !self.accept_proposal(
             &mut actions,
             from,
@@ -284,7 +284,7 @@ impl SeeMoReReplica {
             prepare.digest,
             prepare.batch.clone(),
             prepare.signature,
-            &signing,
+            &prepare,
         ) {
             return actions;
         }
@@ -325,7 +325,7 @@ impl SeeMoReReplica {
                         replica: self.id,
                         signature: None,
                     };
-                    accept.signature = Some(self.signer.sign(&accept.signing_bytes()));
+                    accept.signature = Some(self.sign_payload(&accept));
                     // Record our own vote before broadcasting.
                     self.log.instance_mut(seq).record_accept(self.id, digest);
                     let proxies = self.current_proxies();
@@ -362,7 +362,6 @@ impl SeeMoReReplica {
             actions.push(self.violation(ProtocolViolation::WrongMode { current: self.mode }));
             return actions;
         }
-        let signing = preprepare.signing_bytes();
         if !self.accept_proposal(
             &mut actions,
             from,
@@ -371,7 +370,7 @@ impl SeeMoReReplica {
             preprepare.digest,
             preprepare.batch.clone(),
             preprepare.signature,
-            &signing,
+            &preprepare,
         ) {
             return actions;
         }
@@ -386,7 +385,7 @@ impl SeeMoReReplica {
                 replica: self.id,
                 signature: Signature::INVALID,
             };
-            vote.signature = self.signer.sign(&vote.signing_bytes());
+            vote.signature = self.sign_payload(&vote);
             self.log
                 .instance_mut(seq)
                 .record_pbft_prepare(self.id, digest);
@@ -453,11 +452,7 @@ impl SeeMoReReplica {
                     return actions;
                 };
                 if !self.cluster.is_proxy(sender, self.view)
-                    || !self.keystore.verify(
-                        NodeId::Replica(sender),
-                        &accept.signing_bytes(),
-                        &signature,
-                    )
+                    || !self.verify_payload_once(NodeId::Replica(sender), &accept, &signature)
                 {
                     actions.push(self.violation(ProtocolViolation::BadSignature {
                         claimed_signer: NodeId::Replica(sender),
@@ -510,7 +505,7 @@ impl SeeMoReReplica {
             batch: Some(proposal.batch.clone()),
             signature: Signature::INVALID,
         };
-        commit.signature = self.signer.sign(&commit.signing_bytes());
+        commit.signature = self.sign_payload(&commit);
         let recipients = self.all_replicas();
         self.broadcast_to(actions, recipients, Message::Commit(commit));
 
@@ -568,11 +563,7 @@ impl SeeMoReReplica {
         }
         if sender != vote.replica
             || !self.cluster.is_proxy(sender, self.view)
-            || !self.keystore.verify(
-                NodeId::Replica(sender),
-                &vote.signing_bytes(),
-                &vote.signature,
-            )
+            || !self.verify_payload_once(NodeId::Replica(sender), &vote, &vote.signature)
         {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(vote.replica),
@@ -632,7 +623,7 @@ impl SeeMoReReplica {
             batch: None,
             signature: Signature::INVALID,
         };
-        commit.signature = self.signer.sign(&commit.signing_bytes());
+        commit.signature = self.sign_payload(&commit);
         let proxies = self.current_proxies();
         self.broadcast_to(actions, proxies, Message::Commit(commit));
     }
@@ -662,11 +653,7 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
-        if !self.keystore.verify(
-            NodeId::Replica(sender),
-            &commit.signing_bytes(),
-            &commit.signature,
-        ) {
+        if !self.verify_payload_once(NodeId::Replica(sender), &commit, &commit.signature) {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(sender),
             }));
@@ -786,7 +773,7 @@ impl SeeMoReReplica {
                 replica: self.id,
                 signature: Signature::INVALID,
             };
-            inform.signature = self.signer.sign(&inform.signing_bytes());
+            inform.signature = self.sign_payload(&inform);
             let passive = self.passive_replicas();
             self.broadcast_to(actions, passive, Message::Inform(inform));
         }
@@ -824,11 +811,7 @@ impl SeeMoReReplica {
         }
         if sender != inform.replica
             || !self.cluster.is_proxy(sender, self.view)
-            || !self.keystore.verify(
-                NodeId::Replica(sender),
-                &inform.signing_bytes(),
-                &inform.signature,
-            )
+            || !self.verify_payload_once(NodeId::Replica(sender), &inform, &inform.signature)
         {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(inform.replica),

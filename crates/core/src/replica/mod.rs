@@ -31,13 +31,13 @@ use crate::metrics::ReplicaMetrics;
 use crate::protocol::ReplicaProtocol;
 use crate::reads::ParkedReads;
 use seemore_app::StateMachine;
-use seemore_crypto::{KeyStore, Signer};
+use seemore_crypto::{KeyStore, Signature, Signer, VerifyCache};
 use seemore_types::{
     ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum, View,
 };
 use seemore_wire::{
     Checkpoint, ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload,
-    StateRequest, StateResponse, ViewChange, WireSize,
+    SigningScratch, StateRequest, StateResponse, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -123,6 +123,13 @@ pub struct SeeMoReReplica {
     /// primary while progress is being made — the PBFT practice of
     /// restarting the timer whenever the system moves forward.
     pub(crate) last_progress: Instant,
+    /// Reusable buffer for canonical signing bytes, so the sign/verify hot
+    /// path performs no per-message allocation.
+    pub(crate) scratch: SigningScratch,
+    /// Bounded memo of already-verified signatures (`None` when disabled by
+    /// [`ProtocolConfig::verify_memo`]): duplicate deliveries and
+    /// certificate re-checks skip the second HMAC.
+    pub(crate) verify_memo: Option<VerifyCache>,
     pub(crate) metrics: ReplicaMetrics,
     pub(crate) crashed: bool,
 }
@@ -186,6 +193,8 @@ impl SeeMoReReplica {
             highest_prepared: SeqNum(0),
             parked_reads: ParkedReads::new(),
             last_progress: Instant::ZERO,
+            scratch: SigningScratch::new(),
+            verify_memo: pconfig.verify_memo.then(VerifyCache::default),
             metrics: ReplicaMetrics::default(),
             crashed: false,
         }
@@ -256,6 +265,60 @@ impl SeeMoReReplica {
     }
 
     // ------------------------------------------------------------------
+    // Signing and verification (the allocation-free hot path)
+    // ------------------------------------------------------------------
+
+    /// Signs `payload`'s canonical bytes through the reusable scratch
+    /// buffer — no allocation per signature.
+    pub(crate) fn sign_payload(&mut self, payload: &impl SignedPayload) -> Signature {
+        self.signer.sign(self.scratch.bytes_of(payload))
+    }
+
+    /// Verifies `signature` as `node`'s signature over `payload`, through
+    /// the scratch buffer and (when enabled) the verified-signature memo,
+    /// so a redelivery skips the second HMAC.
+    ///
+    /// Use this only on paths where the protocol actually re-verifies
+    /// identical bytes — client requests (retransmitted, and re-checked
+    /// inside view-change certificates) and reads. Quorum votes are
+    /// verified exactly once per message in healthy runs, so for them the
+    /// memo's digest-keyed lookup is pure overhead: they go through
+    /// [`verify_payload_once`](Self::verify_payload_once) instead.
+    pub(crate) fn verify_payload(
+        &mut self,
+        node: NodeId,
+        payload: &impl SignedPayload,
+        signature: &Signature,
+    ) -> bool {
+        let Self {
+            scratch,
+            keystore,
+            verify_memo,
+            ..
+        } = self;
+        let bytes = scratch.bytes_of(payload);
+        match verify_memo {
+            Some(memo) => memo.verify(keystore, node, bytes, signature),
+            None => keystore.verify(node, bytes, signature),
+        }
+    }
+
+    /// Plain (memo-free) verification through the scratch buffer — the
+    /// vote-path variant of [`verify_payload`](Self::verify_payload) for
+    /// signatures the protocol checks exactly once.
+    pub(crate) fn verify_payload_once(
+        &mut self,
+        node: NodeId,
+        payload: &impl SignedPayload,
+        signature: &Signature,
+    ) -> bool {
+        let Self {
+            scratch, keystore, ..
+        } = self;
+        keystore.verify(node, scratch.bytes_of(payload), signature)
+    }
+
+    // ------------------------------------------------------------------
     // Outgoing-message helpers
     // ------------------------------------------------------------------
 
@@ -322,11 +385,7 @@ impl SeeMoReReplica {
         let mut actions = Vec::new();
 
         // Signature check: requests are signed by their client.
-        if !self.keystore.verify(
-            NodeId::Client(request.client),
-            &request.signing_bytes(),
-            &request.signature,
-        ) {
+        if !self.verify_payload(NodeId::Client(request.client), &request, &request.signature) {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Client(request.client),
             }));
@@ -386,15 +445,17 @@ impl SeeMoReReplica {
         }
     }
 
-    /// Builds a signed reply for `request` in the current mode and view.
-    pub(crate) fn make_reply(&self, request: &ClientRequest, result: Vec<u8>) -> ClientReply {
-        ClientReply::new(
+    /// Builds a signed reply for `request` in the current mode and view
+    /// (signing through the reusable scratch buffer).
+    pub(crate) fn make_reply(&mut self, request: &ClientRequest, result: Vec<u8>) -> ClientReply {
+        ClientReply::new_with(
+            &mut self.scratch,
+            &self.signer,
             self.mode,
             self.view,
             request.id(),
             self.id,
             result,
-            &self.signer,
         )
     }
 
@@ -433,11 +494,7 @@ impl SeeMoReReplica {
     fn on_read_request(&mut self, read: ReadRequest, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         // Reads are signed by their client, exactly like ordered requests.
-        if !self.keystore.verify(
-            NodeId::Client(read.client),
-            &read.signing_bytes(),
-            &read.signature,
-        ) {
+        if !self.verify_payload(NodeId::Client(read.client), &read, &read.signature) {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Client(read.client),
             }));
@@ -495,14 +552,15 @@ impl SeeMoReReplica {
         match self.exec.read(&read.operation) {
             Some(result) => {
                 self.metrics.reads_served += 1;
-                let reply = ReadReply::new(
+                let reply = ReadReply::new_with(
+                    &mut self.scratch,
+                    &self.signer,
                     self.mode,
                     self.view,
                     read.id(),
                     self.id,
                     self.exec.last_executed(),
                     result,
-                    &self.signer,
                 );
                 self.send(
                     actions,
@@ -517,13 +575,14 @@ impl SeeMoReReplica {
     /// Sends a signed refusal redirecting the client to the ordered path.
     fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
         self.metrics.reads_refused += 1;
-        let reply = ReadReply::refusal(
+        let reply = ReadReply::refusal_with(
+            &mut self.scratch,
+            &self.signer,
             self.mode,
             self.view,
             read.id(),
             self.id,
             self.exec.last_executed(),
-            &self.signer,
         );
         self.send(
             actions,
@@ -589,7 +648,7 @@ impl SeeMoReReplica {
             replica: self.id,
             signature: seemore_crypto::Signature::INVALID,
         };
-        checkpoint.signature = self.signer.sign(&checkpoint.signing_bytes());
+        checkpoint.signature = self.sign_payload(&checkpoint);
         // Record our own message (a trusted primary's own checkpoint is
         // immediately stable; a proxy's own vote counts toward the quorum).
         let trusted = self.cluster.is_trusted(self.id);
@@ -612,9 +671,9 @@ impl SeeMoReReplica {
             return actions;
         };
         if sender != checkpoint.replica
-            || !self.keystore.verify(
+            || !self.verify_payload_once(
                 NodeId::Replica(checkpoint.replica),
-                &checkpoint.signing_bytes(),
+                &checkpoint,
                 &checkpoint.signature,
             )
         {

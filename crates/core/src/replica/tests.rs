@@ -426,9 +426,13 @@ fn mode_switch_lion_to_peacock_and_back() {
         .request_mode_switch(Mode::Peacock, now);
     assert!(!actions.is_empty(), "announcer must emit the MODE-CHANGE");
     // Feed the announcer's own actions into the network.
-    for action in actions {
-        if let crate::actions::Action::Send { to, message } = action {
-            cluster.inject(seemore_types::NodeId::Replica(announcer), to, message);
+    for action in &actions {
+        for (to, message) in action.sends() {
+            cluster.inject(
+                seemore_types::NodeId::Replica(announcer),
+                to,
+                message.clone(),
+            );
         }
     }
     cluster.run_to_quiescence(LIMIT);
@@ -462,9 +466,13 @@ fn mode_switch_lion_to_peacock_and_back() {
     let actions = cluster
         .replica_mut(announcer)
         .request_mode_switch(Mode::Lion, now);
-    for action in actions {
-        if let crate::actions::Action::Send { to, message } = action {
-            cluster.inject(seemore_types::NodeId::Replica(announcer), to, message);
+    for action in &actions {
+        for (to, message) in action.sends() {
+            cluster.inject(
+                seemore_types::NodeId::Replica(announcer),
+                to,
+                message.clone(),
+            );
         }
     }
     cluster.run_to_quiescence(LIMIT);

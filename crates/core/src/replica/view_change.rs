@@ -12,7 +12,7 @@ use seemore_types::{
 };
 use seemore_wire::{
     Accept, Batch, ClientRequest, CommitCert, Message, ModeChange, NewView, PbftPrepare,
-    PrepareCert, SignedPayload, ViewChange,
+    PrepareCert, ViewChange,
 };
 
 /// The trusted replica that is allowed to announce a switch to `mode`
@@ -220,7 +220,7 @@ impl SeeMoReReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        view_change.signature = self.signer.sign(&view_change.signing_bytes());
+        view_change.signature = self.sign_payload(&view_change);
 
         // Record our own vote so a collector that is also a voter counts it.
         self.vc
@@ -270,9 +270,9 @@ impl SeeMoReReplica {
             return actions;
         };
         if sender != view_change.replica
-            || !self.keystore.verify(
+            || !self.verify_payload_once(
                 NodeId::Replica(sender),
-                &view_change.signing_bytes(),
+                &view_change,
                 &view_change.signature,
             )
         {
@@ -425,7 +425,7 @@ impl SeeMoReReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        message.signature = self.signer.sign(&message.signing_bytes());
+        message.signature = self.sign_payload(&message);
         message
     }
 
@@ -434,18 +434,22 @@ impl SeeMoReReplica {
     /// member request carries a valid client signature (or is the internal
     /// no-op). This is what prevents a Byzantine public replica from
     /// smuggling a fabricated or reordered operation through a view change.
-    fn validate_cert_batch(&self, digest: seemore_crypto::Digest, batch: Option<&Batch>) -> bool {
+    ///
+    /// These are quorum-certificate *re-checks*: each member request was
+    /// already verified when it first arrived, so with the memo enabled the
+    /// second HMAC is skipped.
+    fn validate_cert_batch(
+        &mut self,
+        digest: seemore_crypto::Digest,
+        batch: Option<&Batch>,
+    ) -> bool {
         let Some(batch) = batch else { return false };
         if batch.digest() != digest {
             return false;
         }
         batch.iter().all(|request| {
             request.client == NOOP_CLIENT
-                || self.keystore.verify(
-                    NodeId::Client(request.client),
-                    &request.signing_bytes(),
-                    &request.signature,
-                )
+                || self.verify_payload(NodeId::Client(request.client), request, &request.signature)
         })
     }
 
@@ -493,11 +497,7 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
-        if !self.keystore.verify(
-            NodeId::Replica(sender),
-            &new_view.signing_bytes(),
-            &new_view.signature,
-        ) {
+        if !self.verify_payload_once(NodeId::Replica(sender), &new_view, &new_view.signature) {
             actions.push(self.violation(ProtocolViolation::BadSignature {
                 claimed_signer: NodeId::Replica(sender),
             }));
@@ -620,7 +620,7 @@ impl SeeMoReReplica {
                             replica: self.id,
                             signature: None,
                         };
-                        accept.signature = Some(self.signer.sign(&accept.signing_bytes()));
+                        accept.signature = Some(self.sign_payload(&accept));
                         self.log.instance_mut(seq).record_accept(self.id, digest);
                         let proxies = self.current_proxies();
                         self.broadcast_to(actions, proxies, Message::Accept(accept));
@@ -635,7 +635,7 @@ impl SeeMoReReplica {
                             replica: self.id,
                             signature: Signature::INVALID,
                         };
-                        vote.signature = self.signer.sign(&vote.signing_bytes());
+                        vote.signature = self.sign_payload(&vote);
                         self.log
                             .instance_mut(seq)
                             .record_pbft_prepare(self.id, digest);
@@ -725,7 +725,7 @@ impl SeeMoReReplica {
             replica: self.id,
             signature: Signature::INVALID,
         };
-        announcement.signature = self.signer.sign(&announcement.signing_bytes());
+        announcement.signature = self.sign_payload(&announcement);
         let recipients = self.all_replicas();
         self.broadcast_to(
             &mut actions,
@@ -766,9 +766,9 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
-        if !self.keystore.verify(
+        if !self.verify_payload_once(
             NodeId::Replica(sender),
-            &mode_change.signing_bytes(),
+            &mode_change,
             &mode_change.signature,
         ) {
             actions.push(self.violation(ProtocolViolation::BadSignature {

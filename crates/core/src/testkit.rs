@@ -319,6 +319,19 @@ impl SyncCluster {
                         self.queue.push_back(Envelope { from, to, message });
                     }
                 }
+                Action::Broadcast { to, message } => {
+                    if !sender_isolated {
+                        // The deterministic test cluster has no shared-bytes
+                        // fast path; deliver one clone per destination.
+                        crate::actions::fan_out(to, message, |peer, message| {
+                            self.queue.push_back(Envelope {
+                                from,
+                                to: peer,
+                                message,
+                            });
+                        });
+                    }
+                }
                 Action::SetTimer { timer, .. } => {
                     if let NodeId::Replica(id) = from {
                         self.armed.entry(id).or_default().insert(timer);

@@ -25,6 +25,27 @@
 //! (2). The CPU cost of signing/verifying (an HMAC over the message) is also
 //! paid on every code path the paper pays it on, which is what matters for
 //! the performance model. This substitution is documented in `DESIGN.md`.
+//!
+//! ## Hot path
+//!
+//! Signing and verification dominate BFT-lineage throughput profiles (PBFT
+//! and Zyzzyva both report MAC/signature work as the top CPU consumer), so
+//! the two repeated costs around the HMAC itself are engineered away:
+//!
+//! * **Allocation**: the canonical signing bytes of a message are built
+//!   through `SignedPayload::signing_bytes_into` into a per-replica scratch
+//!   buffer (`seemore_wire::SigningScratch`), so the classic
+//!   `sign(&m.signing_bytes())` pattern stops allocating a `Vec` per
+//!   signature — steady state performs zero allocations per sign/verify.
+//! * **Repeat verification**: [`VerifyCache`] is a bounded memo of
+//!   already-verified signatures keyed by `(sender, message digest)`.
+//!   Duplicate deliveries (client retransmissions, votes arriving through
+//!   multiple paths) and quorum-certificate re-checks skip the second HMAC.
+//!   The memo is accept-side only and never disagrees with plain
+//!   [`KeyStore::verify`] — inserts happen only after a successful plain
+//!   verification, hits additionally require a byte-identical signature,
+//!   and mismatches fall through to the full check (see [`memo`] for the
+//!   complete soundness argument and the property test backing it).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -32,9 +53,11 @@
 pub mod digest;
 pub mod hmac;
 pub mod keys;
+pub mod memo;
 pub mod sha256;
 
 pub use digest::Digest;
 pub use hmac::hmac_sha256;
 pub use keys::{KeyStore, SecretKey, Signature, Signer};
+pub use memo::VerifyCache;
 pub use sha256::{sha256, Sha256};

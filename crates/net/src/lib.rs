@@ -21,6 +21,17 @@
 //! the seam between the cluster runtimes and the network substrate, kept
 //! deliberately narrow so an async (tokio/mio) implementation can slot in
 //! once the build environment has registry access.
+//!
+//! # Hot path
+//!
+//! The transport is engineered to pay its three dominant costs once instead
+//! of per-message/per-peer: [`Transport::broadcast`] serializes a message a
+//! single time and shares the encoded frame across every destination
+//! (encode-once), established connections are written from the *sending*
+//! thread with backlog drains coalesced into single bursts (syscall- and
+//! context-switch-light), and receive buffers are reused across frames.
+//! See the [`tcp`] module docs for the full design and
+//! [`TransportStats`] for the counters quantifying each saving.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

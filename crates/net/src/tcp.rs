@@ -19,11 +19,37 @@
 //!   peer spawns a **writer** thread that connects with exponential backoff
 //!   (1 ms doubling to [`MAX_BACKOFF`]), writes the preamble, and drains a
 //!   per-peer outbound queue. A write failure triggers a reconnect and the
-//!   in-flight frame is retransmitted first, so no frame is lost and order
+//!   in-flight frames are retransmitted first, so no frame is lost and order
 //!   is FIFO per connection. Across a reconnect, frames still buffered on
 //!   the old connection may interleave with the new connection's at the
 //!   receiver — the protocol cores tolerate reordering (and duplication) by
 //!   design, exactly as they must on a real network.
+//!
+//! # Hot path
+//!
+//! Three costs dominate a loopback mesh under protocol load, and each is
+//! paid once instead of per-message/per-peer:
+//!
+//! * **Encode-once broadcast** — [`TcpHandle::broadcast`] serializes a
+//!   message a single time into a shared [`Frame`] (`Arc<[u8]>`, built
+//!   through a thread-local scratch buffer) and enqueues the same bytes to
+//!   every destination's writer; the per-peer cost is a reference-count
+//!   bump. [`TransportStats::encodes_saved`] counts the serializations
+//!   avoided.
+//! * **Zero-hop direct writes, coalesced backlog drains** — while a peer's
+//!   connection is up, the *sending* thread writes the frame itself: one
+//!   syscall, no writer-thread wakeup, no context switch. Whenever the
+//!   connection is down (initial dial, reconnect after a failed write),
+//!   frames accumulate in the peer's backlog and the writer thread drains
+//!   the whole queue per wakeup into one reused burst buffer — a single
+//!   coalesced `write(2)` per burst (up to 256 KiB), not one per frame —
+//!   before handing the fresh connection back to the senders.
+//!   [`TransportStats::write_syscalls`] and
+//!   [`TransportStats::frames_coalesced`] quantify both paths.
+//! * **Buffer reuse on receive** — each reader thread owns one read chunk
+//!   and one streaming [`FrameReader`] whose reassembly buffer is reused
+//!   across frames and capacity-bounded, so steady-state receive performs
+//!   no allocations beyond the decoded messages themselves.
 //!
 //! # Trust model
 //!
@@ -51,14 +77,15 @@
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use seemore_types::{ClientId, NodeId, ReplicaId};
-use seemore_wire::codec::{encode, FrameReader, CODEC_VERSION, MAGIC};
+use seemore_wire::codec::{Frame, FrameReader, CODEC_VERSION, MAGIC};
 use seemore_wire::Message;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// First reconnect delay of the writer's exponential backoff.
@@ -72,6 +99,22 @@ const PREAMBLE_LEN: usize = 16;
 
 /// Poll interval for accept loops and shutdown checks.
 const POLL: Duration = Duration::from_millis(5);
+
+/// Ceiling on how many queued frame bytes a writer folds into one coalesced
+/// `write` call. Large enough to swallow a whole broadcast burst, small
+/// enough to keep the reused burst buffer cache-friendly.
+const MAX_BURST: usize = 256 * 1024;
+
+/// Size of the per-connection read buffer handed to `read(2)`.
+const READ_CHUNK: usize = 64 * 1024;
+
+thread_local! {
+    /// Per-thread scratch for encoding outgoing messages: `send` and
+    /// `broadcast` build each [`Frame`] through this buffer, so a replica
+    /// thread's steady-state encode cost is one `Arc` allocation per
+    /// *message* (not per destination, and with no intermediate `Vec`).
+    static ENCODE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// What the cluster runtimes need from a network substrate.
 ///
@@ -89,6 +132,29 @@ pub trait Transport: Send {
     /// reconnects (receivers must tolerate reordering, as protocol cores
     /// do).
     fn send(&self, to: NodeId, message: &Message) -> Result<(), TransportError>;
+
+    /// Queues `message` for delivery to every peer in `to`, encoding it
+    /// **once**: the same shared frame is placed on every destination's
+    /// writer queue, so the fan-out cost of a proposal or vote broadcast is
+    /// one serialization plus `n` reference-count bumps instead of `n`
+    /// serializations.
+    ///
+    /// Delivery is attempted to every listed peer even if an earlier one
+    /// fails; the first error (if any) is returned afterwards. The default
+    /// implementation falls back to per-peer [`send`](Self::send) for
+    /// transports without a shared-frame fast path.
+    fn broadcast(&self, to: &[NodeId], message: &Message) -> Result<(), TransportError> {
+        let mut first_error = None;
+        for &peer in to {
+            if let Err(error) = self.send(peer, message) {
+                first_error.get_or_insert(error);
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(error) => Err(error),
+        }
+    }
 
     /// Waits up to `timeout` for the next message addressed to this node,
     /// returning it together with the sender's identity.
@@ -118,17 +184,35 @@ impl fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// Bytes and messages that crossed the wire, aggregated mesh-wide.
+/// Bytes and messages that crossed the wire, aggregated mesh-wide, plus the
+/// hot-path savings counters (writes coalesced, encodes shared).
 ///
 /// Sent counters advance when a frame is written to a socket; received
 /// counters advance on raw reads (bytes) and successful decodes (messages).
 /// Identity preambles count toward bytes — they are on the wire too.
+///
+/// # Memory ordering
+///
+/// Every counter is a *monotonic event count* updated and read with
+/// [`Ordering::Relaxed`], deliberately: no control flow ever branches on a
+/// counter, no counter update is meant to publish other memory (the frames
+/// themselves travel through channels, which provide their own
+/// happens-before edges), and the only consumers are end-of-run reports and
+/// test assertions that read after the relevant threads have been joined or
+/// the channel traffic has quiesced. `SeqCst` would buy nothing here except
+/// a full fence on every byte counted on the hot path. A point-in-time read
+/// across counters may be mutually inconsistent (e.g. `messages_sent` can
+/// momentarily lag `bytes_sent` mid-write); consumers that compare counters
+/// must tolerate that, exactly as they must for any concurrent statistics.
 #[derive(Debug, Default)]
 pub struct TransportStats {
     messages_sent: AtomicU64,
     messages_received: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    write_syscalls: AtomicU64,
+    frames_coalesced: AtomicU64,
+    encodes_saved: AtomicU64,
 }
 
 impl TransportStats {
@@ -150,6 +234,26 @@ impl TransportStats {
     /// Bytes read from sockets.
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// `write(2)` calls issued by writer threads (preambles included). With
+    /// coalescing, `messages_sent - write_syscalls` frames rode along in a
+    /// burst instead of paying their own syscall.
+    pub fn write_syscalls(&self) -> u64 {
+        self.write_syscalls.load(Ordering::Relaxed)
+    }
+
+    /// Frames that were appended to an already-pending burst — each one is
+    /// a syscall the coalescing writer saved.
+    pub fn frames_coalesced(&self) -> u64 {
+        self.frames_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Per-destination serializations avoided by encode-once broadcasts
+    /// (`peers - 1` per broadcast) — each one is a full message encode plus
+    /// its allocation that the old per-peer path would have paid.
+    pub fn encodes_saved(&self) -> u64 {
+        self.encodes_saved.load(Ordering::Relaxed)
     }
 }
 
@@ -277,6 +381,10 @@ impl Transport for TcpEndpoint {
         self.handle.send(to, message)
     }
 
+    fn broadcast(&self, to: &[NodeId], message: &Message) -> Result<(), TransportError> {
+        self.handle.broadcast(to, message)
+    }
+
     fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, Message), RecvTimeoutError> {
         self.incoming.recv_timeout(timeout)
     }
@@ -286,17 +394,40 @@ impl Transport for TcpEndpoint {
     }
 }
 
+/// One peer's outbound state, shared between sender threads (direct-write
+/// fast path) and the peer's writer thread (dial / reconnect / backlog).
+///
+/// The invariant that keeps FIFO trivial: **`stream` is installed only
+/// while `backlog` is empty.** Sender threads write directly through the
+/// installed stream (one `write(2)` from the sending thread, no writer-
+/// thread wakeup, no context switch); whenever the connection is down —
+/// initial dial, reconnect after a failed write — frames go to the backlog
+/// and the writer thread drains it as coalesced bursts before re-installing
+/// the stream. All writes happen under the state mutex, so frames of
+/// concurrent senders never interleave mid-frame.
+#[derive(Debug)]
+struct PeerOutbox {
+    state: Mutex<PeerState>,
+    /// Signalled when the backlog gains frames (the writer thread's wakeup).
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PeerState {
+    /// The established connection, present only when `backlog` is empty.
+    stream: Option<TcpStream>,
+    /// Frames awaiting the writer thread (connection down or mid-drain).
+    backlog: VecDeque<Frame>,
+}
+
 /// The sending half of a [`TcpEndpoint`]; cheap to clone and share.
 #[derive(Debug, Clone)]
 pub struct TcpHandle {
     local: NodeId,
     shared: Arc<MeshShared>,
-    /// Outbound queue per peer; populated lazily by the first send.
-    writers: Arc<Mutex<HashMap<NodeId, Sender<SharedFrame>>>>,
+    /// Outbound state per peer; populated lazily by the first send.
+    writers: Arc<Mutex<HashMap<NodeId, Arc<PeerOutbox>>>>,
 }
-
-/// An encoded frame shared between a broadcast's per-peer writer queues.
-type SharedFrame = Arc<Vec<u8>>;
 
 impl TcpHandle {
     /// The node this handle sends as.
@@ -304,38 +435,114 @@ impl TcpHandle {
         self.local
     }
 
-    /// Encodes `message` and queues it for `to`, dialing the peer on first
-    /// use. Order is FIFO while a connection lasts; a reconnect re-sends
-    /// the failed frame first but may interleave with frames the receiver
-    /// still holds from the old connection.
+    /// Encodes `message` (through the thread's reusable scratch buffer) and
+    /// queues it for `to`, dialing the peer on first use. Order is FIFO
+    /// while a connection lasts; a reconnect re-sends the failed frames
+    /// first but may interleave with frames the receiver still holds from
+    /// the old connection.
     pub fn send(&self, to: NodeId, message: &Message) -> Result<(), TransportError> {
-        self.send_frame(to, Arc::new(encode(message)))
+        self.send_frame(to, self.encode_frame(message))
     }
 
-    /// Queues an already-encoded frame for `to` — the broadcast path: one
-    /// `encode` can fan out to every peer without re-serializing, which is
-    /// what a primary's proposal broadcast does on the data path.
-    pub fn send_frame(&self, to: NodeId, frame: SharedFrame) -> Result<(), TransportError> {
+    /// Encodes `message` once and queues the same shared frame for every
+    /// peer in `to` (see [`Transport::broadcast`]). Every peer is attempted;
+    /// the first error, if any, is returned afterwards.
+    pub fn broadcast(&self, to: &[NodeId], message: &Message) -> Result<(), TransportError> {
+        let Some((&last, rest)) = to.split_last() else {
+            return Ok(());
+        };
+        let frame = self.encode_frame(message);
+        self.shared
+            .stats
+            .encodes_saved
+            .fetch_add(rest.len() as u64, Ordering::Relaxed);
+        let mut first_error = None;
+        for &peer in rest {
+            if let Err(error) = self.send_frame(peer, frame.clone()) {
+                first_error.get_or_insert(error);
+            }
+        }
+        if let Err(error) = self.send_frame(last, frame) {
+            first_error.get_or_insert(error);
+        }
+        match first_error {
+            None => Ok(()),
+            Some(error) => Err(error),
+        }
+    }
+
+    /// Builds the shared frame for `message` through the thread-local
+    /// encode scratch (one `Arc` allocation, no intermediate `Vec`).
+    fn encode_frame(&self, message: &Message) -> Frame {
+        ENCODE_SCRATCH.with(|scratch| Frame::encode_with(&mut scratch.borrow_mut(), message))
+    }
+
+    /// Queues (or directly writes) an already-encoded frame for `to` — the
+    /// fan-out primitive under [`broadcast`](Self::broadcast): one encode is
+    /// shared by every peer without re-serializing.
+    ///
+    /// With the connection up and no backlog pending, the frame is written
+    /// to the socket **from the calling thread** — the common case pays one
+    /// syscall and zero thread hops. Otherwise the frame joins the peer's
+    /// backlog and the writer thread delivers it after (re)connecting.
+    pub fn send_frame(&self, to: NodeId, frame: Frame) -> Result<(), TransportError> {
         if self.shared.is_shutdown() {
             return Err(TransportError::Closed);
         }
+        let outbox = self.outbox(to)?;
+        let mut state = outbox.state.lock().expect("peer outbox lock");
+        match state.stream.as_mut() {
+            Some(stream) => {
+                // Direct write: FIFO holds because every write happens under
+                // this lock and the stream is only installed with an empty
+                // backlog.
+                if stream.write_all(frame.bytes()).is_ok() {
+                    let stats = &self.shared.stats;
+                    stats
+                        .bytes_sent
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                    stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Connection lost mid-write: hand the frame (and the
+                    // connection's future) back to the writer thread. The
+                    // peer may observe a duplicate of partially delivered
+                    // bytes after the retransmit; cores tolerate that.
+                    state.stream = None;
+                    state.backlog.push_back(frame);
+                    outbox.ready.notify_one();
+                }
+            }
+            None => {
+                state.backlog.push_back(frame);
+                outbox.ready.notify_one();
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the peer's outbox, spawning its writer thread on first use.
+    fn outbox(&self, to: NodeId) -> Result<Arc<PeerOutbox>, TransportError> {
         let addr = *self
             .shared
             .addresses
             .get(&to)
             .ok_or(TransportError::UnknownPeer(to))?;
         let mut writers = self.writers.lock().expect("writer map lock");
-        let tx = writers.entry(to).or_insert_with(|| {
-            let (tx, rx) = unbounded();
+        Ok(Arc::clone(writers.entry(to).or_insert_with(|| {
+            let outbox = Arc::new(PeerOutbox {
+                state: Mutex::new(PeerState::default()),
+                ready: Condvar::new(),
+            });
             let local = self.local;
             let shared = Arc::clone(&self.shared);
+            let thread_outbox = Arc::clone(&outbox);
             std::thread::Builder::new()
                 .name(format!("tcp-write-{local}-to-{to}"))
-                .spawn(move || writer_loop(local, addr, rx, shared))
+                .spawn(move || writer_loop(local, addr, thread_outbox, shared))
                 .expect("spawn writer thread");
-            tx
-        });
-        tx.send(frame).map_err(|_| TransportError::Closed)
+            outbox
+        })))
     }
 }
 
@@ -433,8 +640,13 @@ fn reader_loop(
         // Not one of ours; drop the connection.
         return;
     };
+    // One read buffer and one FrameReader per connection, both reused for
+    // every frame of the connection's lifetime: the read chunk is filled by
+    // `read(2)` and drained into the FrameReader, whose internal reassembly
+    // buffer amortizes to zero allocations (and stays capacity-bounded —
+    // see `FrameReader::compact`).
     let mut frames = FrameReader::new();
-    let mut buf = [0u8; 16 * 1024];
+    let mut buf = vec![0u8; READ_CHUNK];
     while !shared.is_shutdown() {
         match stream.read(&mut buf) {
             Ok(0) => return, // peer closed
@@ -490,15 +702,43 @@ fn connect_with_backoff(addr: SocketAddr, shared: &MeshShared) -> Option<TcpStre
     }
 }
 
-fn writer_loop(
-    local: NodeId,
-    addr: SocketAddr,
-    outbound: Receiver<SharedFrame>,
-    shared: Arc<MeshShared>,
-) {
-    // A frame that failed mid-write and must go out first after reconnecting.
-    let mut carry_over: Option<SharedFrame> = None;
+/// The writer thread: owns the peer's connection lifecycle. It dials (and
+/// re-dials with backoff), writes the identity preamble, then drains the
+/// backlog accumulated while the connection was down — **whole queue per
+/// wakeup, folded into a single coalesced buffered write per burst** (one
+/// syscall per burst, not per frame) — and finally installs the stream into
+/// the outbox so sender threads switch to the zero-hop direct-write path.
+/// In steady state (connection up, backlog empty) this thread sleeps; it
+/// wakes only when a direct write fails and the connection must be rebuilt.
+fn writer_loop(local: NodeId, addr: SocketAddr, outbox: Arc<PeerOutbox>, shared: Arc<MeshShared>) {
+    // Bytes (whole frames) that failed mid-write and must be retransmitted
+    // first after reconnecting, preserving FIFO. The receiver may observe a
+    // duplicate of a frame the kernel had partially delivered before the
+    // failure; the protocol cores tolerate duplication by design.
+    let mut carry_over: Vec<u8> = Vec::new();
+    let mut carry_frames: u64 = 0;
+    // The burst buffer is reused across writes (capacity bounded by
+    // MAX_BURST plus one frame), so steady state allocates nothing.
+    let mut burst: Vec<u8> = Vec::new();
     'connection: loop {
+        // Sleep until there is something to deliver (or shutdown). The
+        // stream, if it existed, was taken down by whoever saw the failure.
+        {
+            let mut state = outbox.state.lock().expect("peer outbox lock");
+            loop {
+                if shared.is_shutdown() {
+                    return;
+                }
+                if !state.backlog.is_empty() || !carry_over.is_empty() {
+                    break;
+                }
+                state = outbox
+                    .ready
+                    .wait_timeout(state, POLL * 10)
+                    .expect("peer outbox lock")
+                    .0;
+            }
+        }
         let Some(mut stream) = connect_with_backoff(addr, &shared) else {
             return;
         };
@@ -511,32 +751,61 @@ fn writer_loop(
             .stats
             .bytes_sent
             .fetch_add(PREAMBLE_LEN as u64, Ordering::Relaxed);
+        shared.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+        // Drain the backlog in coalesced bursts; once it runs dry, publish
+        // the connection for sender threads (direct writes) and go back to
+        // waiting.
         loop {
-            let frame = match carry_over.take() {
-                Some(frame) => frame,
-                None => match outbound.recv_timeout(POLL * 10) {
-                    Ok(frame) => frame,
-                    Err(RecvTimeoutError::Timeout) => {
-                        if shared.is_shutdown() {
-                            return;
-                        }
-                        continue;
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                },
+            if shared.is_shutdown() {
+                return;
+            }
+            burst.clear();
+            let mut frames: u64 = if carry_over.is_empty() {
+                0
+            } else {
+                burst.extend_from_slice(&carry_over);
+                carry_frames
             };
-            if stream.write_all(&frame).is_err() {
+            {
+                let mut state = outbox.state.lock().expect("peer outbox lock");
+                while burst.len() < MAX_BURST {
+                    let Some(frame) = state.backlog.pop_front() else {
+                        break;
+                    };
+                    burst.extend_from_slice(frame.bytes());
+                    frames += 1;
+                }
+                if frames == 0 {
+                    // Backlog drained under the lock: hand the stream to the
+                    // senders. The next send writes directly, with no writer
+                    // wakeup and no thread hop.
+                    state.stream = Some(stream);
+                    continue 'connection;
+                }
+            }
+            if stream.write_all(&burst).is_err() {
                 if shared.is_shutdown() {
                     return;
                 }
-                carry_over = Some(frame);
+                std::mem::swap(&mut carry_over, &mut burst);
+                carry_frames = frames;
                 continue 'connection;
             }
+            carry_over.clear();
+            carry_frames = 0;
             shared
                 .stats
                 .bytes_sent
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
-            shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                .fetch_add(burst.len() as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .messages_sent
+                .fetch_add(frames, Ordering::Relaxed);
+            shared.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .frames_coalesced
+                .fetch_add(frames.saturating_sub(1), Ordering::Relaxed);
         }
     }
 }
@@ -634,5 +903,160 @@ mod tests {
         let mut garbage = encode_preamble(NodeId::Client(ClientId(1)));
         garbage[0] = b'!';
         assert_eq!(decode_preamble(&garbage), None);
+    }
+
+    #[test]
+    fn broadcast_encodes_once_and_delivers_to_every_peer_in_order() {
+        let all: Vec<NodeId> = (0..4).map(|r| NodeId::Replica(ReplicaId(r))).collect();
+        let mesh = TcpMesh::new(&all).unwrap();
+        let sender = mesh.take_endpoint(all[0]).unwrap();
+        let peers: Vec<NodeId> = all[1..].to_vec();
+        let receivers: Vec<TcpEndpoint> = peers
+            .iter()
+            .map(|&node| mesh.take_endpoint(node).unwrap())
+            .collect();
+
+        const FRAMES: u64 = 20;
+        for seq in 0..FRAMES {
+            sender.broadcast(&peers, &state_request(seq)).unwrap();
+        }
+        for receiver in &receivers {
+            for seq in 0..FRAMES {
+                let (from, message) = receiver.recv_timeout(Duration::from_secs(5)).unwrap();
+                assert_eq!(from, all[0]);
+                assert_eq!(message, state_request(seq), "exactly once, FIFO");
+            }
+            assert!(
+                receiver.recv_timeout(Duration::from_millis(50)).is_err(),
+                "no duplicate deliveries"
+            );
+        }
+        let stats = mesh.stats();
+        // One encode per broadcast; the other peers - 1 copies were shared.
+        assert_eq!(stats.encodes_saved(), FRAMES * (peers.len() as u64 - 1));
+        assert_eq!(stats.messages_sent(), FRAMES * peers.len() as u64);
+        // Accounting identity of the coalescing writer: every sent frame
+        // either opened a burst (one syscall, minus the per-connection
+        // preamble writes) or rode along in one (coalesced).
+        let preambles = peers.len() as u64;
+        assert_eq!(
+            stats.messages_sent(),
+            (stats.write_syscalls() - preambles) + stats.frames_coalesced()
+        );
+        mesh.shutdown();
+
+        // An empty peer list is a no-op, not an error.
+        assert_eq!(sender.broadcast(&[], &state_request(0)), Ok(()));
+    }
+
+    #[test]
+    fn broadcast_reports_unknown_peers_but_still_reaches_the_rest() {
+        let mesh = TcpMesh::new(&nodes()).unwrap();
+        let a = mesh.take_endpoint(NodeId::Replica(ReplicaId(0))).unwrap();
+        let b = mesh.take_endpoint(NodeId::Replica(ReplicaId(1))).unwrap();
+        let ghost = NodeId::Replica(ReplicaId(42));
+        assert_eq!(
+            a.broadcast(&[ghost, NodeId::Replica(ReplicaId(1))], &state_request(7)),
+            Err(TransportError::UnknownPeer(ghost))
+        );
+        let (_, message) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(message, state_request(7), "known peers still served");
+        mesh.shutdown();
+    }
+
+    /// Satellite regression: a broadcast's shared frame must reach every
+    /// listed peer exactly once even when one peer's writer is
+    /// mid-reconnect — the frames queued during the connect backoff (the
+    /// carry-over/retransmit path) survive until the peer comes up.
+    #[test]
+    fn broadcast_survives_a_peer_mid_reconnect() {
+        let a = NodeId::Replica(ReplicaId(0));
+        let b = NodeId::Replica(ReplicaId(1));
+        let c = NodeId::Replica(ReplicaId(2));
+        let a_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let c_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        // Reserve a port for b, then close it: a's writer to b will spin in
+        // connect backoff (ECONNREFUSED) while the broadcasts are queued.
+        let b_addr = {
+            let reserved = TcpListener::bind("127.0.0.1:0").unwrap();
+            reserved.local_addr().unwrap()
+        };
+        let shared = Arc::new(MeshShared {
+            addresses: HashMap::from([
+                (a, a_listener.local_addr().unwrap()),
+                (b, b_addr),
+                (c, c_listener.local_addr().unwrap()),
+            ]),
+            stats: Arc::new(TransportStats::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let sender = TcpEndpoint::start(a, a_listener, Arc::clone(&shared)).unwrap();
+        let live = TcpEndpoint::start(c, c_listener, Arc::clone(&shared)).unwrap();
+
+        const FRAMES: u64 = 16;
+        for seq in 0..FRAMES {
+            sender
+                .handle()
+                .broadcast(&[b, c], &state_request(seq))
+                .unwrap();
+        }
+        // The live peer drains immediately, proving the shared frames are
+        // not held hostage by the unreachable one.
+        for seq in 0..FRAMES {
+            let (_, message) = live.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(message, state_request(seq));
+        }
+
+        // Now bring b up on the reserved address; the writer's backoff loop
+        // connects and retransmits the queue.
+        std::thread::sleep(Duration::from_millis(20));
+        let b_listener = (0..100)
+            .find_map(|_| {
+                TcpListener::bind(b_addr).ok().or_else(|| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    None
+                })
+            })
+            .expect("rebind the reserved port for b");
+        let late = TcpEndpoint::start(b, b_listener, Arc::clone(&shared)).unwrap();
+        for seq in 0..FRAMES {
+            let (from, message) = late.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(from, a);
+            assert_eq!(message, state_request(seq), "exactly once, in order");
+        }
+        assert!(
+            late.recv_timeout(Duration::from_millis(100)).is_err(),
+            "no frame delivered twice after the reconnect"
+        );
+        shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn coalescing_accounting_holds_under_concurrent_load() {
+        let mesh = TcpMesh::new(&nodes()).unwrap();
+        let a = mesh.take_endpoint(NodeId::Replica(ReplicaId(0))).unwrap();
+        let b = mesh.take_endpoint(NodeId::Replica(ReplicaId(1))).unwrap();
+        const FRAMES: u64 = 500;
+        for seq in 0..FRAMES {
+            a.send(NodeId::Replica(ReplicaId(1)), &state_request(seq))
+                .unwrap();
+        }
+        for seq in 0..FRAMES {
+            let (_, message) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(message, state_request(seq));
+        }
+        let stats = mesh.stats();
+        assert_eq!(stats.messages_sent(), FRAMES);
+        assert_eq!(stats.messages_received(), FRAMES);
+        // One preamble write, then bursts: sent = bursts + coalesced.
+        assert_eq!(
+            stats.messages_sent(),
+            (stats.write_syscalls() - 1) + stats.frames_coalesced()
+        );
+        assert!(
+            stats.write_syscalls() <= FRAMES + 1,
+            "coalescing can never issue more writes than frames"
+        );
+        mesh.shutdown();
     }
 }

@@ -47,16 +47,48 @@ pub(crate) fn to_instant(start: StdInstant) -> Instant {
     Instant::from_nanos(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
 }
 
+/// How a replica thread moves its outgoing messages: the seam between the
+/// shared event loop and the two byte-moving substrates.
+///
+/// `broadcast` receives the whole destination set of an
+/// [`Action::Broadcast`] in one call, which is what lets the socket runtime
+/// serialize the message once and fan the shared frame out
+/// (`Transport::broadcast`); the default implementation delivers one clone
+/// per destination for substrates without a shared-bytes fast path.
+pub(crate) trait ReplicaSink {
+    /// Delivers `message` to a single destination.
+    fn send(&mut self, to: NodeId, message: Message);
+
+    /// Delivers one `message` to every node in `to`.
+    fn broadcast(&mut self, to: Vec<NodeId>, message: Message) {
+        seemore_core::actions::fan_out(to, message, |peer, message| self.send(peer, message));
+    }
+}
+
 /// The replica thread body: waits for commands with a deadline derived from
 /// the earliest armed timer, fires due timers, and carries protocol actions
-/// out through `send`. Returns the core on shutdown so callers can inspect
+/// out through `sink`. Returns the core on shutdown so callers can inspect
 /// execution histories and metrics.
-pub(crate) fn run_replica(
+///
+/// `inbox`, when present, is a second queue carrying raw `(sender,
+/// message)` traffic — the socket runtime points this directly at its
+/// transport's decoded-message queue, so delivery skips the per-message
+/// pump-thread hop (one context switch fewer per message on the hot path).
+/// Control commands stay on `commands` and are drained with `try_recv`
+/// every iteration; they are rare (crash / mode switch / shutdown), so the
+/// worst case is one poll per message plus one per wait timeout.
+pub(crate) fn run_replica_loop(
     mut replica: Box<dyn ReplicaProtocol>,
     commands: &Receiver<ReplicaCommand>,
+    inbox: Option<&Receiver<(NodeId, Message)>>,
     start: StdInstant,
-    mut send: impl FnMut(NodeId, Message),
+    mut sink: impl ReplicaSink,
 ) -> Box<dyn ReplicaProtocol> {
+    /// Messages handled per wakeup before re-checking timers and control
+    /// commands: enough to amortize the loop bookkeeping under load without
+    /// starving timers.
+    const DRAIN_BATCH: usize = 32;
+
     let mut timers: BTreeMap<Instant, Vec<Timer>> = BTreeMap::new();
     let mut armed: HashMap<Timer, Instant> = HashMap::new();
     let mut actions = replica.on_start(to_instant(start));
@@ -64,7 +96,8 @@ pub(crate) fn run_replica(
         // Carry out the actions accumulated so far.
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, message } => send(to, message),
+                Action::Send { to, message } => sink.send(to, message),
+                Action::Broadcast { to, message } => sink.broadcast(to, message),
                 Action::SetTimer { timer, after } => {
                     let deadline = to_instant(start) + after;
                     armed.insert(timer, deadline);
@@ -76,7 +109,29 @@ pub(crate) fn run_replica(
                 Action::Executed { .. } | Action::Violation(_) => {}
             }
         }
-        // Wait until the next timer deadline (or a command).
+        // Control commands never block: drain whatever is pending.
+        let mut shutdown = false;
+        while let Ok(command) = commands.try_recv() {
+            match command {
+                ReplicaCommand::Deliver { from, message } => {
+                    let now = to_instant(start);
+                    actions.extend(replica.on_message(from, message, now));
+                }
+                ReplicaCommand::Crash => replica.crash(),
+                ReplicaCommand::ModeSwitch { mode } => {
+                    let now = to_instant(start);
+                    actions.extend(replica.request_mode_switch(mode, now));
+                }
+                ReplicaCommand::Shutdown => shutdown = true,
+            }
+        }
+        if shutdown {
+            return replica;
+        }
+        if !actions.is_empty() {
+            continue;
+        }
+        // Wait until the next timer deadline (or traffic).
         let now = to_instant(start);
         let next_deadline = timers.keys().next().copied();
         let wait = match next_deadline {
@@ -84,19 +139,41 @@ pub(crate) fn run_replica(
             Some(_) => std::time::Duration::from_millis(0),
             None => std::time::Duration::from_millis(50),
         };
-        match commands.recv_timeout(wait) {
-            Ok(ReplicaCommand::Deliver { from, message }) => {
-                let now = to_instant(start);
-                actions = replica.on_message(from, message, now);
-            }
-            Ok(ReplicaCommand::Crash) => replica.crash(),
-            Ok(ReplicaCommand::ModeSwitch { mode }) => {
-                let now = to_instant(start);
-                actions = replica.request_mode_switch(mode, now);
-            }
-            Ok(ReplicaCommand::Shutdown) => return replica,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return replica,
+        // Block on the message source: the direct inbox when wired, the
+        // command channel otherwise. After a successful receive, greedily
+        // drain a bounded batch so the per-wakeup bookkeeping (instant
+        // reads, timer scans) is amortized across messages.
+        match inbox {
+            Some(inbox) => match inbox.recv_timeout(wait) {
+                Ok((from, message)) => {
+                    let now = to_instant(start);
+                    actions = replica.on_message(from, message, now);
+                    for _ in 1..DRAIN_BATCH {
+                        match inbox.try_recv() {
+                            Ok((from, message)) => {
+                                actions.extend(replica.on_message(from, message, now));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return replica,
+            },
+            None => match commands.recv_timeout(wait) {
+                Ok(ReplicaCommand::Deliver { from, message }) => {
+                    let now = to_instant(start);
+                    actions = replica.on_message(from, message, now);
+                }
+                Ok(ReplicaCommand::Crash) => replica.crash(),
+                Ok(ReplicaCommand::ModeSwitch { mode }) => {
+                    let now = to_instant(start);
+                    actions = replica.request_mode_switch(mode, now);
+                }
+                Ok(ReplicaCommand::Shutdown) => return replica,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return replica,
+            },
         }
         // Fire due timers.
         let now = to_instant(start);
@@ -110,6 +187,17 @@ pub(crate) fn run_replica(
             }
         }
     }
+}
+
+/// [`run_replica_loop`] without a direct inbox — the threaded runtime's
+/// entry point, where all traffic arrives as [`ReplicaCommand::Deliver`].
+pub(crate) fn run_replica(
+    replica: Box<dyn ReplicaProtocol>,
+    commands: &Receiver<ReplicaCommand>,
+    start: StdInstant,
+    sink: impl ReplicaSink,
+) -> Box<dyn ReplicaProtocol> {
+    run_replica_loop(replica, commands, None, start, sink)
 }
 
 /// How [`drive_client`] paces one closed-loop client.
@@ -175,6 +263,23 @@ pub(crate) fn drive_client<C: ClientProtocol>(
                     let now = to_instant(start);
                     let actions = client.on_message(from, message, now);
                     perform_client_actions(actions, &mut send);
+                    // A quorum protocol's replies arrive as a burst (every
+                    // replica answers); drain what is already queued in the
+                    // same wakeup instead of paying one park/unpark cycle
+                    // per reply.
+                    for _ in 0..16 {
+                        match recv(std::time::Duration::ZERO) {
+                            Ok((from, message)) => {
+                                let actions = client.on_message(from, message, now);
+                                perform_client_actions(actions, &mut send);
+                            }
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                outcomes.extend(client.take_completed());
+                                return outcomes;
+                            }
+                        }
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return outcomes,
@@ -187,8 +292,12 @@ pub(crate) fn drive_client<C: ClientProtocol>(
 
 fn perform_client_actions(actions: Vec<Action>, send: &mut impl FnMut(NodeId, Message)) {
     for action in actions {
-        if let Action::Send { to, message } = action {
-            send(to, message);
+        match action {
+            Action::Send { to, message } => send(to, message),
+            Action::Broadcast { to, message } => {
+                seemore_core::actions::fan_out(to, message, &mut *send);
+            }
+            _ => {}
         }
     }
 }

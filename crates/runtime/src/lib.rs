@@ -48,9 +48,9 @@ pub mod socket;
 pub mod threaded;
 pub mod workload;
 
-pub use report::{BatchReport, ClassStats, RunReport, TimelineBucket};
+pub use report::{BatchReport, ClassStats, RunReport, TimelineBucket, TransportReport};
 pub use scenario::{ProtocolKind, RuntimeKind, Scenario};
 pub use sim::{SimConfig, Simulation};
-pub use socket::SocketCluster;
+pub use socket::{SocketCluster, SocketOptions};
 pub use threaded::ThreadedCluster;
 pub use workload::Workload;

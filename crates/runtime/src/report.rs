@@ -58,6 +58,38 @@ impl BatchReport {
     }
 }
 
+/// What the socket transport's hot path actually did during a run: syscalls
+/// issued vs frames sent (write coalescing) and per-destination encodes
+/// avoided (encode-once broadcast). `None` on the runtimes that move plain
+/// Rust values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Frames written to sockets.
+    pub messages_sent: u64,
+    /// Bytes written to sockets (preambles included).
+    pub bytes_sent: u64,
+    /// `write(2)` calls issued — with coalescing, `messages_sent -
+    /// write_syscalls` frames rode along in a burst for free.
+    pub write_syscalls: u64,
+    /// Frames appended to an already-pending burst (syscalls saved).
+    pub frames_coalesced: u64,
+    /// Serializations avoided by encode-once broadcasts (encodes saved).
+    pub encodes_saved: u64,
+}
+
+impl TransportReport {
+    /// Projects the live transport counters into report form.
+    pub fn from_stats(stats: &seemore_net::TransportStats) -> TransportReport {
+        TransportReport {
+            messages_sent: stats.messages_sent(),
+            bytes_sent: stats.bytes_sent(),
+            write_syscalls: stats.write_syscalls(),
+            frames_coalesced: stats.frames_coalesced(),
+            encodes_saved: stats.encodes_saved(),
+        }
+    }
+}
+
 /// Throughput and latency statistics for one operation class (reads or
 /// writes) inside the measurement window.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -142,6 +174,9 @@ pub struct RunReport {
     /// Chosen batch sizes and flush causes, aggregated across all replicas
     /// over the whole run.
     pub batching: BatchReport,
+    /// Socket-transport hot-path counters (syscalls, coalesced frames,
+    /// encodes saved); `None` for the simulator and the threaded runtime.
+    pub transport: Option<TransportReport>,
     /// Throughput timeline over the whole run (not only the measurement
     /// window), for the view-change experiment.
     pub timeline: Vec<TimelineBucket>,

@@ -178,6 +178,14 @@ pub struct Scenario {
     /// (true, the default) or are downgraded to the ordered path (the
     /// ordered-everything baseline arm of the read ablation).
     pub read_fast_path: bool,
+    /// Whether socket-runtime broadcasts use the transport's encode-once
+    /// shared-frame fast path (true, the default). Disabling re-encodes the
+    /// message per destination — the ablation's "PR 2 behaviour" arm. No
+    /// effect on the other runtimes (they never serialize).
+    pub encode_once: bool,
+    /// Whether replicas memoize verified signatures (true, the default; see
+    /// [`ProtocolConfig::verify_memo`]). Applies on every runtime.
+    pub verify_memo: bool,
     /// Number of public-cloud replicas wrapped with this Byzantine
     /// behaviour (must stay ≤ `m` for guarantees to hold).
     pub byzantine_replicas: u32,
@@ -213,6 +221,8 @@ impl Scenario {
             mode_switch: None,
             workload: None,
             read_fast_path: true,
+            encode_once: true,
+            verify_memo: true,
             byzantine_replicas: 0,
             byzantine_behavior: ByzantineBehavior::Honest,
             runtime: RuntimeKind::Simulated,
@@ -279,6 +289,20 @@ impl Scenario {
     /// two arms differ only in how reads travel.
     pub fn with_read_fast_path(mut self, enabled: bool) -> Self {
         self.read_fast_path = enabled;
+        self
+    }
+
+    /// Enables or disables the socket runtime's encode-once broadcast
+    /// (enabled by default; the hot-path ablation's toggle).
+    pub fn with_encode_once(mut self, enabled: bool) -> Self {
+        self.encode_once = enabled;
+        self
+    }
+
+    /// Enables or disables the verified-signature memo on every replica
+    /// (enabled by default; the hot-path ablation's toggle).
+    pub fn with_verify_memo(mut self, enabled: bool) -> Self {
+        self.verify_memo = enabled;
         self
     }
 
@@ -363,6 +387,7 @@ impl Scenario {
             view_change_timeout: self.request_timeout.mul(2),
             client_timeout: self.request_timeout.mul(2),
             batch: self.batch,
+            verify_memo: self.verify_memo,
         }
     }
 
@@ -550,8 +575,14 @@ impl Scenario {
                 AnyCluster::Threaded(ThreadedCluster::spawn(cores.replicas, &client_ids))
             }
             RuntimeKind::Socket => AnyCluster::Socket(
-                SocketCluster::spawn(cores.replicas, &client_ids)
-                    .expect("bind loopback TCP sockets"),
+                SocketCluster::spawn_with(
+                    cores.replicas,
+                    &client_ids,
+                    crate::socket::SocketOptions {
+                        encode_once: self.encode_once,
+                    },
+                )
+                .expect("bind loopback TCP sockets"),
             ),
             RuntimeKind::Simulated => unreachable!("handled by Scenario::run"),
         };
@@ -644,6 +675,12 @@ impl Scenario {
 
         let run_end = to_instant(start);
         let (messages, bytes) = cluster.traffic();
+        let transport = match &cluster {
+            AnyCluster::Socket(sockets) => {
+                Some(crate::report::TransportReport::from_stats(&sockets.stats()))
+            }
+            AnyCluster::Threaded(_) => None,
+        };
         let replicas = cluster.shutdown();
         let mut metrics = seemore_core::metrics::ReplicaMetrics::default();
         for replica in &replicas {
@@ -661,6 +698,7 @@ impl Scenario {
         report.mode_switches = metrics.mode_switches;
         report.retransmissions = clients.iter().map(|c| c.retransmissions()).sum();
         report.batching = crate::report::BatchReport::from_telemetry(&metrics.batch);
+        report.transport = transport;
         report
     }
 }

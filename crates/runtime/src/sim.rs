@@ -433,6 +433,21 @@ impl Simulation {
                     }
                     self.send(from, to, message, first_copy);
                 }
+                Action::Broadcast { to, message } => {
+                    // One signed message to many destinations: the first
+                    // copy pays the signature cost, the rest pay
+                    // serialization only — the CPU-model counterpart of the
+                    // socket runtime's encode-once broadcast.
+                    let key = (message.kind(), message.wire_size());
+                    let mut first_copy = !signed_already.contains(&key);
+                    if first_copy {
+                        signed_already.push(key);
+                    }
+                    seemore_core::actions::fan_out(to, message, |peer, message| {
+                        self.send(from, peer, message, first_copy);
+                        first_copy = false;
+                    });
+                }
                 Action::SetTimer { timer, after } => match from {
                     NodeId::Replica(id) => {
                         let generation = self.replica_timer_gen.entry((id, timer)).or_insert(0);

@@ -11,9 +11,11 @@
 //!
 //! The replica event loop and the closed-loop client driver are shared with
 //! the threaded runtime through `crate::driver`; this module only adds the
-//! TCP endpoints and the pump threads that feed decoded messages into each
-//! replica's command channel. See the crate docs for guidance on choosing
-//! between the simulator, the threaded runtime and this one.
+//! TCP endpoints. Each replica thread consumes decoded traffic directly
+//! from its transport queue (control commands ride a separate, polled
+//! channel), so a delivered message pays no intermediate thread hop. See
+//! the crate docs for guidance on choosing between the simulator, the
+//! threaded runtime and this one.
 
 use crate::driver::{self, ReplicaCommand};
 use crossbeam_channel::{unbounded, Receiver, Sender};
@@ -35,6 +37,51 @@ struct ClientPort {
     incoming: Receiver<(NodeId, Message)>,
 }
 
+/// Tunables of the socket substrate (the perf-ablation toggles).
+#[derive(Debug, Clone, Copy)]
+pub struct SocketOptions {
+    /// Whether replica broadcasts use the transport's encode-once
+    /// shared-frame fast path (`TcpHandle::broadcast`). When disabled, every
+    /// destination re-encodes the message — PR 2's behaviour, kept
+    /// selectable so the ablation can measure the saving.
+    pub encode_once: bool,
+}
+
+impl Default for SocketOptions {
+    fn default() -> Self {
+        SocketOptions { encode_once: true }
+    }
+}
+
+/// The socket runtime's [`driver::ReplicaSink`]: single sends encode
+/// through the transport's thread-local scratch; broadcasts hand the whole
+/// destination set to [`seemore_net::TcpHandle::broadcast`], which encodes
+/// once and enqueues the same shared frame to every peer's writer.
+///
+/// Connection failures surface as reconnect attempts inside the transport;
+/// a send can only fail here on shutdown, which the replica loop is about
+/// to observe anyway, so errors are dropped.
+struct TcpSink {
+    handle: seemore_net::TcpHandle,
+    encode_once: bool,
+}
+
+impl driver::ReplicaSink for TcpSink {
+    fn send(&mut self, to: NodeId, message: Message) {
+        let _ = self.handle.send(to, &message);
+    }
+
+    fn broadcast(&mut self, to: Vec<NodeId>, message: Message) {
+        if self.encode_once {
+            let _ = self.handle.broadcast(&to, &message);
+        } else {
+            for peer in to {
+                let _ = self.handle.send(peer, &message);
+            }
+        }
+    }
+}
+
 /// Handle to a running socket-backed cluster.
 ///
 /// The handle is `Sync`: multiple client threads may call
@@ -43,7 +90,6 @@ pub struct SocketCluster {
     mesh: TcpMesh,
     replica_senders: HashMap<ReplicaId, Sender<ReplicaCommand>>,
     replicas: Vec<JoinHandle<Box<dyn ReplicaProtocol>>>,
-    pumps: Vec<JoinHandle<()>>,
     clients: HashMap<ClientId, ClientPort>,
     stats: Arc<TransportStats>,
     start: StdInstant,
@@ -51,8 +97,8 @@ pub struct SocketCluster {
 
 impl SocketCluster {
     /// Binds a loopback TCP mesh over every replica and client, then spawns
-    /// one replica thread (the shared event loop) plus one pump thread (TCP
-    /// inbox → command channel) per replica.
+    /// one replica thread (the shared event loop, fed directly from the
+    /// mesh's decoded-message queue) per replica.
     ///
     /// `client_ids` lists the clients that will interact with the cluster
     /// through [`run_client`](Self::run_client); each gets its own listener
@@ -60,6 +106,16 @@ impl SocketCluster {
     pub fn spawn(
         replicas: Vec<Box<dyn ReplicaProtocol>>,
         client_ids: &[ClientId],
+    ) -> io::Result<Self> {
+        Self::spawn_with(replicas, client_ids, SocketOptions::default())
+    }
+
+    /// [`spawn`](Self::spawn) with explicit [`SocketOptions`] (the perf
+    /// ablation's entry point).
+    pub fn spawn_with(
+        replicas: Vec<Box<dyn ReplicaProtocol>>,
+        client_ids: &[ClientId],
+        options: SocketOptions,
     ) -> io::Result<Self> {
         let nodes: Vec<NodeId> = replicas
             .iter()
@@ -74,7 +130,6 @@ impl SocketCluster {
 
         let mut replica_senders = HashMap::new();
         let mut replica_handles = Vec::new();
-        let mut pumps = Vec::new();
         for replica in replicas {
             let id = replica.id();
             let endpoint = mesh
@@ -84,41 +139,23 @@ impl SocketCluster {
             let incoming = endpoint.incoming().clone();
             let (tx, rx) = unbounded::<ReplicaCommand>();
             replica_senders.insert(id, tx.clone());
-            // Pump: decoded TCP messages become Deliver commands. Exits when
-            // the mesh shuts down (all senders drop) or the replica is gone.
-            let pump = std::thread::Builder::new()
-                .name(format!("pump-{id}"))
-                .spawn(move || {
-                    while let Ok((from, message)) = incoming.recv() {
-                        if tx.send(ReplicaCommand::Deliver { from, message }).is_err() {
-                            return;
-                        }
-                    }
-                })
-                .expect("spawn pump thread");
-            pumps.push(pump);
+            // The replica thread consumes decoded TCP traffic *directly*
+            // from the transport's queue (no per-message pump-thread hop);
+            // rare control commands ride the separate command channel and
+            // are polled every loop iteration.
             let thread = std::thread::Builder::new()
                 .name(format!("replica-{id}"))
                 .spawn(move || {
-                    // A broadcast reaches this closure as consecutive sends
-                    // of the same message to different peers; encode once
-                    // and fan the shared frame out instead of
-                    // re-serializing per destination.
-                    let mut last: Option<(Message, Arc<Vec<u8>>)> = None;
-                    driver::run_replica(replica, &rx, start, move |to, message| {
-                        let frame = match &last {
-                            Some((cached, frame)) if *cached == message => Arc::clone(frame),
-                            _ => {
-                                let frame = Arc::new(seemore_wire::codec::encode(&message));
-                                last = Some((message, Arc::clone(&frame)));
-                                frame
-                            }
-                        };
-                        // Connection failures surface as reconnect attempts
-                        // inside the transport; a send can only fail here on
-                        // shutdown, which the loop is about to observe.
-                        let _ = handle.send_frame(to, frame);
-                    })
+                    driver::run_replica_loop(
+                        replica,
+                        &rx,
+                        Some(&incoming),
+                        start,
+                        TcpSink {
+                            handle,
+                            encode_once: options.encode_once,
+                        },
+                    )
                 })
                 .expect("spawn replica thread");
             replica_handles.push(thread);
@@ -142,7 +179,6 @@ impl SocketCluster {
             mesh,
             replica_senders,
             replicas: replica_handles,
-            pumps,
             clients,
             stats,
             start,
@@ -257,10 +293,6 @@ impl SocketCluster {
         }
         self.replica_senders.clear();
         self.mesh.shutdown();
-        // Pumps exit once the mesh's reader threads drop their queue senders.
-        for pump in self.pumps.drain(..) {
-            let _ = pump.join();
-        }
         cores
     }
 }

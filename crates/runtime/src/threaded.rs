@@ -34,6 +34,26 @@ struct Envelope {
     message: Message,
 }
 
+/// The threaded runtime's [`driver::ReplicaSink`]: messages stay Rust
+/// values, so a broadcast is one clone per destination through the router
+/// (the default `broadcast`); there are no bytes to share.
+struct RouterSink {
+    from: NodeId,
+    out: Sender<(NodeId, Envelope)>,
+}
+
+impl driver::ReplicaSink for RouterSink {
+    fn send(&mut self, to: NodeId, message: Message) {
+        let _ = self.out.send((
+            to,
+            Envelope {
+                from: self.from,
+                message,
+            },
+        ));
+    }
+}
+
 /// Handle to a running threaded cluster.
 ///
 /// The handle is `Sync`: multiple client threads may call
@@ -77,15 +97,15 @@ impl ThreadedCluster {
             let handle = std::thread::Builder::new()
                 .name(format!("replica-{id}"))
                 .spawn(move || {
-                    driver::run_replica(replica, &rx, start, |to, message| {
-                        let _ = out.send((
-                            to,
-                            Envelope {
-                                from: NodeId::Replica(id),
-                                message,
-                            },
-                        ));
-                    })
+                    driver::run_replica(
+                        replica,
+                        &rx,
+                        start,
+                        RouterSink {
+                            from: NodeId::Replica(id),
+                            out,
+                        },
+                    )
                 })
                 .expect("spawn replica thread");
             replica_handles.push(handle);

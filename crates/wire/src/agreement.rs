@@ -23,7 +23,7 @@
 
 use crate::batch::Batch;
 use crate::size::{
-    canonical_bytes, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
+    canonical_bytes_into, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
 };
 use seemore_crypto::{Digest, Signature};
 use seemore_types::{ReplicaId, SeqNum, View};
@@ -53,8 +53,9 @@ impl Prepare {
 }
 
 impl SignedPayload for Prepare {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "prepare",
             &[
                 &self.view.0.to_le_bytes(),
@@ -95,8 +96,9 @@ impl PrePrepare {
 }
 
 impl SignedPayload for PrePrepare {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "pre-prepare",
             &[
                 &self.view.0.to_le_bytes(),
@@ -138,8 +140,9 @@ impl Accept {
 }
 
 impl SignedPayload for Accept {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "accept",
             &[
                 &self.view.0.to_le_bytes(),
@@ -190,8 +193,9 @@ impl PbftPrepare {
 }
 
 impl SignedPayload for PbftPrepare {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "pbft-prepare",
             &[
                 &self.view.0.to_le_bytes(),
@@ -237,8 +241,9 @@ impl Commit {
 }
 
 impl SignedPayload for Commit {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "commit",
             &[
                 &self.view.0.to_le_bytes(),
@@ -281,8 +286,9 @@ impl Inform {
 }
 
 impl SignedPayload for Inform {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "inform",
             &[
                 &self.view.0.to_le_bytes(),

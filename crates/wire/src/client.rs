@@ -1,7 +1,10 @@
 //! Client-facing messages: `REQUEST` / `REPLY` for the ordered path and
 //! `READ-REQUEST` / `READ-REPLY` for the read-only fast path.
 
-use crate::size::{canonical_bytes, SignedPayload, WireSize, HEADER_LEN, INT_LEN, SIGNATURE_LEN};
+use crate::size::{
+    canonical_bytes_into, SignedPayload, SigningScratch, WireSize, HEADER_LEN, INT_LEN,
+    SIGNATURE_LEN,
+};
 use seemore_crypto::{Digest, Signature, Signer};
 use seemore_types::{ClientId, Mode, ReplicaId, RequestId, SeqNum, Timestamp, View};
 use serde::{Deserialize, Serialize};
@@ -60,8 +63,9 @@ impl ClientRequest {
 }
 
 impl SignedPayload for ClientRequest {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "request",
             &[
                 &self.client.0.to_le_bytes(),
@@ -109,6 +113,21 @@ impl ClientReply {
         result: Vec<u8>,
         signer: &Signer,
     ) -> Self {
+        let mut scratch = SigningScratch::new();
+        Self::new_with(&mut scratch, signer, mode, view, request, replica, result)
+    }
+
+    /// [`new`](Self::new) through a reusable scratch buffer — the hot-path
+    /// constructor replicas use so reply signing allocates nothing.
+    pub fn new_with(
+        scratch: &mut SigningScratch,
+        signer: &Signer,
+        mode: Mode,
+        view: View,
+        request: RequestId,
+        replica: ReplicaId,
+        result: Vec<u8>,
+    ) -> Self {
         let mut reply = ClientReply {
             mode,
             view,
@@ -117,7 +136,7 @@ impl ClientReply {
             result,
             signature: Signature::INVALID,
         };
-        reply.signature = signer.sign(&reply.signing_bytes());
+        reply.signature = signer.sign(scratch.bytes_of(&reply));
         reply
     }
 
@@ -132,8 +151,9 @@ impl ClientReply {
 }
 
 impl SignedPayload for ClientReply {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "reply",
             &[
                 &[self.mode.index()],
@@ -196,8 +216,9 @@ impl ReadRequest {
 }
 
 impl SignedPayload for ReadRequest {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "read-request",
             &[
                 &self.client.0.to_le_bytes(),
@@ -259,6 +280,32 @@ impl ReadReply {
         result: Vec<u8>,
         signer: &Signer,
     ) -> Self {
+        let mut scratch = SigningScratch::new();
+        Self::new_with(
+            &mut scratch,
+            signer,
+            mode,
+            view,
+            request,
+            replica,
+            last_executed,
+            result,
+        )
+    }
+
+    /// [`new`](Self::new) through a reusable scratch buffer — the hot-path
+    /// constructor replicas use so read-reply signing allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with(
+        scratch: &mut SigningScratch,
+        signer: &Signer,
+        mode: Mode,
+        view: View,
+        request: RequestId,
+        replica: ReplicaId,
+        last_executed: SeqNum,
+        result: Vec<u8>,
+    ) -> Self {
         let mut reply = ReadReply {
             mode,
             view,
@@ -269,7 +316,7 @@ impl ReadReply {
             result,
             signature: Signature::INVALID,
         };
-        reply.signature = signer.sign(&reply.signing_bytes());
+        reply.signature = signer.sign(scratch.bytes_of(&reply));
         reply
     }
 
@@ -282,6 +329,28 @@ impl ReadReply {
         last_executed: SeqNum,
         signer: &Signer,
     ) -> Self {
+        let mut scratch = SigningScratch::new();
+        Self::refusal_with(
+            &mut scratch,
+            signer,
+            mode,
+            view,
+            request,
+            replica,
+            last_executed,
+        )
+    }
+
+    /// [`refusal`](Self::refusal) through a reusable scratch buffer.
+    pub fn refusal_with(
+        scratch: &mut SigningScratch,
+        signer: &Signer,
+        mode: Mode,
+        view: View,
+        request: RequestId,
+        replica: ReplicaId,
+        last_executed: SeqNum,
+    ) -> Self {
         let mut reply = ReadReply {
             mode,
             view,
@@ -292,7 +361,7 @@ impl ReadReply {
             result: Vec::new(),
             signature: Signature::INVALID,
         };
-        reply.signature = signer.sign(&reply.signing_bytes());
+        reply.signature = signer.sign(scratch.bytes_of(&reply));
         reply
     }
 
@@ -312,8 +381,9 @@ impl ReadReply {
 }
 
 impl SignedPayload for ReadReply {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "read-reply",
             &[
                 &[self.mode.index()],

@@ -56,6 +56,7 @@ use crate::size::{WireSize, HEADER_LEN};
 use seemore_crypto::{Digest, Signature};
 use seemore_types::{ClientId, Mode, ReplicaId, RequestId, SeqNum, Timestamp, View};
 use std::fmt;
+use std::sync::Arc;
 
 /// The four magic bytes every frame starts with.
 pub const MAGIC: [u8; 4] = *b"SeMR";
@@ -144,6 +145,64 @@ pub fn encode(message: &Message) -> Vec<u8> {
     let mut out = Vec::with_capacity(message.wire_size());
     encode_into(message, &mut out);
     out
+}
+
+/// One encoded message as immutable shared bytes (`Arc<[u8]>`).
+///
+/// A `Frame` is the unit the broadcast hot path fans out: the sender encodes
+/// a message **once** — ideally through [`Frame::encode_with`], which reuses
+/// a caller-owned scratch buffer so steady-state encoding allocates only the
+/// single `Arc` — and then clones the handle onto every destination's writer
+/// queue. Cloning is a reference-count bump; the bytes are never copied or
+/// re-serialized per destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame(Arc<[u8]>);
+
+impl Frame {
+    /// Encodes `message` into a fresh frame (allocating convenience; the hot
+    /// path uses [`encode_with`](Self::encode_with)).
+    pub fn encode(message: &Message) -> Frame {
+        let mut scratch = Vec::with_capacity(message.wire_size());
+        Frame::encode_with(&mut scratch, message)
+    }
+
+    /// Encodes `message` through the reusable `scratch` buffer, then builds
+    /// the shared frame with one allocation and one copy directly from the
+    /// encode buffer (no intermediate `Vec` is moved into the `Arc`, and
+    /// `scratch`'s capacity is retained for the next encode).
+    pub fn encode_with(scratch: &mut Vec<u8>, message: &Message) -> Frame {
+        scratch.clear();
+        encode_into(message, scratch);
+        Frame(Arc::from(scratch.as_slice()))
+    }
+
+    /// Wraps already-encoded frame bytes (tests / fault injection).
+    pub fn from_bytes(bytes: &[u8]) -> Frame {
+        Frame(Arc::from(bytes))
+    }
+
+    /// The encoded bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Encoded length in bytes (by the size contract, the message's
+    /// `wire_size()`).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the frame is empty (never true for a codec-produced frame,
+    /// which always carries at least a header).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
 }
 
 /// Encodes a message, appending the frame to `out`.
@@ -308,6 +367,13 @@ impl FrameReader {
         self.buf.len() - self.start
     }
 
+    /// Current capacity of the internal reassembly buffer (exposed so tests
+    /// can assert the buffer reuse stays bounded under adversarial
+    /// segmentation and frame-size mixes).
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     /// Returns the next complete message, `Ok(None)` if more bytes are
     /// needed, or the decode error that poisoned the stream.
     pub fn next_frame(&mut self) -> Result<Option<Message>, DecodeError> {
@@ -339,12 +405,25 @@ impl FrameReader {
         Ok(Some(message))
     }
 
+    /// Capacity the reassembly buffer is allowed to retain while (mostly)
+    /// empty. A single oversized frame may grow the buffer up to
+    /// [`MAX_FRAME`] while it is in flight, but once consumed the buffer
+    /// shrinks back so one large frame cannot pin tens of megabytes for the
+    /// lifetime of the connection.
+    const MAX_RETAINED_CAPACITY: usize = 64 * 1024;
+
     /// Drops consumed bytes once they dominate the buffer, keeping `push`
-    /// amortized O(1) without reallocating on every frame.
+    /// amortized O(1) without reallocating on every frame, and releases
+    /// excess capacity left behind by a since-consumed oversized frame.
     fn compact(&mut self) {
         if self.start > 0 && self.start >= self.buf.len() / 2 {
             self.buf.drain(..self.start);
             self.start = 0;
+        }
+        if self.buf.capacity() > Self::MAX_RETAINED_CAPACITY
+            && self.buf.len() <= Self::MAX_RETAINED_CAPACITY / 2
+        {
+            self.buf.shrink_to(Self::MAX_RETAINED_CAPACITY);
         }
     }
 }
@@ -1237,5 +1316,87 @@ mod tests {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::BadVersion(9).to_string().contains('9'));
         assert!(DecodeError::TrailingBytes(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn frame_encodes_once_and_shares_bytes_across_clones() {
+        let ks = keystore();
+        let message = sample_prepare(&ks);
+        let mut scratch = Vec::new();
+        let frame = Frame::encode_with(&mut scratch, &message);
+        // Same bytes as the plain encoder, honouring the size contract.
+        assert_eq!(frame.bytes(), encode(&message).as_slice());
+        assert_eq!(frame.len(), message.wire_size());
+        assert!(!frame.is_empty());
+        // Clones share the allocation — a fan-out never copies the bytes.
+        let clone = frame.clone();
+        assert!(std::ptr::eq(frame.bytes(), clone.bytes()));
+        assert_eq!(frame, clone);
+        // The scratch buffer is reusable: a second encode through it reuses
+        // its capacity and produces an independent, correct frame.
+        let second = Message::Request(request(&ks, 1, 2, b"next"));
+        let capacity = scratch.capacity();
+        let frame2 = Frame::encode_with(&mut scratch, &second);
+        assert_eq!(scratch.capacity(), capacity, "capacity retained");
+        assert_eq!(decode(frame2.bytes()).unwrap(), second);
+        assert_eq!(Frame::encode(&second), frame2);
+        assert_eq!(Frame::from_bytes(frame2.bytes()), frame2);
+    }
+
+    /// Satellite regression: a long stream alternating near-maximal and
+    /// zero-payload frames, delivered under adversarial segmentation, must
+    /// not grow the reader's internal buffer unboundedly — capacity stays
+    /// within a small constant factor of the largest in-flight frame, and
+    /// drains back to the retained cap once the oversized frames are
+    /// consumed.
+    #[test]
+    fn frame_reader_buffer_stays_bounded_across_frame_size_mixes() {
+        let ks = keystore();
+        let big = Message::Request(request(&ks, 0, 1, &vec![0x5Au8; 256 * 1024]));
+        let tiny = Message::Request(request(&ks, 0, 2, b""));
+        let big_bytes = encode(&big);
+        let tiny_bytes = encode(&tiny);
+        let largest = big_bytes.len();
+
+        let mut stream = Vec::new();
+        for _ in 0..20 {
+            stream.extend_from_slice(&big_bytes);
+            for _ in 0..50 {
+                stream.extend_from_slice(&tiny_bytes);
+            }
+        }
+
+        // Adversarial segmentation: cycle through pathological chunk sizes
+        // (single bytes, just-under-header, odd primes, a large read).
+        let chunks = [1usize, 15, 17, 4093, 16 * 1024];
+        let mut reader = FrameReader::new();
+        let mut decoded = 0usize;
+        let mut offset = 0usize;
+        let mut turn = 0usize;
+        while offset < stream.len() {
+            let take = chunks[turn % chunks.len()].min(stream.len() - offset);
+            turn += 1;
+            reader.push(&stream[offset..offset + take]);
+            offset += take;
+            while reader.next_frame().unwrap().is_some() {
+                decoded += 1;
+            }
+            // The bound: buffered bytes never exceed one frame plus one read
+            // chunk, and the vector's doubling growth at most doubles that.
+            assert!(
+                reader.buffer_capacity() <= 2 * (largest + 16 * 1024),
+                "capacity {} grew past the bound",
+                reader.buffer_capacity()
+            );
+        }
+        assert_eq!(decoded, 20 * 51);
+        assert_eq!(reader.buffered(), 0);
+        // With the stream fully consumed, the oversized frames' capacity has
+        // been released down to the retained cap.
+        assert!(
+            reader.buffer_capacity() <= FrameReader::MAX_RETAINED_CAPACITY,
+            "empty reader retains {} bytes",
+            reader.buffer_capacity()
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::batch::Batch;
 use crate::size::{
-    canonical_bytes, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
+    canonical_bytes_into, SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, INT_LEN, SIGNATURE_LEN,
 };
 use seemore_crypto::{Digest, Signature};
 use seemore_types::{Mode, ReplicaId, SeqNum, View};
@@ -28,8 +28,9 @@ pub struct Checkpoint {
 }
 
 impl SignedPayload for Checkpoint {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "checkpoint",
             &[
                 &self.seq.0.to_le_bytes(),
@@ -122,7 +123,7 @@ pub struct ViewChange {
 }
 
 impl SignedPayload for ViewChange {
-    fn signing_bytes(&self) -> Vec<u8> {
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
         // The signature binds the proposed view, mode, stable checkpoint and
         // a digest of the carried certificate sets.
         let mut cert_summary = Vec::new();
@@ -136,7 +137,8 @@ impl SignedPayload for ViewChange {
             cert_summary.extend_from_slice(&c.seq.0.to_le_bytes());
             cert_summary.extend_from_slice(c.digest.as_bytes());
         }
-        canonical_bytes(
+        canonical_bytes_into(
+            out,
             "view-change",
             &[
                 &self.new_view.0.to_le_bytes(),
@@ -189,7 +191,7 @@ pub struct NewView {
 }
 
 impl SignedPayload for NewView {
-    fn signing_bytes(&self) -> Vec<u8> {
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
         let mut cert_summary = Vec::new();
         for p in &self.prepares {
             cert_summary.extend_from_slice(&p.seq.0.to_le_bytes());
@@ -199,7 +201,8 @@ impl SignedPayload for NewView {
             cert_summary.extend_from_slice(&c.seq.0.to_le_bytes());
             cert_summary.extend_from_slice(c.digest.as_bytes());
         }
-        canonical_bytes(
+        canonical_bytes_into(
+            out,
             "new-view",
             &[
                 &self.view.0.to_le_bytes(),
@@ -241,8 +244,9 @@ pub struct ModeChange {
 }
 
 impl SignedPayload for ModeChange {
-    fn signing_bytes(&self) -> Vec<u8> {
-        canonical_bytes(
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
             "mode-change",
             &[
                 &self.new_view.0.to_le_bytes(),

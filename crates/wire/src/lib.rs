@@ -37,10 +37,10 @@ pub mod size;
 pub use agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 pub use batch::Batch;
 pub use client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
-pub use codec::{decode, encode, DecodeError, FrameReader, CODEC_VERSION, MAGIC, MAX_FRAME};
+pub use codec::{decode, encode, DecodeError, Frame, FrameReader, CODEC_VERSION, MAGIC, MAX_FRAME};
 pub use control::{
     Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
     ViewChange,
 };
 pub use message::{Message, MessageKind};
-pub use size::{SignedPayload, WireSize, DIGEST_LEN, HEADER_LEN, SIGNATURE_LEN};
+pub use size::{SignedPayload, SigningScratch, WireSize, DIGEST_LEN, HEADER_LEN, SIGNATURE_LEN};

@@ -48,15 +48,56 @@ impl<T: WireSize> WireSize for Vec<T> {
 
 /// Types whose integrity is protected by a signature.
 ///
-/// `signing_bytes` must cover every semantically relevant field so that a
-/// Byzantine replica cannot splice a valid signature onto altered content.
+/// The canonical byte string must cover every semantically relevant field so
+/// that a Byzantine replica cannot splice a valid signature onto altered
+/// content.
 pub trait SignedPayload {
-    /// The canonical byte string the signature is computed over.
-    fn signing_bytes(&self) -> Vec<u8>;
+    /// Appends the canonical byte string to `out` without clearing it.
+    ///
+    /// This is the allocation-free seam of the signing hot path: callers
+    /// that sign or verify many messages keep one scratch `Vec` (see
+    /// [`SigningScratch`]) and reuse its capacity instead of allocating a
+    /// fresh buffer per message.
+    fn signing_bytes_into(&self, out: &mut Vec<u8>);
+
+    /// The canonical byte string the signature is computed over
+    /// (allocating convenience over [`signing_bytes_into`](Self::signing_bytes_into)).
+    fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.signing_bytes_into(&mut out);
+        out
+    }
 
     /// Digest of the canonical byte string (what is actually signed).
     fn signing_digest(&self) -> Digest {
         Digest::of_bytes(&self.signing_bytes())
+    }
+}
+
+/// A reusable buffer for building canonical signing byte strings.
+///
+/// Protocol cores keep one of these per replica (and per client) so that the
+/// `sign(&message.signing_bytes())` pattern on the hot path stops allocating
+/// a fresh `Vec` per signature: the buffer is cleared, refilled through
+/// [`SignedPayload::signing_bytes_into`], and its capacity is reused across
+/// messages.
+#[derive(Debug, Default)]
+pub struct SigningScratch {
+    buf: Vec<u8>,
+}
+
+impl SigningScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> SigningScratch {
+        SigningScratch::default()
+    }
+
+    /// Fills the buffer with `payload`'s canonical signing bytes and returns
+    /// them. The previous contents are discarded; capacity is retained.
+    pub fn bytes_of(&mut self, payload: &impl SignedPayload) -> &[u8] {
+        self.buf.clear();
+        payload.signing_bytes_into(&mut self.buf);
+        &self.buf
     }
 }
 
@@ -65,13 +106,20 @@ pub trait SignedPayload {
 pub fn canonical_bytes(label: &str, fields: &[&[u8]]) -> Vec<u8> {
     let mut out =
         Vec::with_capacity(label.len() + fields.iter().map(|f| f.len() + 8).sum::<usize>() + 8);
+    canonical_bytes_into(&mut out, label, fields);
+    out
+}
+
+/// Appends the canonical encoding of labelled fields to `out` (the
+/// non-allocating form of [`canonical_bytes`] the `signing_bytes_into`
+/// implementations build on).
+pub fn canonical_bytes_into(out: &mut Vec<u8>, label: &str, fields: &[&[u8]]) {
     out.extend_from_slice(&(label.len() as u64).to_le_bytes());
     out.extend_from_slice(label.as_bytes());
     for field in fields {
         out.extend_from_slice(&(field.len() as u64).to_le_bytes());
         out.extend_from_slice(field);
     }
-    out
 }
 
 #[cfg(test)]
