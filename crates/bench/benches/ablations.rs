@@ -35,13 +35,26 @@ use seemore_types::Duration;
 type PolicyFn = fn(Scenario, Duration) -> Scenario;
 
 fn main() {
-    // `SEEMORE_ABLATION=10` runs only the socket hot-path ablation (useful
-    // while iterating on the transport); anything else runs the full set.
-    let only_ten = std::env::var("SEEMORE_ABLATION").ok().as_deref() == Some("10");
-    if !only_ten {
+    // `SEEMORE_ABLATION=10` runs only the socket hot-path ablation and
+    // `SEEMORE_ABLATION=11` only the connection-scaling sweep (useful while
+    // iterating on the transport); anything else runs the full set.
+    let only = std::env::var("SEEMORE_ABLATION").ok();
+    let only_ten = only.as_deref() == Some("10");
+    let only_eleven = only.as_deref() == Some("11");
+    if !only_ten && !only_eleven {
         ablations_one_to_nine();
     }
-    ablation_ten_socket_hot_path();
+    let rows = if only_eleven {
+        Vec::new()
+    } else {
+        ablation_ten_socket_hot_path()
+    };
+    let connections = if only_ten {
+        Vec::new()
+    } else {
+        ablation_eleven_connection_scaling()
+    };
+    emit_socket_json(&rows, &connections);
 }
 
 fn ablations_one_to_nine() {
@@ -379,10 +392,11 @@ struct SocketRow {
 /// the hot-path work (encode-once broadcast, coalesced writes, sign/verify
 /// scratch + memo), with each optimisation *individually toggleable*, and
 /// hard-asserts the acceptance bar against PR 2's recorded quick-mode
-/// baseline. Also emits `BENCH_socket.json` at the workspace root so future
-/// PRs can track the perf trajectory.
-fn ablation_ten_socket_hot_path() {
-    header("Ablation 10: socket hot path (encode-once, coalesced writes, sign memo)");
+/// baseline. The reactor rows run the identical workload over the epoll
+/// event-loop transport — plain, and with every client multiplexed through
+/// the hub. Returns the rows for `BENCH_socket.json`.
+fn ablation_ten_socket_hot_path() -> Vec<SocketRow> {
+    header("Ablation 10: socket hot path (encode-once, vectored writes, sign memo)");
     // PR 2's quick-mode measurements, recorded before this optimisation
     // pass (ablation 7 of that PR): Lion 16.5 -> 8.2 kreq/s, BFT 7.2 -> 1.3
     // kreq/s when moving from the threaded to the socket runtime.
@@ -400,7 +414,8 @@ fn ablation_ten_socket_hot_path() {
     let run = |protocol: ProtocolKind,
                runtime: RuntimeKind,
                encode_once: bool,
-               verify_memo: bool|
+               verify_memo: bool,
+               client_mux: bool|
      -> RunReport {
         let one = || {
             Scenario::new(protocol, 1, 1)
@@ -410,6 +425,7 @@ fn ablation_ten_socket_hot_path() {
                 .with_runtime(runtime)
                 .with_encode_once(encode_once)
                 .with_verify_memo(verify_memo)
+                .with_client_mux(client_mux)
                 .run()
         };
         let first = one();
@@ -423,23 +439,25 @@ fn ablation_ten_socket_hot_path() {
 
     let mut rows: Vec<SocketRow> = Vec::new();
     for protocol in [ProtocolKind::SeeMoReLion, ProtocolKind::Bft] {
-        for (runtime, encode_once, verify_memo, config) in [
-            (RuntimeKind::Threaded, true, true, "full"),
-            (RuntimeKind::Socket, true, true, "full"),
-            (RuntimeKind::Socket, false, true, "no-encode-once"),
-            (RuntimeKind::Socket, true, false, "no-memo"),
+        for (runtime, encode_once, verify_memo, client_mux, config) in [
+            (RuntimeKind::Threaded, true, true, false, "full"),
+            (RuntimeKind::Socket, true, true, false, "full"),
+            (RuntimeKind::Socket, false, true, false, "no-encode-once"),
+            (RuntimeKind::Socket, true, false, false, "no-memo"),
+            (RuntimeKind::Reactor, true, true, false, "full"),
+            (RuntimeKind::Reactor, true, true, true, "client-mux"),
         ] {
             rows.push(SocketRow {
                 protocol: protocol.name(),
                 runtime: runtime.name(),
                 config,
-                report: run(protocol, runtime, encode_once, verify_memo),
+                report: run(protocol, runtime, encode_once, verify_memo, client_mux),
             });
         }
     }
 
     println!(
-        "{:<10} {:>9} {:<15} {:>13} {:>12} {:>10} {:>10} {:>10}",
+        "{:<10} {:>9} {:<15} {:>13} {:>12} {:>10} {:>10} {:>10} {:>8} {:>9}",
         "protocol",
         "runtime",
         "config",
@@ -447,12 +465,14 @@ fn ablation_ten_socket_hot_path() {
         "latency[ms]",
         "writes",
         "coalesced",
-        "enc saved"
+        "enc saved",
+        "direct",
+        "vectored"
     );
     for row in &rows {
         let transport = row.report.transport.unwrap_or_default();
         println!(
-            "{:<10} {:>9} {:<15} {:>13.3} {:>12.3} {:>10} {:>10} {:>10}",
+            "{:<10} {:>9} {:<15} {:>13.3} {:>12.3} {:>10} {:>10} {:>10} {:>8} {:>9}",
             row.protocol,
             row.runtime,
             row.config,
@@ -461,6 +481,8 @@ fn ablation_ten_socket_hot_path() {
             transport.write_syscalls,
             transport.frames_coalesced,
             transport.encodes_saved,
+            transport.direct_writes,
+            transport.vectored_writes,
         );
     }
 
@@ -473,25 +495,34 @@ fn ablation_ten_socket_hot_path() {
     let lion_threaded = find("Lion", "threaded", "full").throughput_kreqs;
     let lion_socket = find("Lion", "socket", "full").throughput_kreqs;
     let bft_socket = find("BFT", "socket", "full").throughput_kreqs;
+    let lion_reactor = rows
+        .iter()
+        .filter(|r| r.protocol == "Lion" && r.runtime == "reactor")
+        .map(|r| r.report.throughput_kreqs)
+        .fold(0.0, f64::max);
     let lion_ratio = lion_socket / lion_threaded.max(1e-9);
+    let reactor_ratio = lion_reactor / lion_threaded.max(1e-9);
     println!();
     println!(
         "Lion socket/threaded ratio : {lion_ratio:.3} (PR 2 baseline {PR2_LION_SOCKET_RATIO:.3})"
     );
+    println!("Lion reactor/threaded ratio: {reactor_ratio:.3}");
     println!(
         "BFT socket throughput      : {bft_socket:.3} kreq/s (PR 2 baseline {PR2_BFT_SOCKET_KREQS} kreq/s)"
     );
     println!(
         "# Shape check: the socket rows' `coalesced` and `enc saved` columns are the\n\
          # syscalls and serializations the hot path no longer pays; the no-encode-once\n\
-         # and no-memo rows isolate each optimisation's contribution."
+         # and no-memo rows isolate each optimisation's contribution; the reactor\n\
+         # rows' `vectored` column counts gather-write backlog drains."
     );
 
-    emit_socket_json(&rows);
-
     // Acceptance bar (quick-mode calibrated; the longer full-mode windows
-    // only help): BFT socket throughput at least 2x PR 2's 1.3 kreq/s, and
-    // the Lion socket/threaded ratio better than PR 2's 0.497.
+    // only help): BFT socket throughput at least 2x PR 2's 1.3 kreq/s, the
+    // Lion socket/threaded ratio better than PR 2's 0.497, and the reactor
+    // at least at parity with the tuned thread-per-peer mesh on the same
+    // workload (its better row must reach the socket ratio less wall-clock
+    // noise headroom).
     assert!(
         bft_socket >= 2.0 * PR2_BFT_SOCKET_KREQS,
         "acceptance: BFT on sockets must reach 2x the PR 2 baseline \
@@ -504,12 +535,259 @@ fn ablation_ten_socket_hot_path() {
         "acceptance: Lion's socket/threaded ratio must improve on PR 2's \
          {PR2_LION_SOCKET_RATIO:.3} (measured {lion_ratio:.3})"
     );
+    assert!(
+        reactor_ratio > PR2_LION_SOCKET_RATIO,
+        "acceptance: Lion's reactor/threaded ratio must improve on PR 2's \
+         thread-per-peer {PR2_LION_SOCKET_RATIO:.3} (measured {reactor_ratio:.3})"
+    );
+    rows
 }
 
-/// Writes `BENCH_socket.json` (kreq/s per protocol per runtime/config) at
-/// the workspace root so the perf trajectory is machine-readable across
-/// PRs. Hand-rolled JSON — the offline container has no serde_json.
-fn emit_socket_json(rows: &[SocketRow]) {
+/// One measured point of the connections-vs-throughput curve (ablation 11).
+struct ConnectionPoint {
+    transport: &'static str,
+    /// Idle connections held open alongside the active workload.
+    held: u64,
+    /// Echo round trips per second across the active clients, in thousands.
+    kround_trips_s: f64,
+    note: &'static str,
+}
+
+/// Ablation 11: connection scaling. One replica node serves a transport-level
+/// echo workload from a handful of active clients while an increasing number
+/// of idle client connections are held open against it. The reactor must
+/// sustain the full sweep (>= 5000 concurrent connections, hard-asserted from
+/// its own live-connection counter); the thread-per-peer baseline — two OS
+/// threads per connection — is swept only to a small cap and recorded
+/// honestly, since its cost model is exactly what the reactor replaces.
+fn ablation_eleven_connection_scaling() -> Vec<ConnectionPoint> {
+    use seemore_net::reactor::{client_preamble, ReactorMesh};
+    use seemore_net::tcp::{TcpMesh, Transport};
+    use seemore_types::{ClientId, NodeId, ReplicaId, SeqNum};
+    use seemore_wire::{Message, StateRequest};
+    use std::io::Write as _;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration as StdDuration, Instant};
+
+    header("Ablation 11: connections vs throughput (reactor vs thread-per-peer)");
+    const ACTIVE: u64 = 4;
+    /// The floor the reactor must sustain (the acceptance bar).
+    const REACTOR_FLOOR: u64 = 5000;
+    /// Where the thread-per-peer sweep is capped: beyond this, two threads
+    /// per connection is the cost model, not a measurement worth waiting on.
+    const BASELINE_CAP: u64 = 512;
+    let window = if quick_mode() {
+        StdDuration::from_millis(150)
+    } else {
+        StdDuration::from_millis(400)
+    };
+    let node = NodeId::Replica(ReplicaId(0));
+    let active_ids: Vec<ClientId> = (0..ACTIVE).map(ClientId).collect();
+    let echo = Message::StateRequest(StateRequest {
+        from_seq: SeqNum(7),
+        replica: ReplicaId(0),
+    });
+
+    /// Closed-loop echo round trips per active client within `window`.
+    fn drive<T: Transport + Send>(
+        ports: Vec<T>,
+        echo: &Message,
+        node: NodeId,
+        window: StdDuration,
+    ) -> f64 {
+        let total: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = ports
+                .into_iter()
+                .map(|port| {
+                    let echo = echo.clone();
+                    scope.spawn(move || {
+                        let deadline = Instant::now() + window;
+                        let mut trips = 0u64;
+                        while Instant::now() < deadline {
+                            if port.send(node, &echo).is_err() {
+                                break;
+                            }
+                            match port.recv_timeout(StdDuration::from_millis(2_000)) {
+                                Ok(_) => trips += 1,
+                                Err(_) => break,
+                            }
+                        }
+                        trips
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        total as f64 / window.as_secs_f64() / 1_000.0
+    }
+
+    let mut points = Vec::new();
+
+    // Reactor: active clients multiplex through the hub; idle connections
+    // dial the replica's listener directly with a client preamble.
+    for &target in &[0u64, 1024, REACTOR_FLOOR] {
+        let mesh = ReactorMesh::with_hub(&[node], &active_ids).expect("bind reactor mesh");
+        let server = mesh.take_endpoint(node).expect("server endpoint");
+        let addr = mesh.address(node).expect("replica address");
+        let stop = Arc::new(AtomicBool::new(false));
+        let echo_stop = Arc::clone(&stop);
+        let echo_handle = {
+            let handle = server.handle();
+            std::thread::spawn(move || {
+                while !echo_stop.load(Ordering::Relaxed) {
+                    if let Ok((from, message)) = server.recv_timeout(StdDuration::from_millis(50)) {
+                        let _ = handle.send(from, &message);
+                    }
+                }
+            })
+        };
+
+        let mut idle = Vec::with_capacity(target as usize);
+        while (idle.len() as u64) < target {
+            let mut stream = TcpStream::connect(addr).expect("idle connect");
+            stream
+                .write_all(&client_preamble(ClientId(100_000 + idle.len() as u64)))
+                .expect("idle preamble");
+            idle.push(stream);
+            // Self-throttle so the dial burst cannot outrun the accept loop
+            // and overflow the listener backlog.
+            if idle.len() % 256 == 0 {
+                let lag_floor = idle.len() as u64 - 128;
+                while mesh.connections().0 < lag_floor {
+                    std::thread::sleep(StdDuration::from_millis(1));
+                }
+            }
+        }
+        // Every held connection must be accepted and live on the server
+        // before the measurement starts.
+        let settle = Instant::now() + StdDuration::from_secs(30);
+        while mesh.connections().0 < target {
+            assert!(
+                Instant::now() < settle,
+                "reactor accepted only {} of {target} connections",
+                mesh.connections().0
+            );
+            std::thread::sleep(StdDuration::from_millis(5));
+        }
+
+        let ports: Vec<_> = active_ids
+            .iter()
+            .map(|&c| mesh.hub_port(c).expect("hub port"))
+            .collect();
+        let kround = drive(ports, &echo, node, window);
+        let (live, _) = mesh.connections();
+        if target == REACTOR_FLOOR {
+            assert!(
+                live >= REACTOR_FLOOR,
+                "acceptance: the reactor must hold >= {REACTOR_FLOOR} live \
+                 connections on one node (held {live})"
+            );
+        }
+        points.push(ConnectionPoint {
+            transport: "reactor",
+            held: live,
+            kround_trips_s: kround,
+            note: "active clients hub-multiplexed",
+        });
+        stop.store(true, Ordering::Relaxed);
+        echo_handle.join().unwrap();
+        mesh.shutdown();
+    }
+
+    // Thread-per-peer baseline: the identical workload, swept only to the
+    // cap — each held connection costs a dedicated OS reader thread.
+    for &target in &[0u64, BASELINE_CAP] {
+        let nodes: Vec<NodeId> = std::iter::once(node)
+            .chain(active_ids.iter().map(|&c| NodeId::Client(c)))
+            .collect();
+        let mesh = TcpMesh::new(&nodes).expect("bind tcp mesh");
+        let server = mesh.take_endpoint(node).expect("server endpoint");
+        let addr = mesh.address(node).expect("replica address");
+        let stop = Arc::new(AtomicBool::new(false));
+        let echo_stop = Arc::clone(&stop);
+        let server_handle = server.handle();
+        let server_incoming = server.incoming().clone();
+        let echo_handle = std::thread::spawn(move || {
+            while !echo_stop.load(Ordering::Relaxed) {
+                if let Ok((from, message)) =
+                    server_incoming.recv_timeout(StdDuration::from_millis(50))
+                {
+                    let _ = server_handle.send(from, &message);
+                }
+            }
+        });
+
+        let mut idle = Vec::with_capacity(target as usize);
+        let mut refused = false;
+        while (idle.len() as u64) < target {
+            match TcpStream::connect_timeout(&addr, StdDuration::from_millis(500)) {
+                Ok(mut stream) => {
+                    if stream
+                        .write_all(&client_preamble(ClientId(100_000 + idle.len() as u64)))
+                        .is_err()
+                    {
+                        refused = true;
+                        break;
+                    }
+                    idle.push(stream);
+                }
+                Err(_) => {
+                    refused = true;
+                    break;
+                }
+            }
+        }
+
+        let ports: Vec<_> = active_ids
+            .iter()
+            .map(|&c| {
+                mesh.take_endpoint(NodeId::Client(c))
+                    .expect("client endpoint")
+            })
+            .collect();
+        let kround = drive(ports, &echo, node, window);
+        points.push(ConnectionPoint {
+            transport: "thread-per-peer",
+            held: idle.len() as u64,
+            kround_trips_s: kround,
+            note: if refused {
+                "connection refused before target"
+            } else if target == BASELINE_CAP {
+                "swept only to cap: 2 OS threads per connection"
+            } else {
+                "active clients on private endpoints"
+            },
+        });
+        stop.store(true, Ordering::Relaxed);
+        echo_handle.join().unwrap();
+        mesh.shutdown();
+    }
+
+    println!(
+        "{:<16} {:>12} {:>18} note",
+        "transport", "connections", "k round-trips/s"
+    );
+    for point in &points {
+        println!(
+            "{:<16} {:>12} {:>18.3} {}",
+            point.transport, point.held, point.kround_trips_s, point.note
+        );
+    }
+    println!(
+        "# The reactor's event-loop pool is fixed-size: holding {REACTOR_FLOOR}\n\
+         # connections adds file descriptors, not threads. The thread-per-peer rows\n\
+         # stop at {BASELINE_CAP} held connections by design.\n"
+    );
+    points
+}
+
+/// Writes `BENCH_socket.json` (kreq/s per protocol per runtime/config, plus
+/// the connections-vs-throughput curve) at the workspace root so the perf
+/// trajectory is machine-readable across PRs. Hand-rolled JSON — the offline
+/// container has no serde_json.
+fn emit_socket_json(rows: &[SocketRow], connections: &[ConnectionPoint]) {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"quick_mode\": {},\n  \"results\": [\n",
@@ -518,9 +796,7 @@ fn emit_socket_json(rows: &[SocketRow]) {
     for (index, row) in rows.iter().enumerate() {
         let transport = row.report.transport.unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"runtime\": \"{}\", \"config\": \"{}\", \
-             \"kreqs\": {:.3}, \"avg_latency_ms\": {:.3}, \"write_syscalls\": {}, \
-             \"frames_coalesced\": {}, \"encodes_saved\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"runtime\": \"{}\", \"config\": \"{}\",              \"kreqs\": {:.3}, \"avg_latency_ms\": {:.3}, \"write_syscalls\": {},              \"frames_coalesced\": {}, \"encodes_saved\": {}, \"direct_writes\": {},              \"vectored_writes\": {}, \"partial_writes\": {}}}{}\n",
             row.protocol,
             row.runtime,
             row.config,
@@ -529,7 +805,21 @@ fn emit_socket_json(rows: &[SocketRow]) {
             transport.write_syscalls,
             transport.frames_coalesced,
             transport.encodes_saved,
+            transport.direct_writes,
+            transport.vectored_writes,
+            transport.partial_writes,
             if index + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"connections\": [\n");
+    for (index, point) in connections.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"held\": {}, \"kround_trips_s\": {:.3},              \"note\": \"{}\"}}{}\n",
+            point.transport,
+            point.held,
+            point.kround_trips_s,
+            point.note,
+            if index + 1 == connections.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");

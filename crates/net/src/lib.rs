@@ -15,23 +15,51 @@
 //! * [`LinkFaults`] — message drop/duplication probabilities and explicit
 //!   partitions for fault-injection experiments.
 //!
-//! Alongside the simulator models, [`tcp`] provides a *real* transport: a
-//! `std::net` TCP mesh ([`TcpMesh`]) where every message serializes through
-//! the wire codec and crosses an actual socket. The [`Transport`] trait is
-//! the seam between the cluster runtimes and the network substrate, kept
-//! deliberately narrow so an async (tokio/mio) implementation can slot in
-//! once the build environment has registry access.
+//! Alongside the simulator models, two *real* transports serve actual
+//! sockets behind the narrow [`Transport`] trait — the seam between the
+//! cluster runtimes and the network substrate, kept deliberately narrow so
+//! further substrates (an async runtime, TLS) can slot in without touching
+//! the protocol cores:
+//!
+//! * [`tcp`] — a thread-per-peer `std::net` TCP mesh ([`TcpMesh`]): one
+//!   reader thread per inbound connection, one writer thread per dialed
+//!   peer, blocking I/O throughout.
+//! * [`reactor`] — an event-loop mesh ([`ReactorMesh`]): a small fixed pool
+//!   of reactor threads drives *every* connection of the node through
+//!   nonblocking sockets and an `epoll` shim ([`poll`]), with gather
+//!   (`writev`) backlog drains and many logical clients multiplexed over
+//!   one physical connection per peer.
+//!
+//! # Which transport when
+//!
+//! * **[`ReactorMesh`] (event loops)** — the default for anything beyond a
+//!   handful of connections. Thread count is fixed (a few event loops per
+//!   node) regardless of peer or client count, so one node sustains
+//!   thousands of concurrent client connections, and hundreds of logical
+//!   clients can share one socket per replica via the client hub. Same
+//!   FIFO-per-connection, reconnect-with-backoff, encode-once semantics as
+//!   the thread-per-peer mesh — the `socket_e2e` suite drives both to
+//!   identical histories.
+//! * **[`TcpMesh`] (thread-per-peer)** — the baseline the reactor races
+//!   against, and the simplest possible substrate when debugging protocol
+//!   issues: every connection's I/O is a plain blocking loop you can read
+//!   top to bottom. Costs two OS threads per connection, which caps a node
+//!   at small meshes and a handful of clients.
+//! * **Threaded / simulated runtimes** (`seemore-runtime`) — no sockets at
+//!   all; see that crate's docs for when in-process channels or the
+//!   discrete-event simulator are the right tool.
 //!
 //! # Hot path
 //!
-//! The transport is engineered to pay its three dominant costs once instead
-//! of per-message/per-peer: [`Transport::broadcast`] serializes a message a
+//! Both socket transports pay their dominant costs once instead of
+//! per-message/per-peer: [`Transport::broadcast`] serializes a message a
 //! single time and shares the encoded frame across every destination
 //! (encode-once), established connections are written from the *sending*
-//! thread with backlog drains coalesced into single bursts (syscall- and
-//! context-switch-light), and receive buffers are reused across frames.
-//! See the [`tcp`] module docs for the full design and
-//! [`TransportStats`] for the counters quantifying each saving.
+//! thread (the reactor drains congested backlogs with `writev` gather
+//! writes instead of a coalescing copy), and receive buffers are reused
+//! across frames with hysteresis-bounded capacity. See the [`tcp`] and
+//! [`reactor`] module docs for the designs and [`TransportStats`] for the
+//! counters quantifying each saving.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -40,10 +68,13 @@ pub mod cpu;
 pub mod faults;
 pub mod latency;
 pub mod placement;
+pub mod poll;
+pub mod reactor;
 pub mod tcp;
 
 pub use cpu::CpuModel;
 pub use faults::{LinkDecision, LinkFaults};
 pub use latency::LatencyModel;
 pub use placement::{Placement, Zone};
+pub use reactor::{ClientHub, HubPort, ReactorEndpoint, ReactorHandle, ReactorMesh};
 pub use tcp::{TcpEndpoint, TcpHandle, TcpMesh, Transport, TransportError, TransportStats};

@@ -187,9 +187,11 @@ impl std::error::Error for TransportError {}
 /// Bytes and messages that crossed the wire, aggregated mesh-wide, plus the
 /// hot-path savings counters (writes coalesced, encodes shared).
 ///
-/// Sent counters advance when a frame is written to a socket; received
-/// counters advance on raw reads (bytes) and successful decodes (messages).
-/// Identity preambles count toward bytes — they are on the wire too.
+/// Sent counters advance when a frame is written to a socket;
+/// [`bytes_read`](Self::bytes_read) advances on raw reads, and the received
+/// counters advance on successful decodes. Identity preambles count toward
+/// [`bytes_sent`](Self::bytes_sent)/[`bytes_read`](Self::bytes_read) — they
+/// are on the wire too.
 ///
 /// # Memory ordering
 ///
@@ -206,13 +208,17 @@ impl std::error::Error for TransportError {}
 /// must tolerate that, exactly as they must for any concurrent statistics.
 #[derive(Debug, Default)]
 pub struct TransportStats {
-    messages_sent: AtomicU64,
-    messages_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    write_syscalls: AtomicU64,
-    frames_coalesced: AtomicU64,
-    encodes_saved: AtomicU64,
+    pub(crate) messages_sent: AtomicU64,
+    pub(crate) messages_received: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) write_syscalls: AtomicU64,
+    pub(crate) direct_writes: AtomicU64,
+    pub(crate) vectored_writes: AtomicU64,
+    pub(crate) partial_writes: AtomicU64,
+    pub(crate) frames_coalesced: AtomicU64,
+    pub(crate) encodes_saved: AtomicU64,
 }
 
 impl TransportStats {
@@ -231,16 +237,52 @@ impl TransportStats {
         self.bytes_sent.load(Ordering::Relaxed)
     }
 
-    /// Bytes read from sockets.
+    /// Bytes of successfully decoded frames — the payload traffic, net of
+    /// preambles, multiplexing tags and partially received frames. By the
+    /// codec's size contract this equals the sum of `wire_size()` over every
+    /// message counted in [`messages_received`](Self::messages_received).
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)
     }
 
-    /// `write(2)` calls issued by writer threads (preambles included). With
+    /// Raw bytes pulled off `read(2)` (preambles and multiplexing tags
+    /// included — they are on the wire too). `bytes_read - bytes_received`
+    /// is the framing overhead plus whatever is still sitting undecoded in
+    /// reassembly buffers.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// `write(2)`/`writev(2)` calls issued (preambles included). With
     /// coalescing, `messages_sent - write_syscalls` frames rode along in a
     /// burst instead of paying their own syscall.
     pub fn write_syscalls(&self) -> u64 {
         self.write_syscalls.load(Ordering::Relaxed)
+    }
+
+    /// Frames written to the socket by the *sending* thread itself — the
+    /// zero-hop happy path (connection up, no queue): no writer/event-loop
+    /// handoff, no context switch. On the Lion happy path nearly every frame
+    /// should land here; a low ratio means sends keep finding the connection
+    /// down or congested.
+    pub fn direct_writes(&self) -> u64 {
+        self.direct_writes.load(Ordering::Relaxed)
+    }
+
+    /// Gather writes (`writev(2)` via `write_vectored`) issued by the
+    /// reactor when draining a multi-frame outbox — each one delivers a
+    /// whole burst of queued frames without copying them into a coalescing
+    /// buffer first.
+    pub fn vectored_writes(&self) -> u64 {
+        self.vectored_writes.load(Ordering::Relaxed)
+    }
+
+    /// Writes that accepted only part of the offered bytes (kernel send
+    /// buffer full). Each one leaves a partially written frame at the head
+    /// of an outbox; sustained growth means a peer is not keeping up and
+    /// backpressure is doing its job.
+    pub fn partial_writes(&self) -> u64 {
+        self.partial_writes.load(Ordering::Relaxed)
     }
 
     /// Frames that were appended to an already-pending burst — each one is
@@ -316,6 +358,12 @@ impl TcpMesh {
     /// once.
     pub fn take_endpoint(&self, node: NodeId) -> Option<TcpEndpoint> {
         self.endpoints.lock().expect("mesh lock").remove(&node)
+    }
+
+    /// The loopback address `node` listens on, if it is part of the mesh
+    /// (exposed for transport-level benchmarks that drive raw connections).
+    pub fn address(&self, node: NodeId) -> Option<SocketAddr> {
+        self.shared.addresses.get(&node).copied()
     }
 
     /// Mesh-wide traffic counters.
@@ -503,6 +551,7 @@ impl TcpHandle {
                         .fetch_add(frame.len() as u64, Ordering::Relaxed);
                     stats.messages_sent.fetch_add(1, Ordering::Relaxed);
                     stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+                    stats.direct_writes.fetch_add(1, Ordering::Relaxed);
                 } else {
                     // Connection lost mid-write: hand the frame (and the
                     // connection's future) back to the writer thread. The
@@ -611,7 +660,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &MeshShared) -> io:
                 filled += n;
                 shared
                     .stats
-                    .bytes_received
+                    .bytes_read
                     .fetch_add(n as u64, Ordering::Relaxed);
             }
             Err(e)
@@ -653,16 +702,24 @@ fn reader_loop(
             Ok(n) => {
                 shared
                     .stats
-                    .bytes_received
+                    .bytes_read
                     .fetch_add(n as u64, Ordering::Relaxed);
                 frames.push(&buf[..n]);
                 loop {
+                    // The buffered-bytes delta across a successful decode is
+                    // exactly the frame's wire length — what bytes_received
+                    // counts (payload traffic, net of framing overhead).
+                    let before = frames.buffered();
                     match frames.next_frame() {
                         Ok(Some(message)) => {
                             shared
                                 .stats
                                 .messages_received
                                 .fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .stats
+                                .bytes_received
+                                .fetch_add((before - frames.buffered()) as u64, Ordering::Relaxed);
                             if incoming.send((peer, message)).is_err() {
                                 return; // receiver gone: endpoint dropped
                             }
@@ -876,7 +933,10 @@ mod tests {
             stats.bytes_sent(),
             (PREAMBLE_LEN + message.wire_size()) as u64
         );
-        assert_eq!(stats.bytes_received(), stats.bytes_sent());
+        // Raw reads saw everything that was written; the decoded-frame
+        // counter excludes the preamble, matching the size contract exactly.
+        assert_eq!(stats.bytes_read(), stats.bytes_sent());
+        assert_eq!(stats.bytes_received(), message.wire_size() as u64);
         mesh.shutdown();
     }
 

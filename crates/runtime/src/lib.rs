@@ -21,10 +21,32 @@
 //! * [`socket`] — a **socket-backed runtime over loopback TCP**. Same
 //!   thread model as `threaded` (the event loop is literally shared, see
 //!   `driver`), but every message is encoded by the real wire codec,
-//!   crosses a `std::net` TCP connection of a `TcpMesh`, and is reassembled
-//!   by a streaming frame reader. Use it when the question involves real
-//!   IO: codec cost, framing, socket back-pressure, bytes-on-wire — this is
-//!   the deployable shape of the system.
+//!   crosses a `std::net` TCP connection, and is reassembled by a streaming
+//!   frame reader. Use it when the question involves real IO: codec cost,
+//!   framing, socket back-pressure, bytes-on-wire — this is the deployable
+//!   shape of the system.
+//!
+//! # Which socket transport when
+//!
+//! The socket runtime itself runs on either of `seemore-net`'s two real
+//! transports, selected by [`SocketTransport`] (or, through scenarios, by
+//! [`RuntimeKind::Socket`] vs [`RuntimeKind::Reactor`]):
+//!
+//! * **Reactor** ([`RuntimeKind::Reactor`]) — a fixed pool of epoll event
+//!   loops drives every connection; thread count stays flat as replicas and
+//!   clients grow, and [`Scenario::with_client_mux`] additionally collapses
+//!   all clients onto one shared connection per replica. Use it for client
+//!   scaling questions (hundreds to thousands of concurrent clients) and as
+//!   the deployable default.
+//! * **Thread-per-peer** ([`RuntimeKind::Socket`]) — two blocking threads
+//!   per connection. The measured baseline of the transport ablation and
+//!   the easiest substrate to debug, but thread count grows with the
+//!   cluster: prefer it only for small deployments or when stepping through
+//!   a connection's blocking I/O beats event-loop indirection.
+//!
+//! Both are driven to identical per-slot histories by the loopback
+//! end-to-end suite (`tests/socket_e2e.rs`), so switching transports is a
+//! performance decision, not a correctness one.
 //!
 //! Supporting modules:
 //!
@@ -51,6 +73,6 @@ pub mod workload;
 pub use report::{BatchReport, ClassStats, RunReport, TimelineBucket, TransportReport};
 pub use scenario::{ProtocolKind, RuntimeKind, Scenario};
 pub use sim::{SimConfig, Simulation};
-pub use socket::{SocketCluster, SocketOptions};
+pub use socket::{SocketCluster, SocketOptions, SocketTransport};
 pub use threaded::ThreadedCluster;
 pub use workload::Workload;

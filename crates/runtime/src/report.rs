@@ -75,6 +75,17 @@ pub struct TransportReport {
     pub frames_coalesced: u64,
     /// Serializations avoided by encode-once broadcasts (encodes saved).
     pub encodes_saved: u64,
+    /// Frames written in full by the *sending* thread (zero-hop direct
+    /// writes; the rest went through a writer thread or event loop).
+    pub direct_writes: u64,
+    /// Gather (`writev`) calls that carried more than one slice — backlog
+    /// drains that would each have been a copy plus a `write(2)` otherwise.
+    pub vectored_writes: u64,
+    /// Writes the kernel accepted only partially (socket-buffer pressure;
+    /// the remainder stayed queued).
+    pub partial_writes: u64,
+    /// Raw bytes read from sockets, preambles and mux tags included.
+    pub bytes_read: u64,
 }
 
 impl TransportReport {
@@ -86,6 +97,10 @@ impl TransportReport {
             write_syscalls: stats.write_syscalls(),
             frames_coalesced: stats.frames_coalesced(),
             encodes_saved: stats.encodes_saved(),
+            direct_writes: stats.direct_writes(),
+            vectored_writes: stats.vectored_writes(),
+            partial_writes: stats.partial_writes(),
+            bytes_read: stats.bytes_read(),
         }
     }
 }

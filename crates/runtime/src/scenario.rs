@@ -110,8 +110,14 @@ pub enum RuntimeKind {
     /// serialization).
     Threaded,
     /// Thread-per-replica over real loopback TCP through the wire codec
-    /// (wall-clock time; reported bytes really crossed sockets).
+    /// (wall-clock time; reported bytes really crossed sockets), carried by
+    /// the thread-per-peer mesh — the transport baseline.
     Socket,
+    /// Like [`Socket`](Self::Socket), but carried by the reactor transport:
+    /// a fixed pool of epoll event loops drives every connection, and (with
+    /// [`Scenario::with_client_mux`]) clients multiplex over shared
+    /// per-replica connections instead of private listeners.
+    Reactor,
 }
 
 impl RuntimeKind {
@@ -121,6 +127,7 @@ impl RuntimeKind {
             RuntimeKind::Simulated => "simulated",
             RuntimeKind::Threaded => "threaded",
             RuntimeKind::Socket => "socket",
+            RuntimeKind::Reactor => "reactor",
         }
     }
 }
@@ -183,6 +190,10 @@ pub struct Scenario {
     /// message per destination — the ablation's "PR 2 behaviour" arm. No
     /// effect on the other runtimes (they never serialize).
     pub encode_once: bool,
+    /// On the reactor runtime, multiplex every client over the hub's shared
+    /// per-replica connections instead of one listener per client (false,
+    /// the default). No effect on the other runtimes.
+    pub client_mux: bool,
     /// Whether replicas memoize verified signatures (true, the default; see
     /// [`ProtocolConfig::verify_memo`]). Applies on every runtime.
     pub verify_memo: bool,
@@ -222,6 +233,7 @@ impl Scenario {
             workload: None,
             read_fast_path: true,
             encode_once: true,
+            client_mux: false,
             verify_memo: true,
             byzantine_replicas: 0,
             byzantine_behavior: ByzantineBehavior::Honest,
@@ -296,6 +308,15 @@ impl Scenario {
     /// (enabled by default; the hot-path ablation's toggle).
     pub fn with_encode_once(mut self, enabled: bool) -> Self {
         self.encode_once = enabled;
+        self
+    }
+
+    /// Enables or disables client multiplexing on the reactor runtime
+    /// (disabled by default): with it, every client shares the hub's one
+    /// connection per replica instead of owning a listener and a mesh of
+    /// private sockets.
+    pub fn with_client_mux(mut self, enabled: bool) -> Self {
+        self.client_mux = enabled;
         self
     }
 
@@ -574,12 +595,17 @@ impl Scenario {
             RuntimeKind::Threaded => {
                 AnyCluster::Threaded(ThreadedCluster::spawn(cores.replicas, &client_ids))
             }
-            RuntimeKind::Socket => AnyCluster::Socket(
+            RuntimeKind::Socket | RuntimeKind::Reactor => AnyCluster::Socket(
                 SocketCluster::spawn_with(
                     cores.replicas,
                     &client_ids,
                     crate::socket::SocketOptions {
                         encode_once: self.encode_once,
+                        transport: match kind {
+                            RuntimeKind::Reactor => crate::socket::SocketTransport::Reactor,
+                            _ => crate::socket::SocketTransport::ThreadPerPeer,
+                        },
+                        client_mux: self.client_mux,
                     },
                 )
                 .expect("bind loopback TCP sockets"),
@@ -858,11 +884,16 @@ mod tests {
 
     #[test]
     fn concurrent_runtimes_produce_reports_with_traffic() {
-        for kind in [RuntimeKind::Threaded, RuntimeKind::Socket] {
+        for kind in [
+            RuntimeKind::Threaded,
+            RuntimeKind::Socket,
+            RuntimeKind::Reactor,
+        ] {
             let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
                 .with_clients(2)
                 .with_duration(Duration::from_millis(150), Duration::from_millis(10))
                 .with_runtime(kind)
+                .with_client_mux(kind == RuntimeKind::Reactor)
                 .run();
             assert!(report.completed > 0, "{}: no progress", kind.name());
             assert!(report.messages_delivered > 0, "{}", kind.name());

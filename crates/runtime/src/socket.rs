@@ -18,10 +18,11 @@
 //! threaded runtime and this one.
 
 use crate::driver::{self, ReplicaCommand};
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::protocol::ReplicaProtocol;
-use seemore_net::tcp::{TcpMesh, TransportStats};
+use seemore_net::tcp::{TcpMesh, Transport, TransportError, TransportStats};
+use seemore_net::{HubPort, ReactorMesh};
 use seemore_types::{ClientId, Duration, Mode, NodeId, OpClass, ReplicaId};
 use seemore_wire::Message;
 use std::collections::HashMap;
@@ -30,11 +31,95 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant as StdInstant;
 
-/// A client's attachment to the mesh: a sending handle plus the queue of
-/// decoded messages addressed to it.
-struct ClientPort {
-    handle: seemore_net::TcpHandle,
-    incoming: Receiver<(NodeId, Message)>,
+/// Which socket substrate carries the cluster's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SocketTransport {
+    /// The reactor mesh ([`ReactorMesh`]): a fixed pool of event-loop
+    /// threads drives every connection through nonblocking sockets and
+    /// epoll. The default — thread count stays flat as peers and clients
+    /// grow. See the `seemore-net` crate docs for the full trade-off.
+    #[default]
+    Reactor,
+    /// The thread-per-peer mesh ([`TcpMesh`]): one blocking reader thread
+    /// per inbound connection, one writer thread per dialed peer. The
+    /// baseline the reactor is measured against.
+    ThreadPerPeer,
+}
+
+/// The underlying socket mesh, behind one face so the replica loops,
+/// client driver and report plumbing are transport-agnostic.
+enum AnyMesh {
+    ThreadPerPeer(TcpMesh),
+    Reactor(ReactorMesh),
+}
+
+impl AnyMesh {
+    fn stats(&self) -> Arc<TransportStats> {
+        match self {
+            AnyMesh::ThreadPerPeer(mesh) => mesh.stats(),
+            AnyMesh::Reactor(mesh) => mesh.stats(),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            AnyMesh::ThreadPerPeer(mesh) => mesh.shutdown(),
+            AnyMesh::Reactor(mesh) => mesh.shutdown(),
+        }
+    }
+}
+
+/// A sending handle of either mesh (replica side and non-muxed clients).
+#[derive(Clone)]
+enum AnyHandle {
+    Tcp(seemore_net::TcpHandle),
+    Reactor(seemore_net::ReactorHandle),
+}
+
+impl AnyHandle {
+    fn send(&self, to: NodeId, message: &Message) -> Result<(), TransportError> {
+        match self {
+            AnyHandle::Tcp(handle) => handle.send(to, message),
+            AnyHandle::Reactor(handle) => handle.send(to, message),
+        }
+    }
+
+    fn broadcast(&self, to: &[NodeId], message: &Message) -> Result<(), TransportError> {
+        match self {
+            AnyHandle::Tcp(handle) => handle.broadcast(to, message),
+            AnyHandle::Reactor(handle) => handle.broadcast(to, message),
+        }
+    }
+}
+
+/// A client's attachment to the mesh: either a private endpoint (its own
+/// listener plus dialed connections) or a multiplexed port through the
+/// reactor's client hub (shared connections, demuxed replies).
+enum ClientPort {
+    Endpoint {
+        handle: AnyHandle,
+        incoming: Receiver<(NodeId, Message)>,
+    },
+    Hub(HubPort),
+}
+
+impl ClientPort {
+    fn send(&self, to: NodeId, message: &Message) {
+        let _ = match self {
+            ClientPort::Endpoint { handle, .. } => handle.send(to, message),
+            ClientPort::Hub(port) => port.send(to, message),
+        };
+    }
+
+    fn recv_timeout(
+        &self,
+        wait: std::time::Duration,
+    ) -> Result<(NodeId, Message), RecvTimeoutError> {
+        match self {
+            ClientPort::Endpoint { incoming, .. } => incoming.recv_timeout(wait),
+            ClientPort::Hub(port) => port.incoming().recv_timeout(wait),
+        }
+    }
 }
 
 /// Tunables of the socket substrate (the perf-ablation toggles).
@@ -45,24 +130,35 @@ pub struct SocketOptions {
     /// destination re-encodes the message — PR 2's behaviour, kept
     /// selectable so the ablation can measure the saving.
     pub encode_once: bool,
+    /// Which mesh carries the traffic (reactor event loops by default).
+    pub transport: SocketTransport,
+    /// On the reactor, multiplex every client over the hub's shared
+    /// per-replica connections instead of giving each client its own
+    /// listener and mesh of sockets. Ignored (private endpoints are the
+    /// only option) on the thread-per-peer transport.
+    pub client_mux: bool,
 }
 
 impl Default for SocketOptions {
     fn default() -> Self {
-        SocketOptions { encode_once: true }
+        SocketOptions {
+            encode_once: true,
+            transport: SocketTransport::default(),
+            client_mux: false,
+        }
     }
 }
 
 /// The socket runtime's [`driver::ReplicaSink`]: single sends encode
 /// through the transport's thread-local scratch; broadcasts hand the whole
-/// destination set to [`seemore_net::TcpHandle::broadcast`], which encodes
-/// once and enqueues the same shared frame to every peer's writer.
+/// destination set to the transport's `broadcast`, which encodes once and
+/// enqueues the same shared frame to every peer's writer.
 ///
 /// Connection failures surface as reconnect attempts inside the transport;
 /// a send can only fail here on shutdown, which the replica loop is about
 /// to observe anyway, so errors are dropped.
 struct TcpSink {
-    handle: seemore_net::TcpHandle,
+    handle: AnyHandle,
     encode_once: bool,
 }
 
@@ -87,7 +183,7 @@ impl driver::ReplicaSink for TcpSink {
 /// The handle is `Sync`: multiple client threads may call
 /// [`run_client`](Self::run_client) concurrently (one call per client id).
 pub struct SocketCluster {
-    mesh: TcpMesh,
+    mesh: AnyMesh,
     replica_senders: HashMap<ReplicaId, Sender<ReplicaCommand>>,
     replicas: Vec<JoinHandle<Box<dyn ReplicaProtocol>>>,
     clients: HashMap<ClientId, ClientPort>,
@@ -117,26 +213,65 @@ impl SocketCluster {
         client_ids: &[ClientId],
         options: SocketOptions,
     ) -> io::Result<Self> {
-        let nodes: Vec<NodeId> = replicas
-            .iter()
-            .map(|r| NodeId::Replica(r.id()))
-            .chain(client_ids.iter().map(|c| NodeId::Client(*c)))
-            .collect();
-        let mesh = TcpMesh::new(&nodes)?;
+        let replica_nodes: Vec<NodeId> = replicas.iter().map(|r| NodeId::Replica(r.id())).collect();
+        let client_nodes: Vec<NodeId> = client_ids.iter().map(|c| NodeId::Client(*c)).collect();
+        let mux = options.client_mux && options.transport == SocketTransport::Reactor;
+        let mesh = match options.transport {
+            SocketTransport::ThreadPerPeer => {
+                let nodes: Vec<NodeId> = replica_nodes
+                    .iter()
+                    .chain(client_nodes.iter())
+                    .copied()
+                    .collect();
+                AnyMesh::ThreadPerPeer(TcpMesh::new(&nodes)?)
+            }
+            SocketTransport::Reactor if mux => {
+                // Clients get no listeners of their own: they are logical
+                // clients behind the hub, sharing one connection per replica.
+                AnyMesh::Reactor(ReactorMesh::with_hub(&replica_nodes, client_ids)?)
+            }
+            SocketTransport::Reactor => {
+                let nodes: Vec<NodeId> = replica_nodes
+                    .iter()
+                    .chain(client_nodes.iter())
+                    .copied()
+                    .collect();
+                AnyMesh::Reactor(ReactorMesh::new(&nodes)?)
+            }
+        };
         let stats = mesh.stats();
         // The clock epoch starts after the mesh is bound, so listener setup
         // is not charged to the protocol's timers or measurement windows.
         let start = StdInstant::now();
 
+        let take = |node: NodeId| -> (AnyHandle, Receiver<(NodeId, Message)>) {
+            match &mesh {
+                AnyMesh::ThreadPerPeer(mesh) => {
+                    let endpoint = mesh
+                        .take_endpoint(node)
+                        .expect("endpoint exists for every spawned node");
+                    (
+                        AnyHandle::Tcp(endpoint.handle()),
+                        endpoint.incoming().clone(),
+                    )
+                }
+                AnyMesh::Reactor(mesh) => {
+                    let endpoint = mesh
+                        .take_endpoint(node)
+                        .expect("endpoint exists for every spawned node");
+                    (
+                        AnyHandle::Reactor(endpoint.handle()),
+                        endpoint.incoming().clone(),
+                    )
+                }
+            }
+        };
+
         let mut replica_senders = HashMap::new();
         let mut replica_handles = Vec::new();
         for replica in replicas {
             let id = replica.id();
-            let endpoint = mesh
-                .take_endpoint(NodeId::Replica(id))
-                .expect("endpoint exists for every spawned replica");
-            let handle = endpoint.handle();
-            let incoming = endpoint.incoming().clone();
+            let (handle, incoming) = take(NodeId::Replica(id));
             let (tx, rx) = unbounded::<ReplicaCommand>();
             replica_senders.insert(id, tx.clone());
             // The replica thread consumes decoded TCP traffic *directly*
@@ -163,16 +298,19 @@ impl SocketCluster {
 
         let mut clients = HashMap::new();
         for client in client_ids {
-            let endpoint = mesh
-                .take_endpoint(NodeId::Client(*client))
-                .expect("endpoint exists for every registered client");
-            clients.insert(
-                *client,
-                ClientPort {
-                    handle: endpoint.handle(),
-                    incoming: endpoint.incoming().clone(),
-                },
-            );
+            let port = if mux {
+                let AnyMesh::Reactor(mesh) = &mesh else {
+                    unreachable!("mux implies the reactor mesh");
+                };
+                ClientPort::Hub(
+                    mesh.hub_port(*client)
+                        .expect("hub port exists for every registered client"),
+                )
+            } else {
+                let (handle, incoming) = take(NodeId::Client(*client));
+                ClientPort::Endpoint { handle, incoming }
+            };
+            clients.insert(*client, port);
         }
 
         Ok(SocketCluster {
@@ -259,10 +397,8 @@ impl SocketCluster {
                 start: self.start,
                 abandon_at,
             },
-            |wait| port.incoming.recv_timeout(wait),
-            |to, message| {
-                let _ = port.handle.send(to, &message);
-            },
+            |wait| port.recv_timeout(wait),
+            |to, message| port.send(to, &message),
             make_op,
         );
         (client, outcomes)

@@ -323,6 +323,35 @@ pub fn encode_into(message: &Message, out: &mut Vec<u8>) {
     }
 }
 
+/// Validates a frame header and returns the total frame length (header
+/// included), or `Ok(None)` when fewer than [`HEADER_LEN`] bytes are
+/// available yet.
+///
+/// This is the one place stream reassemblers (the [`FrameReader`] here, the
+/// reactor transport's multiplexed reader in `seemore-net`) learn how many
+/// bytes the next frame occupies: magic, version and the [`MAX_FRAME`] bound
+/// are checked eagerly, so a poisoned stream fails as soon as its header
+/// arrives instead of buffering an announced multi-gigabyte body.
+pub fn frame_len(bytes: &[u8]) -> Result<Option<usize>, DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[..4]);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    if bytes[4] != CODEC_VERSION {
+        return Err(DecodeError::BadVersion(bytes[4]));
+    }
+    let body_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let frame_len = (HEADER_LEN as u64).saturating_add(body_len);
+    if frame_len > MAX_FRAME as u64 {
+        return Err(DecodeError::FrameTooLarge(frame_len));
+    }
+    Ok(Some(frame_len as usize))
+}
+
 /// Decodes one complete frame. The input must contain exactly one frame;
 /// leftover bytes are a [`DecodeError::TrailingBytes`] error (streams use
 /// [`FrameReader`] instead).
@@ -346,8 +375,7 @@ pub fn decode(bytes: &[u8]) -> Result<Message, DecodeError> {
 /// the connection.
 #[derive(Debug, Default)]
 pub struct FrameReader {
-    buf: Vec<u8>,
-    start: usize,
+    buf: StreamBuf,
 }
 
 impl FrameReader {
@@ -358,13 +386,12 @@ impl FrameReader {
 
     /// Appends raw stream bytes.
     pub fn push(&mut self, bytes: &[u8]) {
-        self.compact();
-        self.buf.extend_from_slice(bytes);
+        self.buf.push(bytes);
     }
 
     /// Bytes buffered but not yet consumed by a decoded frame.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.start
+        self.buf.buffered()
     }
 
     /// Current capacity of the internal reassembly buffer (exposed so tests
@@ -374,57 +401,141 @@ impl FrameReader {
         self.buf.capacity()
     }
 
+    /// Number of times the reassembly buffer released excess capacity
+    /// (exposed so tests can assert the shrink hysteresis: sustained large
+    /// bursts must not thrash the allocator).
+    pub fn shrinks(&self) -> u64 {
+        self.buf.shrinks()
+    }
+
     /// Returns the next complete message, `Ok(None)` if more bytes are
     /// needed, or the decode error that poisoned the stream.
     pub fn next_frame(&mut self) -> Result<Option<Message>, DecodeError> {
-        let available = &self.buf[self.start..];
-        if available.len() < HEADER_LEN {
-            return Ok(None);
-        }
+        let available = self.buf.bytes();
         // Validate the header eagerly, before the body arrives.
-        let mut magic = [0u8; 4];
-        magic.copy_from_slice(&available[..4]);
-        if magic != MAGIC {
-            return Err(DecodeError::BadMagic(magic));
-        }
-        if available[4] != CODEC_VERSION {
-            return Err(DecodeError::BadVersion(available[4]));
-        }
-        let body_len = u64::from_le_bytes(available[8..16].try_into().expect("8 bytes"));
-        let frame_len = (HEADER_LEN as u64).saturating_add(body_len);
-        if frame_len > MAX_FRAME as u64 {
-            return Err(DecodeError::FrameTooLarge(frame_len));
-        }
-        let frame_len = frame_len as usize;
+        let frame_len = match frame_len(available)? {
+            Some(len) => len,
+            None => return Ok(None),
+        };
         if available.len() < frame_len {
             return Ok(None);
         }
         let message = decode(&available[..frame_len])?;
-        self.start += frame_len;
-        self.compact();
+        self.buf.consume(frame_len);
         Ok(Some(message))
     }
+}
 
-    /// Capacity the reassembly buffer is allowed to retain while (mostly)
-    /// empty. A single oversized frame may grow the buffer up to
-    /// [`MAX_FRAME`] while it is in flight, but once consumed the buffer
-    /// shrinks back so one large frame cannot pin tens of megabytes for the
-    /// lifetime of the connection.
-    const MAX_RETAINED_CAPACITY: usize = 64 * 1024;
+/// A reusable stream-reassembly buffer: append raw bytes at the tail, consume
+/// parsed records from the head, amortized O(1) on both ends.
+///
+/// This is the buffer discipline shared by [`FrameReader`] and the reactor
+/// transport's multiplexed stream reader in `seemore-net`. Compaction policy:
+///
+/// * Consumed bytes are dropped (shifting the live suffix down) only once
+///   they dominate the buffer, so `push` does not memmove on every frame.
+/// * Excess capacity left behind by a large burst is released with
+///   **hysteresis**: the buffer must sit mostly-empty for
+///   [`StreamBuf::QUIET_COMPACTIONS`] consecutive compactions — with no
+///   intervening fill above half the retained cap — before `shrink_to` runs.
+///   A peer that regularly carries >64 KiB bursts therefore keeps its big
+///   buffer (no realloc thrash: the old unconditional shrink reallocated on
+///   every burst), while a buffer grown once by an oversized frame still
+///   returns its memory instead of pinning tens of megabytes for the
+///   lifetime of the connection.
+#[derive(Debug, Default)]
+pub struct StreamBuf {
+    buf: Vec<u8>,
+    start: usize,
+    /// Max bytes buffered since the previous compaction — the signal that a
+    /// shrink would be premature because the capacity is actively used.
+    peak: usize,
+    /// Consecutive compactions during which `peak` stayed below half the
+    /// retained cap.
+    quiet: u32,
+    /// Monotonic count of `shrink_to` calls actually performed.
+    shrinks: u64,
+}
 
-    /// Drops consumed bytes once they dominate the buffer, keeping `push`
-    /// amortized O(1) without reallocating on every frame, and releases
-    /// excess capacity left behind by a since-consumed oversized frame.
+impl StreamBuf {
+    /// Capacity the buffer is allowed to retain while (mostly) empty. A
+    /// single oversized frame may grow the buffer up to [`MAX_FRAME`] while
+    /// it is in flight, but once consumed (and quiet) the buffer shrinks
+    /// back.
+    pub const MAX_RETAINED_CAPACITY: usize = 64 * 1024;
+
+    /// Mostly-empty compactions required before excess capacity is released.
+    pub const QUIET_COMPACTIONS: u32 = 8;
+
+    /// An empty buffer.
+    pub fn new() -> StreamBuf {
+        StreamBuf::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+        self.peak = self.peak.max(self.buffered());
+    }
+
+    /// The live (unconsumed) bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Current capacity of the underlying allocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Number of times excess capacity was actually released.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    /// Marks `n` bytes at the head as consumed.
+    ///
+    /// # Panics
+    /// If `n` exceeds [`buffered`](Self::buffered).
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.buffered(), "consumed past the buffered bytes");
+        self.start += n;
+        self.compact();
+    }
+
     fn compact(&mut self) {
         if self.start > 0 && self.start >= self.buf.len() / 2 {
             self.buf.drain(..self.start);
             self.start = 0;
         }
-        if self.buf.capacity() > Self::MAX_RETAINED_CAPACITY
-            && self.buf.len() <= Self::MAX_RETAINED_CAPACITY / 2
-        {
-            self.buf.shrink_to(Self::MAX_RETAINED_CAPACITY);
+        if self.buf.capacity() <= Self::MAX_RETAINED_CAPACITY {
+            // Nothing to release; stay out of the hysteresis bookkeeping so
+            // a later growth starts its quiet count fresh.
+            self.quiet = 0;
+            self.peak = self.buffered();
+            return;
         }
+        if self.peak > Self::MAX_RETAINED_CAPACITY / 2 {
+            // The window since the last compaction actually used the big
+            // buffer — keep it, restart the quiet count.
+            self.quiet = 0;
+        } else {
+            self.quiet += 1;
+            if self.quiet >= Self::QUIET_COMPACTIONS
+                && self.buffered() <= Self::MAX_RETAINED_CAPACITY / 2
+            {
+                self.buf.shrink_to(Self::MAX_RETAINED_CAPACITY);
+                self.shrinks += 1;
+                self.quiet = 0;
+            }
+        }
+        self.peak = self.buffered();
     }
 }
 
@@ -1394,9 +1505,80 @@ mod tests {
         // With the stream fully consumed, the oversized frames' capacity has
         // been released down to the retained cap.
         assert!(
-            reader.buffer_capacity() <= FrameReader::MAX_RETAINED_CAPACITY,
+            reader.buffer_capacity() <= StreamBuf::MAX_RETAINED_CAPACITY,
             "empty reader retains {} bytes",
             reader.buffer_capacity()
         );
+    }
+
+    /// Satellite regression: the shrink hysteresis. A peer that carries
+    /// bursts larger than 64 KiB back-to-back must keep its big buffer — the old
+    /// unconditional `shrink_to` released the capacity after every burst and
+    /// reallocated it on the next one, a realloc per frame on the hot path.
+    #[test]
+    fn sustained_large_bursts_do_not_thrash_the_reader_buffer() {
+        let ks = keystore();
+        let big = Message::Request(request(&ks, 0, 1, &vec![0x5Au8; 100 * 1024]));
+        let big_bytes = encode(&big);
+
+        let mut reader = FrameReader::new();
+        // Warm up: one burst grows the buffer past the retained cap.
+        reader.push(&big_bytes);
+        assert!(reader.next_frame().unwrap().is_some());
+        let warm_capacity = reader.buffer_capacity();
+        assert!(warm_capacity > StreamBuf::MAX_RETAINED_CAPACITY);
+
+        // Sustained load: 64 more bursts, each fully drained before the
+        // next arrives (the worst case for the old policy — the buffer is
+        // empty, so the unconditional shrink fired every time).
+        for _ in 0..64 {
+            reader.push(&big_bytes);
+            assert!(reader.next_frame().unwrap().is_some());
+        }
+        assert_eq!(
+            reader.shrinks(),
+            0,
+            "shrink fired during sustained large bursts"
+        );
+        assert_eq!(
+            reader.buffer_capacity(),
+            warm_capacity,
+            "buffer reallocated under sustained load"
+        );
+
+        // Once the large traffic stops, quiet small-frame traffic releases
+        // the excess capacity exactly once.
+        let tiny = Message::Request(request(&ks, 0, 2, b""));
+        let tiny_bytes = encode(&tiny);
+        for _ in 0..4 * StreamBuf::QUIET_COMPACTIONS {
+            reader.push(&tiny_bytes);
+            assert!(reader.next_frame().unwrap().is_some());
+        }
+        assert_eq!(reader.shrinks(), 1, "quiet stream should shrink once");
+        assert!(reader.buffer_capacity() <= StreamBuf::MAX_RETAINED_CAPACITY);
+    }
+
+    /// The `frame_len` helper (shared with the reactor transport's
+    /// multiplexed reader) agrees with the encoder and rejects poisoned
+    /// headers eagerly.
+    #[test]
+    fn frame_len_matches_encoded_frames_and_rejects_bad_headers() {
+        let ks = keystore();
+        let message = Message::Request(request(&ks, 0, 1, b"hello"));
+        let bytes = encode(&message);
+        assert_eq!(frame_len(&bytes).unwrap(), Some(bytes.len()));
+        // A partial header is "need more bytes", not an error.
+        assert_eq!(frame_len(&bytes[..15]).unwrap(), None);
+        // Corrupt magic fails as soon as the header is visible.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(frame_len(&bad), Err(DecodeError::BadMagic(_))));
+        // An announced multi-gigabyte body is rejected without buffering.
+        let mut huge = bytes.clone();
+        huge[8..16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(matches!(
+            frame_len(&huge),
+            Err(DecodeError::FrameTooLarge(_))
+        ));
     }
 }

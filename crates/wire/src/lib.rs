@@ -37,7 +37,10 @@ pub mod size;
 pub use agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 pub use batch::Batch;
 pub use client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
-pub use codec::{decode, encode, DecodeError, Frame, FrameReader, CODEC_VERSION, MAGIC, MAX_FRAME};
+pub use codec::{
+    decode, encode, frame_len, DecodeError, Frame, FrameReader, StreamBuf, CODEC_VERSION, MAGIC,
+    MAX_FRAME,
+};
 pub use control::{
     Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
     ViewChange,

@@ -8,7 +8,10 @@
 //! the wire — by the codec's size contract, the same number the simulator's
 //! `WireSize` model charges for.
 //!
-//! Run with: `cargo run --example sockets`
+//! Run with: `cargo run --example sockets`. Pass `--reactor` to carry the
+//! same workload over the reactor transport — a fixed pool of epoll event
+//! loops instead of two threads per connection, with the client multiplexed
+//! through the hub — and compare the transport counters it prints.
 
 use seemore::app::{KvOp, KvResult, KvStore};
 use seemore::core::batching::BatchConfig;
@@ -17,10 +20,11 @@ use seemore::core::config::ProtocolConfig;
 use seemore::core::protocol::ReplicaProtocol;
 use seemore::core::replica::SeeMoReReplica;
 use seemore::crypto::KeyStore;
-use seemore::runtime::socket::SocketCluster;
+use seemore::runtime::socket::{SocketCluster, SocketOptions, SocketTransport};
 use seemore::types::{ClientId, ClusterConfig, Duration, Mode};
 
 fn main() {
+    let reactor = std::env::args().any(|arg| arg == "--reactor");
     // 1. The smallest hybrid cloud of the paper's evaluation: 2 trusted +
     //    4 untrusted replicas (N = 3m + 2c + 1 = 6), Lion mode.
     let cluster = ClusterConfig::minimal(1, 1).expect("valid cluster");
@@ -46,13 +50,30 @@ fn main() {
         })
         .collect();
 
-    // 3. Spawn the socket runtime: one loopback TCP listener per node, one
-    //    thread per replica, lazy dialing with reconnect + backoff.
+    // 3. Spawn the socket runtime: one loopback TCP listener per replica,
+    //    one protocol thread per replica, lazy dialing with reconnect +
+    //    backoff. `--reactor` swaps the transport underneath — epoll event
+    //    loops and hub-multiplexed clients instead of thread-per-peer.
     let client_id = ClientId(0);
-    let sockets = SocketCluster::spawn(replicas, &[client_id]).expect("bind loopback sockets");
+    let options = SocketOptions {
+        transport: if reactor {
+            SocketTransport::Reactor
+        } else {
+            SocketTransport::ThreadPerPeer
+        },
+        client_mux: reactor,
+        ..SocketOptions::default()
+    };
+    let sockets =
+        SocketCluster::spawn_with(replicas, &[client_id], options).expect("bind loopback sockets");
     println!(
-        "SocketCluster up: {} replicas + 1 client, full TCP mesh on 127.0.0.1",
-        cluster.total_size()
+        "SocketCluster up: {} replicas + 1 client, {} on 127.0.0.1",
+        cluster.total_size(),
+        if reactor {
+            "reactor event loops (client via hub)"
+        } else {
+            "full thread-per-peer TCP mesh"
+        }
     );
 
     // 4. Drive a closed-loop client through the replicated store.
@@ -97,6 +118,14 @@ fn main() {
     // 6. Real bytes, really on the wire.
     let (messages, bytes) = sockets.traffic();
     println!("wire traffic: {messages} messages, {bytes} bytes across loopback TCP");
+    let stats = sockets.stats();
+    println!(
+        "hot path: {} direct writes, {} vectored drains, {} partial writes, {} encodes saved",
+        stats.direct_writes(),
+        stats.vectored_writes(),
+        stats.partial_writes(),
+        stats.encodes_saved()
+    );
 
     let cores = sockets.shutdown();
     let executed = cores

@@ -22,7 +22,7 @@ use seemore::core::exec::ExecutedEntry;
 use seemore::core::protocol::ReplicaProtocol;
 use seemore::core::replica::SeeMoReReplica;
 use seemore::crypto::{Digest, KeyStore};
-use seemore::runtime::{SocketCluster, ThreadedCluster};
+use seemore::runtime::{SocketCluster, SocketOptions, SocketTransport, ThreadedCluster};
 use seemore::types::OpClass;
 use seemore::types::{ClientId, ClusterConfig, Duration, Mode, ReplicaId, SeqNum, View};
 use std::collections::BTreeMap;
@@ -161,18 +161,55 @@ fn deploy(case: Case, client_count: u64) -> Deployment {
     }
 }
 
-/// The two concurrent runtimes behind one driving interface.
+/// The concurrent runtime flavors under comparison: in-memory channels,
+/// thread-per-peer sockets, and the reactor transport with every client
+/// multiplexed through the hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Threaded,
+    Socket,
+    Reactor,
+}
+
+impl Flavor {
+    fn name(self) -> &'static str {
+        match self {
+            Flavor::Threaded => "threaded",
+            Flavor::Socket => "socket",
+            Flavor::Reactor => "reactor",
+        }
+    }
+
+    fn options(self) -> SocketOptions {
+        SocketOptions {
+            transport: match self {
+                Flavor::Reactor => SocketTransport::Reactor,
+                _ => SocketTransport::ThreadPerPeer,
+            },
+            client_mux: self == Flavor::Reactor,
+            ..SocketOptions::default()
+        }
+    }
+}
+
+/// The concurrent runtimes behind one driving interface.
 enum Harness {
     Threaded(ThreadedCluster),
     Socket(SocketCluster),
 }
 
 impl Harness {
-    fn spawn(socket: bool, replicas: Vec<Box<dyn ReplicaProtocol>>, clients: &[ClientId]) -> Self {
-        if socket {
-            Harness::Socket(SocketCluster::spawn(replicas, clients).expect("bind loopback"))
-        } else {
-            Harness::Threaded(ThreadedCluster::spawn(replicas, clients))
+    fn spawn(
+        flavor: Flavor,
+        replicas: Vec<Box<dyn ReplicaProtocol>>,
+        clients: &[ClientId],
+    ) -> Self {
+        match flavor {
+            Flavor::Threaded => Harness::Threaded(ThreadedCluster::spawn(replicas, clients)),
+            _ => Harness::Socket(
+                SocketCluster::spawn_with(replicas, clients, flavor.options())
+                    .expect("bind loopback"),
+            ),
         }
     }
 
@@ -212,12 +249,12 @@ impl Harness {
 /// alternately (one outstanding request in the whole system at a time), the
 /// crash victim fail-stops a third of the way in, and the surviving
 /// replicas' histories come back for comparison.
-fn run_deterministic(case: Case, socket: bool) -> Vec<(ReplicaId, Vec<ExecutedEntry>)> {
+fn run_deterministic(case: Case, flavor: Flavor) -> Vec<(ReplicaId, Vec<ExecutedEntry>)> {
     const ROUNDS: usize = 6;
     let deployment = deploy(case, 2);
     let crash_victim = deployment.crash_victim;
     let client_ids: Vec<ClientId> = deployment.clients.iter().map(|c| c.id()).collect();
-    let harness = Harness::spawn(socket, deployment.replicas, &client_ids);
+    let harness = Harness::spawn(flavor, deployment.replicas, &client_ids);
 
     let mut clients = deployment.clients;
     let mut completed = 0usize;
@@ -239,7 +276,7 @@ fn run_deterministic(case: Case, socket: bool) -> Vec<(ReplicaId, Vec<ExecutedEn
         ROUNDS * 2,
         "{} ({}): every request must complete despite the crash",
         case.name(),
-        if socket { "socket" } else { "threaded" },
+        flavor.name(),
     );
 
     harness
@@ -294,31 +331,36 @@ fn canonical(histories: &[(ReplicaId, Vec<ExecutedEntry>)]) -> Vec<ExecutedEntry
 }
 
 /// Acceptance: all three SeeMoRe modes plus both baselines complete the
-/// loopback e2e over real TCP sockets, and their per-slot histories match
-/// the threaded runtime's.
+/// loopback e2e over real TCP sockets — on the thread-per-peer mesh *and*
+/// on the reactor transport (clients multiplexed through the hub) — and
+/// their per-slot histories match the threaded runtime's.
 #[test]
 fn socket_histories_match_threaded_histories() {
     for case in ALL_CASES {
-        let socket = run_deterministic(case, true);
-        let threaded = run_deterministic(case, false);
-        assert_internal_agreement(case, &socket);
+        let threaded = run_deterministic(case, Flavor::Threaded);
         assert_internal_agreement(case, &threaded);
-
-        let socket_canon = canonical(&socket);
         let threaded_canon = canonical(&threaded);
-        assert_eq!(
-            socket_canon.len(),
-            threaded_canon.len(),
-            "{}: history lengths differ",
-            case.name()
-        );
-        for (s, t) in socket_canon.iter().zip(threaded_canon.iter()) {
+
+        for flavor in [Flavor::Socket, Flavor::Reactor] {
+            let histories = run_deterministic(case, flavor);
+            assert_internal_agreement(case, &histories);
+            let canon = canonical(&histories);
             assert_eq!(
-                (s.seq, s.offset, s.request, s.digest),
-                (t.seq, t.offset, t.request, t.digest),
-                "{}: socket and threaded runtimes ordered requests differently",
-                case.name()
+                canon.len(),
+                threaded_canon.len(),
+                "{} ({}): history lengths differ",
+                case.name(),
+                flavor.name()
             );
+            for (s, t) in canon.iter().zip(threaded_canon.iter()) {
+                assert_eq!(
+                    (s.seq, s.offset, s.request, s.digest),
+                    (t.seq, t.offset, t.request, t.digest),
+                    "{} ({}): runtimes ordered requests differently",
+                    case.name(),
+                    flavor.name()
+                );
+            }
         }
     }
 }
@@ -328,14 +370,21 @@ fn socket_histories_match_threaded_histories() {
 /// real bytes on the wire.
 #[test]
 fn concurrent_clients_over_sockets_stay_safe_under_a_crash() {
-    for case in [Case::Lion, Case::Dog, Case::Bft] {
+    for (case, flavor) in [
+        (Case::Lion, Flavor::Socket),
+        (Case::Dog, Flavor::Socket),
+        (Case::Bft, Flavor::Socket),
+        (Case::Lion, Flavor::Reactor),
+        (Case::Dog, Flavor::Reactor),
+        (Case::Bft, Flavor::Reactor),
+    ] {
         const CLIENTS: u64 = 4;
         const PER_CLIENT: usize = 4;
         let deployment = deploy(case, CLIENTS);
         let crash_victim = deployment.crash_victim;
         let client_ids: Vec<ClientId> = deployment.clients.iter().map(|c| c.id()).collect();
-        let cluster =
-            SocketCluster::spawn(deployment.replicas, &client_ids).expect("bind loopback");
+        let cluster = SocketCluster::spawn_with(deployment.replicas, &client_ids, flavor.options())
+            .expect("bind loopback");
 
         let completed: usize = std::thread::scope(|scope| {
             let cluster = &cluster;
