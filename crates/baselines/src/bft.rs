@@ -29,6 +29,7 @@ use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::reads::ParkedReads;
 use seemore_crypto::VerifyCache;
 use seemore_crypto::{Digest, KeyStore, Signature, Signer};
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{
     ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
 };
@@ -38,6 +39,7 @@ use seemore_wire::{
     WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The pseudo-client used for no-op gap fillers during view changes.
 const NOOP_CLIENT: ClientId = ClientId(u64::MAX);
@@ -84,6 +86,12 @@ pub struct BftReplica {
     verify_memo: Option<VerifyCache>,
     metrics: ReplicaMetrics,
     crashed: bool,
+    /// Structured-event sink (a no-op [`NullRecorder`] unless the runtime
+    /// attaches a real one).
+    recorder: Arc<dyn Recorder>,
+    /// Timestamp of the protocol input currently being processed; stamps
+    /// every event emitted while handling it.
+    trace_at: Instant,
 }
 
 impl BftReplica {
@@ -132,6 +140,37 @@ impl BftReplica {
             verify_memo: pconfig.verify_memo.then(VerifyCache::default),
             metrics: ReplicaMetrics::default(),
             crashed: false,
+            recorder: Arc::new(NullRecorder),
+            trace_at: Instant::ZERO,
+        }
+    }
+
+    /// Attaches a structured-event recorder (replacing the no-op default).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Records one protocol event, stamped with the input's arrival time.
+    #[inline]
+    fn trace(
+        &self,
+        kind: EventKind,
+        slot: Option<SeqNum>,
+        request: Option<RequestId>,
+        detail: u64,
+    ) {
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent {
+                seq: 0,
+                at: self.trace_at,
+                node: NodeId::Replica(self.id),
+                view: self.view,
+                mode: Mode::Peacock,
+                slot,
+                request,
+                kind,
+                detail,
+            });
         }
     }
 
@@ -214,8 +253,15 @@ impl BftReplica {
     }
 
     fn execute_ready(&mut self, actions: &mut Vec<Action>) {
-        for execution in self.exec.execute_ready() {
+        let executions = self.exec.execute_ready();
+        for execution in executions {
             self.metrics.executed += 1;
+            self.trace(
+                EventKind::Executed,
+                Some(execution.seq),
+                Some(execution.request.id()),
+                0,
+            );
             actions.push(Action::Executed {
                 seq: execution.seq,
                 request: execution.request.id(),
@@ -230,6 +276,12 @@ impl BftReplica {
             });
             self.forwarded_armed.remove(&execution.request.id());
             if execution.request.client != NOOP_CLIENT {
+                self.trace(
+                    EventKind::Replied,
+                    Some(execution.seq),
+                    Some(execution.request.id()),
+                    0,
+                );
                 // In PBFT every replica replies; the client waits for f+1
                 // matching replies.
                 let reply = ClientReply::new_with(
@@ -308,6 +360,8 @@ impl BftReplica {
         match self.exec.read(&read.operation) {
             Some(result) => {
                 self.metrics.reads_served += 1;
+                self.trace(EventKind::Executed, None, Some(read.id()), 0);
+                self.trace(EventKind::Replied, None, Some(read.id()), 0);
                 let reply = ReadReply::new_with(
                     &mut self.scratch,
                     &self.signer,
@@ -330,6 +384,7 @@ impl BftReplica {
 
     fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
         self.metrics.reads_refused += 1;
+        self.trace(EventKind::ReadRefused, None, Some(read.id()), 0);
         let reply = ReadReply::refusal_with(
             &mut self.scratch,
             &self.signer,
@@ -423,9 +478,11 @@ impl BftReplica {
         request: ClientRequest,
         now: Instant,
     ) {
-        if self.assigned.contains_key(&request.id()) {
+        let id = request.id();
+        if self.assigned.contains_key(&id) {
             return;
         }
+        self.trace(EventKind::RequestAdmitted, None, Some(id), 0);
         let in_flight = self.slots_in_flight();
         if let Some(batch) = self
             .batcher
@@ -451,6 +508,17 @@ impl BftReplica {
         self.next_seq = seq;
         for id in batch.request_ids() {
             self.assigned.insert(id, seq);
+        }
+        if self.recorder.enabled() {
+            self.trace(EventKind::BatchCut, Some(seq), None, batch.len() as u64);
+            for id in batch.request_ids() {
+                self.trace(
+                    EventKind::ProposeSent,
+                    Some(seq),
+                    Some(id),
+                    batch.len() as u64,
+                );
+            }
         }
         let digest = batch.digest();
         let mut preprepare = PrePrepare {
@@ -603,15 +671,18 @@ impl BftReplica {
     fn try_commit(&mut self, actions: &mut Vec<Action>, seq: SeqNum, digest: Digest) {
         let quorum = self.config.quorum as usize;
         let instance = self.log.instance_mut(seq);
+        let votes = instance.matching_commits(&digest);
         if instance.committed
             || !instance.prepared
             || !instance.proposal_matches(self.view, &digest)
-            || instance.matching_commits(&digest) < quorum
+            || votes < quorum
         {
             return;
         }
         instance.committed = true;
         let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
+        self.trace(EventKind::QuorumReached, Some(seq), None, votes as u64);
+        self.trace(EventKind::Committed, Some(seq), None, 0);
         if let Some(batch) = batch {
             self.metrics.committed += 1;
             self.exec.add_committed(seq, batch);
@@ -650,6 +721,7 @@ impl BftReplica {
         self.in_view_change = true;
         self.target_view = target;
         self.metrics.view_changes_started += 1;
+        self.trace(EventKind::ViewChangeStart, None, None, target.0);
         self.refuse_parked_reads(&mut actions);
 
         let stable = self.checkpoints.stable_seq();
@@ -844,6 +916,7 @@ impl BftReplica {
         self.view = new_view.view;
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
+        self.trace(EventKind::ViewChangeInstall, None, None, new_view.view.0);
         self.refuse_parked_reads(actions);
         self.assigned.clear();
         self.view_changes.retain(|view, _| *view > new_view.view);
@@ -975,6 +1048,7 @@ impl ReplicaProtocol for BftReplica {
         if self.crashed {
             return Vec::new();
         }
+        self.trace_at = now;
         self.metrics.record_received(message.kind());
         match message {
             Message::Request(request) => self.on_request(request, now),
@@ -993,6 +1067,7 @@ impl ReplicaProtocol for BftReplica {
         if self.crashed {
             return Vec::new();
         }
+        self.trace_at = now;
         match timer {
             Timer::RequestProgress { seq } => {
                 let committed = self

@@ -27,12 +27,14 @@ use seemore_core::metrics::ReplicaMetrics;
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::reads::ParkedReads;
 use seemore_crypto::Signature;
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View};
 use seemore_wire::{
     Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message, NewView,
     Prepare, PrepareCert, ReadReply, ReadRequest, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The pseudo-client used for no-op gap fillers during view changes.
 const NOOP_CLIENT: seemore_types::ClientId = seemore_types::ClientId(u64::MAX);
@@ -70,6 +72,10 @@ pub struct CftReplica {
     parked_reads: ParkedReads,
     metrics: ReplicaMetrics,
     crashed: bool,
+    /// Structured event sink ([`NullRecorder`] unless tracing is on).
+    recorder: Arc<dyn Recorder>,
+    /// Timestamp of the entry point currently executing.
+    trace_at: Instant,
 }
 
 impl CftReplica {
@@ -105,6 +111,40 @@ impl CftReplica {
             parked_reads: ParkedReads::new(),
             metrics: ReplicaMetrics::default(),
             crashed: false,
+            recorder: Arc::new(NullRecorder),
+            trace_at: Instant::ZERO,
+        }
+    }
+
+    /// Replaces the structured-event sink (a shared ring buffer in traced
+    /// runs).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Records one structured protocol event; a single branch when tracing
+    /// is disabled. The baseline always reports [`Mode::Lion`] (its closest
+    /// SeeMoRe analogue), matching its `ReplicaProtocol::mode`.
+    #[inline]
+    fn trace(
+        &self,
+        kind: EventKind,
+        slot: Option<SeqNum>,
+        request: Option<RequestId>,
+        detail: u64,
+    ) {
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent {
+                seq: 0,
+                at: self.trace_at,
+                node: NodeId::Replica(self.id),
+                view: self.view,
+                mode: Mode::Lion,
+                slot,
+                request,
+                kind,
+                detail,
+            });
         }
     }
 
@@ -176,6 +216,8 @@ impl CftReplica {
         match self.exec.read(&read.operation) {
             Some(result) => {
                 self.metrics.reads_served += 1;
+                self.trace(EventKind::Executed, None, Some(read.id()), 0);
+                self.trace(EventKind::Replied, None, Some(read.id()), 0);
                 let reply = ReadReply {
                     mode: Mode::Lion,
                     view: self.view,
@@ -198,6 +240,7 @@ impl CftReplica {
 
     fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
         self.metrics.reads_refused += 1;
+        self.trace(EventKind::ReadRefused, None, Some(read.id()), 0);
         let reply = ReadReply {
             mode: Mode::Lion,
             view: self.view,
@@ -239,8 +282,15 @@ impl CftReplica {
 
     fn execute_ready(&mut self, actions: &mut Vec<Action>, now: Instant) {
         let should_reply = self.is_primary();
-        for execution in self.exec.execute_ready() {
+        let executions = self.exec.execute_ready();
+        for execution in executions {
             self.metrics.executed += 1;
+            self.trace(
+                EventKind::Executed,
+                Some(execution.seq),
+                Some(execution.request.id()),
+                0,
+            );
             actions.push(Action::Executed {
                 seq: execution.seq,
                 request: execution.request.id(),
@@ -255,6 +305,12 @@ impl CftReplica {
             });
             self.forwarded_watch.remove(&execution.request.id());
             if should_reply && execution.request.client != NOOP_CLIENT {
+                self.trace(
+                    EventKind::Replied,
+                    Some(execution.seq),
+                    Some(execution.request.id()),
+                    0,
+                );
                 let reply = self.make_reply(&execution.request, execution.result);
                 self.send(
                     actions,
@@ -335,9 +391,11 @@ impl CftReplica {
         request: ClientRequest,
         now: Instant,
     ) {
-        if self.assigned.contains_key(&request.id()) {
+        let id = request.id();
+        if self.assigned.contains_key(&id) {
             return;
         }
+        self.trace(EventKind::RequestAdmitted, None, Some(id), 0);
         let in_flight = self.slots_in_flight();
         if let Some(batch) = self
             .batcher
@@ -368,6 +426,17 @@ impl CftReplica {
             .insert(seq, now.saturating_sub(self.pconfig.batch.max_delay()));
         for id in batch.request_ids() {
             self.assigned.insert(id, seq);
+        }
+        if self.recorder.enabled() {
+            self.trace(EventKind::BatchCut, Some(seq), None, batch.len() as u64);
+            for id in batch.request_ids() {
+                self.trace(
+                    EventKind::ProposeSent,
+                    Some(seq),
+                    Some(id),
+                    batch.len() as u64,
+                );
+            }
         }
         let digest = batch.digest();
         let prepare = Prepare {
@@ -441,11 +510,20 @@ impl CftReplica {
             return actions;
         }
         instance.record_accept(sender, accept.digest);
-        if instance.commit_sent || instance.matching_accepts(&accept.digest) < threshold {
+        let votes = instance.matching_accepts(&accept.digest);
+        if instance.commit_sent || votes < threshold {
             return actions;
         }
         instance.commit_sent = true;
         instance.committed = true;
+        let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
+        self.trace(
+            EventKind::QuorumReached,
+            Some(accept.seq),
+            None,
+            votes as u64,
+        );
+        self.trace(EventKind::Committed, Some(accept.seq), None, 0);
         // An accept quorum just followed this leader: extend the read
         // lease, anchored at the slot's propose time.
         if let Some(anchor) = self.proposed_at.remove(&accept.seq) {
@@ -453,7 +531,6 @@ impl CftReplica {
                 .read_lease_until
                 .max(anchor + self.pconfig.request_timeout);
         }
-        let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
         let commit = Commit {
             view: self.view,
             seq: accept.seq,
@@ -488,6 +565,7 @@ impl CftReplica {
         let batch = commit
             .batch
             .or_else(|| instance.proposal.as_ref().map(|p| p.batch.clone()));
+        self.trace(EventKind::Committed, Some(commit.seq), None, 0);
         if let Some(batch) = batch {
             self.metrics.committed += 1;
             self.exec.add_committed(commit.seq, batch);
@@ -516,6 +594,7 @@ impl CftReplica {
         self.in_view_change = true;
         self.target_view = target;
         self.metrics.view_changes_started += 1;
+        self.trace(EventKind::ViewChangeStart, None, None, target.0);
         self.refuse_parked_reads(&mut actions);
 
         let stable = self.checkpoints.stable_seq();
@@ -699,6 +778,7 @@ impl CftReplica {
         self.view = new_view.view;
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
+        self.trace(EventKind::ViewChangeInstall, None, None, new_view.view.0);
         self.refuse_parked_reads(actions);
         // The dead view's lease anchors are gone; a new leader earns its
         // lease from its first committed slot.
@@ -834,6 +914,7 @@ impl ReplicaProtocol for CftReplica {
         if self.crashed {
             return Vec::new();
         }
+        self.trace_at = now;
         self.metrics.record_received(message.kind());
         match message {
             Message::Request(request) => self.on_request(request, now),
@@ -852,6 +933,7 @@ impl ReplicaProtocol for CftReplica {
         if self.crashed {
             return Vec::new();
         }
+        self.trace_at = now;
         match timer {
             Timer::RequestProgress { seq } => {
                 let committed = self

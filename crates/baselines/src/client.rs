@@ -12,11 +12,13 @@ use seemore_core::actions::{Action, Timer};
 use seemore_core::client::{ClientOutcome, ClientProtocol};
 use seemore_core::reads::ReadTally;
 use seemore_crypto::{Digest, KeyStore, Signer};
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{
-    ClientId, Duration, Instant, NodeId, OpClass, ReplicaId, RequestId, Timestamp, View,
+    ClientId, Duration, Instant, Mode, NodeId, OpClass, ReplicaId, RequestId, Timestamp, View,
 };
 use seemore_wire::{ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 struct Pending {
     /// The request identity `(client, timestamp)`, shared by the fast path
@@ -47,6 +49,9 @@ pub struct BaselineClient {
     pending: Option<Pending>,
     completed: Vec<ClientOutcome>,
     retransmissions: u64,
+    /// Structured-event sink (a no-op [`NullRecorder`] unless the runtime
+    /// attaches a real one).
+    recorder: Arc<dyn Recorder>,
 }
 
 impl BaselineClient {
@@ -75,6 +80,35 @@ impl BaselineClient {
             pending: None,
             completed: Vec::new(),
             retransmissions: 0,
+            recorder: Arc::new(NullRecorder),
+        }
+    }
+
+    /// Attaches a structured-event recorder (replacing the no-op default).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Records one client-side protocol event at time `at`.
+    #[inline]
+    fn trace(&self, kind: EventKind, request: RequestId, detail: u64, at: Instant) {
+        if self.recorder.enabled() {
+            let mode = if self.config.signed {
+                Mode::Peacock
+            } else {
+                Mode::Lion
+            };
+            self.recorder.record(TraceEvent {
+                seq: 0,
+                at,
+                node: NodeId::Client(self.id),
+                view: self.view,
+                mode,
+                slot: None,
+                request: Some(request),
+                kind,
+                detail,
+            });
         }
     }
 
@@ -117,6 +151,12 @@ impl BaselineClient {
         let pending = self.pending.take().expect("checked above");
         let result = pending.results.get(&digest).cloned().unwrap_or_default();
         self.view = self.view.max(reply.view);
+        self.trace(
+            EventKind::ClientDone,
+            pending.id,
+            u64::from(!pending.class.is_read()),
+            now,
+        );
         self.completed.push(ClientOutcome {
             request: pending.id,
             class: pending.class,
@@ -161,6 +201,7 @@ impl BaselineClient {
             timer: Timer::ClientRetransmit { timestamp: nonce },
             after: self.timeout,
         });
+        self.trace(EventKind::ClientSubmit, read.id(), 0, now);
         self.pending = Some(Pending {
             id: read.id(),
             ordered: None,
@@ -228,6 +269,7 @@ impl BaselineClient {
             .as_ref()
             .and_then(|read| read.result_for(&digest))
             .unwrap_or_default();
+        self.trace(EventKind::ClientDone, pending.id, 0, now);
         self.completed.push(ClientOutcome {
             request: pending.id,
             class: OpClass::Read,
@@ -311,6 +353,7 @@ impl ClientProtocol for BaselineClient {
                 after: self.timeout,
             },
         ];
+        self.trace(EventKind::ClientSubmit, request.id(), 1, now);
         self.pending = Some(Pending {
             id: request.id(),
             ordered: Some(request),

@@ -11,7 +11,8 @@ use seemore_app::{KvOp, KvStore, StateMachine};
 use seemore_bench::{header, time_op};
 use seemore_core::log::Instance;
 use seemore_crypto::{hmac_sha256, sha256, Digest, KeyStore, VerifyCache};
-use seemore_types::{ClientId, NodeId, ReplicaId, SeqNum, Timestamp, View};
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, RingRecorder, TraceEvent};
+use seemore_types::{ClientId, Instant, Mode, NodeId, ReplicaId, SeqNum, Timestamp, View};
 use seemore_wire::codec::{decode, encode, Frame};
 use seemore_wire::{
     Batch, ClientRequest, Message, Prepare, SignedPayload, SigningScratch, WireSize,
@@ -282,5 +283,41 @@ fn main() {
             }
         });
         println!("fanout6/encode-once {label:<13}: {ns:>9.0} ns/op");
+    }
+
+    // The structured tracer's per-event cost, as the cores pay it: every
+    // event site checks `enabled()` first, so the disabled row is the price
+    // every *untraced* run pays at every site (it must be branch-only), and
+    // the enabled row is the bounded-ring append a traced run pays.
+    {
+        let event = TraceEvent {
+            seq: 0,
+            at: Instant::from_nanos(1_250_000),
+            node: NodeId::Replica(ReplicaId(0)),
+            view: View(1),
+            mode: Mode::Lion,
+            slot: Some(SeqNum(42)),
+            request: None,
+            kind: EventKind::Committed,
+            detail: 8,
+        };
+        let null = NullRecorder;
+        let ns_disabled = time_op("trace_overhead/disabled", || {
+            if std::hint::black_box(&null).enabled() {
+                null.record(std::hint::black_box(event));
+            }
+        });
+        println!("trace/disabled site       : {ns_disabled:>9.1} ns/op");
+        let ring = RingRecorder::new(1 << 16);
+        let ns_enabled = time_op("trace_overhead/enabled", || {
+            if std::hint::black_box(&ring).enabled() {
+                ring.record(std::hint::black_box(event));
+            }
+        });
+        println!(
+            "trace/enabled ring append : {ns_enabled:>9.1} ns/op ({} recorded, {} dropped)",
+            ring.recorded(),
+            ring.dropped()
+        );
     }
 }

@@ -1,0 +1,167 @@
+//! Schema validator for the machine-readable bench artifacts.
+//!
+//! CI runs the ablation benches and then this binary, which parses the
+//! emitted `BENCH_socket.json` and `BENCH_telemetry.json` back through the
+//! shared [`seemore_bench::json`] parser and checks every field the
+//! cross-PR tooling depends on. A schema drift (renamed field, stringified
+//! number, truncated emit) fails the build instead of silently producing an
+//! artifact nothing can read.
+//!
+//! Usage: `validate_bench [workspace_root]` (defaults to the current
+//! directory). Exits non-zero listing every violation found.
+
+use seemore_bench::json::Json;
+use std::path::Path;
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut errors = Vec::new();
+    validate_socket(Path::new(&root).join("BENCH_socket.json"), &mut errors);
+    validate_telemetry(Path::new(&root).join("BENCH_telemetry.json"), &mut errors);
+    if errors.is_empty() {
+        println!("bench artifacts validate clean");
+    } else {
+        for error in &errors {
+            eprintln!("error: {error}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &Path, errors: &mut Vec<String>) -> Option<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            errors.push(format!("{}: {error}", path.display()));
+            return None;
+        }
+    };
+    match Json::parse(&text) {
+        Ok(doc) => Some(doc),
+        Err(error) => {
+            errors.push(format!("{}: not valid JSON: {error}", path.display()));
+            None
+        }
+    }
+}
+
+/// Checks that `doc[key]` exists and is a finite number.
+fn require_num(doc: &Json, key: &str, context: &str, errors: &mut Vec<String>) {
+    match doc.get(key).and_then(Json::as_f64) {
+        Some(v) if v.is_finite() => {}
+        Some(_) => errors.push(format!("{context}: {key} is not finite")),
+        None => errors.push(format!("{context}: missing numeric field {key}")),
+    }
+}
+
+/// Checks that `doc[key]` exists and is a non-empty string.
+fn require_str(doc: &Json, key: &str, context: &str, errors: &mut Vec<String>) {
+    match doc.get(key).and_then(Json::as_str) {
+        Some(v) if !v.is_empty() => {}
+        Some(_) => errors.push(format!("{context}: {key} is empty")),
+        None => errors.push(format!("{context}: missing string field {key}")),
+    }
+}
+
+fn validate_socket(path: std::path::PathBuf, errors: &mut Vec<String>) {
+    let Some(doc) = load(&path, errors) else {
+        return;
+    };
+    let context = path.display().to_string();
+    if doc.get("quick_mode").and_then(Json::as_bool).is_none() {
+        errors.push(format!("{context}: missing bool field quick_mode"));
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_array) else {
+        errors.push(format!("{context}: missing array field results"));
+        return;
+    };
+    if results.is_empty() {
+        errors.push(format!("{context}: results is empty"));
+    }
+    for (i, row) in results.iter().enumerate() {
+        let context = format!("{context} results[{i}]");
+        for key in ["protocol", "runtime", "config"] {
+            require_str(row, key, &context, errors);
+        }
+        for key in [
+            "kreqs",
+            "avg_latency_ms",
+            "write_syscalls",
+            "frames_coalesced",
+            "encodes_saved",
+            "direct_writes",
+            "vectored_writes",
+            "partial_writes",
+            "reconnects",
+        ] {
+            require_num(row, key, &context, errors);
+        }
+    }
+    let Some(connections) = doc.get("connections").and_then(Json::as_array) else {
+        errors.push(format!("{context}: missing array field connections"));
+        return;
+    };
+    for (i, point) in connections.iter().enumerate() {
+        let context = format!("{context} connections[{i}]");
+        require_str(point, "transport", &context, errors);
+        require_str(point, "note", &context, errors);
+        require_num(point, "held", &context, errors);
+        require_num(point, "kround_trips_s", &context, errors);
+    }
+}
+
+fn validate_telemetry(path: std::path::PathBuf, errors: &mut Vec<String>) {
+    let Some(doc) = load(&path, errors) else {
+        return;
+    };
+    let context = path.display().to_string();
+    if doc.get("quick_mode").and_then(Json::as_bool).is_none() {
+        errors.push(format!("{context}: missing bool field quick_mode"));
+    }
+    let Some(overhead) = doc.get("trace_overhead") else {
+        errors.push(format!("{context}: missing object field trace_overhead"));
+        return;
+    };
+    for key in ["plain_kreqs", "traced_kreqs", "overhead_pct", "events"] {
+        require_num(overhead, key, &format!("{context} trace_overhead"), errors);
+    }
+    // The acceptance bar the ablation asserts at run time, re-checked here
+    // against the artifact so a stale file cannot mask a regression.
+    if let Some(pct) = overhead.get("overhead_pct").and_then(Json::as_f64) {
+        if pct >= 5.0 {
+            errors.push(format!(
+                "{context}: recorded tracing overhead {pct:.2}% breaches the 5% bar"
+            ));
+        }
+    }
+    let Some(phases) = doc.get("phases").and_then(Json::as_array) else {
+        errors.push(format!("{context}: missing array field phases"));
+        return;
+    };
+    if phases.is_empty() {
+        errors.push(format!("{context}: phases is empty"));
+    }
+    for (i, cell) in phases.iter().enumerate() {
+        let context = format!("{context} phases[{i}]");
+        require_str(cell, "mode", &context, errors);
+        require_str(cell, "class", &context, errors);
+        require_num(cell, "requests", &context, errors);
+        let Some(legs) = cell.get("legs").and_then(Json::as_array) else {
+            errors.push(format!("{context}: missing array field legs"));
+            continue;
+        };
+        for (j, leg) in legs.iter().enumerate() {
+            let context = format!("{context} legs[{j}]");
+            require_str(leg, "phase", &context, errors);
+            for key in ["samples", "mean_us", "p50_us", "p99_us", "p999_us"] {
+                require_num(leg, key, &context, errors);
+            }
+        }
+    }
+    let Some(health) = doc.get("health") else {
+        errors.push(format!("{context}: missing object field health"));
+        return;
+    };
+    require_num(health, "replicas", &format!("{context} health"), errors);
+    require_num(health, "quiet", &format!("{context} health"), errors);
+}

@@ -11,6 +11,18 @@
 use seemore_runtime::{ProtocolKind, RunReport, Scenario};
 use seemore_types::Duration;
 
+pub mod json;
+
+/// Writes a bench artifact at the workspace root through the shared JSON
+/// writer and reports where it went (or why it could not be written).
+pub fn write_bench_artifact(file_name: &str, doc: &json::Json) {
+    let path = format!("{}/../../{file_name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(error) => println!("# could not write {path}: {error}"),
+    }
+}
+
 /// Whether the quick (smoke) configuration was requested.
 pub fn quick_mode() -> bool {
     std::env::var("SEEMORE_BENCH_QUICK")

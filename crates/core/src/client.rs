@@ -5,12 +5,14 @@
 use crate::actions::{Action, Timer};
 use crate::reads::ReadTally;
 use seemore_crypto::{Digest, KeyStore, Signer};
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{
     ClientId, ClusterConfig, Duration, Instant, Mode, NodeId, OpClass, ReplicaId, RequestId,
     Timestamp, View,
 };
 use seemore_wire::{ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The sans-IO contract for protocol clients (SeeMoRe's [`ClientCore`] and
 /// the baseline clients), so that runtimes and the test kit can drive any of
@@ -141,6 +143,8 @@ pub struct ClientCore {
     completed: Vec<ClientOutcome>,
     retransmissions: u64,
     read_fallbacks: u64,
+    /// Structured event sink ([`NullRecorder`] unless tracing is on).
+    recorder: Arc<dyn Recorder>,
 }
 
 impl std::fmt::Debug for ClientCore {
@@ -183,6 +187,32 @@ impl ClientCore {
             completed: Vec::new(),
             retransmissions: 0,
             read_fallbacks: 0,
+            recorder: Arc::new(NullRecorder),
+        }
+    }
+
+    /// Replaces the structured-event sink (a shared ring buffer in traced
+    /// runs).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Records one client-side protocol event; a single branch when tracing
+    /// is disabled. `detail` carries the op class (0 read, 1 write).
+    #[inline]
+    fn trace(&self, kind: EventKind, request: RequestId, detail: u64, at: Instant) {
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent {
+                seq: 0,
+                at,
+                node: NodeId::Client(self.id),
+                view: self.view,
+                mode: self.mode,
+                slot: None,
+                request: Some(request),
+                kind,
+                detail,
+            });
         }
     }
 
@@ -257,6 +287,7 @@ impl ClientCore {
             },
             after: self.timeout,
         });
+        self.trace(EventKind::ClientSubmit, request.id(), 1, now);
         self.pending = Some(Pending {
             id: request.id(),
             ordered: Some(request),
@@ -300,6 +331,7 @@ impl ClientCore {
             timer: Timer::ClientRetransmit { timestamp: nonce },
             after: self.timeout,
         });
+        self.trace(EventKind::ClientSubmit, read.id(), 0, now);
         self.pending = Some(Pending {
             id: read.id(),
             // The ordered-path fallback shares this identity but is only
@@ -412,6 +444,8 @@ impl ClientCore {
             self.mode = reply.mode;
             self.view = self.view.max(reply.view);
         }
+        let class_detail = u64::from(!pending.class.is_read());
+        self.trace(EventKind::ClientDone, pending.id, class_detail, now);
         self.completed.push(ClientOutcome {
             request: pending.id,
             class: pending.class,
@@ -498,6 +532,7 @@ impl ClientCore {
             self.mode = reply.mode;
             self.view = self.view.max(reply.view);
         }
+        self.trace(EventKind::ClientDone, pending.id, 0, now);
         self.completed.push(ClientOutcome {
             request: pending.id,
             class: OpClass::Read,

@@ -111,6 +111,10 @@ pub struct ReplicaMetrics {
     pub stable_checkpoints: u64,
     /// Messages discarded as invalid (bad signature, wrong view, ...).
     pub rejected_messages: u64,
+    /// Agreement votes whose digest disagreed with the proposal this
+    /// replica accepted for the same slot and view — a per-peer
+    /// misbehaviour (or lag) signal surfaced to the health rollup.
+    pub vote_mismatches: u64,
     /// Read-only requests this replica served from executed state without
     /// ordering (the read fast path).
     pub reads_served: u64,
@@ -187,6 +191,7 @@ impl ReplicaMetrics {
         self.mode_switches += other.mode_switches;
         self.stable_checkpoints += other.stable_checkpoints;
         self.rejected_messages += other.rejected_messages;
+        self.vote_mismatches += other.vote_mismatches;
         self.reads_served += other.reads_served;
         self.reads_refused += other.reads_refused;
         self.batch.merge(&other.batch);
@@ -265,6 +270,32 @@ mod tests {
         assert!((t.mean_size() - 13.0 / 4.0).abs() < 1e-12);
         assert_eq!(t.p50_size(), 2);
         assert_eq!(t.max_size(), 8);
+    }
+
+    #[test]
+    fn batch_telemetry_single_cut_percentiles_collapse() {
+        let mut t = BatchTelemetry::default();
+        t.record_cut(5, FlushCause::Timer);
+        assert_eq!(t.batches(), 1);
+        assert_eq!(t.p50_size(), 5);
+        assert_eq!(t.max_size(), 5);
+        assert!((t.mean_size() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_telemetry_merge_into_empty_is_identity() {
+        let mut empty = BatchTelemetry::default();
+        let mut other = BatchTelemetry::default();
+        other.record_cut(3, FlushCause::Size);
+        empty.merge(&other);
+        assert_eq!(empty.batches(), 1);
+        assert_eq!(empty.p50_size(), 3);
+        // Merging an empty telemetry in changes nothing.
+        let before = empty.clone();
+        empty.merge(&BatchTelemetry::default());
+        assert_eq!(empty.batches(), before.batches());
+        assert_eq!(empty.p50_size(), before.p50_size());
+        assert_eq!(empty.max_size(), before.max_size());
     }
 
     #[test]

@@ -15,7 +15,8 @@ use super::SeeMoReReplica;
 use crate::actions::{Action, Timer};
 use crate::log::Proposal;
 use seemore_crypto::Signature;
-use seemore_types::{Instant, Mode, NodeId, ProtocolViolation, ReplicaId, SeqNum};
+use seemore_telemetry::EventKind;
+use seemore_types::{Instant, Mode, NodeId, ProtocolViolation, ReplicaId, SeqNum, View};
 use seemore_wire::{
     Accept, Batch, ClientRequest, Commit, Inform, Message, PbftPrepare, PrePrepare, Prepare,
     SignedPayload,
@@ -34,11 +35,13 @@ impl SeeMoReReplica {
         request: ClientRequest,
         now: Instant,
     ) {
-        if self.assigned.contains_key(&request.id()) {
+        let id = request.id();
+        if self.assigned.contains_key(&id) {
             // Already ordered (duplicate transmission); the commit path will
             // answer the client.
             return;
         }
+        self.trace(EventKind::RequestAdmitted, None, Some(id), 0);
         let in_flight = self.slots_in_flight();
         if let Some(batch) = self
             .batcher
@@ -116,6 +119,17 @@ impl SeeMoReReplica {
         }
         for id in batch.request_ids() {
             self.assigned.insert(id, seq);
+        }
+        if self.recorder.enabled() {
+            self.trace(EventKind::BatchCut, Some(seq), None, batch.len() as u64);
+            for id in batch.request_ids() {
+                self.trace(
+                    EventKind::ProposeSent,
+                    Some(seq),
+                    Some(id),
+                    batch.len() as u64,
+                );
+            }
         }
         let digest = batch.digest();
 
@@ -433,6 +447,7 @@ impl SeeMoReReplica {
                 if !self.is_primary() {
                     return actions; // only the primary consumes Lion accepts
                 }
+                self.note_vote_digest(accept.seq, accept.view, &accept.digest);
                 let instance = self.log.instance_mut(accept.seq);
                 if !instance.proposal_matches(accept.view, &accept.digest) {
                     return actions;
@@ -459,6 +474,7 @@ impl SeeMoReReplica {
                     }));
                     return actions;
                 }
+                self.note_vote_digest(accept.seq, accept.view, &accept.digest);
                 self.log
                     .instance_mut(accept.seq)
                     .record_accept(sender, accept.digest);
@@ -482,7 +498,8 @@ impl SeeMoReReplica {
     ) {
         let threshold = self.cluster.lion_accept_threshold() as usize;
         let instance = self.log.instance_mut(seq);
-        if instance.commit_sent || instance.matching_accepts(&digest) < threshold {
+        let votes = instance.matching_accepts(&digest);
+        if instance.commit_sent || votes < threshold {
             return;
         }
         let Some(proposal) = instance.proposal.clone() else {
@@ -490,6 +507,8 @@ impl SeeMoReReplica {
         };
         instance.commit_sent = true;
         instance.committed = true;
+        self.trace(EventKind::QuorumReached, Some(seq), None, votes as u64);
+        self.trace(EventKind::Committed, Some(seq), None, 0);
         // An accept quorum of the current view followed this primary:
         // extend the read lease, anchored at the slot's *propose* time (not
         // at evidence arrival, which a delayed network could abuse).
@@ -525,13 +544,15 @@ impl SeeMoReReplica {
     ) {
         let threshold = self.cluster.proxy_quorum() as usize;
         let instance = self.log.instance_mut(seq);
-        if instance.commit_sent || instance.matching_accepts(&digest) < threshold {
+        let votes = instance.matching_accepts(&digest);
+        if instance.commit_sent || votes < threshold {
             return;
         }
         if !instance.proposal_matches(self.view, &digest) {
             return;
         }
         instance.commit_sent = true;
+        self.trace(EventKind::QuorumReached, Some(seq), None, votes as u64);
         self.broadcast_commit_vote(actions, seq, digest);
         self.mark_committed_by_proxy(actions, seq, digest, now);
     }
@@ -570,6 +591,7 @@ impl SeeMoReReplica {
             }));
             return actions;
         }
+        self.note_vote_digest(vote.seq, vote.view, &vote.digest);
         self.log
             .instance_mut(vote.seq)
             .record_pbft_prepare(sender, vote.digest);
@@ -682,6 +704,7 @@ impl SeeMoReReplica {
                     .batch
                     .filter(|batch| batch.digest() == commit.digest)
                     .or_else(|| instance.proposal.as_ref().map(|p| p.batch.clone()));
+                self.trace(EventKind::Committed, Some(commit.seq), None, 0);
                 if let Some(batch) = batch {
                     self.metrics.committed += 1;
                     self.exec.add_committed(commit.seq, batch);
@@ -695,6 +718,7 @@ impl SeeMoReReplica {
                 if !self.is_proxy() || !self.cluster.is_proxy(sender, self.view) {
                     return actions;
                 }
+                self.note_vote_digest(commit.seq, commit.view, &commit.digest);
                 self.log
                     .instance_mut(commit.seq)
                     .record_commit(sender, commit.digest);
@@ -737,13 +761,15 @@ impl SeeMoReReplica {
     ) {
         let threshold = self.cluster.proxy_quorum() as usize;
         let instance = self.log.instance_mut(seq);
+        let votes = instance.matching_commits(&digest);
         if instance.committed
             || !instance.prepared
             || !instance.proposal_matches(self.view, &digest)
-            || instance.matching_commits(&digest) < threshold
+            || votes < threshold
         {
             return;
         }
+        self.trace(EventKind::QuorumReached, Some(seq), None, votes as u64);
         self.mark_committed_by_proxy(actions, seq, digest, now);
     }
 
@@ -764,6 +790,7 @@ impl SeeMoReReplica {
         let batch = instance.proposal.as_ref().map(|p| p.batch.clone());
         let send_inform = !instance.inform_sent;
         instance.inform_sent = true;
+        self.trace(EventKind::Committed, Some(seq), None, 0);
 
         if send_inform {
             let mut inform = Inform {
@@ -861,6 +888,7 @@ impl SeeMoReReplica {
         }
         instance.committed = true;
         self.metrics.committed += 1;
+        self.trace(EventKind::Committed, Some(seq), None, 0);
         // A Dog primary learns through an inform quorum (>= m+1 honest
         // proxies) that the current view is still committing its proposals:
         // extend the read lease, anchored at the slot's propose time.
@@ -869,6 +897,29 @@ impl SeeMoReReplica {
         }
         self.exec.add_committed(seq, proposal.batch);
         self.execute_ready(actions, now);
+    }
+
+    /// Compares an incoming vote's digest against the proposal this replica
+    /// accepted for `seq` in `view`, counting a disagreement as a
+    /// vote-mismatch signal (a conflicting vote can only come from a replica
+    /// that is lagging, partitioned — or lying). Purely observational: the
+    /// vote is still recorded and judged by the normal quorum rules.
+    pub(crate) fn note_vote_digest(
+        &mut self,
+        seq: SeqNum,
+        view: View,
+        digest: &seemore_crypto::Digest,
+    ) {
+        let mismatch = self
+            .log
+            .instance_mut(seq)
+            .proposal
+            .as_ref()
+            .is_some_and(|p| p.view == view && p.digest != *digest);
+        if mismatch {
+            self.metrics.vote_mismatches += 1;
+            self.trace(EventKind::VoteMismatch, Some(seq), None, 0);
+        }
     }
 
     /// Issues a state-transfer request to `target` unless one is already in

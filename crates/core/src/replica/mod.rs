@@ -32,6 +32,7 @@ use crate::protocol::ReplicaProtocol;
 use crate::reads::ParkedReads;
 use seemore_app::StateMachine;
 use seemore_crypto::{KeyStore, Signature, Signer, VerifyCache};
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{
     ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum, View,
 };
@@ -40,6 +41,7 @@ use seemore_wire::{
     SigningScratch, StateRequest, StateResponse, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Bookkeeping for an in-progress view change.
 #[derive(Debug, Default)]
@@ -132,6 +134,14 @@ pub struct SeeMoReReplica {
     pub(crate) verify_memo: Option<VerifyCache>,
     pub(crate) metrics: ReplicaMetrics,
     pub(crate) crashed: bool,
+    /// Structured event sink. [`NullRecorder`] by default, in which case
+    /// every trace site reduces to one cold branch (see
+    /// `seemore-telemetry`'s zero-allocation contract).
+    pub(crate) recorder: Arc<dyn Recorder>,
+    /// Timestamp of the entry point currently executing (`on_message`,
+    /// `on_timer`, ...), so helpers without a `now` parameter can stamp
+    /// trace events.
+    pub(crate) trace_at: Instant,
 }
 
 impl std::fmt::Debug for SeeMoReReplica {
@@ -197,6 +207,40 @@ impl SeeMoReReplica {
             verify_memo: pconfig.verify_memo.then(VerifyCache::default),
             metrics: ReplicaMetrics::default(),
             crashed: false,
+            recorder: Arc::new(NullRecorder),
+            trace_at: Instant::ZERO,
+        }
+    }
+
+    /// Replaces the structured-event sink (a shared ring buffer in traced
+    /// runs). Call before the replica starts processing messages.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Records one structured protocol event, stamped with this replica's
+    /// identity, view, mode and the current entry point's timestamp. A
+    /// single branch when tracing is disabled.
+    #[inline]
+    pub(crate) fn trace(
+        &self,
+        kind: EventKind,
+        slot: Option<SeqNum>,
+        request: Option<RequestId>,
+        detail: u64,
+    ) {
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent {
+                seq: 0,
+                at: self.trace_at,
+                node: NodeId::Replica(self.id),
+                view: self.view,
+                mode: self.mode,
+                slot,
+                request,
+                kind,
+                detail,
+            });
         }
     }
 
@@ -372,6 +416,9 @@ impl SeeMoReReplica {
     /// corresponding action.
     pub(crate) fn violation(&mut self, violation: ProtocolViolation) -> Action {
         self.metrics.rejected_messages += 1;
+        if matches!(violation, ProtocolViolation::BadSignature { .. }) {
+            self.trace(EventKind::SigVerifyFail, None, None, 0);
+        }
         Action::Violation(violation)
     }
 
@@ -469,9 +516,11 @@ impl SeeMoReReplica {
     /// field docs for why receipt-time anchoring is unsafe under message
     /// delay).
     pub(crate) fn extend_read_lease(&mut self, anchor: Instant) {
-        self.read_lease_until = self
-            .read_lease_until
-            .max(anchor + self.pconfig.request_timeout);
+        let extended = anchor + self.pconfig.request_timeout;
+        if extended > self.read_lease_until {
+            self.read_lease_until = extended;
+            self.trace(EventKind::LeaseGrant, None, None, extended.as_nanos());
+        }
     }
 
     /// Consumes the recorded propose time of `seq` (if this primary
@@ -509,9 +558,16 @@ impl SeeMoReReplica {
             // INFORM-driven execution catches up.
             Mode::Lion | Mode::Dog => {
                 if !self.is_primary() || self.vc.in_view_change || !self.read_lease_valid(now) {
+                    if self.is_primary() && !self.vc.in_view_change {
+                        // The primary would have served this read, but its
+                        // lease lapsed — the signal that commit evidence (and
+                        // thus lease extension) stopped flowing.
+                        self.trace(EventKind::LeaseExpiry, None, Some(read.id()), 0);
+                    }
                     self.refuse_read(&mut actions, &read);
                     return actions;
                 }
+                self.trace(EventKind::RequestAdmitted, None, Some(read.id()), 0);
                 let fence = SeqNum(self.next_seq.0.max(self.exec.last_executed().0));
                 if self.exec.last_executed() >= fence {
                     self.serve_read(&mut actions, &read);
@@ -534,6 +590,7 @@ impl SeeMoReReplica {
                     self.refuse_read(&mut actions, &read);
                     return actions;
                 }
+                self.trace(EventKind::RequestAdmitted, None, Some(read.id()), 0);
                 let fence = self.highest_prepared;
                 if self.exec.last_executed() >= fence {
                     self.serve_read(&mut actions, &read);
@@ -552,6 +609,8 @@ impl SeeMoReReplica {
         match self.exec.read(&read.operation) {
             Some(result) => {
                 self.metrics.reads_served += 1;
+                self.trace(EventKind::Executed, None, Some(read.id()), 0);
+                self.trace(EventKind::Replied, None, Some(read.id()), 0);
                 let reply = ReadReply::new_with(
                     &mut self.scratch,
                     &self.signer,
@@ -575,6 +634,7 @@ impl SeeMoReReplica {
     /// Sends a signed refusal redirecting the client to the ordered path.
     fn refuse_read(&mut self, actions: &mut Vec<Action>, read: &ReadRequest) {
         self.metrics.reads_refused += 1;
+        self.trace(EventKind::ReadRefused, None, Some(read.id()), 0);
         let reply = ReadReply::refusal_with(
             &mut self.scratch,
             &self.signer,
@@ -776,6 +836,12 @@ impl SeeMoReReplica {
         };
         for execution in executions {
             self.metrics.executed += 1;
+            self.trace(
+                EventKind::Executed,
+                Some(execution.seq),
+                Some(execution.request.id()),
+                0,
+            );
             actions.push(Action::Executed {
                 seq: execution.seq,
                 request: execution.request.id(),
@@ -791,6 +857,12 @@ impl SeeMoReReplica {
             self.forwarded_requests.remove(&execution.request.id());
             self.forwarded_armed.remove(&execution.request.id());
             if should_reply && execution.request.client != NOOP_CLIENT {
+                self.trace(
+                    EventKind::Replied,
+                    Some(execution.seq),
+                    Some(execution.request.id()),
+                    0,
+                );
                 let reply = self.make_reply(&execution.request, execution.result);
                 self.send(
                     actions,
@@ -819,6 +891,7 @@ impl ReplicaProtocol for SeeMoReReplica {
         if self.crashed {
             return Vec::new();
         }
+        self.trace_at = now;
         self.metrics.record_received(message.kind());
         // Observing commit-carrying traffic counts as progress for the
         // suspicion timers (the actual validity checks happen in the
@@ -856,6 +929,7 @@ impl ReplicaProtocol for SeeMoReReplica {
         if self.crashed {
             return Vec::new();
         }
+        self.trace_at = now;
         match timer {
             Timer::RequestProgress { seq } => self.on_progress_timeout(seq, now),
             Timer::ForwardedRequest { request } => self.on_forwarded_timeout(request, now),
@@ -882,6 +956,7 @@ impl ReplicaProtocol for SeeMoReReplica {
     }
 
     fn request_mode_switch(&mut self, mode: Mode, now: Instant) -> Vec<Action> {
+        self.trace_at = now;
         self.initiate_mode_switch(mode, now)
     }
 

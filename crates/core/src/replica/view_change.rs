@@ -6,6 +6,7 @@ use crate::actions::{Action, Timer};
 use crate::log::Proposal;
 use crate::protocol::ReplicaProtocol;
 use seemore_crypto::Signature;
+use seemore_telemetry::EventKind;
 use seemore_types::{
     ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum,
     Timestamp, View,
@@ -154,6 +155,12 @@ impl SeeMoReReplica {
         if !self.is_view_change_voter(mode) {
             return Vec::new();
         }
+        self.trace(
+            EventKind::SuspicionFired,
+            None,
+            None,
+            u64::from(self.current_primary().0),
+        );
         self.start_view_change(self.view.next(), mode, now)
     }
 
@@ -176,6 +183,7 @@ impl SeeMoReReplica {
         self.vc.in_view_change = true;
         self.vc.target_view = target_view;
         self.metrics.view_changes_started += 1;
+        self.trace(EventKind::ViewChangeStart, None, None, target_view.0);
         // Normal-case processing stops: parked fast-path reads can no longer
         // be served under this view's fence, so their clients must fall back
         // to the ordered path.
@@ -526,10 +534,17 @@ impl SeeMoReReplica {
             self.metrics.mode_switches += 1;
             self.checkpoints
                 .set_rule(Self::stability_rule_for(new_view.mode, &self.cluster));
+            self.trace(
+                EventKind::ModeSwitchDone,
+                None,
+                None,
+                u64::from(new_view.mode.index()),
+            );
         }
         self.vc.in_view_change = false;
         self.vc.received.retain(|view, _| *view > new_view.view);
         self.metrics.view_changes_completed += 1;
+        self.trace(EventKind::ViewChangeInstall, None, None, new_view.view.0);
         self.assigned.clear();
         self.log.reset_votes_for_new_view();
         // Any read still parked from the previous view is refused, and the
@@ -785,6 +800,12 @@ impl SeeMoReReplica {
     fn apply_mode_change(&mut self, mode_change: ModeChange, now: Instant) -> Vec<Action> {
         let mut actions = Vec::new();
         self.pending_mode = Some(mode_change.new_mode);
+        self.trace(
+            EventKind::ModeSwitchStart,
+            None,
+            None,
+            u64::from(mode_change.new_mode.index()),
+        );
         if self.is_view_change_voter(mode_change.new_mode) {
             actions.extend(self.start_view_change(mode_change.new_view, mode_change.new_mode, now));
         } else {

@@ -1407,6 +1407,7 @@ fn attempt_dial(
                 .push((Instant::now() + delay, Arc::clone(&outbound)));
         }
         Ok(stream) => {
+            shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
             shared
                 .stats
                 .bytes_sent

@@ -219,6 +219,7 @@ pub struct TransportStats {
     pub(crate) partial_writes: AtomicU64,
     pub(crate) frames_coalesced: AtomicU64,
     pub(crate) encodes_saved: AtomicU64,
+    pub(crate) reconnects: AtomicU64,
 }
 
 impl TransportStats {
@@ -296,6 +297,14 @@ impl TransportStats {
     /// its allocation that the old per-peer path would have paid.
     pub fn encodes_saved(&self) -> u64 {
         self.encodes_saved.load(Ordering::Relaxed)
+    }
+
+    /// Outbound connections established (initial dials included). A mesh
+    /// that never loses a connection shows exactly one per outbound peer;
+    /// every additional count is a rebuild after a failed write — the
+    /// per-peer flakiness signal the replica-health rollup surfaces.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
     }
 }
 
@@ -799,6 +808,7 @@ fn writer_loop(local: NodeId, addr: SocketAddr, outbox: Arc<PeerOutbox>, shared:
         let Some(mut stream) = connect_with_backoff(addr, &shared) else {
             return;
         };
+        shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_nodelay(true);
         let preamble = encode_preamble(local);
         if stream.write_all(&preamble).is_err() {

@@ -58,6 +58,43 @@
 //!   any mode, or one of the baselines), attach clients and failure
 //!   schedules, run it on any of the three runtimes
 //!   ([`Scenario::with_runtime`]) and return a [`report::RunReport`].
+//!
+//! # Telemetry
+//!
+//! Every protocol core (SeeMoRe in all three modes, the CFT/BFT/S-UpRight
+//! baselines, and both client cores) is instrumented with the structured
+//! tracer from `seemore-telemetry`. [`Scenario::with_tracing`] turns it on:
+//! each core gets its own lock-free-to-allocate bounded ring
+//! ([`seemore_telemetry::RingRecorder`]), and after the run the scenario
+//! drains every ring, time-sorts the merged trace, and attaches three
+//! derived views to the [`report::RunReport`]:
+//!
+//! * [`RunReport::phases`](report::RunReport::phases) — a per-mode,
+//!   per-op-class commit-latency breakdown over the five request phases
+//!   (client→primary, batch wait, agreement, execution, reply), each leg a
+//!   log-bucketed histogram out to p99.9.
+//! * [`RunReport::health`](report::RunReport::health) — one
+//!   [`seemore_telemetry::ReplicaHealth`] rollup per replica: suspicions
+//!   fired, reads refused, vote mismatches, signature-verification
+//!   failures, and view-change durations, bucketed on the same timeline as
+//!   the throughput view. Socket runs additionally report mesh-wide
+//!   connection rebuilds in
+//!   [`TransportReport::reconnects`](report::TransportReport::reconnects).
+//! * [`RunReport::trace`](report::RunReport::trace) — the raw, time-sorted
+//!   event stream, exportable to JSONL via [`seemore_telemetry::jsonl`] and
+//!   re-importable with the same module's parser.
+//!
+//! With tracing off (the default) the cores carry a
+//! [`seemore_telemetry::NullRecorder`] whose `record` is a provable no-op —
+//! the disabled path allocates nothing and costs one inlined branch per
+//! event site (asserted by the zero-allocation test in `seemore-telemetry`
+//! and the `trace_overhead` microbenchmark). Latency percentiles in
+//! [`ClassStats`] — split by operation class and
+//! extended to p99.9 — come from the same histogram type, so report memory
+//! stays constant no matter how many requests a run completes.
+//!
+//! `examples/telemetry.rs` prints the phase-breakdown table and dumps a
+//! JSONL trace for a short socket run.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -1,9 +1,14 @@
-//! Run statistics: throughput, latency distribution, a throughput timeline,
-//! and what the batching policy actually chose (sizes and flush causes).
+//! Run statistics: throughput, latency distribution (log-bucketed
+//! histograms up to p99.9, split by operation class), a throughput timeline,
+//! per-phase commit-latency breakdowns, replica health rollups, and what the
+//! batching policy actually chose (sizes and flush causes).
 
 use seemore_core::client::ClientOutcome;
 use seemore_core::metrics::BatchTelemetry;
-use seemore_types::{Duration, Instant, OpClass};
+use seemore_telemetry::{
+    derive_phases, sort_events, LatencyHistogram, PhaseBreakdown, ReplicaHealth, TraceEvent,
+};
+use seemore_types::{Duration, Instant, OpClass, ReplicaId};
 
 /// One bucket of the throughput timeline (Figure 4's x-axis).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +91,10 @@ pub struct TransportReport {
     pub partial_writes: u64,
     /// Raw bytes read from sockets, preambles and mux tags included.
     pub bytes_read: u64,
+    /// Outbound connections established across the mesh (initial dials
+    /// included): `peers` on a clean run, anything above that is a rebuild
+    /// after a failed write — the flakiness signal the health rollup tracks.
+    pub reconnects: u64,
 }
 
 impl TransportReport {
@@ -101,19 +110,25 @@ impl TransportReport {
             vectored_writes: stats.vectored_writes(),
             partial_writes: stats.partial_writes(),
             bytes_read: stats.bytes_read(),
+            reconnects: stats.reconnects(),
         }
     }
 }
 
 /// Throughput and latency statistics for one operation class (reads or
 /// writes) inside the measurement window.
+///
+/// Percentiles come from a log-bucketed [`LatencyHistogram`] (~0.4%
+/// worst-case relative error); the mean is exact. The histogram replaces the
+/// old sorted-`Vec` percentile math: memory is constant in the sample count,
+/// which is what makes keeping the tail out to p99.9 cheap.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassStats {
     /// Operations of this class completed inside the window.
     pub completed: u64,
     /// Throughput in thousands of operations per second.
     pub throughput_kreqs: f64,
-    /// Mean end-to-end latency in milliseconds.
+    /// Mean end-to-end latency in milliseconds (exact).
     pub avg_latency_ms: f64,
     /// Median latency in milliseconds.
     pub p50_latency_ms: f64,
@@ -121,20 +136,16 @@ pub struct ClassStats {
     pub p95_latency_ms: f64,
     /// 99th percentile latency in milliseconds.
     pub p99_latency_ms: f64,
+    /// 99.9th percentile latency in milliseconds.
+    pub p999_latency_ms: f64,
 }
 
 impl ClassStats {
-    /// Builds the statistics from a sorted latency sample over a window of
-    /// `secs` seconds.
-    fn from_sorted_latencies(latencies_ms: &[f64], secs: f64) -> ClassStats {
-        let completed = latencies_ms.len() as u64;
-        let percentile = |p: f64| -> f64 {
-            if latencies_ms.is_empty() {
-                return 0.0;
-            }
-            let rank = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
-            latencies_ms[rank.min(latencies_ms.len() - 1)]
-        };
+    /// Builds the statistics from a latency histogram (nanosecond samples)
+    /// over a window of `secs` seconds.
+    fn from_histogram(hist: &LatencyHistogram, secs: f64) -> ClassStats {
+        let completed = hist.count();
+        let ms = |nanos: u64| nanos as f64 / 1_000_000.0;
         ClassStats {
             completed,
             throughput_kreqs: if secs > 0.0 {
@@ -142,14 +153,11 @@ impl ClassStats {
             } else {
                 0.0
             },
-            avg_latency_ms: if latencies_ms.is_empty() {
-                0.0
-            } else {
-                latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
-            },
-            p50_latency_ms: percentile(0.50),
-            p95_latency_ms: percentile(0.95),
-            p99_latency_ms: percentile(0.99),
+            avg_latency_ms: hist.mean() / 1_000_000.0,
+            p50_latency_ms: ms(hist.percentile(50.0)),
+            p95_latency_ms: ms(hist.percentile(95.0)),
+            p99_latency_ms: ms(hist.percentile(99.0)),
+            p999_latency_ms: ms(hist.percentile(99.9)),
         }
     }
 }
@@ -195,6 +203,17 @@ pub struct RunReport {
     /// Throughput timeline over the whole run (not only the measurement
     /// window), for the view-change experiment.
     pub timeline: Vec<TimelineBucket>,
+    /// Per-phase commit-latency breakdown derived from the structured trace,
+    /// split by protocol mode and operation class. Empty unless the scenario
+    /// ran with tracing enabled.
+    pub phases: PhaseBreakdown,
+    /// Per-replica health rollups (suspicions, refused reads, vote
+    /// mismatches, view-change durations) derived from the structured trace.
+    /// Empty unless the scenario ran with tracing enabled.
+    pub health: Vec<ReplicaHealth>,
+    /// The full structured trace, sorted by time, ready for JSONL export.
+    /// Empty unless the scenario ran with tracing enabled.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunReport {
@@ -212,27 +231,21 @@ impl RunReport {
         run_end: Instant,
         bucket: Duration,
     ) -> RunReport {
-        let mut latencies_ms = Vec::new();
-        let mut read_latencies_ms = Vec::new();
-        let mut write_latencies_ms = Vec::new();
+        let mut all = LatencyHistogram::new();
+        let mut reads = LatencyHistogram::new();
+        let mut writes = LatencyHistogram::new();
         for outcome in outcomes.iter().filter(|o| o.completed_at >= measure_from) {
-            let latency = outcome.latency.as_millis_f64();
-            latencies_ms.push(latency);
+            let nanos = outcome.latency.as_nanos();
+            all.record(nanos);
             match outcome.class {
-                OpClass::Read => read_latencies_ms.push(latency),
-                OpClass::Write => write_latencies_ms.push(latency),
+                OpClass::Read => reads.record(nanos),
+                OpClass::Write => writes.record(nanos),
             }
         }
-        fn sort(sample: &mut [f64]) {
-            sample.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        }
-        sort(&mut latencies_ms);
-        sort(&mut read_latencies_ms);
-        sort(&mut write_latencies_ms);
 
         let measured_duration = run_end - measure_from;
         let secs = measured_duration.as_secs_f64();
-        let overall = ClassStats::from_sorted_latencies(&latencies_ms, secs);
+        let overall = ClassStats::from_histogram(&all, secs);
 
         let timeline = Self::timeline(outcomes, run_end, bucket);
 
@@ -244,11 +257,32 @@ impl RunReport {
             p50_latency_ms: overall.p50_latency_ms,
             p95_latency_ms: overall.p95_latency_ms,
             p99_latency_ms: overall.p99_latency_ms,
-            reads: ClassStats::from_sorted_latencies(&read_latencies_ms, secs),
-            writes: ClassStats::from_sorted_latencies(&write_latencies_ms, secs),
+            reads: ClassStats::from_histogram(&reads, secs),
+            writes: ClassStats::from_histogram(&writes, secs),
             timeline,
             ..RunReport::default()
         }
+    }
+
+    /// Attaches a structured trace to the report: sorts the events, derives
+    /// the per-phase latency breakdown, and rolls up per-replica health on a
+    /// `health_bucket`-wide timeline. `replicas` lists every replica that ran
+    /// (so replicas with an empty trace still get a quiet rollup).
+    pub fn attach_trace(
+        &mut self,
+        mut events: Vec<TraceEvent>,
+        replicas: &[ReplicaId],
+        health_bucket: Duration,
+    ) {
+        sort_events(&mut events);
+        self.phases = derive_phases(&events);
+        // Health timelines share the run's clock origin (zero), so bucket
+        // offsets line up with the throughput timeline.
+        self.health = replicas
+            .iter()
+            .map(|&r| ReplicaHealth::from_events(r, &events, Instant::ZERO, health_bucket))
+            .collect();
+        self.trace = events;
     }
 
     fn timeline(
@@ -268,14 +302,22 @@ impl RunReport {
                 counts[index] += 1;
             }
         }
-        let bucket_secs = bucket.as_secs_f64();
+        let run_end_ns = run_end.as_nanos();
         counts
             .iter()
             .enumerate()
-            .map(|(i, completed)| TimelineBucket {
-                start_ms: i as f64 * bucket.as_millis_f64(),
-                completed: *completed,
-                throughput_kreqs: *completed as f64 / bucket_secs / 1_000.0,
+            .map(|(i, completed)| {
+                // The final bucket usually covers less than a full width;
+                // scale its throughput by the span it actually covers, not
+                // the nominal bucket width.
+                let start_ns = i as u64 * bucket_ns;
+                let span_ns = bucket_ns.min(run_end_ns - start_ns).max(1);
+                let span_secs = span_ns as f64 / 1e9;
+                TimelineBucket {
+                    start_ms: i as f64 * bucket.as_millis_f64(),
+                    completed: *completed,
+                    throughput_kreqs: *completed as f64 / span_secs / 1_000.0,
+                }
             })
             .collect()
     }
@@ -346,7 +388,9 @@ mod tests {
         assert_eq!(report.completed, 100);
         assert!((report.throughput_kreqs - 100.0 / 0.9 / 1000.0).abs() < 1e-9);
         assert!((report.avg_latency_ms - 2.0).abs() < 1e-9);
-        assert!((report.p50_latency_ms - 2.0).abs() < 1e-9);
+        // Percentiles come from the log-bucketed histogram: allow its ~0.4%
+        // worst-case relative error.
+        assert!((report.p50_latency_ms - 2.0).abs() / 2.0 < 0.005);
         assert_eq!(report.timeline.len(), 10);
         // Warm-up completions appear in the timeline's first bucket.
         assert_eq!(report.timeline[0].completed, 10);
@@ -378,9 +422,75 @@ mod tests {
         );
         assert!(report.p50_latency_ms <= report.p95_latency_ms);
         assert!(report.p95_latency_ms <= report.p99_latency_ms);
+        assert!(
+            report.p99_latency_ms
+                <= report
+                    .reads
+                    .p999_latency_ms
+                    .max(report.writes.p999_latency_ms)
+        );
         assert!(report.avg_latency_ms > 0.0);
         let total_in_timeline: u64 = report.timeline.iter().map(|b| b.completed).sum();
         assert_eq!(total_in_timeline, 1000);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_the_sample() {
+        let outcomes = vec![outcome(500, 7, 1)];
+        let report = RunReport::from_outcomes(
+            &outcomes,
+            Instant::ZERO,
+            Instant::from_nanos(1_000 * 1_000_000),
+            Duration::from_millis(100),
+        );
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.reads.completed, 1);
+        assert_eq!(report.writes.completed, 0);
+        // With one sample every percentile is that sample, exactly: the
+        // histogram clamps percentile estimates to the observed min/max.
+        for p in [
+            report.p50_latency_ms,
+            report.p95_latency_ms,
+            report.p99_latency_ms,
+            report.reads.p50_latency_ms,
+            report.reads.p999_latency_ms,
+        ] {
+            assert!((p - 7.0).abs() < 1e-9, "expected 7 ms, got {p}");
+        }
+        assert_eq!(report.writes.p999_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn final_partial_timeline_bucket_scales_by_its_actual_span() {
+        // Run ends at 250 ms with 100 ms buckets: the third bucket covers
+        // only 50 ms. 5 completions inside it are 100 req/s, not 50.
+        let outcomes: Vec<ClientOutcome> = (0..5).map(|n| outcome(210 + n, 1, n)).collect();
+        let report = RunReport::from_outcomes(
+            &outcomes,
+            Instant::ZERO,
+            Instant::from_nanos(250 * 1_000_000),
+            Duration::from_millis(100),
+        );
+        assert_eq!(report.timeline.len(), 3);
+        assert_eq!(report.timeline[2].completed, 5);
+        assert!((report.timeline[2].throughput_kreqs - 0.1).abs() < 1e-9);
+        // Full buckets are unaffected.
+        assert_eq!(report.timeline[0].completed, 0);
+        assert_eq!(report.timeline[0].throughput_kreqs, 0.0);
+    }
+
+    #[test]
+    fn attach_trace_on_an_empty_trace_yields_quiet_health() {
+        let mut report = RunReport::default();
+        report.attach_trace(
+            Vec::new(),
+            &[ReplicaId(0), ReplicaId(1)],
+            Duration::from_millis(100),
+        );
+        assert_eq!(report.phases.requests(), 0);
+        assert_eq!(report.health.len(), 2);
+        assert!(report.health.iter().all(|h| h.is_quiet()));
+        assert!(report.trace.is_empty());
     }
 
     #[test]

@@ -32,7 +32,9 @@ use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::replica::SeeMoReReplica;
 use seemore_crypto::KeyStore;
 use seemore_net::{CpuModel, LatencyModel, LinkFaults, Placement};
+use seemore_telemetry::RingRecorder;
 use seemore_types::{ClientId, ClusterConfig, Duration, Instant, Mode, OpClass, ReplicaId};
+use std::sync::Arc;
 use std::time::Instant as StdInstant;
 
 /// Which protocol a scenario runs.
@@ -204,6 +206,12 @@ pub struct Scenario {
     pub byzantine_behavior: ByzantineBehavior,
     /// Which execution substrate to run on.
     pub runtime: RuntimeKind,
+    /// Whether every replica and client records a structured protocol trace
+    /// (false, the default). With tracing on, the returned [`RunReport`]
+    /// carries the per-phase latency breakdown, per-replica health rollups
+    /// and the raw event trace; with it off, cores run the provably
+    /// zero-cost [`seemore_telemetry::NullRecorder`].
+    pub tracing: bool,
 }
 
 impl Scenario {
@@ -238,7 +246,15 @@ impl Scenario {
             byzantine_replicas: 0,
             byzantine_behavior: ByzantineBehavior::Honest,
             runtime: RuntimeKind::Simulated,
+            tracing: false,
         }
+    }
+
+    /// Enables or disables structured protocol tracing (disabled by
+    /// default). See [`Scenario::tracing`].
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
     }
 
     /// Selects the execution substrate (simulator, threaded, or sockets).
@@ -417,12 +433,14 @@ impl Scenario {
     pub fn run(&self) -> RunReport {
         match self.runtime {
             RuntimeKind::Simulated => {
-                let (mut sim, primary) = self.build();
+                let (mut sim, primary, trace) = self.build_traced();
                 if let Some(at) = self.crash_primary_at {
                     sim.schedule_crash(at, primary);
                 }
                 sim.run_until(Instant::ZERO + self.duration);
-                sim.report(Instant::ZERO + self.warmup, self.timeline_bucket)
+                let mut report = sim.report(Instant::ZERO + self.warmup, self.timeline_bucket);
+                trace.attach(&mut report, self.timeline_bucket);
+                report
             }
             kind => self.run_concurrent(kind),
         }
@@ -432,6 +450,13 @@ impl Scenario {
     /// that want to inspect intermediate state). Returns the simulation and
     /// the id of the view-0 primary.
     pub fn build(&self) -> (Simulation, ReplicaId) {
+        let (sim, primary, _) = self.build_traced();
+        (sim, primary)
+    }
+
+    /// [`Scenario::build`] plus the live trace-ring handles, so a caller that
+    /// runs the simulation itself can still drain the trace afterwards.
+    fn build_traced(&self) -> (Simulation, ReplicaId, TraceHandles) {
         let cores = self.build_cores();
         let config = SimConfig {
             latency: self.latency,
@@ -457,7 +482,7 @@ impl Scenario {
         {
             sim.schedule_mode_switch(at, announcer, target_mode);
         }
-        (sim, cores.primary)
+        (sim, cores.primary, cores.trace)
     }
 
     /// Assembles the replica and client cores for this scenario,
@@ -467,6 +492,7 @@ impl Scenario {
         let m = self.byzantine_faults;
         let pconfig = self.protocol_config();
         let client_timeout = pconfig.client_timeout;
+        let mut trace = TraceHandles::default();
 
         match self.protocol.seemore_mode() {
             Some(mode) => {
@@ -477,7 +503,7 @@ impl Scenario {
                 let byzantine_cutoff = cluster.total_size().saturating_sub(self.byzantine_replicas);
                 let mut replicas: Vec<Box<dyn ReplicaProtocol>> = Vec::new();
                 for replica in cluster.replicas() {
-                    let core = SeeMoReReplica::new(
+                    let mut core = SeeMoReReplica::new(
                         replica,
                         cluster,
                         pconfig,
@@ -485,6 +511,9 @@ impl Scenario {
                         mode,
                         self.make_app(),
                     );
+                    if let Some(recorder) = trace.for_replica(self.tracing, replica) {
+                        core.set_recorder(recorder);
+                    }
                     if replica.0 >= byzantine_cutoff && !cluster.is_trusted(replica) {
                         replicas.push(Box::new(ByzantineReplica::new(
                             core,
@@ -496,13 +525,17 @@ impl Scenario {
                 }
                 let clients = (0..u64::from(self.clients))
                     .map(|client| {
-                        Box::new(ClientCore::new(
+                        let mut core = ClientCore::new(
                             ClientId(client),
                             cluster,
                             keystore.clone(),
                             mode,
                             client_timeout,
-                        )) as Box<dyn ClientProtocol>
+                        );
+                        if let Some(recorder) = trace.for_client(self.tracing) {
+                            core.set_recorder(recorder);
+                        }
+                        Box::new(core) as Box<dyn ClientProtocol>
                     })
                     .collect();
                 let mode_switch_announcer = self.mode_switch.and_then(|(_, target_mode)| {
@@ -520,6 +553,7 @@ impl Scenario {
                         .primary(mode, seemore_types::View(0))
                         .expect("view-0 primary"),
                     mode_switch_announcer,
+                    trace,
                 }
             }
             None => {
@@ -536,21 +570,24 @@ impl Scenario {
                 for replica in config.replicas() {
                     match self.protocol {
                         ProtocolKind::Cft => {
-                            replicas.push(Box::new(CftReplica::new(
-                                replica,
-                                config,
-                                pconfig,
-                                self.make_app(),
-                            )));
+                            let mut core =
+                                CftReplica::new(replica, config, pconfig, self.make_app());
+                            if let Some(recorder) = trace.for_replica(self.tracing, replica) {
+                                core.set_recorder(recorder);
+                            }
+                            replicas.push(Box::new(core));
                         }
                         _ => {
-                            let core = BftReplica::new(
+                            let mut core = BftReplica::new(
                                 replica,
                                 config,
                                 pconfig,
                                 keystore.clone(),
                                 self.make_app(),
                             );
+                            if let Some(recorder) = trace.for_replica(self.tracing, replica) {
+                                core.set_recorder(recorder);
+                            }
                             if replica.0 >= byzantine_cutoff && replica.0 != 0 {
                                 replicas.push(Box::new(ByzantineReplica::new(
                                     core,
@@ -564,12 +601,16 @@ impl Scenario {
                 }
                 let clients = (0..u64::from(self.clients))
                     .map(|client| {
-                        Box::new(BaselineClient::new(
+                        let mut core = BaselineClient::new(
                             ClientId(client),
                             config,
                             keystore.clone(),
                             client_timeout,
-                        )) as Box<dyn ClientProtocol>
+                        );
+                        if let Some(recorder) = trace.for_client(self.tracing) {
+                            core.set_recorder(recorder);
+                        }
+                        Box::new(core) as Box<dyn ClientProtocol>
                     })
                     .collect();
                 CoreSet {
@@ -578,6 +619,7 @@ impl Scenario {
                     placement: Placement::flat(),
                     primary: config.primary(seemore_types::View(0)),
                     mode_switch_announcer: None,
+                    trace,
                 }
             }
         }
@@ -725,6 +767,9 @@ impl Scenario {
         report.retransmissions = clients.iter().map(|c| c.retransmissions()).sum();
         report.batching = crate::report::BatchReport::from_telemetry(&metrics.batch);
         report.transport = transport;
+        // Replica threads are joined by `shutdown` and client threads by the
+        // scope above, so the rings hold every event the run produced.
+        cores.trace.attach(&mut report, self.timeline_bucket);
         report
     }
 }
@@ -737,6 +782,61 @@ struct CoreSet {
     placement: Placement,
     primary: ReplicaId,
     mode_switch_announcer: Option<ReplicaId>,
+    trace: TraceHandles,
+}
+
+/// Trace-ring capacity per replica: at roughly six events per committed
+/// request this covers ~10k requests before the ring starts overwriting its
+/// oldest events.
+const REPLICA_TRACE_CAPACITY: usize = 1 << 16;
+/// Trace-ring capacity per client (two events per completed request).
+const CLIENT_TRACE_CAPACITY: usize = 1 << 14;
+
+/// Live handles to every traced core's event ring, kept by the scenario so
+/// the report can drain them once the run is over. Empty when tracing is
+/// disabled, in which case [`TraceHandles::attach`] is a no-op and the
+/// report's trace fields stay empty.
+#[derive(Default)]
+struct TraceHandles {
+    recorders: Vec<Arc<RingRecorder>>,
+    replicas: Vec<ReplicaId>,
+}
+
+impl TraceHandles {
+    /// Allocates (and remembers) a recorder for `replica`, or `None` when
+    /// tracing is off.
+    fn for_replica(&mut self, tracing: bool, replica: ReplicaId) -> Option<Arc<RingRecorder>> {
+        if !tracing {
+            return None;
+        }
+        self.replicas.push(replica);
+        let recorder = Arc::new(RingRecorder::new(REPLICA_TRACE_CAPACITY));
+        self.recorders.push(recorder.clone());
+        Some(recorder)
+    }
+
+    /// Allocates (and remembers) a recorder for a client, or `None` when
+    /// tracing is off.
+    fn for_client(&mut self, tracing: bool) -> Option<Arc<RingRecorder>> {
+        if !tracing {
+            return None;
+        }
+        let recorder = Arc::new(RingRecorder::new(CLIENT_TRACE_CAPACITY));
+        self.recorders.push(recorder.clone());
+        Some(recorder)
+    }
+
+    /// Drains every ring into one trace and attaches it to the report.
+    fn attach(self, report: &mut RunReport, health_bucket: Duration) {
+        if self.recorders.is_empty() {
+            return;
+        }
+        let mut events = Vec::new();
+        for recorder in &self.recorders {
+            events.extend(recorder.drain());
+        }
+        report.attach_trace(events, &self.replicas, health_bucket);
+    }
 }
 
 /// The two concurrent cluster runtimes behind one face, so the scenario
@@ -1023,6 +1123,83 @@ mod tests {
             fast.reads.avg_latency_ms,
             fast.writes.avg_latency_ms
         );
+    }
+
+    #[test]
+    fn tracing_fills_phases_health_and_trace_on_every_runtime() {
+        for kind in [
+            RuntimeKind::Simulated,
+            RuntimeKind::Threaded,
+            RuntimeKind::Socket,
+        ] {
+            let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+                .with_clients(2)
+                .with_duration(Duration::from_millis(100), Duration::from_millis(10))
+                .with_runtime(kind)
+                .with_tracing(true)
+                .run();
+            assert!(report.completed > 0, "{}: no progress", kind.name());
+            assert!(!report.trace.is_empty(), "{}: empty trace", kind.name());
+            assert!(
+                report.phases.requests() > 0,
+                "{}: no phase spans derived",
+                kind.name()
+            );
+            let lion = report
+                .phases
+                .cell(Mode::Lion, OpClass::Write)
+                .expect("lion write cell");
+            assert!(lion.requests > 0);
+            // Six replicas for (c, m) = (1, 1), each with a health rollup.
+            assert_eq!(report.health.len(), 6, "{}", kind.name());
+            // Write percentiles extend to p99.9 and stay ordered.
+            assert!(report.writes.p99_latency_ms <= report.writes.p999_latency_ms);
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_simulated_history() {
+        // The disabled recorder is a no-op and the enabled one only copies
+        // values out; neither may perturb the protocol. On the deterministic
+        // simulator the two runs must be event-for-event identical.
+        let run = |tracing: bool| {
+            Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+                .with_clients(4)
+                .with_duration(Duration::from_millis(120), Duration::from_millis(20))
+                .with_workload(crate::workload::Workload::kv(64, 32, 0.5))
+                .with_tracing(tracing)
+                .run()
+        };
+        let traced = run(true);
+        let plain = run(false);
+        assert_eq!(traced.completed, plain.completed);
+        assert_eq!(traced.messages_delivered, plain.messages_delivered);
+        assert_eq!(traced.bytes_delivered, plain.bytes_delivered);
+        assert_eq!(traced.reads.completed, plain.reads.completed);
+        assert_eq!(traced.writes.completed, plain.writes.completed);
+        assert_eq!(traced.timeline.len(), plain.timeline.len());
+        for (a, b) in traced.timeline.iter().zip(&plain.timeline) {
+            assert_eq!(a.completed, b.completed);
+        }
+        assert!(!traced.trace.is_empty());
+        assert!(plain.trace.is_empty());
+    }
+
+    #[test]
+    fn socket_trace_round_trips_through_jsonl() {
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(2)
+            .with_duration(Duration::from_millis(100), Duration::from_millis(10))
+            .with_runtime(RuntimeKind::Socket)
+            .with_tracing(true)
+            .run();
+        assert!(!report.trace.is_empty());
+        let text = seemore_telemetry::jsonl::trace_to_string(&report.trace);
+        let parsed = seemore_telemetry::jsonl::parse_trace(&text).expect("trace parses back");
+        assert_eq!(parsed, report.trace);
+        // Socket runs also surface mesh reconnect totals in the report.
+        let transport = report.transport.expect("socket runs report transport");
+        assert!(transport.reconnects > 0, "initial dials count as connects");
     }
 
     #[test]

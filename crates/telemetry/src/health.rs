@@ -1,0 +1,255 @@
+//! Per-replica health rollups — the inputs a mode planner watches.
+
+use seemore_types::{Duration, Instant, NodeId, ReplicaId};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// One timeline bucket of a replica's misbehaviour signals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSample {
+    /// Bucket start, relative to the trace origin.
+    pub offset: Duration,
+    /// Suspicions fired against the primary in this bucket.
+    pub suspicions: u64,
+    /// Fast-path reads refused in this bucket.
+    pub refused_reads: u64,
+    /// Votes whose digest disagreed with the accepted proposal.
+    pub vote_mismatches: u64,
+    /// Signature verification failures.
+    pub sig_verify_fails: u64,
+    /// View changes started in this bucket.
+    pub view_change_starts: u64,
+}
+
+impl HealthSample {
+    /// Whether every signal in this bucket is quiet.
+    pub fn is_quiet(&self) -> bool {
+        self.suspicions == 0
+            && self.refused_reads == 0
+            && self.vote_mismatches == 0
+            && self.sig_verify_fails == 0
+            && self.view_change_starts == 0
+    }
+}
+
+/// One replica's health over a run: whole-run totals plus a bucketed
+/// timeline of the same signals.
+///
+/// This is the exact input surface the ROADMAP's telemetry-driven mode
+/// planner consumes: rising `suspicions`/`vote_mismatches` argue for a more
+/// defensive mode (or evicting the offender), sustained `refused_reads`
+/// argue the read lease is misconfigured for the workload, and
+/// `view_change_max` bounds the outage a switch would risk.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// The replica this rollup describes.
+    pub replica: ReplicaId,
+    /// Suspicions this replica fired against its primary.
+    pub suspicions: u64,
+    /// Votes this replica saw disagree with its accepted proposal digest.
+    pub vote_mismatches: u64,
+    /// Fast-path reads this replica refused.
+    pub refused_reads: u64,
+    /// Message signatures that failed verification here.
+    pub sig_verify_fails: u64,
+    /// View changes this replica started.
+    pub view_changes_started: u64,
+    /// View changes this replica saw install.
+    pub view_changes_installed: u64,
+    /// Total time spent between a view-change start and the next install.
+    pub view_change_total: Duration,
+    /// Longest single start→install gap.
+    pub view_change_max: Duration,
+    /// Transport reconnects attributed to this replica's endpoint. Not
+    /// derivable from the trace; the runtime fills it in from transport
+    /// stats (zero on non-socket runtimes).
+    pub reconnects: u64,
+    /// Bucketed timeline of the signals above.
+    pub timeline: Vec<HealthSample>,
+}
+
+impl ReplicaHealth {
+    /// An all-quiet rollup for `replica`.
+    pub fn new(replica: ReplicaId) -> ReplicaHealth {
+        ReplicaHealth {
+            replica,
+            suspicions: 0,
+            vote_mismatches: 0,
+            refused_reads: 0,
+            sig_verify_fails: 0,
+            view_changes_started: 0,
+            view_changes_installed: 0,
+            view_change_total: Duration::ZERO,
+            view_change_max: Duration::ZERO,
+            reconnects: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Rolls up `events` (a merged trace; other nodes' events are ignored)
+    /// for `replica`, bucketing the timeline by `bucket` from `origin`.
+    ///
+    /// The final bucket covers whatever tail the run left — totals always
+    /// equal the sum over the timeline.
+    pub fn from_events(
+        replica: ReplicaId,
+        events: &[TraceEvent],
+        origin: Instant,
+        bucket: Duration,
+    ) -> ReplicaHealth {
+        let mut health = ReplicaHealth::new(replica);
+        let bucket_nanos = bucket.as_nanos().max(1);
+        let mut open_view_change: Option<Instant> = None;
+
+        for event in events {
+            if event.node != NodeId::Replica(replica) {
+                continue;
+            }
+            let index = (event.at.duration_since(origin).as_nanos() / bucket_nanos) as usize;
+            match event.kind {
+                EventKind::SuspicionFired => {
+                    health.suspicions += 1;
+                    health.bucket_mut(index, bucket).suspicions += 1;
+                }
+                EventKind::ReadRefused => {
+                    health.refused_reads += 1;
+                    health.bucket_mut(index, bucket).refused_reads += 1;
+                }
+                EventKind::VoteMismatch => {
+                    health.vote_mismatches += 1;
+                    health.bucket_mut(index, bucket).vote_mismatches += 1;
+                }
+                EventKind::SigVerifyFail => {
+                    health.sig_verify_fails += 1;
+                    health.bucket_mut(index, bucket).sig_verify_fails += 1;
+                }
+                EventKind::ViewChangeStart => {
+                    health.view_changes_started += 1;
+                    health.bucket_mut(index, bucket).view_change_starts += 1;
+                    // A re-fired start while one is open keeps the earliest
+                    // start: the outage began then.
+                    open_view_change.get_or_insert(event.at);
+                }
+                EventKind::ViewChangeInstall => {
+                    health.view_changes_installed += 1;
+                    if let Some(started) = open_view_change.take() {
+                        let took = event.at.duration_since(started);
+                        health.view_change_total += took;
+                        if took > health.view_change_max {
+                            health.view_change_max = took;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        health
+    }
+
+    /// Mean start→install view-change duration, when any completed.
+    pub fn view_change_mean(&self) -> Option<Duration> {
+        self.view_change_total
+            .as_nanos()
+            .checked_div(self.view_changes_installed)
+            .map(Duration::from_nanos)
+    }
+
+    /// Whether the run recorded no misbehaviour signal at all for this
+    /// replica.
+    pub fn is_quiet(&self) -> bool {
+        self.suspicions == 0
+            && self.vote_mismatches == 0
+            && self.refused_reads == 0
+            && self.sig_verify_fails == 0
+            && self.view_changes_started == 0
+            && self.reconnects == 0
+    }
+
+    fn bucket_mut(&mut self, index: usize, bucket: Duration) -> &mut HealthSample {
+        while self.timeline.len() <= index {
+            let offset = Duration::from_nanos(self.timeline.len() as u64 * bucket.as_nanos());
+            self.timeline.push(HealthSample {
+                offset,
+                ..HealthSample::default()
+            });
+        }
+        &mut self.timeline[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::{Mode, SeqNum, View};
+
+    fn ev(at: u64, replica: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at: Instant::from_nanos(at),
+            node: NodeId::Replica(ReplicaId(replica)),
+            view: View(0),
+            mode: Mode::Lion,
+            slot: Some(SeqNum(1)),
+            request: None,
+            kind,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn totals_and_timeline_agree() {
+        let bucket = Duration::from_nanos(100);
+        let events = vec![
+            ev(10, 1, EventKind::SuspicionFired),
+            ev(50, 1, EventKind::ReadRefused),
+            ev(150, 1, EventKind::VoteMismatch),
+            ev(250, 1, EventKind::SigVerifyFail),
+            ev(260, 2, EventKind::SuspicionFired), // other replica — ignored
+        ];
+        let health =
+            ReplicaHealth::from_events(ReplicaId(1), &events, Instant::from_nanos(0), bucket);
+        assert_eq!(health.suspicions, 1);
+        assert_eq!(health.refused_reads, 1);
+        assert_eq!(health.vote_mismatches, 1);
+        assert_eq!(health.sig_verify_fails, 1);
+        assert_eq!(health.timeline.len(), 3);
+        assert_eq!(health.timeline[0].suspicions, 1);
+        assert_eq!(health.timeline[0].refused_reads, 1);
+        assert_eq!(health.timeline[1].vote_mismatches, 1);
+        assert_eq!(health.timeline[2].sig_verify_fails, 1);
+        assert_eq!(health.timeline[1].offset, Duration::from_nanos(100));
+        assert!(!health.is_quiet());
+    }
+
+    #[test]
+    fn view_change_durations_pair_start_with_install() {
+        let bucket = Duration::from_nanos(1_000);
+        let events = vec![
+            ev(100, 1, EventKind::ViewChangeStart),
+            ev(150, 1, EventKind::ViewChangeStart), // re-fire keeps first start
+            ev(400, 1, EventKind::ViewChangeInstall),
+            ev(900, 1, EventKind::ViewChangeStart),
+            ev(1000, 1, EventKind::ViewChangeInstall),
+        ];
+        let health =
+            ReplicaHealth::from_events(ReplicaId(1), &events, Instant::from_nanos(0), bucket);
+        assert_eq!(health.view_changes_started, 3);
+        assert_eq!(health.view_changes_installed, 2);
+        assert_eq!(health.view_change_total, Duration::from_nanos(400));
+        assert_eq!(health.view_change_max, Duration::from_nanos(300));
+        assert_eq!(health.view_change_mean(), Some(Duration::from_nanos(200)));
+    }
+
+    #[test]
+    fn quiet_replica_has_empty_timeline() {
+        let health = ReplicaHealth::from_events(
+            ReplicaId(0),
+            &[],
+            Instant::from_nanos(0),
+            Duration::from_nanos(100),
+        );
+        assert!(health.is_quiet());
+        assert!(health.timeline.is_empty());
+        assert_eq!(health.view_change_mean(), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! JSONL (one JSON object per line) trace export and import.
+//!
+//! The format is deliberately tiny and self-contained — no serde — because a
+//! trace line is a flat record of integers and two enum names:
+//!
+//! ```json
+//! {"seq":7,"at":1250000,"node":"r0","view":1,"mode":1,"slot":42,"req":[3,9],"kind":"propose_sent","detail":64}
+//! ```
+//!
+//! `node` is `r<id>` for replicas and `c<id>` for clients; `mode` is the
+//! paper's index (1 = Lion, 2 = Dog, 3 = Peacock); `slot` and `req` (a
+//! `[client, timestamp]` pair) are omitted when absent. Parsing is strict
+//! about field types but tolerant of field order and unknown keys, and
+//! `parse_line(&event_to_line(e)) == e` holds for every event.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use seemore_types::{
+    ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
+};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object of the expected shape.
+    Malformed(&'static str),
+    /// A required field is missing.
+    Missing(&'static str),
+    /// A field held an out-of-range or unknown value.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(what) => write!(f, "malformed trace line: {what}"),
+            ParseError::Missing(field) => write!(f, "trace line missing field `{field}`"),
+            ParseError::Invalid(field) => write!(f, "trace line has invalid `{field}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Appends `event` as one JSONL line (including the trailing newline) to
+/// `out`.
+pub fn write_event(out: &mut String, event: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"at\":{},\"node\":\"{}\",\"view\":{},\"mode\":{}",
+        event.seq,
+        event.at.as_nanos(),
+        node_token(event.node),
+        event.view.0,
+        event.mode.index(),
+    );
+    if let Some(slot) = event.slot {
+        let _ = write!(out, ",\"slot\":{}", slot.0);
+    }
+    if let Some(request) = event.request {
+        let _ = write!(
+            out,
+            ",\"req\":[{},{}]",
+            request.client.0, request.timestamp.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        ",\"kind\":\"{}\",\"detail\":{}}}",
+        event.kind.name(),
+        event.detail
+    );
+}
+
+/// Renders one event as a JSONL line (no trailing newline).
+pub fn event_to_line(event: &TraceEvent) -> String {
+    let mut line = String::with_capacity(128);
+    write_event(&mut line, event);
+    line.pop();
+    line
+}
+
+/// Renders a whole trace as JSONL.
+pub fn trace_to_string(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128);
+    for event in events {
+        write_event(&mut out, event);
+    }
+    out
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`].
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+        .ok_or(ParseError::Malformed("not a JSON object"))?;
+
+    let mut seq = None;
+    let mut at = None;
+    let mut node = None;
+    let mut view = None;
+    let mut mode = None;
+    let mut slot = None;
+    let mut request = None;
+    let mut kind = None;
+    let mut detail = None;
+
+    for (key, value) in fields(body)? {
+        match key {
+            "seq" => seq = Some(parse_u64(value, "seq")?),
+            "at" => at = Some(Instant::from_nanos(parse_u64(value, "at")?)),
+            "node" => node = Some(parse_node(value)?),
+            "view" => view = Some(View(parse_u64(value, "view")?)),
+            "mode" => {
+                let index = u8::try_from(parse_u64(value, "mode")?)
+                    .map_err(|_| ParseError::Invalid("mode"))?;
+                mode = Some(Mode::from_index(index).ok_or(ParseError::Invalid("mode"))?);
+            }
+            "slot" => slot = Some(SeqNum(parse_u64(value, "slot")?)),
+            "req" => request = Some(parse_request(value)?),
+            "kind" => {
+                let name = parse_string(value, "kind")?;
+                kind = Some(EventKind::from_name(name).ok_or(ParseError::Invalid("kind"))?);
+            }
+            "detail" => detail = Some(parse_u64(value, "detail")?),
+            _ => {}
+        }
+    }
+
+    Ok(TraceEvent {
+        seq: seq.ok_or(ParseError::Missing("seq"))?,
+        at: at.ok_or(ParseError::Missing("at"))?,
+        node: node.ok_or(ParseError::Missing("node"))?,
+        view: view.ok_or(ParseError::Missing("view"))?,
+        mode: mode.ok_or(ParseError::Missing("mode"))?,
+        slot,
+        request,
+        kind: kind.ok_or(ParseError::Missing("kind"))?,
+        detail: detail.ok_or(ParseError::Missing("detail"))?,
+    })
+}
+
+/// Parses a whole JSONL trace; blank lines are skipped.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(parse_line)
+        .collect()
+}
+
+/// Splits a flat JSON object body into `(key, raw_value)` pairs. Values are
+/// numbers, short quoted strings without escapes, or flat arrays — the only
+/// shapes the writer emits — so scanning for top-level commas only has to
+/// respect quotes and one bracket level.
+fn fields(body: &str) -> Result<Vec<(&str, &str)>, ParseError> {
+    let mut pairs = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let colon = rest.find(':').ok_or(ParseError::Malformed("missing `:`"))?;
+        let key = rest[..colon]
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or(ParseError::Malformed("unquoted key"))?;
+        rest = rest[colon + 1..].trim_start();
+
+        let mut depth = 0u32;
+        let mut in_string = false;
+        let mut end = rest.len();
+        for (offset, ch) in rest.char_indices() {
+            match ch {
+                '"' => in_string = !in_string,
+                '[' if !in_string => depth += 1,
+                ']' if !in_string => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or(ParseError::Malformed("unbalanced `]`"))?
+                }
+                ',' if !in_string && depth == 0 => {
+                    end = offset;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        pairs.push((key, rest[..end].trim()));
+        rest = rest[(end + 1).min(rest.len())..].trim_start();
+    }
+    Ok(pairs)
+}
+
+fn parse_u64(value: &str, field: &'static str) -> Result<u64, ParseError> {
+    value.parse().map_err(|_| ParseError::Invalid(field))
+}
+
+fn parse_string<'a>(value: &'a str, field: &'static str) -> Result<&'a str, ParseError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(ParseError::Invalid(field))
+}
+
+fn node_token(node: NodeId) -> String {
+    match node {
+        NodeId::Replica(r) => format!("r{}", r.0),
+        NodeId::Client(c) => format!("c{}", c.0),
+    }
+}
+
+fn parse_node(value: &str) -> Result<NodeId, ParseError> {
+    let token = parse_string(value, "node")?;
+    if let Some(id) = token.strip_prefix('r') {
+        let id = id.parse().map_err(|_| ParseError::Invalid("node"))?;
+        Ok(NodeId::Replica(ReplicaId(id)))
+    } else if let Some(id) = token.strip_prefix('c') {
+        let id = id.parse().map_err(|_| ParseError::Invalid("node"))?;
+        Ok(NodeId::Client(ClientId(id)))
+    } else {
+        Err(ParseError::Invalid("node"))
+    }
+}
+
+fn parse_request(value: &str) -> Result<RequestId, ParseError> {
+    let body = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or(ParseError::Invalid("req"))?;
+    let (client, timestamp) = body.split_once(',').ok_or(ParseError::Invalid("req"))?;
+    Ok(RequestId::new(
+        ClientId(parse_u64(client.trim(), "req")?),
+        Timestamp(parse_u64(timestamp.trim(), "req")?),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: EventKind, slot: Option<SeqNum>, request: Option<RequestId>) -> TraceEvent {
+        TraceEvent {
+            seq: 42,
+            at: Instant::from_nanos(1_250_000),
+            node: NodeId::Replica(ReplicaId(3)),
+            view: View(7),
+            mode: Mode::Dog,
+            slot,
+            request,
+            kind,
+            detail: 64,
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let request = RequestId::new(ClientId(9), Timestamp(17));
+        for kind in EventKind::ALL {
+            for (slot, req) in [
+                (None, None),
+                (Some(SeqNum(5)), None),
+                (None, Some(request)),
+                (Some(SeqNum(u64::MAX)), Some(request)),
+            ] {
+                let event = sample(kind, slot, req);
+                let line = event_to_line(&event);
+                assert_eq!(parse_line(&line), Ok(event), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn client_nodes_round_trip() {
+        let mut event = sample(EventKind::ClientSubmit, None, None);
+        event.node = NodeId::Client(ClientId(u64::MAX));
+        let line = event_to_line(&event);
+        assert_eq!(parse_line(&line), Ok(event));
+    }
+
+    #[test]
+    fn field_order_and_unknown_keys_are_tolerated() {
+        let line = r#"{"detail":1,"kind":"committed","mode":3,"future":"x","view":0,"at":9,"node":"r1","seq":2}"#;
+        let event = parse_line(line).unwrap();
+        assert_eq!(event.kind, EventKind::Committed);
+        assert_eq!(event.mode, Mode::Peacock);
+        assert_eq!(event.slot, None);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse_line("not json"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_line(r#"{"seq":1}"#),
+            Err(ParseError::Missing(_))
+        ));
+        assert!(matches!(
+            parse_line(
+                r#"{"seq":1,"at":2,"node":"x1","view":0,"mode":1,"kind":"committed","detail":0}"#
+            ),
+            Err(ParseError::Invalid("node"))
+        ));
+        assert!(matches!(
+            parse_line(
+                r#"{"seq":1,"at":2,"node":"r1","view":0,"mode":9,"kind":"committed","detail":0}"#
+            ),
+            Err(ParseError::Invalid("mode"))
+        ));
+    }
+
+    #[test]
+    fn whole_trace_round_trips() {
+        let events: Vec<TraceEvent> = (0..10)
+            .map(|i| {
+                let mut event = sample(EventKind::ALL[i % EventKind::ALL.len()], None, None);
+                event.seq = i as u64;
+                event
+            })
+            .collect();
+        let text = trace_to_string(&events);
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+}

@@ -1,0 +1,115 @@
+//! Structured protocol tracing and health telemetry for the SeeMoRe
+//! reproduction.
+//!
+//! SeeMoRe's premise is *choosing* the right mode (Lion / Dog / Peacock) per
+//! deployment, and any online planner that does the choosing needs runtime
+//! signals: where does commit latency go, and when did a replica start
+//! misbehaving? This crate is that signal layer. It is deliberately
+//! dependency-light (only `seemore-types`) so every layer of the stack — the
+//! protocol cores, the baselines, the runtimes and the benches — can emit and
+//! consume the same vocabulary.
+//!
+//! # Event taxonomy
+//!
+//! A [`TraceEvent`] is a fixed-size, `Copy` record of one protocol step,
+//! stamped with the emitting node, its view, its mode, an optional slot and
+//! request id, and a monotonic [`Instant`]. The [`EventKind`] taxonomy covers
+//! the full request life cycle and the control plane around it:
+//!
+//! * **Request path** — [`EventKind::ClientSubmit`] (client hands a request
+//!   to the transport), [`EventKind::RequestAdmitted`] (primary accepts it
+//!   into the batcher), [`EventKind::BatchCut`] (a batch closes; `detail` is
+//!   the batch size), [`EventKind::ProposeSent`] (a request leaves in a
+//!   proposal; the event carries the assigned slot), [`EventKind::QuorumReached`]
+//!   (the decision quorum for a slot is in), [`EventKind::Committed`],
+//!   [`EventKind::Executed`], [`EventKind::Replied`], and
+//!   [`EventKind::ClientDone`] (the client matched a reply certificate).
+//! * **View and mode control** — [`EventKind::ViewChangeStart`] /
+//!   [`EventKind::ViewChangeInstall`], [`EventKind::ModeSwitchStart`] /
+//!   [`EventKind::ModeSwitchDone`], [`EventKind::SuspicionFired`].
+//! * **Read fast path** — [`EventKind::LeaseGrant`] / [`EventKind::LeaseExpiry`]
+//!   and [`EventKind::ReadRefused`].
+//! * **Integrity signals** — [`EventKind::SigVerifyFail`] and
+//!   [`EventKind::VoteMismatch`] (a vote whose digest disagrees with the
+//!   accepted proposal).
+//!
+//! # The `Recorder` seam
+//!
+//! Cores never know where events go: they hold an `Arc<dyn Recorder>` and
+//! call [`Recorder::record`]. Two implementations exist:
+//!
+//! * [`NullRecorder`] — the default. [`Recorder::enabled`] returns `false`
+//!   and [`Recorder::record`] is an empty body, so instrumented code that
+//!   gates event construction on `enabled()` compiles down to a predictable
+//!   branch and **zero heap allocations** (asserted by a counting-allocator
+//!   test in this crate).
+//! * [`RingRecorder`] — a bounded, pre-allocated ring buffer behind a mutex.
+//!   Recording is a lock, a copy of a ~100-byte `Copy` struct, and two
+//!   counter bumps; when the ring is full the oldest event is overwritten
+//!   (the drop count is kept). [`RingRecorder::drain`] returns events oldest
+//!   first for aggregation.
+//!
+//! # Phase spans
+//!
+//! [`derive_phases`] joins a run's merged events by request id and slot into
+//! per-request **phase spans**: client→primary, batch wait, agreement,
+//! execution and reply ([`Phase`]). Each (mode, op-class) cell aggregates its
+//! spans into log-bucketed [`LatencyHistogram`]s — HDR-style octave buckets
+//! with 128 linear sub-buckets, worst-case ~0.4% relative error — so a
+//! [`PhaseBreakdown`] can report p50/p95/p99/p99.9 per phase without keeping
+//! every sample.
+//!
+//! # Replica health
+//!
+//! [`ReplicaHealth`] rolls one replica's misbehaviour signals up from its
+//! events: suspicion count, vote mismatches, refused reads, signature
+//! failures, view-change durations, plus transport reconnects (filled in by
+//! the runtime from its transport stats), and a bucketed
+//! [`HealthSample`] timeline. These are exactly the inputs the ROADMAP's
+//! telemetry-driven mode planner consumes: a rising suspicion or mismatch
+//! rate argues for moving from Lion toward Dog/Peacock (or evicting a
+//! public-cloud replica), while a clean timeline under Peacock argues the
+//! cheaper modes are safe again.
+//!
+//! # Export
+//!
+//! [`jsonl`] serializes traces one JSON object per line and parses them back
+//! (`parse_line(event_to_line(e)) == e` is round-trip tested), so runs can be
+//! dumped, diffed and fed to external tooling without a serde dependency.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod event;
+pub mod health;
+pub mod hist;
+pub mod jsonl;
+pub mod phase;
+pub mod recorder;
+
+pub use event::{EventKind, TraceEvent};
+pub use health::{HealthSample, ReplicaHealth};
+pub use hist::LatencyHistogram;
+pub use phase::{derive_phases, Phase, PhaseBreakdown, PhaseCell};
+pub use recorder::{NullRecorder, Recorder, RingRecorder};
+
+use seemore_types::Instant;
+
+/// Orders merged multi-node traces by timestamp, breaking ties by node and
+/// per-recorder sequence number so the order is stable across runs.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| (e.at, node_key(e), e.seq));
+}
+
+fn node_key(e: &TraceEvent) -> (u8, u64) {
+    match e.node {
+        seemore_types::NodeId::Replica(r) => (0, u64::from(r.0)),
+        seemore_types::NodeId::Client(c) => (1, c.0),
+    }
+}
+
+/// The earliest timestamp in `events`, if any — the natural origin for
+/// health timelines and relative-time displays.
+pub fn trace_origin(events: &[TraceEvent]) -> Option<Instant> {
+    events.iter().map(|e| e.at).min()
+}

@@ -1,0 +1,321 @@
+//! Per-request phase spans derived from a merged event trace.
+
+use std::collections::BTreeMap;
+
+use seemore_types::{Instant, Mode, OpClass, RequestId, SeqNum};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::hist::LatencyHistogram;
+
+/// One leg of a request's life, in commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Client submit → primary admission (network + inbound queueing).
+    ClientToPrimary,
+    /// Admission → the request leaves in a proposal (batcher dwell time).
+    BatchWait,
+    /// Proposal → the slot's decision quorum (the agreement rounds).
+    Agreement,
+    /// Quorum → the request executes against the application.
+    Execution,
+    /// Execution → the client matches its reply certificate.
+    Reply,
+}
+
+impl Phase {
+    /// Every phase, in commit order.
+    pub const ALL: [Phase; 5] = [
+        Phase::ClientToPrimary,
+        Phase::BatchWait,
+        Phase::Agreement,
+        Phase::Execution,
+        Phase::Reply,
+    ];
+
+    /// Short stable name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ClientToPrimary => "client_to_primary",
+            Phase::BatchWait => "batch_wait",
+            Phase::Agreement => "agreement",
+            Phase::Execution => "execution",
+            Phase::Reply => "reply",
+        }
+    }
+
+    /// Position in [`Phase::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Phase::ClientToPrimary => 0,
+            Phase::BatchWait => 1,
+            Phase::Agreement => 2,
+            Phase::Execution => 3,
+            Phase::Reply => 4,
+        }
+    }
+}
+
+/// Aggregated phase distributions for one (mode, op-class) cell.
+#[derive(Debug, Clone)]
+pub struct PhaseCell {
+    /// The mode the requests committed under (taken from the proposal, or
+    /// the serving replica for fast-path reads).
+    pub mode: Mode,
+    /// Read or write.
+    pub class: OpClass,
+    /// Requests that contributed at least one phase sample.
+    pub requests: u64,
+    /// One histogram of nanosecond spans per [`Phase`], indexed by
+    /// [`Phase::index`]. A phase a request skipped (e.g. agreement for a
+    /// fast-path read) simply contributes no sample.
+    pub phases: [LatencyHistogram; 5],
+}
+
+/// The full per-mode, per-class phase breakdown of a run.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// Non-empty cells, ordered by mode index then class (reads first).
+    pub cells: Vec<PhaseCell>,
+}
+
+impl PhaseBreakdown {
+    /// The cell for (`mode`, `class`), if any request landed there.
+    pub fn cell(&self, mode: Mode, class: OpClass) -> Option<&PhaseCell> {
+        self.cells
+            .iter()
+            .find(|c| c.mode == mode && c.class == class)
+    }
+
+    /// Total requests across all cells.
+    pub fn requests(&self) -> u64 {
+        self.cells.iter().map(|c| c.requests).sum()
+    }
+}
+
+#[derive(Default)]
+struct Join {
+    submit: Option<Instant>,
+    admit: Option<Instant>,
+    propose: Option<Instant>,
+    exec: Option<Instant>,
+    done: Option<Instant>,
+    slot: Option<SeqNum>,
+    class: Option<OpClass>,
+    mode: Option<Mode>,
+}
+
+fn earliest(slot: &mut Option<Instant>, at: Instant) {
+    match slot {
+        Some(existing) if *existing <= at => {}
+        _ => *slot = Some(at),
+    }
+}
+
+fn class_from_detail(detail: u64) -> OpClass {
+    if detail == 0 {
+        OpClass::Read
+    } else {
+        OpClass::Write
+    }
+}
+
+/// Joins a merged trace into per-request phase spans and aggregates them
+/// per (mode, op class).
+///
+/// Requests are joined by [`RequestId`]; the agreement endpoint is joined by
+/// slot (the earliest `QuorumReached`/`Committed` for the proposal's slot,
+/// across all replicas). Requests whose identifying events were overwritten
+/// in a full ring are skipped rather than guessed at, and each phase sample
+/// requires both endpoints — a fast-path read, which never enters a batch,
+/// contributes client→primary, execution and reply spans only.
+pub fn derive_phases(events: &[TraceEvent]) -> PhaseBreakdown {
+    let mut joins: BTreeMap<RequestId, Join> = BTreeMap::new();
+    let mut slot_commit: BTreeMap<SeqNum, Instant> = BTreeMap::new();
+
+    for event in events {
+        if let (EventKind::QuorumReached | EventKind::Committed, Some(slot)) =
+            (event.kind, event.slot)
+        {
+            slot_commit
+                .entry(slot)
+                .and_modify(|at| {
+                    if event.at < *at {
+                        *at = event.at;
+                    }
+                })
+                .or_insert(event.at);
+        }
+        let Some(request) = event.request else {
+            continue;
+        };
+        let join = joins.entry(request).or_default();
+        match event.kind {
+            EventKind::ClientSubmit => {
+                earliest(&mut join.submit, event.at);
+                join.class.get_or_insert(class_from_detail(event.detail));
+            }
+            EventKind::RequestAdmitted => earliest(&mut join.admit, event.at),
+            EventKind::ProposeSent if join.propose.is_none_or(|at| event.at < at) => {
+                join.propose = Some(event.at);
+                join.slot = event.slot;
+                join.mode = Some(event.mode);
+            }
+            EventKind::Executed => {
+                earliest(&mut join.exec, event.at);
+                join.mode.get_or_insert(event.mode);
+            }
+            EventKind::ClientDone => {
+                earliest(&mut join.done, event.at);
+                join.class.get_or_insert(class_from_detail(event.detail));
+            }
+            _ => {}
+        }
+    }
+
+    // 3 modes × 2 classes, indexed mode.index()-1 then read=0 / write=1.
+    let mut cells: Vec<Option<PhaseCell>> = vec![None; 6];
+    for join in joins.values() {
+        let (Some(class), Some(mode)) = (join.class, join.mode) else {
+            continue;
+        };
+        let commit = join.slot.and_then(|slot| slot_commit.get(&slot).copied());
+        let spans = [
+            span(join.submit, join.admit),
+            span(join.admit, join.propose),
+            span(join.propose, commit),
+            span(
+                commit.or(join.admit.filter(|_| join.propose.is_none())),
+                join.exec,
+            ),
+            span(join.exec, join.done),
+        ];
+        if spans.iter().all(Option::is_none) {
+            continue;
+        }
+        let index = (usize::from(mode.index()) - 1) * 2 + usize::from(!class.is_read());
+        let cell = cells[index].get_or_insert_with(|| PhaseCell {
+            mode,
+            class,
+            requests: 0,
+            phases: std::array::from_fn(|_| LatencyHistogram::new()),
+        });
+        cell.requests += 1;
+        for (phase, sample) in cell.phases.iter_mut().zip(spans) {
+            if let Some(nanos) = sample {
+                phase.record(nanos);
+            }
+        }
+    }
+
+    PhaseBreakdown {
+        cells: cells.into_iter().flatten().collect(),
+    }
+}
+
+/// The span between two endpoints, in nanoseconds; `None` unless both
+/// endpoints were observed. Clamps at zero rather than trusting perfectly
+/// synchronized cross-thread timestamps.
+fn span(from: Option<Instant>, to: Option<Instant>) -> Option<u64> {
+    Some(to?.duration_since(from?).as_nanos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::{ClientId, NodeId, ReplicaId, Timestamp, View};
+
+    fn ev(
+        at: u64,
+        node: NodeId,
+        kind: EventKind,
+        slot: Option<SeqNum>,
+        request: Option<RequestId>,
+        detail: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at: Instant::from_nanos(at),
+            node,
+            view: View(0),
+            mode: Mode::Lion,
+            slot,
+            request,
+            kind,
+            detail,
+        }
+    }
+
+    #[test]
+    fn ordered_write_yields_all_five_phases() {
+        let client = NodeId::Client(ClientId(1));
+        let primary = NodeId::Replica(ReplicaId(0));
+        let req = RequestId::new(ClientId(1), Timestamp(1));
+        let slot = SeqNum(1);
+        let events = vec![
+            ev(100, client, EventKind::ClientSubmit, None, Some(req), 1),
+            ev(200, primary, EventKind::RequestAdmitted, None, Some(req), 0),
+            ev(260, primary, EventKind::BatchCut, None, None, 1),
+            ev(
+                300,
+                primary,
+                EventKind::ProposeSent,
+                Some(slot),
+                Some(req),
+                1,
+            ),
+            ev(700, primary, EventKind::QuorumReached, Some(slot), None, 3),
+            ev(750, primary, EventKind::Committed, Some(slot), None, 0),
+            ev(800, primary, EventKind::Executed, Some(slot), Some(req), 0),
+            ev(810, primary, EventKind::Replied, None, Some(req), 0),
+            ev(950, client, EventKind::ClientDone, None, Some(req), 1),
+        ];
+        let breakdown = derive_phases(&events);
+        assert_eq!(breakdown.requests(), 1);
+        let cell = breakdown.cell(Mode::Lion, OpClass::Write).unwrap();
+        let expect = [100, 100, 400, 100, 150];
+        for (phase, nanos) in Phase::ALL.iter().zip(expect) {
+            let hist = &cell.phases[phase.index()];
+            assert_eq!(hist.count(), 1, "{}", phase.name());
+            assert_eq!(hist.max(), nanos, "{}", phase.name());
+        }
+    }
+
+    #[test]
+    fn fast_read_skips_batch_and_agreement() {
+        let client = NodeId::Client(ClientId(2));
+        let primary = NodeId::Replica(ReplicaId(0));
+        let req = RequestId::new(ClientId(2), Timestamp(1));
+        let events = vec![
+            ev(100, client, EventKind::ClientSubmit, None, Some(req), 0),
+            ev(180, primary, EventKind::RequestAdmitted, None, Some(req), 0),
+            ev(200, primary, EventKind::Executed, None, Some(req), 0),
+            ev(300, client, EventKind::ClientDone, None, Some(req), 0),
+        ];
+        let breakdown = derive_phases(&events);
+        let cell = breakdown.cell(Mode::Lion, OpClass::Read).unwrap();
+        assert_eq!(cell.requests, 1);
+        assert_eq!(cell.phases[Phase::ClientToPrimary.index()].count(), 1);
+        assert_eq!(cell.phases[Phase::BatchWait.index()].count(), 0);
+        assert_eq!(cell.phases[Phase::Agreement.index()].count(), 0);
+        assert_eq!(cell.phases[Phase::Execution.index()].count(), 1);
+        assert_eq!(cell.phases[Phase::Execution.index()].max(), 20);
+        assert_eq!(cell.phases[Phase::Reply.index()].count(), 1);
+    }
+
+    #[test]
+    fn incomplete_requests_are_skipped() {
+        let client = NodeId::Client(ClientId(3));
+        let req = RequestId::new(ClientId(3), Timestamp(1));
+        // Submit only — no class-bearing completion, no server events.
+        let events = vec![ev(100, client, EventKind::ClientSubmit, None, Some(req), 1)];
+        let breakdown = derive_phases(&events);
+        assert!(breakdown.cells.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_breakdown() {
+        let breakdown = derive_phases(&[]);
+        assert!(breakdown.cells.is_empty());
+        assert_eq!(breakdown.requests(), 0);
+    }
+}

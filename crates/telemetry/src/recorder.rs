@@ -1,0 +1,177 @@
+//! The `Recorder` seam: where instrumented cores hand events off.
+
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// Sink for [`TraceEvent`]s. Cores hold an `Arc<dyn Recorder>` and call
+/// [`record`](Self::record) at each instrumentation point, gated on
+/// [`enabled`](Self::enabled) so the disabled path never even builds the
+/// event.
+pub trait Recorder: Send + Sync {
+    /// Whether recording is on. Instrumentation sites check this before
+    /// constructing an event; [`NullRecorder`] returns `false` so the
+    /// disabled path is one predictable branch.
+    fn enabled(&self) -> bool;
+
+    /// Stores `event`. Implementations assign the per-recorder `seq`.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The provable no-op recorder: `enabled()` is `false` and `record` has an
+/// empty body. A counting-allocator test (`tests/zero_alloc.rs`) asserts the
+/// whole disabled record path performs zero heap allocations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A bounded ring buffer of events behind a mutex.
+///
+/// The buffer is allocated once at construction; recording in steady state
+/// is a lock, one `Copy` store and two counter bumps — no allocation. When
+/// full, the oldest event is overwritten and [`dropped`](Self::dropped)
+/// advances, so a runaway run degrades to "most recent `capacity` events"
+/// instead of unbounded memory.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Overwrite cursor, valid once `buf.len() == capacity`.
+    next: usize,
+    /// Next sequence number to assign; monotonically increasing across
+    /// drains.
+    seq: u64,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            capacity,
+            inner: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                next: 0,
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Total events recorded so far (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// Removes and returns the retained events, oldest first. Sequence
+    /// numbers keep counting across drains.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut ring = self.inner.lock().unwrap();
+        let next = ring.next;
+        let mut events = std::mem::take(&mut ring.buf);
+        ring.buf = Vec::with_capacity(self.capacity);
+        ring.next = 0;
+        if events.len() == self.capacity {
+            events.rotate_left(next);
+        }
+        events
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, mut event: TraceEvent) {
+        let mut ring = self.inner.lock().unwrap();
+        event.seq = ring.seq;
+        ring.seq += 1;
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(event);
+        } else {
+            let next = ring.next;
+            ring.buf[next] = event;
+            ring.next = (next + 1) % self.capacity;
+            ring.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use seemore_types::{ClientId, Instant, Mode, NodeId, View};
+
+    fn event(at: u64) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at: Instant::from_nanos(at),
+            node: NodeId::Client(ClientId(1)),
+            view: View(0),
+            mode: Mode::Lion,
+            slot: None,
+            request: None,
+            kind: EventKind::ClientSubmit,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let ring = RingRecorder::new(3);
+        for at in 0..5 {
+            ring.record(event(at));
+        }
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.recorded(), 5);
+        let events = ring.drain();
+        let ats: Vec<u64> = events.iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn drain_resets_but_seq_continues() {
+        let ring = RingRecorder::new(8);
+        ring.record(event(0));
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.drain().is_empty());
+        ring.record(event(1));
+        let events = ring.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 1);
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let null = NullRecorder;
+        assert!(!null.enabled());
+        null.record(event(0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Hard-asserts the recorder hot paths do not touch the heap.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; since global
+//! allocators are process-wide, this lives in its own integration-test
+//! binary, as a single `#[test]`, so no concurrent test's allocations
+//! pollute the counts. The disabled ([`NullRecorder`]) path must be exactly
+//! zero allocations — that is the "provable no-op" contract the
+//! instrumented cores rely on — and a [`RingRecorder`] past construction
+//! (filling a pre-sized buffer, or overwriting a full one) must be
+//! allocation-free too.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seemore_telemetry::{EventKind, NullRecorder, Recorder, RingRecorder, TraceEvent};
+use seemore_types::{
+    ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// Only allocations made *by the measuring thread inside a measurement
+// window* count — the test harness's own threads allocate at their leisure
+// and must not flake the assertion. Const-initialized so reading it inside
+// the allocator cannot itself allocate.
+thread_local! {
+    static MEASURING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counting() -> bool {
+    MEASURING.try_with(|m| m.get()).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
+    let result = f();
+    MEASURING.with(|m| m.set(false));
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+fn event(seq: u64) -> TraceEvent {
+    TraceEvent {
+        seq,
+        at: Instant::from_nanos(seq * 1_000),
+        node: NodeId::Replica(ReplicaId(0)),
+        view: View(1),
+        mode: Mode::Lion,
+        slot: Some(SeqNum(seq)),
+        request: Some(RequestId::new(ClientId(1), Timestamp(seq))),
+        kind: EventKind::ProposeSent,
+        detail: 8,
+    }
+}
+
+#[test]
+fn recorder_hot_paths_allocate_nothing() {
+    // Disabled path: the exact shape instrumented cores use — gate on
+    // enabled(), build the Copy event, record it — plus an ungated record
+    // through the disabled sink. Must be exactly zero.
+    let null = NullRecorder;
+    let (count, _) = allocations(|| {
+        for seq in 0..100_000 {
+            if null.enabled() {
+                null.record(event(seq));
+            }
+            null.record(event(seq));
+        }
+    });
+    assert_eq!(count, 0, "disabled recorder allocated {count} times");
+
+    // Enabled ring, filling a pre-sized buffer: construction allocates, the
+    // records must not.
+    let ring = RingRecorder::new(4096);
+    let (count, _) = allocations(|| {
+        for seq in 0..4096 {
+            ring.record(event(seq));
+        }
+    });
+    assert_eq!(
+        count, 0,
+        "pre-sized ring allocated {count} times while filling"
+    );
+
+    // Enabled ring at steady state (full, overwriting oldest).
+    let (count, _) = allocations(|| {
+        for seq in 0..100_000 {
+            if ring.enabled() {
+                ring.record(event(seq));
+            }
+        }
+    });
+    assert_eq!(count, 0, "full ring recorder allocated {count} times");
+    assert_eq!(ring.dropped(), 100_000);
+}

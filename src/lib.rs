@@ -78,5 +78,6 @@ pub use seemore_core as core;
 pub use seemore_crypto as crypto;
 pub use seemore_net as net;
 pub use seemore_runtime as runtime;
+pub use seemore_telemetry as telemetry;
 pub use seemore_types as types;
 pub use seemore_wire as wire;
