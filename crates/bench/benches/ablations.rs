@@ -25,6 +25,11 @@
 //!    and `max_batch = 1` at high load (where the static policy pays one
 //!    quorum round per request), with the controller's chosen batch sizes
 //!    reported from `RunReport::batching`.
+//! 13. **Sharded scale-out** — aggregate Lion throughput as the keyspace is
+//!     hash-partitioned across 1–8 independent groups under weak scaling
+//!     (fixed load per group), with a hard ≥ 3× acceptance floor at 8
+//!     groups, plus the measured cost of correcting a stale client map
+//!     through signed redirects.
 
 use seemore_bench::json::Json;
 use seemore_bench::{
@@ -40,32 +45,35 @@ type PolicyFn = fn(Scenario, Duration) -> Scenario;
 
 fn main() {
     // `SEEMORE_ABLATION=10` runs only the socket hot-path ablation,
-    // `SEEMORE_ABLATION=11` only the connection-scaling sweep and
+    // `SEEMORE_ABLATION=11` only the connection-scaling sweep,
     // `SEEMORE_ABLATION=12` only the tracing-overhead + phase-breakdown
-    // ablation (useful while iterating on one subsystem); anything else runs
-    // the full set.
-    let only = std::env::var("SEEMORE_ABLATION").ok();
-    let only_ten = only.as_deref() == Some("10");
-    let only_eleven = only.as_deref() == Some("11");
-    let only_twelve = only.as_deref() == Some("12");
-    if !only_ten && !only_eleven && !only_twelve {
+    // ablation and `SEEMORE_ABLATION=13` only the sharded scale-out sweep
+    // (useful while iterating on one subsystem); anything else runs the
+    // full set.
+    let var = std::env::var("SEEMORE_ABLATION").ok();
+    let only = var.as_deref();
+    let run_all = !matches!(only, Some("10") | Some("11") | Some("12") | Some("13"));
+    if run_all {
         ablations_one_to_nine();
     }
-    if !only_twelve {
-        let rows = if only_eleven {
+    if run_all || only == Some("10") || only == Some("11") {
+        let rows = if only == Some("11") {
             Vec::new()
         } else {
             ablation_ten_socket_hot_path()
         };
-        let connections = if only_ten {
+        let connections = if only == Some("10") {
             Vec::new()
         } else {
             ablation_eleven_connection_scaling()
         };
         emit_socket_json(&rows, &connections);
     }
-    if !only_ten && !only_eleven {
+    if run_all || only == Some("12") {
         ablation_twelve_trace_overhead();
+    }
+    if run_all || only == Some("13") {
+        ablation_thirteen_sharded_scale_out();
     }
 }
 
@@ -974,5 +982,147 @@ fn ablation_twelve_trace_overhead() {
          ablation-10 Lion socket workload (measured {:.2}%)",
         MAX_OVERHEAD * 100.0,
         overhead * 100.0
+    );
+}
+
+/// Ablation 13: sharded multi-group scale-out.
+///
+/// Weak scaling on the deterministic simulator: the keyspace is
+/// hash-partitioned across 1 / 2 / 4 / 8 independent Lion groups with a
+/// fixed offered load per group (same clients-per-group, same per-group
+/// cluster), so the aggregate throughput of an architecture that scales
+/// *out* should grow linearly with the group count — agreement never
+/// crosses a group boundary. The acceptance bar is a hard ≥ 3× aggregate
+/// at 8 groups over 1 group (measured ≈ 8× when the groups are genuinely
+/// independent); the per-group min/max columns confirm the hash partition
+/// spreads load evenly rather than scaling on a hot group's back.
+///
+/// A second table measures the redirect machinery's price on the threaded
+/// runtime: a 2-group deployment driven once with the authoritative map
+/// and once with every client seeded a stale map, so each client's first
+/// misrouted key costs one signed redirect plus a map adoption. The two
+/// runs bracket the worst-case reconfiguration hiccup (reported, not
+/// asserted: single-machine wall-clock noise dwarfs the one-off cost).
+fn ablation_thirteen_sharded_scale_out() {
+    header("Ablation 13: sharded scale-out (Lion, weak scaling, hash-partitioned keys)");
+    const GROUPS: [u32; 4] = [1, 2, 4, 8];
+    const CLIENTS_PER_GROUP: u32 = 8;
+    const SPEEDUP_FLOOR: f64 = 3.0;
+    let (duration, warmup) = run_window();
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>14} {:>14}",
+        "groups", "clients", "kreq/s", "completed", "min-grp kreq/s", "max-grp kreq/s"
+    );
+    for groups in GROUPS {
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(CLIENTS_PER_GROUP * groups)
+            .with_duration(duration, warmup)
+            .with_workload(Workload::kv(4096, 32, 0.0))
+            .with_shards(groups)
+            .run();
+        let per_group: Vec<f64> = if report.shards.is_empty() {
+            vec![report.throughput_kreqs]
+        } else {
+            report
+                .shards
+                .iter()
+                .map(|s| s.report.throughput_kreqs)
+                .collect()
+        };
+        let min = per_group.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_group.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:>6} {:>8} {:>12.3} {:>10} {:>14.3} {:>14.3}",
+            groups,
+            CLIENTS_PER_GROUP * groups,
+            report.throughput_kreqs,
+            report.completed,
+            min,
+            max
+        );
+        rows.push((groups, report, min, max));
+    }
+    let base = rows[0].1.throughput_kreqs;
+    let top = rows.last().expect("swept at least one point");
+    let speedup = top.1.throughput_kreqs / base.max(1e-9);
+    println!(
+        "\naggregate speedup at {} groups: {speedup:.2}x (floor {SPEEDUP_FLOOR:.1}x)\n",
+        top.0
+    );
+
+    header("Ablation 13b: stale-map redirect cost (Lion, threaded, 2 groups)");
+    let redirect_run = |stale: bool| -> RunReport {
+        Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(4)
+            .with_duration(Duration::from_millis(250), Duration::from_millis(50))
+            .with_workload(Workload::kv(1024, 32, 0.0))
+            .with_batching(8, Duration::from_micros(200))
+            .with_runtime(RuntimeKind::Threaded)
+            .with_shards(2)
+            .with_stale_client_map(stale)
+            .run()
+    };
+    let fresh = redirect_run(false);
+    let stale = redirect_run(true);
+    println!(
+        "authoritative map : {:>8.3} kreq/s ({} completed)",
+        fresh.throughput_kreqs, fresh.completed
+    );
+    println!(
+        "stale client map  : {:>8.3} kreq/s ({} completed)",
+        stale.throughput_kreqs, stale.completed
+    );
+    println!(
+        "# Every client's first misrouted key pays one signed redirect and adopts\n\
+         # the authoritative map; after that the runs are identical machinery.\n"
+    );
+
+    let scaling: Vec<Json> = rows
+        .iter()
+        .map(|(groups, report, min, max)| {
+            Json::obj([
+                ("groups", Json::from(u64::from(*groups))),
+                ("clients", Json::from(u64::from(CLIENTS_PER_GROUP * groups))),
+                ("kreqs", Json::from(report.throughput_kreqs)),
+                ("completed", Json::from(report.completed)),
+                ("min_group_kreqs", Json::from(*min)),
+                ("max_group_kreqs", Json::from(*max)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("quick_mode", Json::from(quick_mode())),
+        ("protocol", Json::from("Lion")),
+        (
+            "clients_per_group",
+            Json::from(u64::from(CLIENTS_PER_GROUP)),
+        ),
+        ("scaling", Json::Arr(scaling)),
+        ("speedup", Json::from(speedup)),
+        ("speedup_floor", Json::from(SPEEDUP_FLOOR)),
+        (
+            "redirects",
+            Json::obj([
+                ("fresh_kreqs", Json::from(fresh.throughput_kreqs)),
+                ("stale_kreqs", Json::from(stale.throughput_kreqs)),
+                ("fresh_completed", Json::from(fresh.completed)),
+                ("stale_completed", Json::from(stale.completed)),
+            ]),
+        ),
+    ]);
+    write_bench_artifact("BENCH_shards.json", &doc);
+    println!();
+
+    assert!(
+        stale.completed > 0 && fresh.completed > 0,
+        "acceptance: both redirect arms must make progress"
+    );
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "acceptance: {} hash-partitioned groups must deliver >= {SPEEDUP_FLOOR:.1}x the \
+         aggregate Lion throughput of one group (measured {speedup:.2}x)",
+        top.0
     );
 }

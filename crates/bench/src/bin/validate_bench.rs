@@ -1,11 +1,11 @@
 //! Schema validator for the machine-readable bench artifacts.
 //!
 //! CI runs the ablation benches and then this binary, which parses the
-//! emitted `BENCH_socket.json` and `BENCH_telemetry.json` back through the
-//! shared [`seemore_bench::json`] parser and checks every field the
-//! cross-PR tooling depends on. A schema drift (renamed field, stringified
-//! number, truncated emit) fails the build instead of silently producing an
-//! artifact nothing can read.
+//! emitted `BENCH_socket.json`, `BENCH_telemetry.json` and
+//! `BENCH_shards.json` back through the shared [`seemore_bench::json`]
+//! parser and checks every field the cross-PR tooling depends on. A schema
+//! drift (renamed field, stringified number, truncated emit) fails the
+//! build instead of silently producing an artifact nothing can read.
 //!
 //! Usage: `validate_bench [workspace_root]` (defaults to the current
 //! directory). Exits non-zero listing every violation found.
@@ -18,6 +18,7 @@ fn main() {
     let mut errors = Vec::new();
     validate_socket(Path::new(&root).join("BENCH_socket.json"), &mut errors);
     validate_telemetry(Path::new(&root).join("BENCH_telemetry.json"), &mut errors);
+    validate_shards(Path::new(&root).join("BENCH_shards.json"), &mut errors);
     if errors.is_empty() {
         println!("bench artifacts validate clean");
     } else {
@@ -164,4 +165,67 @@ fn validate_telemetry(path: std::path::PathBuf, errors: &mut Vec<String>) {
     };
     require_num(health, "replicas", &format!("{context} health"), errors);
     require_num(health, "quiet", &format!("{context} health"), errors);
+}
+
+fn validate_shards(path: std::path::PathBuf, errors: &mut Vec<String>) {
+    let Some(doc) = load(&path, errors) else {
+        return;
+    };
+    let context = path.display().to_string();
+    if doc.get("quick_mode").and_then(Json::as_bool).is_none() {
+        errors.push(format!("{context}: missing bool field quick_mode"));
+    }
+    require_str(&doc, "protocol", &context, errors);
+    require_num(&doc, "clients_per_group", &context, errors);
+    require_num(&doc, "speedup", &context, errors);
+    require_num(&doc, "speedup_floor", &context, errors);
+    let Some(scaling) = doc.get("scaling").and_then(Json::as_array) else {
+        errors.push(format!("{context}: missing array field scaling"));
+        return;
+    };
+    if scaling.len() < 2 {
+        errors.push(format!(
+            "{context}: scaling must sweep at least two group counts"
+        ));
+    }
+    for (i, point) in scaling.iter().enumerate() {
+        let context = format!("{context} scaling[{i}]");
+        for key in [
+            "groups",
+            "clients",
+            "kreqs",
+            "completed",
+            "min_group_kreqs",
+            "max_group_kreqs",
+        ] {
+            require_num(point, key, &context, errors);
+        }
+    }
+    // The acceptance bar the ablation asserts at run time, re-checked
+    // against the artifact so a stale file cannot mask a scaling
+    // regression.
+    if let (Some(speedup), Some(floor)) = (
+        doc.get("speedup").and_then(Json::as_f64),
+        doc.get("speedup_floor").and_then(Json::as_f64),
+    ) {
+        if speedup < floor {
+            errors.push(format!(
+                "{context}: recorded scale-out speedup {speedup:.2}x is below the \
+                 {floor:.1}x floor"
+            ));
+        }
+    }
+    let Some(redirects) = doc.get("redirects") else {
+        errors.push(format!("{context}: missing object field redirects"));
+        return;
+    };
+    let context = format!("{context} redirects");
+    for key in [
+        "fresh_kreqs",
+        "stale_kreqs",
+        "fresh_completed",
+        "stale_completed",
+    ] {
+        require_num(redirects, key, &context, errors);
+    }
 }

@@ -111,6 +111,7 @@ pub mod profile;
 pub mod protocol;
 pub mod reads;
 pub mod replica;
+pub mod shard;
 pub mod testkit;
 
 pub use actions::{Action, Timer};
@@ -126,3 +127,4 @@ pub use profile::ProtocolProfile;
 pub use protocol::ReplicaProtocol;
 pub use reads::{ParkedReads, ReadTally};
 pub use replica::SeeMoReReplica;
+pub use shard::{route_operation, RoutedClient, ShardGuard, ShardRouter};

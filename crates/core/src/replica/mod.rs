@@ -920,8 +920,9 @@ impl ReplicaProtocol for SeeMoReReplica {
             Message::ModeChange(mode_change) => self.on_mode_change(from, mode_change, now),
             Message::StateRequest(request) => self.on_state_request(request),
             Message::StateResponse(response) => self.on_state_response(from, response, now),
-            // Replicas never receive replies.
-            Message::Reply(_) | Message::ReadReply(_) => Vec::new(),
+            // Replicas never receive replies; redirects are client-bound
+            // (and emitted by the sharding guard, not the core).
+            Message::Reply(_) | Message::ReadReply(_) | Message::Redirect(_) => Vec::new(),
         }
     }
 

@@ -1,0 +1,609 @@
+//! Sharded multi-group routing: the replica-side guard and the client-side
+//! routing tier.
+//!
+//! A sharded deployment fronts `N` independent SeeMoRe groups, each running
+//! the unmodified single-group protocol over its own slice of the keyspace.
+//! The cores stay sans-IO and group-oblivious; sharding is layered on at the
+//! boundary by two small components:
+//!
+//! * [`ShardGuard`] wraps a replica core. It intercepts client traffic
+//!   ([`Message::Request`] / [`Message::ReadRequest`]) before it reaches the
+//!   core, checks key ownership against the group's [`ShardMap`], and
+//!   answers misrouted requests with a signed [`Redirect`] instead of
+//!   admitting them to agreement. Everything else — and every owned request
+//!   — passes straight through.
+//! * [`ShardRouter`] is the client's sans-IO routing tier. It caches a
+//!   `ShardMap`, routes each operation's key to a group, verifies incoming
+//!   redirects against the answering group's key material, and adopts the
+//!   redirect's map when it is newer than the cached one.
+//! * [`RoutedClient`] glues a [`ClientProtocol`] attempt to the router: when
+//!   a verified redirect answers the *pending* request it cancels the
+//!   attempt so the driving loop can re-route and resubmit.
+//!
+//! Trust model: a redirect is signed by a single replica, so a Byzantine
+//! public-cloud replica can at worst bounce a client to the wrong group —
+//! whose own guard redirects again with the authoritative map — or feed it a
+//! fabricated higher-version map, a liveness nuisance but never a safety
+//! violation (the owning group re-checks every key it admits). Hardened
+//! deployments can restrict redirect trust to private-cloud replicas.
+
+use crate::actions::{Action, Timer};
+use crate::client::{ClientOutcome, ClientProtocol};
+use crate::exec::ExecutedEntry;
+use crate::metrics::ReplicaMetrics;
+use crate::protocol::ReplicaProtocol;
+use seemore_app::KvOp;
+use seemore_crypto::{KeyStore, Signer};
+use seemore_types::{
+    ClientId, GroupId, Instant, Mode, NodeId, OpClass, ReplicaId, RequestId, ShardMap, Timestamp,
+    View,
+};
+use seemore_wire::{Message, Redirect, SignedPayload};
+
+/// The group a shard map routes `operation` to.
+///
+/// KV operations route by their key, so all ops touching one key land in one
+/// group regardless of verb; opaque payloads (benchmark no-ops, baseline
+/// traffic) route by the whole payload, which still spreads load and stays
+/// deterministic.
+pub fn route_operation(map: &ShardMap, operation: &[u8]) -> GroupId {
+    map.group_of(KvOp::key_of(operation).unwrap_or(operation))
+}
+
+/// A replica-side wrapper that refuses requests for keys its group does not
+/// own, answering with a signed [`Redirect`] before the request can enter
+/// agreement.
+///
+/// Delegates every [`ReplicaProtocol`] method to the wrapped core; only
+/// `on_message` is intercepted, and only for client traffic. A single-group
+/// deployment never wraps its cores, so `with_shards(1)` histories stay
+/// bit-identical to unsharded runs.
+pub struct ShardGuard {
+    inner: Box<dyn ReplicaProtocol>,
+    group: GroupId,
+    map: ShardMap,
+    signer: Signer,
+    redirects: u64,
+}
+
+impl ShardGuard {
+    /// Wraps `inner` as a member of `group` under `map`, signing redirects
+    /// with `signer` (the replica's own key).
+    pub fn new(
+        inner: Box<dyn ReplicaProtocol>,
+        group: GroupId,
+        map: ShardMap,
+        signer: Signer,
+    ) -> ShardGuard {
+        ShardGuard {
+            inner,
+            group,
+            map,
+            signer,
+            redirects: 0,
+        }
+    }
+
+    /// Number of misrouted requests this guard has answered with a redirect.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// The shard map this guard enforces.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Installs a newer shard map (a reconfiguration seam; ignored if `map`
+    /// is not strictly newer than the installed one).
+    pub fn install_map(&mut self, map: ShardMap) {
+        if self.map.is_older_than(&map) {
+            self.map = map;
+        }
+    }
+
+    /// If the group does not own `operation`'s key, the redirect answering
+    /// the request identified by `(client, timestamp)`.
+    fn refusal(
+        &mut self,
+        client: ClientId,
+        timestamp: Timestamp,
+        operation: &[u8],
+    ) -> Option<Action> {
+        let target = route_operation(&self.map, operation);
+        if target == self.group {
+            return None;
+        }
+        self.redirects += 1;
+        let redirect = Redirect::new(
+            RequestId::new(client, timestamp),
+            self.inner.id(),
+            self.group,
+            target,
+            self.map.clone(),
+            &self.signer,
+        );
+        Some(Action::Send {
+            to: NodeId::Client(client),
+            message: Message::Redirect(redirect),
+        })
+    }
+}
+
+impl ReplicaProtocol for ShardGuard {
+    fn id(&self) -> ReplicaId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self, now: Instant) -> Vec<Action> {
+        self.inner.on_start(now)
+    }
+
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        // A crashed replica answers nothing — not even refusals.
+        let refusal = if self.inner.is_crashed() {
+            None
+        } else {
+            match &message {
+                Message::Request(m) => self.refusal(m.client, m.timestamp, &m.operation),
+                Message::ReadRequest(m) => self.refusal(m.client, m.nonce, &m.operation),
+                _ => None,
+            }
+        };
+        match refusal {
+            Some(action) => vec![action],
+            None => self.inner.on_message(from, message, now),
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, now: Instant) -> Vec<Action> {
+        self.inner.on_timer(timer, now)
+    }
+
+    fn view(&self) -> View {
+        self.inner.view()
+    }
+
+    fn mode(&self) -> Mode {
+        self.inner.mode()
+    }
+
+    fn executed(&self) -> &[ExecutedEntry] {
+        self.inner.executed()
+    }
+
+    fn metrics(&self) -> &ReplicaMetrics {
+        self.inner.metrics()
+    }
+
+    fn request_mode_switch(&mut self, mode: Mode, now: Instant) -> Vec<Action> {
+        self.inner.request_mode_switch(mode, now)
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.inner.is_crashed()
+    }
+
+    fn crash(&mut self) {
+        self.inner.crash()
+    }
+}
+
+/// The client's sans-IO routing tier: a cached [`ShardMap`] plus the key
+/// material needed to authenticate redirects from every group.
+#[derive(Debug)]
+pub struct ShardRouter {
+    map: ShardMap,
+    keystores: Vec<KeyStore>,
+    redirects_followed: u64,
+    redirects_rejected: u64,
+    maps_adopted: u64,
+}
+
+impl ShardRouter {
+    /// A router seeded with `map`, trusting `keystores[g]` to verify
+    /// redirects from group `g`.
+    pub fn new(map: ShardMap, keystores: Vec<KeyStore>) -> ShardRouter {
+        ShardRouter {
+            map,
+            keystores,
+            redirects_followed: 0,
+            redirects_rejected: 0,
+            maps_adopted: 0,
+        }
+    }
+
+    /// The currently cached shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Routes an operation to the group owning its key under the cached map.
+    pub fn route(&self, operation: &[u8]) -> GroupId {
+        route_operation(&self.map, operation)
+    }
+
+    /// Verified redirects this router has acted on.
+    pub fn redirects_followed(&self) -> u64 {
+        self.redirects_followed
+    }
+
+    /// Redirects dropped for bad signatures or inconsistent provenance.
+    pub fn redirects_rejected(&self) -> u64 {
+        self.redirects_rejected
+    }
+
+    /// Times a redirect's map superseded the cached one.
+    pub fn maps_adopted(&self) -> u64 {
+        self.maps_adopted
+    }
+
+    /// Processes a redirect received from a replica of `from_group`.
+    ///
+    /// Returns `true` when the redirect is authentic: signed by the claimed
+    /// replica of `from_group` over exactly the fields received. An authentic
+    /// redirect's map replaces the cached one if strictly newer; the caller
+    /// should then re-route from the *cached map* rather than trusting the
+    /// redirect's `target` field directly, so a stale (but authentic)
+    /// redirect can never steer routing backwards.
+    pub fn observe_redirect(&mut self, from_group: GroupId, redirect: &Redirect) -> bool {
+        if redirect.group != from_group {
+            self.redirects_rejected += 1;
+            return false;
+        }
+        let verified = self
+            .keystores
+            .get(from_group.as_usize())
+            .map(|ks| {
+                ks.verify(
+                    NodeId::Replica(redirect.replica),
+                    &redirect.signing_bytes(),
+                    &redirect.signature,
+                )
+            })
+            .unwrap_or(false);
+        if !verified {
+            self.redirects_rejected += 1;
+            return false;
+        }
+        self.redirects_followed += 1;
+        if self.map.is_older_than(&redirect.map) {
+            self.map = redirect.map.clone();
+            self.maps_adopted += 1;
+        }
+        true
+    }
+}
+
+/// A [`ClientProtocol`] wrapper binding one routed attempt to a
+/// [`ShardRouter`].
+///
+/// The driving loop creates one `RoutedClient` per attempt (an attempt is
+/// one submission to one group). When a verified redirect arrives for the
+/// pending request, the wrapper cancels the attempt and records the event;
+/// the driver then consults the router — whose map the redirect may have
+/// refreshed — and resubmits to the owning group.
+pub struct RoutedClient<'r, C> {
+    inner: C,
+    group: GroupId,
+    router: &'r mut ShardRouter,
+    redirected: bool,
+}
+
+impl<'r, C: ClientProtocol> RoutedClient<'r, C> {
+    /// Binds an attempt on `group` to `router`.
+    pub fn new(inner: C, group: GroupId, router: &'r mut ShardRouter) -> RoutedClient<'r, C> {
+        RoutedClient {
+            inner,
+            group,
+            router,
+            redirected: false,
+        }
+    }
+
+    /// Whether a verified redirect cancelled this attempt.
+    pub fn redirected(&self) -> bool {
+        self.redirected
+    }
+
+    /// Unwraps the attempt, returning the inner client.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<'r, C: ClientProtocol> ClientProtocol for RoutedClient<'r, C> {
+    fn id(&self) -> ClientId {
+        self.inner.id()
+    }
+
+    fn submit(&mut self, operation: Vec<u8>, now: Instant) -> Vec<Action> {
+        self.inner.submit(operation, now)
+    }
+
+    fn submit_op(&mut self, operation: Vec<u8>, class: OpClass, now: Instant) -> Vec<Action> {
+        self.inner.submit_op(operation, class, now)
+    }
+
+    fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
+        if let Message::Redirect(redirect) = &message {
+            // Only a verified redirect answering the *pending* request may
+            // cancel the attempt; stragglers from earlier attempts (every
+            // replica of a group answers a retransmit broadcast) still
+            // refresh the map but cannot cancel unrelated work.
+            let verified = self.router.observe_redirect(self.group, redirect);
+            if verified && self.inner.pending_request() == Some(redirect.request) {
+                self.inner.cancel_pending();
+                self.redirected = true;
+            }
+            return Vec::new();
+        }
+        self.inner.on_message(from, message, now)
+    }
+
+    fn on_retransmit_timer(&mut self, now: Instant) -> Vec<Action> {
+        self.inner.on_retransmit_timer(now)
+    }
+
+    fn completed(&self) -> &[ClientOutcome] {
+        self.inner.completed()
+    }
+
+    fn take_completed(&mut self) -> Vec<ClientOutcome> {
+        self.inner.take_completed()
+    }
+
+    fn has_pending(&self) -> bool {
+        self.inner.has_pending()
+    }
+
+    fn retransmissions(&self) -> u64 {
+        self.inner.retransmissions()
+    }
+
+    fn cancel_pending(&mut self) -> bool {
+        self.inner.cancel_pending()
+    }
+
+    fn pending_request(&self) -> Option<RequestId> {
+        self.inner.pending_request()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientCore;
+    use crate::config::ProtocolConfig;
+    use crate::replica::SeeMoReReplica;
+    use seemore_app::KvStore;
+    use seemore_types::{ClusterConfig, Duration};
+
+    fn keystore_for(seed: u64) -> KeyStore {
+        KeyStore::generate(seed, cluster().total_size(), 2)
+    }
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::minimal(1, 1).unwrap()
+    }
+
+    fn guarded(group: GroupId, map: ShardMap, ks: &KeyStore) -> ShardGuard {
+        let core = SeeMoReReplica::new(
+            ReplicaId(0),
+            cluster(),
+            ProtocolConfig::default(),
+            ks.clone(),
+            Mode::Lion,
+            Box::new(KvStore::new()),
+        );
+        let signer = ks.signer_for(NodeId::Replica(ReplicaId(0))).unwrap();
+        ShardGuard::new(Box::new(core), group, map, signer)
+    }
+
+    fn put(key: &[u8]) -> Vec<u8> {
+        KvOp::Put {
+            key: key.to_vec(),
+            value: b"v".to_vec(),
+        }
+        .encode()
+    }
+
+    fn request_for(ks: &KeyStore, op: Vec<u8>) -> seemore_wire::ClientRequest {
+        let signer = ks.signer_for(NodeId::Client(ClientId(0))).unwrap();
+        seemore_wire::ClientRequest::new(ClientId(0), Timestamp(1), op, &signer)
+    }
+
+    /// A key owned by `group` and one owned by some other group, under `map`.
+    fn owned_and_foreign(map: &ShardMap, group: GroupId) -> (Vec<u8>, Vec<u8>) {
+        let mut owned = None;
+        let mut foreign = None;
+        for i in 0..1000u32 {
+            let key = format!("key-{i}").into_bytes();
+            if map.group_of(&key) == group {
+                owned.get_or_insert(key);
+            } else {
+                foreign.get_or_insert(key);
+            }
+            if owned.is_some() && foreign.is_some() {
+                break;
+            }
+        }
+        (owned.unwrap(), foreign.unwrap())
+    }
+
+    #[test]
+    fn the_guard_redirects_misrouted_requests_and_admits_owned_ones() {
+        let ks = keystore_for(7);
+        let map = ShardMap::uniform(4);
+        let group = GroupId(1);
+        let mut guard = guarded(group, map.clone(), &ks);
+        let (owned, foreign) = owned_and_foreign(&map, group);
+
+        let actions = guard.on_message(
+            NodeId::Client(ClientId(0)),
+            Message::Request(request_for(&ks, put(&foreign))),
+            Instant::ZERO,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Send {
+                to: NodeId::Client(ClientId(0)),
+                message: Message::Redirect(redirect),
+            } => {
+                assert_eq!(redirect.group, group);
+                assert_eq!(redirect.target, map.group_of(&foreign));
+                assert_eq!(redirect.map, map);
+                assert!(ks.verify(
+                    NodeId::Replica(ReplicaId(0)),
+                    &redirect.signing_bytes(),
+                    &redirect.signature
+                ));
+            }
+            other => panic!("expected a redirect to the client, got {other:?}"),
+        }
+        assert_eq!(guard.redirects(), 1);
+        // Nothing entered agreement for the refused request.
+        assert_eq!(guard.metrics().committed, 0);
+
+        // An owned key passes through to the core (the Lion primary
+        // broadcasts a Prepare, so the core produces actions).
+        let actions = guard.on_message(
+            NodeId::Client(ClientId(0)),
+            Message::Request(request_for(&ks, put(&owned))),
+            Instant::ZERO,
+        );
+        assert!(!actions.is_empty());
+        assert_eq!(guard.redirects(), 1);
+    }
+
+    #[test]
+    fn opaque_operations_route_by_whole_payload() {
+        let map = ShardMap::uniform(4);
+        let payload = b"not a kv op".to_vec();
+        assert_eq!(route_operation(&map, &payload), map.group_of(&payload));
+        // KV ops route by key, not by encoding.
+        let key = b"shared-key";
+        assert_eq!(
+            route_operation(&map, &put(key)),
+            route_operation(&map, &KvOp::Get { key: key.to_vec() }.encode())
+        );
+    }
+
+    #[test]
+    fn the_router_verifies_redirects_and_adopts_newer_maps() {
+        let ks0 = keystore_for(11);
+        let ks1 = keystore_for(12);
+        let stale = ShardMap::uniform(1);
+        let fresh = ShardMap {
+            version: 2,
+            partitioning: seemore_types::Partitioning::Hash { groups: 2 },
+        };
+        let mut router = ShardRouter::new(stale, vec![ks0.clone(), ks1.clone()]);
+
+        let signer = ks1.signer_for(NodeId::Replica(ReplicaId(2))).unwrap();
+        let redirect = Redirect::new(
+            RequestId::new(ClientId(0), Timestamp(3)),
+            ReplicaId(2),
+            GroupId(1),
+            GroupId(0),
+            fresh.clone(),
+            &signer,
+        );
+        assert!(router.observe_redirect(GroupId(1), &redirect));
+        assert_eq!(router.map(), &fresh);
+        assert_eq!(router.maps_adopted(), 1);
+        assert_eq!(router.redirects_followed(), 1);
+
+        // Replaying the same redirect verifies but adopts nothing new.
+        assert!(router.observe_redirect(GroupId(1), &redirect));
+        assert_eq!(router.maps_adopted(), 1);
+    }
+
+    #[test]
+    fn the_router_rejects_tampered_and_misattributed_redirects() {
+        let ks0 = keystore_for(21);
+        let ks1 = keystore_for(22);
+        let mut router = ShardRouter::new(ShardMap::uniform(2), vec![ks0.clone(), ks1.clone()]);
+        let signer = ks1.signer_for(NodeId::Replica(ReplicaId(1))).unwrap();
+        let authentic = Redirect::new(
+            RequestId::new(ClientId(1), Timestamp(5)),
+            ReplicaId(1),
+            GroupId(1),
+            GroupId(0),
+            ShardMap::uniform(2),
+            &signer,
+        );
+
+        // Tampered target.
+        let mut tampered = authentic.clone();
+        tampered.target = GroupId(1);
+        assert!(!router.observe_redirect(GroupId(1), &tampered));
+
+        // Claimed provenance disagrees with the receiving port's group.
+        assert!(!router.observe_redirect(GroupId(0), &authentic));
+
+        // Group id out of range for the keystore set.
+        let mut foreign = authentic.clone();
+        foreign.group = GroupId(9);
+        assert!(!router.observe_redirect(GroupId(9), &foreign));
+
+        assert_eq!(router.redirects_rejected(), 3);
+        assert_eq!(router.redirects_followed(), 0);
+        assert_eq!(router.map(), &ShardMap::uniform(2));
+
+        // The authentic one still goes through afterwards.
+        assert!(router.observe_redirect(GroupId(1), &authentic));
+    }
+
+    #[test]
+    fn a_routed_client_cancels_only_its_pending_request() {
+        let ks = keystore_for(31);
+        let mut router = ShardRouter::new(ShardMap::uniform(2), vec![ks.clone(), ks.clone()]);
+        let client = ClientCore::new(
+            ClientId(0),
+            cluster(),
+            ks.clone(),
+            Mode::Lion,
+            Duration::from_millis(50),
+        );
+        let mut routed = RoutedClient::new(client, GroupId(0), &mut router);
+        let _ = routed.submit_op(put(b"k"), OpClass::Write, Instant::ZERO);
+        let pending = routed.pending_request().unwrap();
+
+        let signer = ks.signer_for(NodeId::Replica(ReplicaId(1))).unwrap();
+        // A stale redirect for some *other* request refreshes nothing and
+        // must not cancel the live attempt.
+        let stale = Redirect::new(
+            RequestId::new(ClientId(0), Timestamp(999)),
+            ReplicaId(1),
+            GroupId(0),
+            GroupId(1),
+            ShardMap::uniform(2),
+            &signer,
+        );
+        routed.on_message(
+            NodeId::Replica(ReplicaId(1)),
+            Message::Redirect(stale),
+            Instant::ZERO,
+        );
+        assert!(!routed.redirected());
+        assert_eq!(routed.pending_request(), Some(pending));
+
+        // The redirect answering the pending request cancels it.
+        let live = Redirect::new(
+            pending,
+            ReplicaId(1),
+            GroupId(0),
+            GroupId(1),
+            ShardMap::uniform(2),
+            &signer,
+        );
+        routed.on_message(
+            NodeId::Replica(ReplicaId(1)),
+            Message::Redirect(live),
+            Instant::ZERO,
+        );
+        assert!(routed.redirected());
+        assert_eq!(routed.pending_request(), None);
+    }
+}

@@ -67,6 +67,7 @@ impl CpuModel {
             Message::ModeChange(_) => 1,
             Message::StateRequest(_) => 0,
             Message::StateResponse(m) => m.entries.len() as u32,
+            Message::Redirect(m) => u32::from(m.signature != Signature::INVALID),
         }
     }
 

@@ -17,6 +17,7 @@
 
 use crate::driver::to_instant;
 use crate::report::RunReport;
+use crate::shard::ShardOverride;
 use crate::sim::{SimConfig, Simulation};
 use crate::socket::SocketCluster;
 use crate::threaded::ThreadedCluster;
@@ -212,6 +213,21 @@ pub struct Scenario {
     /// and the raw event trace; with it off, cores run the provably
     /// zero-cost [`seemore_telemetry::NullRecorder`].
     pub tracing: bool,
+    /// Number of independent agreement groups (shards) fronted by the shard
+    /// router. `1` (the default) runs the classic single-group deployment
+    /// through code paths bit-identical to an unsharded build; `n > 1`
+    /// partitions the keyspace with [`seemore_types::ShardMap::uniform`] and
+    /// runs one full cluster per group (see [`crate::shard`]).
+    pub shards: u32,
+    /// Per-shard overrides of the protocol, crash schedule and mode-switch
+    /// schedule, addressed by group (sharded runs only).
+    pub shard_overrides: Vec<ShardOverride>,
+    /// Test knob for the redirect path (sharded concurrent runs only): seed
+    /// every client's shard router with a stale single-group map, so each
+    /// client's first operation is misrouted, refused with a signed
+    /// redirect, re-routed with the adopted authoritative map and
+    /// resubmitted to the owner group.
+    pub stale_client_map: bool,
 }
 
 impl Scenario {
@@ -247,7 +263,49 @@ impl Scenario {
             byzantine_behavior: ByzantineBehavior::Honest,
             runtime: RuntimeKind::Simulated,
             tracing: false,
+            shards: 1,
+            shard_overrides: Vec::new(),
+            stale_client_map: false,
         }
+    }
+
+    /// Fronts `shards` independent agreement groups with the shard router
+    /// (1, the default, is the classic single-group deployment). Each group
+    /// runs its own full cluster — replicas, primary, view changes and
+    /// checkpoints are all group-local — over its slice of the keyspace.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Adds a per-shard override (protocol, crash schedule, mode switch) for
+    /// one group of a sharded run.
+    pub fn with_shard_override(mut self, shard_override: ShardOverride) -> Self {
+        self.shard_overrides.push(shard_override);
+        self
+    }
+
+    /// Crashes the view-0 primary of `group` at `at` (sharded runs; the
+    /// other groups are untouched).
+    pub fn with_shard_crash(self, group: seemore_types::GroupId, at: Instant) -> Self {
+        self.with_shard_override(ShardOverride::for_group(group).crash_primary_at(at))
+    }
+
+    /// Announces a mode switch on `group` at `at` (sharded SeeMoRe runs; the
+    /// other groups are untouched).
+    pub fn with_shard_mode_switch(
+        self,
+        group: seemore_types::GroupId,
+        at: Instant,
+        mode: Mode,
+    ) -> Self {
+        self.with_shard_override(ShardOverride::for_group(group).mode_switch(at, mode))
+    }
+
+    /// Enables the stale-client-map knob (see [`Scenario::stale_client_map`]).
+    pub fn with_stale_client_map(mut self, enabled: bool) -> Self {
+        self.stale_client_map = enabled;
+        self
     }
 
     /// Enables or disables structured protocol tracing (disabled by
@@ -353,9 +411,14 @@ impl Scenario {
     /// The application instance every replica runs: the replicated KV store
     /// under a KV workload, the paper's no-op micro-benchmark app otherwise.
     fn make_app(&self) -> Box<dyn StateMachine> {
-        match self.workload() {
+        let mut workload = self.workload();
+        while let Workload::Sharded { inner, .. } = workload {
+            workload = *inner;
+        }
+        match workload {
             Workload::Kv { .. } => Box::new(KvStore::new()),
             Workload::Micro { .. } => Box::new(NoopApp::new(self.reply_size)),
+            Workload::Sharded { .. } => unreachable!("unwrapped above"),
         }
     }
 
@@ -416,7 +479,7 @@ impl Scenario {
         self
     }
 
-    fn protocol_config(&self) -> ProtocolConfig {
+    pub(crate) fn protocol_config(&self) -> ProtocolConfig {
         ProtocolConfig {
             checkpoint_period: self.checkpoint_period,
             high_water_mark: self.checkpoint_period.saturating_mul(4).max(64),
@@ -431,6 +494,9 @@ impl Scenario {
     /// Builds the cluster, runs it on the selected runtime and returns the
     /// report.
     pub fn run(&self) -> RunReport {
+        if self.shards > 1 {
+            return crate::shard::run_sharded(self);
+        }
         match self.runtime {
             RuntimeKind::Simulated => {
                 let (mut sim, primary, trace) = self.build_traced();
@@ -487,7 +553,7 @@ impl Scenario {
 
     /// Assembles the replica and client cores for this scenario,
     /// independently of the runtime that will drive them.
-    fn build_cores(&self) -> CoreSet {
+    pub(crate) fn build_cores(&self) -> CoreSet {
         let c = self.crash_faults;
         let m = self.byzantine_faults;
         let pconfig = self.protocol_config();
@@ -554,6 +620,7 @@ impl Scenario {
                         .expect("view-0 primary"),
                     mode_switch_announcer,
                     trace,
+                    keystore,
                 }
             }
             None => {
@@ -620,6 +687,7 @@ impl Scenario {
                     primary: config.primary(seemore_types::View(0)),
                     mode_switch_announcer: None,
                     trace,
+                    keystore,
                 }
             }
         }
@@ -628,7 +696,7 @@ impl Scenario {
     /// Runs the scenario on a concurrent runtime (threaded or sockets):
     /// closed-loop clients on their own OS threads against real replica
     /// threads, for `duration` of wall-clock time.
-    fn run_concurrent(&self, kind: RuntimeKind) -> RunReport {
+    pub(crate) fn run_concurrent(&self, kind: RuntimeKind) -> RunReport {
         let cores = self.build_cores();
         let client_ids: Vec<ClientId> = cores.clients.iter().map(|c| c.id()).collect();
         let primary = cores.primary;
@@ -776,13 +844,14 @@ impl Scenario {
 
 /// Replica and client cores plus the metadata runtimes need to place and
 /// drive them.
-struct CoreSet {
-    replicas: Vec<Box<dyn ReplicaProtocol>>,
-    clients: Vec<Box<dyn ClientProtocol>>,
-    placement: Placement,
-    primary: ReplicaId,
-    mode_switch_announcer: Option<ReplicaId>,
-    trace: TraceHandles,
+pub(crate) struct CoreSet {
+    pub(crate) replicas: Vec<Box<dyn ReplicaProtocol>>,
+    pub(crate) clients: Vec<Box<dyn ClientProtocol>>,
+    pub(crate) placement: Placement,
+    pub(crate) primary: ReplicaId,
+    pub(crate) mode_switch_announcer: Option<ReplicaId>,
+    pub(crate) trace: TraceHandles,
+    pub(crate) keystore: KeyStore,
 }
 
 /// Trace-ring capacity per replica: at roughly six events per committed
@@ -797,7 +866,7 @@ const CLIENT_TRACE_CAPACITY: usize = 1 << 14;
 /// disabled, in which case [`TraceHandles::attach`] is a no-op and the
 /// report's trace fields stay empty.
 #[derive(Default)]
-struct TraceHandles {
+pub(crate) struct TraceHandles {
     recorders: Vec<Arc<RingRecorder>>,
     replicas: Vec<ReplicaId>,
 }
@@ -827,7 +896,7 @@ impl TraceHandles {
     }
 
     /// Drains every ring into one trace and attaches it to the report.
-    fn attach(self, report: &mut RunReport, health_bucket: Duration) {
+    pub(crate) fn attach(self, report: &mut RunReport, health_bucket: Duration) {
         if self.recorders.is_empty() {
             return;
         }
@@ -841,41 +910,41 @@ impl TraceHandles {
 
 /// The two concurrent cluster runtimes behind one face, so the scenario
 /// runner is written once.
-enum AnyCluster {
+pub(crate) enum AnyCluster {
     Threaded(ThreadedCluster),
     Socket(SocketCluster),
 }
 
 impl AnyCluster {
-    fn crash(&self, replica: ReplicaId) {
+    pub(crate) fn crash(&self, replica: ReplicaId) {
         match self {
             AnyCluster::Threaded(c) => c.crash(replica),
             AnyCluster::Socket(c) => c.crash(replica),
         }
     }
 
-    fn request_mode_switch(&self, replica: ReplicaId, mode: Mode) {
+    pub(crate) fn request_mode_switch(&self, replica: ReplicaId, mode: Mode) {
         match self {
             AnyCluster::Threaded(c) => c.request_mode_switch(replica, mode),
             AnyCluster::Socket(c) => c.request_mode_switch(replica, mode),
         }
     }
 
-    fn epoch(&self) -> StdInstant {
+    pub(crate) fn epoch(&self) -> StdInstant {
         match self {
             AnyCluster::Threaded(c) => c.epoch(),
             AnyCluster::Socket(c) => c.epoch(),
         }
     }
 
-    fn run_client(
+    pub(crate) fn run_client<C: ClientProtocol>(
         &self,
-        client: Box<dyn ClientProtocol>,
+        client: C,
         requests: usize,
         timeout: Duration,
         abandon_at: StdInstant,
         make_op: impl FnMut(usize) -> (Vec<u8>, OpClass),
-    ) -> (Box<dyn ClientProtocol>, Vec<ClientOutcome>) {
+    ) -> (C, Vec<ClientOutcome>) {
         match self {
             AnyCluster::Threaded(c) => {
                 c.run_client_until(client, requests, timeout, Some(abandon_at), make_op)
@@ -886,14 +955,14 @@ impl AnyCluster {
         }
     }
 
-    fn traffic(&self) -> (u64, u64) {
+    pub(crate) fn traffic(&self) -> (u64, u64) {
         match self {
             AnyCluster::Threaded(c) => c.traffic(),
             AnyCluster::Socket(c) => c.traffic(),
         }
     }
 
-    fn shutdown(self) -> Vec<Box<dyn ReplicaProtocol>> {
+    pub(crate) fn shutdown(self) -> Vec<Box<dyn ReplicaProtocol>> {
         match self {
             AnyCluster::Threaded(c) => c.shutdown(),
             AnyCluster::Socket(c) => c.shutdown(),
@@ -904,6 +973,7 @@ impl AnyCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seemore_types::GroupId;
 
     #[test]
     fn protocol_kind_metadata() {
@@ -1220,5 +1290,99 @@ mod tests {
             assert_eq!(sim.replica(replica).mode(), Mode::Peacock);
         }
         assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn with_shards_one_is_the_identity() {
+        // A single-group "sharded" run never takes the sharded path at all:
+        // no guards, no router, the historical code runs bit for bit.
+        let run = |sharded: bool| {
+            let mut scenario = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+                .with_clients(4)
+                .with_duration(Duration::from_millis(120), Duration::from_millis(20))
+                .with_workload(crate::workload::Workload::kv(64, 32, 0.5));
+            if sharded {
+                scenario = scenario.with_shards(1);
+            }
+            scenario.run()
+        };
+        let plain = run(false);
+        let sharded = run(true);
+        assert_eq!(plain.completed, sharded.completed);
+        assert_eq!(plain.messages_delivered, sharded.messages_delivered);
+        assert_eq!(plain.bytes_delivered, sharded.bytes_delivered);
+        assert_eq!(plain.reads.completed, sharded.reads.completed);
+        assert!(sharded.shards.is_empty(), "one group has no sub-reports");
+    }
+
+    #[test]
+    fn simulated_sharded_runs_merge_per_group_reports() {
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(6)
+            .with_duration(Duration::from_millis(120), Duration::from_millis(20))
+            .with_workload(crate::workload::Workload::kv(256, 32, 0.5))
+            .with_shards(3)
+            .run();
+        assert_eq!(report.shards.len(), 3);
+        let mut total = 0;
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.group, GroupId(i as u32));
+            assert!(shard.report.completed > 0, "group {i} made no progress");
+            total += shard.report.completed;
+        }
+        assert_eq!(report.completed, total, "aggregate must be the exact sum");
+        assert_eq!(
+            report.completed,
+            report.reads.completed + report.writes.completed
+        );
+        // Three separate groups also generate more aggregate traffic than
+        // any single group.
+        assert!(report.messages_delivered > report.shards[0].report.messages_delivered);
+    }
+
+    #[test]
+    fn sharded_threaded_run_commits_on_every_group() {
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(4)
+            .with_duration(Duration::from_millis(250), Duration::from_millis(20))
+            .with_workload(crate::workload::Workload::kv(256, 32, 0.0))
+            .with_runtime(RuntimeKind::Threaded)
+            .with_shards(2)
+            .run();
+        assert_eq!(report.shards.len(), 2);
+        for shard in &report.shards {
+            assert!(
+                shard.report.completed > 0,
+                "group {} made no progress",
+                shard.group
+            );
+        }
+        let total: u64 = report.shards.iter().map(|s| s.report.completed).sum();
+        assert_eq!(report.completed, total);
+        assert!(report.messages_delivered > 0);
+    }
+
+    #[test]
+    fn stale_client_maps_are_corrected_by_signed_redirects() {
+        // Clients start on a version-1 map that routes *everything* to group
+        // 0; the authority map (version 2) hash-partitions across both
+        // groups. The only way group 1 can ever commit anything is a guard
+        // refusing a misrouted key with a signed redirect and the router
+        // adopting the newer map — so progress on group 1 proves the whole
+        // redirect loop end to end.
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(4)
+            .with_duration(Duration::from_millis(300), Duration::from_millis(20))
+            .with_workload(crate::workload::Workload::kv(256, 32, 0.0))
+            .with_runtime(RuntimeKind::Threaded)
+            .with_shards(2)
+            .with_stale_client_map(true)
+            .run();
+        assert_eq!(report.shards.len(), 2);
+        assert!(
+            report.shards[1].report.completed > 0,
+            "group 1 is unreachable without a followed redirect"
+        );
+        assert!(report.shards[0].report.completed > 0);
     }
 }

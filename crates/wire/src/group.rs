@@ -1,0 +1,194 @@
+//! Group tagging: folding N logical agreement groups onto one byte stream.
+//!
+//! A sharded deployment can run each group on its own physical mesh, but a
+//! router that fronts several groups over **one** connection needs to know
+//! which group every frame belongs to. This module defines that seam: an
+//! 8-byte little-endian group tag prepended to each codec frame — the same
+//! discipline the reactor hub uses to multiplex many clients over one shared
+//! connection (there the prefix carries the client id; here it carries the
+//! [`GroupId`]) — plus [`GroupDemux`], a streaming reader that splits a
+//! tagged byte stream back into per-group messages across arbitrary TCP
+//! segmentation.
+//!
+//! The tag deliberately lives *outside* the frame: the 16-byte codec header
+//! and every `wire_size()` contract are untouched, single-group deployments
+//! pay zero bytes, and the demultiplexer can route on the tag without
+//! decoding the frame body.
+
+use crate::codec::{decode, frame_len, DecodeError, StreamBuf};
+use crate::message::Message;
+use seemore_types::GroupId;
+
+/// Bytes of the group tag prepended to each frame (u64, little-endian —
+/// mirroring the reactor hub's client-tag preamble).
+pub const GROUP_TAG_LEN: usize = 8;
+
+/// Appends `group`'s tag followed by the already-encoded `frame` to `out`.
+pub fn write_tagged(out: &mut Vec<u8>, group: GroupId, frame: &[u8]) {
+    out.extend_from_slice(&u64::from(group.0).to_le_bytes());
+    out.extend_from_slice(frame);
+}
+
+/// Splits a buffer that starts with a group tag into the tag and the rest.
+/// Returns `None` if fewer than [`GROUP_TAG_LEN`] bytes are available or the
+/// tag does not fit a `u32` group index.
+pub fn peel_tag(bytes: &[u8]) -> Option<(GroupId, &[u8])> {
+    if bytes.len() < GROUP_TAG_LEN {
+        return None;
+    }
+    let raw = u64::from_le_bytes(bytes[..GROUP_TAG_LEN].try_into().expect("8 bytes"));
+    let group = u32::try_from(raw).ok()?;
+    Some((GroupId(group), &bytes[GROUP_TAG_LEN..]))
+}
+
+/// Reassembles group-tagged codec frames from a byte stream delivered in
+/// arbitrary chunks, yielding `(group, message)` pairs in stream order.
+///
+/// Same contract as [`crate::codec::FrameReader`]: headers are validated as
+/// soon as they are buffered, so a poisoned stream fails fast; after an
+/// error framing is lost and the caller should drop the connection.
+#[derive(Debug, Default)]
+pub struct GroupDemux {
+    buf: StreamBuf,
+}
+
+impl GroupDemux {
+    /// An empty demultiplexer.
+    pub fn new() -> GroupDemux {
+        GroupDemux::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.push(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.buffered()
+    }
+
+    /// Returns the next complete `(group, message)` pair, `Ok(None)` if more
+    /// bytes are needed, or the decode error that poisoned the stream.
+    pub fn next_tagged(&mut self) -> Result<Option<(GroupId, Message)>, DecodeError> {
+        let available = self.buf.bytes();
+        if available.len() < GROUP_TAG_LEN {
+            return Ok(None);
+        }
+        let raw = u64::from_le_bytes(available[..GROUP_TAG_LEN].try_into().expect("8 bytes"));
+        let group = u32::try_from(raw)
+            .map(GroupId)
+            .map_err(|_| DecodeError::Malformed("group tag overflows u32"))?;
+        let frame = &available[GROUP_TAG_LEN..];
+        let frame_len = match frame_len(frame)? {
+            Some(len) => len,
+            None => return Ok(None),
+        };
+        if frame.len() < frame_len {
+            return Ok(None);
+        }
+        let message = decode(&frame[..frame_len])?;
+        self.buf.consume(GROUP_TAG_LEN + frame_len);
+        Ok(Some((group, message)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode;
+    use crate::control::StateRequest;
+    use seemore_types::{ReplicaId, SeqNum};
+
+    fn sample(seq: u64) -> Message {
+        Message::StateRequest(StateRequest {
+            from_seq: SeqNum(seq),
+            replica: ReplicaId(0),
+        })
+    }
+
+    #[test]
+    fn tag_round_trips_through_peel() {
+        let mut out = Vec::new();
+        let frame = encode(&sample(7));
+        write_tagged(&mut out, GroupId(5), &frame);
+        assert_eq!(out.len(), GROUP_TAG_LEN + frame.len());
+        let (group, rest) = peel_tag(&out).unwrap();
+        assert_eq!(group, GroupId(5));
+        assert_eq!(rest, &frame[..]);
+        assert!(peel_tag(&out[..4]).is_none());
+    }
+
+    #[test]
+    fn demux_splits_an_interleaved_stream_by_group() {
+        let mut stream = Vec::new();
+        let sequence = [(0u32, 1u64), (2, 2), (1, 3), (2, 4), (0, 5)];
+        for (group, seq) in sequence {
+            write_tagged(&mut stream, GroupId(group), &encode(&sample(seq)));
+        }
+
+        let mut demux = GroupDemux::new();
+        demux.push(&stream);
+        let mut got = Vec::new();
+        while let Some((group, message)) = demux.next_tagged().unwrap() {
+            let Message::StateRequest(m) = message else {
+                panic!("unexpected message");
+            };
+            got.push((group.0, m.from_seq.0));
+        }
+        assert_eq!(got, sequence.to_vec());
+        assert_eq!(demux.buffered(), 0);
+    }
+
+    #[test]
+    fn demux_survives_arbitrary_segmentation() {
+        let mut stream = Vec::new();
+        for seq in 0..64u64 {
+            write_tagged(
+                &mut stream,
+                GroupId((seq % 7) as u32),
+                &encode(&sample(seq)),
+            );
+        }
+        // Feed one byte at a time — the worst segmentation TCP can produce.
+        let mut demux = GroupDemux::new();
+        let mut got = 0u64;
+        for &byte in &stream {
+            demux.push(&[byte]);
+            while let Some((group, message)) = demux.next_tagged().unwrap() {
+                let Message::StateRequest(m) = message else {
+                    panic!("unexpected message");
+                };
+                assert_eq!(u64::from(group.0), m.from_seq.0 % 7);
+                assert_eq!(m.from_seq.0, got);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 64);
+        assert_eq!(demux.buffered(), 0);
+    }
+
+    #[test]
+    fn an_oversized_group_tag_is_a_typed_error() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u64::MAX.to_le_bytes());
+        stream.extend_from_slice(&encode(&sample(1)));
+        let mut demux = GroupDemux::new();
+        demux.push(&stream);
+        assert!(matches!(
+            demux.next_tagged(),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn a_corrupt_frame_behind_a_valid_tag_poisons_the_stream() {
+        let mut stream = Vec::new();
+        let mut frame = encode(&sample(1));
+        frame[0] ^= 0xFF; // break the magic
+        write_tagged(&mut stream, GroupId(0), &frame);
+        let mut demux = GroupDemux::new();
+        demux.push(&stream);
+        assert!(matches!(demux.next_tagged(), Err(DecodeError::BadMagic(_))));
+    }
+}

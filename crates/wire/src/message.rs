@@ -4,6 +4,7 @@
 use crate::agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 use crate::client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
 use crate::control::{Checkpoint, ModeChange, NewView, StateRequest, StateResponse, ViewChange};
+use crate::redirect::Redirect;
 use crate::size::WireSize;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -44,6 +45,8 @@ pub enum Message {
     StateRequest(StateRequest),
     /// Response carrying missing state (state transfer).
     StateResponse(StateResponse),
+    /// Signed shard-routing redirect for a misrouted client request.
+    Redirect(Redirect),
 }
 
 /// Discriminant-only view of [`Message`], used as a metrics key.
@@ -81,11 +84,13 @@ pub enum MessageKind {
     StateRequest,
     /// See [`Message::StateResponse`].
     StateResponse,
+    /// See [`Message::Redirect`].
+    Redirect,
 }
 
 impl MessageKind {
     /// All message kinds, in declaration order.
-    pub const ALL: [MessageKind; 16] = [
+    pub const ALL: [MessageKind; 17] = [
         MessageKind::Request,
         MessageKind::Reply,
         MessageKind::ReadRequest,
@@ -102,6 +107,7 @@ impl MessageKind {
         MessageKind::ModeChange,
         MessageKind::StateRequest,
         MessageKind::StateResponse,
+        MessageKind::Redirect,
     ];
 
     /// Whether messages of this kind belong to the agreement data path
@@ -138,6 +144,7 @@ impl fmt::Display for MessageKind {
             MessageKind::ModeChange => "MODE-CHANGE",
             MessageKind::StateRequest => "STATE-REQUEST",
             MessageKind::StateResponse => "STATE-RESPONSE",
+            MessageKind::Redirect => "REDIRECT",
         };
         f.write_str(name)
     }
@@ -163,6 +170,7 @@ impl Message {
             Message::ModeChange(_) => MessageKind::ModeChange,
             Message::StateRequest(_) => MessageKind::StateRequest,
             Message::StateResponse(_) => MessageKind::StateResponse,
+            Message::Redirect(_) => MessageKind::Redirect,
         }
     }
 }
@@ -186,6 +194,7 @@ impl WireSize for Message {
             Message::ModeChange(m) => m.wire_size(),
             Message::StateRequest(m) => m.wire_size(),
             Message::StateResponse(m) => m.wire_size(),
+            Message::Redirect(m) => m.wire_size(),
         }
     }
 }
@@ -216,6 +225,7 @@ impl_from!(NewView, NewView);
 impl_from!(ModeChange, ModeChange);
 impl_from!(StateRequest, StateRequest);
 impl_from!(StateResponse, StateResponse);
+impl_from!(Redirect, Redirect);
 
 #[cfg(test)]
 mod tests {
@@ -273,7 +283,8 @@ mod tests {
         assert!(!MessageKind::ReadReply.is_agreement());
         assert!(!MessageKind::ViewChange.is_agreement());
         assert!(!MessageKind::Checkpoint.is_agreement());
-        assert_eq!(MessageKind::ALL.len(), 16);
+        assert!(!MessageKind::Redirect.is_agreement());
+        assert_eq!(MessageKind::ALL.len(), 17);
     }
 
     #[test]
@@ -283,6 +294,7 @@ mod tests {
         assert_eq!(MessageKind::ReadReply.to_string(), "READ-REPLY");
         assert_eq!(MessageKind::ViewChange.to_string(), "VIEW-CHANGE");
         assert_eq!(MessageKind::ModeChange.to_string(), "MODE-CHANGE");
+        assert_eq!(MessageKind::Redirect.to_string(), "REDIRECT");
     }
 
     #[test]

@@ -14,16 +14,19 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use seemore::crypto::{Digest, KeyStore, Signature};
-use seemore::types::{ClientId, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View};
+use seemore::types::{
+    ClientId, GroupId, Mode, NodeId, Partitioning, ReplicaId, RequestId, SeqNum, ShardMap,
+    Timestamp, View,
+};
 use seemore::wire::codec::{decode, encode, DecodeError, FrameReader, MAX_FRAME};
 use seemore::wire::{
     Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Inform, Message,
     ModeChange, NewView, PbftPrepare, PrePrepare, Prepare, PrepareCert, ReadReply, ReadRequest,
-    StateRequest, StateResponse, ViewChange, WireSize,
+    Redirect, StateRequest, StateResponse, ViewChange, WireSize,
 };
 
 /// Number of distinct message kinds the generator can produce.
-const KINDS: usize = 16;
+const KINDS: usize = 17;
 
 fn keystore() -> KeyStore {
     KeyStore::generate(0xC0DEC, 8, 4)
@@ -244,7 +247,7 @@ fn arbitrary_message(seed: u64, index: usize) -> Message {
                 signature: signature(rng),
             })
         }
-        _ => {
+        15 => {
             let snapshot_len = rng.gen_range(0usize..256);
             Message::StateResponse(StateResponse {
                 checkpoint: rng.gen_bool(0.5).then(|| checkpoint(rng)),
@@ -257,6 +260,37 @@ fn arbitrary_message(seed: u64, index: usize) -> Message {
                     .map(|_| (SeqNum(rng.gen_range(0u64..10_000)), batch(rng, &ks)))
                     .collect(),
                 replica: ReplicaId(rng.gen_range(0u64..8) as u32),
+            })
+        }
+        _ => {
+            let partitioning = if rng.gen_bool(0.5) {
+                Partitioning::Hash {
+                    groups: rng.gen_range(1u64..64) as u32,
+                }
+            } else {
+                Partitioning::Range {
+                    bounds: (0..rng.gen_range(0usize..4))
+                        .map(|_| {
+                            (0..rng.gen_range(0usize..24))
+                                .map(|_| rng.gen_range(0u64..256) as u8)
+                                .collect()
+                        })
+                        .collect(),
+                }
+            };
+            Message::Redirect(Redirect {
+                request: RequestId::new(
+                    ClientId(rng.gen_range(0u64..4)),
+                    Timestamp(rng.gen_range(0u64..1_000)),
+                ),
+                replica: ReplicaId(rng.gen_range(0u64..8) as u32),
+                group: GroupId(rng.gen_range(0u64..8) as u32),
+                target: GroupId(rng.gen_range(0u64..8) as u32),
+                map: ShardMap {
+                    version: rng.gen_range(1u64..1_000),
+                    partitioning,
+                },
+                signature: signature(rng),
             })
         }
     }

@@ -21,10 +21,14 @@ use seemore::core::config::ProtocolConfig;
 use seemore::core::exec::ExecutedEntry;
 use seemore::core::protocol::ReplicaProtocol;
 use seemore::core::replica::SeeMoReReplica;
+use seemore::core::{route_operation, RoutedClient, ShardGuard, ShardRouter};
 use seemore::crypto::{Digest, KeyStore};
 use seemore::runtime::{SocketCluster, SocketOptions, SocketTransport, ThreadedCluster};
 use seemore::types::OpClass;
-use seemore::types::{ClientId, ClusterConfig, Duration, Mode, ReplicaId, SeqNum, View};
+use seemore::types::{
+    ClientId, ClusterConfig, Duration, GroupId, Mode, NodeId, Partitioning, ReplicaId, SeqNum,
+    ShardMap, View,
+};
 use std::collections::BTreeMap;
 
 /// The five protocol deployments the acceptance criteria name.
@@ -440,6 +444,302 @@ fn concurrent_clients_over_sockets_stay_safe_under_a_crash() {
             (CLIENTS as usize) * PER_CLIENT,
             "{}: canonical history incomplete",
             case.name()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded multi-group deployments over real sockets.
+// ---------------------------------------------------------------------------
+
+/// One live socket-backed SeeMoRe group of a sharded deployment: its
+/// cluster, key material, view-0 primary, and one client core per physical
+/// client (every client is registered with every group).
+struct SocketShard {
+    cluster: SocketCluster,
+    keystore: KeyStore,
+    primary: ReplicaId,
+    clients: Vec<Option<Box<dyn ClientProtocol>>>,
+}
+
+/// Spawns `groups` independent Lion groups over loopback TCP, each replica
+/// wrapped in a [`ShardGuard`] enforcing `map`.
+fn deploy_sharded(groups: u32, map: &ShardMap, client_count: u64) -> Vec<SocketShard> {
+    (0..groups)
+        .map(|g| {
+            let group = GroupId(g);
+            let seed = 0x50C4E7 ^ (u64::from(g) + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            let cluster_config = ClusterConfig::minimal(1, 1).expect("valid cluster");
+            let keystore = KeyStore::generate(seed, cluster_config.total_size(), client_count);
+            let replicas: Vec<Box<dyn ReplicaProtocol>> = cluster_config
+                .replicas()
+                .map(|r| {
+                    let inner = Box::new(SeeMoReReplica::new(
+                        r,
+                        cluster_config,
+                        pconfig(),
+                        keystore.clone(),
+                        Mode::Lion,
+                        Box::new(NoopApp::new(8)),
+                    )) as Box<dyn ReplicaProtocol>;
+                    let signer = keystore
+                        .signer_for(NodeId::Replica(r))
+                        .expect("replica signer");
+                    Box::new(ShardGuard::new(inner, group, map.clone(), signer))
+                        as Box<dyn ReplicaProtocol>
+                })
+                .collect();
+            let clients: Vec<Option<Box<dyn ClientProtocol>>> = (0..client_count)
+                .map(|c| {
+                    Some(Box::new(ClientCore::new(
+                        ClientId(c),
+                        cluster_config,
+                        keystore.clone(),
+                        Mode::Lion,
+                        Duration::from_millis(500),
+                    )) as Box<dyn ClientProtocol>)
+                })
+                .collect();
+            let client_ids: Vec<ClientId> = (0..client_count).map(ClientId).collect();
+            let cluster =
+                SocketCluster::spawn_with(replicas, &client_ids, Flavor::Socket.options())
+                    .expect("bind loopback");
+            SocketShard {
+                cluster,
+                keystore,
+                primary: cluster_config
+                    .primary(Mode::Lion, View(0))
+                    .expect("primary"),
+                clients,
+            }
+        })
+        .collect()
+}
+
+/// Routes one operation to completion through a sharded deployment: submit
+/// to the group the router's cached map names, follow at most two verified
+/// redirects. Returns the group that executed the operation.
+fn route_to_completion(
+    shards: &mut [SocketShard],
+    router: &mut ShardRouter,
+    client: usize,
+    op: &[u8],
+) -> GroupId {
+    for _ in 0..3 {
+        let g = router.route(op);
+        let core = shards[g.as_usize()].clients[client]
+            .take()
+            .expect("client core in place");
+        let attempt = RoutedClient::new(core, g, router);
+        let (attempt, outcomes) =
+            shards[g.as_usize()]
+                .cluster
+                .run_client(attempt, 1, Duration::from_secs(10), |_| {
+                    (op.to_vec(), OpClass::Write)
+                });
+        let redirected = attempt.redirected();
+        shards[g.as_usize()].clients[client] = Some(attempt.into_inner());
+        if !redirected {
+            assert_eq!(outcomes.len(), 1, "request must complete once routed");
+            return g;
+        }
+        assert!(
+            outcomes.is_empty(),
+            "a redirected attempt completes nothing"
+        );
+    }
+    panic!("operation failed to settle within the redirect hop budget");
+}
+
+/// Shuts a sharded deployment down and returns each group's live-replica
+/// histories.
+fn shard_histories(
+    shards: Vec<SocketShard>,
+    crashed: &[(GroupId, ReplicaId)],
+) -> Vec<Vec<(ReplicaId, Vec<ExecutedEntry>)>> {
+    shards
+        .into_iter()
+        .enumerate()
+        .map(|(g, shard)| {
+            shard
+                .cluster
+                .shutdown()
+                .into_iter()
+                .filter(|core| !crashed.contains(&(GroupId(g as u32), core.id())))
+                .map(|core| (core.id(), core.executed().to_vec()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Two Lion groups over real sockets, clients routing with the
+/// authoritative map: every group reaches internal per-slot agreement, and
+/// every operation executes in exactly the group that owns its key.
+#[test]
+fn two_shard_groups_agree_per_slot_and_partition_the_keyspace() {
+    const CLIENTS: u64 = 2;
+    const ROUNDS: usize = 6;
+    let map = ShardMap::uniform(2);
+    let mut shards = deploy_sharded(2, &map, CLIENTS);
+    let keystores: Vec<KeyStore> = shards.iter().map(|s| s.keystore.clone()).collect();
+    let mut routers: Vec<ShardRouter> = (0..CLIENTS)
+        .map(|_| ShardRouter::new(map.clone(), keystores.clone()))
+        .collect();
+
+    let mut owned = [0usize; 2];
+    for round in 0..ROUNDS {
+        for (client, router) in routers.iter_mut().enumerate() {
+            let op = format!("shard-op-{client}-{round}").into_bytes();
+            let executed_in = route_to_completion(&mut shards, router, client, &op);
+            assert_eq!(
+                executed_in,
+                route_operation(&map, &op),
+                "operations must land in the owner group"
+            );
+            owned[executed_in.as_usize()] += 1;
+        }
+        // A correct map never triggers a redirect.
+        for router in &routers {
+            assert_eq!(router.redirects_followed(), 0);
+        }
+    }
+    assert!(
+        owned[0] > 0 && owned[1] > 0,
+        "workload must hit both groups"
+    );
+
+    let histories = shard_histories(shards, &[]);
+    for (g, group_histories) in histories.iter().enumerate() {
+        assert_internal_agreement(Case::Lion, group_histories);
+        assert_eq!(
+            canonical(group_histories).len(),
+            owned[g],
+            "group {g} must execute exactly its owned operations"
+        );
+    }
+}
+
+/// Clients seeded with a stale version-1 map that routes everything to
+/// group 0, against an authority running a newer hash partition: the first
+/// misrouted key comes back as a signed redirect, the router adopts the
+/// newer map, and every operation still executes exactly once, in its owner
+/// group — the wrong group refuses *before* consensus, so nothing is ever
+/// executed twice.
+#[test]
+fn stale_maps_redirect_to_exactly_once_execution() {
+    const CLIENTS: u64 = 2;
+    const ROUNDS: usize = 6;
+    let authority = ShardMap {
+        version: 2,
+        partitioning: Partitioning::Hash { groups: 2 },
+    };
+    let stale = ShardMap::uniform(1);
+    assert!(stale.is_older_than(&authority));
+
+    let mut shards = deploy_sharded(2, &authority, CLIENTS);
+    let keystores: Vec<KeyStore> = shards.iter().map(|s| s.keystore.clone()).collect();
+    let mut routers: Vec<ShardRouter> = (0..CLIENTS)
+        .map(|_| ShardRouter::new(stale.clone(), keystores.clone()))
+        .collect();
+
+    let mut owned = [0usize; 2];
+    let mut submitted = 0usize;
+    for round in 0..ROUNDS {
+        for (client, router) in routers.iter_mut().enumerate() {
+            let op = format!("stale-op-{client}-{round}").into_bytes();
+            let executed_in = route_to_completion(&mut shards, router, client, &op);
+            assert_eq!(executed_in, route_operation(&authority, &op));
+            owned[executed_in.as_usize()] += 1;
+            submitted += 1;
+        }
+    }
+    // At least one client started on a key group 0 does not own, followed
+    // the redirect, and adopted the authority map.
+    let followed: u64 = routers.iter().map(|r| r.redirects_followed()).sum();
+    let adopted: u64 = routers.iter().map(|r| r.maps_adopted()).sum();
+    assert!(
+        followed > 0,
+        "the stale map must cause at least one redirect"
+    );
+    assert!(
+        adopted > 0,
+        "a followed redirect must deliver the newer map"
+    );
+    for router in &routers {
+        assert_eq!(router.redirects_rejected(), 0);
+        assert_eq!(router.map().version, authority.version);
+    }
+    assert!(owned[1] > 0, "group 1 is only reachable through a redirect");
+
+    // Exactly-once: across BOTH groups every request digest appears once,
+    // and each group executed precisely the operations it owns.
+    let histories = shard_histories(shards, &[]);
+    let mut all_digests: Vec<Digest> = Vec::new();
+    for (g, group_histories) in histories.iter().enumerate() {
+        assert_internal_agreement(Case::Lion, group_histories);
+        let canon = canonical(group_histories);
+        assert_eq!(canon.len(), owned[g], "group {g} over- or under-executed");
+        all_digests.extend(canon.iter().map(|e| e.digest));
+    }
+    let total = all_digests.len();
+    all_digests.sort();
+    all_digests.dedup();
+    assert_eq!(all_digests.len(), total, "cross-group duplicate execution");
+    assert_eq!(total, submitted, "every submitted operation executed once");
+}
+
+/// Fault isolation: crashing shard A's primary (forcing a view change in
+/// that group) must leave shard B's execution history bit-identical to a
+/// run without the crash — groups share no protocol state, so a view change
+/// is a strictly group-local event.
+#[test]
+fn a_view_change_in_one_shard_leaves_the_other_bit_identical() {
+    const CLIENTS: u64 = 2;
+    const ROUNDS: usize = 6;
+
+    let run = |crash_group_zero: bool| -> Vec<Vec<(ReplicaId, Vec<ExecutedEntry>)>> {
+        let map = ShardMap::uniform(2);
+        let mut shards = deploy_sharded(2, &map, CLIENTS);
+        let keystores: Vec<KeyStore> = shards.iter().map(|s| s.keystore.clone()).collect();
+        let mut routers: Vec<ShardRouter> = (0..CLIENTS)
+            .map(|_| ShardRouter::new(map.clone(), keystores.clone()))
+            .collect();
+        let mut crashed = Vec::new();
+        for round in 0..ROUNDS {
+            if crash_group_zero && round == ROUNDS / 3 {
+                let primary = shards[0].primary;
+                shards[0].cluster.crash(primary);
+                crashed.push((GroupId(0), primary));
+            }
+            for (client, router) in routers.iter_mut().enumerate() {
+                let op = format!("iso-op-{client}-{round}").into_bytes();
+                route_to_completion(&mut shards, router, client, &op);
+            }
+        }
+        shard_histories(shards, &crashed)
+    };
+
+    let crashed = run(true);
+    let control = run(false);
+
+    // Shard A survived its primary crash (the view change completed and the
+    // remaining operations executed) ...
+    assert_internal_agreement(Case::Lion, &crashed[0]);
+    assert_eq!(
+        canonical(&crashed[0]).len(),
+        canonical(&control[0]).len(),
+        "shard A must finish its workload despite the view change"
+    );
+    // ... and shard B never noticed: its canonical history is identical in
+    // sequence numbers, batch offsets, request ids and digests.
+    let b_crashed = canonical(&crashed[1]);
+    let b_control = canonical(&control[1]);
+    assert_eq!(b_crashed.len(), b_control.len());
+    for (a, b) in b_crashed.iter().zip(b_control.iter()) {
+        assert_eq!(
+            (a.seq, a.offset, a.request, a.digest),
+            (b.seq, b.offset, b.request, b.digest),
+            "shard B's history must be bit-identical across the crash"
         );
     }
 }
