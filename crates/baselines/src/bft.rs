@@ -29,14 +29,15 @@ use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::reads::ParkedReads;
 use seemore_crypto::VerifyCache;
 use seemore_crypto::{Digest, KeyStore, Signature, Signer};
+use seemore_store::{Durability, DurableCheckpoint, NullStore, WalRecord};
 use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{
     ClientId, Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View,
 };
 use seemore_wire::{
-    Batch, Checkpoint, ClientReply, ClientRequest, Commit, Message, NewView, PbftPrepare,
-    PrePrepare, PrepareCert, ReadReply, ReadRequest, SignedPayload, SigningScratch, ViewChange,
-    WireSize,
+    Batch, Checkpoint, ClientReply, ClientRequest, Commit, Message, MessageKind, NewView,
+    PbftPrepare, PrePrepare, PrepareCert, ReadReply, ReadRequest, Recovery, SignedPayload,
+    SigningScratch, StateRequest, StateResponse, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -86,6 +87,24 @@ pub struct BftReplica {
     verify_memo: Option<VerifyCache>,
     metrics: ReplicaMetrics,
     crashed: bool,
+    /// Durable vote/checkpoint store ([`NullStore`] unless the deployment
+    /// opts into persistence).
+    store: Arc<dyn Durability>,
+    /// True between a durable restart and the rejoin quorum's completion.
+    recovering: bool,
+    /// WAL records replayed at the last restart (telemetry detail).
+    wal_replayed: u64,
+    /// Protocol traffic parked while rejoining, re-delivered afterwards.
+    recovery_buffer: std::collections::VecDeque<(NodeId, Message)>,
+    /// `STATE-RESPONSE`s collected while rejoining; the snapshot is adopted
+    /// only once `f + 1` distinct replicas vouch for the same checkpoint
+    /// digest, so at least one honest replica stands behind it.
+    recovery_responses: Vec<(ReplicaId, StateResponse)>,
+    /// True while a checkpoint-triggered catch-up (outside recovery) awaits
+    /// its `f + 1` matching `STATE-RESPONSE`s.
+    catching_up: bool,
+    /// Highest checkpoint written to the durable store (skip re-persisting).
+    persisted_checkpoint: SeqNum,
     /// Structured-event sink (a no-op [`NullRecorder`] unless the runtime
     /// attaches a real one).
     recorder: Arc<dyn Recorder>,
@@ -140,8 +159,115 @@ impl BftReplica {
             verify_memo: pconfig.verify_memo.then(VerifyCache::default),
             metrics: ReplicaMetrics::default(),
             crashed: false,
+            store: Arc::new(NullStore),
+            recovering: false,
+            wal_replayed: 0,
+            recovery_buffer: std::collections::VecDeque::new(),
+            recovery_responses: Vec::new(),
+            catching_up: false,
+            persisted_checkpoint: SeqNum(0),
             recorder: Arc::new(NullRecorder),
             trace_at: Instant::ZERO,
+        }
+    }
+
+    /// Attaches a durability store (see the SeeMoRe core's `set_store`).
+    pub fn set_store(&mut self, store: Arc<dyn Durability>) {
+        self.store = store;
+    }
+
+    /// Rebuilds a PBFT replica from the durable state in `store` and leaves
+    /// it recovering: `on_start` broadcasts a signed `RECOVERY` announcement
+    /// and the rejoin completes once `f + 1` replicas agree on the committed
+    /// suffix this replica missed.
+    pub fn recover(
+        id: ReplicaId,
+        config: BaselineConfig,
+        pconfig: ProtocolConfig,
+        keystore: KeyStore,
+        app: Box<dyn StateMachine>,
+        store: Arc<dyn Durability>,
+    ) -> Self {
+        let mut replica = Self::new(id, config, pconfig, keystore, app);
+        let state = store.recover().unwrap_or_default();
+        replica.store = store;
+        if let Some(cp) = &state.checkpoint {
+            replica.exec.restore(&cp.snapshot);
+            replica
+                .checkpoints
+                .make_stable(cp.seq, cp.state_digest, cp.proof.clone());
+            replica.log.garbage_collect(cp.seq);
+            replica.persisted_checkpoint = cp.seq;
+        }
+        replica.wal_replayed = state.wal.len() as u64;
+        for record in state.wal {
+            replica.replay_record(record);
+        }
+        replica.recovering = true;
+        replica
+    }
+
+    /// Replays one WAL record. Replay only re-arms local vote state — the
+    /// `prepared`/`committed` flags and recorded votes keep the replica from
+    /// ever contradicting a persisted vote (no-un-vote), and the vote paths'
+    /// existing idempotency guards make double-replay harmless.
+    fn replay_record(&mut self, record: WalRecord) {
+        let low_mark = self.log.low_mark();
+        let my_id = self.id;
+        match record {
+            WalRecord::ViewEntered { view, .. } => {
+                if view >= self.view {
+                    self.view = view;
+                }
+            }
+            WalRecord::Vote(Message::PrePrepare(p)) if p.seq > low_mark => {
+                self.next_seq = self.next_seq.max(p.seq);
+                let digest = p.digest;
+                let instance = self.log.instance_mut(p.seq);
+                if instance.proposal.is_none() {
+                    instance.proposal = Some(Proposal {
+                        view: p.view,
+                        digest,
+                        batch: p.batch,
+                        primary_signature: p.signature,
+                    });
+                }
+                instance.record_pbft_prepare(my_id, digest);
+            }
+            WalRecord::Vote(Message::PbftPrepare(v)) if v.seq > low_mark => {
+                self.log
+                    .instance_mut(v.seq)
+                    .record_pbft_prepare(v.replica, v.digest);
+            }
+            WalRecord::Vote(Message::Commit(c)) if c.seq > low_mark => {
+                let instance = self.log.instance_mut(c.seq);
+                instance.prepared = true;
+                instance.record_commit(c.replica, c.digest);
+                self.highest_prepared = self.highest_prepared.max(c.seq);
+            }
+            WalRecord::Vote(Message::Checkpoint(cp)) => {
+                if self.checkpoints.record(cp, false) {
+                    self.log.garbage_collect(self.checkpoints.stable_seq());
+                }
+            }
+            WalRecord::Vote(_) => {}
+        }
+    }
+
+    /// Appends safety-critical outgoing messages to the WAL before they are
+    /// queued (no-un-vote).
+    #[inline]
+    fn persist_outgoing(&self, message: &Message) {
+        if self.store.enabled()
+            && matches!(
+                message.kind(),
+                MessageKind::PrePrepare
+                    | MessageKind::PbftPrepare
+                    | MessageKind::Commit
+                    | MessageKind::Checkpoint
+            )
+        {
+            self.store.append(&WalRecord::Vote(message.clone()));
         }
     }
 
@@ -183,12 +309,14 @@ impl BftReplica {
     }
 
     fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
+        self.persist_outgoing(&message);
         self.metrics
             .record_sent(message.kind(), message.wire_size());
         actions.push(Action::Send { to, message });
     }
 
     fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
+        self.persist_outgoing(&message);
         let recipients: Vec<NodeId> = self
             .config
             .replicas()
@@ -318,9 +446,30 @@ impl BftReplica {
         checkpoint.signature = self.sign_payload(&checkpoint);
         if self.checkpoints.record(checkpoint.clone(), false) {
             self.metrics.stable_checkpoints += 1;
-            self.log.garbage_collect(self.checkpoints.stable_seq());
+            self.after_stable_checkpoint();
         }
         self.broadcast(actions, Message::Checkpoint(checkpoint));
+    }
+
+    /// Truncates in-memory state below the stable checkpoint and, when
+    /// durability is on, snapshots the checkpoint and compacts the WAL.
+    fn after_stable_checkpoint(&mut self) {
+        let stable = self.checkpoints.stable_seq();
+        self.log.garbage_collect(stable);
+        self.progress_armed.retain(|seq, _| *seq > stable);
+        self.assigned.retain(|_, seq| *seq > stable);
+        if self.store.enabled() && stable > self.persisted_checkpoint {
+            let checkpoint = DurableCheckpoint {
+                seq: stable,
+                state_digest: self.checkpoints.stable_digest(),
+                snapshot: self.exec.snapshot(),
+                proof: self.checkpoints.stable_proof().to_vec(),
+            };
+            self.store.persist_checkpoint(&checkpoint);
+            self.store.compact_below(stable);
+            self.persisted_checkpoint = stable;
+            self.trace(EventKind::CheckpointPersisted, Some(stable), None, 0);
+        }
     }
 
     // --------------------------------------------------------------
@@ -694,19 +843,229 @@ impl BftReplica {
     }
 
     fn on_checkpoint(&mut self, from: NodeId, checkpoint: Checkpoint) -> Vec<Action> {
+        let mut actions = Vec::new();
         let Some(sender) = from.as_replica() else {
-            return Vec::new();
+            return actions;
         };
         if sender != checkpoint.replica || !self.verify(sender, &checkpoint, &checkpoint.signature)
         {
             self.metrics.rejected_messages += 1;
-            return Vec::new();
+            return actions;
         }
+        let seq = checkpoint.seq;
         if self.checkpoints.record(checkpoint, false) {
             self.metrics.stable_checkpoints += 1;
-            self.log.garbage_collect(self.checkpoints.stable_seq());
+            self.after_stable_checkpoint();
+            // Fallen behind the stable checkpoint (e.g. an instance proposed
+            // while this replica was down can never be re-learned from the
+            // vote traffic): ask the whole group for state and adopt the
+            // snapshot once `f + 1` responses agree, exactly as a rejoin
+            // does. Without this a permanently missed slot stalls in-order
+            // execution forever.
+            if self.exec.last_executed() < seq && !self.catching_up {
+                self.catching_up = true;
+                self.recovery_responses.clear();
+                let request = StateRequest {
+                    from_seq: self.exec.last_executed(),
+                    replica: self.id,
+                };
+                self.broadcast(&mut actions, Message::StateRequest(request));
+            }
         }
-        Vec::new()
+        actions
+    }
+
+    // --------------------------------------------------------------
+    // Crash recovery
+    // --------------------------------------------------------------
+
+    /// Broadcasts the signed restart announcement and arms the re-announce
+    /// timer.
+    fn announce_recovery(&mut self, actions: &mut Vec<Action>) {
+        let mut recovery = Recovery {
+            last_executed: self.exec.last_executed(),
+            view: self.view,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        recovery.signature = self.sign_payload(&recovery);
+        self.broadcast(actions, Message::Recovery(recovery));
+        actions.push(Action::SetTimer {
+            timer: Timer::Recovery,
+            after: self.pconfig.request_timeout,
+        });
+    }
+
+    /// Answers a verified restart announcement with this replica's
+    /// committed suffix above the announcer's durable state.
+    fn on_recovery(&mut self, from: NodeId, recovery: Recovery) -> Vec<Action> {
+        if from.as_replica() != Some(recovery.replica)
+            || !self.verify(recovery.replica, &recovery, &recovery.signature)
+        {
+            self.metrics.rejected_messages += 1;
+            return Vec::new();
+        }
+        self.serve_state(recovery.last_executed, recovery.replica)
+    }
+
+    /// Builds and sends a `STATE-RESPONSE` covering everything committed
+    /// above `from_seq`.
+    fn serve_state(&mut self, from_seq: SeqNum, to: ReplicaId) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let response = StateResponse {
+            checkpoint: self.checkpoints.stable_proof().first().cloned(),
+            snapshot: Some(self.exec.snapshot()),
+            entries: self.exec.committed_after(from_seq),
+            replica: self.id,
+        };
+        self.send(
+            &mut actions,
+            NodeId::Replica(to),
+            Message::StateResponse(response),
+        );
+        actions
+    }
+
+    /// Message handling while rejoining: `STATE-RESPONSE`s accumulate toward
+    /// the `f + 1` rejoin quorum, state-serving traffic is answered,
+    /// everything else is buffered for re-delivery after the rejoin.
+    fn on_message_recovering(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        now: Instant,
+    ) -> Vec<Action> {
+        match message {
+            Message::StateResponse(response) => self.complete_recovery(from, response, now),
+            Message::StateRequest(request) => self.serve_state(request.from_seq, request.replica),
+            Message::Recovery(recovery) => self.on_recovery(from, recovery),
+            other => {
+                if self.recovery_buffer.len() >= seemore_core::replica::RECOVERY_BUFFER_CAP {
+                    self.recovery_buffer.pop_front();
+                }
+                self.recovery_buffer.push_back((from, other));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Collects a peer's `STATE-RESPONSE` toward the `f + 1` matching
+    /// quorum — with at most `f` Byzantine replicas, at least one voucher
+    /// is honest, so a fabricated snapshot can never gather the quorum
+    /// alone. Once the quorum forms, the agreed snapshot is adopted and the
+    /// committed entries re-enter the normal execution path. Returns whether
+    /// adoption happened (shared by the rejoin and the checkpoint-triggered
+    /// catch-up).
+    fn record_state_response(
+        &mut self,
+        from: NodeId,
+        response: StateResponse,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        let Some(sender) = from.as_replica() else {
+            return false;
+        };
+        if sender != response.replica {
+            self.metrics.rejected_messages += 1;
+            return false;
+        }
+        if let Some(cp) = &response.checkpoint {
+            let (replica, signature) = (cp.replica, cp.signature);
+            if !self.verify(replica, cp, &signature) {
+                self.metrics.rejected_messages += 1;
+                return false;
+            }
+        }
+        self.recovery_responses.retain(|(s, _)| *s != sender);
+        self.recovery_responses.push((sender, response));
+
+        let need = self.config.fault_bound as usize + 1;
+        let key = |r: &StateResponse| r.checkpoint.as_ref().map(|cp| (cp.seq, cp.state_digest));
+        let agreed: Vec<StateResponse> = {
+            let responses = &self.recovery_responses;
+            responses
+                .iter()
+                .map(|(_, r)| r)
+                .find(|candidate| {
+                    responses
+                        .iter()
+                        .filter(|(_, other)| key(other) == key(candidate))
+                        .count()
+                        >= need
+                })
+                .map(|candidate| {
+                    let k = key(candidate);
+                    responses
+                        .iter()
+                        .filter(|(_, r)| key(r) == k)
+                        .map(|(_, r)| r.clone())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        if agreed.is_empty() {
+            return false;
+        }
+
+        let best = agreed
+            .iter()
+            .max_by_key(|r| r.entries.len())
+            .expect("agreement group is non-empty");
+        if let (Some(snapshot), Some(cp)) = (best.snapshot.clone(), best.checkpoint.clone()) {
+            let before = self.exec.last_executed();
+            self.exec.restore(&snapshot);
+            if self.exec.last_executed() > before {
+                self.checkpoints
+                    .make_stable(cp.seq, cp.state_digest, vec![cp]);
+                self.after_stable_checkpoint();
+            }
+        }
+        let low_mark = self.log.low_mark();
+        for response in &agreed {
+            for (seq, batch) in &response.entries {
+                if self.exec.add_committed(*seq, batch.clone()) && *seq > low_mark {
+                    self.log.instance_mut(*seq).committed = true;
+                }
+            }
+        }
+        self.execute_ready(actions);
+        self.recovery_responses.clear();
+        true
+    }
+
+    /// Finishes the rejoin once the state-response quorum forms: adopts the
+    /// agreed state, leaves the recovering state and re-delivers everything
+    /// buffered while down.
+    fn complete_recovery(
+        &mut self,
+        from: NodeId,
+        response: StateResponse,
+        now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.record_state_response(from, response, &mut actions) {
+            return actions;
+        }
+        self.recovering = false;
+        actions.push(Action::CancelTimer {
+            timer: Timer::Recovery,
+        });
+        self.trace(EventKind::RecoveryCompleted, None, None, self.wal_replayed);
+        let buffered = std::mem::take(&mut self.recovery_buffer);
+        for (from, message) in buffered {
+            actions.extend(self.on_message(from, message, now));
+        }
+        actions
+    }
+
+    /// A `STATE-RESPONSE` outside recovery only matters while a
+    /// checkpoint-triggered catch-up is in flight.
+    fn on_state_response(&mut self, from: NodeId, response: StateResponse) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.catching_up && self.record_state_response(from, response, &mut actions) {
+            self.catching_up = false;
+        }
+        actions
     }
 
     // --------------------------------------------------------------
@@ -914,6 +1273,14 @@ impl BftReplica {
             },
         });
         self.view = new_view.view;
+        // Persist the view boundary before any vote in it: replaying the WAL
+        // must never resurrect a vote under a view this replica left.
+        if self.store.enabled() {
+            self.store.append(&WalRecord::ViewEntered {
+                view: self.view,
+                mode: Mode::Peacock,
+            });
+        }
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
         self.trace(EventKind::ViewChangeInstall, None, None, new_view.view.0);
@@ -926,7 +1293,7 @@ impl BftReplica {
             if cp.seq > self.checkpoints.stable_seq() {
                 self.checkpoints
                     .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
-                self.log.garbage_collect(cp.seq);
+                self.after_stable_checkpoint();
             }
         }
         let mut highest = self.checkpoints.stable_seq().max(self.exec.last_executed());
@@ -1044,13 +1411,27 @@ impl ReplicaProtocol for BftReplica {
         self.id
     }
 
+    fn on_start(&mut self, now: Instant) -> Vec<Action> {
+        if self.crashed || !self.recovering {
+            return Vec::new();
+        }
+        self.trace_at = now;
+        self.trace(EventKind::RecoveryStarted, None, None, self.wal_replayed);
+        let mut actions = Vec::new();
+        self.announce_recovery(&mut actions);
+        actions
+    }
+
     fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         if self.crashed {
             return Vec::new();
         }
         self.trace_at = now;
         self.metrics.record_received(message.kind());
-        match message {
+        if self.recovering {
+            return self.on_message_recovering(from, message, now);
+        }
+        let actions = match message {
             Message::Request(request) => self.on_request(request, now),
             Message::ReadRequest(read) => self.on_read_request(read, now),
             Message::PrePrepare(preprepare) => self.on_pre_prepare(from, preprepare),
@@ -1059,8 +1440,13 @@ impl ReplicaProtocol for BftReplica {
             Message::Checkpoint(checkpoint) => self.on_checkpoint(from, checkpoint),
             Message::ViewChange(view_change) => self.on_view_change(from, view_change, now),
             Message::NewView(new_view) => self.on_new_view(from, new_view, now),
+            Message::Recovery(recovery) => self.on_recovery(from, recovery),
+            Message::StateRequest(request) => self.serve_state(request.from_seq, request.replica),
+            Message::StateResponse(response) => self.on_state_response(from, response),
             _ => Vec::new(),
-        }
+        };
+        self.metrics.note_log_size(self.log.len());
+        actions
     }
 
     fn on_timer(&mut self, timer: Timer, now: Instant) -> Vec<Action> {
@@ -1068,6 +1454,14 @@ impl ReplicaProtocol for BftReplica {
             return Vec::new();
         }
         self.trace_at = now;
+        if self.recovering {
+            if matches!(timer, Timer::Recovery) {
+                let mut actions = Vec::new();
+                self.announce_recovery(&mut actions);
+                return actions;
+            }
+            return Vec::new();
+        }
         match timer {
             Timer::RequestProgress { seq } => {
                 let committed = self
@@ -1121,6 +1515,7 @@ impl ReplicaProtocol for BftReplica {
                 }
             }
             Timer::BatchFlush { generation } => self.on_batch_flush(generation),
+            Timer::Recovery => Vec::new(),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }

@@ -27,11 +27,13 @@ use seemore_core::metrics::ReplicaMetrics;
 use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::reads::ParkedReads;
 use seemore_crypto::Signature;
+use seemore_store::{Durability, DurableCheckpoint, NullStore, WalRecord};
 use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{Instant, Mode, NodeId, ReplicaId, RequestId, SeqNum, Timestamp, View};
 use seemore_wire::{
-    Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message, NewView,
-    Prepare, PrepareCert, ReadReply, ReadRequest, ViewChange, WireSize,
+    Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Message,
+    MessageKind, NewView, Prepare, PrepareCert, ReadReply, ReadRequest, Recovery, StateRequest,
+    StateResponse, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -72,6 +74,17 @@ pub struct CftReplica {
     parked_reads: ParkedReads,
     metrics: ReplicaMetrics,
     crashed: bool,
+    /// Durable store ([`NullStore`] / disabled by default).
+    store: Arc<dyn Durability>,
+    /// Whether this replica restarted from durable state and is still
+    /// waiting for the committed suffix it missed.
+    recovering: bool,
+    /// WAL records replayed at recovery (telemetry detail).
+    wal_replayed: u64,
+    /// Messages buffered while recovering, re-delivered after the rejoin.
+    recovery_buffer: std::collections::VecDeque<(NodeId, Message)>,
+    /// Stable seq of the last checkpoint written to the store.
+    persisted_checkpoint: SeqNum,
     /// Structured event sink ([`NullRecorder`] unless tracing is on).
     recorder: Arc<dyn Recorder>,
     /// Timestamp of the entry point currently executing.
@@ -111,8 +124,106 @@ impl CftReplica {
             parked_reads: ParkedReads::new(),
             metrics: ReplicaMetrics::default(),
             crashed: false,
+            store: Arc::new(NullStore),
+            recovering: false,
+            wal_replayed: 0,
+            recovery_buffer: std::collections::VecDeque::new(),
+            persisted_checkpoint: SeqNum(0),
             recorder: Arc::new(NullRecorder),
             trace_at: Instant::ZERO,
+        }
+    }
+
+    /// Attaches a durability store (see the SeeMoRe core's `set_store`).
+    pub fn set_store(&mut self, store: Arc<dyn Durability>) {
+        self.store = store;
+    }
+
+    /// Rebuilds a CFT replica from the durable state in `store` and leaves
+    /// it recovering: `on_start` announces the restart and the first
+    /// `STATE-RESPONSE` completes the rejoin. Crash-only deployments skip
+    /// signatures, so the announcement carries [`Signature::INVALID`].
+    pub fn recover(
+        id: ReplicaId,
+        config: BaselineConfig,
+        pconfig: ProtocolConfig,
+        app: Box<dyn StateMachine>,
+        store: Arc<dyn Durability>,
+    ) -> Self {
+        let mut replica = Self::new(id, config, pconfig, app);
+        let state = store.recover().unwrap_or_default();
+        replica.store = store;
+        if let Some(cp) = &state.checkpoint {
+            replica.exec.restore(&cp.snapshot);
+            replica
+                .checkpoints
+                .make_stable(cp.seq, cp.state_digest, cp.proof.clone());
+            replica.log.garbage_collect(cp.seq);
+            replica.persisted_checkpoint = cp.seq;
+        }
+        replica.wal_replayed = state.wal.len() as u64;
+        for record in state.wal {
+            replica.replay_record(record);
+        }
+        replica.recovering = true;
+        replica
+    }
+
+    /// Replays one WAL record (idempotent; see the core's no-un-vote
+    /// argument — the same guards exist in this baseline's vote paths).
+    fn replay_record(&mut self, record: WalRecord) {
+        let low_mark = self.log.low_mark();
+        match record {
+            WalRecord::ViewEntered { view, .. } => {
+                if view >= self.view {
+                    self.view = view;
+                }
+            }
+            WalRecord::Vote(Message::Prepare(p)) if p.seq > low_mark => {
+                self.next_seq = self.next_seq.max(p.seq);
+                let instance = self.log.instance_mut(p.seq);
+                if instance.proposal.is_none() {
+                    instance.proposal = Some(Proposal {
+                        view: p.view,
+                        digest: p.digest,
+                        batch: p.batch,
+                        primary_signature: p.signature,
+                    });
+                }
+            }
+            WalRecord::Vote(Message::Accept(a)) if a.seq > low_mark => {
+                self.log
+                    .instance_mut(a.seq)
+                    .record_accept(a.replica, a.digest);
+            }
+            WalRecord::Vote(Message::Commit(c)) if c.seq > low_mark => {
+                let instance = self.log.instance_mut(c.seq);
+                instance.commit_sent = true;
+                instance.committed = true;
+            }
+            WalRecord::Vote(Message::Checkpoint(cp)) => {
+                if self.checkpoints.record(cp, true) {
+                    self.log.garbage_collect(self.checkpoints.stable_seq());
+                }
+            }
+            WalRecord::Vote(_) => {}
+        }
+    }
+
+    /// Appends safety-critical outgoing messages to the WAL before they are
+    /// queued (no-un-vote).
+    #[inline]
+    fn persist_outgoing(&self, message: &Message) {
+        if self.store.enabled()
+            && matches!(
+                message.kind(),
+                MessageKind::Prepare
+                    | MessageKind::Accept
+                    | MessageKind::Commit
+                    | MessageKind::Checkpoint
+            )
+        {
+            self.store.append(&WalRecord::Vote(message.clone()));
         }
     }
 
@@ -157,12 +268,14 @@ impl CftReplica {
     }
 
     fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
+        self.persist_outgoing(&message);
         self.metrics
             .record_sent(message.kind(), message.wire_size());
         actions.push(Action::Send { to, message });
     }
 
     fn broadcast(&mut self, actions: &mut Vec<Action>, message: Message) {
+        self.persist_outgoing(&message);
         let recipients: Vec<NodeId> = self
             .config
             .replicas()
@@ -336,9 +449,30 @@ impl CftReplica {
         };
         if self.checkpoints.record(checkpoint.clone(), true) {
             self.metrics.stable_checkpoints += 1;
-            self.log.garbage_collect(self.checkpoints.stable_seq());
+            self.after_stable_checkpoint();
         }
         self.broadcast(actions, Message::Checkpoint(checkpoint));
+    }
+
+    /// Truncates in-memory state below the stable checkpoint and, when
+    /// durability is on, snapshots the checkpoint and compacts the WAL.
+    fn after_stable_checkpoint(&mut self) {
+        let stable = self.checkpoints.stable_seq();
+        self.log.garbage_collect(stable);
+        self.proposed_at.retain(|seq, _| *seq > stable);
+        self.assigned.retain(|_, seq| *seq > stable);
+        if self.store.enabled() && stable > self.persisted_checkpoint {
+            let checkpoint = DurableCheckpoint {
+                seq: stable,
+                state_digest: self.checkpoints.stable_digest(),
+                snapshot: self.exec.snapshot(),
+                proof: self.checkpoints.stable_proof().to_vec(),
+            };
+            self.store.persist_checkpoint(&checkpoint);
+            self.store.compact_below(stable);
+            self.persisted_checkpoint = stable;
+            self.trace(EventKind::CheckpointPersisted, Some(stable), None, 0);
+        }
     }
 
     // --------------------------------------------------------------
@@ -575,11 +709,142 @@ impl CftReplica {
     }
 
     fn on_checkpoint(&mut self, checkpoint: Checkpoint) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let seq = checkpoint.seq;
+        let announcer = checkpoint.replica;
         if self.checkpoints.record(checkpoint, true) {
             self.metrics.stable_checkpoints += 1;
-            self.log.garbage_collect(self.checkpoints.stable_seq());
+            self.after_stable_checkpoint();
+            // Fallen behind the stable checkpoint (an instance this replica
+            // missed for good, e.g. one proposed while it was down, would
+            // otherwise stall in-order execution forever): fetch state from
+            // the announcer. Crash faults cannot lie, so one response is
+            // enough and a stale snapshot is ignored by `restore`.
+            if self.exec.last_executed() < seq && announcer != self.id {
+                let request = StateRequest {
+                    from_seq: self.exec.last_executed(),
+                    replica: self.id,
+                };
+                self.send(
+                    &mut actions,
+                    NodeId::Replica(announcer),
+                    Message::StateRequest(request),
+                );
+            }
         }
-        Vec::new()
+        actions
+    }
+
+    // --------------------------------------------------------------
+    // Crash recovery
+    // --------------------------------------------------------------
+
+    /// Broadcasts the restart announcement and arms the re-announce timer.
+    fn announce_recovery(&mut self, actions: &mut Vec<Action>) {
+        let recovery = Recovery {
+            last_executed: self.exec.last_executed(),
+            view: self.view,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        self.broadcast(actions, Message::Recovery(recovery));
+        actions.push(Action::SetTimer {
+            timer: Timer::Recovery,
+            after: self.pconfig.request_timeout,
+        });
+    }
+
+    /// Answers a restarted peer with the committed suffix above its durable
+    /// state (crash faults cannot lie, so no verification is needed).
+    fn on_recovery(&mut self, recovery: Recovery) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let response = StateResponse {
+            checkpoint: self.checkpoints.stable_proof().first().cloned(),
+            snapshot: Some(self.exec.snapshot()),
+            entries: self.exec.committed_after(recovery.last_executed),
+            replica: self.id,
+        };
+        self.send(
+            &mut actions,
+            NodeId::Replica(recovery.replica),
+            Message::StateResponse(response),
+        );
+        actions
+    }
+
+    /// Message handling while rejoining: the first `STATE-RESPONSE`
+    /// completes the rejoin, state-serving traffic is answered, everything
+    /// else is buffered for re-delivery.
+    fn on_message_recovering(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        now: Instant,
+    ) -> Vec<Action> {
+        match message {
+            Message::StateResponse(response) => self.complete_recovery(from, response, now),
+            Message::StateRequest(request) => self.on_recovery(Recovery {
+                last_executed: request.from_seq,
+                view: self.view,
+                replica: request.replica,
+                signature: Signature::INVALID,
+            }),
+            Message::Recovery(recovery) => self.on_recovery(recovery),
+            other => {
+                if self.recovery_buffer.len() >= seemore_core::replica::RECOVERY_BUFFER_CAP {
+                    self.recovery_buffer.pop_front();
+                }
+                self.recovery_buffer.push_back((from, other));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Adopts a peer's state response: fast-forwards over the snapshot if it
+    /// is ahead of local state and re-enters the carried committed suffix
+    /// into the normal execution path. Safe to apply at any time in the
+    /// crash-only model (a stale snapshot is ignored by `restore`).
+    fn adopt_state(&mut self, response: StateResponse, now: Instant, actions: &mut Vec<Action>) {
+        if let Some(snapshot) = &response.snapshot {
+            let before = self.exec.last_executed();
+            self.exec.restore(snapshot);
+            if self.exec.last_executed() > before {
+                if let Some(cp) = &response.checkpoint {
+                    self.checkpoints
+                        .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
+                }
+                self.after_stable_checkpoint();
+            }
+        }
+        let low_mark = self.log.low_mark();
+        for (seq, batch) in response.entries {
+            if self.exec.add_committed(seq, batch) && seq > low_mark {
+                self.log.instance_mut(seq).committed = true;
+            }
+        }
+        self.execute_ready(actions, now);
+    }
+
+    /// Adopts a peer's state response and leaves the recovering state,
+    /// re-delivering everything buffered while down.
+    fn complete_recovery(
+        &mut self,
+        _from: NodeId,
+        response: StateResponse,
+        now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.adopt_state(response, now, &mut actions);
+        self.recovering = false;
+        actions.push(Action::CancelTimer {
+            timer: Timer::Recovery,
+        });
+        self.trace(EventKind::RecoveryCompleted, None, None, self.wal_replayed);
+        let buffered = std::mem::take(&mut self.recovery_buffer);
+        for (from, message) in buffered {
+            actions.extend(self.on_message(from, message, now));
+        }
+        actions
     }
 
     // --------------------------------------------------------------
@@ -776,6 +1041,13 @@ impl CftReplica {
             },
         });
         self.view = new_view.view;
+        // The installed view must be durable before any vote sent in it.
+        if self.store.enabled() {
+            self.store.append(&WalRecord::ViewEntered {
+                view: self.view,
+                mode: Mode::Lion,
+            });
+        }
         self.in_view_change = false;
         self.metrics.view_changes_completed += 1;
         self.trace(EventKind::ViewChangeInstall, None, None, new_view.view.0);
@@ -791,7 +1063,7 @@ impl CftReplica {
             if cp.seq > self.checkpoints.stable_seq() {
                 self.checkpoints
                     .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
-                self.log.garbage_collect(cp.seq);
+                self.after_stable_checkpoint();
             }
         }
         let mut highest = self.checkpoints.stable_seq().max(self.exec.last_executed());
@@ -910,13 +1182,27 @@ impl ReplicaProtocol for CftReplica {
         self.id
     }
 
+    fn on_start(&mut self, now: Instant) -> Vec<Action> {
+        if self.crashed || !self.recovering {
+            return Vec::new();
+        }
+        self.trace_at = now;
+        self.trace(EventKind::RecoveryStarted, None, None, self.wal_replayed);
+        let mut actions = Vec::new();
+        self.announce_recovery(&mut actions);
+        actions
+    }
+
     fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
         if self.crashed {
             return Vec::new();
         }
         self.trace_at = now;
         self.metrics.record_received(message.kind());
-        match message {
+        if self.recovering {
+            return self.on_message_recovering(from, message, now);
+        }
+        let actions = match message {
             Message::Request(request) => self.on_request(request, now),
             Message::ReadRequest(read) => self.on_read_request(read, now),
             Message::Prepare(prepare) => self.on_prepare(from, prepare),
@@ -925,8 +1211,23 @@ impl ReplicaProtocol for CftReplica {
             Message::Checkpoint(checkpoint) => self.on_checkpoint(checkpoint),
             Message::ViewChange(view_change) => self.on_view_change(from, view_change, now),
             Message::NewView(new_view) => self.on_new_view(from, new_view, now),
+            Message::Recovery(recovery) => self.on_recovery(recovery),
+            Message::StateRequest(request) => self.on_recovery(Recovery {
+                last_executed: request.from_seq,
+                view: self.view,
+                replica: request.replica,
+                signature: Signature::INVALID,
+            }),
+            // Answer to the checkpoint-triggered catch-up above.
+            Message::StateResponse(response) => {
+                let mut actions = Vec::new();
+                self.adopt_state(response, now, &mut actions);
+                actions
+            }
             _ => Vec::new(),
-        }
+        };
+        self.metrics.note_log_size(self.log.len());
+        actions
     }
 
     fn on_timer(&mut self, timer: Timer, now: Instant) -> Vec<Action> {
@@ -934,6 +1235,14 @@ impl ReplicaProtocol for CftReplica {
             return Vec::new();
         }
         self.trace_at = now;
+        if self.recovering {
+            if matches!(timer, Timer::Recovery) {
+                let mut actions = Vec::new();
+                self.announce_recovery(&mut actions);
+                return actions;
+            }
+            return Vec::new();
+        }
         match timer {
             Timer::RequestProgress { seq } => {
                 let committed = self
@@ -967,6 +1276,7 @@ impl ReplicaProtocol for CftReplica {
                 }
             }
             Timer::BatchFlush { generation } => self.on_batch_flush(generation, now),
+            Timer::Recovery => Vec::new(),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }

@@ -30,15 +30,22 @@
 //!     (fixed load per group), with a hard ≥ 3× acceptance floor at 8
 //!     groups, plus the measured cost of correcting a stale client map
 //!     through signed redirects.
+//! 14. **Recovery time vs log length** — a durable replica is crashed after
+//!     increasingly long runs and restarted from its store; with checkpoint
+//!     compaction the WAL suffix it must replay stays bounded by one
+//!     checkpoint period no matter how long the pre-crash run was, while the
+//!     no-compaction arm replays the whole history.
 
 use seemore_bench::json::Json;
 use seemore_bench::{
     header, peak_throughput, quick_mode, run_window, sweep_protocol, write_bench_artifact,
 };
 use seemore_net::{CpuModel, LatencyModel};
-use seemore_runtime::{ProtocolKind, RunReport, RuntimeKind, Scenario, Workload};
+use seemore_runtime::{
+    CrashRecover, DurabilityKind, ProtocolKind, RunReport, RuntimeKind, Scenario, Workload,
+};
 use seemore_telemetry::Phase;
-use seemore_types::Duration;
+use seemore_types::{Duration, Instant, ReplicaId};
 
 /// Applies one batching policy to a scenario (ablation 8's rows).
 type PolicyFn = fn(Scenario, Duration) -> Scenario;
@@ -47,12 +54,15 @@ fn main() {
     // `SEEMORE_ABLATION=10` runs only the socket hot-path ablation,
     // `SEEMORE_ABLATION=11` only the connection-scaling sweep,
     // `SEEMORE_ABLATION=12` only the tracing-overhead + phase-breakdown
-    // ablation and `SEEMORE_ABLATION=13` only the sharded scale-out sweep
-    // (useful while iterating on one subsystem); anything else runs the
-    // full set.
+    // ablation, `SEEMORE_ABLATION=13` only the sharded scale-out sweep and
+    // `SEEMORE_ABLATION=14` only the recovery-vs-log-length sweep (useful
+    // while iterating on one subsystem); anything else runs the full set.
     let var = std::env::var("SEEMORE_ABLATION").ok();
     let only = var.as_deref();
-    let run_all = !matches!(only, Some("10") | Some("11") | Some("12") | Some("13"));
+    let run_all = !matches!(
+        only,
+        Some("10") | Some("11") | Some("12") | Some("13") | Some("14")
+    );
     if run_all {
         ablations_one_to_nine();
     }
@@ -74,6 +84,9 @@ fn main() {
     }
     if run_all || only == Some("13") {
         ablation_thirteen_sharded_scale_out();
+    }
+    if run_all || only == Some("14") {
+        ablation_fourteen_recovery();
     }
 }
 
@@ -1124,5 +1137,172 @@ fn ablation_thirteen_sharded_scale_out() {
         "acceptance: {} hash-partitioned groups must deliver >= {SPEEDUP_FLOOR:.1}x the \
          aggregate Lion throughput of one group (measured {speedup:.2}x)",
         top.0
+    );
+}
+
+/// One measured row of ablation 14.
+struct RecoveryRow {
+    config: &'static str,
+    crash_ms: u64,
+    completed: u64,
+    wal_replayed: u64,
+    recoveries: u64,
+    rejoin_ms: f64,
+}
+
+/// Ablation 14: recovery time vs log length.
+///
+/// A trusted Lion replica (it votes on every slot, so its write-ahead log
+/// grows with the run; never the view-0 primary, so the crash does not also
+/// force a view change) runs with a durable in-memory store, is crashed
+/// after increasingly long pre-crash windows, and restarts from that store
+/// 20 ms later. The recovery work — the WAL suffix replayed at restart —
+/// is swept against the pre-crash log length in two arms:
+///
+/// * **compacted** — checkpoint period 64: every persisted checkpoint also
+///   truncates the WAL below it, so the replayed suffix is bounded by one
+///   checkpoint period of votes no matter how long the run was;
+/// * **no-compaction** — a checkpoint period longer than the run: nothing
+///   is ever truncated and the restart replays the entire history.
+///
+/// Deterministic simulator, so the replayed-record counts and virtual-time
+/// rejoin latencies are exact. The acceptance bar hard-asserts the flat
+/// line: past one checkpoint period the compacted arm's replay must stay
+/// bounded while the no-compaction arm keeps growing.
+fn ablation_fourteen_recovery() {
+    header("Ablation 14: recovery time vs log length (Lion, durable WAL + checkpoints)");
+    const PERIOD: u64 = 64;
+    // Replica 1 is trusted (it votes, so its WAL grows with the log) but
+    // never the view-0 primary.
+    let victim = ReplicaId(1);
+    let crash_points_ms: &[u64] = if quick_mode() {
+        &[40, 80, 160]
+    } else {
+        &[40, 80, 160, 320]
+    };
+
+    let run = |period: u64, crash_ms: u64| -> (RunReport, u64) {
+        let crash_at = Instant::from_nanos(crash_ms * 1_000_000);
+        let recover_at = Instant::from_nanos((crash_ms + 20) * 1_000_000);
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(8)
+            .with_duration(
+                Duration::from_millis(crash_ms + 80),
+                Duration::from_millis(10),
+            )
+            .with_checkpoint_period(period)
+            .with_durability(DurabilityKind::Memory)
+            .with_crash_recover(CrashRecover::replica(victim, crash_at, recover_at))
+            .with_tracing(true)
+            .run();
+        (report, crash_ms)
+    };
+
+    let mut rows: Vec<RecoveryRow> = Vec::new();
+    for (config, period) in [("compacted", PERIOD), ("no-compaction", u64::MAX / 2)] {
+        for &crash_ms in crash_points_ms {
+            let (report, crash_ms) = run(period, crash_ms);
+            let health = report
+                .health
+                .iter()
+                .find(|h| h.replica == victim)
+                .expect("victim health rollup");
+            rows.push(RecoveryRow {
+                config,
+                crash_ms,
+                completed: report.completed,
+                wal_replayed: health.wal_replayed,
+                recoveries: health.recoveries,
+                rejoin_ms: health
+                    .recovery_mean()
+                    .map_or(0.0, |d| d.as_nanos() as f64 / 1_000_000.0),
+            });
+        }
+    }
+
+    println!(
+        "{:<14} {:>12} {:>11} {:>14} {:>10} {:>12}",
+        "config", "pre-crash[ms]", "completed", "wal replayed", "rejoins", "rejoin[ms]"
+    );
+    for row in &rows {
+        println!(
+            "{:<14} {:>12} {:>11} {:>14} {:>10} {:>12.3}",
+            row.config,
+            row.crash_ms,
+            row.completed,
+            row.wal_replayed,
+            row.recoveries,
+            row.rejoin_ms
+        );
+    }
+    println!();
+    println!(
+        "# Shape check: the no-compaction rows replay the whole history, so their\n\
+         # `wal replayed` column grows with the pre-crash window; the compacted rows\n\
+         # replay only the suffix above the last persisted checkpoint (period {PERIOD}),\n\
+         # so the column stays flat however long the run was — recovery work is\n\
+         # proportional to one checkpoint period, not to uptime."
+    );
+
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            Json::obj([
+                ("config", Json::from(row.config)),
+                ("crash_ms", Json::from(row.crash_ms)),
+                ("completed", Json::from(row.completed)),
+                ("wal_replayed", Json::from(row.wal_replayed)),
+                ("recoveries", Json::from(row.recoveries)),
+                ("rejoin_ms", Json::from(row.rejoin_ms)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("quick_mode", Json::from(quick_mode())),
+        ("protocol", Json::from("Lion")),
+        ("checkpoint_period", Json::from(PERIOD)),
+        ("results", Json::Arr(results)),
+    ]);
+    write_bench_artifact("BENCH_recovery.json", &doc);
+    println!();
+
+    for row in &rows {
+        assert!(
+            row.recoveries >= 1,
+            "acceptance: every {} crash at {} ms must complete its rejoin",
+            row.config,
+            row.crash_ms
+        );
+    }
+    let last = |config: &str| -> &RecoveryRow {
+        rows.iter()
+            .rev()
+            .find(|r| r.config == config)
+            .expect("measured above")
+    };
+    let compacted = last("compacted");
+    let uncompacted = last("no-compaction");
+    // Both arms run far past one checkpoint period before the longest
+    // crash point, so a growing compacted suffix would be visible here.
+    assert!(
+        compacted.completed > 2 * PERIOD,
+        "the longest run must span multiple checkpoint periods (completed {})",
+        compacted.completed
+    );
+    assert!(
+        uncompacted.wal_replayed >= 2 * compacted.wal_replayed.max(1),
+        "acceptance: without compaction the restart must replay at least 2x the \
+         compacted suffix ({} vs {} records)",
+        uncompacted.wal_replayed,
+        compacted.wal_replayed
+    );
+    // The flat line itself: one checkpoint period of slots appends a bounded
+    // handful of vote records per slot; 4x the period is a generous ceiling
+    // that a history-proportional replay blows through immediately.
+    assert!(
+        compacted.wal_replayed <= 4 * PERIOD,
+        "acceptance: compaction must keep the replayed WAL suffix bounded by the \
+         checkpoint period (replayed {} records, period {PERIOD})",
+        compacted.wal_replayed
     );
 }

@@ -1,8 +1,8 @@
 //! Schema validator for the machine-readable bench artifacts.
 //!
 //! CI runs the ablation benches and then this binary, which parses the
-//! emitted `BENCH_socket.json`, `BENCH_telemetry.json` and
-//! `BENCH_shards.json` back through the shared [`seemore_bench::json`]
+//! emitted `BENCH_socket.json`, `BENCH_telemetry.json`, `BENCH_shards.json`
+//! and `BENCH_recovery.json` back through the shared [`seemore_bench::json`]
 //! parser and checks every field the cross-PR tooling depends on. A schema
 //! drift (renamed field, stringified number, truncated emit) fails the
 //! build instead of silently producing an artifact nothing can read.
@@ -19,6 +19,7 @@ fn main() {
     validate_socket(Path::new(&root).join("BENCH_socket.json"), &mut errors);
     validate_telemetry(Path::new(&root).join("BENCH_telemetry.json"), &mut errors);
     validate_shards(Path::new(&root).join("BENCH_shards.json"), &mut errors);
+    validate_recovery(Path::new(&root).join("BENCH_recovery.json"), &mut errors);
     if errors.is_empty() {
         println!("bench artifacts validate clean");
     } else {
@@ -227,5 +228,68 @@ fn validate_shards(path: std::path::PathBuf, errors: &mut Vec<String>) {
         "stale_completed",
     ] {
         require_num(redirects, key, &context, errors);
+    }
+}
+
+fn validate_recovery(path: std::path::PathBuf, errors: &mut Vec<String>) {
+    let Some(doc) = load(&path, errors) else {
+        return;
+    };
+    let context = path.display().to_string();
+    if doc.get("quick_mode").and_then(Json::as_bool).is_none() {
+        errors.push(format!("{context}: missing bool field quick_mode"));
+    }
+    require_str(&doc, "protocol", &context, errors);
+    require_num(&doc, "checkpoint_period", &context, errors);
+    let Some(results) = doc.get("results").and_then(Json::as_array) else {
+        errors.push(format!("{context}: missing array field results"));
+        return;
+    };
+    if results.len() < 4 {
+        errors.push(format!(
+            "{context}: results must sweep both arms across at least two crash points"
+        ));
+    }
+    for (i, row) in results.iter().enumerate() {
+        let context = format!("{context} results[{i}]");
+        require_str(row, "config", &context, errors);
+        for key in [
+            "crash_ms",
+            "completed",
+            "wal_replayed",
+            "recoveries",
+            "rejoin_ms",
+        ] {
+            require_num(row, key, &context, errors);
+        }
+        // The acceptance bar the ablation asserts at run time, re-checked
+        // against the artifact: every crash must have completed its rejoin.
+        if let Some(recoveries) = row.get("recoveries").and_then(Json::as_f64) {
+            if recoveries < 1.0 {
+                errors.push(format!("{context}: a recorded crash never rejoined"));
+            }
+        }
+    }
+    // Compaction keeps recovery work flat: in every arm pairing, the
+    // no-compaction replay at the longest crash point must exceed the
+    // compacted one (a stale artifact cannot mask a compaction regression).
+    let last = |config: &str| -> Option<f64> {
+        results
+            .iter()
+            .filter(|r| r.get("config").and_then(Json::as_str) == Some(config))
+            .filter_map(|r| r.get("wal_replayed").and_then(Json::as_f64))
+            .next_back()
+    };
+    if let (Some(compacted), Some(uncompacted)) = (last("compacted"), last("no-compaction")) {
+        if uncompacted < 2.0 * compacted.max(1.0) {
+            errors.push(format!(
+                "{context}: recorded no-compaction replay ({uncompacted}) is not at \
+                 least 2x the compacted suffix ({compacted})"
+            ));
+        }
+    } else {
+        errors.push(format!(
+            "{context}: results must contain both the compacted and no-compaction arms"
+        ));
     }
 }

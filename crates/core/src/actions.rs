@@ -50,6 +50,11 @@ pub enum Timer {
         /// [`AdaptiveBatcher`](crate::batching::AdaptiveBatcher).
         generation: u64,
     },
+    /// Re-announce timer of a replica rejoining after a crash: armed when
+    /// the restarted replica broadcasts its `RECOVERY` announcement,
+    /// re-armed on expiry until a peer's `STATE-RESPONSE` completes the
+    /// rejoin, then cancelled.
+    Recovery,
 }
 
 impl fmt::Display for Timer {
@@ -60,6 +65,7 @@ impl fmt::Display for Timer {
             Timer::ViewChange { view } => write!(f, "view-change({view})"),
             Timer::ClientRetransmit { timestamp } => write!(f, "retransmit({timestamp})"),
             Timer::BatchFlush { generation } => write!(f, "batch-flush(g{generation})"),
+            Timer::Recovery => write!(f, "recovery"),
         }
     }
 }

@@ -124,6 +124,10 @@ pub struct ReplicaMetrics {
     pub reads_refused: u64,
     /// What the batching controller actually did (sizes and flush causes).
     pub batch: BatchTelemetry,
+    /// Largest number of agreement instances resident in the message log at
+    /// any point — the witness that checkpoint-driven truncation keeps the
+    /// in-memory log bounded (merge takes the maximum, not the sum).
+    pub peak_log_instances: u64,
 }
 
 impl ReplicaMetrics {
@@ -136,6 +140,11 @@ impl ReplicaMetrics {
     /// Records an incoming message of `kind`.
     pub fn record_received(&mut self, kind: MessageKind) {
         *self.received.entry(kind).or_default() += 1;
+    }
+
+    /// Notes the current resident size of the message log, keeping the peak.
+    pub fn note_log_size(&mut self, len: usize) {
+        self.peak_log_instances = self.peak_log_instances.max(len as u64);
     }
 
     /// Number of messages of `kind` sent so far.
@@ -195,6 +204,7 @@ impl ReplicaMetrics {
         self.reads_served += other.reads_served;
         self.reads_refused += other.reads_refused;
         self.batch.merge(&other.batch);
+        self.peak_log_instances = self.peak_log_instances.max(other.peak_log_instances);
     }
 }
 

@@ -32,13 +32,14 @@ use crate::protocol::ReplicaProtocol;
 use crate::reads::ParkedReads;
 use seemore_app::StateMachine;
 use seemore_crypto::{KeyStore, Signature, Signer, VerifyCache};
+use seemore_store::{Durability, DurableCheckpoint, NullStore, WalRecord};
 use seemore_telemetry::{EventKind, NullRecorder, Recorder, TraceEvent};
 use seemore_types::{
     ClusterConfig, Instant, Mode, NodeId, ProtocolViolation, ReplicaId, RequestId, SeqNum, View,
 };
 use seemore_wire::{
-    Checkpoint, ClientReply, ClientRequest, Message, ReadReply, ReadRequest, SignedPayload,
-    SigningScratch, StateRequest, StateResponse, ViewChange, WireSize,
+    Checkpoint, ClientReply, ClientRequest, Message, MessageKind, ReadReply, ReadRequest, Recovery,
+    SignedPayload, SigningScratch, StateRequest, StateResponse, ViewChange, WireSize,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -134,6 +135,23 @@ pub struct SeeMoReReplica {
     pub(crate) verify_memo: Option<VerifyCache>,
     pub(crate) metrics: ReplicaMetrics,
     pub(crate) crashed: bool,
+    /// Durable store for safety-critical state. [`NullStore`] (disabled) by
+    /// default; every persistence site is guarded by `store.enabled()` so
+    /// the default configuration does no snapshot or encode work.
+    pub(crate) store: Arc<dyn Durability>,
+    /// Whether this replica restarted from durable state and has not yet
+    /// received the committed suffix it missed while down. While recovering,
+    /// protocol traffic is buffered (see `on_message`).
+    pub(crate) recovering: bool,
+    /// WAL records replayed at recovery (telemetry detail).
+    pub(crate) wal_replayed: u64,
+    /// Messages received while recovering, re-delivered once the rejoin
+    /// completes so no view change or vote is silently dropped. Bounded;
+    /// the oldest message is dropped on overflow.
+    pub(crate) recovery_buffer: std::collections::VecDeque<(NodeId, Message)>,
+    /// Stable sequence number of the last checkpoint written to the store,
+    /// so re-stabilization paths do not rewrite an identical snapshot.
+    pub(crate) persisted_checkpoint: SeqNum,
     /// Structured event sink. [`NullRecorder`] by default, in which case
     /// every trace site reduces to one cold branch (see
     /// `seemore-telemetry`'s zero-allocation contract).
@@ -207,8 +225,139 @@ impl SeeMoReReplica {
             verify_memo: pconfig.verify_memo.then(VerifyCache::default),
             metrics: ReplicaMetrics::default(),
             crashed: false,
+            store: Arc::new(NullStore),
+            recovering: false,
+            wal_replayed: 0,
+            recovery_buffer: std::collections::VecDeque::new(),
+            persisted_checkpoint: SeqNum(0),
             recorder: Arc::new(NullRecorder),
             trace_at: Instant::ZERO,
+        }
+    }
+
+    /// Attaches a durability store. Call before the replica starts
+    /// processing messages; from then on every safety-critical outgoing
+    /// message is appended to the store's WAL before it is handed to the
+    /// transport, and stable checkpoints are snapshotted durably.
+    pub fn set_store(&mut self, store: Arc<dyn Durability>) {
+        self.store = store;
+    }
+
+    /// Rebuilds a replica from the durable state in `store` (its last
+    /// checkpoint plus the WAL suffix), leaving it in the *recovering*
+    /// state: [`on_start`](ReplicaProtocol::on_start) announces the
+    /// recovery, peers answer with a [`StateResponse`], and the first one
+    /// completes the rejoin. Replayed votes re-arm the same log guards the
+    /// live replica had (accepted proposals, `commit_sent`, `inform_sent`,
+    /// installed view), so the restarted replica can never contradict a
+    /// claim it made before the crash.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover(
+        id: ReplicaId,
+        cluster: ClusterConfig,
+        pconfig: ProtocolConfig,
+        keystore: KeyStore,
+        initial_mode: Mode,
+        app: Box<dyn StateMachine>,
+        store: Arc<dyn Durability>,
+    ) -> Self {
+        let mut replica = Self::new(id, cluster, pconfig, keystore, initial_mode, app);
+        let state = store.recover().unwrap_or_default();
+        replica.store = store;
+        if let Some(cp) = &state.checkpoint {
+            replica.exec.restore(&cp.snapshot);
+            replica
+                .checkpoints
+                .make_stable(cp.seq, cp.state_digest, cp.proof.clone());
+            replica.log.garbage_collect(cp.seq);
+            replica.persisted_checkpoint = cp.seq;
+        }
+        replica.wal_replayed = state.wal.len() as u64;
+        for record in state.wal {
+            replica.replay_record(record);
+        }
+        replica.recovering = true;
+        replica
+    }
+
+    /// Replays one WAL record into in-memory state (see
+    /// [`recover`](Self::recover)). Replay is idempotent: votes are
+    /// first-vote-wins and flags are merely re-set, so duplicated records
+    /// (a crash between compaction's rewrite and delete) are harmless.
+    fn replay_record(&mut self, record: WalRecord) {
+        match record {
+            WalRecord::ViewEntered { view, mode } => {
+                if view >= self.view {
+                    self.view = view;
+                    self.mode = mode;
+                    self.checkpoints
+                        .set_rule(Self::stability_rule_for(mode, &self.cluster));
+                }
+            }
+            WalRecord::Vote(message) => self.replay_vote(message),
+        }
+    }
+
+    fn replay_vote(&mut self, message: Message) {
+        use crate::log::Proposal;
+        let in_window = |log: &MessageLog, seq: SeqNum| seq > log.low_mark();
+        match message {
+            Message::Prepare(p) if in_window(&self.log, p.seq) => {
+                self.next_seq = self.next_seq.max(p.seq);
+                let instance = self.log.instance_mut(p.seq);
+                if instance.proposal.is_none() {
+                    instance.proposal = Some(Proposal {
+                        view: p.view,
+                        digest: p.digest,
+                        batch: p.batch,
+                        primary_signature: p.signature,
+                    });
+                }
+            }
+            Message::PrePrepare(p) if in_window(&self.log, p.seq) => {
+                self.next_seq = self.next_seq.max(p.seq);
+                let instance = self.log.instance_mut(p.seq);
+                if instance.proposal.is_none() {
+                    instance.proposal = Some(Proposal {
+                        view: p.view,
+                        digest: p.digest,
+                        batch: p.batch,
+                        primary_signature: p.signature,
+                    });
+                }
+            }
+            Message::Accept(a) if in_window(&self.log, a.seq) => {
+                self.log
+                    .instance_mut(a.seq)
+                    .record_accept(a.replica, a.digest);
+            }
+            Message::PbftPrepare(v) if in_window(&self.log, v.seq) => {
+                self.log
+                    .instance_mut(v.seq)
+                    .record_pbft_prepare(v.replica, v.digest);
+            }
+            Message::Commit(c) if in_window(&self.log, c.seq) => {
+                let instance = self.log.instance_mut(c.seq);
+                instance.record_commit(c.replica, c.digest);
+                // Having sent a commit-phase message is the claim that
+                // must survive the crash: the guards in `try_commit_*`
+                // key off these flags, so the restarted replica cannot
+                // emit a conflicting commit for the slot.
+                instance.commit_sent = true;
+                instance.prepared = true;
+            }
+            Message::Inform(i) if in_window(&self.log, i.seq) => {
+                let instance = self.log.instance_mut(i.seq);
+                instance.record_inform(i.replica, i.digest);
+                instance.inform_sent = true;
+            }
+            Message::Checkpoint(cp) => {
+                let trusted = self.cluster.is_trusted(cp.replica);
+                if self.checkpoints.record(cp, trusted) {
+                    self.log.garbage_collect(self.checkpoints.stable_seq());
+                }
+            }
+            _ => {}
         }
     }
 
@@ -366,21 +515,46 @@ impl SeeMoReReplica {
     // Outgoing-message helpers
     // ------------------------------------------------------------------
 
-    /// Queues a send and records it in the metrics.
+    /// Appends `message` to the durable WAL if it is a safety-critical vote
+    /// (the *no-un-vote* rule: a claim must be durable before any peer can
+    /// observe it). One cold branch when durability is disabled.
+    #[inline]
+    pub(crate) fn persist_outgoing(&self, message: &Message) {
+        if self.store.enabled()
+            && matches!(
+                message.kind(),
+                MessageKind::Prepare
+                    | MessageKind::PrePrepare
+                    | MessageKind::Accept
+                    | MessageKind::PbftPrepare
+                    | MessageKind::Commit
+                    | MessageKind::Inform
+                    | MessageKind::Checkpoint
+            )
+        {
+            self.store.append(&WalRecord::Vote(message.clone()));
+        }
+    }
+
+    /// Queues a send and records it in the metrics. Safety-critical votes
+    /// hit the WAL before the action is queued.
     pub(crate) fn send(&mut self, actions: &mut Vec<Action>, to: NodeId, message: Message) {
+        self.persist_outgoing(&message);
         self.metrics
             .record_sent(message.kind(), message.wire_size());
         actions.push(Action::Send { to, message });
     }
 
     /// Queues a broadcast to `recipients` (excluding this replica) and
-    /// records each copy in the metrics.
+    /// records each copy in the metrics. Safety-critical votes hit the WAL
+    /// once per broadcast, before any copy is queued.
     pub(crate) fn broadcast_to(
         &mut self,
         actions: &mut Vec<Action>,
         recipients: impl IntoIterator<Item = ReplicaId>,
         message: Message,
     ) {
+        self.persist_outgoing(&message);
         let recipients: Vec<NodeId> = recipients
             .into_iter()
             .filter(|r| *r != self.id)
@@ -686,6 +860,31 @@ impl SeeMoReReplica {
     // Checkpointing and state transfer
     // ------------------------------------------------------------------
 
+    /// Housekeeping after the stable checkpoint advanced: truncates the
+    /// in-memory log and the per-slot bookkeeping maps below the stable
+    /// sequence number, and (when durability is enabled) snapshots the
+    /// checkpoint to the store and compacts the WAL below it. Keeping the
+    /// resident log bounded does not depend on durability being on.
+    pub(crate) fn after_stable_checkpoint(&mut self) {
+        let stable = self.checkpoints.stable_seq();
+        self.log.garbage_collect(stable);
+        self.progress_armed.retain(|seq, _| *seq > stable);
+        self.proposed_at.retain(|seq, _| *seq > stable);
+        self.assigned.retain(|_, seq| *seq > stable);
+        if self.store.enabled() && stable > self.persisted_checkpoint {
+            let checkpoint = DurableCheckpoint {
+                seq: stable,
+                state_digest: self.checkpoints.stable_digest(),
+                snapshot: self.exec.snapshot(),
+                proof: self.checkpoints.stable_proof().to_vec(),
+            };
+            self.store.persist_checkpoint(&checkpoint);
+            self.store.compact_below(stable);
+            self.persisted_checkpoint = stable;
+            self.trace(EventKind::CheckpointPersisted, Some(stable), None, 0);
+        }
+    }
+
     /// Called after executions; produces checkpoint messages when the
     /// executed sequence number crosses a checkpoint boundary.
     pub(crate) fn maybe_checkpoint(&mut self, actions: &mut Vec<Action>) {
@@ -714,7 +913,7 @@ impl SeeMoReReplica {
         let trusted = self.cluster.is_trusted(self.id);
         if self.checkpoints.record(checkpoint.clone(), trusted) {
             self.metrics.stable_checkpoints += 1;
-            self.log.garbage_collect(self.checkpoints.stable_seq());
+            self.after_stable_checkpoint();
         }
         let recipients = self.all_replicas();
         self.broadcast_to(actions, recipients, Message::Checkpoint(checkpoint));
@@ -746,20 +945,36 @@ impl SeeMoReReplica {
         let seq = checkpoint.seq;
         if self.checkpoints.record(checkpoint, trusted) {
             self.metrics.stable_checkpoints += 1;
-            self.log.garbage_collect(self.checkpoints.stable_seq());
-            // If we have fallen behind the stable checkpoint, ask the
-            // announcer for state.
+            self.after_stable_checkpoint();
+            // If we have fallen behind the stable checkpoint, ask for
+            // state. The announcer has the freshest committed suffix, but in
+            // Peacock mode announcers are untrusted proxies and a snapshot
+            // is only ever adopted from the trusted tier — so also ask every
+            // private-cloud replica (at most `c` of them can be down, and a
+            // stale or duplicate response is ignored by `restore`).
+            // Without the trusted copies a replica that lost an instance
+            // permanently (e.g. one proposed while it was crashed) could
+            // never execute past the gap.
             if self.exec.last_executed() < seq && !self.state_transfer_pending {
                 self.state_transfer_pending = true;
                 let request = StateRequest {
                     from_seq: self.exec.last_executed(),
                     replica: self.id,
                 };
-                self.send(
-                    &mut actions,
-                    NodeId::Replica(sender),
-                    Message::StateRequest(request),
-                );
+                let mut recipients: Vec<ReplicaId> = self.cluster.private_replicas().collect();
+                if !recipients.contains(&sender) {
+                    recipients.push(sender);
+                }
+                for recipient in recipients {
+                    if recipient == self.id {
+                        continue;
+                    }
+                    self.send(
+                        &mut actions,
+                        NodeId::Replica(recipient),
+                        Message::StateRequest(request.clone()),
+                    );
+                }
             }
         }
         actions
@@ -808,15 +1023,115 @@ impl SeeMoReReplica {
                     self.checkpoints
                         .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
                 }
-                self.log.garbage_collect(self.checkpoints.stable_seq());
+                self.after_stable_checkpoint();
             }
         }
+        let low_mark = self.log.low_mark();
         for (seq, batch) in response.entries {
-            if self.exec.add_committed(seq, batch) {
+            if self.exec.add_committed(seq, batch) && seq > low_mark {
                 self.log.instance_mut(seq).committed = true;
             }
         }
         self.execute_ready(&mut actions, now);
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (rejoin after restarting from durable state)
+    // ------------------------------------------------------------------
+
+    /// Broadcasts a signed `RECOVERY` announcement and arms the re-announce
+    /// timer. Called from `on_start` and from the `Timer::Recovery` handler
+    /// while the rejoin is still incomplete.
+    fn announce_recovery(&mut self, actions: &mut Vec<Action>) {
+        let mut recovery = Recovery {
+            last_executed: self.exec.last_executed(),
+            view: self.view,
+            replica: self.id,
+            signature: Signature::INVALID,
+        };
+        recovery.signature = self.sign_payload(&recovery);
+        let recipients = self.all_replicas();
+        self.broadcast_to(actions, recipients, Message::Recovery(recovery));
+        actions.push(Action::SetTimer {
+            timer: Timer::Recovery,
+            after: self.pconfig.request_timeout,
+        });
+    }
+
+    /// Handles a `RECOVERY` announcement from a restarted peer by sending
+    /// it the committed suffix above its durable state — the same answer a
+    /// `STATE-REQUEST` from that sequence number would get.
+    fn on_recovery(&mut self, from: NodeId, recovery: Recovery) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let Some(sender) = from.as_replica() else {
+            actions.push(self.violation(ProtocolViolation::UnexpectedSender {
+                sender: ReplicaId(u32::MAX),
+                expected_role: "replica",
+            }));
+            return actions;
+        };
+        if sender != recovery.replica
+            || !self.verify_payload_once(
+                NodeId::Replica(recovery.replica),
+                &recovery,
+                &recovery.signature,
+            )
+        {
+            actions.push(self.violation(ProtocolViolation::BadSignature {
+                claimed_signer: NodeId::Replica(recovery.replica),
+            }));
+            return actions;
+        }
+        self.on_state_request(StateRequest {
+            from_seq: recovery.last_executed,
+            replica: recovery.replica,
+        })
+    }
+
+    /// Message handling while this replica is still rejoining: the first
+    /// `STATE-RESPONSE` completes the rejoin; state-serving traffic is
+    /// answered (it only reads restored state); everything else is buffered
+    /// and re-delivered after the rejoin, so no vote or view-change message
+    /// is silently dropped.
+    fn on_message_recovering(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        now: Instant,
+    ) -> Vec<Action> {
+        match message {
+            Message::StateResponse(response) => self.complete_recovery(from, response, now),
+            Message::StateRequest(request) => self.on_state_request(request),
+            Message::Recovery(recovery) => self.on_recovery(from, recovery),
+            other => {
+                if self.recovery_buffer.len() >= RECOVERY_BUFFER_CAP {
+                    self.recovery_buffer.pop_front();
+                }
+                self.recovery_buffer.push_back((from, other));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Finishes the rejoin: adopts the state response, leaves the
+    /// recovering state and re-delivers everything buffered while down.
+    fn complete_recovery(
+        &mut self,
+        from: NodeId,
+        response: StateResponse,
+        now: Instant,
+    ) -> Vec<Action> {
+        let mut actions = self.on_state_response(from, response, now);
+        self.recovering = false;
+        actions.push(Action::CancelTimer {
+            timer: Timer::Recovery,
+        });
+        self.trace(EventKind::RecoveryCompleted, None, None, self.wal_replayed);
+        let buffered = std::mem::take(&mut self.recovery_buffer);
+        for (from, message) in buffered {
+            actions.extend(self.on_message(from, message, now));
+        }
         actions
     }
 
@@ -882,9 +1197,24 @@ impl SeeMoReReplica {
 /// (the paper's `µ∅`). Replies are never sent to it.
 pub(crate) const NOOP_CLIENT: seemore_types::ClientId = seemore_types::ClientId(u64::MAX);
 
+/// Most messages a recovering replica will hold before the oldest is
+/// dropped (clients and peers retransmit, so a bounded buffer is safe).
+pub const RECOVERY_BUFFER_CAP: usize = 1024;
+
 impl ReplicaProtocol for SeeMoReReplica {
     fn id(&self) -> ReplicaId {
         self.id
+    }
+
+    fn on_start(&mut self, now: Instant) -> Vec<Action> {
+        if self.crashed || !self.recovering {
+            return Vec::new();
+        }
+        self.trace_at = now;
+        self.trace(EventKind::RecoveryStarted, None, None, self.wal_replayed);
+        let mut actions = Vec::new();
+        self.announce_recovery(&mut actions);
+        actions
     }
 
     fn on_message(&mut self, from: NodeId, message: Message, now: Instant) -> Vec<Action> {
@@ -893,6 +1223,9 @@ impl ReplicaProtocol for SeeMoReReplica {
         }
         self.trace_at = now;
         self.metrics.record_received(message.kind());
+        if self.recovering {
+            return self.on_message_recovering(from, message, now);
+        }
         // Observing commit-carrying traffic counts as progress for the
         // suspicion timers (the actual validity checks happen in the
         // handlers; a forged message can at worst delay a view change by one
@@ -905,7 +1238,7 @@ impl ReplicaProtocol for SeeMoReReplica {
         ) {
             self.last_progress = now;
         }
-        match message {
+        let actions = match message {
             Message::Request(request) => self.on_request(request, now),
             Message::ReadRequest(read) => self.on_read_request(read, now),
             Message::Prepare(prepare) => self.on_prepare(from, prepare, now),
@@ -920,10 +1253,13 @@ impl ReplicaProtocol for SeeMoReReplica {
             Message::ModeChange(mode_change) => self.on_mode_change(from, mode_change, now),
             Message::StateRequest(request) => self.on_state_request(request),
             Message::StateResponse(response) => self.on_state_response(from, response, now),
+            Message::Recovery(recovery) => self.on_recovery(from, recovery),
             // Replicas never receive replies; redirects are client-bound
             // (and emitted by the sharding guard, not the core).
             Message::Reply(_) | Message::ReadReply(_) | Message::Redirect(_) => Vec::new(),
-        }
+        };
+        self.metrics.note_log_size(self.log.len());
+        actions
     }
 
     fn on_timer(&mut self, timer: Timer, now: Instant) -> Vec<Action> {
@@ -931,11 +1267,21 @@ impl ReplicaProtocol for SeeMoReReplica {
             return Vec::new();
         }
         self.trace_at = now;
+        if self.recovering {
+            // While rejoining, only the recovery re-announce timer runs.
+            if matches!(timer, Timer::Recovery) {
+                let mut actions = Vec::new();
+                self.announce_recovery(&mut actions);
+                return actions;
+            }
+            return Vec::new();
+        }
         match timer {
             Timer::RequestProgress { seq } => self.on_progress_timeout(seq, now),
             Timer::ForwardedRequest { request } => self.on_forwarded_timeout(request, now),
             Timer::ViewChange { view } => self.on_view_change_timeout(view, now),
             Timer::BatchFlush { generation } => self.on_batch_flush(generation, now),
+            Timer::Recovery => Vec::new(),
             Timer::ClientRetransmit { .. } => Vec::new(),
         }
     }

@@ -527,6 +527,15 @@ impl SeeMoReReplica {
 
         self.view = new_view.view;
         self.mode = new_view.mode;
+        // No-un-vote across views: the installed view must be durable before
+        // any vote sent *in* it, otherwise a restart could re-vote in an
+        // older view and contradict this view's certificates.
+        if self.store.enabled() {
+            self.store.append(&seemore_store::WalRecord::ViewEntered {
+                view: self.view,
+                mode: self.mode,
+            });
+        }
         if self.pending_mode == Some(new_view.mode) {
             self.pending_mode = None;
         }
@@ -562,7 +571,7 @@ impl SeeMoReReplica {
             if cp.seq > self.checkpoints.stable_seq() {
                 self.checkpoints
                     .make_stable(cp.seq, cp.state_digest, vec![cp.clone()]);
-                self.log.garbage_collect(cp.seq);
+                self.after_stable_checkpoint();
                 if self.exec.last_executed() < cp.seq && self.cluster.is_trusted(new_view.replica) {
                     self.request_state_transfer(actions, new_view.replica);
                 }

@@ -133,6 +133,25 @@ impl SyncCluster {
         self.isolated.contains(&id)
     }
 
+    /// Replaces a replica's core with one rebuilt from its durable store
+    /// (e.g. [`SeeMoReReplica::recover`](crate::replica::SeeMoReReplica::recover))
+    /// and runs its `on_start`, queueing the recovery announcement. The
+    /// previous incarnation's armed timers are discarded — a restart forgets
+    /// its timer wheel — and the replica is reconnected if it was isolated.
+    pub fn restart(&mut self, id: ReplicaId, core: Box<dyn ReplicaProtocol>) {
+        assert_eq!(core.id(), id, "restarted core built for the wrong id");
+        self.replicas.insert(id, core);
+        self.armed.insert(id, BTreeSet::new());
+        self.isolated.remove(&id);
+        let now = self.now;
+        let actions = self
+            .replicas
+            .get_mut(&id)
+            .expect("just inserted")
+            .on_start(now);
+        self.apply_actions(NodeId::Replica(id), actions);
+    }
+
     /// Injects a client operation: the client core builds a signed request
     /// and the resulting sends are queued.
     pub fn submit(&mut self, client: ClientId, operation: Vec<u8>) {

@@ -68,6 +68,7 @@ impl CpuModel {
             Message::StateRequest(_) => 0,
             Message::StateResponse(m) => m.entries.len() as u32,
             Message::Redirect(m) => u32::from(m.signature != Signature::INVALID),
+            Message::Recovery(m) => u32::from(m.signature != Signature::INVALID),
         }
     }
 

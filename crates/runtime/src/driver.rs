@@ -30,6 +30,11 @@ pub(crate) enum ReplicaCommand {
     },
     /// Fail-stop the replica (it keeps its thread but produces no actions).
     Crash,
+    /// Replace the crashed core with one rebuilt from its durable store and
+    /// run its `on_start` (the restart half of a crash-recover schedule).
+    /// Timers armed by the previous incarnation are discarded — a restarted
+    /// process has no memory of them.
+    Recover(Box<dyn ReplicaProtocol>),
     /// Ask the replica to initiate a dynamic mode switch (SeeMoRe only;
     /// other cores ignore it). This is how `Scenario::with_mode_switch`
     /// reaches the concurrent runtimes, which have no simulator event queue
@@ -118,6 +123,13 @@ pub(crate) fn run_replica_loop(
                     actions.extend(replica.on_message(from, message, now));
                 }
                 ReplicaCommand::Crash => replica.crash(),
+                ReplicaCommand::Recover(core) => {
+                    replica = core;
+                    timers.clear();
+                    armed.clear();
+                    let now = to_instant(start);
+                    actions.extend(replica.on_start(now));
+                }
                 ReplicaCommand::ModeSwitch { mode } => {
                     let now = to_instant(start);
                     actions.extend(replica.request_mode_switch(mode, now));
@@ -166,6 +178,13 @@ pub(crate) fn run_replica_loop(
                     actions = replica.on_message(from, message, now);
                 }
                 Ok(ReplicaCommand::Crash) => replica.crash(),
+                Ok(ReplicaCommand::Recover(core)) => {
+                    replica = core;
+                    timers.clear();
+                    armed.clear();
+                    let now = to_instant(start);
+                    actions = replica.on_start(now);
+                }
                 Ok(ReplicaCommand::ModeSwitch { mode }) => {
                     let now = to_instant(start);
                     actions = replica.request_mode_switch(mode, now);

@@ -124,6 +124,37 @@
 //!
 //! `examples/sharding.rs` runs the same workload against one and four Lion
 //! groups and prints the per-group and aggregate reports.
+//!
+//! # Durability
+//!
+//! By default replica state lives only in memory: a crashed replica is gone,
+//! and the paper's fault bounds (`c`, `m`) are what keep the cluster live.
+//! [`Scenario::with_durability`] attaches a store from `seemore-store` to
+//! every core — [`scenario::DurabilityKind::Memory`] for the byte-exact
+//! in-memory WAL (what tests and the simulator use) or
+//! [`scenario::DurabilityKind::File`] for real files with real `fsync`. With
+//! a store attached every core appends each safety-critical vote to a
+//! CRC-framed write-ahead log *before* the message leaves the replica (a
+//! restarted replica can never contradict its earlier self — no un-voting),
+//! persists a snapshot at each stable checkpoint, and compacts the WAL
+//! below it, so recovery work stays proportional to one checkpoint period.
+//!
+//! [`Scenario::with_crash_recover`] turns that durable state into a full
+//! crash-recover-rejoin schedule, honoured on every runtime: the simulator
+//! restarts the core deterministically at the scheduled virtual instant,
+//! while the threaded and socket runtimes really tear the core down and
+//! swap in one rebuilt from the store on the replica's own thread
+//! ([`ThreadedCluster::recover`] / [`SocketCluster::recover`]). The
+//! restarted replica replays its WAL suffix onto the recovered checkpoint,
+//! broadcasts a `RECOVERY` announcement, fetches the committed suffix it
+//! missed via the existing state-transfer messages (requiring `f + 1`
+//! matching responses where peers may lie), and only then resumes voting —
+//! buffering, not dropping, protocol traffic that arrives mid-rejoin.
+//! Recovery shows up in telemetry as `RecoveryStarted` /
+//! `CheckpointPersisted` / `RecoveryCompleted` events and in
+//! [`seemore_telemetry::ReplicaHealth`] as recovery counts/durations and
+//! WAL-replay lengths. `examples/recovery.rs` crashes and rejoins a replica
+//! mid-run and prints the rejoin latency.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -140,7 +171,7 @@ pub mod workload;
 pub use report::{
     BatchReport, ClassStats, RunReport, ShardReport, TimelineBucket, TransportReport,
 };
-pub use scenario::{ProtocolKind, RuntimeKind, Scenario};
+pub use scenario::{CrashRecover, DurabilityKind, ProtocolKind, RuntimeKind, Scenario};
 pub use shard::{ShardOverride, ShardedCluster};
 pub use sim::{SimConfig, Simulation};
 pub use socket::{SocketCluster, SocketOptions, SocketTransport};

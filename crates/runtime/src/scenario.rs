@@ -33,8 +33,11 @@ use seemore_core::protocol::ReplicaProtocol;
 use seemore_core::replica::SeeMoReReplica;
 use seemore_crypto::KeyStore;
 use seemore_net::{CpuModel, LatencyModel, LinkFaults, Placement};
+use seemore_store::{Durability, FileStore, MemStore, StoreConfig};
 use seemore_telemetry::RingRecorder;
 use seemore_types::{ClientId, ClusterConfig, Duration, Instant, Mode, OpClass, ReplicaId};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant as StdInstant;
 
@@ -97,6 +100,55 @@ impl ProtocolKind {
             | ProtocolKind::SUpright => 3 * m + 2 * c + 1,
             ProtocolKind::Cft => 2 * (c + m) + 1,
             ProtocolKind::Bft => 3 * (c + m) + 1,
+        }
+    }
+}
+
+/// Which durable store backs every replica (see [`seemore_store`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DurabilityKind {
+    /// No persistence (the default): every core holds the allocation-free
+    /// `NullStore` and runs bit-identical to a build without the seam.
+    #[default]
+    None,
+    /// The in-memory store with the real byte-level framing — what
+    /// [`Scenario::with_crash_recover`] enables, and what simulated and
+    /// in-process restarts recover from.
+    Memory,
+    /// Real files under `<dir>/replica-<id>/` with real `fsync` (the
+    /// store's default batched policy).
+    File(PathBuf),
+}
+
+/// One crash-and-rejoin entry of a [`Scenario::with_crash_recover`]
+/// schedule: kill the replica at `crash_at`, then restart it at
+/// `recover_at` from whatever its durable store holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRecover {
+    /// Which replica to restart; `None` targets the view-0 primary.
+    pub replica: Option<ReplicaId>,
+    /// When to kill it.
+    pub crash_at: Instant,
+    /// When to bring it back from its durable store.
+    pub recover_at: Instant,
+}
+
+impl CrashRecover {
+    /// Crash-and-recover the view-0 primary.
+    pub fn primary(crash_at: Instant, recover_at: Instant) -> Self {
+        CrashRecover {
+            replica: None,
+            crash_at,
+            recover_at,
+        }
+    }
+
+    /// Crash-and-recover a specific replica.
+    pub fn replica(replica: ReplicaId, crash_at: Instant, recover_at: Instant) -> Self {
+        CrashRecover {
+            replica: Some(replica),
+            crash_at,
+            recover_at,
         }
     }
 }
@@ -175,6 +227,12 @@ pub struct Scenario {
     pub request_timeout: Duration,
     /// If set, crash the view-0 primary at this instant (Figure 4).
     pub crash_primary_at: Option<Instant>,
+    /// Which durable store backs every replica ([`DurabilityKind::None`] by
+    /// default; [`Scenario::with_crash_recover`] auto-enables `Memory`).
+    pub durability: DurabilityKind,
+    /// Crash-and-rejoin schedule: each entry kills a replica and later
+    /// restarts it from its durable store, on every runtime.
+    pub crash_recover: Vec<CrashRecover>,
     /// If set, announce a switch to this mode at the given instant
     /// (SeeMoRe only).
     pub mode_switch: Option<(Instant, Mode)>,
@@ -253,6 +311,8 @@ impl Scenario {
             batch: BatchPolicy::fixed(1, Duration::from_micros(100)),
             request_timeout: Duration::from_millis(20),
             crash_primary_at: None,
+            durability: DurabilityKind::None,
+            crash_recover: Vec::new(),
             mode_switch: None,
             workload: None,
             read_fast_path: true,
@@ -354,6 +414,29 @@ impl Scenario {
         self
     }
 
+    /// Selects the durable store backing every replica (see
+    /// [`DurabilityKind`]). `None`, the default, keeps cores on the
+    /// allocation-free null store.
+    pub fn with_durability(mut self, durability: DurabilityKind) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Adds a crash-and-rejoin entry: the scheduled replica is killed at
+    /// `schedule.crash_at` and restarted at `schedule.recover_at` from its
+    /// durable store (last persisted checkpoint plus the WAL suffix), after
+    /// which it announces the restart and rejoins via state transfer.
+    /// Honoured on every runtime — a deterministic restart on the
+    /// simulator, a real core teardown and reload on the concurrent ones.
+    /// Enables [`DurabilityKind::Memory`] if no store was selected yet.
+    pub fn with_crash_recover(mut self, schedule: CrashRecover) -> Self {
+        if self.durability == DurabilityKind::None {
+            self.durability = DurabilityKind::Memory;
+        }
+        self.crash_recover.push(schedule);
+        self
+    }
+
     /// Announces a mode switch at `at` (SeeMoRe only).
     pub fn with_mode_switch(mut self, at: Instant, mode: Mode) -> Self {
         self.mode_switch = Some((at, mode));
@@ -419,6 +502,38 @@ impl Scenario {
             Workload::Kv { .. } => Box::new(KvStore::new()),
             Workload::Micro { .. } => Box::new(NoopApp::new(self.reply_size)),
             Workload::Sharded { .. } => unreachable!("unwrapped above"),
+        }
+    }
+
+    /// Like [`make_app`](Self::make_app), but as an owned callable a
+    /// recover factory can keep: every restart needs a fresh application
+    /// instance for the recovered snapshot to land in.
+    fn app_factory(&self) -> Arc<dyn Fn() -> Box<dyn StateMachine> + Send + Sync> {
+        let mut workload = self.workload();
+        while let Workload::Sharded { inner, .. } = workload {
+            workload = *inner;
+        }
+        match workload {
+            Workload::Kv { .. } => Arc::new(|| Box::new(KvStore::new())),
+            Workload::Micro { .. } => {
+                let reply_size = self.reply_size;
+                Arc::new(move || Box::new(NoopApp::new(reply_size)))
+            }
+            Workload::Sharded { .. } => unreachable!("unwrapped above"),
+        }
+    }
+
+    /// The durable store for one replica, or `None` when durability is off.
+    fn make_store(&self, replica: ReplicaId) -> Option<Arc<dyn Durability>> {
+        match &self.durability {
+            DurabilityKind::None => None,
+            DurabilityKind::Memory => Some(Arc::new(MemStore::new(StoreConfig::default()))),
+            DurabilityKind::File(dir) => {
+                let path = dir.join(format!("replica-{}", replica.0));
+                let store =
+                    FileStore::open(&path, StoreConfig::default()).expect("open durable store dir");
+                Some(Arc::new(store))
+            }
         }
     }
 
@@ -548,6 +663,16 @@ impl Scenario {
         {
             sim.schedule_mode_switch(at, announcer, target_mode);
         }
+        for entry in &self.crash_recover {
+            let replica = entry.replica.unwrap_or(cores.primary);
+            let Some(factory) = cores.recover_factories.get(&replica) else {
+                continue;
+            };
+            let factory = factory.clone();
+            sim.set_recover_factory(replica, Box::new(move || factory()));
+            sim.schedule_crash(entry.crash_at, replica);
+            sim.schedule_recover(entry.recover_at, replica);
+        }
         (sim, cores.primary, cores.trace)
     }
 
@@ -559,6 +684,7 @@ impl Scenario {
         let pconfig = self.protocol_config();
         let client_timeout = pconfig.client_timeout;
         let mut trace = TraceHandles::default();
+        let mut recover_factories: BTreeMap<ReplicaId, RecoverFactory> = BTreeMap::new();
 
         match self.protocol.seemore_mode() {
             Some(mode) => {
@@ -577,8 +703,35 @@ impl Scenario {
                         mode,
                         self.make_app(),
                     );
-                    if let Some(recorder) = trace.for_replica(self.tracing, replica) {
+                    let recorder = trace.for_replica(self.tracing, replica);
+                    if let Some(recorder) = recorder.clone() {
                         core.set_recorder(recorder);
+                    }
+                    if let Some(store) = self.make_store(replica) {
+                        core.set_store(store.clone());
+                        let app = self.app_factory();
+                        let keystore = keystore.clone();
+                        // A restarted replica always comes back honest: the
+                        // Byzantine wrapper models live misbehaviour, not a
+                        // corrupted store.
+                        recover_factories.insert(
+                            replica,
+                            Arc::new(move || {
+                                let mut core = SeeMoReReplica::recover(
+                                    replica,
+                                    cluster,
+                                    pconfig,
+                                    keystore.clone(),
+                                    mode,
+                                    app(),
+                                    store.clone(),
+                                );
+                                if let Some(recorder) = recorder.clone() {
+                                    core.set_recorder(recorder);
+                                }
+                                Box::new(core) as Box<dyn ReplicaProtocol>
+                            }),
+                        );
                     }
                     if replica.0 >= byzantine_cutoff && !cluster.is_trusted(replica) {
                         replicas.push(Box::new(ByzantineReplica::new(
@@ -621,6 +774,7 @@ impl Scenario {
                     mode_switch_announcer,
                     trace,
                     keystore,
+                    recover_factories,
                 }
             }
             None => {
@@ -639,8 +793,29 @@ impl Scenario {
                         ProtocolKind::Cft => {
                             let mut core =
                                 CftReplica::new(replica, config, pconfig, self.make_app());
-                            if let Some(recorder) = trace.for_replica(self.tracing, replica) {
+                            let recorder = trace.for_replica(self.tracing, replica);
+                            if let Some(recorder) = recorder.clone() {
                                 core.set_recorder(recorder);
+                            }
+                            if let Some(store) = self.make_store(replica) {
+                                core.set_store(store.clone());
+                                let app = self.app_factory();
+                                recover_factories.insert(
+                                    replica,
+                                    Arc::new(move || {
+                                        let mut core = CftReplica::recover(
+                                            replica,
+                                            config,
+                                            pconfig,
+                                            app(),
+                                            store.clone(),
+                                        );
+                                        if let Some(recorder) = recorder.clone() {
+                                            core.set_recorder(recorder);
+                                        }
+                                        Box::new(core) as Box<dyn ReplicaProtocol>
+                                    }),
+                                );
                             }
                             replicas.push(Box::new(core));
                         }
@@ -652,8 +827,31 @@ impl Scenario {
                                 keystore.clone(),
                                 self.make_app(),
                             );
-                            if let Some(recorder) = trace.for_replica(self.tracing, replica) {
+                            let recorder = trace.for_replica(self.tracing, replica);
+                            if let Some(recorder) = recorder.clone() {
                                 core.set_recorder(recorder);
+                            }
+                            if let Some(store) = self.make_store(replica) {
+                                core.set_store(store.clone());
+                                let app = self.app_factory();
+                                let keystore = keystore.clone();
+                                recover_factories.insert(
+                                    replica,
+                                    Arc::new(move || {
+                                        let mut core = BftReplica::recover(
+                                            replica,
+                                            config,
+                                            pconfig,
+                                            keystore.clone(),
+                                            app(),
+                                            store.clone(),
+                                        );
+                                        if let Some(recorder) = recorder.clone() {
+                                            core.set_recorder(recorder);
+                                        }
+                                        Box::new(core) as Box<dyn ReplicaProtocol>
+                                    }),
+                                );
                             }
                             if replica.0 >= byzantine_cutoff && replica.0 != 0 {
                                 replicas.push(Box::new(ByzantineReplica::new(
@@ -688,6 +886,7 @@ impl Scenario {
                     mode_switch_announcer: None,
                     trace,
                     keystore,
+                    recover_factories,
                 }
             }
         }
@@ -697,7 +896,8 @@ impl Scenario {
     /// closed-loop clients on their own OS threads against real replica
     /// threads, for `duration` of wall-clock time.
     pub(crate) fn run_concurrent(&self, kind: RuntimeKind) -> RunReport {
-        let cores = self.build_cores();
+        let mut cores = self.build_cores();
+        let recover_factories = std::mem::take(&mut cores.recover_factories);
         let client_ids: Vec<ClientId> = cores.clients.iter().map(|c| c.id()).collect();
         let primary = cores.primary;
         let patience = self.protocol_config().client_timeout;
@@ -745,6 +945,36 @@ impl Scenario {
                         cluster.crash(primary);
                     });
                 }
+            }
+            // Crash-recover entries get one scheduler thread each: it kills
+            // the replica at `crash_at`, then (still inside the window)
+            // rebuilds a core from the shared durable store and hands it to
+            // the cluster, which swaps it in on the replica's own thread.
+            for entry in &self.crash_recover {
+                let replica = entry.replica.unwrap_or(primary);
+                let Some(factory) = recover_factories.get(&replica).cloned() else {
+                    continue;
+                };
+                let crash_delay = Duration::from_nanos(entry.crash_at.as_nanos()).to_std();
+                let recover_delay = Duration::from_nanos(entry.recover_at.as_nanos()).to_std();
+                if crash_delay >= run_for {
+                    continue;
+                }
+                let cluster = &cluster;
+                scope.spawn(move || {
+                    let elapsed = start.elapsed();
+                    if crash_delay > elapsed {
+                        std::thread::sleep(crash_delay - elapsed);
+                    }
+                    cluster.crash(replica);
+                    if recover_delay < run_for {
+                        let elapsed = start.elapsed();
+                        if recover_delay > elapsed {
+                            std::thread::sleep(recover_delay - elapsed);
+                        }
+                        cluster.recover(replica, factory());
+                    }
+                });
             }
             // Mode switches are delivered as a driver command to the
             // announcing replica, mirroring the simulator's scheduled
@@ -842,6 +1072,11 @@ impl Scenario {
     }
 }
 
+/// Builds a replacement core for a crashed replica from its durable store
+/// (shared by the simulator's restart events and the concurrent runtimes'
+/// recover commands, so one schedule entry can fire more than once).
+pub(crate) type RecoverFactory = Arc<dyn Fn() -> Box<dyn ReplicaProtocol> + Send + Sync>;
+
 /// Replica and client cores plus the metadata runtimes need to place and
 /// drive them.
 pub(crate) struct CoreSet {
@@ -852,6 +1087,7 @@ pub(crate) struct CoreSet {
     pub(crate) mode_switch_announcer: Option<ReplicaId>,
     pub(crate) trace: TraceHandles,
     pub(crate) keystore: KeyStore,
+    pub(crate) recover_factories: BTreeMap<ReplicaId, RecoverFactory>,
 }
 
 /// Trace-ring capacity per replica: at roughly six events per committed
@@ -920,6 +1156,13 @@ impl AnyCluster {
         match self {
             AnyCluster::Threaded(c) => c.crash(replica),
             AnyCluster::Socket(c) => c.crash(replica),
+        }
+    }
+
+    pub(crate) fn recover(&self, replica: ReplicaId, core: Box<dyn ReplicaProtocol>) {
+        match self {
+            AnyCluster::Threaded(c) => c.recover(replica, core),
+            AnyCluster::Socket(c) => c.recover(replica, core),
         }
     }
 

@@ -84,6 +84,9 @@ enum EventKind {
     Crash {
         replica: ReplicaId,
     },
+    Recover {
+        replica: ReplicaId,
+    },
     ModeSwitch {
         replica: ReplicaId,
         mode: Mode,
@@ -122,6 +125,10 @@ pub struct Simulation {
     next_seq: u64,
     events: BinaryHeap<Event>,
     replicas: BTreeMap<ReplicaId, Box<dyn ReplicaProtocol>>,
+    /// Builders invoked by a scheduled [`EventKind::Recover`]: each returns
+    /// a fresh core rebuilt from the replica's durable store, replacing the
+    /// crashed one (the simulated analogue of a process restart).
+    recover_factories: BTreeMap<ReplicaId, Box<dyn Fn() -> Box<dyn ReplicaProtocol> + Send>>,
     clients: BTreeMap<ClientId, Box<dyn ClientProtocol>>,
     workloads: BTreeMap<ClientId, Workload>,
     /// Whether each client keeps submitting a new request after completing
@@ -151,6 +158,7 @@ impl Simulation {
             next_seq: 0,
             events: BinaryHeap::new(),
             replicas: BTreeMap::new(),
+            recover_factories: BTreeMap::new(),
             clients: BTreeMap::new(),
             workloads: BTreeMap::new(),
             closed_loop: true,
@@ -248,6 +256,25 @@ impl Simulation {
         self.push_event(at, EventKind::Crash { replica });
     }
 
+    /// Registers the builder a scheduled recovery of `replica` uses to
+    /// rebuild its core from the durable store.
+    pub fn set_recover_factory(
+        &mut self,
+        replica: ReplicaId,
+        factory: Box<dyn Fn() -> Box<dyn ReplicaProtocol> + Send>,
+    ) {
+        self.recover_factories.insert(replica, factory);
+    }
+
+    /// Schedules a restart of `replica` at `at`: its core is replaced by a
+    /// fresh one from the registered factory (see
+    /// [`set_recover_factory`](Self::set_recover_factory)) and `on_start`
+    /// runs, announcing the rejoin. Timers armed by the previous incarnation
+    /// are invalidated — a restarted process has no memory of them.
+    pub fn schedule_recover(&mut self, at: Instant, replica: ReplicaId) {
+        self.push_event(at, EventKind::Recover { replica });
+    }
+
     /// Schedules a mode-switch announcement on `replica` at `at`.
     pub fn schedule_mode_switch(&mut self, at: Instant, replica: ReplicaId, mode: Mode) {
         self.push_event(at, EventKind::ModeSwitch { replica, mode });
@@ -343,6 +370,25 @@ impl Simulation {
                 if let Some(core) = self.replicas.get_mut(&replica) {
                     core.crash();
                 }
+            }
+            EventKind::Recover { replica } => {
+                let Some(factory) = self.recover_factories.get(&replica) else {
+                    return;
+                };
+                let mut core = factory();
+                assert_eq!(core.id(), replica, "recover factory built the wrong core");
+                // Invalidate every timer the dead incarnation armed: bumping
+                // the generation makes pending events stale without colliding
+                // with arms the new core performs.
+                for ((r, _), generation) in self.replica_timer_gen.iter_mut() {
+                    if *r == replica {
+                        *generation += 1;
+                    }
+                }
+                let now = self.now;
+                let actions = core.on_start(now);
+                self.replicas.insert(replica, core);
+                self.apply_actions(NodeId::Replica(replica), actions);
             }
             EventKind::ModeSwitch { replica, mode } => {
                 let now = self.now;

@@ -161,6 +161,17 @@ impl ThreadedCluster {
         }
     }
 
+    /// Restarts a crashed replica with `core`, a fresh protocol core rebuilt
+    /// from its durable store (see `seemore_store::Durability::recover`).
+    /// The replica thread drops the dead incarnation (and its timers) and
+    /// runs the new core's `on_start`, which announces the rejoin.
+    pub fn recover(&self, replica: ReplicaId, core: Box<dyn ReplicaProtocol>) {
+        assert_eq!(core.id(), replica, "recovery core built for the wrong id");
+        if let Some(tx) = self.replica_senders.get(&replica) {
+            let _ = tx.send(ReplicaCommand::Recover(core));
+        }
+    }
+
     /// Asks `replica` to announce a dynamic mode switch (SeeMoRe only; other
     /// cores ignore the request). This is how `Scenario::with_mode_switch`
     /// is delivered on the concurrent runtimes.

@@ -1,0 +1,245 @@
+//! Durable replica state: a segmented, CRC-framed write-ahead log plus
+//! durable checkpoint snapshots, behind the narrow [`Durability`] seam every
+//! protocol core holds.
+//!
+//! # What is persisted, and when
+//!
+//! A replica's safety-critical state is exactly the set of claims it has made
+//! to its peers: the proposals it issued, the votes it cast for slots
+//! (`ACCEPT`, PBFT `PREPARE`, `COMMIT`, `INFORM`), the checkpoints it signed,
+//! and the view it has installed. Each of those is appended to the WAL as a
+//! [`WalRecord`] **before** the corresponding message is handed to the
+//! transport — the *no-un-vote* rule. A replica that crashes and recovers
+//! therefore replays every claim it may have made, re-arms the same log
+//! guards (accepted proposal, `commit_sent`, `inform_sent`, installed view),
+//! and can never cast a conflicting vote for a slot or regress to an earlier
+//! view: to an observer, recovery is indistinguishable from a long network
+//! delay.
+//!
+//! What is *not* persisted: peer votes (re-collected or re-fetched via state
+//! transfer), application state between checkpoints (re-executed from the
+//! fetched suffix), client reply queues (clients retransmit), and timers.
+//!
+//! # Checkpoints and compaction
+//!
+//! When a checkpoint becomes stable the full execution snapshot (application
+//! state, `last_executed`, reply cache) and the stability certificate are
+//! written durably ([`Durability::persist_checkpoint`], atomic via
+//! write-to-temp + rename), and the WAL is compacted: every record about a
+//! slot at or below the stable sequence number is dropped
+//! ([`Durability::compact_below`]). Disk usage is therefore bounded by one
+//! checkpoint snapshot plus one checkpoint period of votes, and recovery
+//! time stays flat no matter how long the replica has been running.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for append latency:
+//!
+//! * [`Always`](FsyncPolicy::Always) — `fsync` after every record. A vote is
+//!   on disk before it is on the wire; survives power loss.
+//! * [`Batch(n)`](FsyncPolicy::Batch) — group commit: `fsync` every `n`
+//!   records. Survives process crashes (kill-9) unconditionally — the page
+//!   cache survives the process — and power loss up to the last sync.
+//! * [`Never`](FsyncPolicy::Never) — leave syncing to the OS. Still survives
+//!   process crashes; an unsynced tail may be lost on power failure.
+//!
+//! A torn append (power cut mid-write) leaves a partial final frame whose
+//! length or CRC check fails; recovery discards the torn tail and keeps the
+//! longest cleanly-framed prefix. Losing a *suffix* of the WAL is safe for
+//! the same reason losing the whole process is: the un-replayed votes were
+//! simply never sent, or are re-learned from peers.
+//!
+//! Two interchangeable stores implement the seam: [`FileStore`] (real files,
+//! real `fsync`) and [`MemStore`] (the same byte-level framing in memory,
+//! with fault-injection hooks for torn-tail testing). [`NullStore`] is the
+//! default: durability off, every call a no-op, the hot path bit-identical
+//! to a build without this crate.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod frame;
+mod store;
+
+pub use store::{FileStore, MemStore, StoreConfig};
+
+use seemore_crypto::Digest;
+use seemore_types::{Mode, SeqNum, View};
+use seemore_wire::{Checkpoint, Message};
+
+/// When the write-ahead log calls `fsync` (see the crate docs for the
+/// trade-offs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended record.
+    Always,
+    /// Group commit: sync after every `n` appended records.
+    Batch(
+        /// Records per sync group (clamped to at least 1).
+        u32,
+    ),
+    /// Never sync explicitly; the OS writes back on its own schedule.
+    Never,
+}
+
+/// One durable claim appended to the WAL before the corresponding message is
+/// sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A safety-critical outgoing message: a proposal, a slot vote, or a
+    /// signed checkpoint. Persisted before the send so the replica can never
+    /// un-vote.
+    Vote(
+        /// The message exactly as sent (wire encoding reused for framing).
+        Message,
+    ),
+    /// The replica installed `view` in `mode` (written at `NEW-VIEW`
+    /// installation and at mode switches, before the installation takes
+    /// effect). Replay restores the view so a recovered replica cannot
+    /// participate in a view it already left.
+    ViewEntered {
+        /// The installed view.
+        view: View,
+        /// The mode in force for that view.
+        mode: Mode,
+    },
+}
+
+impl WalRecord {
+    /// The slot this record concerns, if it concerns one — the compaction
+    /// key: records with a slot at or below the stable checkpoint are
+    /// dropped, slot-less records are kept.
+    pub fn slot(&self) -> Option<SeqNum> {
+        match self {
+            WalRecord::Vote(message) => match message {
+                Message::Prepare(p) => Some(p.seq),
+                Message::PrePrepare(p) => Some(p.seq),
+                Message::Accept(a) => Some(a.seq),
+                Message::PbftPrepare(p) => Some(p.seq),
+                Message::Commit(c) => Some(c.seq),
+                Message::Inform(i) => Some(i.seq),
+                Message::Checkpoint(c) => Some(c.seq),
+                _ => None,
+            },
+            WalRecord::ViewEntered { .. } => None,
+        }
+    }
+}
+
+/// A durable checkpoint snapshot: everything a replica needs to restart
+/// execution above `seq` without replaying history below it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableCheckpoint {
+    /// Sequence number the checkpoint covers.
+    pub seq: SeqNum,
+    /// Application state digest at `seq` (cross-checked against the proof).
+    pub state_digest: Digest,
+    /// Execution snapshot (application state, `last_executed`, reply cache)
+    /// as produced by the execution engine.
+    pub snapshot: Vec<u8>,
+    /// The stability certificate: the signed `CHECKPOINT` messages that made
+    /// this checkpoint stable.
+    pub proof: Vec<Checkpoint>,
+}
+
+/// Everything a restarted replica gets back from its store.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredState {
+    /// The last durable checkpoint, if one was ever persisted.
+    pub checkpoint: Option<DurableCheckpoint>,
+    /// The WAL suffix, in append order. Compaction guarantees every surviving
+    /// slot-bearing record is above the checkpoint.
+    pub wal: Vec<WalRecord>,
+    /// Whether a torn tail (partial or corrupt final frames) was discarded
+    /// while reading the WAL.
+    pub torn_tail: bool,
+}
+
+/// The narrow durability seam held by every protocol core.
+///
+/// Implementations must be cheap to call when disabled: cores guard every
+/// call with [`enabled`](Durability::enabled), so [`NullStore`] keeps the
+/// default configuration allocation-free and bit-identical to a build
+/// without durability.
+///
+/// Write failures panic: a replica that cannot make its vote durable must
+/// halt rather than vote on memory alone (continuing would silently void the
+/// no-un-vote guarantee).
+pub trait Durability: Send + Sync {
+    /// Whether this store persists anything at all. `false` promises every
+    /// other method is a no-op, letting cores skip snapshot/encode work.
+    fn enabled(&self) -> bool;
+
+    /// Appends one record to the WAL, honouring the fsync policy. Must be
+    /// called **before** the corresponding message is handed to the
+    /// transport.
+    fn append(&self, record: &WalRecord);
+
+    /// Durably replaces the checkpoint snapshot (atomic: a crash mid-write
+    /// leaves the previous checkpoint intact).
+    fn persist_checkpoint(&self, checkpoint: &DurableCheckpoint);
+
+    /// Drops every WAL record about a slot at or below `seq` (slot-less
+    /// records survive). Called after
+    /// [`persist_checkpoint`](Durability::persist_checkpoint) so the dropped
+    /// records are covered by the snapshot.
+    fn compact_below(&self, seq: SeqNum);
+
+    /// Reads the durable state back: the last checkpoint plus the WAL
+    /// suffix, with any torn tail discarded. `None` when the store is
+    /// disabled.
+    fn recover(&self) -> Option<RecoveredState>;
+}
+
+/// The default store: durability off, every operation a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullStore;
+
+impl Durability for NullStore {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn append(&self, _record: &WalRecord) {}
+
+    fn persist_checkpoint(&self, _checkpoint: &DurableCheckpoint) {}
+
+    fn compact_below(&self, _seq: SeqNum) {}
+
+    fn recover(&self) -> Option<RecoveredState> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_types::ReplicaId;
+    use seemore_wire::StateRequest;
+
+    #[test]
+    fn null_store_is_disabled_and_inert() {
+        let store = NullStore;
+        assert!(!store.enabled());
+        store.append(&WalRecord::ViewEntered {
+            view: View(3),
+            mode: Mode::Lion,
+        });
+        store.compact_below(SeqNum(10));
+        assert!(store.recover().is_none());
+    }
+
+    #[test]
+    fn slot_extraction_covers_vote_kinds_only() {
+        let record = WalRecord::Vote(Message::StateRequest(StateRequest {
+            from_seq: SeqNum(4),
+            replica: ReplicaId(1),
+        }));
+        assert_eq!(record.slot(), None);
+        let view = WalRecord::ViewEntered {
+            view: View(1),
+            mode: Mode::Peacock,
+        };
+        assert_eq!(view.slot(), None);
+    }
+}

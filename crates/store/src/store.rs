@@ -1,0 +1,557 @@
+//! The two store backends: [`FileStore`] (real files, real `fsync`) and
+//! [`MemStore`] (identical framing in memory, with fault-injection hooks).
+
+use crate::frame;
+use crate::{Durability, DurableCheckpoint, FsyncPolicy, RecoveredState, WalRecord};
+use seemore_types::SeqNum;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Tuning knobs shared by both store backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// When the WAL calls `fsync` (see the crate docs for the trade-offs).
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh WAL segment once the active one reaches this many
+    /// bytes (clamped to at least one frame's worth).
+    pub segment_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::Batch(8),
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+impl StoreConfig {
+    fn sync_every(&self) -> u32 {
+        match self.fsync {
+            FsyncPolicy::Always => 1,
+            FsyncPolicy::Batch(n) => n.max(1),
+            FsyncPolicy::Never => u32::MAX,
+        }
+    }
+
+    fn segment_limit(&self) -> usize {
+        self.segment_bytes.max(64)
+    }
+}
+
+/// Keeps the records above `seq`, re-framed into one fresh byte stream.
+///
+/// Compaction is rewrite-then-delete, so a crash between the two steps
+/// leaves both the old segments and the compacted copy on disk; replay then
+/// sees each surviving record twice, which is safe because WAL replay is
+/// idempotent (first vote wins, flags are merely re-set).
+fn compacted_bytes(segments: &[Vec<u8>], seq: SeqNum) -> Vec<u8> {
+    let decoded = frame::assemble(None, segments);
+    let mut out = Vec::new();
+    for record in &decoded.wal {
+        if record.slot().is_none_or(|slot| slot > seq) {
+            frame::encode_record(record, &mut out);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemInner {
+    segments: Vec<Vec<u8>>,
+    checkpoint: Option<Vec<u8>>,
+}
+
+impl MemInner {
+    fn active(&mut self) -> &mut Vec<u8> {
+        if self.segments.is_empty() {
+            self.segments.push(Vec::new());
+        }
+        self.segments.last_mut().expect("segment exists")
+    }
+}
+
+/// An in-memory store running the exact byte-level framing of [`FileStore`],
+/// used by the deterministic simulator and by tests. Crash recovery is
+/// modelled by keeping the store alive across a simulated restart and calling
+/// [`recover`](Durability::recover) on it; the fault-injection hooks model
+/// kill-9 mid-append by truncating or corrupting the WAL tail first.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    config: StoreConfig,
+    inner: Mutex<MemInner>,
+}
+
+impl MemStore {
+    /// Creates an empty in-memory store.
+    pub fn new(config: StoreConfig) -> Self {
+        MemStore {
+            config,
+            inner: Mutex::new(MemInner::default()),
+        }
+    }
+
+    /// Total bytes currently in the WAL, across all segments.
+    pub fn wal_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("store lock");
+        inner.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Number of cleanly framed records currently in the WAL.
+    pub fn wal_records(&self) -> usize {
+        let inner = self.inner.lock().expect("store lock");
+        frame::assemble(None, &inner.segments).wal.len()
+    }
+
+    /// Fault injection: truncates the WAL to its first `len` bytes, modelling
+    /// a kill-9 (or power cut) that caught an append mid-write.
+    pub fn truncate_wal_to(&self, len: usize) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let mut remaining = len;
+        for segment in &mut inner.segments {
+            let keep = remaining.min(segment.len());
+            segment.truncate(keep);
+            remaining -= keep;
+        }
+    }
+
+    /// Fault injection: flips a byte `back` positions from the WAL's end,
+    /// modelling a torn sector whose length field still looks plausible.
+    pub fn corrupt_wal_tail(&self, back: usize) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let total: usize = inner.segments.iter().map(Vec::len).sum();
+        if total == 0 || back >= total {
+            return;
+        }
+        let mut offset = total - 1 - back;
+        for segment in &mut inner.segments {
+            if offset < segment.len() {
+                segment[offset] ^= 0xFF;
+                return;
+            }
+            offset -= segment.len();
+        }
+    }
+}
+
+impl Durability for MemStore {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn append(&self, record: &WalRecord) {
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.active().len() >= self.config.segment_limit() {
+            inner.segments.push(Vec::new());
+        }
+        frame::encode_record(record, inner.active());
+    }
+
+    fn persist_checkpoint(&self, checkpoint: &DurableCheckpoint) {
+        let bytes = frame::encode_checkpoint(checkpoint);
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.checkpoint = Some(bytes);
+    }
+
+    fn compact_below(&self, seq: SeqNum) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let compacted = compacted_bytes(&inner.segments, seq);
+        inner.segments = vec![compacted];
+    }
+
+    fn recover(&self) -> Option<RecoveredState> {
+        let inner = self.inner.lock().expect("store lock");
+        Some(frame::assemble(
+            inner.checkpoint.as_deref(),
+            &inner.segments,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------------
+
+const CHECKPOINT_FILE: &str = "checkpoint.bin";
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+fn segment_name(index: u64) -> String {
+    format!("wal-{index:06}.log")
+}
+
+fn segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+#[derive(Debug)]
+struct FileInner {
+    active: File,
+    active_index: u64,
+    active_len: usize,
+    unsynced: u32,
+}
+
+/// A file-backed store: WAL segments `wal-NNNNNN.log` plus an atomically
+/// replaced `checkpoint.bin`, all in one directory owned by the replica.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    repaired: bool,
+    inner: Mutex<FileInner>,
+}
+
+impl FileStore {
+    /// Opens (or creates) a store in `dir`. A torn tail left by a crash
+    /// mid-append is repaired in place (truncated to the last clean frame),
+    /// exactly as a database WAL would, so subsequent appends are never
+    /// hidden behind garbage; [`recover`](Durability::recover) still reports
+    /// that a tail was discarded.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> std::io::Result<FileStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let repaired = Self::repair(&dir)?;
+        let next = Self::segment_indices(&dir)?
+            .last()
+            .map_or(1, |last| last + 1);
+        let active = Self::create_segment(&dir, next)?;
+        Ok(FileStore {
+            dir,
+            config,
+            repaired,
+            inner: Mutex::new(FileInner {
+                active,
+                active_index: next,
+                active_len: 0,
+                unsynced: 0,
+            }),
+        })
+    }
+
+    /// Truncates the first torn frame (and drops any segments after it —
+    /// nothing durable can follow a tear, since the tear was the last write
+    /// before the crash). Returns whether anything was discarded.
+    fn repair(dir: &Path) -> std::io::Result<bool> {
+        let indices = Self::segment_indices(dir)?;
+        for (position, &index) in indices.iter().enumerate() {
+            let path = dir.join(segment_name(index));
+            let bytes = fs::read(&path)?;
+            let decoded = frame::decode_wal(&bytes);
+            if !decoded.torn_tail {
+                continue;
+            }
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(decoded.clean_len as u64)?;
+            file.sync_data()?;
+            for &later in &indices[position + 1..] {
+                let _ = fs::remove_file(dir.join(segment_name(later)));
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_indices(dir: &Path) -> std::io::Result<Vec<u64>> {
+        let mut indices = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(index) = entry.file_name().to_str().and_then(segment_index) {
+                indices.push(index);
+            }
+        }
+        indices.sort_unstable();
+        Ok(indices)
+    }
+
+    fn create_segment(dir: &Path, index: u64) -> std::io::Result<File> {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(segment_name(index)))
+    }
+
+    fn read_segments(&self) -> std::io::Result<Vec<Vec<u8>>> {
+        let mut segments = Vec::new();
+        for index in Self::segment_indices(&self.dir)? {
+            let mut bytes = Vec::new();
+            File::open(self.dir.join(segment_name(index)))?.read_to_end(&mut bytes)?;
+            segments.push(bytes);
+        }
+        Ok(segments)
+    }
+
+    fn sync_dir(&self) {
+        // Directory fsync makes renames and segment creation durable; some
+        // filesystems refuse it, which only weakens power-loss (not kill-9)
+        // guarantees, so failures are tolerated.
+        if let Ok(handle) = File::open(&self.dir) {
+            let _ = handle.sync_all();
+        }
+    }
+}
+
+impl Durability for FileStore {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn append(&self, record: &WalRecord) {
+        let mut bytes = Vec::new();
+        frame::encode_record(record, &mut bytes);
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.active_len >= self.config.segment_limit() {
+            if self.config.fsync != FsyncPolicy::Never {
+                inner.active.sync_data().expect("wal segment sync");
+            }
+            inner.active_index += 1;
+            inner.active =
+                Self::create_segment(&self.dir, inner.active_index).expect("wal segment create");
+            inner.active_len = 0;
+            inner.unsynced = 0;
+            self.sync_dir();
+        }
+        inner.active.write_all(&bytes).expect("wal append");
+        inner.active_len += bytes.len();
+        inner.unsynced += 1;
+        if inner.unsynced >= self.config.sync_every() {
+            inner.active.sync_data().expect("wal sync");
+            inner.unsynced = 0;
+        }
+    }
+
+    fn persist_checkpoint(&self, checkpoint: &DurableCheckpoint) {
+        let bytes = frame::encode_checkpoint(checkpoint);
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        let _inner = self.inner.lock().expect("store lock");
+        let mut file = File::create(&tmp).expect("checkpoint create");
+        file.write_all(&bytes).expect("checkpoint write");
+        file.sync_data().expect("checkpoint sync");
+        drop(file);
+        fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE)).expect("checkpoint rename");
+        self.sync_dir();
+    }
+
+    fn compact_below(&self, seq: SeqNum) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let old_indices = Self::segment_indices(&self.dir).expect("wal list");
+        let segments = self.read_segments().expect("wal read");
+        let compacted = compacted_bytes(&segments, seq);
+        let new_index = old_indices.last().map_or(1, |last| last + 1);
+        let mut file = Self::create_segment(&self.dir, new_index).expect("wal segment create");
+        file.write_all(&compacted).expect("wal rewrite");
+        if self.config.fsync != FsyncPolicy::Never {
+            file.sync_data().expect("wal rewrite sync");
+        }
+        inner.active = file;
+        inner.active_index = new_index;
+        inner.active_len = compacted.len();
+        inner.unsynced = 0;
+        self.sync_dir();
+        for index in old_indices {
+            let _ = fs::remove_file(self.dir.join(segment_name(index)));
+        }
+        self.sync_dir();
+    }
+
+    fn recover(&self) -> Option<RecoveredState> {
+        let _inner = self.inner.lock().expect("store lock");
+        let checkpoint = fs::read(self.dir.join(CHECKPOINT_FILE)).ok();
+        let segments = self.read_segments().expect("wal read");
+        let mut state = frame::assemble(checkpoint.as_deref(), &segments);
+        state.torn_tail |= self.repaired;
+        Some(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seemore_crypto::{Digest, Signature};
+    use seemore_types::{ReplicaId, View};
+    use seemore_wire::{Accept, Checkpoint, Message};
+
+    fn vote(seq: u64) -> WalRecord {
+        WalRecord::Vote(Message::Accept(Accept {
+            view: View(0),
+            seq: SeqNum(seq),
+            digest: Digest::of_bytes(&seq.to_le_bytes()),
+            replica: ReplicaId(1),
+            signature: Some(Signature::INVALID),
+        }))
+    }
+
+    fn checkpoint(seq: u64) -> DurableCheckpoint {
+        DurableCheckpoint {
+            seq: SeqNum(seq),
+            state_digest: Digest::of_bytes(&seq.to_le_bytes()),
+            snapshot: vec![0xAB; 48],
+            proof: vec![Checkpoint {
+                seq: SeqNum(seq),
+                state_digest: Digest::of_bytes(&seq.to_le_bytes()),
+                replica: ReplicaId(0),
+                signature: Signature::INVALID,
+            }],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seemore-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn mem_store_round_trips_and_compacts() {
+        let store = MemStore::new(StoreConfig {
+            segment_bytes: 128,
+            ..StoreConfig::default()
+        });
+        for seq in 1..=20 {
+            store.append(&vote(seq));
+        }
+        store.append(&WalRecord::ViewEntered {
+            view: View(2),
+            mode: seemore_types::Mode::Lion,
+        });
+        store.persist_checkpoint(&checkpoint(10));
+        store.compact_below(SeqNum(10));
+
+        let state = store.recover().expect("mem store recovers");
+        assert!(!state.torn_tail);
+        assert_eq!(state.checkpoint, Some(checkpoint(10)));
+        assert_eq!(state.wal.len(), 11); // votes 11..=20 plus the view record
+        assert!(state
+            .wal
+            .iter()
+            .all(|r| r.slot().is_none_or(|s| s > SeqNum(10))));
+    }
+
+    #[test]
+    fn mem_store_truncation_drops_only_the_tail() {
+        let store = MemStore::new(StoreConfig::default());
+        for seq in 1..=5 {
+            store.append(&vote(seq));
+        }
+        store.truncate_wal_to(store.wal_bytes() - 3);
+        let state = store.recover().expect("recovers");
+        assert!(state.torn_tail);
+        assert_eq!(state.wal, (1..=4).map(vote).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mem_store_corruption_is_crc_rejected() {
+        let store = MemStore::new(StoreConfig::default());
+        for seq in 1..=3 {
+            store.append(&vote(seq));
+        }
+        store.corrupt_wal_tail(2);
+        let state = store.recover().expect("recovers");
+        assert!(state.torn_tail);
+        assert_eq!(state.wal, vec![vote(1), vote(2)]);
+    }
+
+    #[test]
+    fn file_store_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let store = FileStore::open(
+                &dir,
+                StoreConfig {
+                    fsync: FsyncPolicy::Always,
+                    segment_bytes: 256,
+                },
+            )
+            .expect("open");
+            for seq in 1..=12 {
+                store.append(&vote(seq));
+            }
+            store.persist_checkpoint(&checkpoint(8));
+            store.compact_below(SeqNum(8));
+        }
+        let store = FileStore::open(&dir, StoreConfig::default()).expect("reopen");
+        let state = store.recover().expect("recovers");
+        assert!(!state.torn_tail);
+        assert_eq!(state.checkpoint, Some(checkpoint(8)));
+        assert_eq!(state.wal, (9..=12).map(vote).collect::<Vec<_>>());
+        // New appends after reopen land after the recovered suffix.
+        store.append(&vote(13));
+        let state = store.recover().expect("recovers");
+        assert_eq!(state.wal, (9..=13).map(vote).collect::<Vec<_>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_recovers_past_a_torn_tail_on_disk() {
+        let dir = temp_dir("torn");
+        {
+            let store = FileStore::open(&dir, StoreConfig::default()).expect("open");
+            for seq in 1..=4 {
+                store.append(&vote(seq));
+            }
+        }
+        // Tear the final frame the way kill-9 mid-write would.
+        let segment = dir.join(segment_name(1));
+        let mut bytes = fs::read(&segment).expect("read segment");
+        bytes.truncate(bytes.len() - 5);
+        fs::write(&segment, bytes).expect("rewrite segment");
+
+        let store = FileStore::open(&dir, StoreConfig::default()).expect("reopen");
+        let state = store.recover().expect("recovers");
+        assert!(state.torn_tail);
+        assert_eq!(state.wal, (1..=3).map(vote).collect::<Vec<_>>());
+        // The fresh active segment sorts after the torn one, so new appends
+        // are visible even though the torn tail was discarded.
+        store.append(&vote(9));
+        let state = store.recover().expect("recovers");
+        assert_eq!(state.wal.last(), Some(&vote(9)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_checkpoint_replacement_is_atomic_in_effect() {
+        let dir = temp_dir("ckpt");
+        let store = FileStore::open(&dir, StoreConfig::default()).expect("open");
+        store.persist_checkpoint(&checkpoint(8));
+        store.persist_checkpoint(&checkpoint(16));
+        let state = store.recover().expect("recovers");
+        assert_eq!(state.checkpoint, Some(checkpoint(16)));
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_rotates_segments() {
+        let dir = temp_dir("rotate");
+        let store = FileStore::open(
+            &dir,
+            StoreConfig {
+                fsync: FsyncPolicy::Never,
+                segment_bytes: 64,
+            },
+        )
+        .expect("open");
+        for seq in 1..=30 {
+            store.append(&vote(seq));
+        }
+        let segments = FileStore::segment_indices(&dir).expect("list");
+        assert!(segments.len() > 1, "expected rotation, got {segments:?}");
+        let state = store.recover().expect("recovers");
+        assert_eq!(state.wal, (1..=30).map(vote).collect::<Vec<_>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

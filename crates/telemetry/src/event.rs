@@ -54,11 +54,21 @@ pub enum EventKind {
     /// A vote's digest disagreed with the locally accepted proposal for
     /// `slot`.
     VoteMismatch,
+    /// A replica restarted from durable state and began its rejoin.
+    /// `detail` is the number of WAL records replayed.
+    RecoveryStarted,
+    /// A stable checkpoint was written to the durable store (and the WAL
+    /// compacted below it); `slot` is the checkpointed sequence number.
+    CheckpointPersisted,
+    /// A recovering replica received the committed suffix it missed and
+    /// resumed normal processing. `detail` is the number of WAL records
+    /// replayed at restart.
+    RecoveryCompleted,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::ClientSubmit,
         EventKind::ClientDone,
         EventKind::RequestAdmitted,
@@ -78,6 +88,9 @@ impl EventKind {
         EventKind::SuspicionFired,
         EventKind::SigVerifyFail,
         EventKind::VoteMismatch,
+        EventKind::RecoveryStarted,
+        EventKind::CheckpointPersisted,
+        EventKind::RecoveryCompleted,
     ];
 
     /// Stable snake_case name used by the JSONL export.
@@ -102,6 +115,9 @@ impl EventKind {
             EventKind::SuspicionFired => "suspicion_fired",
             EventKind::SigVerifyFail => "sig_verify_fail",
             EventKind::VoteMismatch => "vote_mismatch",
+            EventKind::RecoveryStarted => "recovery_started",
+            EventKind::CheckpointPersisted => "checkpoint_persisted",
+            EventKind::RecoveryCompleted => "recovery_completed",
         }
     }
 

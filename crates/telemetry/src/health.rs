@@ -64,6 +64,18 @@ pub struct ReplicaHealth {
     /// derivable from the trace; the runtime fills it in from transport
     /// stats (zero on non-socket runtimes).
     pub reconnects: u64,
+    /// Crash recoveries this replica completed (restart → rejoin done).
+    pub recoveries: u64,
+    /// Total time spent between a recovery start and its completion.
+    pub recovery_total: Duration,
+    /// Longest single restart→rejoin gap.
+    pub recovery_max: Duration,
+    /// WAL records replayed across this replica's restarts (from the
+    /// `RecoveryStarted` event detail).
+    pub wal_replayed: u64,
+    /// Durable checkpoints this replica persisted (each also compacts the
+    /// WAL below it).
+    pub checkpoints_persisted: u64,
     /// Bucketed timeline of the signals above.
     pub timeline: Vec<HealthSample>,
 }
@@ -82,6 +94,11 @@ impl ReplicaHealth {
             view_change_total: Duration::ZERO,
             view_change_max: Duration::ZERO,
             reconnects: 0,
+            recoveries: 0,
+            recovery_total: Duration::ZERO,
+            recovery_max: Duration::ZERO,
+            wal_replayed: 0,
+            checkpoints_persisted: 0,
             timeline: Vec::new(),
         }
     }
@@ -100,6 +117,7 @@ impl ReplicaHealth {
         let mut health = ReplicaHealth::new(replica);
         let bucket_nanos = bucket.as_nanos().max(1);
         let mut open_view_change: Option<Instant> = None;
+        let mut open_recovery: Option<Instant> = None;
 
         for event in events {
             if event.node != NodeId::Replica(replica) {
@@ -140,6 +158,25 @@ impl ReplicaHealth {
                         }
                     }
                 }
+                EventKind::RecoveryStarted => {
+                    health.wal_replayed += event.detail;
+                    // A re-announced start keeps the earliest: the replica
+                    // has been rejoining since then.
+                    open_recovery.get_or_insert(event.at);
+                }
+                EventKind::RecoveryCompleted => {
+                    health.recoveries += 1;
+                    if let Some(started) = open_recovery.take() {
+                        let took = event.at.duration_since(started);
+                        health.recovery_total += took;
+                        if took > health.recovery_max {
+                            health.recovery_max = took;
+                        }
+                    }
+                }
+                EventKind::CheckpointPersisted => {
+                    health.checkpoints_persisted += 1;
+                }
                 _ => {}
             }
         }
@@ -151,6 +188,14 @@ impl ReplicaHealth {
         self.view_change_total
             .as_nanos()
             .checked_div(self.view_changes_installed)
+            .map(Duration::from_nanos)
+    }
+
+    /// Mean restart→rejoin duration, when any recovery completed.
+    pub fn recovery_mean(&self) -> Option<Duration> {
+        self.recovery_total
+            .as_nanos()
+            .checked_div(self.recoveries)
             .map(Duration::from_nanos)
     }
 
@@ -238,6 +283,31 @@ mod tests {
         assert_eq!(health.view_change_total, Duration::from_nanos(400));
         assert_eq!(health.view_change_max, Duration::from_nanos(300));
         assert_eq!(health.view_change_mean(), Some(Duration::from_nanos(200)));
+    }
+
+    #[test]
+    fn recovery_durations_pair_start_with_completion() {
+        let bucket = Duration::from_nanos(1_000);
+        let mut events = vec![
+            ev(100, 1, EventKind::RecoveryStarted),
+            ev(200, 1, EventKind::RecoveryStarted), // re-announce keeps first
+            ev(400, 1, EventKind::RecoveryCompleted),
+            ev(800, 1, EventKind::CheckpointPersisted),
+            ev(900, 1, EventKind::RecoveryStarted),
+            ev(1000, 1, EventKind::RecoveryCompleted),
+        ];
+        events[0].detail = 7;
+        events[4].detail = 3;
+        let health =
+            ReplicaHealth::from_events(ReplicaId(1), &events, Instant::from_nanos(0), bucket);
+        assert_eq!(health.recoveries, 2);
+        assert_eq!(health.recovery_total, Duration::from_nanos(400));
+        assert_eq!(health.recovery_max, Duration::from_nanos(300));
+        assert_eq!(health.recovery_mean(), Some(Duration::from_nanos(200)));
+        assert_eq!(health.wal_replayed, 10);
+        assert_eq!(health.checkpoints_persisted, 1);
+        // Recoveries are lifecycle, not misbehaviour: the replica stays quiet.
+        assert!(health.is_quiet());
     }
 
     #[test]

@@ -48,8 +48,8 @@ use crate::agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare}
 use crate::batch::Batch;
 use crate::client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
 use crate::control::{
-    Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
-    ViewChange,
+    Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, Recovery, StateRequest,
+    StateResponse, ViewChange,
 };
 use crate::message::Message;
 use crate::redirect::Redirect;
@@ -101,6 +101,7 @@ const KIND_STATE_RESPONSE: u8 = 14;
 const KIND_READ_REQUEST: u8 = 15;
 const KIND_READ_REPLY: u8 = 16;
 const KIND_REDIRECT: u8 = 17;
+const KIND_RECOVERY: u8 = 18;
 
 /// Why a byte string failed to decode. Every variant is a graceful error —
 /// the decoder never panics and never allocates proportionally to an
@@ -306,6 +307,12 @@ pub fn encode_into(message: &Message, out: &mut Vec<u8>) {
         Message::StateRequest(m) => put_block(out, KIND_STATE_REQUEST, 0, |b| {
             put_u64(b, m.from_seq.0);
             put_u64(b, u64::from(m.replica.0));
+        }),
+        Message::Recovery(m) => put_block(out, KIND_RECOVERY, 0, |b| {
+            put_u64(b, m.last_executed.0);
+            put_u64(b, m.view.0);
+            put_u64(b, u64::from(m.replica.0));
+            put_hash(b, m.signature.as_bytes());
         }),
         Message::Redirect(m) => put_block(out, KIND_REDIRECT, 0, |b| {
             put_u64(b, m.request.client.0);
@@ -1004,6 +1011,18 @@ fn read_message(r: &mut Reader) -> Result<Message, DecodeError> {
             let from_seq = SeqNum(body.u64()?);
             let replica = body.replica()?;
             Message::StateRequest(StateRequest { from_seq, replica })
+        }
+        KIND_RECOVERY => {
+            let last_executed = SeqNum(body.u64()?);
+            let view = View(body.u64()?);
+            let replica = body.replica()?;
+            let signature = body.signature()?;
+            Message::Recovery(Recovery {
+                last_executed,
+                view,
+                replica,
+                signature,
+            })
         }
         KIND_STATE_RESPONSE => {
             let replica = body.replica()?;

@@ -310,6 +310,45 @@ impl WireSize for StateResponse {
     }
 }
 
+/// `⟨RECOVERY, n, v, i⟩_σ` — broadcast by a replica that restarted from its
+/// durable state (checkpoint + WAL suffix) and needs the committed suffix it
+/// missed while down. Peers answer with a [`StateResponse`] from
+/// `last_executed + 1`; the first valid response completes the rejoin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recovery {
+    /// Last sequence number the recovering replica has executed (from its
+    /// restored checkpoint plus replayed WAL).
+    pub last_executed: SeqNum,
+    /// The view the recovering replica restored; peers in a later view will
+    /// bring it forward via the normal new-view machinery.
+    pub view: View,
+    /// The recovering replica.
+    pub replica: ReplicaId,
+    /// The announcer's signature (so a forged announcement cannot trigger
+    /// snapshot traffic at a byzantine replica's chosen moment).
+    pub signature: Signature,
+}
+
+impl SignedPayload for Recovery {
+    fn signing_bytes_into(&self, out: &mut Vec<u8>) {
+        canonical_bytes_into(
+            out,
+            "recovery",
+            &[
+                &self.last_executed.0.to_le_bytes(),
+                &self.view.0.to_le_bytes(),
+                &self.replica.0.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+impl WireSize for Recovery {
+    fn wire_size(&self) -> usize {
+        HEADER_LEN + 3 * INT_LEN + SIGNATURE_LEN
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,8 +51,8 @@ pub use codec::{
     MAX_FRAME,
 };
 pub use control::{
-    Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, StateRequest, StateResponse,
-    ViewChange,
+    Checkpoint, CommitCert, ModeChange, NewView, PrepareCert, Recovery, StateRequest,
+    StateResponse, ViewChange,
 };
 pub use group::{peel_tag, write_tagged, GroupDemux, GROUP_TAG_LEN};
 pub use message::{Message, MessageKind};

@@ -3,7 +3,9 @@
 
 use crate::agreement::{Accept, Commit, Inform, PbftPrepare, PrePrepare, Prepare};
 use crate::client::{ClientReply, ClientRequest, ReadReply, ReadRequest};
-use crate::control::{Checkpoint, ModeChange, NewView, StateRequest, StateResponse, ViewChange};
+use crate::control::{
+    Checkpoint, ModeChange, NewView, Recovery, StateRequest, StateResponse, ViewChange,
+};
 use crate::redirect::Redirect;
 use crate::size::WireSize;
 use serde::{Deserialize, Serialize};
@@ -47,6 +49,8 @@ pub enum Message {
     StateResponse(StateResponse),
     /// Signed shard-routing redirect for a misrouted client request.
     Redirect(Redirect),
+    /// Announcement by a replica restarting from durable state.
+    Recovery(Recovery),
 }
 
 /// Discriminant-only view of [`Message`], used as a metrics key.
@@ -86,11 +90,13 @@ pub enum MessageKind {
     StateResponse,
     /// See [`Message::Redirect`].
     Redirect,
+    /// See [`Message::Recovery`].
+    Recovery,
 }
 
 impl MessageKind {
     /// All message kinds, in declaration order.
-    pub const ALL: [MessageKind; 17] = [
+    pub const ALL: [MessageKind; 18] = [
         MessageKind::Request,
         MessageKind::Reply,
         MessageKind::ReadRequest,
@@ -108,6 +114,7 @@ impl MessageKind {
         MessageKind::StateRequest,
         MessageKind::StateResponse,
         MessageKind::Redirect,
+        MessageKind::Recovery,
     ];
 
     /// Whether messages of this kind belong to the agreement data path
@@ -145,6 +152,7 @@ impl fmt::Display for MessageKind {
             MessageKind::StateRequest => "STATE-REQUEST",
             MessageKind::StateResponse => "STATE-RESPONSE",
             MessageKind::Redirect => "REDIRECT",
+            MessageKind::Recovery => "RECOVERY",
         };
         f.write_str(name)
     }
@@ -171,6 +179,7 @@ impl Message {
             Message::StateRequest(_) => MessageKind::StateRequest,
             Message::StateResponse(_) => MessageKind::StateResponse,
             Message::Redirect(_) => MessageKind::Redirect,
+            Message::Recovery(_) => MessageKind::Recovery,
         }
     }
 }
@@ -195,6 +204,7 @@ impl WireSize for Message {
             Message::StateRequest(m) => m.wire_size(),
             Message::StateResponse(m) => m.wire_size(),
             Message::Redirect(m) => m.wire_size(),
+            Message::Recovery(m) => m.wire_size(),
         }
     }
 }
@@ -226,6 +236,7 @@ impl_from!(ModeChange, ModeChange);
 impl_from!(StateRequest, StateRequest);
 impl_from!(StateResponse, StateResponse);
 impl_from!(Redirect, Redirect);
+impl_from!(Recovery, Recovery);
 
 #[cfg(test)]
 mod tests {
@@ -284,7 +295,7 @@ mod tests {
         assert!(!MessageKind::ViewChange.is_agreement());
         assert!(!MessageKind::Checkpoint.is_agreement());
         assert!(!MessageKind::Redirect.is_agreement());
-        assert_eq!(MessageKind::ALL.len(), 17);
+        assert_eq!(MessageKind::ALL.len(), 18);
     }
 
     #[test]

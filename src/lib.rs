@@ -16,6 +16,10 @@
 //!   [`net::Transport`] seam.
 //! * [`app`] — the replicated application layer (state machine trait and a
 //!   key-value store).
+//! * [`store`] — durable replica state: a segmented, CRC-framed write-ahead
+//!   log plus checkpoint snapshots behind the narrow [`store::Durability`]
+//!   seam every core holds (a no-op null store by default), powering
+//!   crash-recover-rejoin ([`runtime::Scenario::with_crash_recover`]).
 //! * [`core`] — the SeeMoRe protocol itself: Lion, Dog and Peacock modes,
 //!   view changes, checkpointing, dynamic mode switching and request
 //!   batching.
@@ -78,6 +82,7 @@ pub use seemore_core as core;
 pub use seemore_crypto as crypto;
 pub use seemore_net as net;
 pub use seemore_runtime as runtime;
+pub use seemore_store as store;
 pub use seemore_telemetry as telemetry;
 pub use seemore_types as types;
 pub use seemore_wire as wire;

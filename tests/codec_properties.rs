@@ -22,11 +22,11 @@ use seemore::wire::codec::{decode, encode, DecodeError, FrameReader, MAX_FRAME};
 use seemore::wire::{
     Accept, Batch, Checkpoint, ClientReply, ClientRequest, Commit, CommitCert, Inform, Message,
     ModeChange, NewView, PbftPrepare, PrePrepare, Prepare, PrepareCert, ReadReply, ReadRequest,
-    Redirect, StateRequest, StateResponse, ViewChange, WireSize,
+    Recovery, Redirect, StateRequest, StateResponse, ViewChange, WireSize,
 };
 
 /// Number of distinct message kinds the generator can produce.
-const KINDS: usize = 17;
+const KINDS: usize = 18;
 
 fn keystore() -> KeyStore {
     KeyStore::generate(0xC0DEC, 8, 4)
@@ -262,7 +262,7 @@ fn arbitrary_message(seed: u64, index: usize) -> Message {
                 replica: ReplicaId(rng.gen_range(0u64..8) as u32),
             })
         }
-        _ => {
+        16 => {
             let partitioning = if rng.gen_bool(0.5) {
                 Partitioning::Hash {
                     groups: rng.gen_range(1u64..64) as u32,
@@ -293,6 +293,12 @@ fn arbitrary_message(seed: u64, index: usize) -> Message {
                 signature: signature(rng),
             })
         }
+        _ => Message::Recovery(Recovery {
+            last_executed: SeqNum(rng.gen_range(0u64..10_000)),
+            view: View(rng.gen_range(0u64..64)),
+            replica: ReplicaId(rng.gen_range(0u64..8) as u32),
+            signature: signature(rng),
+        }),
     }
 }
 

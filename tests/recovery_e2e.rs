@@ -1,0 +1,362 @@
+//! Crash-recover-rejoin end to end.
+//!
+//! A replica is killed mid-run and later restarted from its durable store
+//! (last persisted checkpoint plus the write-ahead-log suffix), rejoining
+//! via the recovery announcement and state transfer:
+//!
+//! * on the deterministic simulator, for SeeMoRe in all three modes plus
+//!   the CFT and BFT baselines, the run with a crash-recover schedule
+//!   produces **per-slot histories identical to a no-crash control**;
+//! * on the threaded, socket and reactor runtimes the restarted replica
+//!   really is torn down and rebuilt from the store on its own thread, and
+//!   the telemetry rollup shows the completed recovery;
+//! * a kill-9 torn WAL tail (the store's fault-injection hook) is repaired
+//!   at recovery and the replica still rejoins without a safety violation.
+
+use seemore::app::NoopApp;
+use seemore::core::client::ClientCore;
+use seemore::core::config::ProtocolConfig;
+use seemore::core::exec::ExecutedEntry;
+use seemore::core::replica::SeeMoReReplica;
+use seemore::core::testkit::SyncCluster;
+use seemore::crypto::{Digest, KeyStore};
+use seemore::net::{CpuModel, LatencyModel};
+use seemore::runtime::scenario::{CrashRecover, DurabilityKind};
+use seemore::runtime::{ProtocolKind, RuntimeKind, Scenario};
+use seemore::store::{MemStore, StoreConfig};
+use seemore::types::{ClientId, ClusterConfig, Duration, Instant, Mode, ReplicaId, SeqNum};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-slot view of a history: sequence number → ordered request digests.
+fn slot_map(history: &[ExecutedEntry]) -> BTreeMap<SeqNum, Vec<Digest>> {
+    let mut slots: BTreeMap<SeqNum, Vec<Digest>> = BTreeMap::new();
+    for entry in history {
+        slots.entry(entry.seq).or_default().push(entry.digest);
+    }
+    slots
+}
+
+/// Every pair of histories agrees on every slot both executed.
+fn assert_agreement(label: &str, histories: &[(ReplicaId, Vec<ExecutedEntry>)]) {
+    let maps: Vec<(ReplicaId, BTreeMap<SeqNum, Vec<Digest>>)> = histories
+        .iter()
+        .map(|(id, history)| (*id, slot_map(history)))
+        .collect();
+    for (i, (id_a, a)) in maps.iter().enumerate() {
+        for (id_b, b) in maps.iter().skip(i + 1) {
+            for (seq, digests) in a {
+                if let Some(other) = b.get(seq) {
+                    assert_eq!(
+                        digests, other,
+                        "{label}: {id_a} and {id_b} diverge at {seq}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The protocols the acceptance criteria name: SeeMoRe in all three modes
+/// plus both baselines.
+const CASES: [ProtocolKind; 5] = [
+    ProtocolKind::SeeMoReLion,
+    ProtocolKind::SeeMoReDog,
+    ProtocolKind::SeeMoRePeacock,
+    ProtocolKind::Cft,
+    ProtocolKind::Bft,
+];
+
+#[test]
+fn simulated_crash_recover_matches_a_no_crash_control() {
+    for protocol in CASES {
+        // The highest-numbered replica is never the view-0 primary in any
+        // of these deployments, so the crash exercises rejoin without also
+        // forcing a view change.
+        let victim = ReplicaId(protocol.network_size(1, 1) - 1);
+        // Pin the timing models so the comparison is exact: with zero CPU
+        // cost, jitter-free links and no link faults the simulator draws no
+        // randomness per delivery and no node's busy-queue shifts, so
+        // removing the victim's messages (and adding the recovery
+        // exchange) cannot perturb when anyone else's events fire — the
+        // surviving timeline is event-identical to the control's.
+        let base = || {
+            Scenario::new(protocol, 1, 1)
+                .with_clients(4)
+                .with_duration(Duration::from_millis(300), Duration::from_millis(20))
+                .with_latency(LatencyModel::same_region().without_jitter())
+                .with_cpu(CpuModel {
+                    per_message: Duration::ZERO,
+                    per_kilobyte: Duration::ZERO,
+                    per_signature: Duration::ZERO,
+                })
+                .with_durability(DurabilityKind::Memory)
+        };
+
+        let scenario = base().with_crash_recover(CrashRecover::replica(
+            victim,
+            Instant::from_nanos(80_000_000),
+            Instant::from_nanos(160_000_000),
+        ));
+        let (mut sim, _) = scenario.build();
+        sim.run_until(Instant::ZERO + scenario.duration);
+        let report = sim.report(Instant::ZERO + scenario.warmup, scenario.timeline_bucket);
+        assert!(
+            report.completed > 0,
+            "{}: no progress through the crash",
+            protocol.name()
+        );
+
+        let histories: Vec<(ReplicaId, Vec<ExecutedEntry>)> = sim
+            .replica_ids()
+            .into_iter()
+            .map(|id| (id, sim.replica(id).executed().to_vec()))
+            .collect();
+        assert_agreement(protocol.name(), &histories);
+
+        // The no-crash control, durability included so the runs differ only
+        // in the schedule, executes the same digests at the same slots.
+        let control_scenario = base();
+        let (mut control, _) = control_scenario.build();
+        control.run_until(Instant::ZERO + control_scenario.duration);
+        let control_canonical = control
+            .replica_ids()
+            .into_iter()
+            .map(|id| control.replica(id).executed().to_vec())
+            .max_by_key(Vec::len)
+            .expect("control replicas");
+        let control_slots = slot_map(&control_canonical);
+        let canonical = histories
+            .iter()
+            .map(|(_, h)| h.clone())
+            .max_by_key(Vec::len)
+            .expect("crashed-run replicas");
+        for (seq, digests) in slot_map(&canonical) {
+            assert_eq!(
+                Some(&digests),
+                control_slots.get(&seq),
+                "{}: slot {seq} differs from the no-crash control",
+                protocol.name()
+            );
+        }
+
+        // The victim really rejoined: it caught back up to exactly where
+        // the same replica stands in the control run (public replicas
+        // naturally trail the trusted tier by the in-flight window at run
+        // end, so the control's own victim is the right yardstick).
+        let victim_history = histories
+            .iter()
+            .find(|(id, _)| *id == victim)
+            .map(|(_, h)| h.clone())
+            .expect("victim history");
+        assert!(
+            !victim_history.is_empty(),
+            "{}: recovered replica executed nothing",
+            protocol.name()
+        );
+        let victim_max = victim_history
+            .iter()
+            .map(|e| e.seq)
+            .max()
+            .expect("nonempty");
+        let control_victim_max = control
+            .replica(victim)
+            .executed()
+            .iter()
+            .map(|e| e.seq)
+            .max()
+            .expect("control victim executed");
+        assert_eq!(
+            victim_max,
+            control_victim_max,
+            "{}: recovered replica stalled short of its no-crash self",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn concurrent_runtimes_tear_down_and_rejoin_a_crashed_replica() {
+    for kind in [
+        RuntimeKind::Threaded,
+        RuntimeKind::Socket,
+        RuntimeKind::Reactor,
+    ] {
+        let victim = ReplicaId(ProtocolKind::SeeMoReLion.network_size(1, 1) - 1);
+        let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+            .with_clients(2)
+            .with_duration(Duration::from_millis(500), Duration::from_millis(10))
+            .with_runtime(kind)
+            .with_client_mux(kind == RuntimeKind::Reactor)
+            .with_tracing(true)
+            .with_crash_recover(CrashRecover::replica(
+                victim,
+                Instant::from_nanos(100_000_000),
+                Instant::from_nanos(200_000_000),
+            ))
+            .run();
+        assert!(report.completed > 0, "{}: no progress", kind.name());
+        let health = report
+            .health
+            .iter()
+            .find(|h| h.replica == victim)
+            .expect("victim health rollup");
+        assert!(
+            health.recoveries >= 1,
+            "{}: the victim never completed its rejoin",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn socket_runtime_buffers_pre_rejoin_traffic_instead_of_stalling() {
+    // Regression: a recovering replica receives live protocol traffic the
+    // moment its announcement goes out (the socket mesh never went down).
+    // Those messages must be buffered and replayed after the rejoin — a
+    // recovering core that silently dropped them would come back
+    // permanently behind and the health rollup would show no completed
+    // recovery. A long post-recovery window with ongoing client load drives
+    // exactly that interleaving over real TCP.
+    let victim = ReplicaId(ProtocolKind::SeeMoReLion.network_size(1, 1) - 1);
+    let report = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+        .with_clients(4)
+        .with_duration(Duration::from_millis(600), Duration::from_millis(10))
+        .with_runtime(RuntimeKind::Socket)
+        .with_tracing(true)
+        .with_crash_recover(CrashRecover::replica(
+            victim,
+            Instant::from_nanos(120_000_000),
+            Instant::from_nanos(240_000_000),
+        ))
+        .run();
+    assert!(report.completed > 0);
+    let health = report
+        .health
+        .iter()
+        .find(|h| h.replica == victim)
+        .expect("victim health rollup");
+    assert!(
+        health.recoveries >= 1,
+        "rejoin must complete under live traffic (buffered, not dropped)"
+    );
+}
+
+#[test]
+fn torn_wal_tail_is_repaired_and_the_replica_still_rejoins() {
+    // Kill-9 model: the victim's store catches an append mid-write (the
+    // tail frame is corrupted), the replica restarts from that store, and
+    // the recovery path must treat the torn record as never written —
+    // rejoining cleanly with no divergence from the live replicas.
+    let cluster_config = ClusterConfig::minimal(1, 1).expect("valid cluster");
+    let keystore = KeyStore::generate(0xD15C, cluster_config.total_size(), 1);
+    let pconfig = ProtocolConfig::default();
+    let mut cluster = SyncCluster::new();
+    let mut stores: BTreeMap<ReplicaId, Arc<MemStore>> = BTreeMap::new();
+    for replica in cluster_config.replicas() {
+        let store = Arc::new(MemStore::new(StoreConfig::default()));
+        let mut core = SeeMoReReplica::new(
+            replica,
+            cluster_config,
+            pconfig,
+            keystore.clone(),
+            Mode::Lion,
+            Box::new(NoopApp::new(0)),
+        );
+        core.set_store(store.clone());
+        stores.insert(replica, store);
+        cluster.add_replica(Box::new(core));
+    }
+    cluster.add_client(ClientCore::new(
+        ClientId(0),
+        cluster_config,
+        keystore.clone(),
+        Mode::Lion,
+        pconfig.client_timeout,
+    ));
+    let victim = ReplicaId(cluster_config.total_size() - 1);
+
+    for i in 0..6 {
+        cluster.submit(ClientId(0), format!("pre-{i}").into_bytes());
+        cluster.run_to_quiescence(100_000);
+    }
+    let store = stores.get(&victim).expect("victim store").clone();
+    assert!(store.wal_records() > 0, "votes must be in the WAL");
+
+    // Fail-stop the victim, let the cluster commit entries it misses, then
+    // tear the last WAL frame as a kill-9 mid-append would.
+    cluster.isolate(victim);
+    for i in 0..4 {
+        cluster.submit(ClientId(0), format!("miss-{i}").into_bytes());
+        cluster.run_to_quiescence(100_000);
+    }
+    store.corrupt_wal_tail(3);
+
+    let recovered = SeeMoReReplica::recover(
+        victim,
+        cluster_config,
+        pconfig,
+        keystore.clone(),
+        Mode::Lion,
+        Box::new(NoopApp::new(0)),
+        store,
+    );
+    cluster.restart(victim, Box::new(recovered));
+    cluster.run_to_quiescence(100_000);
+
+    for i in 0..4 {
+        cluster.submit(ClientId(0), format!("post-{i}").into_bytes());
+        cluster.run_to_quiescence(100_000);
+    }
+
+    let histories: Vec<(ReplicaId, Vec<ExecutedEntry>)> = cluster
+        .replica_ids()
+        .into_iter()
+        .map(|id| (id, cluster.replica(id).executed().to_vec()))
+        .collect();
+    assert_agreement("torn-tail", &histories);
+    let victim_history = histories
+        .iter()
+        .find(|(id, _)| *id == victim)
+        .map(|(_, h)| h.clone())
+        .expect("victim history");
+    let max_slot = histories
+        .iter()
+        .flat_map(|(_, h)| h.iter().map(|e| e.seq))
+        .max()
+        .expect("cluster executed something");
+    assert_eq!(
+        victim_history.iter().map(|e| e.seq).max(),
+        Some(max_slot),
+        "the recovered replica must execute the post-recovery slots"
+    );
+}
+
+#[test]
+fn in_memory_log_stays_bounded_by_the_checkpoint_period() {
+    // Satellite: even with durability disabled entirely, checkpoint-driven
+    // truncation must keep the resident log bounded — a long run may never
+    // hold more than two checkpoint periods' worth of instances.
+    let period = 8u64;
+    let scenario = Scenario::new(ProtocolKind::SeeMoReLion, 1, 1)
+        .with_clients(4)
+        .with_checkpoint_period(period)
+        .with_duration(Duration::from_millis(300), Duration::from_millis(20));
+    let (mut sim, _) = scenario.build();
+    sim.run_until(Instant::ZERO + scenario.duration);
+    let report = sim.report(Instant::ZERO + scenario.warmup, scenario.timeline_bucket);
+    assert!(
+        report.completed > 10 * period,
+        "the run must span many checkpoint periods, got {}",
+        report.completed
+    );
+    for id in sim.replica_ids() {
+        let peak = sim.replica(id).metrics().peak_log_instances;
+        assert!(peak > 0, "{id}: the log was never populated");
+        assert!(
+            peak <= 2 * period,
+            "{id}: peak resident log of {peak} instances exceeds 2x the \
+             checkpoint period ({period})"
+        );
+    }
+}
